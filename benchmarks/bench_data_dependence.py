@@ -1,0 +1,49 @@
+"""Extension — stitching convergence vs data charge fraction.
+
+The paper's §7.6 model (and its worst-case-data platform experiments)
+assume every volatile cell is observable.  Real data charges only a
+fraction of cells, thinning each page observation.  This bench sweeps
+the charge fraction and asserts the expected degradation shape: perfect
+convergence at 1.0, graceful slowdown below it.
+
+Benchmark kernel: one stitching run at charge fraction 0.75.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.reporting import save_experiment_report
+from repro.attacks import run_stitching_experiment
+from repro.experiments import data_dependence
+from repro.system import ModeledApproximateMemory, PhysicalMemoryMap
+
+
+def test_data_dependence(benchmark):
+    report = data_dependence.run(charge_fractions=(1.0, 0.75, 0.5))
+    save_experiment_report(report)
+
+    full = report.metrics["final_100"]
+    mid = report.metrics["final_75"]
+    half = report.metrics["final_50"]
+    assert full <= 2
+    assert full <= mid <= half
+    assert half > 2 * full  # realistic data visibly slows the attack
+
+    machine = ModeledApproximateMemory(
+        chip_seed=7,
+        memory_map=PhysicalMemoryMap(total_pages=256),
+        charge_fraction=0.75,
+    )
+    benchmark.pedantic(
+        run_stitching_experiment,
+        kwargs=dict(
+            machines=[machine],
+            n_samples=60,
+            sample_pages=16,
+            rng=np.random.default_rng(1),
+            record_every=60,
+        ),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,35 @@
+"""Figure 5 — identical images through approximate memory on two chips.
+
+Paper setup: a 200x154 black-and-white image stored on two DRAM chips
+refreshed for 1 % worst-case error; outputs (a) and (b) come from the
+same chip at different temperatures, output (c) from another chip.
+
+Paper result: the error constellations of (a) and (b) visibly coincide;
+(c) shares nothing beyond random overlap.  The experiment quantifies
+the visual argument with error-pixel Jaccard similarity and saves the
+three outputs (errors highlighted) as PGM images.
+
+Benchmark kernel: storing the image and reading back the approximate
+result (one full decay trial).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import results_dir, save_experiment_report
+from repro.dram import KM41464A, DRAMChip, ExperimentPlatform, TrialConditions
+from repro.experiments import error_patterns
+from repro.workloads import binary_test_image
+
+
+def test_fig05_error_patterns(benchmark):
+    report = error_patterns.run(output_dir=results_dir())
+    save_experiment_report(report)
+
+    assert report.metrics["same_chip_jaccard"] > 0.5
+    assert report.metrics["cross_chip_jaccard"] < 0.1
+
+    platform = ExperimentPlatform(DRAMChip(KM41464A, chip_seed=1))
+    image = binary_test_image()
+    benchmark(
+        error_patterns.store_image, platform, image, TrialConditions(0.99, 40.0)
+    )

@@ -1,0 +1,32 @@
+"""Figure 7 — within-class vs between-class distance histograms.
+
+Paper setup: fingerprints from the intersection of three 1 %-error
+outputs per chip; 9 evaluation outputs per chip over the temperature x
+accuracy grid; histogram of the Algorithm 3 distance between every
+output and every system-level fingerprint.
+
+Paper result: between-class distances two orders of magnitude above
+within-class distances (inset: within-class below 0.001).
+
+Benchmark kernel: one full identification query (one error string
+against the 10-fingerprint database).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import save_experiment_report
+from repro.core import identify_error_string
+from repro.experiments import uniqueness
+
+
+def test_fig07_uniqueness(campaign, benchmark):
+    report = uniqueness.run(campaign)
+    save_experiment_report(report)
+
+    assert report.metrics["separation_ratio"] >= 100.0
+    assert report.metrics["max_within"] < 0.01
+    assert report.metrics["min_between"] > 0.75
+
+    probe = campaign.outputs[0][1].error_string
+    result = benchmark(identify_error_string, probe, campaign.database)
+    assert result.matched

@@ -1,0 +1,28 @@
+"""Figure 8 / §7.2 — consistency of the error pattern across 21 trials.
+
+Paper setup: 21 outputs of one chip at 99 % accuracy and 40 °C; heatmap
+of cells whose failure behaviour is not repeatable.
+
+Paper result: "more than 98 % of cells behave reliably across all 21
+runs" — of the cells that ever fail, ≥98 % fail in every run.
+
+Benchmark kernel: one decay trial at the consistency operating point.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import save_experiment_report
+from repro.dram import KM41464A, DRAMChip, ExperimentPlatform, TrialConditions
+from repro.experiments import consistency
+
+
+def test_fig08_consistency(benchmark):
+    report = consistency.run(n_trials=21)
+    save_experiment_report(report)
+
+    assert report.metrics["repeatability"] >= 0.96
+    assert report.metrics["unpredictable"] < 0.1 * report.metrics["ever_failed"]
+
+    platform = ExperimentPlatform(DRAMChip(KM41464A, chip_seed=8))
+    conditions = TrialConditions(accuracy=0.99, temperature_c=40.0)
+    benchmark(lambda: platform.run_trial(conditions).error_string)

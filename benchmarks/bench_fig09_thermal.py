@@ -1,0 +1,28 @@
+"""Figure 9 — thermal effect on between-class distance.
+
+Paper setup: between-class pair distances from the evaluation campaign,
+grouped by the temperature of the probe output.
+
+Paper result: "Temperature has no noticeable effect on distance" — the
+controller re-targets the error rate and relative decay order is
+temperature-invariant.
+
+Benchmark kernel: the Algorithm 3 distance computation itself.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import save_experiment_report
+from repro.core import probable_cause_distance
+from repro.experiments import thermal
+
+
+def test_fig09_thermal(campaign, benchmark):
+    report = thermal.run(campaign)
+    save_experiment_report(report)
+
+    assert report.metrics["mean_spread"] < 0.02
+
+    fingerprint = campaign.database.get(campaign.database.keys()[0])
+    probe = campaign.outputs[-1][1].error_string
+    benchmark(probable_cause_distance, probe, fingerprint)

@@ -1,0 +1,43 @@
+"""Figure 11 — accuracy versus privacy.
+
+Paper setup: between-class pair distances from the evaluation campaign,
+grouped by the accuracy of the probe output.
+
+Paper result: deeper approximation increases random overlap with other
+chips' fingerprints, shrinking between-class distance (groups near
+0.99 / 0.95 / 0.90) — "but these distances are still two orders larger
+than the largest within-class distance".
+
+Benchmark kernel: distance of a 10 %-error output against a fingerprint.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import save_experiment_report
+from repro.core import probable_cause_distance
+from repro.experiments import accuracy_privacy
+
+
+def test_fig11_accuracy_vs_privacy(campaign, benchmark):
+    report = accuracy_privacy.run(campaign)
+    save_experiment_report(report)
+
+    # Monotone: lower accuracy -> lower between-class distance, with
+    # each group's mean tracking ~accuracy (random-overlap model).
+    assert (
+        report.metrics["mean_99"]
+        > report.metrics["mean_95"]
+        > report.metrics["mean_90"]
+    )
+    for accuracy, key in ((0.99, "mean_99"), (0.95, "mean_95"), (0.90, "mean_90")):
+        assert abs(report.metrics[key] - accuracy) < 0.05
+    assert report.metrics["floor_ratio"] >= 100.0
+
+    fingerprint = campaign.database.get(campaign.database.keys()[0])
+    deep_probe = next(
+        trial.error_string
+        for label, trial in campaign.outputs
+        if trial.conditions.accuracy == 0.90
+        and label != campaign.database.keys()[0]
+    )
+    benchmark(probable_cause_distance, deep_probe, fingerprint)

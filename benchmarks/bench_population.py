@@ -1,0 +1,35 @@
+"""Extension — identification margin vs device-population size.
+
+The §7.1 analysis predicts the per-pair mismatch probability is so
+small (~1e-591) that growing the candidate population cannot close the
+within/between margin.  This bench measures the margin at 5-40 devices
+and asserts it stays flat and identification stays perfect.
+
+Benchmark kernel: one identification query against the 40-chip store.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import save_experiment_report
+from repro.core import identify
+from repro.experiments import population
+from repro.experiments.campaign import build_campaign
+
+
+def test_population_scaling(benchmark):
+    report = population.run(populations=(5, 10, 20, 40))
+    save_experiment_report(report)
+
+    margins = [report.metrics[f"margin_{size}"] for size in (5, 10, 20, 40)]
+    # Monotone non-increasing (min over more pairs) but essentially flat.
+    assert all(
+        later <= earlier + 1e-9 for earlier, later in zip(margins, margins[1:])
+    )
+    assert margins[-1] > 0.8
+    for size in (5, 10, 20, 40):
+        assert report.metrics[f"identification_{size}"] == 1.0
+
+    campaign = build_campaign(n_chips=40)
+    _label, trial = campaign.outputs[0]
+    result = benchmark(identify, trial.approx, trial.exact, campaign.database)
+    assert result.matched

@@ -1,0 +1,31 @@
+"""Extension — DRAM decay PUF metrics (§9.1 related-work contrast).
+
+Validates the simulator against the PUF literature's standard metrics
+on the same substrate the attack uses: reliability (intra-chip response
+stability) near 1, normalized uniqueness (inter-chip distinguishability
+relative to the sparse-response ideal) near 1, and stable, distinct
+derived keys per device.
+
+Benchmark kernel: one challenge-response evaluation.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import save_experiment_report
+from repro.dram import KM41464A, DRAMChip
+from repro.dram.puf import DRAMDecayPUF, PUFChallenge
+from repro.experiments import puf_contrast
+
+
+def test_puf_metrics(benchmark):
+    report = puf_contrast.run()
+    save_experiment_report(report)
+
+    assert report.metrics["mean_reliability"] > 0.995
+    assert 0.85 < report.metrics["mean_uniqueness"] < 1.15
+    assert report.metrics["distinct_keys"] == report.metrics["devices"]
+
+    puf = DRAMDecayPUF(DRAMChip(KM41464A, chip_seed=9100))
+    challenge = PUFChallenge(rows=tuple(range(16)), interval_index=0)
+    response = benchmark(puf.evaluate, challenge)
+    assert response.any()

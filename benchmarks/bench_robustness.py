@@ -1,0 +1,51 @@
+"""Extensions — threshold operating window and VRT stress.
+
+Neither is a numbered paper artifact; both quantify robustness
+properties the paper asserts in prose:
+
+* the identification threshold is "a safe upper bound" — measured here
+  as a multi-decade operating window with 100 % TPR at 0 % FPR;
+* the error pattern is "mostly repeatable" — stressed here with an
+  explicit variable-retention-time cell population far beyond the
+  paper's implied instability level.
+
+Benchmark kernel: the threshold sweep over all 900 campaign pairs.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import save_experiment_report
+from repro.experiments import robustness
+
+
+def test_threshold_operating_window(campaign, benchmark):
+    report = robustness.run_threshold_study(campaign)
+    save_experiment_report(report)
+
+    assert report.metrics["window_low"] < 0.01
+    assert report.metrics["window_high"] > 0.75
+    assert report.metrics["window_decades"] >= 2.0  # the headline claim
+
+    benchmark(robustness.threshold_operating_window, campaign)
+
+
+def test_vrt_stress(benchmark):
+    report = robustness.run_vrt_study()
+    save_experiment_report(report)
+
+    assert report.metrics["baseline_repeatability"] >= 0.96
+    # Flickering cells erode repeatability...
+    assert (
+        report.metrics["worst_repeatability"]
+        < report.metrics["baseline_repeatability"]
+    )
+    # ...but the identification margin stays wide even at a 5% VRT
+    # population (25x the paper's implied instability).
+    assert report.metrics["worst_margin"] > 0.5
+
+    benchmark.pedantic(
+        robustness.run_vrt_study,
+        kwargs=dict(fractions=(0.01,)),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,33 @@
+"""§8.1 — effect of DRAM technology (the DDR2 platform).
+
+Paper setup: port the experiments to a Virtex-5 FPGA driving a Micron
+MT4HTF3264HY 256 MB DDR2 chip.
+
+Paper result: spatial volatility remains robust to temperature and
+approximation level; the only difference is the DDR2 volatility
+distribution being "skewed toward higher volatility", which does not
+impair classification or clustering.
+
+Benchmark kernel: one DDR2 decay trial (window-scaled device).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import save_experiment_report
+from repro.dram import ChipFamily, ExperimentPlatform, TrialConditions
+from repro.experiments import ddr2
+
+
+def test_sec81_ddr2_platform(benchmark):
+    report = ddr2.run(n_chips=4)
+    save_experiment_report(report)
+
+    assert abs(report.metrics["legacy_skew"]) < 0.15
+    assert report.metrics["ddr2_skew"] < -0.5
+    assert report.metrics["separation_ratio"] >= 100.0
+    assert report.metrics["clustering_perfect"] == 1.0
+
+    platform = ExperimentPlatform(
+        ChipFamily(ddr2.DDR2_WINDOW, n_chips=1, base_chip_seed=8100)[0]
+    )
+    benchmark(platform.run_trial, TrialConditions(0.95, 50.0))

@@ -1,0 +1,32 @@
+"""Table 1 — analytic fingerprint space for one page of memory.
+
+Paper parameters: M = 32768 bits (one 4 KB page), A = 1 % of M (328
+error bits), T = 10 % of A (32 noise bits).
+
+Paper values: max possible fingerprints 8.70e795; max unique
+fingerprints >= 1.07e590; chance of mismatching <= 9.29e-591; total
+entropy 2423 bits.  Exact-integer evaluation reproduces all four
+magnitudes (small offsets trace to the paper carrying fractional A/T
+through the formulas; see EXPERIMENTS.md).
+
+Benchmark kernel: the full Table 1 computation (exact big-integer
+binomials over a 32768-bit page).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import save_experiment_report
+from repro.core import analyze_page
+from repro.experiments import analytic_tables
+
+
+def test_tab01_analytic_model(benchmark):
+    report = analytic_tables.run_table1()
+    save_experiment_report(report)
+
+    assert abs(report.metrics["log10_max_possible"] - 795.94) < 1.0
+    assert 580 < report.metrics["log10_unique_lower"] < 605
+    assert -605 < report.metrics["log10_mismatch_upper"] < -580
+    assert abs(report.metrics["entropy_bits"] - 2423) < 20
+
+    benchmark(analyze_page)

@@ -1,0 +1,32 @@
+"""Table 2 — mismatch chance versus accuracy.
+
+Paper setup: the Equation 3 upper bound evaluated per accuracy level
+for one page of memory.
+
+Paper values: <= 9.29e-591 (99 %), <= 8.78e-2028 (95 %),
+<= 4.76e-3232 (90 %) — "decreasing accuracy causes an exponential
+increase in fingerprint state space".
+
+Benchmark kernel: the 90 %-accuracy bound (the largest binomial sums).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import save_experiment_report
+from repro.core import analyze_page
+from repro.experiments import analytic_tables
+
+
+def test_tab02_mismatch_vs_accuracy(benchmark):
+    report = analytic_tables.run_table2()
+    save_experiment_report(report)
+
+    m99 = report.metrics["log10_mismatch_99"]
+    m95 = report.metrics["log10_mismatch_95"]
+    m90 = report.metrics["log10_mismatch_90"]
+    assert m99 > m95 > m90
+    assert abs(m99 - (-591)) < 10
+    assert abs(m95 - (-2028)) < 10
+    assert abs(m90 - (-3232)) < 10
+
+    benchmark(analyze_page, accuracy=0.90)

@@ -1,0 +1,25 @@
+"""Shared fixtures for the benchmark harness.
+
+The expensive artifact is the §7 evaluation campaign (10 chips, 30
+characterization trials, 90 evaluation outputs); it is deterministic,
+so it is built once per session and shared by every figure's benchmark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import Campaign, build_campaign
+
+
+@pytest.fixture(scope="session")
+def campaign() -> Campaign:
+    """The full 10-chip evaluation campaign (paper §6-§7)."""
+    return build_campaign(n_chips=10)
+
+
+@pytest.fixture(scope="session")
+def bench_rng() -> np.random.Generator:
+    """Deterministic RNG shared by benchmark workloads."""
+    return np.random.default_rng(2015)

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""A long-running attribution service built on the ProbableCause facade.
+
+Figure 1 as an operational system: a single object that ingests every
+approximate output an attacker collects, attributes each one — to an
+enrolled (supply-chain-fingerprinted) device, an existing online
+suspect, or a brand-new suspect — and persists its fingerprint store
+across sessions.
+
+Run:  python examples/attribution_service.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.attacks import ProbableCause
+from repro.core import characterize_trials
+from repro.dram import KM41464A, ChipFamily, TrialConditions
+
+
+def main() -> None:
+    # Five machines in the wild; the attacker intercepted only two of
+    # them in the supply chain.
+    family = ChipFamily(KM41464A, n_chips=5)
+    platforms = family.platforms()
+    intercepted = {0: "SN-1001", 3: "SN-1004"}
+
+    service = ProbableCause()
+    for chip_index, serial in intercepted.items():
+        trials = [
+            platforms[chip_index].run_trial(TrialConditions(0.99, t))
+            for t in (40.0, 50.0, 60.0)
+        ]
+        service.enroll(serial, characterize_trials(trials))
+    print(f"enrolled from supply chain: {service.known_devices()}\n")
+
+    # Session 1: outputs arrive from all five machines, shuffled.
+    schedule = [2, 0, 4, 3, 1, 2, 0, 4, 3, 1, 2, 4]
+    print("session 1:")
+    for step, chip_index in enumerate(schedule):
+        trial = platforms[chip_index].run_trial(TrialConditions(0.95, 50.0))
+        verdict = service.observe(trial.approx, trial.exact)
+        status = (
+            "KNOWN DEVICE"
+            if verdict.matched_known_device
+            else ("new suspect" if verdict.new_suspect else "repeat suspect")
+        )
+        print(f"  output {step:>2} (truly {family[chip_index].label:>12}) "
+              f"-> {verdict.key:<12} [{status}]")
+
+    # Persist the store and start a fresh session — the fingerprints
+    # (both enrolled and suspects) survive.
+    store = Path(tempfile.mkdtemp()) / "fingerprints.pcfp"
+    service.save(store)
+    print(f"\nstore saved to {store} "
+          f"({store.stat().st_size} bytes for "
+          f"{len(service.database)} fingerprints)")
+
+    service2 = ProbableCause.load(store)
+    print(f"restored: known={service2.known_devices()} "
+          f"suspects={service2.suspects()}\n")
+
+    print("session 2 (new process, same store):")
+    for chip_index in (1, 3, 2):
+        trial = platforms[chip_index].run_trial(TrialConditions(0.90, 60.0))
+        verdict = service2.observe(trial.approx, trial.exact)
+        print(f"  output from {family[chip_index].label:>12} "
+              f"-> {verdict.key:<12} "
+              f"(distance {verdict.distance:.5f}, "
+              f"new={verdict.new_suspect})")
+
+    # Every device maps to exactly one stable identity across sessions,
+    # operating points, and process restarts.
+
+
+if __name__ == "__main__":
+    main()

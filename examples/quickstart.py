@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Quickstart: fingerprint, identify, and cluster approximate DRAM chips.
+
+Walks the paper's core loop in ~40 lines of API use:
+
+1. manufacture a batch of simulated KM41464A chips;
+2. characterize each chip (Algorithm 1) from three 1 %-error outputs;
+3. identify fresh outputs across temperatures and accuracies
+   (Algorithms 2 + 3);
+4. cluster outputs with no database at all (Algorithm 4).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import (
+    FingerprintDatabase,
+    characterize_trials,
+    cluster_outputs,
+    identify,
+)
+from repro.dram import KM41464A, ChipFamily, TrialConditions
+
+
+def main() -> None:
+    # 1. A batch of chips from one fabrication run.  Each chip's per-cell
+    #    retention times are locked at construction — that is the secret
+    #    the attack extracts.
+    family = ChipFamily(KM41464A, n_chips=3)
+    platforms = family.platforms()
+    print(f"manufactured {len(family)} x {KM41464A.name} "
+          f"({KM41464A.geometry.total_bytes // 1024} KB each)\n")
+
+    # 2. Characterization (Algorithm 1): intersect the error strings of
+    #    three worst-case-data outputs at 1 % error, different temps.
+    database = FingerprintDatabase()
+    for chip, platform in zip(family, platforms):
+        trials = [
+            platform.run_trial(TrialConditions(accuracy=0.99, temperature_c=t))
+            for t in (40.0, 50.0, 60.0)
+        ]
+        fingerprint = characterize_trials(trials)
+        database.add(chip.label, fingerprint)
+        print(f"characterized {chip.label}: "
+              f"{fingerprint.weight} volatile cells "
+              f"({fingerprint.density:.2%} of the array)")
+
+    # 3. Identification (Algorithm 2): fresh outputs at operating points
+    #    the fingerprints never saw.
+    print("\nidentifying fresh outputs:")
+    correct = total = 0
+    for chip, platform in zip(family, platforms):
+        for accuracy in (0.95, 0.90):
+            for temperature in (45.0, 55.0):
+                trial = platform.run_trial(
+                    TrialConditions(accuracy, temperature)
+                )
+                result = identify(trial.approx, trial.exact, database)
+                total += 1
+                correct += result.matched and result.key == chip.label
+                print(f"  output from {chip.label} "
+                      f"({accuracy:.0%} acc, {temperature:.0f} degC) "
+                      f"-> {result.key}  (distance {result.distance:.5f})")
+    print(f"identification: {correct}/{total} correct")
+
+    # 4. Clustering (Algorithm 4): group outputs by origin without any
+    #    pre-built database — the eavesdropper's starting position.
+    outputs, exacts = [], []
+    for platform in platforms:
+        for accuracy in (0.99, 0.95):
+            trial = platform.run_trial(TrialConditions(accuracy, 50.0))
+            outputs.append(trial.approx)
+            exacts.append(trial.exact)
+    clusters, assignments = cluster_outputs(outputs, exacts)
+    print(f"\nclustering {len(outputs)} unlabeled outputs -> "
+          f"{len(clusters)} clusters (true chips: {len(family)})")
+    print(f"assignments: {assignments}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Tour of approximate-DRAM refresh schemes and their privacy cost.
+
+Walks the energy/error/privacy triangle across every §9.2 scheme the
+paper names, on one simulated chip:
+
+* JEDEC 64 ms       — exact, expensive, anonymous;
+* fixed interval    — the paper's platform: cheap, 1 % error, leaks;
+* Flikker           — zoned refresh: leaks from the low-refresh zone;
+* RAIDR (faithful)  — profiled bins: cheap *and* anonymous;
+* RAIDR (approx)    — over-provisioned bins: cheapest, leaks;
+* RAPID             — placement-based: near-anonymous.
+
+The punchline is the paper's thesis in one table: privacy loss tracks
+the presence of decay errors, not the scheme's sophistication.
+
+Run:  python examples/refresh_schemes_tour.py
+"""
+
+import numpy as np
+
+from repro.core import characterize_trials, probable_cause_distance
+from repro.dram import (
+    KM41464A,
+    DRAMChip,
+    ExperimentPlatform,
+    FixedIntervalRefresh,
+    FlikkerRefresh,
+    JEDECRefresh,
+    RAIDRRefresh,
+    RAPIDRefresh,
+    TrialConditions,
+    evaluate_policy,
+)
+
+
+def main() -> None:
+    victim = DRAMChip(KM41464A, chip_seed=11, label="victim")
+    decoy = DRAMChip(KM41464A, chip_seed=22, label="decoy")
+
+    # The attacker fingerprinted both machines earlier (any scenario).
+    fingerprints = {}
+    for chip in (victim, decoy):
+        platform = ExperimentPlatform(chip)
+        fingerprints[chip.label] = characterize_trials(
+            [platform.run_trial(TrialConditions(0.99, 40.0)) for _ in range(3)]
+        )
+
+    schemes = [
+        JEDECRefresh(),
+        FixedIntervalRefresh(
+            victim.interval_for_error_rate(0.01), name="fixed (1% error)"
+        ),
+        FlikkerRefresh(high_zone_fraction=0.25, low_rate_divisor=16),
+        RAIDRRefresh(n_bins=4, safety_factor=1.0, name="RAIDR (faithful)"),
+        RAIDRRefresh(n_bins=6, safety_factor=4.0, name="RAIDR (approx)"),
+        RAPIDRefresh(populated_fraction=0.75),
+    ]
+
+    print(f"{'scheme':18} {'energy saved':>12} {'error rate':>11}   verdict")
+    print("-" * 72)
+    for scheme in schemes:
+        evaluation, errors = evaluate_policy(victim, scheme)
+        if not errors.any():
+            verdict = "anonymous (no decay errors to match)"
+        else:
+            d_victim = probable_cause_distance(errors, fingerprints["victim"])
+            d_decoy = probable_cause_distance(errors, fingerprints["decoy"])
+            verdict = (
+                f"deanonymized: d(victim)={d_victim:.3f} "
+                f"vs d(decoy)={d_decoy:.3f}"
+            )
+        print(
+            f"{scheme.name:18} {evaluation.energy_saving:>12.1%} "
+            f"{evaluation.error_rate:>11.4%}   {verdict}"
+        )
+
+    print(
+        "\nthe privacy bill tracks the error budget, not the scheme: "
+        "every design\nthat lets cells decay publishes the same "
+        "manufacturing fingerprint."
+    )
+
+
+if __name__ == "__main__":
+    main()

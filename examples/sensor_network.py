@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Participatory sensing: deanonymizing "anonymous" sensor uploads.
+
+A sensor network saves power with approximate DRAM log buffers (the
+Flikker/RAPID deployment profile).  Nodes upload raw logs anonymously —
+no node ids, mixed routing — because the deployment promises
+contributor privacy.  This example shows the promise failing: the decay
+errors in each upload fingerprint the node's DRAM, so an observer who
+collects uploads can (1) group them by node and (2) link every future
+upload to the same node.
+
+Run:  python examples/sensor_network.py
+"""
+
+import numpy as np
+
+from repro.attacks import ProbableCause
+from repro.dram import ChipGeometry, DRAMChip, KM41464A
+from repro.system import BitExactApproximateSystem, PAGE_BITS, PhysicalMemoryMap
+from repro.workloads import log_and_upload, synthesize_trace
+
+N_NODES = 4
+UPLOADS_PER_NODE = 3
+LOG_SAMPLES = 8192  # 8 KB per upload
+
+
+def make_node(chip_seed: int, rng: np.random.Generator):
+    """One sensor node: a 2-page approximate log buffer."""
+    total_pages = 2
+    bits = total_pages * PAGE_BITS
+    geometry = ChipGeometry(rows=256, cols=bits // 256, bits_per_word=1)
+    chip = DRAMChip(
+        KM41464A.with_geometry(geometry),
+        chip_seed=chip_seed,
+        label=f"node-{chip_seed}",
+    )
+    return chip, BitExactApproximateSystem(
+        chip=chip,
+        memory_map=PhysicalMemoryMap(total_pages=total_pages),
+        accuracy=0.95,
+        temperature_c=40.0,
+        rng=rng,
+    )
+
+
+def main() -> None:
+    rng = np.random.default_rng(5)
+    nodes = [make_node(seed, rng) for seed in range(N_NODES)]
+
+    # Nodes publish logs in shuffled, unattributed order.
+    uploads = []
+    for round_index in range(UPLOADS_PER_NODE):
+        for chip, system in nodes:
+            trace = synthesize_trace(LOG_SAMPLES, rng)
+            result = log_and_upload(trace, system)
+            uploads.append((chip.label, result))
+    order = rng.permutation(len(uploads))
+
+    print(f"{len(uploads)} anonymous uploads from {N_NODES} nodes")
+    first = uploads[0][1]
+    print(f"per-upload signal quality: "
+          f"{first.raw_sample_error_fraction:.1%} samples corrupted raw, "
+          f"RMSE {first.cleaned_rmse:.1f} counts after standard cleaning\n")
+
+    # The observer clusters uploads by their decay-error patterns.  The
+    # exact trace is recoverable by the §8.3 playbook (here: the logs
+    # are lightly redundant, so the cleaned trace serves as the exact
+    # estimate — we use ground truth for clarity).
+    #
+    # Threshold note: every upload stores *different* data, and a decay
+    # error is only visible where the data charged the cell, so two
+    # same-node uploads share only ~2/3 of their error positions
+    # (within-distance ~0.3 instead of the worst-case-data ~0.001).
+    # Cross-node distance stays ~0.95, so a 0.5 threshold separates
+    # cleanly — the data-dependence regime quantified in
+    # `python -m repro run ext-data`.
+    observer = ProbableCause(threshold=0.5, suspect_prefix="node")
+    verdicts = []
+    for upload_index in order:
+        true_label, result = uploads[upload_index]
+        attribution = observer.observe(
+            result.stored.approx, result.stored.exact
+        )
+        verdicts.append((true_label, attribution.key))
+
+    print("observer's clustering (truth -> assigned identity):")
+    mapping = {}
+    consistent = True
+    for true_label, assigned in sorted(set(verdicts)):
+        print(f"  {true_label:>8} -> {assigned}")
+    for true_label, assigned in verdicts:
+        mapping.setdefault(true_label, assigned)
+        consistent &= mapping[true_label] == assigned
+    distinct = len({assigned for _t, assigned in verdicts})
+
+    print(f"\nconsistent attribution: {consistent}")
+    print(f"identities discovered: {distinct} (true nodes: {N_NODES})")
+    assert consistent and distinct == N_NODES
+    print("every 'anonymous' upload is linked to its node.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy-install shim: environments without the `wheel` package cannot
+run PEP 660 editable builds, so `python setup.py develop` (or
+`pip install -e . --no-build-isolation --no-use-pep517`) uses this."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,40 @@
+"""repro — reproduction of *Probable Cause: The Deanonymizing Effects of
+Approximate DRAM* (Rahmati, Hicks, Holcomb, Fu; ISCA 2015).
+
+Approximate DRAM saves refresh energy by letting the most volatile
+cells decay; the set of cells that decay first is fixed by
+manufacturing variation, so every approximate output carries a device
+fingerprint.  This package contains:
+
+* :mod:`repro.dram` — a behavioural approximate-DRAM simulator standing
+  in for the paper's hardware platforms;
+* :mod:`repro.core` — the paper's contribution: characterization,
+  identification, clustering, page-fingerprint stitching, and the
+  analytic uniqueness model;
+* :mod:`repro.system` — the commodity-OS placement model;
+* :mod:`repro.workloads` — the image / edge-detection victim program;
+* :mod:`repro.attacks` — the supply-chain and eavesdropping attackers;
+* :mod:`repro.defenses` — §8.2 countermeasures with evaluation hooks;
+* :mod:`repro.analysis` — histogram/heatmap/Venn/image helpers behind
+  the experiment harness.
+
+Quickstart::
+
+    from repro.dram import KM41464A, ChipFamily, TrialConditions
+    from repro.core import characterize_trials, FingerprintDatabase, identify
+
+    family = ChipFamily(KM41464A, n_chips=3)
+    db = FingerprintDatabase()
+    for chip, platform in zip(family, family.platforms()):
+        trials = [platform.run_trial(TrialConditions(0.99, t))
+                  for t in (40.0, 50.0, 60.0)]
+        db.add(chip.label, characterize_trials(trials))
+
+    victim = family.platforms()[0]
+    output = victim.run_trial(TrialConditions(0.95, 50.0))
+    print(identify(output.approx, output.exact, db))
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

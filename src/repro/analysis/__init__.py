@@ -1,0 +1,40 @@
+"""Analysis and rendering helpers behind the benchmark harness."""
+
+from repro.analysis.heatmap import (
+    OccurrenceMap,
+    accumulate_occurrences,
+    render_heatmap,
+)
+from repro.analysis.histogram import (
+    Histogram,
+    class_separation,
+    histogram,
+    render_histograms,
+)
+from repro.analysis.images import (
+    error_pattern_similarity,
+    error_pixel_mask,
+    highlight_errors,
+    read_pgm,
+    write_pgm,
+)
+from repro.analysis.venn import VennThree, nesting_report, subset_violations, venn_three
+
+__all__ = [
+    "OccurrenceMap",
+    "accumulate_occurrences",
+    "render_heatmap",
+    "Histogram",
+    "class_separation",
+    "histogram",
+    "render_histograms",
+    "error_pattern_similarity",
+    "error_pixel_mask",
+    "highlight_errors",
+    "read_pgm",
+    "write_pgm",
+    "VennThree",
+    "nesting_report",
+    "subset_violations",
+    "venn_three",
+]

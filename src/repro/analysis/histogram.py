@@ -1,0 +1,99 @@
+"""Histogramming and text rendering for the distance-distribution figures.
+
+Figures 7, 9 and 11 are histograms of pairwise distances; the benchmark
+harness reproduces them as numeric tables plus a terminal-friendly bar
+rendering so the separation the paper shows visually is inspectable in
+CI logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Histogram:
+    """Fixed-bin histogram over [lo, hi]."""
+
+    bin_edges: np.ndarray
+    counts: np.ndarray
+    label: str = ""
+
+    @property
+    def total(self) -> int:
+        """Number of samples binned."""
+        return int(self.counts.sum())
+
+    def rows(self) -> List[Tuple[float, float, int]]:
+        """(bin_lo, bin_hi, count) rows for tabular output."""
+        return [
+            (float(self.bin_edges[i]), float(self.bin_edges[i + 1]), int(count))
+            for i, count in enumerate(self.counts)
+        ]
+
+
+def histogram(
+    values: Sequence[float],
+    bins: int = 20,
+    value_range: Tuple[float, float] = (0.0, 1.0),
+    label: str = "",
+) -> Histogram:
+    """Bin ``values`` into a :class:`Histogram`."""
+    counts, edges = np.histogram(
+        np.asarray(list(values), dtype=float), bins=bins, range=value_range
+    )
+    return Histogram(bin_edges=edges, counts=counts, label=label)
+
+
+def render_histograms(
+    histograms: Sequence[Histogram],
+    width: int = 40,
+    title: str = "",
+) -> str:
+    """ASCII rendering of one or more same-binned histograms.
+
+    Each histogram gets one bar column; bars scale to the global
+    maximum so relative magnitudes read correctly across series.
+    """
+    if not histograms:
+        raise ValueError("need at least one histogram")
+    edges = histograms[0].bin_edges
+    for hist in histograms[1:]:
+        if not np.array_equal(hist.bin_edges, edges):
+            raise ValueError("histograms must share bin edges")
+    peak = max(int(h.counts.max()) for h in histograms) or 1
+    lines = []
+    if title:
+        lines.append(title)
+    header = "bin".ljust(18) + "  ".join(
+        (h.label or f"series{i}").ljust(width) for i, h in enumerate(histograms)
+    )
+    lines.append(header)
+    for bin_index in range(len(edges) - 1):
+        row = f"[{edges[bin_index]:.3f},{edges[bin_index + 1]:.3f})".ljust(18)
+        cells = []
+        for hist in histograms:
+            count = int(hist.counts[bin_index])
+            bar = "#" * int(round(width * count / peak))
+            cells.append(f"{bar}{' ' if bar else ''}{count or ''}".ljust(width))
+        lines.append(row + "  ".join(cells))
+    return "\n".join(lines)
+
+
+def class_separation(
+    within: Sequence[float], between: Sequence[float]
+) -> Tuple[float, float, float]:
+    """(max within, min between, ratio) — the paper's headline gap.
+
+    The ratio is the paper's "two orders of magnitude" claim: minimum
+    between-class distance over maximum within-class distance.
+    """
+    if not within or not between:
+        raise ValueError("both classes need at least one sample")
+    max_within = max(within)
+    min_between = min(between)
+    ratio = min_between / max_within if max_within > 0 else float("inf")
+    return max_within, min_between, ratio

@@ -1,0 +1,69 @@
+"""Report sink for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures as
+text (and sometimes PGM images).  Benchmark timing goes to
+pytest-benchmark's own output; the *content* — the rows and series the
+paper reports — is persisted here so a run leaves artifacts that can be
+diffed against EXPERIMENTS.md.
+
+The output directory defaults to ``benchmarks/results`` under the
+current working directory and can be redirected with the
+``REPRO_RESULTS_DIR`` environment variable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+
+def results_dir() -> Path:
+    """Directory that experiment artifacts are written to (created on
+    demand)."""
+    root = os.environ.get("REPRO_RESULTS_DIR", "benchmarks/results")
+    path = Path(root)
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def save_report(name: str, text: str, echo: bool = True) -> Path:
+    """Persist one experiment report and (by default) echo it to stdout.
+
+    ``name`` is a slug like ``fig07_uniqueness``; the report lands in
+    ``<results_dir>/<name>.txt``.
+    """
+    path = results_dir() / f"{name}.txt"
+    path.write_text(text if text.endswith("\n") else text + "\n")
+    if echo:
+        print(f"\n=== {name} ===\n{text}")
+    return path
+
+
+def save_experiment_report(report, echo: bool = True) -> Path:
+    """Persist an :class:`~repro.experiments.ExperimentReport`.
+
+    Writes the rendered text to ``<id>.txt`` and the metrics to
+    ``<id>.metrics.json`` so ``python -m repro summary`` (and any
+    external tooling) can collate headline numbers without re-running
+    experiments.
+    """
+    slug = report.experiment_id.replace("-", "_")
+    path = save_report(slug, str(report), echo=echo)
+    metrics_path = results_dir() / f"{slug}.metrics.json"
+    payload = {
+        "experiment_id": report.experiment_id,
+        "title": report.title,
+        "metrics": dict(report.metrics),
+    }
+    metrics_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_saved_metrics() -> list:
+    """All persisted experiment metrics, sorted by experiment id."""
+    records = []
+    for path in sorted(results_dir().glob("*.metrics.json")):
+        records.append(json.loads(path.read_text()))
+    records.sort(key=lambda record: record["experiment_id"])
+    return records

@@ -1,0 +1,85 @@
+"""Figure 10 machinery: overlap structure of error sets across accuracies.
+
+The order-of-failure experiment records the error locations of one chip
+at 99 %, 95 % and 90 % accuracy and asks how nested they are: the paper
+finds ``errors(99 %) ⊂ errors(95 %) ⊂ errors(90 %)`` up to a handful of
+outlier cells.  This module computes the three-set Venn region sizes
+and the subset-violation counts that quantify "aside from a single
+outlier" / "aside from 32 cells".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.bits import BitVector
+
+
+@dataclass(frozen=True)
+class VennThree:
+    """Region sizes of a three-set Venn diagram.
+
+    Region keys are binary membership triples over the input order,
+    e.g. ``(True, False, False)`` is "only in set A".
+    """
+
+    regions: Dict[Tuple[bool, bool, bool], int]
+
+    @property
+    def total(self) -> int:
+        """Cells in at least one set."""
+        return sum(
+            count
+            for membership, count in self.regions.items()
+            if any(membership)
+        )
+
+    def only(self, index: int) -> int:
+        """Cells exclusive to one set (0-based input order)."""
+        membership = tuple(i == index for i in range(3))
+        return self.regions.get(membership, 0)
+
+    def common_to_all(self) -> int:
+        """Cells present in all three sets."""
+        return self.regions.get((True, True, True), 0)
+
+
+def venn_three(a: BitVector, b: BitVector, c: BitVector) -> VennThree:
+    """Compute all 7 non-empty Venn regions of three bit sets."""
+    if not (a.nbits == b.nbits == c.nbits):
+        raise ValueError("sets must cover the same region")
+    regions: Dict[Tuple[bool, bool, bool], int] = {}
+    for in_a in (False, True):
+        for in_b in (False, True):
+            for in_c in (False, True):
+                if not (in_a or in_b or in_c):
+                    continue
+                part_a = a if in_a else ~a
+                part_b = b if in_b else ~b
+                part_c = c if in_c else ~c
+                regions[(in_a, in_b, in_c)] = (part_a & part_b & part_c).popcount()
+    return VennThree(regions=regions)
+
+
+def subset_violations(subset: BitVector, superset: BitVector) -> int:
+    """Cells in ``subset`` missing from ``superset``.
+
+    Figure 10's "aside from a single outlier" statistic: how badly the
+    expected nesting 99 % ⊂ 95 % ⊂ 90 % is violated.
+    """
+    return subset.count_andnot(superset)
+
+
+def nesting_report(
+    errors_99: BitVector, errors_95: BitVector, errors_90: BitVector
+) -> Dict[str, int]:
+    """Summary of the Figure 10 nesting structure."""
+    return {
+        "errors_at_99": errors_99.popcount(),
+        "errors_at_95": errors_95.popcount(),
+        "errors_at_90": errors_90.popcount(),
+        "violations_99_in_95": subset_violations(errors_99, errors_95),
+        "violations_95_in_90": subset_violations(errors_95, errors_90),
+        "common_to_all": (errors_99 & errors_95 & errors_90).popcount(),
+    }

@@ -1,0 +1,25 @@
+"""Attacker implementations for both §3 threat scenarios."""
+
+from repro.attacks.eavesdropper import (
+    ConvergenceCurve,
+    ConvergencePoint,
+    EavesdropperAttacker,
+    expected_suspected_chips,
+    run_interval_model,
+    run_stitching_experiment,
+)
+from repro.attacks.pipeline import Attribution, ProbableCause
+from repro.attacks.supply_chain import InterceptionRecord, SupplyChainAttacker
+
+__all__ = [
+    "ConvergenceCurve",
+    "ConvergencePoint",
+    "EavesdropperAttacker",
+    "expected_suspected_chips",
+    "run_interval_model",
+    "run_stitching_experiment",
+    "Attribution",
+    "ProbableCause",
+    "InterceptionRecord",
+    "SupplyChainAttacker",
+]

@@ -1,0 +1,14 @@
+"""Packed bit-vector substrate used by every layer of the library."""
+
+from repro.bits.bitvector import BitVector, concat
+from repro.bits.pages import PAGE_BITS, iter_pages, join_pages, page_count, split_pages
+
+__all__ = [
+    "BitVector",
+    "concat",
+    "PAGE_BITS",
+    "split_pages",
+    "iter_pages",
+    "join_pages",
+    "page_count",
+]

@@ -1,0 +1,69 @@
+"""Page-granular views over bit vectors.
+
+The operating-system layer of the paper reasons about 4 KB *pages* —
+the smallest unit of contiguous memory an OS manages (§4, footnote 1).
+Probable Cause's stitching attack builds one fingerprint per page and
+matches pages across approximate outputs, so the bit substrate needs a
+cheap way to cut a long error string into page-sized vectors and to
+reassemble page vectors back into a region.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence
+
+from repro.bits.bitvector import BitVector, concat
+
+#: Bits per 4 KB operating-system page.
+PAGE_BITS = 4096 * 8
+
+
+def split_pages(vector: BitVector, page_bits: int = PAGE_BITS) -> List[BitVector]:
+    """Cut ``vector`` into consecutive pages of ``page_bits`` bits each.
+
+    The vector length must be an exact multiple of the page size; the
+    paper's outputs are whole numbers of pages by construction.
+    """
+    if page_bits <= 0:
+        raise ValueError(f"page_bits must be positive, got {page_bits}")
+    if vector.nbits % page_bits != 0:
+        raise ValueError(
+            f"vector of {vector.nbits} bits is not a whole number of "
+            f"{page_bits}-bit pages"
+        )
+    bools = vector.to_bool_array()
+    return [
+        BitVector.from_bool_array(bools[start : start + page_bits])
+        for start in range(0, vector.nbits, page_bits)
+    ]
+
+
+def iter_pages(vector: BitVector, page_bits: int = PAGE_BITS) -> Iterator[BitVector]:
+    """Generator form of :func:`split_pages`."""
+    for page in split_pages(vector, page_bits):
+        yield page
+
+
+def join_pages(pages: Sequence[BitVector]) -> BitVector:
+    """Reassemble page vectors into one contiguous vector.
+
+    All pages must have equal length (a region is uniform pages).
+    """
+    if not pages:
+        return BitVector(0)
+    page_bits = pages[0].nbits
+    for i, page in enumerate(pages):
+        if page.nbits != page_bits:
+            raise ValueError(
+                f"page {i} has {page.nbits} bits, expected {page_bits}"
+            )
+    return concat(pages)
+
+
+def page_count(nbits: int, page_bits: int = PAGE_BITS) -> int:
+    """Number of whole pages spanned by ``nbits`` bits (must divide evenly)."""
+    if nbits % page_bits != 0:
+        raise ValueError(
+            f"{nbits} bits is not a whole number of {page_bits}-bit pages"
+        )
+    return nbits // page_bits

@@ -1,0 +1,90 @@
+"""Command-line interface: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro list                 # available experiment ids
+    python -m repro run fig07            # run one experiment
+    python -m repro run all              # run every experiment
+    python -m repro run fig13 --quiet    # save the report, print summary
+
+Reports are written to ``benchmarks/results/`` (override with the
+``REPRO_RESULTS_DIR`` environment variable) and echoed to stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.analysis.reporting import load_saved_metrics, save_experiment_report
+from repro.experiments import experiment_ids, run_experiment
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce 'Probable Cause: The Deanonymizing Effects "
+        "of Approximate DRAM' (ISCA 2015): regenerate any of the paper's "
+        "tables and figures on the simulated platform.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list available experiment ids")
+
+    subparsers.add_parser(
+        "summary",
+        help="collate headline metrics from previously saved reports",
+    )
+
+    run_parser = subparsers.add_parser(
+        "run", help="run one experiment (or 'all')"
+    )
+    run_parser.add_argument(
+        "experiment",
+        help="experiment id from 'list', or 'all'",
+    )
+    run_parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="save reports without echoing their full text",
+    )
+    return parser
+
+
+def _run_one(experiment_id: str, quiet: bool) -> None:
+    started = time.perf_counter()
+    report = run_experiment(experiment_id)
+    elapsed = time.perf_counter() - started
+    save_experiment_report(report, echo=not quiet)
+    print(f"[{report.experiment_id}] {report.title}  ({elapsed:.1f}s)")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        for experiment_id in experiment_ids():
+            print(experiment_id)
+        return 0
+    if args.command == "summary":
+        records = load_saved_metrics()
+        if not records:
+            print("no saved reports; run 'python -m repro run all' first")
+            return 1
+        for record in records:
+            print(f"[{record['experiment_id']}] {record['title']}")
+            for key, value in sorted(record["metrics"].items()):
+                print(f"    {key}: {value:.6g}")
+        return 0
+    if args.experiment == "all":
+        for experiment_id in experiment_ids():
+            _run_one(experiment_id, args.quiet)
+        return 0
+    try:
+        _run_one(args.experiment, args.quiet)
+    except KeyError as error:
+        print(error.args[0], file=sys.stderr)
+        return 2
+    return 0

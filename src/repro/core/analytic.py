@@ -1,0 +1,228 @@
+"""Section 7.1 analytic model of fingerprint uniqueness.
+
+The paper quantifies how unlikely two devices are to share a
+fingerprint by counting the fingerprint state space.  For a memory of
+``M`` bits tolerating ``A`` bits of error, a fingerprint is an
+``A``-subset of ``M`` positions:
+
+* Equation 1 — maximum fingerprints: ``C(M, A)``.
+* Equation 2 — with a noise threshold of ``T`` bits, the Hamming bound
+  brackets the number of *distinguishable* fingerprints between
+  ``C(M,A) / sum_{i<=2T} C(M,i)`` and ``C(M,A) / sum_{i<=T} C(M,i)``.
+* Equation 3 — the chance of mistakenly matching two fingerprints lies
+  between ``sum_{i=1..T} C(M,i) / C(M,A)`` and
+  ``sum_{i=1..2T} C(M,i) / C(M,A)``.
+* Equation 4 — entropy per bit is at least
+  ``log2(C(M,A) / sum_{i<=2T} C(M,i)) / M >= log2(C(M, A-T)) / M``.
+
+These numbers are astronomically large/small (Table 1: 8.70e795
+possible fingerprints, mismatch chance below 9.29e-591), so all
+arithmetic is done on exact Python integers and reported in log domain.
+
+Table 1 uses one 4 KB page: ``M = 32768``, ``A = 1% of M = 328`` error
+bits, ``T = 10% of A = 32`` noise bits ("a safe upper bound chosen
+based on our experiment results").  Table 2 repeats Equation 3's upper
+bound for 99 / 95 / 90 % accuracy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+#: Bits in the 4 KB page the paper analyzes.
+PAGE_BITS = 4096 * 8
+
+#: The paper's noise-threshold rule: T = 10 % of the error budget A.
+THRESHOLD_FRACTION = 0.1
+
+
+def comb(m: int, k: int) -> int:
+    """Exact binomial coefficient with the convention C(m, k<0) = 0."""
+    if k < 0 or k > m:
+        return 0
+    return math.comb(m, k)
+
+
+def comb_sum(m: int, up_to: int) -> int:
+    """``sum_{i=0}^{up_to} C(m, i)`` — the Hamming-ball volume."""
+    return sum(comb(m, i) for i in range(0, max(up_to, -1) + 1))
+
+
+def log10_int(value: int) -> float:
+    """log10 of a (possibly huge) positive integer.
+
+    Exact-int math keeps the full value; this projects it to a float
+    magnitude for reporting.  Uses a 60-digit leading window so the
+    mantissa is accurate far beyond float precision needs.
+    """
+    if value <= 0:
+        raise ValueError("value must be positive")
+    bits = value.bit_length()
+    if bits <= 64:
+        return math.log10(value)
+    # Take the top 64 bits as the mantissa; the shift contributes
+    # exactly shift * log10(2).  Avoids the CPython int->str digit cap.
+    shift = bits - 64
+    top = value >> shift
+    return math.log10(top) + shift * math.log10(2.0)
+
+
+def log10_ratio(numerator: int, denominator: int) -> float:
+    """log10 of a ratio of positive integers (handles huge operands)."""
+    return log10_int(numerator) - log10_int(denominator)
+
+
+def format_log10(log_value: float) -> str:
+    """Render a log10 magnitude as the paper's ``m x 10^e`` notation."""
+    exponent = math.floor(log_value)
+    mantissa = 10.0 ** (log_value - exponent)
+    # Guard against 9.9999 rounding up to 10.00.
+    if round(mantissa, 2) >= 10.0:
+        mantissa /= 10.0
+        exponent += 1
+    return f"{mantissa:.2f}e{exponent:+d}"
+
+
+# ----------------------------------------------------------------------
+# Equations 1-4
+# ----------------------------------------------------------------------
+
+
+def max_possible_fingerprints(memory_bits: int, error_bits: int) -> int:
+    """Equation 1: size of the raw fingerprint space, ``C(M, A)``."""
+    _validate(memory_bits, error_bits, 0)
+    return comb(memory_bits, error_bits)
+
+
+def distinguishable_fingerprint_bounds(
+    memory_bits: int, error_bits: int, threshold_bits: int
+) -> Tuple[int, int]:
+    """Equation 2: Hamming-bound bracket on distinguishable fingerprints.
+
+    Returns ``(lower, upper)`` exact integers.
+    """
+    _validate(memory_bits, error_bits, threshold_bits)
+    space = comb(memory_bits, error_bits)
+    lower = space // comb_sum(memory_bits, 2 * threshold_bits)
+    upper = space // comb_sum(memory_bits, threshold_bits)
+    return lower, upper
+
+
+def mismatch_chance_bounds(
+    memory_bits: int, error_bits: int, threshold_bits: int
+) -> Tuple[float, float]:
+    """Equation 3: bracket on the probability of a false fingerprint match.
+
+    Returned as ``(log10_lower, log10_upper)`` because the magnitudes
+    underflow floats (Table 1's upper bound is 9.29e-591).
+    """
+    _validate(memory_bits, error_bits, threshold_bits)
+    space = comb(memory_bits, error_bits)
+    lower_sum = comb_sum(memory_bits, threshold_bits) - 1      # i starts at 1
+    upper_sum = comb_sum(memory_bits, 2 * threshold_bits) - 1
+    # The bound is a probability; for degenerate parameters (threshold
+    # comparable to the error budget) the combinatorial expression can
+    # exceed 1 — clamp at log10(1) = 0.
+    return (
+        min(log10_ratio(lower_sum, space), 0.0),
+        min(log10_ratio(upper_sum, space), 0.0),
+    )
+
+
+def entropy_bits(memory_bits: int, error_bits: int, threshold_bits: int) -> float:
+    """Equation 4: total fingerprint entropy lower bound, in bits.
+
+    Uses the tighter form ``log2(C(M,A) / sum_{i<=2T} C(M,i))``; the
+    looser closed form ``log2(C(M, A-T))`` is available via
+    :func:`entropy_bits_loose`.
+    """
+    _validate(memory_bits, error_bits, threshold_bits)
+    space = comb(memory_bits, error_bits)
+    ball = comb_sum(memory_bits, 2 * threshold_bits)
+    return log10_ratio(space, ball) / math.log10(2.0)
+
+
+def entropy_bits_loose(
+    memory_bits: int, error_bits: int, threshold_bits: int
+) -> float:
+    """Equation 4's closed-form lower bound, ``log2 C(M, A - T)``."""
+    _validate(memory_bits, error_bits, threshold_bits)
+    if threshold_bits >= error_bits:
+        return 0.0
+    reduced = comb(memory_bits, error_bits - threshold_bits)
+    return log10_int(reduced) / math.log10(2.0)
+
+
+# ----------------------------------------------------------------------
+# Table-level summaries
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PageAnalysis:
+    """All Table 1 quantities for one parameter point."""
+
+    memory_bits: int
+    error_bits: int
+    threshold_bits: int
+    log10_max_possible: float
+    log10_unique_lower: float
+    log10_mismatch_upper: float
+    #: Loose closed-form bound log2 C(M, A-T) — the form behind the
+    #: paper's "Total Entropy 2423 bits" row.
+    entropy_total_bits: float
+    #: Tighter Hamming-bound entropy, log2(C(M,A) / sum_{i<=2T} C(M,i)).
+    entropy_tight_bits: float
+
+    @property
+    def accuracy(self) -> float:
+        """Accuracy level implied by the error budget."""
+        return 1.0 - self.error_bits / self.memory_bits
+
+
+def analyze_page(
+    memory_bits: int = PAGE_BITS,
+    accuracy: float = 0.99,
+    threshold_fraction: float = THRESHOLD_FRACTION,
+) -> PageAnalysis:
+    """Compute Table 1 (and one Table 2 row) for a memory region.
+
+    ``error_bits`` is ``(1 - accuracy) * memory_bits`` and the noise
+    threshold is ``threshold_fraction`` of the error budget, both
+    rounded like the paper (A = 328, T = 32 for the default page).
+    """
+    if not 0.0 < accuracy < 1.0:
+        raise ValueError(f"accuracy must be in (0, 1), got {accuracy}")
+    error_bits = int(round((1.0 - accuracy) * memory_bits))
+    threshold_bits = int(error_bits * threshold_fraction)
+    lower, _upper = distinguishable_fingerprint_bounds(
+        memory_bits, error_bits, threshold_bits
+    )
+    _lo, mismatch_upper = mismatch_chance_bounds(
+        memory_bits, error_bits, threshold_bits
+    )
+    return PageAnalysis(
+        memory_bits=memory_bits,
+        error_bits=error_bits,
+        threshold_bits=threshold_bits,
+        log10_max_possible=log10_int(
+            max_possible_fingerprints(memory_bits, error_bits)
+        ),
+        log10_unique_lower=log10_int(lower),
+        log10_mismatch_upper=mismatch_upper,
+        entropy_total_bits=entropy_bits_loose(
+            memory_bits, error_bits, threshold_bits
+        ),
+        entropy_tight_bits=entropy_bits(memory_bits, error_bits, threshold_bits),
+    )
+
+
+def _validate(memory_bits: int, error_bits: int, threshold_bits: int) -> None:
+    if memory_bits <= 0:
+        raise ValueError("memory_bits must be positive")
+    if not 0 <= error_bits <= memory_bits:
+        raise ValueError("error_bits must be in [0, memory_bits]")
+    if threshold_bits < 0:
+        raise ValueError("threshold_bits must be non-negative")

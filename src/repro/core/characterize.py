@@ -1,0 +1,85 @@
+"""Algorithm 1 — Characterization.
+
+Builds a chip fingerprint from several approximate outputs of known
+exact data: XOR each output with the exact value to obtain its error
+string, then intersect the error strings.  The intersection suppresses
+per-trial noise and keeps only the cells volatile enough to fail every
+time — around 1 % of the memory at the paper's operating point, which
+is also why characterization is fast ("it takes little time for the
+first 1 % of bits to fail", §5.1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from repro.bits import BitVector
+from repro.core.errors import intersect_all, mark_errors
+from repro.core.fingerprint import Fingerprint
+from repro.dram.platform import TrialResult
+
+
+def characterize(
+    approx_outputs: Sequence[BitVector],
+    exact: Union[BitVector, Sequence[BitVector]],
+    source: Optional[str] = None,
+) -> Fingerprint:
+    """Algorithm 1: fingerprint a chip from approximate outputs.
+
+    Parameters
+    ----------
+    approx_outputs:
+        Approximate results read back from the chip.
+    exact:
+        The unapproximated data — either one vector shared by all
+        outputs (the paper's known-pattern characterization) or one
+        vector per output.
+    source:
+        Optional provenance label carried on the fingerprint.
+
+    Returns
+    -------
+    Fingerprint
+        Intersection of all error strings, with ``support`` equal to
+        the number of outputs consumed.
+    """
+    if not approx_outputs:
+        raise ValueError("need at least one approximate output")
+    if isinstance(exact, BitVector):
+        exacts = [exact] * len(approx_outputs)
+    else:
+        exacts = list(exact)
+        if len(exacts) != len(approx_outputs):
+            raise ValueError(
+                f"{len(approx_outputs)} outputs but {len(exacts)} exact values"
+            )
+    error_strings = [
+        mark_errors(approx, reference)
+        for approx, reference in zip(approx_outputs, exacts)
+    ]
+    return Fingerprint(
+        bits=intersect_all(error_strings),
+        support=len(error_strings),
+        source=source,
+    )
+
+
+def characterize_trials(
+    trials: Sequence[TrialResult], source: Optional[str] = None
+) -> Fingerprint:
+    """Characterize directly from platform :class:`TrialResult` records.
+
+    The provenance label defaults to the chip label on the trials when
+    they all agree (which tests use as ground truth).
+    """
+    if not trials:
+        raise ValueError("need at least one trial")
+    if source is None:
+        labels = {trial.chip_label for trial in trials}
+        if len(labels) == 1:
+            source = labels.pop()
+    return characterize(
+        approx_outputs=[trial.approx for trial in trials],
+        exact=[trial.exact for trial in trials],
+        source=source,
+    )

@@ -1,0 +1,125 @@
+"""Algorithm 4 — Clustering.
+
+The eavesdropping attacker has no pre-built database: outputs arrive
+from unknown devices and must be grouped by origin online.  Each new
+error string is compared against the fingerprint of every existing
+cluster; a match refines that cluster's fingerprint by intersection
+(as in characterization), a miss opens a new cluster.
+
+The paper highlights three properties (§5.3): minimal supervision, low
+cost relative to ML clustering, and a low mismatch chance inherited
+from the distance metric.  All three are exercised by the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.bits import BitVector
+from repro.core.distance import DEFAULT_THRESHOLD, probable_cause_distance
+from repro.core.errors import mark_errors
+from repro.core.fingerprint import Fingerprint
+
+
+@dataclass
+class Cluster:
+    """One suspected device: a fingerprint plus its member outputs."""
+
+    fingerprint: Fingerprint
+    members: List[int] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        """Number of outputs assigned to this cluster."""
+        return len(self.members)
+
+
+class OnlineClusterer:
+    """Incremental implementation of Algorithm 4.
+
+    Feed error strings one at a time with :meth:`add`; read the current
+    state through :attr:`clusters`.  Assignment indices returned by
+    :meth:`add` are stable cluster ids (clusters are never merged or
+    deleted by the paper's algorithm).
+    """
+
+    def __init__(self, threshold: float = DEFAULT_THRESHOLD):
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError(f"threshold must be in (0, 1], got {threshold}")
+        self._threshold = threshold
+        self._clusters: List[Cluster] = []
+        self._next_member_index = 0
+
+    @property
+    def threshold(self) -> float:
+        """Distance threshold for joining an existing cluster."""
+        return self._threshold
+
+    @property
+    def clusters(self) -> Sequence[Cluster]:
+        """Current clusters in creation order."""
+        return tuple(self._clusters)
+
+    def __len__(self) -> int:
+        return len(self._clusters)
+
+    def add(self, error_string: BitVector) -> int:
+        """Assign one error string; returns the cluster index it joined.
+
+        Matching clusters have their fingerprint refined by
+        intersection with the new error string (Algorithm 4, line 7).
+        """
+        member_index = self._next_member_index
+        self._next_member_index += 1
+        for cluster_index, cluster in enumerate(self._clusters):
+            distance = probable_cause_distance(error_string, cluster.fingerprint)
+            if distance < self._threshold:
+                cluster.fingerprint = cluster.fingerprint.intersect(error_string)
+                cluster.members.append(member_index)
+                return cluster_index
+        self._clusters.append(
+            Cluster(
+                fingerprint=Fingerprint(bits=error_string.copy(), support=1),
+                members=[member_index],
+            )
+        )
+        return len(self._clusters) - 1
+
+
+def cluster_outputs(
+    approx_outputs: Sequence[BitVector],
+    exact: Union[BitVector, Sequence[BitVector]],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> Tuple[List[Cluster], List[int]]:
+    """Algorithm 4 in batch form.
+
+    Parameters
+    ----------
+    approx_outputs:
+        The captured approximate outputs, in arrival order.
+    exact:
+        Exact data — one shared vector or one per output.
+    threshold:
+        Distance threshold for cluster membership.
+
+    Returns
+    -------
+    (clusters, assignments):
+        The final clusters and, for each input output, the index of the
+        cluster it was assigned to.
+    """
+    if isinstance(exact, BitVector):
+        exacts: Sequence[Optional[BitVector]] = [exact] * len(approx_outputs)
+    else:
+        exacts = list(exact)
+        if len(exacts) != len(approx_outputs):
+            raise ValueError(
+                f"{len(approx_outputs)} outputs but {len(exacts)} exact values"
+            )
+    clusterer = OnlineClusterer(threshold=threshold)
+    assignments = [
+        clusterer.add(mark_errors(approx, reference))
+        for approx, reference in zip(approx_outputs, exacts)
+    ]
+    return list(clusterer.clusters), assignments

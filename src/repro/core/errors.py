@@ -1,0 +1,63 @@
+"""Error-string extraction.
+
+Everything Probable Cause knows about a device it learns from *error
+strings*: the XOR of an approximate output with the exact value it
+should have had (Algorithms 1, 2 and 4 all start with this step).  A
+set bit in an error string marks a cell that decayed during the
+output's residence in approximate DRAM.
+
+In the supply-chain attack the exact value is chosen by the attacker.
+In the eavesdropping attack it must be reconstructed — by recomputing
+the output from known inputs or by denoising (§8.3, implemented in
+:mod:`repro.core.localization`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.bits import BitVector
+
+
+def mark_errors(approx: BitVector, exact: BitVector) -> BitVector:
+    """Error string of one approximate output (``approx XOR exact``)."""
+    return approx ^ exact
+
+
+def mark_errors_many(
+    approx_outputs: Iterable[BitVector], exact: BitVector
+) -> List[BitVector]:
+    """Error strings of several outputs of the *same* exact data."""
+    return [mark_errors(approx, exact) for approx in approx_outputs]
+
+
+def error_rate(approx: BitVector, exact: BitVector) -> float:
+    """Fraction of bits flipped between exact data and its output."""
+    if exact.nbits == 0:
+        return 0.0
+    return mark_errors(approx, exact).popcount() / exact.nbits
+
+
+def intersect_all(error_strings: Sequence[BitVector]) -> BitVector:
+    """AND-reduce error strings (the paper's fingerprint construction).
+
+    Intersecting keeps only cells that failed in *every* output —
+    "keeping only the most volatile bits" and suppressing per-trial
+    noise (§5.1).
+    """
+    if not error_strings:
+        raise ValueError("need at least one error string")
+    result = error_strings[0].copy()
+    for error_string in error_strings[1:]:
+        result = result & error_string
+    return result
+
+
+def union_all(error_strings: Sequence[BitVector]) -> BitVector:
+    """OR-reduce error strings (every cell seen failing at least once)."""
+    if not error_strings:
+        raise ValueError("need at least one error string")
+    result = error_strings[0].copy()
+    for error_string in error_strings[1:]:
+        result = result | error_string
+    return result

@@ -1,0 +1,89 @@
+"""Fingerprint value type.
+
+A fingerprint is a bit vector over a memory region in which a set bit
+marks a cell the attacker believes to be among the region's most
+volatile — the cells that decay first under approximation.  It is the
+unit the identification, clustering and stitching algorithms exchange.
+
+The class also records how many error strings were intersected to form
+it (`support`): a fingerprint built from more observations has had more
+noise filtered out, and the stitching logic prefers higher-support
+fingerprints when merging overlapping pages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.bits import BitVector
+
+
+@dataclass(frozen=True)
+class Fingerprint:
+    """Volatile-cell fingerprint of a memory region.
+
+    Parameters
+    ----------
+    bits:
+        One bit per memory cell in the region; set = believed volatile.
+    support:
+        Number of error strings intersected to produce this fingerprint.
+    source:
+        Optional ground-truth provenance label (never consulted by the
+        attack algorithms; used by tests and reporting).
+    """
+
+    bits: BitVector
+    support: int = 1
+    source: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.support < 1:
+            raise ValueError("support must be at least 1")
+
+    @property
+    def nbits(self) -> int:
+        """Size of the fingerprinted region in bits."""
+        return self.bits.nbits
+
+    @property
+    def weight(self) -> int:
+        """Number of volatile cells recorded (popcount)."""
+        return self.bits.popcount()
+
+    @property
+    def density(self) -> float:
+        """Volatile-cell fraction of the region."""
+        return self.bits.density()
+
+    def intersect(self, error_string: BitVector) -> "Fingerprint":
+        """Refine with one more error string (Algorithm 1 / 4 update step).
+
+        The result keeps only cells seen failing in both, and its
+        support grows by one.
+        """
+        return Fingerprint(
+            bits=self.bits & error_string,
+            support=self.support + 1,
+            source=self.source,
+        )
+
+    def merge(self, other: "Fingerprint") -> "Fingerprint":
+        """Combine two fingerprints of the *same* region by intersection."""
+        if other.nbits != self.nbits:
+            raise ValueError(
+                f"region size mismatch: {self.nbits} vs {other.nbits} bits"
+            )
+        return Fingerprint(
+            bits=self.bits & other.bits,
+            support=self.support + other.support,
+            source=self.source if self.source is not None else other.source,
+        )
+
+    def __repr__(self) -> str:
+        label = f", source={self.source!r}" if self.source else ""
+        return (
+            f"Fingerprint(nbits={self.nbits}, weight={self.weight}, "
+            f"support={self.support}{label})"
+        )

@@ -1,0 +1,144 @@
+"""Algorithm 2 — Identification.
+
+Given a fingerprint database and one approximate output (plus its exact
+value), decide which known chip — if any — produced it.  The output's
+error string is compared against every stored fingerprint with the
+Algorithm 3 distance; the first fingerprint within the threshold wins.
+
+:class:`FingerprintDatabase` is the attacker's store of system-level
+fingerprints.  The paper notes (§4) that a nation-state attacker can
+afford a fingerprint per device, but that storage can be reduced by
+only tracking the ~1 % fast-decaying bits — which is exactly what an
+intersected fingerprint already is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.bits import BitVector
+from repro.core.distance import DEFAULT_THRESHOLD, probable_cause_distance
+from repro.core.errors import mark_errors
+from repro.core.fingerprint import Fingerprint
+
+
+@dataclass(frozen=True)
+class Identification:
+    """Outcome of one identification query."""
+
+    matched: bool
+    key: Optional[str]
+    distance: Optional[float]
+
+    @classmethod
+    def failed(cls) -> "Identification":
+        """The output matched no fingerprint in the database."""
+        return cls(matched=False, key=None, distance=None)
+
+
+class FingerprintDatabase:
+    """Keyed collection of system-level fingerprints.
+
+    Keys are attacker-chosen identifiers (serial numbers in the
+    supply-chain attack, cluster ids in the eavesdropping attack).
+    Insertion order is preserved, matching Algorithm 2's "return the
+    first fingerprint below threshold" semantics.
+    """
+
+    def __init__(self) -> None:
+        self._fingerprints: Dict[str, Fingerprint] = {}
+
+    def add(self, key: str, fingerprint: Fingerprint) -> None:
+        """Store ``fingerprint`` under ``key``; keys must be unique."""
+        if key in self._fingerprints:
+            raise KeyError(f"fingerprint key {key!r} already present")
+        self._fingerprints[key] = fingerprint
+
+    def update(self, key: str, fingerprint: Fingerprint) -> None:
+        """Replace the fingerprint stored under an existing ``key``."""
+        if key not in self._fingerprints:
+            raise KeyError(f"no fingerprint under key {key!r}")
+        self._fingerprints[key] = fingerprint
+
+    def get(self, key: str) -> Fingerprint:
+        """Fingerprint stored under ``key``."""
+        return self._fingerprints[key]
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._fingerprints
+
+    def __len__(self) -> int:
+        return len(self._fingerprints)
+
+    def items(self) -> Iterator[Tuple[str, Fingerprint]]:
+        """Iterate (key, fingerprint) pairs in insertion order."""
+        return iter(self._fingerprints.items())
+
+    def keys(self) -> List[str]:
+        """Stored keys in insertion order."""
+        return list(self._fingerprints)
+
+
+def identify_error_string(
+    error_string: BitVector,
+    database: FingerprintDatabase,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> Identification:
+    """Core of Algorithm 2, starting from an already-extracted error string.
+
+    Returns the first database entry whose distance is below
+    ``threshold``, or :meth:`Identification.failed` when none is.
+
+    An error string with *no* set bits carries no fingerprint signal —
+    the output never traversed approximate memory (or decayed nothing)
+    — and identification fails rather than trivially matching every
+    fingerprint through the footnote-2 swap rule.
+    """
+    if not error_string.any():
+        return Identification.failed()
+    for key, fingerprint in database.items():
+        distance = probable_cause_distance(error_string, fingerprint)
+        if distance < threshold:
+            return Identification(matched=True, key=key, distance=distance)
+    return Identification.failed()
+
+
+def identify(
+    approx: BitVector,
+    exact: BitVector,
+    database: FingerprintDatabase,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> Identification:
+    """Algorithm 2: identify which chip produced ``approx``.
+
+    Parameters
+    ----------
+    approx:
+        The approximate output under investigation.
+    exact:
+        Its exact (unapproximated) value, recovered as in §8.3.
+    database:
+        Known system-level fingerprints.
+    threshold:
+        Match threshold on the Algorithm 3 distance.
+    """
+    return identify_error_string(mark_errors(approx, exact), database, threshold)
+
+
+def best_match(
+    error_string: BitVector, database: FingerprintDatabase
+) -> Tuple[Optional[str], float]:
+    """Nearest fingerprint regardless of threshold.
+
+    Useful for analysis (distance histograms, margin studies) rather
+    than for the attack itself, which uses first-below-threshold.
+    Returns ``(None, inf)`` on an empty database.
+    """
+    best_key: Optional[str] = None
+    best_distance = float("inf")
+    for key, fingerprint in database.items():
+        distance = probable_cause_distance(error_string, fingerprint)
+        if distance < best_distance:
+            best_key, best_distance = key, distance
+    return best_key, best_distance

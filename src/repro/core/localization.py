@@ -1,0 +1,161 @@
+"""Section 8.3 — locating errors without ground-truth exact data.
+
+Algorithms 1-4 consume *error strings*, which presume the attacker
+knows the exact value an approximate output should have had.  §8.3
+sketches three ways to get there from the approximate output alone;
+this module implements all three:
+
+* **Recompute** — when the output is a deterministic function of known
+  inputs, run the computation exactly and diff
+  (:func:`recompute_exact_errors`).
+* **Denoise** — DRAM approximation error looks like white noise
+  imprinted on structured data; a spatial denoiser (median filter for
+  byte-valued images) reconstructs a close estimate of the exact output
+  and the disagreement marks candidate error bits
+  (:func:`estimate_errors_by_denoising`).
+* **Speculate** — try candidate exact reconstructions and accept any
+  whose error string lands within the match threshold of a known
+  fingerprint (:func:`speculative_identify`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.bits import BitVector
+from repro.core.distance import DEFAULT_THRESHOLD
+from repro.core.errors import mark_errors
+from repro.core.identify import FingerprintDatabase, Identification, identify_error_string
+
+
+def recompute_exact_errors(
+    approx: BitVector,
+    inputs: object,
+    compute: Callable[[object], BitVector],
+) -> BitVector:
+    """Error string via exact recomputation from known inputs.
+
+    ``compute`` must be the exact (non-approximate) version of the
+    computation that produced ``approx``.
+    """
+    exact = compute(inputs)
+    if exact.nbits != approx.nbits:
+        raise ValueError(
+            f"recomputed output has {exact.nbits} bits, "
+            f"approximate output has {approx.nbits}"
+        )
+    return mark_errors(approx, exact)
+
+
+def median_denoise_bytes(image: np.ndarray) -> np.ndarray:
+    """3x3 median filter over a 2-D uint8 image (edges replicated).
+
+    Bit flips from DRAM decay hit single bytes at random positions, so
+    a median over the 3x3 neighbourhood removes nearly all of them
+    while preserving edges — the classic salt-and-pepper cleaner.
+    """
+    if image.ndim != 2:
+        raise ValueError(f"expected a 2-D image, got shape {image.shape}")
+    padded = np.pad(image, 1, mode="edge")
+    stacked = np.stack(
+        [
+            padded[dy : dy + image.shape[0], dx : dx + image.shape[1]]
+            for dy in range(3)
+            for dx in range(3)
+        ]
+    )
+    return np.median(stacked, axis=0).astype(image.dtype)
+
+
+def estimate_errors_by_denoising(
+    approx_image: np.ndarray,
+    min_flips_per_byte: int = 1,
+    min_byte_delta: int = 0,
+    single_bit_only: bool = False,
+) -> Tuple[BitVector, np.ndarray]:
+    """Estimate the error string of an approximate image without ground truth.
+
+    Denoises the image, then marks every bit where the approximate and
+    denoised bytes disagree.  Two filters suppress false positives on
+    genuine fine texture:
+
+    * ``min_flips_per_byte`` — bytes whose Hamming difference from the
+      denoised value is below this are trusted (treated as exact);
+    * ``min_byte_delta`` — bytes whose absolute *value* difference is
+      below this are trusted.  Texture perturbs values by a few counts
+      while a decay flip in bits 3-7 jumps the value by 8-128, so a
+      threshold of ~8 trades recall (low-bit flips are dropped) for
+      precision.
+    * ``single_bit_only`` — only accept bytes whose diff from the
+      denoised value is exactly one bit.  DRAM decay flips single bits;
+      texture disagreement is typically multi-bit.
+
+    Precision matters more than recall here: the footnote-2 swap rule
+    means a *subset* of the true error string matches its chip at
+    near-zero distance, while false-positive bits directly inflate the
+    distance.  ``single_bit_only=True, min_byte_delta=16`` reaches ~1.0
+    precision on textured photographs at ~0.1 recall — enough evidence
+    to identify a chip with a wide margin.
+
+    Returns
+    -------
+    (estimated_errors, denoised_image)
+    """
+    if approx_image.dtype != np.uint8:
+        raise ValueError("approximate image must be uint8")
+    denoised = median_denoise_bytes(approx_image)
+    approx_flat = approx_image.ravel()
+    denoised_flat = denoised.ravel()
+    diff = approx_flat ^ denoised_flat
+    flips_per_byte = np.unpackbits(diff[:, None], axis=1).sum(axis=1)
+    suspicious = flips_per_byte >= min_flips_per_byte
+    if single_bit_only:
+        suspicious &= flips_per_byte == 1
+    if min_byte_delta > 0:
+        delta = np.abs(
+            approx_flat.astype(np.int16) - denoised_flat.astype(np.int16)
+        )
+        suspicious &= delta >= min_byte_delta
+    diff = np.where(suspicious, diff, 0).astype(np.uint8)
+    bit_diffs = np.unpackbits(diff[:, None], axis=1, bitorder="little").ravel()
+    return BitVector.from_bool_array(bit_diffs.astype(bool)), denoised
+
+
+def error_estimate_quality(
+    estimated: BitVector, true_errors: BitVector
+) -> Tuple[float, float]:
+    """(precision, recall) of an estimated error string.
+
+    Precision: fraction of flagged bits that really flipped.  Recall:
+    fraction of real flips that were flagged.  Both are 1.0 when the
+    corresponding denominator is zero.
+    """
+    flagged = estimated.popcount()
+    actual = true_errors.popcount()
+    true_positive = estimated.count_and(true_errors)
+    precision = true_positive / flagged if flagged else 1.0
+    recall = true_positive / actual if actual else 1.0
+    return precision, recall
+
+
+def speculative_identify(
+    approx: BitVector,
+    candidate_exacts: Iterable[BitVector],
+    database: FingerprintDatabase,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> Tuple[Identification, Optional[int]]:
+    """Try candidate exact reconstructions until one identifies a chip.
+
+    Returns the first successful identification together with the index
+    of the candidate that produced it, or a failed identification and
+    ``None`` when no candidate matches any fingerprint.
+    """
+    for candidate_index, exact in enumerate(candidate_exacts):
+        result = identify_error_string(
+            mark_errors(approx, exact), database, threshold
+        )
+        if result.matched:
+            return result, candidate_index
+    return Identification.failed(), None

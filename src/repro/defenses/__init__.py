@@ -1,0 +1,41 @@
+"""Defenses against Probable Cause (§8.2) with evaluation hooks."""
+
+from repro.defenses.aslr import (
+    ASLRDefenseResult,
+    evaluate_aslr_defense,
+    policy_for_granularity,
+)
+from repro.defenses.ecc import (
+    ECCOutcome,
+    SECDEDConfig,
+    SECDEDDefense,
+    expected_uncorrectable_word_fraction,
+)
+from repro.defenses.noise import (
+    NoiseDefense,
+    NoiseDefenseConfig,
+    sweep_noise_levels,
+)
+from repro.defenses.segregation import (
+    SegregatedMemory,
+    SegregatedStoreResult,
+    SegregationPolicy,
+    evaluate_segregation,
+)
+
+__all__ = [
+    "ASLRDefenseResult",
+    "evaluate_aslr_defense",
+    "policy_for_granularity",
+    "ECCOutcome",
+    "SECDEDConfig",
+    "SECDEDDefense",
+    "expected_uncorrectable_word_fraction",
+    "NoiseDefense",
+    "NoiseDefenseConfig",
+    "sweep_noise_levels",
+    "SegregatedMemory",
+    "SegregatedStoreResult",
+    "SegregationPolicy",
+    "evaluate_segregation",
+]

@@ -1,0 +1,102 @@
+"""§8.2.3 defense — page-level data scrambling (ASLR).
+
+Randomizing physical placement at (or below) the fingerprint
+granularity destroys the contiguity that stitching depends on: no two
+outputs ever present a *consistent multi-page overlap*, so the
+attacker's assemblies never merge and the suspected-chip count grows
+without bound — at the price of page-granular memory-management
+overhead.
+
+The evaluation hook runs the same eavesdropping experiment under a
+configurable placement policy and reports how (whether) the attacker's
+convergence degrades, directly comparing against the undefended
+contiguous baseline.  Coarser scrambling granularities
+(:class:`~repro.system.memory_map.ChunkASLRPlacement`) quantify the
+middle ground the paper gestures at: chunks at least as long as the
+stitcher's minimum overlap leave exploitable structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.attacks.eavesdropper import (
+    ConvergenceCurve,
+    EavesdropperAttacker,
+    run_stitching_experiment,
+)
+from repro.system.approx_system import ModeledApproximateMemory
+from repro.system.memory_map import (
+    ChunkASLRPlacement,
+    ContiguousPlacement,
+    PageASLRPlacement,
+    PhysicalMemoryMap,
+    PlacementPolicy,
+)
+
+
+@dataclass(frozen=True)
+class ASLRDefenseResult:
+    """Attacker convergence under one placement policy."""
+
+    policy_name: str
+    curve: ConvergenceCurve
+
+    @property
+    def converged(self) -> bool:
+        """True if the attacker ended with fewer suspects than the peak
+        (i.e. stitching made progress)."""
+        return self.curve.final.suspected_chips < self.curve.peak.suspected_chips
+
+
+def policy_for_granularity(granularity_pages: int) -> PlacementPolicy:
+    """Placement policy scrambling at ``granularity_pages``.
+
+    Granularity 1 is full page-level ASLR; 0 or negative is rejected;
+    anything larger scrambles chunk-wise.
+    """
+    if granularity_pages < 1:
+        raise ValueError("granularity must be at least one page")
+    if granularity_pages == 1:
+        return PageASLRPlacement()
+    return ChunkASLRPlacement(chunk_pages=granularity_pages)
+
+
+def evaluate_aslr_defense(
+    total_pages: int,
+    sample_pages: int,
+    n_samples: int,
+    rng: np.random.Generator,
+    granularity_pages: Optional[int] = 1,
+    chip_seed: int = 0,
+    record_every: int = 1,
+    attacker: Optional[EavesdropperAttacker] = None,
+) -> ASLRDefenseResult:
+    """Run the eavesdropping attack against a (possibly) defended victim.
+
+    ``granularity_pages=None`` runs the undefended contiguous baseline.
+    """
+    if granularity_pages is None:
+        policy: PlacementPolicy = ContiguousPlacement()
+        name = "contiguous (undefended)"
+    else:
+        policy = policy_for_granularity(granularity_pages)
+        name = (
+            "page-level ASLR"
+            if granularity_pages == 1
+            else f"chunk ASLR ({granularity_pages} pages)"
+        )
+    memory_map = PhysicalMemoryMap(total_pages, policy=policy)
+    machine = ModeledApproximateMemory(chip_seed=chip_seed, memory_map=memory_map)
+    curve = run_stitching_experiment(
+        machines=[machine],
+        n_samples=n_samples,
+        sample_pages=sample_pages,
+        rng=rng,
+        record_every=record_every,
+        attacker=attacker,
+    )
+    return ASLRDefenseResult(policy_name=name, curve=curve)

@@ -1,0 +1,159 @@
+"""SECDED ECC as a defense — an extension beyond the paper's §8.2 list.
+
+Server DRAM already ships with single-error-correct / double-error-
+detect codes (e.g. 72,64 Hamming+parity).  An obvious "future work"
+defense is to keep ECC active in approximate mode: every decay error
+the code corrects disappears from the published output and therefore
+from the attacker's error string.
+
+The physics cuts both ways, and this module makes that quantitative:
+
+* at *light* approximation the per-word flip count is usually ≤1, most
+  errors are corrected, and the surviving fingerprint is starved;
+* at the paper's operating points a 72-bit word sees ~0.7 flips on
+  average, multi-flip words are common, correction fails for them, and
+  the *residual* errors are still the chip's most volatile cells — a
+  thinner but equally unique fingerprint;
+* the cost is the classic ECC overhead (``check_bits / word_bits``
+  extra storage and its refresh energy), which directly erodes the
+  energy saving approximation was buying.
+
+The model operates at the logical level: data is grouped into words;
+check bits are not stored explicitly but their decay is modeled (a
+flip in a word's check bits consumes the word's correction budget just
+like a data flip).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import numpy as np
+
+from repro.bits import BitVector
+
+
+@dataclass(frozen=True)
+class SECDEDConfig:
+    """Code geometry: ``word_bits`` data bits + ``check_bits`` check bits."""
+
+    word_bits: int = 64
+    check_bits: int = 8
+
+    def __post_init__(self) -> None:
+        if self.word_bits <= 0 or self.check_bits <= 0:
+            raise ValueError("word and check bit counts must be positive")
+
+    @property
+    def storage_overhead(self) -> float:
+        """Extra storage (and refresh energy) fraction the code costs."""
+        return self.check_bits / self.word_bits
+
+
+@dataclass(frozen=True)
+class ECCOutcome:
+    """Result of pushing one output through the ECC model."""
+
+    corrected_output: BitVector
+    residual_errors: BitVector
+    words_corrected: int
+    words_uncorrectable: int
+    input_error_count: int
+
+    @property
+    def residual_error_count(self) -> int:
+        """Errors surviving correction."""
+        return self.residual_errors.popcount()
+
+    @property
+    def suppression_ratio(self) -> float:
+        """Fraction of input errors removed by the code (1.0 = all)."""
+        if self.input_error_count == 0:
+            return 1.0
+        return 1.0 - self.residual_error_count / self.input_error_count
+
+
+class SECDEDDefense:
+    """Applies the SECDED correction model to approximate outputs."""
+
+    def __init__(self, config: SECDEDConfig = SECDEDConfig()):
+        self._config = config
+
+    @property
+    def config(self) -> SECDEDConfig:
+        """Code geometry in use."""
+        return self._config
+
+    def apply(
+        self,
+        approx: BitVector,
+        exact: BitVector,
+        rng: np.random.Generator,
+    ) -> ECCOutcome:
+        """Correct ``approx`` word-by-word against decay errors.
+
+        Check-bit decay is sampled at the output's own observed bit
+        error rate: each word draws a binomial number of check-bit
+        flips, which count toward the word's flip budget (a data flip
+        plus a check flip is a double error — detected, not corrected).
+        The output length must be a whole number of words.
+        """
+        config = self._config
+        if approx.nbits != exact.nbits:
+            raise ValueError("approx and exact must cover the same region")
+        if approx.nbits % config.word_bits != 0:
+            raise ValueError(
+                f"output of {approx.nbits} bits is not a whole number of "
+                f"{config.word_bits}-bit words"
+            )
+        errors = (approx ^ exact).to_bool_array()
+        n_words = approx.nbits // config.word_bits
+        per_word = errors.reshape(n_words, config.word_bits)
+        data_flips = per_word.sum(axis=1)
+
+        error_rate = errors.mean()
+        check_flips = rng.binomial(config.check_bits, error_rate, size=n_words)
+        total_flips = data_flips + check_flips
+
+        # SECDED: exactly one flip in the (data + check) word corrects;
+        # anything more is at best detected — the data stays corrupted.
+        correctable = total_flips == 1
+        corrected_words = correctable & (data_flips == 1)
+
+        residual = per_word.copy()
+        residual[corrected_words] = False
+        residual_flat = residual.reshape(-1)
+
+        corrected_bools = approx.to_bool_array().copy()
+        fixed_positions = errors & ~residual_flat
+        exact_bools = exact.to_bool_array()
+        corrected_bools[fixed_positions] = exact_bools[fixed_positions]
+
+        return ECCOutcome(
+            corrected_output=BitVector.from_bool_array(corrected_bools),
+            residual_errors=BitVector.from_bool_array(residual_flat),
+            words_corrected=int(corrected_words.sum()),
+            words_uncorrectable=int(
+                ((data_flips > 0) & ~corrected_words).sum()
+            ),
+            input_error_count=int(errors.sum()),
+        )
+
+
+def expected_uncorrectable_word_fraction(
+    bit_error_rate: float, config: SECDEDConfig = SECDEDConfig()
+) -> float:
+    """Analytic fraction of words with >= 2 flips (data + check bits).
+
+    Binomial over the full codeword; the quantity that decides whether
+    ECC starves the fingerprint (low rates) or merely thins it.
+    """
+    if not 0.0 <= bit_error_rate <= 1.0:
+        raise ValueError("bit_error_rate must be in [0, 1]")
+    total_bits = config.word_bits + config.check_bits
+    p0 = (1.0 - bit_error_rate) ** total_bits
+    p1 = (
+        total_bits
+        * bit_error_rate
+        * (1.0 - bit_error_rate) ** (total_bits - 1)
+    )
+    return 1.0 - p0 - p1

@@ -1,0 +1,174 @@
+"""§8.2.1 defense — data segregation.
+
+Split memory into an exact region (refreshed at the full JEDEC rate)
+and an approximate region, and steer user-flagged *sensitive* data to
+the exact region.  Sensitive outputs then carry no decay errors and
+cannot be fingerprinted — but the paper lists three structural
+weaknesses, each of which this module makes measurable:
+
+1. it relies on the user to flag sensitive data (`miss_rate` models
+   mis-flagging);
+2. no backward/forward secrecy — outputs that ever went through the
+   approximate region stay attributable;
+3. it sacrifices resources — the exact region's refresh energy saving
+   is forfeited (`energy_penalty_fraction`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.bits import BitVector
+
+
+@dataclass(frozen=True)
+class SegregationPolicy:
+    """Configuration of a segregated approximate memory.
+
+    Parameters
+    ----------
+    exact_fraction:
+        Fraction of physical memory reserved for the exact region.
+    flagging_miss_rate:
+        Probability that a genuinely sensitive output is *not* flagged
+        by the user and lands in approximate memory anyway (weakness 1).
+    """
+
+    exact_fraction: float
+    flagging_miss_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.exact_fraction <= 1.0:
+            raise ValueError("exact_fraction must be in [0, 1]")
+        if not 0.0 <= self.flagging_miss_rate <= 1.0:
+            raise ValueError("flagging_miss_rate must be in [0, 1]")
+
+    @property
+    def energy_penalty_fraction(self) -> float:
+        """Fraction of the approximate-DRAM energy saving forfeited.
+
+        Refresh energy scales with the refreshed fraction of memory, so
+        reserving ``exact_fraction`` of it at full refresh gives back
+        that share of the saving (weakness 3).
+        """
+        return self.exact_fraction
+
+
+@dataclass(frozen=True)
+class SegregatedStoreResult:
+    """Outcome of storing one output under segregation."""
+
+    output: BitVector
+    went_exact: bool
+    was_sensitive: bool
+
+    @property
+    def leaked(self) -> bool:
+        """True when a sensitive output still traversed approximate DRAM."""
+        return self.was_sensitive and not self.went_exact
+
+
+class SegregatedMemory:
+    """Approximate memory with an exact region for flagged data."""
+
+    def __init__(
+        self,
+        policy: SegregationPolicy,
+        approximate_store,
+        rng: np.random.Generator,
+    ):
+        """
+        Parameters
+        ----------
+        policy:
+            Region split and user-behaviour model.
+        approximate_store:
+            Callable ``BitVector -> BitVector`` sending data through
+            approximate DRAM (e.g. a bound chip decay trial).
+        rng:
+            Randomness for the flagging model.
+        """
+        self._policy = policy
+        self._approximate_store = approximate_store
+        self._rng = rng
+        self._results: List[SegregatedStoreResult] = []
+
+    @property
+    def policy(self) -> SegregationPolicy:
+        """Active segregation policy."""
+        return self._policy
+
+    @property
+    def history(self) -> Sequence[SegregatedStoreResult]:
+        """All stores, in order."""
+        return tuple(self._results)
+
+    def store(self, data: BitVector, sensitive: bool) -> SegregatedStoreResult:
+        """Store one output, routing by sensitivity and user accuracy.
+
+        Exact-region stores return the data unchanged (full refresh);
+        approximate stores run the supplied decay path.
+        """
+        flagged = sensitive and (
+            self._rng.random() >= self._policy.flagging_miss_rate
+        )
+        if flagged:
+            result = SegregatedStoreResult(
+                output=data.copy(), went_exact=True, was_sensitive=sensitive
+            )
+        else:
+            result = SegregatedStoreResult(
+                output=self._approximate_store(data),
+                went_exact=False,
+                was_sensitive=sensitive,
+            )
+        self._results.append(result)
+        return result
+
+    def leak_rate(self) -> float:
+        """Fraction of sensitive outputs that leaked to approximate DRAM."""
+        sensitive = [r for r in self._results if r.was_sensitive]
+        if not sensitive:
+            return 0.0
+        return sum(r.leaked for r in sensitive) / len(sensitive)
+
+
+def evaluate_segregation(
+    policy: SegregationPolicy,
+    approximate_store,
+    identify_fn,
+    outputs: Sequence[Tuple[BitVector, bool]],
+    rng: np.random.Generator,
+) -> Tuple[float, float, float]:
+    """Measure a segregation deployment end to end.
+
+    Parameters
+    ----------
+    policy, approximate_store, rng:
+        As for :class:`SegregatedMemory`.
+    identify_fn:
+        Callable ``BitVector -> bool`` returning True when the attacker
+        successfully attributes a (post-storage) output.
+    outputs:
+        ``(data, sensitive)`` pairs to store and publish.
+
+    Returns
+    -------
+    (sensitive_identified_rate, leak_rate, energy_penalty):
+        Attack success against sensitive outputs, the user-error leak
+        rate, and the forfeited energy saving.
+    """
+    memory = SegregatedMemory(policy, approximate_store, rng)
+    identified = 0
+    sensitive_count = 0
+    for data, sensitive in outputs:
+        result = memory.store(data, sensitive)
+        if sensitive:
+            sensitive_count += 1
+            if identify_fn(result.output):
+                identified += 1
+    rate = identified / sensitive_count if sensitive_count else 0.0
+    return rate, memory.leak_rate(), policy.energy_penalty_fraction

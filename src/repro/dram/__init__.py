@@ -1,0 +1,135 @@
+"""Simulated approximate-DRAM substrate.
+
+This subpackage replaces the paper's physical platform (KM41464A chips,
+MSP430 harness, thermal chamber, FPGA DDR2 rig) with a behavioural
+simulator whose only tunable physics are the ones the paper's results
+rest on: manufacturing-locked per-cell retention variation, thermally
+accelerated decay, row-granularity refresh, and small per-trial noise.
+See DESIGN.md §2 for the substitution rationale.
+"""
+
+from repro.dram.chip import DRAMChip
+from repro.dram.controller import (
+    ApproximateMemoryController,
+    CalibrationResult,
+    accuracy_to_error_rate,
+)
+from repro.dram.devices import (
+    KM41464A,
+    MICRON_DDR2,
+    TEST_DEVICE,
+    DeviceSpec,
+    get_device,
+)
+from repro.dram.geometry import ChipGeometry
+from repro.dram.platform import (
+    ChipFamily,
+    ExperimentPlatform,
+    TrialConditions,
+    TrialResult,
+)
+from repro.dram.profiling import (
+    RowProfile,
+    profile_matches_oracle,
+    profile_rows,
+)
+from repro.dram.puf import (
+    DRAMDecayPUF,
+    PUFChallenge,
+    fractional_hamming,
+    make_challenges,
+    reliability,
+    uniqueness,
+)
+from repro.dram.refresh import (
+    FixedIntervalRefresh,
+    FlikkerRefresh,
+    JEDECRefresh,
+    PolicyEvaluation,
+    RAIDRRefresh,
+    RAPIDRefresh,
+    RefreshPlan,
+    RefreshPolicy,
+    compare_policies,
+    evaluate_policy,
+    raidr_plan_from_profile,
+    readback_under_plan,
+)
+from repro.dram.retention import (
+    JEDEC_REFRESH_S,
+    REFERENCE_TEMPERATURE_C,
+    NoiseModel,
+    ThermalModel,
+    VoltageModel,
+    decayed_mask,
+)
+from repro.dram.timeline import (
+    ReadCommand,
+    ReadRecord,
+    RefreshCommand,
+    SetTemperatureCommand,
+    SetVoltageCommand,
+    Timeline,
+    TimelineResult,
+    WriteCommand,
+)
+from repro.dram.variation import VariationProfile
+from repro.dram.voltage_control import VoltageCalibration, VoltageScalingController
+from repro.dram.vrt import VRTModel, VRTState
+
+__all__ = [
+    "DRAMChip",
+    "RowProfile",
+    "profile_matches_oracle",
+    "profile_rows",
+    "VoltageCalibration",
+    "VoltageScalingController",
+    "DRAMDecayPUF",
+    "PUFChallenge",
+    "fractional_hamming",
+    "make_challenges",
+    "reliability",
+    "uniqueness",
+    "FixedIntervalRefresh",
+    "FlikkerRefresh",
+    "JEDECRefresh",
+    "PolicyEvaluation",
+    "RAIDRRefresh",
+    "RAPIDRefresh",
+    "RefreshPlan",
+    "RefreshPolicy",
+    "compare_policies",
+    "evaluate_policy",
+    "raidr_plan_from_profile",
+    "readback_under_plan",
+    "ApproximateMemoryController",
+    "CalibrationResult",
+    "accuracy_to_error_rate",
+    "DeviceSpec",
+    "get_device",
+    "KM41464A",
+    "MICRON_DDR2",
+    "TEST_DEVICE",
+    "ChipGeometry",
+    "ChipFamily",
+    "ExperimentPlatform",
+    "TrialConditions",
+    "TrialResult",
+    "ThermalModel",
+    "NoiseModel",
+    "VoltageModel",
+    "decayed_mask",
+    "JEDEC_REFRESH_S",
+    "REFERENCE_TEMPERATURE_C",
+    "VariationProfile",
+    "VRTModel",
+    "VRTState",
+    "Timeline",
+    "TimelineResult",
+    "WriteCommand",
+    "ReadCommand",
+    "ReadRecord",
+    "RefreshCommand",
+    "SetTemperatureCommand",
+    "SetVoltageCommand",
+]

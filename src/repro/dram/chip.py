@@ -1,0 +1,312 @@
+"""Behavioural simulator for a single DRAM chip.
+
+:class:`DRAMChip` reproduces the slice of DRAM behaviour the paper's
+experiments exercise:
+
+* a full-array **write** charges every cell whose stored bit differs
+  from the cell's default value and restarts every row's decay clock;
+* **idle** time (refresh disabled, as on the paper's MSP430 platform)
+  advances the decay clock, faster at higher temperature;
+* a **read** senses each cell — charged cells whose accumulated decay
+  exceeded their retention time have silently reverted to the default
+  value — and, like real DRAM, the read's write-back *restores* the
+  surviving charges, restarting the decay clock;
+* **refresh** is modelled as a read/write-back at row granularity (§2).
+
+Decay accounting uses a per-row *reference-normalized* elapsed time:
+each second of wall-clock idle at temperature ``T`` contributes
+``1 / thermal.retention_scale(T)`` reference-seconds, so temperature
+changes mid-window integrate correctly and a cell decays exactly when
+its reference retention (times a per-window noise jitter) is exceeded.
+
+Manufacturing state is locked at construction: the per-cell retention
+array is a pure function of ``(spec, mask_seed, chip_seed)``, so two
+`DRAMChip` objects with the same identity are the *same physical chip*
+— the property every fingerprinting experiment rests on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.bits import BitVector
+from repro.dram.devices import DeviceSpec
+from repro.dram.retention import decayed_mask
+from repro.dram.vrt import VRTState
+
+
+class DRAMChip:
+    """One simulated DRAM chip with manufacturing-locked retention."""
+
+    def __init__(
+        self,
+        spec: DeviceSpec,
+        chip_seed: int,
+        mask_seed: int = 0,
+        label: Optional[str] = None,
+        noise_rng: Optional[np.random.Generator] = None,
+    ):
+        self._spec = spec
+        self._chip_seed = int(chip_seed)
+        self._mask_seed = int(mask_seed)
+        self._label = label if label is not None else f"{spec.name}#{chip_seed}"
+        n_cells = spec.geometry.total_bits
+        log_retention = spec.variation.sample_log_retention(
+            n_cells, mask_seed=self._mask_seed, chip_seed=self._chip_seed
+        )
+        self._retention_ref_s = np.exp(log_retention)
+        self._defaults = spec.geometry.default_array()
+        self._data = self._defaults.copy()
+        # Reference-normalized seconds since each row's last recharge.
+        self._row_elapsed_ref = np.zeros(spec.geometry.rows)
+        self._temperature_c = spec.thermal.reference_c
+        self._supply_v = spec.voltage.nominal_v
+        # Noise stream is separate from manufacturing randomness so the
+        # same chip produces different trial-to-trial jitter.
+        self._noise_rng = (
+            noise_rng
+            if noise_rng is not None
+            else np.random.default_rng((self._chip_seed << 20) ^ 0x5EED)
+        )
+        # Variable-retention-time population (membership is locked by
+        # the chip seed; state evolves one step per decay window).
+        if spec.vrt is not None:
+            self._vrt = VRTState(
+                spec.vrt, n_cells, self._chip_seed, self._noise_rng
+            )
+            self._retention_active = self._vrt.apply(self._retention_ref_s)
+        else:
+            self._vrt = None
+            self._retention_active = self._retention_ref_s
+
+    # ------------------------------------------------------------------
+    # Identity and static properties
+    # ------------------------------------------------------------------
+
+    @property
+    def spec(self) -> DeviceSpec:
+        """Device family this chip belongs to."""
+        return self._spec
+
+    @property
+    def label(self) -> str:
+        """Human-readable chip identity (used as ground truth in tests)."""
+        return self._label
+
+    @property
+    def chip_seed(self) -> int:
+        """Manufacturing seed; equal seeds mean the same physical chip."""
+        return self._chip_seed
+
+    @property
+    def mask_seed(self) -> int:
+        """Mask-set seed shared by chips fabricated from the same mask."""
+        return self._mask_seed
+
+    @property
+    def geometry(self):
+        """Shortcut for ``spec.geometry``."""
+        return self._spec.geometry
+
+    @property
+    def retention_reference_s(self) -> np.ndarray:
+        """Read-only view of per-cell retention (reference temperature).
+
+        This is the manufacturing-locked baseline; VRT cells may
+        currently be in their weak state (see :attr:`vrt_state`).
+        """
+        view = self._retention_ref_s.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def vrt_state(self):
+        """Dynamic VRT population state, or None for ideal cells."""
+        return self._vrt
+
+    # ------------------------------------------------------------------
+    # Environment
+    # ------------------------------------------------------------------
+
+    @property
+    def temperature_c(self) -> float:
+        """Current ambient temperature (the thermal chamber setting)."""
+        return self._temperature_c
+
+    def set_temperature(self, temperature_c: float) -> None:
+        """Change ambient temperature; affects subsequent :meth:`idle`."""
+        self._temperature_c = float(temperature_c)
+
+    @property
+    def supply_voltage_v(self) -> float:
+        """Current DRAM supply voltage (the other approximation knob)."""
+        return self._supply_v
+
+    def set_supply_voltage(self, supply_v: float) -> None:
+        """Change the supply voltage; affects subsequent :meth:`idle`.
+
+        Validation happens here so an out-of-range rail fails at the
+        call site rather than at the next decay computation.
+        """
+        self._spec.voltage.retention_scale(supply_v)  # validates range
+        self._supply_v = float(supply_v)
+
+    def _retention_scale(self) -> float:
+        """Combined retention multiplier for the current environment."""
+        return self._spec.thermal.retention_scale(
+            self._temperature_c
+        ) * self._spec.voltage.retention_scale(self._supply_v)
+
+    # ------------------------------------------------------------------
+    # Memory operations
+    # ------------------------------------------------------------------
+
+    def write(self, data: BitVector) -> None:
+        """Write a full data image; recharges cells and resets decay clocks."""
+        if data.nbits != self.geometry.total_bits:
+            raise ValueError(
+                f"data has {data.nbits} bits, chip holds "
+                f"{self.geometry.total_bits}"
+            )
+        self._data = data.to_bool_array()
+        self._row_elapsed_ref[:] = 0.0
+        if self._vrt is not None:
+            # A fresh decay window begins: advance each VRT cell's
+            # two-state Markov chain and refresh the active retention.
+            self._vrt.advance()
+            self._retention_active = self._vrt.apply(self._retention_ref_s)
+
+    def idle(self, seconds: float) -> None:
+        """Let the chip sit unrefreshed for ``seconds`` of wall-clock time.
+
+        Decay is committed lazily at the next read/refresh; this only
+        accumulates temperature-weighted elapsed time.
+        """
+        if seconds < 0:
+            raise ValueError("seconds must be non-negative")
+        self._row_elapsed_ref += seconds / self._retention_scale()
+
+    def idle_rows(self, seconds_per_row: np.ndarray) -> None:
+        """Advance each row's decay clock by its own wall-clock amount.
+
+        Refresh-policy simulation (:mod:`repro.dram.refresh`) uses this
+        to model schemes that refresh different rows at different rates:
+        a row refreshed every ``tau`` seconds spends at most ``tau``
+        unrefreshed, so its steady-state decay window is ``tau``.
+        """
+        seconds_per_row = np.asarray(seconds_per_row, dtype=float)
+        if seconds_per_row.shape != (self.geometry.rows,):
+            raise ValueError(
+                f"expected one duration per row ({self.geometry.rows}), "
+                f"got shape {seconds_per_row.shape}"
+            )
+        if (seconds_per_row < 0).any():
+            raise ValueError("durations must be non-negative")
+        self._row_elapsed_ref += seconds_per_row / self._retention_scale()
+
+    def read(self) -> BitVector:
+        """Sense the full array, restoring surviving charges.
+
+        Returns the logical contents after any decay that accrued since
+        each row's last recharge.
+        """
+        self._commit_decay(np.arange(self.geometry.rows))
+        return BitVector.from_bool_array(self._data)
+
+    def refresh_rows(self, rows: Iterable[int]) -> None:
+        """Refresh specific rows (read + write-back, §2)."""
+        rows = np.asarray(list(rows), dtype=np.int64)
+        if rows.size and (rows.min() < 0 or rows.max() >= self.geometry.rows):
+            raise IndexError("row index out of range")
+        self._commit_decay(rows)
+
+    def refresh_all(self) -> None:
+        """Refresh every row."""
+        self._commit_decay(np.arange(self.geometry.rows))
+
+    # ------------------------------------------------------------------
+    # Convenience used throughout the experiments
+    # ------------------------------------------------------------------
+
+    def decay_trial(self, data: BitVector, interval_s: float) -> BitVector:
+        """Write ``data``, idle ``interval_s`` at the current temperature,
+        read back.  The paper's basic experimental step."""
+        self.write(data)
+        self.idle(interval_s)
+        return self.read()
+
+    def interval_for_error_rate(
+        self, error_rate: float, temperature_c: Optional[float] = None
+    ) -> float:
+        """Oracle decay interval producing ``error_rate`` with worst-case data.
+
+        With every cell charged, the fraction of decayed cells after an
+        idle window equals the retention CDF at the window length; the
+        requested error rate is therefore the retention distribution's
+        ``error_rate`` quantile, rescaled to the operating temperature.
+        The adaptive controller (:mod:`repro.dram.controller`) offers a
+        measurement-based alternative that does not peek at retention.
+        """
+        if not 0.0 < error_rate < 1.0:
+            raise ValueError(f"error_rate must be in (0, 1), got {error_rate}")
+        if temperature_c is None:
+            temperature_c = self._temperature_c
+        quantile_ref = float(np.quantile(self._retention_ref_s, error_rate))
+        scale = self._spec.thermal.retention_scale(
+            temperature_c
+        ) * self._spec.voltage.retention_scale(self._supply_v)
+        return quantile_ref * scale
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _commit_decay(self, rows: np.ndarray) -> None:
+        """Apply accumulated decay to ``rows``, then recharge them."""
+        if rows.size == 0:
+            return
+        geometry = self.geometry
+        bits_per_row = geometry.bits_per_row
+        active = rows[self._row_elapsed_ref[rows] > 0.0]
+        # Fast path: whole-array commit with one shared decay window --
+        # the shape of every write/idle/read trial.  One vectorized pass
+        # instead of a per-row Python loop.
+        if active.size == geometry.rows:
+            elapsed = self._row_elapsed_ref[active]
+            if elapsed.max() - elapsed.min() <= 1e-15 * max(elapsed.max(), 1.0):
+                charged = self._data != self._defaults
+                if charged.any():
+                    lost = decayed_mask(
+                        self._retention_active,
+                        elapsed_s=float(elapsed[0]),
+                        temperature_c=self._spec.thermal.reference_c,
+                        thermal=self._spec.thermal,
+                        noise=self._spec.noise,
+                        rng=self._noise_rng,
+                    )
+                    reverted = charged & lost
+                    self._data[reverted] = self._defaults[reverted]
+                self._row_elapsed_ref[rows] = 0.0
+                return
+        for row in active:
+            start = int(row) * bits_per_row
+            stop = start + bits_per_row
+            cells = slice(start, stop)
+            charged = self._data[cells] != self._defaults[cells]
+            if not charged.any():
+                continue
+            lost = decayed_mask(
+                self._retention_active[cells],
+                elapsed_s=float(self._row_elapsed_ref[row]),
+                temperature_c=self._spec.thermal.reference_c,
+                thermal=self._spec.thermal,
+                noise=self._spec.noise,
+                rng=self._noise_rng,
+            )
+            reverted = charged & lost
+            self._data[cells] = np.where(
+                reverted, self._defaults[cells], self._data[cells]
+            )
+        self._row_elapsed_ref[rows] = 0.0

@@ -1,0 +1,166 @@
+"""Adaptive approximate-memory controller.
+
+Approximate DRAM systems (Flikker, RAIDR, RAPID — the paper's §9.2)
+trade refresh energy for bounded data error.  The paper's platform
+"adjusts its refresh rate to maintain a desired accuracy across changes
+in temperature" (§7.3); this module provides that control loop.
+
+The controller maps a target *accuracy* (fraction of bits preserved;
+99 % accuracy = 1 % error) to a refresh interval for the current
+temperature.  Two strategies are provided:
+
+* ``oracle`` — uses the chip's retention quantile directly.  Exact and
+  fast; corresponds to a perfectly calibrated system.
+* ``measure`` — the realistic path: runs write/decay/read probe trials
+  with worst-case data and binary-searches the interval until the
+  measured error rate brackets the target.  This is how a real
+  controller (with no access to per-cell retention) would calibrate,
+  and it is what keeps the *achieved* error rate on target even though
+  temperature shifts every cell's decay rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.dram.chip import DRAMChip
+
+
+def accuracy_to_error_rate(accuracy: float) -> float:
+    """Convert the paper's accuracy notation (e.g. 0.99) to an error rate."""
+    if not 0.0 < accuracy < 1.0:
+        raise ValueError(f"accuracy must be in (0, 1), got {accuracy}")
+    return 1.0 - accuracy
+
+
+@dataclass
+class CalibrationResult:
+    """Outcome of one controller calibration."""
+
+    interval_s: float
+    achieved_error_rate: float
+    probes: int
+
+
+class ApproximateMemoryController:
+    """Chooses refresh intervals that hold a chip at a target accuracy."""
+
+    def __init__(
+        self,
+        chip: DRAMChip,
+        strategy: str = "oracle",
+        tolerance: float = 0.05,
+        max_probes: int = 40,
+    ):
+        """
+        Parameters
+        ----------
+        chip:
+            The chip under control.
+        strategy:
+            ``"oracle"`` or ``"measure"`` (see module docstring).
+        tolerance:
+            Relative error-rate tolerance for the ``measure`` strategy:
+            calibration stops when ``|measured - target| <= tolerance *
+            target``.
+        max_probes:
+            Probe-trial budget for the ``measure`` strategy.
+        """
+        if strategy not in ("oracle", "measure"):
+            raise ValueError(f"unknown strategy {strategy!r}")
+        if tolerance <= 0:
+            raise ValueError("tolerance must be positive")
+        self._chip = chip
+        self._strategy = strategy
+        self._tolerance = tolerance
+        self._max_probes = max_probes
+        self._cache: Dict[Tuple[float, float], CalibrationResult] = {}
+
+    @property
+    def chip(self) -> DRAMChip:
+        """The chip this controller manages."""
+        return self._chip
+
+    @property
+    def strategy(self) -> str:
+        """Calibration strategy in use."""
+        return self._strategy
+
+    def interval_for(
+        self, accuracy: float, temperature_c: float
+    ) -> CalibrationResult:
+        """Refresh interval holding the chip at ``accuracy`` at the given
+        temperature.  Results are cached per (accuracy, temperature)."""
+        key = (accuracy, temperature_c)
+        if key not in self._cache:
+            if self._strategy == "oracle":
+                self._cache[key] = self._oracle(accuracy, temperature_c)
+            else:
+                self._cache[key] = self._measure(accuracy, temperature_c)
+        return self._cache[key]
+
+    # ------------------------------------------------------------------
+
+    def _oracle(self, accuracy: float, temperature_c: float) -> CalibrationResult:
+        error_rate = accuracy_to_error_rate(accuracy)
+        interval = self._chip.interval_for_error_rate(error_rate, temperature_c)
+        return CalibrationResult(
+            interval_s=interval, achieved_error_rate=error_rate, probes=0
+        )
+
+    def _measure(self, accuracy: float, temperature_c: float) -> CalibrationResult:
+        """Binary search on the decay interval using probe trials.
+
+        Probe trials run with worst-case (all-charged) data so the
+        measured error fraction equals the decayed-cell fraction.
+        """
+        target = accuracy_to_error_rate(accuracy)
+        chip = self._chip
+        previous_temperature = chip.temperature_c
+        chip.set_temperature(temperature_c)
+        pattern = chip.geometry.charged_pattern()
+        try:
+            low, high = self._bracket(pattern, target)
+            probes_used = self._bracket_probes
+            interval = 0.5 * (low + high)
+            measured = self._probe_error_rate(pattern, interval)
+            while (
+                abs(measured - target) > self._tolerance * target
+                and probes_used < self._max_probes
+            ):
+                if measured < target:
+                    low = interval
+                else:
+                    high = interval
+                interval = 0.5 * (low + high)
+                measured = self._probe_error_rate(pattern, interval)
+                probes_used += 1
+            return CalibrationResult(
+                interval_s=interval,
+                achieved_error_rate=measured,
+                probes=probes_used,
+            )
+        finally:
+            chip.set_temperature(previous_temperature)
+
+    def _bracket(self, pattern, target: float) -> Tuple[float, float]:
+        """Find an interval range whose error rates straddle ``target``."""
+        self._bracket_probes = 0
+        low, high = 1e-3, 1.0
+        while self._probe_error_rate(pattern, high) < target:
+            high *= 4.0
+            self._bracket_probes += 1
+            if self._bracket_probes > self._max_probes:
+                raise RuntimeError("calibration failed to bracket target error")
+        while self._probe_error_rate(pattern, low) > target:
+            low /= 4.0
+            self._bracket_probes += 1
+            if self._bracket_probes > self._max_probes:
+                raise RuntimeError("calibration failed to bracket target error")
+        return low, high
+
+    def _probe_error_rate(self, pattern, interval_s: float) -> float:
+        """Measured fraction of bits lost after one decay window."""
+        readback = self._chip.decay_trial(pattern, interval_s)
+        return (readback ^ pattern).popcount() / pattern.nbits

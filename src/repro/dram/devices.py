@@ -1,0 +1,112 @@
+"""Catalog of simulated DRAM device families.
+
+Each :class:`DeviceSpec` bundles the geometry and statistical retention
+behaviour of one device family.  Two families mirror the paper's two
+hardware platforms:
+
+* :data:`KM41464A` — the Samsung 64 K x 4 bit NMOS DRAM (32 KB) used in
+  the main evaluation platform (§6).  Symmetric (unskewed) volatility
+  distribution.
+* :data:`MICRON_DDR2` — the Micron MT4HTF3264HY 256 MB DDR2 device from
+  the FPGA platform (§8.1), whose volatility distribution the paper
+  found "skewed toward higher volatility".
+
+Absolute retention magnitudes are representative rather than measured:
+the paper's experiments depend only on decay *ordering* and on ratios
+between refresh intervals, both of which are shape properties of the
+distribution.  The log-mean anchors typical retention to a few seconds
+at 40 °C, consistent with §2 ("some cells decay in less than a tenth of
+a second, the majority ... hold their value for tens of seconds").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from typing import Optional
+
+from repro.dram.geometry import ChipGeometry
+from repro.dram.retention import NoiseModel, ThermalModel, VoltageModel
+from repro.dram.variation import VariationProfile
+from repro.dram.vrt import VRTModel
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Complete statistical description of a DRAM device family."""
+
+    name: str
+    geometry: ChipGeometry
+    variation: VariationProfile
+    thermal: ThermalModel = ThermalModel()
+    noise: NoiseModel = NoiseModel()
+    voltage: VoltageModel = VoltageModel()
+    #: Optional variable-retention-time population (None = ideal cells).
+    vrt: Optional[VRTModel] = None
+
+    @property
+    def total_bits(self) -> int:
+        """Capacity of one chip of this family, in bits."""
+        return self.geometry.total_bits
+
+    def with_geometry(self, geometry: ChipGeometry) -> "DeviceSpec":
+        """Same device physics over a different (usually smaller) array.
+
+        Simulating a 256 MB DDR2 chip cell-by-cell is unnecessary for
+        any experiment in the paper; this returns a spec describing a
+        window of the device with identical retention statistics.
+        """
+        return replace(self, geometry=geometry)
+
+    def scaled(self, rows: int, cols: int) -> "DeviceSpec":
+        """Convenience: :meth:`with_geometry` with just new dimensions."""
+        new_geometry = replace(self.geometry, rows=rows, cols=cols)
+        return self.with_geometry(new_geometry)
+
+
+#: Samsung KM41464A: 64 K 4-bit words as 256 rows x 256 columns (32 KB).
+KM41464A = DeviceSpec(
+    name="KM41464A",
+    geometry=ChipGeometry(rows=256, cols=256, bits_per_word=4),
+    variation=VariationProfile(
+        log_mean=1.6,       # median retention ~5 s at 40 degC
+        log_sigma=0.8,
+        mask_fraction=0.05,
+        skew=0.0,
+    ),
+)
+
+#: Micron MT4HTF3264HY DDR2, 256 MB.  Full geometry is recorded for
+#: fidelity; experiments instantiate windows via :meth:`DeviceSpec.scaled`.
+MICRON_DDR2 = DeviceSpec(
+    name="MT4HTF3264HY",
+    geometry=ChipGeometry(rows=16384, cols=16384, bits_per_word=8),
+    variation=VariationProfile(
+        log_mean=3.0,       # denser process retains longer at reference
+        log_sigma=0.7,
+        mask_fraction=0.05,
+        skew=-4.0,          # volatility skewed high (retention skewed short)
+    ),
+    voltage=VoltageModel(nominal_v=1.8),  # DDR2 rail
+)
+
+#: Tiny device for fast unit tests: 1 KB array, same physics as KM41464A.
+TEST_DEVICE = DeviceSpec(
+    name="test-1kb",
+    geometry=ChipGeometry(rows=32, cols=64, bits_per_word=4),
+    variation=VariationProfile(log_mean=1.6, log_sigma=0.8, mask_fraction=0.05),
+)
+
+
+_CATALOG = {spec.name: spec for spec in (KM41464A, MICRON_DDR2, TEST_DEVICE)}
+
+
+def get_device(name: str) -> DeviceSpec:
+    """Look up a device family by name; raises :class:`KeyError` with
+    the available names if unknown."""
+    try:
+        return _CATALOG[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown device {name!r}; available: {sorted(_CATALOG)}"
+        ) from None

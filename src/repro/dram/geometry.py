@@ -1,0 +1,131 @@
+"""DRAM chip geometry and address mapping.
+
+A DRAM array is a grid of rows and columns; each (row, column) address
+holds a word of one or more bits (the paper's KM41464A stores 64 K
+4-bit words as 256 rows x 256 columns).  Two geometric facts matter to
+Probable Cause (§2):
+
+* **Refresh happens at row granularity** — a refresh is a read followed
+  by a write of a whole row, so the decay clock is per row.
+* **Every cell has a default value** — the logical value that an
+  uncharged capacitor reads as.  All cells in a row share a default, and
+  the default alternates every few rows (true-cell vs. anti-cell rows).
+  A cell can only decay if it holds the *opposite* of its default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bits import BitVector
+
+
+@dataclass(frozen=True)
+class ChipGeometry:
+    """Physical arrangement of a DRAM array.
+
+    Parameters
+    ----------
+    rows, cols:
+        Dimensions of the cell grid (addresses).
+    bits_per_word:
+        Bits stored at each (row, column) address.
+    default_stripe_rows:
+        Number of consecutive rows sharing a default value before it
+        alternates ("the default value alternates every few rows", §2).
+    """
+
+    rows: int
+    cols: int
+    bits_per_word: int = 1
+    default_stripe_rows: int = 2
+
+    def __post_init__(self) -> None:
+        for name in ("rows", "cols", "bits_per_word", "default_stripe_rows"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+    @property
+    def bits_per_row(self) -> int:
+        """Total bits stored in one row (cols x bits_per_word)."""
+        return self.cols * self.bits_per_word
+
+    @property
+    def total_bits(self) -> int:
+        """Capacity of the array in bits."""
+        return self.rows * self.bits_per_row
+
+    @property
+    def total_bytes(self) -> int:
+        """Capacity in bytes (total_bits must be byte-aligned)."""
+        return self.total_bits // 8
+
+    # ------------------------------------------------------------------
+    # Address mapping.  Bit index i of the linear data image maps to
+    # row = i // bits_per_row; within the row, bits are column-major by
+    # word: bit j of word w sits at row-offset w * bits_per_word + j.
+    # ------------------------------------------------------------------
+
+    def row_of_bit(self, bit_index: int) -> int:
+        """Row containing linear bit ``bit_index``."""
+        if not 0 <= bit_index < self.total_bits:
+            raise IndexError(
+                f"bit {bit_index} out of range for {self.total_bits}-bit array"
+            )
+        return bit_index // self.bits_per_row
+
+    def rows_of_bits(self, bit_indices: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`row_of_bit`."""
+        return np.asarray(bit_indices) // self.bits_per_row
+
+    def bit_range_of_row(self, row: int) -> range:
+        """Linear bit indices covered by ``row``."""
+        if not 0 <= row < self.rows:
+            raise IndexError(f"row {row} out of range for {self.rows} rows")
+        start = row * self.bits_per_row
+        return range(start, start + self.bits_per_row)
+
+    # ------------------------------------------------------------------
+    # Default values
+    # ------------------------------------------------------------------
+
+    def row_default(self, row: int) -> bool:
+        """Default logical value of every cell in ``row``.
+
+        Rows are grouped into stripes of ``default_stripe_rows``; the
+        default flips between consecutive stripes.
+        """
+        if not 0 <= row < self.rows:
+            raise IndexError(f"row {row} out of range for {self.rows} rows")
+        return bool((row // self.default_stripe_rows) % 2)
+
+    def default_array(self) -> np.ndarray:
+        """Boolean array of every cell's default value, in linear bit order."""
+        row_defaults = (np.arange(self.rows) // self.default_stripe_rows) % 2
+        return np.repeat(row_defaults.astype(bool), self.bits_per_row)
+
+    def default_pattern(self) -> BitVector:
+        """The data image of a fully decayed (never refreshed) array."""
+        return BitVector.from_bool_array(self.default_array())
+
+    def charged_pattern(self) -> BitVector:
+        """Worst-case data: the complement of every default value.
+
+        Writing this charges every storage capacitor, giving every cell
+        the possibility of decaying (§6: "a worst case scenario").
+        """
+        return BitVector.from_bool_array(~self.default_array())
+
+    def charged_mask(self, data: BitVector) -> np.ndarray:
+        """Boolean mask of cells that ``data`` leaves charged.
+
+        A cell is charged exactly when the stored bit differs from the
+        cell's default value; only charged cells can decay.
+        """
+        if data.nbits != self.total_bits:
+            raise ValueError(
+                f"data has {data.nbits} bits, array holds {self.total_bits}"
+            )
+        return data.to_bool_array() != self.default_array()

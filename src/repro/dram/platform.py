@@ -1,0 +1,166 @@
+"""Experimental platform: the simulated counterpart of the paper's rig.
+
+The paper's platform (§6, Figure 6) is an MSP430 microcontroller that
+writes/reads a DRAM chip with automatic refresh disabled, inside a
+thermal chamber, with a JTAG link hauling results back for analysis.
+:class:`ExperimentPlatform` plays all of those roles: it sets the
+chamber temperature, asks the controller for the refresh interval that
+yields the requested accuracy, runs the write → decay → read sequence,
+and packages the outcome as a :class:`TrialResult` carrying everything
+the analysis layer needs (exact data, approximate readback, conditions,
+ground-truth chip identity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.bits import BitVector
+from repro.dram.chip import DRAMChip
+from repro.dram.controller import ApproximateMemoryController
+from repro.dram.devices import DeviceSpec
+
+
+@dataclass(frozen=True)
+class TrialConditions:
+    """Operating point of one trial."""
+
+    accuracy: float
+    temperature_c: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.accuracy < 1.0:
+            raise ValueError(f"accuracy must be in (0, 1), got {self.accuracy}")
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """One approximate output together with its provenance.
+
+    ``chip_label`` is ground truth for evaluating the attack; the
+    attacker-side algorithms never look at it.
+    """
+
+    exact: BitVector
+    approx: BitVector
+    conditions: TrialConditions
+    chip_label: str
+    interval_s: float
+
+    @property
+    def error_string(self) -> BitVector:
+        """XOR of approximate output and exact data (§5, Algorithm 1)."""
+        return self.approx ^ self.exact
+
+    @property
+    def error_count(self) -> int:
+        """Number of flipped bits in this output."""
+        return self.error_string.popcount()
+
+    @property
+    def measured_error_rate(self) -> float:
+        """Fraction of bits flipped in this output."""
+        return self.error_count / self.exact.nbits
+
+
+class ExperimentPlatform:
+    """Thermal chamber + test harness around one chip."""
+
+    def __init__(
+        self,
+        chip: DRAMChip,
+        controller: Optional[ApproximateMemoryController] = None,
+    ):
+        self._chip = chip
+        self._controller = (
+            controller
+            if controller is not None
+            else ApproximateMemoryController(chip, strategy="oracle")
+        )
+
+    @property
+    def chip(self) -> DRAMChip:
+        """Chip currently mounted on the platform."""
+        return self._chip
+
+    @property
+    def controller(self) -> ApproximateMemoryController:
+        """Refresh controller used to hit target accuracies."""
+        return self._controller
+
+    def run_trial(
+        self,
+        conditions: TrialConditions,
+        data: Optional[BitVector] = None,
+    ) -> TrialResult:
+        """Execute one write → decay → read trial.
+
+        ``data`` defaults to the worst-case all-charged pattern (§6),
+        which gives every cell the opportunity to decay.
+        """
+        chip = self._chip
+        if data is None:
+            data = chip.geometry.charged_pattern()
+        chip.set_temperature(conditions.temperature_c)
+        calibration = self._controller.interval_for(
+            conditions.accuracy, conditions.temperature_c
+        )
+        approx = chip.decay_trial(data, calibration.interval_s)
+        return TrialResult(
+            exact=data,
+            approx=approx,
+            conditions=conditions,
+            chip_label=chip.label,
+            interval_s=calibration.interval_s,
+        )
+
+    def run_trials(
+        self,
+        conditions: Sequence[TrialConditions],
+        data: Optional[BitVector] = None,
+    ) -> List[TrialResult]:
+        """Run one trial per operating point, in order."""
+        return [self.run_trial(point, data) for point in conditions]
+
+
+@dataclass
+class ChipFamily:
+    """A batch of chips from one fabrication run (shared mask).
+
+    The paper evaluates 10 KM41464A chips; this helper manufactures an
+    equivalent batch with distinct chip seeds but a common mask seed, so
+    the mask-dependent capacitance component is genuinely shared.
+    """
+
+    spec: DeviceSpec
+    n_chips: int
+    mask_seed: int = 0
+    base_chip_seed: int = 1000
+    chips: List[DRAMChip] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.n_chips <= 0:
+            raise ValueError("n_chips must be positive")
+        self.chips = [
+            DRAMChip(
+                self.spec,
+                chip_seed=self.base_chip_seed + index,
+                mask_seed=self.mask_seed,
+                label=f"{self.spec.name}#{index}",
+            )
+            for index in range(self.n_chips)
+        ]
+
+    def __iter__(self):
+        return iter(self.chips)
+
+    def __len__(self) -> int:
+        return self.n_chips
+
+    def __getitem__(self, index: int) -> DRAMChip:
+        return self.chips[index]
+
+    def platforms(self) -> List[ExperimentPlatform]:
+        """One oracle-controlled platform per chip."""
+        return [ExperimentPlatform(chip) for chip in self.chips]

@@ -1,0 +1,154 @@
+"""Measurement-based retention profiling.
+
+RAIDR, RAPID and every retention-aware scheme need to know how long
+each row can go unrefreshed — and a real controller learns that by
+*measurement*, not by reading the manufacturer's mind.  The refresh
+policies in :mod:`repro.dram.refresh` use an oracle
+(:func:`~repro.dram.refresh._row_min_retention`) for speed; this module
+provides the realistic path: write a worst-case pattern, sweep decay
+intervals, and bisect each row's failure point from readbacks alone.
+
+Profiling noise matters: a row's weakest cell jitters trial to trial,
+so profiles built from single measurements under-estimate occasionally.
+:func:`profile_rows` therefore supports multiple passes with a
+min-reduce (conservative, like production profiling does) and the test
+suite checks the profile brackets the oracle truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bits import BitVector
+from repro.dram.chip import DRAMChip
+
+
+@dataclass(frozen=True)
+class RowProfile:
+    """Measured per-row retention budget at one operating point."""
+
+    retention_s: np.ndarray
+    temperature_c: float
+    passes: int
+
+    @property
+    def rows(self) -> int:
+        """Number of profiled rows."""
+        return self.retention_s.size
+
+
+def _failing_rows(chip: DRAMChip, pattern: BitVector, interval_s: float) -> np.ndarray:
+    """Boolean per-row mask: did any cell of the row decay at this interval?"""
+    readback = chip.decay_trial(pattern, interval_s)
+    errors = (readback ^ pattern).to_indices()
+    mask = np.zeros(chip.geometry.rows, dtype=bool)
+    if errors.size:
+        mask[np.unique(chip.geometry.rows_of_bits(errors))] = True
+    return mask
+
+
+def profile_rows(
+    chip: DRAMChip,
+    temperature_c: float = 40.0,
+    resolution: float = 0.05,
+    passes: int = 1,
+    max_probes: int = 64,
+) -> RowProfile:
+    """Measure each row's retention budget by interval bisection.
+
+    Parameters
+    ----------
+    chip:
+        Device under profiling (its refresh is driven directly, as a
+        profiling controller would).
+    temperature_c:
+        Operating point to profile at.
+    resolution:
+        Advisory relative resolution; the ladder sweep spends its probe
+        budget to reach roughly uniform per-row resolution of
+        ``(high/low)**(1/budget)``, clamped by ``max_probes``.
+    passes:
+        Independent profiling passes; the per-row minimum over passes
+        is kept (conservative against trial noise).
+    max_probes:
+        Trial budget per pass.
+
+    Returns
+    -------
+    RowProfile
+        Per-row safe unrefreshed durations (seconds of wall clock at
+        ``temperature_c``).
+    """
+    if not 0.0 < resolution < 1.0:
+        raise ValueError("resolution must be in (0, 1)")
+    if passes < 1:
+        raise ValueError("passes must be positive")
+    previous_temperature = chip.temperature_c
+    chip.set_temperature(temperature_c)
+    pattern = chip.geometry.charged_pattern()
+    rows = chip.geometry.rows
+    try:
+        best = np.full(rows, np.inf)
+        for _ in range(passes):
+            # Bracket: grow until every row fails, shrink until none does.
+            high = 1.0
+            probes = 0
+            while not _failing_rows(chip, pattern, high).all():
+                high *= 4.0
+                probes += 1
+                if probes > max_probes:
+                    raise RuntimeError("profiling failed to bracket above")
+            low = high
+            while _failing_rows(chip, pattern, low).any():
+                low /= 4.0
+                probes += 1
+                if probes > max_probes:
+                    raise RuntimeError("profiling failed to bracket below")
+            # Log-spaced ladder sweep: every probe trial yields a
+            # pass/fail bit for *every* row simultaneously, so K probes
+            # pin each row's budget to within a factor of
+            # (high/low)^(1/K) — uniform resolution across rows, unlike
+            # per-row bisection with shared probes.
+            budget = max(4, max_probes - probes)
+            ladder = np.geomspace(low, high, num=budget)
+            row_low = np.full(rows, low)
+            locked = np.zeros(rows, dtype=bool)
+            for interval in ladder:
+                failing = _failing_rows(chip, pattern, float(interval))
+                # A row that has ever failed is locked: trial noise can
+                # make it "survive" a longer interval, but raising its
+                # budget past an observed failure would overshoot.
+                survivors = ~failing & ~locked
+                row_low[survivors] = np.maximum(
+                    row_low[survivors], float(interval)
+                )
+                locked |= failing
+                probes += 1
+                if locked.all():
+                    break
+            best = np.minimum(best, row_low)
+        return RowProfile(
+            retention_s=best, temperature_c=temperature_c, passes=passes
+        )
+    finally:
+        chip.set_temperature(previous_temperature)
+
+
+def profile_matches_oracle(
+    chip: DRAMChip, profile: RowProfile, slack: float = 0.5
+) -> bool:
+    """Sanity check: the measured budget brackets the oracle truth.
+
+    Every row's measured safe interval must not exceed its true
+    weakest-cell retention by more than the bisection slack, and must
+    not be pessimistic by more than ``slack`` (fraction below truth).
+    """
+    from repro.dram.refresh import _row_min_retention
+
+    truth = _row_min_retention(chip, profile.temperature_c)
+    measured = profile.retention_s
+    no_overshoot = bool((measured <= truth * 1.1).all())
+    not_too_pessimistic = bool((measured >= truth * slack).mean() > 0.9)
+    return no_overshoot and not_too_pessimistic

@@ -1,0 +1,185 @@
+"""DRAM decay PUF — the constructive twin of Probable Cause (§9.1).
+
+The paper situates itself against DRAM PUFs (Rosenblatt et al.): both
+exploit the same physics — chip-unique, spatially stable cell decay —
+but a PUF *intentionally* manipulates decay for attestation, while
+approximate memory leaks the same signal unintentionally.  Implementing
+the PUF on the shared substrate does two things: it validates the
+substrate against the PUF literature's standard metrics (reliability,
+uniqueness), and it makes the paper's contrast executable — the same
+chips serve authentication and deanonymization with the same bits.
+
+A challenge selects a row subset and a decay-interval index; the
+response is the decayed-bit pattern of those rows.  Key material is
+derived by majority-voting the response over several measurements
+(a fuzzy-extractor-lite) and hashing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.bits import BitVector
+from repro.dram.chip import DRAMChip
+
+
+@dataclass(frozen=True)
+class PUFChallenge:
+    """One challenge: which rows to expose, and for how long.
+
+    ``interval_index`` selects from the PUF's calibrated interval
+    ladder, so challenges are device-independent tokens.
+    """
+
+    rows: Tuple[int, ...]
+    interval_index: int
+
+    def __post_init__(self) -> None:
+        if not self.rows:
+            raise ValueError("challenge must select at least one row")
+        if self.interval_index < 0:
+            raise ValueError("interval_index must be non-negative")
+
+
+class DRAMDecayPUF:
+    """Challenge-response interface over a chip's decay behaviour."""
+
+    #: Error-rate ladder the interval indices map to.
+    INTERVAL_ERROR_RATES = (0.01, 0.02, 0.05)
+
+    def __init__(self, chip: DRAMChip):
+        self._chip = chip
+        self._intervals = [
+            chip.interval_for_error_rate(rate)
+            for rate in self.INTERVAL_ERROR_RATES
+        ]
+
+    @property
+    def chip(self) -> DRAMChip:
+        """The physical device behind this PUF instance."""
+        return self._chip
+
+    def evaluate(self, challenge: PUFChallenge) -> BitVector:
+        """Measure one response: decayed-bit pattern of the chosen rows.
+
+        The full array is charged, decays for the challenge interval,
+        and the response is the concatenated error pattern of the
+        challenge rows (row order as given).
+        """
+        chip = self._chip
+        geometry = chip.geometry
+        if max(challenge.rows) >= geometry.rows:
+            raise IndexError("challenge row out of range for this chip")
+        if challenge.interval_index >= len(self._intervals):
+            raise IndexError("interval_index beyond the calibrated ladder")
+        data = geometry.charged_pattern()
+        readback = chip.decay_trial(
+            data, self._intervals[challenge.interval_index]
+        )
+        errors = (readback ^ data).to_bool_array()
+        parts = [
+            errors[row * geometry.bits_per_row : (row + 1) * geometry.bits_per_row]
+            for row in challenge.rows
+        ]
+        return BitVector.from_bool_array(np.concatenate(parts))
+
+    def derive_key(
+        self, challenge: PUFChallenge, measurements: int = 9
+    ) -> bytes:
+        """256-bit key from majority-voted responses.
+
+        Majority voting across ``measurements`` evaluations suppresses
+        the borderline-cell noise, the same way Algorithm 1's
+        intersection does for the attack.  Voting is not a full fuzzy
+        extractor: a cell whose failure probability is genuinely near
+        1/2 can still flip the key between derivations, so production
+        use would wrap this in an error-correcting extractor; the
+        experiment harness reports the measured re-derivation
+        stability honestly.
+        """
+        if measurements < 1:
+            raise ValueError("measurements must be positive")
+        votes = np.zeros(0)
+        for _ in range(measurements):
+            response = self.evaluate(challenge).to_bool_array()
+            if votes.size == 0:
+                votes = np.zeros(response.size, dtype=np.int32)
+            votes += response
+        stable = votes > measurements // 2
+        return hashlib.sha256(np.packbits(stable).tobytes()).digest()
+
+
+def fractional_hamming(a: BitVector, b: BitVector) -> float:
+    """Normalized Hamming distance between two responses."""
+    if a.nbits != b.nbits:
+        raise ValueError("responses must have equal length")
+    if a.nbits == 0:
+        return 0.0
+    return a.hamming_distance(b) / a.nbits
+
+
+def reliability(
+    puf: DRAMDecayPUF, challenge: PUFChallenge, measurements: int = 10
+) -> float:
+    """Intra-chip reliability: 1 - mean pairwise fractional Hamming.
+
+    The PUF literature wants this near 1 (responses repeat); the decay
+    substrate's ~98 % bit stability puts it in the high 0.99s because
+    only ~1 % of bits are set at all.
+    """
+    responses = [puf.evaluate(challenge) for _ in range(measurements)]
+    distances = [
+        fractional_hamming(responses[i], responses[j])
+        for i in range(len(responses))
+        for j in range(i + 1, len(responses))
+    ]
+    return 1.0 - float(np.mean(distances))
+
+
+def uniqueness(
+    pufs: Sequence[DRAMDecayPUF], challenge: PUFChallenge
+) -> float:
+    """Inter-chip distance, normalized to its sparse-response ideal.
+
+    Classic dense PUFs target 0.5 fractional Hamming; a decay response
+    at error rate ``p`` is sparse, so two independent chips differ in
+    ~``2p(1-p)`` of positions.  This metric reports the measured mean
+    inter-chip fractional Hamming divided by that ideal — 1.0 means
+    chips are as distinguishable as independent randomness allows.
+    """
+    if len(pufs) < 2:
+        raise ValueError("uniqueness needs at least two devices")
+    responses = [puf.evaluate(challenge) for puf in pufs]
+    densities = [response.density() for response in responses]
+    distances = []
+    ideals = []
+    for i in range(len(responses)):
+        for j in range(i + 1, len(responses)):
+            distances.append(fractional_hamming(responses[i], responses[j]))
+            p, q = densities[i], densities[j]
+            ideals.append(p * (1 - q) + q * (1 - p))
+    return float(np.mean(distances) / np.mean(ideals))
+
+
+def make_challenges(
+    n_challenges: int,
+    geometry_rows: int,
+    rows_per_challenge: int,
+    rng: np.random.Generator,
+) -> List[PUFChallenge]:
+    """Random challenge set over a chip geometry."""
+    if rows_per_challenge > geometry_rows:
+        raise ValueError("challenge asks for more rows than the chip has")
+    challenges = []
+    for _ in range(n_challenges):
+        rows = tuple(
+            int(row)
+            for row in rng.choice(geometry_rows, rows_per_challenge, replace=False)
+        )
+        interval = int(rng.integers(0, len(DRAMDecayPUF.INTERVAL_ERROR_RATES)))
+        challenges.append(PUFChallenge(rows=rows, interval_index=interval))
+    return challenges

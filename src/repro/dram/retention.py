@@ -1,0 +1,170 @@
+"""Retention-time physics: temperature scaling and per-trial noise.
+
+The decay of a DRAM cell is a charge leak: once a refresh stops topping
+the capacitor up, the stored charge drains through the access
+transistor until the sensed voltage crosses the detection threshold and
+the cell reads as its default value.  The time this takes is the cell's
+*retention time*.  Two dynamic effects sit on top of the static
+per-cell retention values sampled by :mod:`repro.dram.variation`:
+
+**Temperature.**  Leakage is thermally activated; retention shortens
+roughly exponentially with temperature (Hamamoto et al., the paper's
+[10]).  We use the standard rule of thumb that retention halves for
+every ``halving_celsius`` degrees (default 10 °C), i.e.::
+
+    t_ret(T) = t_ret(T_ref) * 2 ** (-(T - T_ref) / halving_celsius)
+
+Crucially this factor is *common to all cells*, so relative decay order
+is temperature-invariant — the physical basis of the paper's §7.3
+finding.
+
+**Per-trial noise.**  Retention is not perfectly deterministic:
+measurement noise, variable retention time (VRT) effects and data
+pattern sensitivity perturb each trial slightly.  §7.2 measures that
+~98 % of failing bits repeat across 21 trials; we reproduce that with a
+small multiplicative lognormal jitter applied independently per cell
+per decay window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: JEDEC refresh period the paper quotes for < 85 °C operation (§2).
+JEDEC_REFRESH_S = 0.064
+
+#: Reference temperature at which static retention values are defined.
+REFERENCE_TEMPERATURE_C = 40.0
+
+
+@dataclass(frozen=True)
+class ThermalModel:
+    """Exponential temperature acceleration of DRAM decay.
+
+    Parameters
+    ----------
+    reference_c:
+        Temperature at which the per-cell retention samples are defined.
+    halving_celsius:
+        Temperature increase that halves retention time.
+    """
+
+    reference_c: float = REFERENCE_TEMPERATURE_C
+    halving_celsius: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.halving_celsius <= 0:
+            raise ValueError("halving_celsius must be positive")
+
+    def retention_scale(self, temperature_c: float) -> float:
+        """Multiplier on retention time at ``temperature_c``.
+
+        1.0 at the reference temperature, 0.5 one halving-step hotter,
+        2.0 one step colder.
+        """
+        exponent = -(temperature_c - self.reference_c) / self.halving_celsius
+        return float(2.0 ** exponent)
+
+    def scale_retention(
+        self, retention_s: np.ndarray, temperature_c: float
+    ) -> np.ndarray:
+        """Per-cell retention times at ``temperature_c``."""
+        return retention_s * self.retention_scale(temperature_c)
+
+
+@dataclass(frozen=True)
+class VoltageModel:
+    """Supply-voltage dependence of retention — the *other* approximation
+    knob (§1: "lowering the input voltage [3] or by decreasing the
+    refresh rate").
+
+    Stored charge scales with the supply voltage and the sensing margin
+    shrinks with it, so retention falls super-linearly as VDD drops.
+    We model ``t_ret(V) = t_ret(V_nom) * (V / V_nom) ** gamma`` with a
+    representative ``gamma`` of 2 (charge x margin).  Like temperature,
+    the factor is common to all cells, so decay *ordering* — and hence
+    the fingerprint — is voltage-invariant.
+    """
+
+    nominal_v: float = 5.0
+    gamma: float = 2.0
+    min_v: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.nominal_v <= 0:
+            raise ValueError("nominal_v must be positive")
+        if self.gamma <= 0:
+            raise ValueError("gamma must be positive")
+
+    def retention_scale(self, supply_v: float) -> float:
+        """Multiplier on retention time at ``supply_v``."""
+        if supply_v < self.min_v:
+            raise ValueError(
+                f"supply voltage {supply_v} below operating floor {self.min_v}"
+            )
+        return float((supply_v / self.nominal_v) ** self.gamma)
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Per-trial multiplicative jitter on effective retention.
+
+    ``log_sigma`` is the standard deviation of the natural-log jitter;
+    each decay window draws fresh jitter for every cell.  The default is
+    calibrated (see ``tests/dram/test_calibration.py``) so that at the
+    paper's 1 % error level roughly 98 % of failing bits repeat across
+    21 trials, matching §7.2.
+    """
+
+    log_sigma: float = 0.0018
+
+    def __post_init__(self) -> None:
+        if self.log_sigma < 0:
+            raise ValueError("log_sigma must be non-negative")
+
+    def jitter(self, n_cells: int, rng: np.random.Generator) -> np.ndarray:
+        """Multiplicative jitter factors for one decay window."""
+        if self.log_sigma == 0.0:
+            return np.ones(n_cells)
+        return np.exp(rng.normal(0.0, self.log_sigma, size=n_cells))
+
+
+def decayed_mask(
+    retention_s: np.ndarray,
+    elapsed_s: float,
+    temperature_c: float,
+    thermal: ThermalModel,
+    noise: NoiseModel = NoiseModel(log_sigma=0.0),
+    rng: np.random.Generator = None,
+) -> np.ndarray:
+    """Boolean mask of cells whose charge is lost after ``elapsed_s``.
+
+    A *charged* cell decays when the elapsed unrefreshed time exceeds
+    its (temperature-scaled, noise-jittered) retention time.  The caller
+    is responsible for intersecting this with the charged-cell mask —
+    cells already at their default value have nothing to lose.
+    """
+    if elapsed_s < 0:
+        raise ValueError("elapsed_s must be non-negative")
+    effective = thermal.scale_retention(retention_s, temperature_c)
+    if noise.log_sigma <= 0.0:
+        return effective < elapsed_s
+    if rng is None:
+        raise ValueError("rng is required when noise is enabled")
+    # Jitter can only flip cells whose retention sits within a few
+    # noise sigmas of the decay window; everything else is decided
+    # deterministically.  Drawing jitter for the borderline band alone
+    # (typically a few percent of cells) keeps large-array trials fast
+    # while remaining statistically identical to full-array jitter.
+    mask = effective < elapsed_s
+    if elapsed_s == 0.0:
+        return mask
+    band = float(np.exp(6.0 * noise.log_sigma))
+    borderline = (effective > elapsed_s / band) & (effective < elapsed_s * band)
+    count = int(borderline.sum())
+    if count:
+        jitter = np.exp(rng.normal(0.0, noise.log_sigma, size=count))
+        mask[borderline] = effective[borderline] * jitter < elapsed_s
+    return mask

@@ -1,0 +1,211 @@
+"""Command-timeline execution for the DRAM simulator.
+
+The platform abstraction (`ExperimentPlatform`) covers the paper's
+write → decay → read experiments, but studying refresh *schedules*
+(staggered per-row refresh, burst refresh, missed refreshes) needs a
+general command stream: a time-ordered sequence of writes, reads,
+row refreshes and environment changes executed against one chip.
+
+:class:`Timeline` provides that: commands carry absolute timestamps,
+execution inserts the implied idle windows between them, and every read
+returns the data image the chip would produce at that instant.  This is
+the layer on which a downstream user can model, say, a DDR controller
+issuing one-row-per-7.8 µs distributed refresh, or an OS suspending
+refresh during self-refresh exit — without touching chip internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Union
+
+from repro.bits import BitVector
+from repro.dram.chip import DRAMChip
+
+
+@dataclass(frozen=True)
+class WriteCommand:
+    """Write a full data image at time ``at_s``."""
+
+    at_s: float
+    data: BitVector
+
+
+@dataclass(frozen=True)
+class ReadCommand:
+    """Read the full array at time ``at_s`` (restores charge)."""
+
+    at_s: float
+    tag: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class RefreshCommand:
+    """Refresh specific rows (or all rows) at time ``at_s``."""
+
+    at_s: float
+    rows: Optional[Sequence[int]] = None  # None = all rows
+
+
+@dataclass(frozen=True)
+class SetTemperatureCommand:
+    """Change ambient temperature at time ``at_s``."""
+
+    at_s: float
+    temperature_c: float
+
+
+@dataclass(frozen=True)
+class SetVoltageCommand:
+    """Change the supply voltage at time ``at_s``."""
+
+    at_s: float
+    supply_v: float
+
+
+Command = Union[
+    WriteCommand,
+    ReadCommand,
+    RefreshCommand,
+    SetTemperatureCommand,
+    SetVoltageCommand,
+]
+
+
+@dataclass(frozen=True)
+class ReadRecord:
+    """One read's outcome within a timeline run."""
+
+    at_s: float
+    tag: Optional[str]
+    data: BitVector
+
+
+@dataclass
+class TimelineResult:
+    """All reads produced by one timeline execution."""
+
+    reads: List[ReadRecord] = field(default_factory=list)
+
+    def by_tag(self, tag: str) -> ReadRecord:
+        """The (single) read carrying ``tag``."""
+        matches = [record for record in self.reads if record.tag == tag]
+        if len(matches) != 1:
+            raise KeyError(
+                f"expected exactly one read tagged {tag!r}, found {len(matches)}"
+            )
+        return matches[0]
+
+
+class Timeline:
+    """A time-ordered command stream executable against a chip."""
+
+    def __init__(self, commands: Iterable[Command] = ()):
+        self._commands: List[Command] = list(commands)
+
+    # ------------------------------------------------------------------
+    # Construction helpers (fluent)
+    # ------------------------------------------------------------------
+
+    def write(self, at_s: float, data: BitVector) -> "Timeline":
+        """Append a write."""
+        self._commands.append(WriteCommand(at_s=at_s, data=data))
+        return self
+
+    def read(self, at_s: float, tag: Optional[str] = None) -> "Timeline":
+        """Append a read."""
+        self._commands.append(ReadCommand(at_s=at_s, tag=tag))
+        return self
+
+    def refresh(
+        self, at_s: float, rows: Optional[Sequence[int]] = None
+    ) -> "Timeline":
+        """Append a refresh of ``rows`` (all rows when None)."""
+        self._commands.append(RefreshCommand(at_s=at_s, rows=rows))
+        return self
+
+    def set_temperature(self, at_s: float, temperature_c: float) -> "Timeline":
+        """Append a temperature change."""
+        self._commands.append(
+            SetTemperatureCommand(at_s=at_s, temperature_c=temperature_c)
+        )
+        return self
+
+    def set_voltage(self, at_s: float, supply_v: float) -> "Timeline":
+        """Append a supply-voltage change."""
+        self._commands.append(SetVoltageCommand(at_s=at_s, supply_v=supply_v))
+        return self
+
+    def distributed_refresh(
+        self,
+        start_s: float,
+        end_s: float,
+        period_s: float,
+        rows: int,
+    ) -> "Timeline":
+        """Append a JEDEC-style distributed refresh schedule.
+
+        One row is refreshed every ``period_s / rows`` seconds, cycling
+        through all rows so each row's interval is ``period_s`` — the
+        standard staggering real controllers use.
+        """
+        if period_s <= 0:
+            raise ValueError("period_s must be positive")
+        step = period_s / rows
+        tick = start_s
+        row = 0
+        while tick < end_s:
+            self._commands.append(RefreshCommand(at_s=tick, rows=[row]))
+            row = (row + 1) % rows
+            tick += step
+        return self
+
+    @property
+    def commands(self) -> List[Command]:
+        """Commands in insertion order (execution sorts by time)."""
+        return list(self._commands)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def execute(self, chip: DRAMChip) -> TimelineResult:
+        """Run the command stream against ``chip``.
+
+        Commands are ordered by timestamp (stable for ties); the gaps
+        between consecutive timestamps become idle windows at whatever
+        temperature/voltage is current.  Time starts at the first
+        command's timestamp.
+        """
+        ordered = sorted(
+            enumerate(self._commands), key=lambda pair: (pair[1].at_s, pair[0])
+        )
+        result = TimelineResult()
+        if not ordered:
+            return result
+        clock = ordered[0][1].at_s
+        for _index, command in ordered:
+            if command.at_s < clock - 1e-12:
+                raise ValueError("commands moved backwards in time")
+            gap = max(0.0, command.at_s - clock)
+            if gap > 0:
+                chip.idle(gap)
+            clock = command.at_s
+            if isinstance(command, WriteCommand):
+                chip.write(command.data)
+            elif isinstance(command, ReadCommand):
+                result.reads.append(
+                    ReadRecord(at_s=clock, tag=command.tag, data=chip.read())
+                )
+            elif isinstance(command, RefreshCommand):
+                if command.rows is None:
+                    chip.refresh_all()
+                else:
+                    chip.refresh_rows(command.rows)
+            elif isinstance(command, SetTemperatureCommand):
+                chip.set_temperature(command.temperature_c)
+            elif isinstance(command, SetVoltageCommand):
+                chip.set_supply_voltage(command.supply_v)
+            else:  # pragma: no cover - exhaustive over Command
+                raise TypeError(f"unknown command {command!r}")
+        return result

@@ -1,0 +1,132 @@
+"""Process-variation model for DRAM cell retention.
+
+Section 2 of the paper identifies two manufacturing-variation sources
+behind per-cell retention differences:
+
+1. **Capacitance variation** — possibly *mask-dependent*, i.e. partially
+   replicated across wafers produced from the same mask set.
+2. **Leakage-current variation** — caused by random dopant fluctuation
+   in the access transistor's channel, hence *mask-independent* and,
+   per the paper, the **dominant** factor.
+
+We model log-retention as the sum of three zero-mean Gaussian
+components around a device-family mean:
+
+``log t_ret = mu_device + mask_component + dopant_component``
+
+where the mask component is drawn once per *mask* (shared by all chips
+built from it) and the dopant component once per *chip*.  The variance
+split is a device parameter; keeping the dopant share dominant is what
+makes fingerprints device-unique rather than mask-unique, and the test
+suite asserts exactly that property.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class VariationProfile:
+    """Statistical description of retention variation for a device family.
+
+    Parameters
+    ----------
+    log_mean:
+        Mean of natural-log retention time (log seconds) at the
+        reference temperature.
+    log_sigma:
+        Total standard deviation of log retention.
+    mask_fraction:
+        Fraction of the log-retention *variance* attributable to the
+        mask-dependent capacitance component.  The paper expects this to
+        be small ("we expect leakage current to be the dominant
+        factor").
+    skew:
+        Skew-normal shape parameter applied to the dopant component in
+        log domain.  0 gives a symmetric (Gaussian) log distribution,
+        matching the legacy DRAM; negative values skew retention short,
+        i.e. volatility skews *high*, matching the DDR2 observation in
+        §8.1.
+    """
+
+    log_mean: float
+    log_sigma: float
+    mask_fraction: float = 0.05
+    skew: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.log_sigma <= 0:
+            raise ValueError("log_sigma must be positive")
+        if not 0.0 <= self.mask_fraction < 1.0:
+            raise ValueError("mask_fraction must be in [0, 1)")
+
+    @property
+    def mask_sigma(self) -> float:
+        """Std-dev of the mask-dependent log-retention component."""
+        return self.log_sigma * float(np.sqrt(self.mask_fraction))
+
+    @property
+    def dopant_sigma(self) -> float:
+        """Std-dev of the chip-unique (dopant) log-retention component."""
+        return self.log_sigma * float(np.sqrt(1.0 - self.mask_fraction))
+
+    # ------------------------------------------------------------------
+
+    def sample_mask_component(self, n_cells: int, mask_seed: int) -> np.ndarray:
+        """Per-cell mask-dependent offsets, identical for a given seed.
+
+        Chips manufactured from the same mask call this with the same
+        ``mask_seed`` and therefore share this component exactly.
+        """
+        rng = np.random.default_rng(
+            np.random.SeedSequence(entropy=mask_seed, spawn_key=(0x4D41534B,))
+        )
+        return rng.normal(0.0, self.mask_sigma, size=n_cells)
+
+    def sample_dopant_component(self, n_cells: int, chip_seed: int) -> np.ndarray:
+        """Per-cell chip-unique offsets from random dopant fluctuation.
+
+        When :attr:`skew` is non-zero the component follows a
+        skew-normal distribution (standardized to zero mean and
+        :attr:`dopant_sigma` standard deviation) so that the *shape* of
+        the volatility distribution differs while its scale does not.
+        """
+        rng = np.random.default_rng(
+            np.random.SeedSequence(entropy=chip_seed, spawn_key=(0x444F50,))
+        )
+        if self.skew == 0.0:
+            return rng.normal(0.0, self.dopant_sigma, size=n_cells)
+        return _standardized_skew_normal(rng, self.skew, n_cells) * self.dopant_sigma
+
+    def sample_log_retention(
+        self, n_cells: int, mask_seed: int, chip_seed: int
+    ) -> np.ndarray:
+        """Full per-cell log-retention values for one chip."""
+        return (
+            self.log_mean
+            + self.sample_mask_component(n_cells, mask_seed)
+            + self.sample_dopant_component(n_cells, chip_seed)
+        )
+
+
+def _standardized_skew_normal(
+    rng: np.random.Generator, shape: float, size: int
+) -> np.ndarray:
+    """Skew-normal samples rescaled to zero mean and unit variance.
+
+    Uses the classic construction ``X = delta * |Z0| + sqrt(1 - delta^2)
+    * Z1`` with ``delta = shape / sqrt(1 + shape^2)``, then removes the
+    analytic mean ``delta * sqrt(2/pi)`` and divides by the analytic
+    standard deviation so the caller controls scale independently of
+    shape.
+    """
+    delta = shape / np.sqrt(1.0 + shape * shape)
+    z0 = np.abs(rng.normal(size=size))
+    z1 = rng.normal(size=size)
+    raw = delta * z0 + np.sqrt(1.0 - delta * delta) * z1
+    mean = delta * np.sqrt(2.0 / np.pi)
+    std = np.sqrt(1.0 - (2.0 / np.pi) * delta * delta)
+    return (raw - mean) / std

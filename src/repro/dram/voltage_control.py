@@ -1,0 +1,157 @@
+"""Voltage-mode approximate memory controller.
+
+The refresh-interval controller (:mod:`repro.dram.controller`) turns
+the paper's primary knob.  This module turns the other one named in §1
+— "lowering the input voltage" (David et al., Deng et al.) — while the
+refresh clock stays at the standard JEDEC period: the controller finds
+the supply voltage at which the target fraction of cells decays within
+one 64 ms refresh window.
+
+Energy motivation: DRAM dynamic power scales roughly with VDD², so a
+voltage-mode approximate system trades the same accuracy for a
+quadratic supply-power saving instead of a refresh-rate saving — and,
+as ``tests/dram/test_voltage.py`` shows, leaks exactly the same
+fingerprint while doing it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dram.chip import DRAMChip
+from repro.dram.controller import accuracy_to_error_rate
+from repro.dram.retention import JEDEC_REFRESH_S
+
+
+@dataclass(frozen=True)
+class VoltageCalibration:
+    """Outcome of one voltage-mode calibration."""
+
+    supply_v: float
+    achieved_error_rate: float
+    probes: int
+
+    def supply_power_saving(self, nominal_v: float) -> float:
+        """Dynamic-power saving vs nominal, under the P ~ V^2 model."""
+        return 1.0 - (self.supply_v / nominal_v) ** 2
+
+
+class VoltageScalingController:
+    """Chooses supply voltages that hold a chip at a target accuracy.
+
+    ``oracle`` inverts the device's voltage model analytically from the
+    retention quantile; ``measure`` bisects the rail with probe trials
+    (write worst-case, one JEDEC window, read), the way a real
+    closed-loop undervolting controller would.
+    """
+
+    def __init__(
+        self,
+        chip: DRAMChip,
+        strategy: str = "oracle",
+        refresh_interval_s: float = JEDEC_REFRESH_S,
+        tolerance: float = 0.1,
+        max_probes: int = 40,
+    ):
+        if strategy not in ("oracle", "measure"):
+            raise ValueError(f"unknown strategy {strategy!r}")
+        if refresh_interval_s <= 0:
+            raise ValueError("refresh_interval_s must be positive")
+        if tolerance <= 0:
+            raise ValueError("tolerance must be positive")
+        self._chip = chip
+        self._strategy = strategy
+        self._interval = refresh_interval_s
+        self._tolerance = tolerance
+        self._max_probes = max_probes
+
+    @property
+    def chip(self) -> DRAMChip:
+        """The chip under control."""
+        return self._chip
+
+    @property
+    def strategy(self) -> str:
+        """Calibration strategy in use."""
+        return self._strategy
+
+    def voltage_for(
+        self, accuracy: float, temperature_c: float = None
+    ) -> VoltageCalibration:
+        """Supply voltage holding the chip at ``accuracy`` under the
+        standard refresh clock."""
+        if temperature_c is None:
+            temperature_c = self._chip.temperature_c
+        if self._strategy == "oracle":
+            return self._oracle(accuracy, temperature_c)
+        return self._measure(accuracy, temperature_c)
+
+    # ------------------------------------------------------------------
+
+    def _oracle(self, accuracy: float, temperature_c: float) -> VoltageCalibration:
+        """Invert ``t_q * thermal * (V/Vnom)^gamma = interval`` for V."""
+        error_rate = accuracy_to_error_rate(accuracy)
+        chip = self._chip
+        voltage_model = chip.spec.voltage
+        quantile_ref = float(
+            np.quantile(chip.retention_reference_s, error_rate)
+        )
+        thermal_scale = chip.spec.thermal.retention_scale(temperature_c)
+        needed_scale = self._interval / (quantile_ref * thermal_scale)
+        supply = voltage_model.nominal_v * needed_scale ** (
+            1.0 / voltage_model.gamma
+        )
+        supply = max(supply, voltage_model.min_v)
+        return VoltageCalibration(
+            supply_v=supply, achieved_error_rate=error_rate, probes=0
+        )
+
+    def _measure(self, accuracy: float, temperature_c: float) -> VoltageCalibration:
+        """Bisect the rail against probe trials at the JEDEC window."""
+        target = accuracy_to_error_rate(accuracy)
+        chip = self._chip
+        voltage_model = chip.spec.voltage
+        saved_temperature = chip.temperature_c
+        saved_voltage = chip.supply_voltage_v
+        chip.set_temperature(temperature_c)
+        pattern = chip.geometry.charged_pattern()
+
+        def probe(supply: float) -> float:
+            chip.set_supply_voltage(supply)
+            readback = chip.decay_trial(pattern, self._interval)
+            return (readback ^ pattern).popcount() / pattern.nbits
+
+        try:
+            # Lower rail -> more error.  Bracket between the floor and
+            # the nominal voltage.
+            low_v = voltage_model.min_v
+            high_v = voltage_model.nominal_v
+            probes = 2
+            if probe(high_v) > target:
+                # Already too lossy at nominal: nothing to undervolt.
+                return VoltageCalibration(
+                    supply_v=high_v,
+                    achieved_error_rate=probe(high_v),
+                    probes=probes,
+                )
+            supply = 0.5 * (low_v + high_v)
+            measured = probe(supply)
+            while (
+                abs(measured - target) > self._tolerance * target
+                and probes < self._max_probes
+            ):
+                if measured > target:
+                    low_v = supply   # too lossy: raise the rail
+                else:
+                    high_v = supply  # too clean: drop the rail
+                supply = 0.5 * (low_v + high_v)
+                measured = probe(supply)
+                probes += 1
+            return VoltageCalibration(
+                supply_v=supply, achieved_error_rate=measured, probes=probes
+            )
+        finally:
+            chip.set_temperature(saved_temperature)
+            chip.set_supply_voltage(saved_voltage)

@@ -1,0 +1,110 @@
+"""Variable Retention Time (VRT) cell model.
+
+Real DRAM has a small population of cells whose retention time toggles
+between two metastable states (charge-trap driven random telegraph
+noise); a cell can hold for seconds in one state and a tenth of that in
+the other.  VRT is the main *physical* threat to fingerprint stability
+beyond measurement noise: a VRT cell near the decay threshold drifts in
+and out of the error pattern over timescales of minutes to days.
+
+The paper's 21-trial consistency experiment implicitly bounds the
+impact (≥98 % repeatability); this extension makes VRT an explicit,
+tunable population so the robustness of characterization (which
+suppresses unstable cells by intersection) can be studied directly:
+``tests/dram/test_vrt.py`` and the consistency experiment exercise it.
+
+Model: each chip owns a manufacturing-locked set of VRT cells
+(``fraction`` of the array, chosen by the chip seed).  Each VRT cell is
+a two-state Markov chain advanced once per decay window: with
+probability ``toggle_probability`` it flips between its *strong* state
+(nominal retention) and its *weak* state (retention divided by
+``retention_ratio``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class VRTModel:
+    """Population parameters for variable-retention-time cells.
+
+    Parameters
+    ----------
+    fraction:
+        Fraction of cells that are VRT-susceptible.
+    retention_ratio:
+        Retention divisor in the weak state (>1).
+    toggle_probability:
+        Per-decay-window probability that a VRT cell switches state.
+    weak_initial_probability:
+        Probability a VRT cell starts in its weak state.
+    """
+
+    fraction: float = 0.002
+    retention_ratio: float = 5.0
+    toggle_probability: float = 0.1
+    weak_initial_probability: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        if self.retention_ratio <= 1.0:
+            raise ValueError("retention_ratio must exceed 1")
+        if not 0.0 <= self.toggle_probability <= 1.0:
+            raise ValueError("toggle_probability must be in [0, 1]")
+        if not 0.0 <= self.weak_initial_probability <= 1.0:
+            raise ValueError("weak_initial_probability must be in [0, 1]")
+
+
+class VRTState:
+    """Per-chip dynamic VRT state (which cells, which state).
+
+    The *membership* of the VRT population is manufacturing randomness
+    (derived from the chip seed); the *state trajectory* is runtime
+    randomness (driven by the chip's noise RNG).
+    """
+
+    def __init__(self, model: VRTModel, n_cells: int, chip_seed: int,
+                 rng: np.random.Generator):
+        self._model = model
+        self._rng = rng
+        membership_rng = np.random.default_rng(
+            np.random.SeedSequence(entropy=chip_seed, spawn_key=(0x565254,))
+        )
+        count = int(round(model.fraction * n_cells))
+        self.cell_indices = np.sort(
+            membership_rng.choice(n_cells, size=count, replace=False)
+        )
+        self.weak = rng.random(count) < model.weak_initial_probability
+
+    @property
+    def n_vrt_cells(self) -> int:
+        """Size of the VRT population."""
+        return self.cell_indices.size
+
+    def retention_multipliers(self) -> np.ndarray:
+        """Current retention multiplier for each VRT cell (1 or 1/ratio)."""
+        multipliers = np.ones(self.n_vrt_cells)
+        multipliers[self.weak] = 1.0 / self._model.retention_ratio
+        return multipliers
+
+    def advance(self) -> None:
+        """Advance every VRT cell's Markov chain by one decay window."""
+        if self.n_vrt_cells == 0:
+            return
+        toggles = self._rng.random(self.n_vrt_cells) < self._model.toggle_probability
+        self.weak ^= toggles
+
+    def apply(self, retention_s: np.ndarray) -> np.ndarray:
+        """Copy of ``retention_s`` with current VRT multipliers applied.
+
+        ``retention_s`` must cover the whole array (VRT indices are
+        absolute cell positions).
+        """
+        adjusted = retention_s.copy()
+        adjusted[self.cell_indices] *= self.retention_multipliers()
+        return adjusted

@@ -1,0 +1,56 @@
+"""Experiment harness: one module per paper table/figure.
+
+Every experiment is registered under a short id (``fig07``, ``tab01``,
+...) and can be run three ways:
+
+* programmatically — ``from repro.experiments import run_experiment``;
+* from the CLI — ``python -m repro run fig07`` (or ``run all``);
+* from the benchmark harness — ``pytest benchmarks/ --benchmark-only``,
+  which additionally times a representative kernel per experiment and
+  asserts the paper-shape properties.
+"""
+
+# Import experiment modules for their registration side effects.
+from repro.experiments import (  # noqa: F401
+    ablation,
+    accuracy_privacy,
+    analytic_tables,
+    consistency,
+    data_dependence,
+    ddr2,
+    defenses_eval,
+    ecc_defense,
+    error_patterns,
+    identification,
+    order,
+    population,
+    puf_contrast,
+    refresh_schemes,
+    robustness,
+    stitching,
+    thermal,
+    uniqueness,
+)
+from repro.experiments.base import (
+    ExperimentReport,
+    experiment_ids,
+    run_experiment,
+)
+from repro.experiments.campaign import (
+    ACCURACIES,
+    EVALUATION_GRID,
+    TEMPERATURES,
+    Campaign,
+    build_campaign,
+)
+
+__all__ = [
+    "ExperimentReport",
+    "experiment_ids",
+    "run_experiment",
+    "Campaign",
+    "build_campaign",
+    "ACCURACIES",
+    "EVALUATION_GRID",
+    "TEMPERATURES",
+]

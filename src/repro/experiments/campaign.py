@@ -1,0 +1,103 @@
+"""The §6-§7 evaluation campaign, reusable across experiments.
+
+The paper's evaluation is one physical campaign consumed by several
+figures: 10 KM41464A chips; a system-level fingerprint per chip from
+three 1 %-error outputs at different temperatures; and 9 evaluation
+outputs per chip covering the {40, 50, 60 °C} x {99, 95, 90 %} grid.
+:func:`build_campaign` runs that campaign deterministically; callers
+(the benchmark harness, the CLI, notebooks) share one instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core import FingerprintDatabase, characterize_trials, probable_cause_distance
+from repro.dram import KM41464A, ChipFamily, DeviceSpec, TrialConditions, TrialResult
+
+#: Operating temperatures of the §7 grid.
+TEMPERATURES = (40.0, 50.0, 60.0)
+
+#: Accuracy levels of the §7 grid.
+ACCURACIES = (0.99, 0.95, 0.90)
+
+#: The full evaluation grid (9 operating points).
+EVALUATION_GRID = [
+    TrialConditions(accuracy, temperature)
+    for temperature in TEMPERATURES
+    for accuracy in ACCURACIES
+]
+
+
+@dataclass
+class Campaign:
+    """Everything the §7 figures are computed from."""
+
+    family: ChipFamily
+    database: FingerprintDatabase
+    #: (chip_label, trial) per evaluation output, 9 per chip.
+    outputs: List[Tuple[str, TrialResult]]
+
+    @property
+    def n_chips(self) -> int:
+        """Chips in the campaign."""
+        return len(self.family)
+
+    def outputs_of(self, label: str) -> List[TrialResult]:
+        """Evaluation outputs of one chip."""
+        return [trial for lab, trial in self.outputs if lab == label]
+
+    def distances(self) -> Tuple[List[float], List[float], List[tuple]]:
+        """All output-vs-fingerprint distances.
+
+        Returns ``(within, between, detail)`` where detail rows are
+        ``(true_label, fingerprint_key, conditions, distance)``.
+        """
+        within: List[float] = []
+        between: List[float] = []
+        detail = []
+        for true_label, trial in self.outputs:
+            for key, fingerprint in self.database.items():
+                distance = probable_cause_distance(
+                    trial.error_string, fingerprint
+                )
+                if key == true_label:
+                    within.append(distance)
+                else:
+                    between.append(distance)
+                detail.append((true_label, key, trial.conditions, distance))
+        return within, between, detail
+
+    def between_by(self, attribute: str) -> Dict[float, List[float]]:
+        """Between-class distances grouped by a conditions attribute
+        (``"temperature_c"`` for Figure 9, ``"accuracy"`` for Figure 11)."""
+        groups: Dict[float, List[float]] = {}
+        _within, _between, detail = self.distances()
+        for true_label, key, conditions, distance in detail:
+            if key == true_label:
+                continue
+            groups.setdefault(getattr(conditions, attribute), []).append(distance)
+        return groups
+
+
+def build_campaign(
+    n_chips: int = 10,
+    device: DeviceSpec = KM41464A,
+    base_chip_seed: int = 1000,
+) -> Campaign:
+    """Run the full evaluation campaign (deterministic in its seeds)."""
+    family = ChipFamily(device, n_chips=n_chips, base_chip_seed=base_chip_seed)
+    platforms = family.platforms()
+    database = FingerprintDatabase()
+    for chip, platform in zip(family, platforms):
+        characterization = [
+            platform.run_trial(TrialConditions(0.99, temperature))
+            for temperature in TEMPERATURES
+        ]
+        database.add(chip.label, characterize_trials(characterization))
+    outputs = []
+    for chip, platform in zip(family, platforms):
+        for conditions in EVALUATION_GRID:
+            outputs.append((chip.label, platform.run_trial(conditions)))
+    return Campaign(family=family, database=database, outputs=outputs)

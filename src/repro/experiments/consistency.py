@@ -1,0 +1,51 @@
+"""Figure 8 / §7.2 — consistency of error patterns across trials."""
+
+from __future__ import annotations
+
+from repro.analysis import accumulate_occurrences, render_heatmap
+from repro.dram import KM41464A, DRAMChip, ExperimentPlatform, TrialConditions
+from repro.experiments.base import ExperimentReport, register
+
+
+def run(
+    n_trials: int = 21,
+    accuracy: float = 0.99,
+    temperature_c: float = 40.0,
+    chip_seed: int = 8,
+) -> ExperimentReport:
+    """Reproduce Figure 8: occurrence heatmap + repeatability statistic."""
+    chip = DRAMChip(KM41464A, chip_seed=chip_seed)
+    platform = ExperimentPlatform(chip)
+    conditions = TrialConditions(accuracy=accuracy, temperature_c=temperature_c)
+    error_strings = [
+        platform.run_trial(conditions).error_string for _ in range(n_trials)
+    ]
+    occurrence = accumulate_occurrences(error_strings)
+    repeatability = occurrence.repeatability()
+    text = "\n".join(
+        [
+            render_heatmap(occurrence, chip.geometry),
+            "",
+            f"cells failing at least once: {int(occurrence.ever_failed.sum())}",
+            f"cells failing in all trials: {int(occurrence.always_failed.sum())}",
+            f"unpredictable cells:         {int(occurrence.unpredictable.sum())}",
+            f"repeatability: {repeatability:.4f}",
+            "paper: more than 98% of failing bits repeat across all 21 trials",
+        ]
+    )
+    return ExperimentReport(
+        experiment_id="fig08",
+        title=f"cell unpredictability heatmap ({n_trials} trials, "
+        f"{accuracy:.0%} accuracy, {temperature_c:.0f} degC)",
+        text=text,
+        metrics={
+            "repeatability": repeatability,
+            "ever_failed": float(occurrence.ever_failed.sum()),
+            "unpredictable": float(occurrence.unpredictable.sum()),
+        },
+    )
+
+
+@register("fig08")
+def _run_default() -> ExperimentReport:
+    return run()

@@ -1,0 +1,89 @@
+"""Extension — SECDED ECC as a defense, swept across approximation levels."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.core import characterize_trials, probable_cause_distance
+from repro.defenses import SECDEDDefense, expected_uncorrectable_word_fraction
+from repro.dram import KM41464A, DRAMChip, ExperimentPlatform, TrialConditions
+from repro.experiments.base import ExperimentReport, register
+
+
+def run(
+    error_rates: Tuple[float, ...] = (0.001, 0.005, 0.01, 0.05, 0.10),
+    victim_seed: int = 860,
+) -> ExperimentReport:
+    """Per approximation level: ECC suppression, residual evidence, and
+    whether identification still succeeds."""
+    victim = DRAMChip(KM41464A, chip_seed=victim_seed)
+    decoy = DRAMChip(KM41464A, chip_seed=victim_seed + 1)
+    fingerprints = {}
+    for name, chip in (("victim", victim), ("decoy", decoy)):
+        platform = ExperimentPlatform(chip)
+        fingerprints[name] = characterize_trials(
+            [platform.run_trial(TrialConditions(0.99, 40.0)) for _ in range(3)]
+        )
+
+    defense = SECDEDDefense()
+    data = victim.geometry.charged_pattern()
+    rng = np.random.default_rng(victim_seed)
+    rows = []
+    metrics = {"storage_overhead": defense.config.storage_overhead}
+    for error_rate in error_rates:
+        approx = victim.decay_trial(
+            data, victim.interval_for_error_rate(error_rate)
+        )
+        outcome = defense.apply(approx, data, rng)
+        analytic = expected_uncorrectable_word_fraction(error_rate)
+        if outcome.residual_error_count == 0:
+            verdict = "anonymous (all corrected)"
+            identified = False
+        else:
+            same = probable_cause_distance(
+                outcome.residual_errors, fingerprints["victim"]
+            )
+            other = probable_cause_distance(
+                outcome.residual_errors, fingerprints["decoy"]
+            )
+            identified = same < 0.5 < other
+            verdict = (
+                f"{'IDENTIFIED' if identified else 'escaped'} "
+                f"(d_same={same:.3f}, d_other={other:.3f})"
+            )
+        rows.append(
+            f"  {error_rate:>6.2%}  suppressed {outcome.suppression_ratio:>6.1%}  "
+            f"residual {outcome.residual_error_count:>6}  "
+            f"uncorrectable words {analytic:>6.2%}  {verdict}"
+        )
+        slug = str(error_rate).replace(".", "p")
+        metrics[f"suppression_{slug}"] = outcome.suppression_ratio
+        metrics[f"identified_{slug}"] = float(identified)
+    text = "\n".join(
+        [
+            f"{'error':>8}  SECDED(72,64) against approximate-DRAM "
+            "fingerprinting",
+            *rows,
+            "",
+            f"cost: +{defense.config.storage_overhead:.1%} storage and "
+            "refresh energy for the check bits",
+            "shape: ECC thins the evidence but never removes it — the "
+            "residual (multi-flip-word) errors are by construction a "
+            "subset of the chip's most volatile cells, and the swap rule "
+            "in Algorithm 3 makes any such subset match at near-zero "
+            "distance.  Even 32 surviving bits identify the chip.",
+        ]
+    )
+    return ExperimentReport(
+        experiment_id="ext-ecc",
+        title="SECDED ECC defense across approximation levels",
+        text=text,
+        metrics=metrics,
+    )
+
+
+@register("ext-ecc")
+def _run_default() -> ExperimentReport:
+    return run()

@@ -1,0 +1,59 @@
+"""Figure 10 — order of cell failures across approximation levels."""
+
+from __future__ import annotations
+
+from repro.analysis import nesting_report, venn_three
+from repro.dram import KM41464A, DRAMChip, ExperimentPlatform, TrialConditions
+from repro.experiments.base import ExperimentReport, register
+
+
+def run(chip_seed: int = 10, temperature_c: float = 40.0) -> ExperimentReport:
+    """Reproduce Figure 10: error-set nesting 99 % ⊂ 95 % ⊂ 90 %."""
+    chip = DRAMChip(KM41464A, chip_seed=chip_seed)
+    platform = ExperimentPlatform(chip)
+    errors = {
+        accuracy: platform.run_trial(
+            TrialConditions(accuracy, temperature_c)
+        ).error_string
+        for accuracy in (0.99, 0.95, 0.90)
+    }
+    report = nesting_report(errors[0.99], errors[0.95], errors[0.90])
+    venn = venn_three(errors[0.99], errors[0.95], errors[0.90])
+    text = "\n".join(
+        [
+            f"errors @99%: {report['errors_at_99']}",
+            f"errors @95%: {report['errors_at_95']}",
+            f"errors @90%: {report['errors_at_90']}",
+            f"common to all three: {report['common_to_all']}",
+            "",
+            f"99% cells missing from 95% set: {report['violations_99_in_95']}"
+            "   (paper: a single outlier)",
+            f"95% cells missing from 90% set: {report['violations_95_in_90']}"
+            "   (paper: 32 cells)",
+            "",
+            "Venn regions (membership in 99%, 95%, 90% sets):",
+            *(
+                f"  {''.join('x' if member else '.' for member in membership)}: "
+                f"{count}"
+                for membership, count in sorted(venn.regions.items(), reverse=True)
+            ),
+            "paper: rough subset relation 99% < 95% < 90%",
+        ]
+    )
+    return ExperimentReport(
+        experiment_id="fig10",
+        title="error-set overlap across accuracies (one chip)",
+        text=text,
+        metrics={
+            "errors_at_99": float(report["errors_at_99"]),
+            "errors_at_95": float(report["errors_at_95"]),
+            "errors_at_90": float(report["errors_at_90"]),
+            "violations_99_in_95": float(report["violations_99_in_95"]),
+            "violations_95_in_90": float(report["violations_95_in_90"]),
+        },
+    )
+
+
+@register("fig10")
+def _run_default() -> ExperimentReport:
+    return run()

@@ -1,0 +1,96 @@
+"""Extension — Probable Cause across §9.2 approximate-DRAM schemes."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.core import characterize_trials, probable_cause_distance
+from repro.dram import (
+    KM41464A,
+    DRAMChip,
+    ExperimentPlatform,
+    FixedIntervalRefresh,
+    FlikkerRefresh,
+    JEDECRefresh,
+    RAIDRRefresh,
+    RAPIDRefresh,
+    TrialConditions,
+    evaluate_policy,
+)
+from repro.experiments.base import ExperimentReport, register
+
+
+def run(
+    victim_seed: int = 92, decoy_seed: int = 93
+) -> ExperimentReport:
+    """Energy / error / identifiability across refresh schemes."""
+    victim = DRAMChip(KM41464A, chip_seed=victim_seed)
+    decoy = DRAMChip(KM41464A, chip_seed=decoy_seed)
+
+    fingerprints = {}
+    for name, chip in (("victim", victim), ("decoy", decoy)):
+        platform = ExperimentPlatform(chip)
+        fingerprints[name] = characterize_trials(
+            [platform.run_trial(TrialConditions(0.99, 40.0)) for _ in range(3)]
+        )
+
+    policies = [
+        ("jedec", JEDECRefresh()),
+        (
+            "fixed",
+            FixedIntervalRefresh(
+                victim.interval_for_error_rate(0.01), name="fixed (paper, 1%)"
+            ),
+        ),
+        ("flikker", FlikkerRefresh(high_zone_fraction=0.25, low_rate_divisor=16)),
+        ("raidr", RAIDRRefresh(n_bins=4, safety_factor=1.0, name="RAIDR (faithful)")),
+        (
+            "raidr_approx",
+            RAIDRRefresh(n_bins=6, safety_factor=4.0, name="RAIDR (approx)"),
+        ),
+        ("rapid", RAPIDRefresh(populated_fraction=0.75)),
+    ]
+
+    rows = []
+    outcome: Dict[str, Tuple[float, bool]] = {}
+    for slug, policy in policies:
+        evaluation, errors = evaluate_policy(victim, policy)
+        if errors.any():
+            same = probable_cause_distance(errors, fingerprints["victim"])
+            other = probable_cause_distance(errors, fingerprints["decoy"])
+            identified = same < 0.5 < other
+            verdict = f"IDENTIFIED (d_same={same:.3f}, d_other={other:.3f})"
+        else:
+            identified = False
+            verdict = "no errors -> anonymous"
+        outcome[slug] = (evaluation.error_rate, identified)
+        rows.append(
+            f"{policy.name:20} {evaluation.energy_saving:>8.1%} "
+            f"{evaluation.error_rate:>9.4%}  {verdict}"
+        )
+
+    text = "\n".join(
+        [
+            f"{'scheme':20} {'energy':>8} {'error':>9}  attack outcome",
+            *rows,
+            "",
+            "shape: privacy loss exactly tracks the presence of decay "
+            "errors — every lossy scheme leaks the same manufacturing "
+            "fingerprint.",
+        ]
+    )
+    metrics = {}
+    for slug, (error_rate, identified) in outcome.items():
+        metrics[f"{slug}_error_rate"] = error_rate
+        metrics[f"{slug}_identified"] = float(identified)
+    return ExperimentReport(
+        experiment_id="ext-refresh",
+        title="Probable Cause vs the Section 9.2 approximate-DRAM schemes",
+        text=text,
+        metrics=metrics,
+    )
+
+
+@register("ext-refresh")
+def _run_default() -> ExperimentReport:
+    return run()

@@ -1,0 +1,44 @@
+"""Commodity-system substrate: OS page placement and machine models."""
+
+from repro.system.allocator import (
+    BuddyAllocator,
+    BuddyAllocatorPlacement,
+    ChurnModel,
+)
+
+from repro.system.approx_system import (
+    BitExactApproximateSystem,
+    ModeledApproximateMemory,
+    ModeledOutput,
+    StoredOutput,
+)
+from repro.system.memory_map import (
+    PAGE_BITS,
+    PAGE_BYTES,
+    BufferPlacement,
+    ChunkASLRPlacement,
+    ContiguousPlacement,
+    PageASLRPlacement,
+    PhysicalMemoryMap,
+    PlacementPolicy,
+    pages_for_bytes,
+)
+
+__all__ = [
+    "BuddyAllocator",
+    "BuddyAllocatorPlacement",
+    "ChurnModel",
+    "BitExactApproximateSystem",
+    "ModeledApproximateMemory",
+    "ModeledOutput",
+    "StoredOutput",
+    "PAGE_BITS",
+    "PAGE_BYTES",
+    "BufferPlacement",
+    "ChunkASLRPlacement",
+    "ContiguousPlacement",
+    "PageASLRPlacement",
+    "PhysicalMemoryMap",
+    "PlacementPolicy",
+    "pages_for_bytes",
+]

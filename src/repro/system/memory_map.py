@@ -1,0 +1,179 @@
+"""Commodity-OS physical memory placement model.
+
+Section 7.6 instruments a real system (Ubuntu VM on an iMac) with
+Valgrind and observes three placement facts that the end-to-end attack
+depends on:
+
+1. an output buffer occupies **consecutive physical pages**;
+2. pages are **not remapped** during a single run;
+3. **different runs land at different physical offsets** — which is what
+   gives the attacker overlapping coverage to stitch.
+
+:class:`PhysicalMemoryMap` encodes those facts as a placement model
+over ``total_pages`` physical pages.  Placement *policies* make the
+third fact pluggable so the §8.2.3 ASLR defense (which deliberately
+breaks fact 1) can reuse the same machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Protocol
+
+import numpy as np
+
+#: Bytes per OS page (§4 footnote 1: analysis works on 4 KB pages).
+PAGE_BYTES = 4096
+
+#: Bits per OS page.
+PAGE_BITS = PAGE_BYTES * 8
+
+
+class PlacementPolicy(Protocol):
+    """Strategy mapping a buffer of ``n_pages`` onto physical pages."""
+
+    def place(
+        self, n_pages: int, total_pages: int, rng: np.random.Generator
+    ) -> List[int]:
+        """Physical page indices for the buffer, in buffer order."""
+        ...
+
+
+@dataclass(frozen=True)
+class ContiguousPlacement:
+    """Default OS behaviour: one contiguous run at a random offset.
+
+    This is the placement §7.6 verified; it is what makes page-level
+    fingerprints stitchable.
+    """
+
+    def place(
+        self, n_pages: int, total_pages: int, rng: np.random.Generator
+    ) -> List[int]:
+        """One contiguous run starting at a uniform random offset."""
+        if n_pages > total_pages:
+            raise ValueError(
+                f"buffer of {n_pages} pages exceeds memory of {total_pages}"
+            )
+        start = int(rng.integers(0, total_pages - n_pages + 1))
+        return list(range(start, start + n_pages))
+
+
+@dataclass(frozen=True)
+class PageASLRPlacement:
+    """§8.2.3 defense: every page independently randomized.
+
+    With randomization granularity equal to the fingerprint granularity
+    (one page), consecutive buffer pages land on unrelated physical
+    pages and no cross-output overlap structure survives.
+    """
+
+    def place(
+        self, n_pages: int, total_pages: int, rng: np.random.Generator
+    ) -> List[int]:
+        """Independent random physical page per buffer page."""
+        if n_pages > total_pages:
+            raise ValueError(
+                f"buffer of {n_pages} pages exceeds memory of {total_pages}"
+            )
+        return [int(page) for page in rng.choice(total_pages, n_pages, replace=False)]
+
+
+@dataclass(frozen=True)
+class ChunkASLRPlacement:
+    """Randomize at a coarser granularity of ``chunk_pages`` per chunk.
+
+    Models the defense trade-off: larger chunks cost less management
+    overhead but leave contiguous runs long enough for the stitcher to
+    latch onto.
+    """
+
+    chunk_pages: int
+
+    def __post_init__(self) -> None:
+        if self.chunk_pages <= 0:
+            raise ValueError("chunk_pages must be positive")
+
+    def place(
+        self, n_pages: int, total_pages: int, rng: np.random.Generator
+    ) -> List[int]:
+        """Random distinct chunks, contiguous within each chunk."""
+        if n_pages > total_pages:
+            raise ValueError(
+                f"buffer of {n_pages} pages exceeds memory of {total_pages}"
+            )
+        chunk = self.chunk_pages
+        n_chunks = (n_pages + chunk - 1) // chunk
+        total_chunks = total_pages // chunk
+        if n_chunks > total_chunks:
+            raise ValueError("memory too small for chunked placement")
+        chosen = rng.choice(total_chunks, n_chunks, replace=False)
+        pages: List[int] = []
+        for chunk_index in chosen:
+            base = int(chunk_index) * chunk
+            pages.extend(range(base, base + chunk))
+        return pages[:n_pages]
+
+
+@dataclass(frozen=True)
+class BufferPlacement:
+    """Where one output buffer landed in physical memory."""
+
+    page_indices: List[int]
+
+    @property
+    def n_pages(self) -> int:
+        """Buffer length in pages."""
+        return len(self.page_indices)
+
+    @property
+    def is_contiguous(self) -> bool:
+        """True when the pages form one ascending run."""
+        return all(
+            later == earlier + 1
+            for earlier, later in zip(self.page_indices, self.page_indices[1:])
+        )
+
+
+class PhysicalMemoryMap:
+    """Placement model over a machine's physical page frames."""
+
+    def __init__(
+        self,
+        total_pages: int,
+        policy: PlacementPolicy = ContiguousPlacement(),
+    ):
+        if total_pages <= 0:
+            raise ValueError("total_pages must be positive")
+        self._total_pages = total_pages
+        self._policy = policy
+
+    @property
+    def total_pages(self) -> int:
+        """Physical page frames available."""
+        return self._total_pages
+
+    @property
+    def total_bytes(self) -> int:
+        """Memory size in bytes."""
+        return self._total_pages * PAGE_BYTES
+
+    @property
+    def policy(self) -> PlacementPolicy:
+        """Active placement policy."""
+        return self._policy
+
+    def place_buffer(
+        self, n_pages: int, rng: np.random.Generator
+    ) -> BufferPlacement:
+        """Allocate physical pages for one output buffer (one run)."""
+        return BufferPlacement(
+            page_indices=self._policy.place(n_pages, self._total_pages, rng)
+        )
+
+
+def pages_for_bytes(n_bytes: int) -> int:
+    """Pages needed to hold ``n_bytes`` (rounded up)."""
+    if n_bytes < 0:
+        raise ValueError("n_bytes must be non-negative")
+    return (n_bytes + PAGE_BYTES - 1) // PAGE_BYTES

@@ -1,0 +1,45 @@
+"""Victim-side workloads: image generation and edge detection."""
+
+from repro.workloads.edge_detect import edge_detect, gradient_magnitude
+from repro.workloads.image import (
+    FIGURE5_SHAPE,
+    binary_test_image,
+    bits_to_image,
+    image_to_bits,
+    synthetic_photo,
+)
+from repro.workloads.kmeans import (
+    KMeansResult,
+    centroid_error,
+    kmeans_approximate,
+    kmeans_exact,
+    make_blobs,
+)
+from repro.workloads.pipeline import EdgeDetectionPipeline, PipelineResult
+from repro.workloads.sensor import (
+    SensorLogResult,
+    clean_outliers,
+    log_and_upload,
+    synthesize_trace,
+)
+
+__all__ = [
+    "edge_detect",
+    "gradient_magnitude",
+    "FIGURE5_SHAPE",
+    "binary_test_image",
+    "bits_to_image",
+    "image_to_bits",
+    "synthetic_photo",
+    "EdgeDetectionPipeline",
+    "PipelineResult",
+    "KMeansResult",
+    "centroid_error",
+    "kmeans_approximate",
+    "kmeans_exact",
+    "make_blobs",
+    "SensorLogResult",
+    "clean_outliers",
+    "log_and_upload",
+    "synthesize_trace",
+]

@@ -1,0 +1,113 @@
+"""Synthetic image sources for the approximate-computing workloads.
+
+The paper's end-to-end experiment publishes photographs processed by an
+edge-detection program; its Figure 5 demonstration stores a 200x154
+black-and-white image.  With no camera in the loop, this module
+synthesizes images with photograph-like structure — smooth illumination
+gradients, hard-edged objects, and fine texture — which is what the
+edge detector and the denoising error-localizer (§8.3) actually care
+about.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.bits import BitVector
+
+#: Dimensions of the Figure 5 demonstration image.
+FIGURE5_SHAPE = (154, 200)
+
+
+def synthetic_photo(
+    shape: Tuple[int, int],
+    rng: np.random.Generator,
+    n_objects: int = 6,
+    texture_sigma: float = 6.0,
+) -> np.ndarray:
+    """A grayscale uint8 "photograph": gradient + objects + texture.
+
+    Parameters
+    ----------
+    shape:
+        (height, width) of the image.
+    rng:
+        Randomness source; every call produces a different photo, as
+        every published picture differs in the paper's scenario.
+    n_objects:
+        Number of random bright/dark rectangles and disks composited in.
+    texture_sigma:
+        Standard deviation of the additive fine-grain texture.
+    """
+    height, width = shape
+    if height <= 0 or width <= 0:
+        raise ValueError(f"invalid image shape {shape}")
+    ys = np.linspace(0.0, 1.0, height)[:, None]
+    xs = np.linspace(0.0, 1.0, width)[None, :]
+    # Smooth illumination field with a random orientation.
+    angle = rng.uniform(0.0, 2.0 * np.pi)
+    field = np.cos(angle) * xs + np.sin(angle) * ys
+    image = 96.0 + 64.0 * (field - field.min()) / max(np.ptp(field), 1e-9)
+
+    for _ in range(n_objects):
+        brightness = rng.uniform(-80.0, 80.0)
+        if rng.random() < 0.5:
+            top = rng.integers(0, max(1, height - 8))
+            left = rng.integers(0, max(1, width - 8))
+            box_height = int(rng.integers(4, max(5, height // 3)))
+            box_width = int(rng.integers(4, max(5, width // 3)))
+            image[top : top + box_height, left : left + box_width] += brightness
+        else:
+            center_y = rng.uniform(0, height)
+            center_x = rng.uniform(0, width)
+            radius = rng.uniform(min(height, width) / 16, min(height, width) / 4)
+            yy, xx = np.mgrid[0:height, 0:width]
+            mask = (yy - center_y) ** 2 + (xx - center_x) ** 2 <= radius ** 2
+            image[mask] += brightness
+
+    image += rng.normal(0.0, texture_sigma, size=shape)
+    return np.clip(image, 0, 255).astype(np.uint8)
+
+
+def binary_test_image(
+    shape: Tuple[int, int] = FIGURE5_SHAPE,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """A black-and-white test pattern like Figure 5's input.
+
+    Deterministic by default (it is "the" image stored on every chip in
+    the Figure 5 demonstration); pass ``rng`` for variants.  Returns a
+    uint8 array of 0s and 255s combining stripes and a centered disk.
+    """
+    height, width = shape
+    yy, xx = np.mgrid[0:height, 0:width]
+    stripes = ((xx // max(4, width // 25)) % 2).astype(bool)
+    disk = (yy - height / 2) ** 2 + (xx - width / 2) ** 2 <= (
+        min(height, width) / 3
+    ) ** 2
+    pattern = np.where(disk, ~stripes, stripes)
+    if rng is not None:
+        flip = rng.random(shape) < 0.02
+        pattern = pattern ^ flip
+    return np.where(pattern, 255, 0).astype(np.uint8)
+
+
+def image_to_bits(image: np.ndarray) -> BitVector:
+    """Pack a uint8 image row-major into a bit vector (LSB-first bytes)."""
+    if image.dtype != np.uint8:
+        raise ValueError("image must be uint8")
+    return BitVector.from_bytes(image.tobytes())
+
+
+def bits_to_image(bits: BitVector, shape: Tuple[int, int]) -> np.ndarray:
+    """Inverse of :func:`image_to_bits`; trailing padding is dropped."""
+    height, width = shape
+    needed = height * width
+    raw = np.frombuffer(bits.to_bytes(), dtype=np.uint8)
+    if raw.size < needed:
+        raise ValueError(
+            f"bit vector holds {raw.size} bytes, image needs {needed}"
+        )
+    return raw[:needed].reshape(shape).copy()

@@ -1,0 +1,161 @@
+"""Approximate k-means — a machine-learning workload on approximate DRAM.
+
+The paper's introduction motivates approximate memory with workloads
+that are "naturally imprecise": computer vision, machine learning,
+sensor networks.  K-means is the canonical error-tolerant kernel — a
+few corrupted points barely move the centroids — which is exactly why
+its working set is a prime candidate for the low-refresh region of a
+Flikker-style system, and exactly how its *published results* end up
+carrying a DRAM fingerprint.
+
+:func:`kmeans_approximate` runs Lloyd's algorithm with the dataset
+stored in (simulated) approximate DRAM between iterations: each pass
+reads the possibly-decayed bytes, updates centroids, and the buffer
+keeps decaying.  Quantizing features to uint8 bounds the damage any
+single bit flip can do — the "disciplined approximation" style of
+EnerJ — and makes the stored image a byte buffer the fingerprinting
+pipeline understands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.system.approx_system import BitExactApproximateSystem, StoredOutput
+
+
+def make_blobs(
+    n_points: int,
+    n_clusters: int,
+    rng: np.random.Generator,
+    n_features: int = 2,
+    spread: float = 12.0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Quantized Gaussian blobs: (uint8 points, true labels)."""
+    if n_points < n_clusters:
+        raise ValueError("need at least one point per cluster")
+    centers = rng.uniform(40, 215, size=(n_clusters, n_features))
+    labels = rng.integers(0, n_clusters, size=n_points)
+    points = centers[labels] + rng.normal(0.0, spread, size=(n_points, n_features))
+    return np.clip(points, 0, 255).astype(np.uint8), labels
+
+
+def lloyd_step(
+    points: np.ndarray, centroids: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """One Lloyd iteration: assign, then recompute centroids."""
+    distances = np.linalg.norm(
+        points[:, None, :].astype(float) - centroids[None, :, :], axis=2
+    )
+    assignment = distances.argmin(axis=1)
+    updated = centroids.copy()
+    for cluster in range(centroids.shape[0]):
+        members = points[assignment == cluster]
+        if members.size:
+            updated[cluster] = members.mean(axis=0)
+    return assignment, updated
+
+
+@dataclass(frozen=True)
+class KMeansResult:
+    """Outcome of an approximate k-means run."""
+
+    centroids: np.ndarray
+    assignment: np.ndarray
+    iterations: int
+    #: The final decayed dataset as published (what the attacker sees).
+    stored: Optional[StoredOutput]
+    #: Byte-level corruption of the dataset at the end of the run.
+    corrupted_byte_fraction: float
+
+
+def kmeans_exact(
+    points: np.ndarray,
+    n_clusters: int,
+    rng: np.random.Generator,
+    max_iterations: int = 20,
+) -> KMeansResult:
+    """Reference exact k-means (no approximate memory)."""
+    centroids = points[
+        rng.choice(points.shape[0], size=n_clusters, replace=False)
+    ].astype(float)
+    assignment = np.zeros(points.shape[0], dtype=int)
+    for iteration in range(1, max_iterations + 1):
+        assignment, updated = lloyd_step(points, centroids)
+        if np.allclose(updated, centroids):
+            centroids = updated
+            break
+        centroids = updated
+    return KMeansResult(
+        centroids=centroids,
+        assignment=assignment,
+        iterations=iteration,
+        stored=None,
+        corrupted_byte_fraction=0.0,
+    )
+
+
+def kmeans_approximate(
+    points: np.ndarray,
+    n_clusters: int,
+    system: BitExactApproximateSystem,
+    rng: np.random.Generator,
+    max_iterations: int = 20,
+) -> KMeansResult:
+    """Lloyd's algorithm with the dataset resident in approximate DRAM.
+
+    Each iteration stores the dataset for one refresh window and reads
+    back the (possibly decayed) bytes; the published artifact is the
+    final stored buffer, whose error pattern fingerprints the machine.
+    """
+    if points.dtype != np.uint8:
+        raise ValueError("points must be uint8 (quantized features)")
+    working = points.copy()
+    centroids = working[
+        rng.choice(working.shape[0], size=n_clusters, replace=False)
+    ].astype(float)
+    assignment = np.zeros(working.shape[0], dtype=int)
+    stored: Optional[StoredOutput] = None
+    for iteration in range(1, max_iterations + 1):
+        stored = system.store_and_read(working.tobytes())
+        decayed = np.frombuffer(stored.approx.to_bytes(), dtype=np.uint8)
+        working = decayed[: points.size].reshape(points.shape).copy()
+        assignment, updated = lloyd_step(working, centroids)
+        if np.allclose(updated, centroids, atol=0.5):
+            centroids = updated
+            break
+        centroids = updated
+    corrupted = float((working != points).mean())
+    return KMeansResult(
+        centroids=centroids,
+        assignment=assignment,
+        iterations=iteration,
+        stored=stored,
+        corrupted_byte_fraction=corrupted,
+    )
+
+
+def centroid_error(result: KMeansResult, reference: KMeansResult) -> float:
+    """Mean distance between matched centroids of two runs.
+
+    Centroids are matched greedily by nearest pairing; this is the
+    "quality loss from approximation" number the intro's argument rests
+    on being small.
+    """
+    ours = result.centroids.copy()
+    theirs = list(range(reference.centroids.shape[0]))
+    total = 0.0
+    for row in ours:
+        distances = [
+            float(np.linalg.norm(row - reference.centroids[index]))
+            for index in theirs
+        ]
+        best = int(np.argmin(distances))
+        total += distances[best]
+        theirs.pop(best)
+        if not theirs:
+            break
+    return total / result.centroids.shape[0]

@@ -1,0 +1,71 @@
+"""End-to-end image pipeline on an approximate-memory machine.
+
+Mirrors the victim's side of the §7.6 experiment: generate (or accept)
+an image, run edge detection, and let the result sit in approximate
+DRAM before "publishing" it.  The returned record carries both the
+attacker-visible artifact (the approximate output image) and the
+ground truth the evaluation needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.system.approx_system import BitExactApproximateSystem, StoredOutput
+from repro.workloads.edge_detect import edge_detect
+from repro.workloads.image import bits_to_image, image_to_bits, synthetic_photo
+
+
+@dataclass(frozen=True)
+class PipelineResult:
+    """One published output of the victim's image pipeline."""
+
+    input_image: np.ndarray
+    exact_output_image: np.ndarray
+    approx_output_image: np.ndarray
+    stored: StoredOutput
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """Output image dimensions."""
+        return self.exact_output_image.shape
+
+
+class EdgeDetectionPipeline:
+    """The victim program: photo in, approximate edge map published."""
+
+    def __init__(
+        self,
+        system: BitExactApproximateSystem,
+        image_shape: Tuple[int, int] = (128, 128),
+        threshold: Optional[float] = None,
+    ):
+        self._system = system
+        self._image_shape = image_shape
+        self._threshold = threshold
+
+    @property
+    def system(self) -> BitExactApproximateSystem:
+        """The approximate machine this pipeline runs on."""
+        return self._system
+
+    def run(
+        self,
+        rng: np.random.Generator,
+        input_image: Optional[np.ndarray] = None,
+    ) -> PipelineResult:
+        """One program execution publishing one approximate output."""
+        if input_image is None:
+            input_image = synthetic_photo(self._image_shape, rng)
+        exact_output = edge_detect(input_image, threshold=self._threshold)
+        stored = self._system.store_and_read(image_to_bits(exact_output))
+        approx_output = bits_to_image(stored.approx, exact_output.shape)
+        return PipelineResult(
+            input_image=input_image,
+            exact_output_image=exact_output,
+            approx_output_image=approx_output,
+            stored=stored,
+        )

@@ -1,0 +1,107 @@
+"""Sensor-network logging — the third motivating workload class.
+
+Low-power sensor nodes are the original approximate-DRAM customers
+(Flikker, RAPID target exactly this profile): a node buffers sampled
+readings in low-refresh DRAM, then uploads the log in bulk.  A few
+corrupted samples are tolerable — the consumer filters outliers anyway
+— but the uploaded log's bit-flip pattern fingerprints the node, which
+matters because sensor deployments often rely on report anonymity
+(e.g. participatory sensing).
+
+This module synthesizes realistic sensor traces, packs them into a log
+buffer, and measures the damage approximation does to the *signal*
+(after standard outlier cleaning) so the privacy/quality trade-off can
+be stated concretely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import numpy as np
+
+from repro.system.approx_system import BitExactApproximateSystem, StoredOutput
+
+
+def synthesize_trace(
+    n_samples: int,
+    rng: np.random.Generator,
+    period: float = 240.0,
+    noise: float = 2.0,
+) -> np.ndarray:
+    """A diurnal-ish sensor trace quantized to uint8 counts.
+
+    Slow sinusoid (day cycle) + drift + sensor noise, scaled into the
+    8-bit ADC range — the shape of a temperature or light channel.
+    """
+    if n_samples <= 0:
+        raise ValueError("n_samples must be positive")
+    ticks = np.arange(n_samples)
+    signal = (
+        120.0
+        + 60.0 * np.sin(2.0 * np.pi * ticks / period)
+        + np.cumsum(rng.normal(0.0, 0.05, size=n_samples))
+        + rng.normal(0.0, noise, size=n_samples)
+    )
+    return np.clip(signal, 0, 255).astype(np.uint8)
+
+
+def clean_outliers(trace: np.ndarray, window: int = 5, limit: int = 24) -> np.ndarray:
+    """Replace samples far from their rolling median (standard pipeline).
+
+    A decayed high bit shifts a sample by 32-128 counts — far outside
+    the sensor's noise — so the consumer's ordinary outlier filter
+    absorbs most approximation damage.  That filter is also why the
+    error tolerance exists at all.
+    """
+    if window < 3 or window % 2 == 0:
+        raise ValueError("window must be an odd integer >= 3")
+    padded = np.pad(trace.astype(float), window // 2, mode="edge")
+    medians = np.empty(trace.size)
+    for offset in range(trace.size):
+        medians[offset] = np.median(padded[offset : offset + window])
+    cleaned = trace.astype(float)
+    wild = np.abs(cleaned - medians) > limit
+    cleaned[wild] = medians[wild]
+    return np.clip(np.round(cleaned), 0, 255).astype(np.uint8)
+
+
+@dataclass(frozen=True)
+class SensorLogResult:
+    """One buffered-and-uploaded sensor log."""
+
+    exact_trace: np.ndarray
+    uploaded_trace: np.ndarray
+    cleaned_trace: np.ndarray
+    stored: StoredOutput
+
+    @property
+    def raw_sample_error_fraction(self) -> float:
+        """Fraction of samples corrupted in the upload."""
+        return float((self.uploaded_trace != self.exact_trace).mean())
+
+    @property
+    def cleaned_rmse(self) -> float:
+        """RMSE of the cleaned upload against the exact trace."""
+        difference = self.cleaned_trace.astype(float) - self.exact_trace.astype(
+            float
+        )
+        return float(np.sqrt(np.mean(difference**2)))
+
+
+def log_and_upload(
+    trace: np.ndarray,
+    system: BitExactApproximateSystem,
+) -> SensorLogResult:
+    """Buffer a trace in approximate DRAM for one window, then upload."""
+    if trace.dtype != np.uint8:
+        raise ValueError("trace must be uint8 samples")
+    stored = system.store_and_read(trace.tobytes())
+    uploaded = np.frombuffer(stored.approx.to_bytes(), dtype=np.uint8)[
+        : trace.size
+    ].copy()
+    return SensorLogResult(
+        exact_trace=trace,
+        uploaded_trace=uploaded,
+        cleaned_trace=clean_outliers(uploaded),
+        stored=stored,
+    )

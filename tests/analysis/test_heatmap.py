@@ -1,0 +1,75 @@
+"""Tests for the Figure 8 occurrence-map machinery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import OccurrenceMap, accumulate_occurrences, render_heatmap
+from repro.bits import BitVector
+from repro.dram import ChipGeometry
+
+
+class TestAccumulate:
+    def test_counts(self):
+        strings = [
+            BitVector.from_indices(16, [1, 2]),
+            BitVector.from_indices(16, [2, 3]),
+        ]
+        occurrence = accumulate_occurrences(strings)
+        assert occurrence.n_trials == 2
+        assert list(occurrence.counts[[1, 2, 3, 4]]) == [1, 2, 1, 0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            accumulate_occurrences([])
+
+    def test_mismatched_regions_rejected(self):
+        with pytest.raises(ValueError):
+            accumulate_occurrences([BitVector.zeros(8), BitVector.zeros(16)])
+
+
+class TestOccurrenceMap:
+    def make(self):
+        counts = np.array([0, 3, 1, 2, 0, 3])
+        return OccurrenceMap(counts=counts, n_trials=3)
+
+    def test_masks(self):
+        occurrence = self.make()
+        assert list(occurrence.ever_failed) == [False, True, True, True, False, True]
+        assert list(occurrence.always_failed) == [False, True, False, False, False, True]
+        assert list(occurrence.unpredictable) == [False, False, True, True, False, False]
+
+    def test_repeatability(self):
+        assert self.make().repeatability() == pytest.approx(0.5)
+
+    def test_repeatability_with_no_failures(self):
+        occurrence = OccurrenceMap(counts=np.zeros(4, dtype=int), n_trials=3)
+        assert occurrence.repeatability() == 1.0
+
+    def test_grid_reshape(self):
+        geometry = ChipGeometry(rows=2, cols=3, bits_per_word=1)
+        occurrence = OccurrenceMap(counts=np.arange(6), n_trials=5)
+        grid = occurrence.grid(geometry)
+        assert grid.shape == (2, 3)
+        assert grid[1, 0] == 3
+
+    def test_grid_size_checked(self):
+        geometry = ChipGeometry(rows=2, cols=3)
+        occurrence = OccurrenceMap(counts=np.zeros(5, dtype=int), n_trials=1)
+        with pytest.raises(ValueError):
+            occurrence.grid(geometry)
+
+
+class TestRenderHeatmap:
+    def test_render_shape_and_shading(self):
+        geometry = ChipGeometry(rows=8, cols=16, bits_per_word=1)
+        counts = np.zeros(geometry.total_bits, dtype=int)
+        counts[:16] = 10  # first row always fails: predictable
+        counts[16:32] = 5  # second row flickers: unpredictable (darkest)
+        occurrence = OccurrenceMap(counts=counts, n_trials=10)
+        text = render_heatmap(occurrence, geometry, max_rows=8, max_cols=16)
+        lines = text.splitlines()
+        assert len(lines) == 8
+        assert lines[0] == " " * 16          # always-failing = predictable
+        assert "@" in lines[1]               # half-failing = max shade

@@ -1,0 +1,72 @@
+"""Tests for histogram analysis helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import class_separation, histogram, render_histograms
+
+
+class TestHistogram:
+    def test_counts_and_total(self):
+        hist = histogram([0.05, 0.15, 0.15, 0.95], bins=10)
+        assert hist.total == 4
+        assert hist.counts[0] == 1
+        assert hist.counts[1] == 2
+        assert hist.counts[9] == 1
+
+    def test_rows_format(self):
+        hist = histogram([0.5], bins=2)
+        rows = hist.rows()
+        assert rows[0] == (0.0, 0.5, 0)
+        assert rows[1] == (0.5, 1.0, 1)
+
+    def test_custom_range(self):
+        hist = histogram([5.0], bins=2, value_range=(0.0, 10.0))
+        assert hist.counts.sum() == 1
+
+
+class TestRender:
+    def test_render_contains_counts_and_labels(self):
+        a = histogram([0.1] * 5, bins=4, label="within")
+        b = histogram([0.9] * 3, bins=4, label="between")
+        text = render_histograms([a, b], title="Figure 7")
+        assert "Figure 7" in text
+        assert "within" in text and "between" in text
+        assert "5" in text and "3" in text
+
+    def test_render_requires_shared_bins(self):
+        a = histogram([0.1], bins=4)
+        b = histogram([0.1], bins=8)
+        with pytest.raises(ValueError):
+            render_histograms([a, b])
+
+    def test_render_empty_list_rejected(self):
+        with pytest.raises(ValueError):
+            render_histograms([])
+
+    def test_bar_lengths_scale_to_peak(self):
+        a = histogram([0.1] * 40 + [0.9] * 10, bins=2, label="x")
+        text = render_histograms([a], width=20)
+        lines = text.splitlines()
+        assert lines[1].count("#") == 20  # peak bin uses full width
+        assert 0 < lines[2].count("#") < 20
+
+
+class TestClassSeparation:
+    def test_two_orders_of_magnitude(self):
+        within = [0.001, 0.002]
+        between = [0.5, 0.9]
+        max_within, min_between, ratio = class_separation(within, between)
+        assert max_within == 0.002
+        assert min_between == 0.5
+        assert ratio == pytest.approx(250.0)
+
+    def test_zero_within_distance(self):
+        _mw, _mb, ratio = class_separation([0.0], [0.5])
+        assert ratio == float("inf")
+
+    def test_empty_classes_rejected(self):
+        with pytest.raises(ValueError):
+            class_separation([], [0.5])

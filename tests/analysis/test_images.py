@@ -1,0 +1,73 @@
+"""Tests for image export and error-pattern comparison helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    error_pattern_similarity,
+    error_pixel_mask,
+    highlight_errors,
+    read_pgm,
+    write_pgm,
+)
+from repro.workloads import synthetic_photo
+
+
+class TestPGM:
+    def test_roundtrip(self, rng, tmp_path):
+        image = synthetic_photo((20, 30), rng)
+        path = write_pgm(image, tmp_path / "test.pgm")
+        assert np.array_equal(read_pgm(path), image)
+
+    def test_write_rejects_bad_input(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_pgm(np.zeros((4, 4), dtype=np.float32), tmp_path / "x.pgm")
+        with pytest.raises(ValueError):
+            write_pgm(np.zeros((4, 4, 3), dtype=np.uint8), tmp_path / "x.pgm")
+
+    def test_read_rejects_non_pgm(self, tmp_path):
+        path = tmp_path / "bogus.pgm"
+        path.write_bytes(b"JFIF...")
+        with pytest.raises(ValueError):
+            read_pgm(path)
+
+
+class TestErrorComparison:
+    def test_error_pixel_mask(self):
+        exact = np.zeros((4, 4), dtype=np.uint8)
+        approx = exact.copy()
+        approx[1, 1] = 9
+        mask = error_pixel_mask(exact, approx)
+        assert mask.sum() == 1 and mask[1, 1]
+
+    def test_mask_shape_check(self):
+        with pytest.raises(ValueError):
+            error_pixel_mask(
+                np.zeros((4, 4), dtype=np.uint8), np.zeros((5, 5), dtype=np.uint8)
+            )
+
+    def test_similarity_same_vs_different_pattern(self):
+        exact = np.zeros((10, 10), dtype=np.uint8)
+        output_a = exact.copy(); output_a[0, 0:5] = 1
+        output_b = exact.copy(); output_b[0, 0:4] = 1   # same chip: overlap 4
+        output_c = exact.copy(); output_c[5, 0:5] = 1   # other chip: disjoint
+        same = error_pattern_similarity(exact, output_a, output_b)
+        different = error_pattern_similarity(exact, output_a, output_c)
+        assert same["jaccard"] > 0.7
+        assert different["jaccard"] == 0.0
+        assert same["errors_a"] == 5 and same["errors_b"] == 4
+
+    def test_similarity_no_errors(self):
+        exact = np.zeros((4, 4), dtype=np.uint8)
+        stats = error_pattern_similarity(exact, exact, exact)
+        assert stats["jaccard"] == 1.0
+
+    def test_highlight_errors(self):
+        exact = np.zeros((4, 4), dtype=np.uint8)
+        approx = exact.copy()
+        approx[2, 2] = 9
+        highlighted = highlight_errors(exact, approx)
+        assert highlighted[2, 2] == 255
+        assert highlighted[0, 0] == 0

@@ -1,0 +1,45 @@
+"""Tests for the experiment report sink."""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import results_dir, save_report
+
+
+class TestResultsDir:
+    def test_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "deep" / "dir"))
+        path = results_dir()
+        assert path == tmp_path / "deep" / "dir"
+        assert path.is_dir()  # created on demand
+
+    def test_default_location(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_RESULTS_DIR", raising=False)
+        monkeypatch.chdir(tmp_path)
+        path = results_dir()
+        # Relative to the working directory, created on demand.
+        assert path == type(path)("benchmarks/results")
+        assert (tmp_path / "benchmarks" / "results").is_dir()
+
+
+class TestSaveReport:
+    def test_writes_and_echoes(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        path = save_report("demo", "row one\nrow two")
+        assert path.read_text() == "row one\nrow two\n"
+        assert "row one" in capsys.readouterr().out
+
+    def test_quiet_mode(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        save_report("demo", "content", echo=False)
+        assert capsys.readouterr().out == ""
+
+    def test_trailing_newline_normalized(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        path = save_report("demo", "already terminated\n", echo=False)
+        assert path.read_text() == "already terminated\n"
+
+    def test_overwrites_previous_report(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        save_report("demo", "first", echo=False)
+        path = save_report("demo", "second", echo=False)
+        assert path.read_text() == "second\n"

@@ -1,0 +1,55 @@
+"""Tests for the Figure 10 Venn / nesting analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import nesting_report, subset_violations, venn_three
+from repro.bits import BitVector
+
+
+def bits(indices):
+    return BitVector.from_indices(64, indices)
+
+
+class TestVennThree:
+    def test_region_sizes(self):
+        a = bits([1, 2, 3])
+        b = bits([2, 3, 4])
+        c = bits([3, 4, 5])
+        venn = venn_three(a, b, c)
+        assert venn.regions[(True, False, False)] == 1   # {1}
+        assert venn.regions[(True, True, False)] == 1    # {2}
+        assert venn.regions[(True, True, True)] == 1     # {3}
+        assert venn.regions[(False, True, True)] == 1    # {4}
+        assert venn.regions[(False, False, True)] == 1   # {5}
+        assert venn.total == 5
+        assert venn.common_to_all() == 1
+        assert venn.only(0) == 1
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            venn_three(bits([1]), bits([1]), BitVector.zeros(32))
+
+
+class TestNesting:
+    def test_perfect_nesting_has_no_violations(self):
+        e99 = bits([1, 2])
+        e95 = bits([1, 2, 3, 4])
+        e90 = bits([1, 2, 3, 4, 5, 6])
+        assert subset_violations(e99, e95) == 0
+        report = nesting_report(e99, e95, e90)
+        assert report["violations_99_in_95"] == 0
+        assert report["violations_95_in_90"] == 0
+        assert report["common_to_all"] == 2
+
+    def test_violations_counted(self):
+        e99 = bits([1, 2, 60])       # 60 is the outlier
+        e95 = bits([1, 2, 3])
+        assert subset_violations(e99, e95) == 1
+
+    def test_report_sizes(self):
+        report = nesting_report(bits([1]), bits([1, 2]), bits([1, 2, 3]))
+        assert report["errors_at_99"] == 1
+        assert report["errors_at_95"] == 2
+        assert report["errors_at_90"] == 3

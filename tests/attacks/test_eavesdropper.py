@@ -1,0 +1,163 @@
+"""Tests for the eavesdropping attack and Figure 13 convergence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    EavesdropperAttacker,
+    run_interval_model,
+    run_stitching_experiment,
+)
+from repro.system import ModeledApproximateMemory, PhysicalMemoryMap
+
+
+def machine(seed=0, pages=512):
+    return ModeledApproximateMemory(
+        chip_seed=seed, memory_map=PhysicalMemoryMap(total_pages=pages)
+    )
+
+
+class TestIntervalModel:
+    def test_single_sample_is_one_suspect(self, rng):
+        curve = run_interval_model(100, 10, 1, rng)
+        assert curve.points[0].suspected_chips == 1
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            run_interval_model(10, 20, 1, rng)
+
+    def test_count_rises_then_converges(self, rng):
+        """The Figure 13 shape at paper scale: 1 GB memory, 10 MB
+        samples, 1000 samples."""
+        curve = run_interval_model(
+            total_pages=262_144, sample_pages=2_560, n_samples=1000, rng=rng,
+            record_every=10,
+        )
+        peak = curve.peak
+        # Paper: ~35 suspects at peak, convergence begins ~90 samples.
+        assert 25 <= peak.suspected_chips <= 50
+        assert 60 <= peak.samples <= 180
+        assert curve.final.suspected_chips <= 3
+
+    def test_sample_covering_whole_memory_converges_instantly(self, rng):
+        curve = run_interval_model(100, 100, 5, rng)
+        assert all(point.suspected_chips == 1 for point in curve.points)
+
+    def test_record_every_thins_points(self, rng):
+        curve = run_interval_model(1000, 10, 100, rng, record_every=25)
+        assert [p.samples for p in curve.points] == [25, 50, 75, 100]
+
+
+class TestStitchingExperiment:
+    def test_single_machine_converges(self, rng):
+        curve = run_stitching_experiment(
+            machines=[machine()],
+            n_samples=300,
+            sample_pages=16,
+            rng=rng,
+            record_every=10,
+        )
+        assert curve.final.suspected_chips <= 2
+        assert curve.peak.suspected_chips > curve.final.suspected_chips
+
+    def test_two_machines_end_as_two_suspects(self, rng):
+        curve = run_stitching_experiment(
+            machines=[machine(seed=1, pages=256), machine(seed=2, pages=256)],
+            n_samples=300,
+            sample_pages=16,
+            rng=rng,
+            record_every=10,
+        )
+        # Convergence floor is one assembly per physical machine; cross-
+        # machine merges never happen.
+        assert curve.final.suspected_chips == 2
+
+    def test_matches_interval_overlap_ground_truth(self, rng):
+        """With observation noise disabled, fingerprint stitching must
+        agree *exactly* with the connected components of interval
+        overlap computed from the true placements — validating the
+        interval model used for the paper-scale Figure 13 run."""
+        pages, sample, n = 256, 16, 50
+        noiseless = ModeledApproximateMemory(
+            chip_seed=5,
+            memory_map=PhysicalMemoryMap(total_pages=pages),
+            miss_rate=0.0,
+            spurious_bits=0.0,
+        )
+        attacker = EavesdropperAttacker()
+        intervals = []
+        for _ in range(n):
+            output = noiseless.publish_output(sample, rng)
+            attacker.observe_output(output.page_errors)
+            start = output.placement.page_indices[0]
+            intervals.append((start, start + sample))
+        # Reference component count by sweeping sorted intervals.
+        segments = []
+        for start, end in sorted(intervals):
+            if segments and start < segments[-1][1]:
+                segments[-1] = (segments[-1][0], max(segments[-1][1], end))
+            else:
+                segments.append((start, end))
+        assert attacker.suspected_chips == len(segments)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            run_stitching_experiment([machine()], 0, 4, rng)
+
+    def test_attacker_wrapper_counts(self, rng):
+        attacker = EavesdropperAttacker()
+        output = machine().publish_output(8, rng)
+        report = attacker.observe_output(output.page_errors)
+        assert attacker.suspected_chips == 1
+        assert report.output_id == 0
+
+
+class TestExpectedSuspectedChips:
+    def test_single_sample(self):
+        from repro.attacks import expected_suspected_chips
+
+        assert expected_suspected_chips(1, 100, 10) == pytest.approx(1.0)
+
+    def test_peak_location_and_height(self):
+        """The closed form peaks near n = M/L at ~M/(eL) clusters —
+        the paper's ~90-sample, ~35-suspect landmark."""
+        from repro.attacks import expected_suspected_chips
+
+        M, L = 262_144, 2_560
+        values = {
+            n: expected_suspected_chips(n, M, L) for n in range(10, 400, 2)
+        }
+        peak_n = max(values, key=values.get)
+        assert abs(peak_n - M / L) < 15
+        assert abs(values[peak_n] - M / (np.e * L)) < 2.0
+
+    def test_matches_simulation(self, rng):
+        """Monte-Carlo agreement with the interval model."""
+        from repro.attacks import expected_suspected_chips
+
+        M, L, n = 4096, 64, 64
+        simulated = [
+            run_interval_model(M, L, n, np.random.default_rng(seed))
+            .final.suspected_chips
+            for seed in range(40)
+        ]
+        assert np.mean(simulated) == pytest.approx(
+            expected_suspected_chips(n, M, L), rel=0.2
+        )
+
+    def test_validation(self):
+        from repro.attacks import expected_suspected_chips
+
+        with pytest.raises(ValueError):
+            expected_suspected_chips(0, 10, 5)
+        with pytest.raises(ValueError):
+            expected_suspected_chips(1, 10, 50)
+
+
+class TestCurveAccessors:
+    def test_axes(self, rng):
+        curve = run_interval_model(100, 10, 20, rng, record_every=5)
+        assert curve.samples_axis() == [5, 10, 15, 20]
+        assert len(curve.suspected_axis()) == 4

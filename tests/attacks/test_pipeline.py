@@ -1,0 +1,142 @@
+"""Tests for the end-to-end ProbableCause pipeline facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.pipeline import Attribution, ProbableCause
+from repro.bits import BitVector
+from repro.core import Fingerprint, characterize_trials
+from repro.dram import TEST_DEVICE, ChipFamily, TrialConditions
+
+
+def fp(indices, nbits=640):
+    return Fingerprint(bits=BitVector.from_indices(nbits, indices))
+
+
+def errors(indices, nbits=640):
+    return BitVector.from_indices(nbits, indices)
+
+
+class TestEnrollment:
+    def test_enrolled_devices_listed(self):
+        attacker = ProbableCause()
+        attacker.enroll("SN0", fp([1, 2, 3]))
+        assert attacker.known_devices() == ["SN0"]
+        assert attacker.suspects() == []
+
+    def test_enrolled_match_is_not_new(self):
+        attacker = ProbableCause()
+        attacker.enroll("SN0", fp(range(0, 50)))
+        attribution = attacker.observe_errors(errors(range(0, 49)))
+        assert attribution.key == "SN0"
+        assert attribution.matched_known_device
+        assert not attribution.new_suspect
+
+    def test_match_refines_fingerprint(self):
+        attacker = ProbableCause()
+        attacker.enroll("SN0", fp(range(0, 50)))
+        attacker.observe_errors(errors(range(0, 45)))
+        assert attacker.database.get("SN0").weight == 45
+        assert attacker.database.get("SN0").support == 2
+
+
+class TestOnlineSuspects:
+    def test_miss_opens_suspect(self):
+        attacker = ProbableCause()
+        attribution = attacker.observe_errors(errors(range(100, 150)))
+        assert attribution.new_suspect
+        assert attribution.key == "suspect-0"
+        assert attacker.suspects() == ["suspect-0"]
+
+    def test_repeat_output_joins_suspect(self):
+        attacker = ProbableCause()
+        first = attacker.observe_errors(errors(range(100, 150)))
+        second = attacker.observe_errors(errors(range(100, 149)))
+        assert second.key == first.key
+        assert not second.new_suspect
+        assert not second.matched_known_device
+
+    def test_distinct_devices_distinct_suspects(self):
+        attacker = ProbableCause()
+        a = attacker.observe_errors(errors(range(0, 50)))
+        b = attacker.observe_errors(errors(range(300, 350)))
+        assert a.key != b.key
+        assert len(attacker.suspects()) == 2
+
+    def test_empty_error_string_opens_unmatchable_suspect(self):
+        """A no-error output carries no signal; it must not match any
+        existing fingerprint (the swap-rule degenerate case)."""
+        attacker = ProbableCause()
+        attacker.enroll("SN0", fp([1, 2]))
+        attribution = attacker.observe_errors(BitVector.zeros(640))
+        assert attribution.new_suspect
+
+    def test_observation_counter(self):
+        attacker = ProbableCause()
+        attacker.observe_errors(errors([1]))
+        attacker.observe_errors(errors([1]))
+        assert attacker.observations == 2
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            ProbableCause(threshold=0.0)
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        attacker = ProbableCause()
+        attacker.enroll("SN0", fp(range(0, 50)))
+        attacker.observe_errors(errors(range(300, 350)))  # suspect-0
+        path = tmp_path / "store.pcfp"
+        attacker.save(path)
+
+        restored = ProbableCause.load(path)
+        assert restored.known_devices() == ["SN0"]
+        assert restored.suspects() == ["suspect-0"]
+        # New suspects continue numbering after the restored ones.
+        attribution = restored.observe_errors(errors(range(500, 550)))
+        assert attribution.key == "suspect-1"
+
+    def test_loaded_store_still_attributes(self, tmp_path):
+        attacker = ProbableCause()
+        attacker.enroll("SN0", fp(range(0, 50)))
+        path = tmp_path / "store.pcfp"
+        attacker.save(path)
+        restored = ProbableCause.load(path)
+        attribution = restored.observe_errors(errors(range(0, 48)))
+        assert attribution.key == "SN0"
+        assert attribution.matched_known_device
+
+
+class TestOnSimulatedChips:
+    def test_mixed_scenario_end_to_end(self):
+        """Enrolled device and unknown device observed interleaved: the
+        pipeline attributes the former by serial and clusters the
+        latter under a stable suspect id."""
+        family = ChipFamily(TEST_DEVICE, n_chips=2, base_chip_seed=5000)
+        platforms = family.platforms()
+        attacker = ProbableCause()
+
+        # Supply-chain enrollment of device 0 only.
+        trials = [
+            platforms[0].run_trial(TrialConditions(0.99, t))
+            for t in (40.0, 50.0, 60.0)
+        ]
+        attacker.enroll("SN-known", characterize_trials(trials))
+
+        verdicts = []
+        for _round in range(3):
+            for platform, expected_enrolled in (
+                (platforms[0], True),
+                (platforms[1], False),
+            ):
+                trial = platform.run_trial(TrialConditions(0.95, 50.0))
+                attribution = attacker.observe(trial.approx, trial.exact)
+                verdicts.append((attribution, expected_enrolled))
+
+        known_keys = {a.key for a, enrolled in verdicts if enrolled}
+        unknown_keys = {a.key for a, enrolled in verdicts if not enrolled}
+        assert known_keys == {"SN-known"}
+        assert len(unknown_keys) == 1
+        assert unknown_keys.pop().startswith("suspect-")

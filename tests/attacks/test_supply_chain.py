@@ -1,0 +1,101 @@
+"""Tests for the supply-chain attack scenario."""
+
+from __future__ import annotations
+
+from repro.dram import TEST_DEVICE, ChipFamily, TrialConditions
+from repro.attacks import SupplyChainAttacker
+
+
+class TestSupplyChainAttack:
+    def test_interception_builds_database(self):
+        family = ChipFamily(TEST_DEVICE, n_chips=3)
+        attacker = SupplyChainAttacker()
+        for index, platform in enumerate(family.platforms()):
+            record = attacker.intercept_device(platform, serial=f"SN{index}")
+            assert record.trials_used == 3
+            assert record.fingerprint_weight > 0
+        assert len(attacker.database) == 3
+        assert [r.serial for r in attacker.records] == ["SN0", "SN1", "SN2"]
+
+    def test_attribution_is_perfect_across_conditions(self):
+        """§10: 100 % identification success, robust to temperature and
+        approximation level."""
+        family = ChipFamily(TEST_DEVICE, n_chips=3, base_chip_seed=200)
+        platforms = family.platforms()
+        attacker = SupplyChainAttacker()
+        for index, platform in enumerate(platforms):
+            attacker.intercept_device(platform, serial=f"SN{index}")
+
+        total, correct = 0, 0
+        for index, platform in enumerate(platforms):
+            for accuracy in (0.99, 0.95, 0.90):
+                for temperature in (40.0, 50.0, 60.0):
+                    trial = platform.run_trial(
+                        TrialConditions(accuracy, temperature)
+                    )
+                    result = attacker.attribute_output(trial.approx, trial.exact)
+                    total += 1
+                    if result.matched and result.key == f"SN{index}":
+                        correct += 1
+        assert correct == total == 27
+
+    def test_unseen_device_not_attributed(self):
+        family = ChipFamily(TEST_DEVICE, n_chips=2, base_chip_seed=300)
+        attacker = SupplyChainAttacker()
+        attacker.intercept_device(family.platforms()[0], serial="SN0")
+        # Device 1 was never intercepted.
+        trial = family.platforms()[1].run_trial(TrialConditions(0.95, 40.0))
+        result = attacker.attribute_output(trial.approx, trial.exact)
+        assert not result.matched
+
+    def test_attribute_pages_with_unknown_offset(self, rng):
+        """§4: a published output a few pages long, at an unknown
+        physical offset, still attributes via page-level matching."""
+        from repro.bits import split_pages
+        from repro.dram import KM41464A, ChipFamily as Family
+
+        family = Family(KM41464A, n_chips=3, base_chip_seed=500)
+        platforms = family.platforms()
+        attacker = SupplyChainAttacker()
+        for index, platform in enumerate(platforms):
+            attacker.intercept_device(platform, serial=f"SN{index}")
+
+        # Victim: chip 1 publishes a 3-page output; the attacker sees
+        # only those pages, not where in the chip they came from.
+        trial = platforms[1].run_trial(TrialConditions(0.99, 50.0))
+        pages = split_pages(trial.error_string)
+        start = int(rng.integers(0, len(pages) - 3))
+        result = attacker.attribute_pages(pages[start : start + 3])
+        assert result.matched and result.key == "SN1"
+
+    def test_attribute_pages_fails_on_unknown_chip(self, rng):
+        from repro.bits import split_pages
+        from repro.dram import KM41464A, ChipFamily as Family
+
+        family = Family(KM41464A, n_chips=2, base_chip_seed=600)
+        attacker = SupplyChainAttacker()
+        attacker.intercept_device(family.platforms()[0], serial="SN0")
+        trial = family.platforms()[1].run_trial(TrialConditions(0.99, 40.0))
+        pages = split_pages(trial.error_string)
+        result = attacker.attribute_pages(pages[:3])
+        assert not result.matched
+
+    def test_attribute_pages_skips_blank_pages(self):
+        from repro.bits import BitVector
+        from repro.dram import KM41464A, ChipFamily as Family
+
+        family = Family(KM41464A, n_chips=1, base_chip_seed=700)
+        attacker = SupplyChainAttacker()
+        attacker.intercept_device(family.platforms()[0], serial="SN0")
+        blank = [BitVector.zeros(4096 * 8)] * 2
+        result = attacker.attribute_pages(blank)
+        assert not result.matched
+
+    def test_custom_characterization_recipe(self):
+        family = ChipFamily(TEST_DEVICE, n_chips=1, base_chip_seed=400)
+        attacker = SupplyChainAttacker(
+            characterization_accuracy=0.95,
+            characterization_temperatures=(40.0,),
+        )
+        record = attacker.intercept_device(family.platforms()[0], serial="SN0")
+        assert record.trials_used == 1

@@ -1,0 +1,66 @@
+"""Tests for page-granular bit-vector views."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bits import BitVector, PAGE_BITS, join_pages, page_count, split_pages
+
+
+class TestSplitJoin:
+    def test_split_produces_expected_pages(self):
+        vec = BitVector.from_indices(64, [0, 17, 63])
+        pages = split_pages(vec, page_bits=16)
+        assert len(pages) == 4
+        assert list(pages[0].to_indices()) == [0]
+        assert list(pages[1].to_indices()) == [1]
+        assert list(pages[3].to_indices()) == [15]
+
+    def test_split_rejects_partial_pages(self):
+        with pytest.raises(ValueError):
+            split_pages(BitVector.zeros(100), page_bits=16)
+
+    def test_split_rejects_nonpositive_page_size(self):
+        with pytest.raises(ValueError):
+            split_pages(BitVector.zeros(16), page_bits=0)
+
+    def test_join_inverts_split(self):
+        vec = BitVector.from_indices(128, [5, 64, 127])
+        assert join_pages(split_pages(vec, page_bits=32)) == vec
+
+    def test_join_rejects_ragged_pages(self):
+        with pytest.raises(ValueError):
+            join_pages([BitVector.zeros(16), BitVector.zeros(8)])
+
+    def test_join_empty(self):
+        assert join_pages([]).nbits == 0
+
+    def test_default_page_size_is_4kb(self):
+        assert PAGE_BITS == 4096 * 8
+
+
+class TestPageCount:
+    def test_exact_division(self):
+        assert page_count(PAGE_BITS * 3) == 3
+
+    def test_rejects_partial(self):
+        with pytest.raises(ValueError):
+            page_count(PAGE_BITS + 1)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=8),
+    st.integers(min_value=1, max_value=6),
+    st.lists(st.integers(min_value=0, max_value=10_000), max_size=32),
+)
+def test_split_join_roundtrip_property(pages, page_words, indices):
+    page_bits = page_words * 16
+    nbits = pages * page_bits
+    vec = BitVector.from_indices(nbits, sorted({i % nbits for i in indices}))
+    chunks = split_pages(vec, page_bits=page_bits)
+    assert len(chunks) == pages
+    assert join_pages(chunks) == vec
+    assert sum(chunk.popcount() for chunk in chunks) == vec.popcount()

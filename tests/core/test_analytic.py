@@ -1,0 +1,164 @@
+"""Tests for the §7.1 analytic uniqueness model."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.analytic import (
+    PAGE_BITS,
+    analyze_page,
+    comb,
+    comb_sum,
+    distinguishable_fingerprint_bounds,
+    entropy_bits,
+    entropy_bits_loose,
+    format_log10,
+    log10_int,
+    log10_ratio,
+    max_possible_fingerprints,
+    mismatch_chance_bounds,
+)
+
+
+class TestCombinatoricHelpers:
+    def test_comb_conventions(self):
+        assert comb(5, 2) == 10
+        assert comb(5, -1) == 0
+        assert comb(5, 6) == 0
+
+    def test_comb_sum(self):
+        assert comb_sum(5, 2) == 1 + 5 + 10
+        assert comb_sum(5, -1) == 0
+
+    def test_log10_int_small_values_exact(self):
+        for value in (1, 7, 1000, 10**15):
+            assert log10_int(value) == pytest.approx(math.log10(value), rel=1e-12)
+
+    def test_log10_int_huge_value(self):
+        assert log10_int(10**1000) == pytest.approx(1000.0, abs=1e-9)
+
+    def test_log10_int_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            log10_int(0)
+
+    def test_log10_ratio(self):
+        assert log10_ratio(10**500, 10**200) == pytest.approx(300.0, abs=1e-9)
+
+    def test_format_log10(self):
+        # Magnitudes far outside float range arrive as log10 values.
+        assert format_log10(795.0 + math.log10(8.7)) == "8.70e+795"
+        assert format_log10(-591.0 + math.log10(9.29)) == "9.29e-591"
+
+    def test_format_log10_mantissa_rounding_edge(self):
+        assert format_log10(math.log10(9.9999e10)) == "1.00e+11"
+
+
+class TestEquations:
+    M, A, T = 1024, 16, 2
+
+    def test_equation1_exact(self):
+        assert max_possible_fingerprints(self.M, self.A) == math.comb(self.M, self.A)
+
+    def test_equation2_bracket_ordering(self):
+        lower, upper = distinguishable_fingerprint_bounds(self.M, self.A, self.T)
+        assert 0 < lower <= upper <= math.comb(self.M, self.A)
+
+    def test_equation3_bracket_ordering(self):
+        log_lower, log_upper = mismatch_chance_bounds(self.M, self.A, self.T)
+        assert log_lower <= log_upper < 0
+
+    def test_equation3_matches_direct_computation(self):
+        log_lower, log_upper = mismatch_chance_bounds(self.M, self.A, self.T)
+        space = math.comb(self.M, self.A)
+        direct_upper = sum(math.comb(self.M, i) for i in range(1, 2 * self.T + 1))
+        assert log_upper == pytest.approx(
+            math.log10(direct_upper) - math.log10(space), abs=1e-9
+        )
+
+    def test_equation4_bounds_ordering(self):
+        tight = entropy_bits(self.M, self.A, self.T)
+        loose = entropy_bits_loose(self.M, self.A, self.T)
+        # Both are lower bounds on true entropy; the "loose" closed form
+        # can exceed the Hamming-bound form but both must be positive.
+        assert tight > 0 and loose > 0
+        # Entropy cannot exceed log2 of the raw state space.
+        ceiling = log10_int(math.comb(self.M, self.A)) / math.log10(2)
+        assert tight <= ceiling and loose <= ceiling
+
+    def test_entropy_loose_degenerate_threshold(self):
+        assert entropy_bits_loose(self.M, self.A, self.A) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            max_possible_fingerprints(0, 0)
+        with pytest.raises(ValueError):
+            max_possible_fingerprints(10, 11)
+        with pytest.raises(ValueError):
+            mismatch_chance_bounds(10, 5, -1)
+
+
+class TestTable1:
+    """The paper's Table 1 point: M = 32768, A = 328, T = 32."""
+
+    def test_default_parameters(self):
+        analysis = analyze_page()
+        assert analysis.memory_bits == PAGE_BITS == 32768
+        assert analysis.error_bits == 328
+        assert analysis.threshold_bits == 32
+        assert analysis.accuracy == pytest.approx(0.99, abs=0.001)
+
+    def test_matches_paper_magnitudes(self):
+        """Paper: 8.70e795 / >=1.07e590 / <=9.29e-591 / 2423 bits.  Exact
+        integer arithmetic lands within a few orders of magnitude of the
+        paper's (fractionally rounded) constants — out of ~600-800."""
+        analysis = analyze_page()
+        assert analysis.log10_max_possible == pytest.approx(795.94, abs=0.05)
+        assert 585 <= analysis.log10_unique_lower <= 600
+        assert -600 <= analysis.log10_mismatch_upper <= -585
+        assert analysis.entropy_total_bits == pytest.approx(2423, abs=15)
+
+    def test_table2_accuracy_sweep_is_monotone(self):
+        """Table 2: lowering accuracy makes mismatch exponentially less
+        likely (more entropy in the larger error set)."""
+        magnitudes = [
+            analyze_page(accuracy=accuracy).log10_mismatch_upper
+            for accuracy in (0.99, 0.95, 0.90)
+        ]
+        assert magnitudes[0] > magnitudes[1] > magnitudes[2]
+        # Paper's Table 2 magnitudes: ~1e-591, ~1e-2028, ~1e-3232.
+        assert magnitudes[0] == pytest.approx(-596, abs=10)
+        assert magnitudes[1] == pytest.approx(-2031, abs=10)
+        assert magnitudes[2] == pytest.approx(-3233, abs=10)
+
+    def test_invalid_accuracy_rejected(self):
+        with pytest.raises(ValueError):
+            analyze_page(accuracy=1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(min_value=32, max_value=2048),
+    st.data(),
+)
+def test_mismatch_bound_shrinks_with_memory_size(memory_bits, data):
+    error_bits = data.draw(
+        st.integers(min_value=4, max_value=max(4, memory_bits // 8))
+    )
+    threshold = data.draw(st.integers(min_value=1, max_value=error_bits // 2))
+    log_lower, log_upper = mismatch_chance_bounds(memory_bits, error_bits, threshold)
+    assert log_lower <= log_upper
+    # Mismatch probability is a genuine probability: <= 1.
+    assert log_upper <= 0.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=64, max_value=1024))
+def test_entropy_positive_for_sane_parameters(memory_bits):
+    error_bits = memory_bits // 16
+    threshold = max(1, error_bits // 10)
+    assert entropy_bits(memory_bits, error_bits, threshold) > 0
+    assert entropy_bits_loose(memory_bits, error_bits, threshold) > 0

@@ -1,0 +1,81 @@
+"""Tests for Algorithm 1 (characterization)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bits import BitVector
+from repro.core import characterize, characterize_trials
+from repro.dram import TrialConditions
+
+
+class TestCharacterize:
+    def test_intersection_of_error_patterns(self):
+        exact = BitVector.zeros(32)
+        outputs = [
+            BitVector.from_indices(32, [1, 2, 3]),
+            BitVector.from_indices(32, [2, 3, 4]),
+        ]
+        fingerprint = characterize(outputs, exact)
+        assert sorted(fingerprint.bits.to_indices()) == [2, 3]
+        assert fingerprint.support == 2
+
+    def test_per_output_exact_values(self):
+        exacts = [BitVector.from_indices(32, [0]), BitVector.from_indices(32, [9])]
+        outputs = [
+            BitVector.from_indices(32, [0, 5]),   # errors at {5}
+            BitVector.from_indices(32, [9, 5]),   # errors at {5}
+        ]
+        fingerprint = characterize(outputs, exacts)
+        assert list(fingerprint.bits.to_indices()) == [5]
+
+    def test_source_label_carried(self):
+        exact = BitVector.zeros(8)
+        fingerprint = characterize([exact], exact, source="chip-X")
+        assert fingerprint.source == "chip-X"
+
+    def test_empty_outputs_rejected(self):
+        with pytest.raises(ValueError):
+            characterize([], BitVector.zeros(8))
+
+    def test_mismatched_exact_count_rejected(self):
+        with pytest.raises(ValueError):
+            characterize(
+                [BitVector.zeros(8)],
+                [BitVector.zeros(8), BitVector.zeros(8)],
+            )
+
+
+class TestCharacterizeTrials:
+    def test_real_trials_produce_stable_fingerprint(self, small_platform):
+        trials = [
+            small_platform.run_trial(TrialConditions(0.95, temp))
+            for temp in (40.0, 50.0, 60.0)
+        ]
+        fingerprint = characterize_trials(trials)
+        # Intersection can only be as big as the smallest error string.
+        assert 0 < fingerprint.weight <= min(t.error_count for t in trials)
+        assert fingerprint.source == small_platform.chip.label
+
+    def test_fingerprint_is_most_volatile_cells(self, small_platform):
+        """The characterized bits must be among the chip's fastest
+        decaying cells (lowest retention)."""
+        import numpy as np
+
+        trials = [
+            small_platform.run_trial(TrialConditions(0.99, 40.0)) for _ in range(3)
+        ]
+        fingerprint = characterize_trials(trials)
+        retention = small_platform.chip.retention_reference_s
+        cutoff = np.quantile(retention, 0.02)
+        fingerprint_cells = fingerprint.bits.to_indices()
+        assert (retention[fingerprint_cells] < cutoff).mean() > 0.95
+
+    def test_explicit_source_wins(self, small_platform):
+        trials = [small_platform.run_trial(TrialConditions(0.95, 40.0))]
+        fingerprint = characterize_trials(trials, source="override")
+        assert fingerprint.source == "override"
+
+    def test_empty_trials_rejected(self):
+        with pytest.raises(ValueError):
+            characterize_trials([])

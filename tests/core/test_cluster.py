@@ -1,0 +1,99 @@
+"""Tests for Algorithm 4 (online clustering)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bits import BitVector
+from repro.core import OnlineClusterer, cluster_outputs
+from repro.dram import TEST_DEVICE, ChipFamily, TrialConditions
+
+
+class TestOnlineClusterer:
+    def test_first_output_founds_cluster(self):
+        clusterer = OnlineClusterer()
+        index = clusterer.add(BitVector.from_indices(64, [1, 2]))
+        assert index == 0
+        assert len(clusterer) == 1
+
+    def test_similar_strings_share_cluster(self):
+        clusterer = OnlineClusterer()
+        clusterer.add(BitVector.from_indices(640, range(0, 50)))
+        index = clusterer.add(BitVector.from_indices(640, range(0, 49)))
+        assert index == 0
+        assert len(clusterer) == 1
+
+    def test_dissimilar_strings_split(self):
+        clusterer = OnlineClusterer()
+        clusterer.add(BitVector.from_indices(64, [1, 2, 3]))
+        index = clusterer.add(BitVector.from_indices(64, [40, 41, 42]))
+        assert index == 1
+        assert len(clusterer) == 2
+
+    def test_matching_refines_fingerprint(self):
+        """Algorithm 4 line 7: the cluster fingerprint intersects with
+        each new member, sharpening toward the most volatile bits."""
+        clusterer = OnlineClusterer()
+        clusterer.add(BitVector.from_indices(640, range(0, 50)))
+        clusterer.add(BitVector.from_indices(640, range(0, 45)))
+        cluster = clusterer.clusters[0]
+        assert cluster.fingerprint.weight == 45
+        assert cluster.fingerprint.support == 2
+        assert cluster.members == [0, 1]
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            OnlineClusterer(threshold=0.0)
+        with pytest.raises(ValueError):
+            OnlineClusterer(threshold=1.5)
+
+
+class TestClusterOutputs:
+    def test_batch_clustering_with_shared_exact(self):
+        exact = BitVector.zeros(640)
+        group_a = [BitVector.from_indices(640, range(0, 50))] * 2
+        group_b = [BitVector.from_indices(640, range(300, 350))] * 3
+        clusters, assignments = cluster_outputs(group_a + group_b, exact)
+        assert len(clusters) == 2
+        assert assignments == [0, 0, 1, 1, 1]
+        assert clusters[0].size == 2 and clusters[1].size == 3
+
+    def test_mismatched_exact_count_rejected(self):
+        with pytest.raises(ValueError):
+            cluster_outputs([BitVector.zeros(8)], [])
+
+    def test_clusters_simulated_chips_perfectly(self):
+        """§10: 100 % clustering success — outputs group exactly by
+        physical chip with no supervision."""
+        family = ChipFamily(TEST_DEVICE, n_chips=3)
+        outputs, exacts, truth = [], [], []
+        for chip_index, platform in enumerate(family.platforms()):
+            for accuracy in (0.99, 0.95, 0.90):
+                trial = platform.run_trial(TrialConditions(accuracy, 40.0))
+                outputs.append(trial.approx)
+                exacts.append(trial.exact)
+                truth.append(chip_index)
+        clusters, assignments = cluster_outputs(outputs, exacts)
+        assert len(clusters) == 3
+        # Same truth label <=> same cluster assignment.
+        mapping = {}
+        for truth_label, assigned in zip(truth, assignments):
+            mapping.setdefault(truth_label, assigned)
+            assert mapping[truth_label] == assigned
+        assert len(set(mapping.values())) == 3
+
+    def test_interleaved_arrival_order(self):
+        """Clustering is online; interleaving outputs from different
+        chips must not confuse it."""
+        family = ChipFamily(TEST_DEVICE, n_chips=2, base_chip_seed=77)
+        platforms = family.platforms()
+        outputs, exacts, truth = [], [], []
+        for accuracy in (0.99, 0.95, 0.90):
+            for chip_index, platform in enumerate(platforms):
+                trial = platform.run_trial(TrialConditions(accuracy, 50.0))
+                outputs.append(trial.approx)
+                exacts.append(trial.exact)
+                truth.append(chip_index)
+        clusters, assignments = cluster_outputs(outputs, exacts)
+        assert len(clusters) == 2
+        assert assignments == truth  # chip 0 founds cluster 0, chip 1 cluster 1

@@ -1,0 +1,156 @@
+"""Tests for the Algorithm 3 distance metric and its baselines."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bits import BitVector
+from repro.core import (
+    Fingerprint,
+    hamming_distance_normalized,
+    jaccard_distance,
+    probable_cause_distance,
+)
+
+
+def bits(nbits, indices):
+    return BitVector.from_indices(nbits, indices)
+
+
+class TestProbableCauseDistance:
+    def test_identical_sets_distance_zero(self):
+        a = bits(64, [1, 2, 3])
+        assert probable_cause_distance(a, a) == 0.0
+
+    def test_fingerprint_subset_of_errors_is_zero(self):
+        """Extra errors (deeper approximation) must not hurt: a 1 %
+        fingerprint inside a 10 % error string matches perfectly."""
+        fingerprint = bits(64, [1, 2])
+        errors = bits(64, [1, 2, 3, 4, 5, 6])
+        assert probable_cause_distance(errors, fingerprint) == 0.0
+
+    def test_disjoint_sets_distance_one(self):
+        fingerprint = bits(64, [1, 2])
+        errors = bits(64, [3, 4])
+        assert probable_cause_distance(errors, fingerprint) == 1.0
+
+    def test_partial_overlap(self):
+        fingerprint = bits(64, [1, 2, 3, 4])
+        errors = bits(64, [1, 2, 50, 51, 52, 53])
+        # After swap, fingerprint (4 bits) is smaller: 2 of 4 missing.
+        assert probable_cause_distance(errors, fingerprint) == pytest.approx(0.5)
+
+    def test_swap_rule_makes_metric_symmetric(self):
+        a = bits(64, [1, 2, 3, 4])
+        b = bits(64, [1, 2, 50, 51, 52, 53])
+        assert probable_cause_distance(a, b) == probable_cause_distance(b, a)
+
+    def test_accepts_fingerprint_wrapper(self):
+        wrapped = Fingerprint(bits=bits(64, [1, 2]))
+        assert probable_cause_distance(bits(64, [1, 2]), wrapped) == 0.0
+
+    def test_empty_operands(self):
+        empty = BitVector.zeros(64)
+        assert probable_cause_distance(empty, empty) == 0.0
+        assert probable_cause_distance(bits(64, [1]), empty) == 0.0
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            probable_cause_distance(BitVector.zeros(8), BitVector.zeros(16))
+
+    def test_unknown_normalization_rejected(self):
+        with pytest.raises(ValueError):
+            probable_cause_distance(
+                bits(8, [1]), bits(8, [1]), normalize="banana"
+            )
+
+    def test_normalization_variants_differ_under_mismatched_volume(self):
+        """The fidelity argument from the module docstring: the prose
+        normalization keeps between-class distance near 1 under volume
+        mismatch, the literal pseudocode collapses it toward |FP|/|E|."""
+        nbits = 10_000
+        fingerprint = bits(nbits, range(0, 100))          # 1 % fingerprint
+        errors = bits(nbits, range(5_000, 6_000))          # disjoint 10 %
+        prose = probable_cause_distance(errors, fingerprint, "fingerprint")
+        literal = probable_cause_distance(errors, fingerprint, "errorstring")
+        assert prose == 1.0
+        assert literal == pytest.approx(0.1)
+
+
+class TestHammingBaselineFailure:
+    def test_hamming_fails_on_mismatched_approximation(self):
+        """§5.2's motivating case: under Hamming distance, a same-chip
+        output at a deeper approximation looks *farther* from the
+        fingerprint than a different chip with matched error volume;
+        Algorithm 3 gets it right."""
+        nbits = 10_000
+        fingerprint = bits(nbits, range(0, 100))
+        # Same chip, deeper approximation: superset of the fingerprint.
+        same_chip = bits(nbits, range(0, 1_000))
+        # Different chip, same error volume as the fingerprint, disjoint.
+        other_chip = bits(nbits, range(2_000, 2_100))
+
+        hamming_same = hamming_distance_normalized(same_chip, fingerprint)
+        hamming_other = hamming_distance_normalized(other_chip, fingerprint)
+        assert hamming_same > hamming_other  # Hamming picks the wrong chip
+
+        pc_same = probable_cause_distance(same_chip, fingerprint)
+        pc_other = probable_cause_distance(other_chip, fingerprint)
+        assert pc_same < pc_other  # Algorithm 3 picks the right chip
+
+
+class TestClassicBaselines:
+    def test_jaccard_identities(self):
+        a = bits(32, [1, 2])
+        assert jaccard_distance(a, a) == 0.0
+        assert jaccard_distance(a, bits(32, [3, 4])) == 1.0
+        empty = BitVector.zeros(32)
+        assert jaccard_distance(empty, empty) == 0.0
+
+    def test_jaccard_partial(self):
+        a = bits(32, [1, 2, 3])
+        b = bits(32, [3, 4])
+        assert jaccard_distance(a, b) == pytest.approx(1.0 - 1.0 / 4.0)
+
+    def test_hamming_normalized(self):
+        a = bits(10, [0])
+        b = bits(10, [1])
+        assert hamming_distance_normalized(a, b) == pytest.approx(0.2)
+        assert hamming_distance_normalized(BitVector(0), BitVector(0)) == 0.0
+
+    def test_baselines_reject_size_mismatch(self):
+        with pytest.raises(ValueError):
+            jaccard_distance(BitVector.zeros(8), BitVector.zeros(9))
+        with pytest.raises(ValueError):
+            hamming_distance_normalized(BitVector.zeros(8), BitVector.zeros(9))
+
+
+index_sets = st.lists(st.integers(min_value=0, max_value=255), max_size=48)
+
+
+@settings(max_examples=100, deadline=None)
+@given(index_sets, index_sets)
+def test_distance_in_unit_interval(ix_a, ix_b):
+    a = bits(256, set(ix_a))
+    b = bits(256, set(ix_b))
+    for normalize in ("fingerprint", "errorstring"):
+        value = probable_cause_distance(a, b, normalize)
+        assert 0.0 <= value <= 1.0
+
+
+@settings(max_examples=100, deadline=None)
+@given(index_sets, index_sets)
+def test_subset_gives_zero_distance(ix_a, ix_b):
+    union = set(ix_a) | set(ix_b)
+    subset = set(ix_a)
+    assert probable_cause_distance(bits(256, union), bits(256, subset)) == 0.0
+
+
+@settings(max_examples=100, deadline=None)
+@given(index_sets, index_sets)
+def test_distance_symmetry_property(ix_a, ix_b):
+    a = bits(256, set(ix_a))
+    b = bits(256, set(ix_b))
+    assert probable_cause_distance(a, b) == probable_cause_distance(b, a)

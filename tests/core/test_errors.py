@@ -1,0 +1,89 @@
+"""Tests for error-string extraction helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bits import BitVector
+from repro.core import error_rate, intersect_all, mark_errors, mark_errors_many, union_all
+
+
+class TestMarkErrors:
+    def test_identical_data_no_errors(self):
+        data = BitVector.from_indices(64, [1, 5])
+        assert not mark_errors(data, data).any()
+
+    def test_flipped_bits_are_marked(self):
+        exact = BitVector.from_indices(64, [1, 5])
+        approx = BitVector.from_indices(64, [1, 9])
+        assert sorted(mark_errors(approx, exact).to_indices()) == [5, 9]
+
+    def test_many_against_shared_exact(self):
+        exact = BitVector.zeros(32)
+        outputs = [BitVector.from_indices(32, [i]) for i in range(3)]
+        errors = mark_errors_many(outputs, exact)
+        assert [list(e.to_indices()) for e in errors] == [[0], [1], [2]]
+
+
+class TestErrorRate:
+    def test_rate_computation(self):
+        exact = BitVector.zeros(100)
+        approx = BitVector.from_indices(100, [0, 1, 2, 3, 4])
+        assert error_rate(approx, exact) == pytest.approx(0.05)
+
+    def test_empty_region(self):
+        assert error_rate(BitVector(0), BitVector(0)) == 0.0
+
+
+class TestReductions:
+    def test_intersect_keeps_common_bits(self):
+        strings = [
+            BitVector.from_indices(32, [1, 2, 3]),
+            BitVector.from_indices(32, [2, 3, 4]),
+            BitVector.from_indices(32, [3, 2, 9]),
+        ]
+        assert sorted(intersect_all(strings).to_indices()) == [2, 3]
+
+    def test_union_keeps_any_bits(self):
+        strings = [
+            BitVector.from_indices(32, [1]),
+            BitVector.from_indices(32, [9]),
+        ]
+        assert sorted(union_all(strings).to_indices()) == [1, 9]
+
+    def test_single_element_reductions(self):
+        string = BitVector.from_indices(16, [3])
+        assert intersect_all([string]) == string
+        assert union_all([string]) == string
+
+    def test_reductions_do_not_mutate_inputs(self):
+        first = BitVector.from_indices(16, [3, 4])
+        second = BitVector.from_indices(16, [4])
+        intersect_all([first, second])
+        assert sorted(first.to_indices()) == [3, 4]
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            intersect_all([])
+        with pytest.raises(ValueError):
+            union_all([])
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.lists(st.integers(min_value=0, max_value=127), max_size=32),
+        min_size=1,
+        max_size=6,
+    )
+)
+def test_intersection_subset_of_union(index_lists):
+    strings = [BitVector.from_indices(128, set(ix)) for ix in index_lists]
+    intersection = intersect_all(strings)
+    union = union_all(strings)
+    assert intersection.is_subset_of(union)
+    for string in strings:
+        assert intersection.is_subset_of(string)
+        assert string.is_subset_of(union)

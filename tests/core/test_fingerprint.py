@@ -1,0 +1,65 @@
+"""Tests for the Fingerprint value type."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bits import BitVector
+from repro.core import Fingerprint
+
+
+class TestBasics:
+    def test_properties(self):
+        fingerprint = Fingerprint(bits=BitVector.from_indices(100, [1, 2, 3]))
+        assert fingerprint.nbits == 100
+        assert fingerprint.weight == 3
+        assert fingerprint.density == pytest.approx(0.03)
+        assert fingerprint.support == 1
+
+    def test_rejects_zero_support(self):
+        with pytest.raises(ValueError):
+            Fingerprint(bits=BitVector.zeros(8), support=0)
+
+    def test_repr_carries_source(self):
+        fingerprint = Fingerprint(bits=BitVector.zeros(8), source="chip-A")
+        assert "chip-A" in repr(fingerprint)
+
+
+class TestIntersect:
+    def test_intersect_refines_and_counts(self):
+        fingerprint = Fingerprint(bits=BitVector.from_indices(32, [1, 2, 3]))
+        refined = fingerprint.intersect(BitVector.from_indices(32, [2, 3, 4]))
+        assert sorted(refined.bits.to_indices()) == [2, 3]
+        assert refined.support == 2
+
+    def test_intersect_preserves_source(self):
+        fingerprint = Fingerprint(
+            bits=BitVector.from_indices(32, [1]), source="chip-B"
+        )
+        assert fingerprint.intersect(BitVector.from_indices(32, [1])).source == "chip-B"
+
+    def test_intersect_is_pure(self):
+        fingerprint = Fingerprint(bits=BitVector.from_indices(32, [1, 2]))
+        fingerprint.intersect(BitVector.zeros(32))
+        assert fingerprint.weight == 2
+
+
+class TestMerge:
+    def test_merge_intersects_and_sums_support(self):
+        a = Fingerprint(bits=BitVector.from_indices(32, [1, 2]), support=3)
+        b = Fingerprint(bits=BitVector.from_indices(32, [2, 3]), support=2)
+        merged = a.merge(b)
+        assert list(merged.bits.to_indices()) == [2]
+        assert merged.support == 5
+
+    def test_merge_size_mismatch_rejected(self):
+        a = Fingerprint(bits=BitVector.zeros(32))
+        b = Fingerprint(bits=BitVector.zeros(64))
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_merge_source_prefers_left_then_right(self):
+        plain = Fingerprint(bits=BitVector.zeros(8))
+        labelled = Fingerprint(bits=BitVector.zeros(8), source="chip-C")
+        assert plain.merge(labelled).source == "chip-C"
+        assert labelled.merge(plain).source == "chip-C"

@@ -1,0 +1,172 @@
+"""Tests for §8.3 error localization without ground truth."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bits import BitVector
+from repro.core import (
+    Fingerprint,
+    FingerprintDatabase,
+    error_estimate_quality,
+    estimate_errors_by_denoising,
+    median_denoise_bytes,
+    recompute_exact_errors,
+    speculative_identify,
+)
+from repro.workloads import image_to_bits, synthetic_photo
+
+
+def flip_random_bits(image: np.ndarray, rng, n_flips: int):
+    """Simulate DRAM decay on an image: flip random bits of random bytes."""
+    corrupted = image.copy().ravel()
+    positions = rng.choice(corrupted.size, size=n_flips, replace=False)
+    bit_positions = rng.integers(0, 8, size=n_flips)
+    corrupted[positions] ^= (1 << bit_positions).astype(np.uint8)
+    return corrupted.reshape(image.shape), positions
+
+
+class TestRecompute:
+    def test_exact_recomputation_recovers_errors(self):
+        exact = BitVector.from_indices(64, [1, 2])
+        approx = BitVector.from_indices(64, [1, 2, 9])
+        errors = recompute_exact_errors(
+            approx, inputs=None, compute=lambda _inputs: exact
+        )
+        assert list(errors.to_indices()) == [9]
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            recompute_exact_errors(
+                BitVector.zeros(64),
+                inputs=None,
+                compute=lambda _inputs: BitVector.zeros(32),
+            )
+
+
+class TestMedianDenoise:
+    def test_constant_image_unchanged(self):
+        image = np.full((10, 10), 100, dtype=np.uint8)
+        assert np.array_equal(median_denoise_bytes(image), image)
+
+    def test_removes_isolated_impulse(self):
+        image = np.full((10, 10), 100, dtype=np.uint8)
+        image[5, 5] = 255
+        assert median_denoise_bytes(image)[5, 5] == 100
+
+    def test_preserves_edges(self):
+        image = np.zeros((10, 10), dtype=np.uint8)
+        image[:, 5:] = 200
+        denoised = median_denoise_bytes(image)
+        assert np.array_equal(denoised, image)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            median_denoise_bytes(np.zeros((2, 2, 3), dtype=np.uint8))
+
+
+class TestEstimateByDenoising:
+    def test_estimates_flips_in_smooth_image(self, rng):
+        image = np.full((64, 64), 128, dtype=np.uint8)
+        corrupted, _positions = flip_random_bits(image, rng, n_flips=40)
+        estimated, denoised = estimate_errors_by_denoising(corrupted)
+        true_errors = image_to_bits(corrupted) ^ image_to_bits(image)
+        precision, recall = error_estimate_quality(estimated, true_errors)
+        assert precision > 0.95
+        assert recall > 0.95
+        assert np.array_equal(denoised, image)
+
+    def test_on_realistic_photo(self, rng):
+        image = synthetic_photo((64, 64), rng, texture_sigma=2.0)
+        corrupted, _ = flip_random_bits(image, rng, n_flips=40)
+        estimated, _denoised = estimate_errors_by_denoising(corrupted)
+        true_errors = image_to_bits(corrupted) ^ image_to_bits(image)
+        precision, recall = error_estimate_quality(estimated, true_errors)
+        # Texture costs precision; the attacker still recovers most of
+        # the real error positions.
+        assert recall > 0.7
+
+    def test_requires_uint8(self):
+        with pytest.raises(ValueError):
+            estimate_errors_by_denoising(np.zeros((4, 4), dtype=np.float32))
+
+    def test_single_bit_filter_rejects_multibit_texture(self, rng):
+        """Texture disagreement flips several bits per byte; the
+        single-bit filter drops those bytes entirely."""
+        image = np.full((32, 32), 128, dtype=np.uint8)
+        image[10, 10] ^= 0x40          # one decay-like flip (value jump 64)
+        image[20, 20] ^= 0x07          # texture-like multi-bit wiggle
+        estimated, _ = estimate_errors_by_denoising(
+            image, single_bit_only=True, min_byte_delta=16
+        )
+        flagged_bytes = set(np.asarray(estimated.to_indices()) // 8)
+        assert (10 * 32 + 10) in flagged_bytes
+        assert (20 * 32 + 20) not in flagged_bytes
+
+    def test_byte_delta_filter_drops_low_bit_flips(self, rng):
+        image = np.full((16, 16), 100, dtype=np.uint8)
+        image[2, 2] ^= 0x01            # LSB flip: value jump 1
+        image[4, 4] ^= 0x80            # MSB flip: value jump 128
+        estimated, _ = estimate_errors_by_denoising(image, min_byte_delta=8)
+        flagged_bytes = set(np.asarray(estimated.to_indices()) // 8)
+        assert (4 * 16 + 4) in flagged_bytes
+        assert (2 * 16 + 2) not in flagged_bytes
+
+    def test_precision_first_estimate_on_textured_photo(self, rng):
+        """The precision-first configuration reaches near-perfect
+        precision on a textured photo (the error_localization example's
+        operating point)."""
+        image = synthetic_photo((128, 128), rng, texture_sigma=2.0)
+        corrupted, _ = flip_random_bits(image, rng, n_flips=300)
+        estimated, _ = estimate_errors_by_denoising(
+            corrupted, single_bit_only=True, min_byte_delta=16
+        )
+        true_errors = image_to_bits(corrupted) ^ image_to_bits(image)
+        precision, recall = error_estimate_quality(estimated, true_errors)
+        assert precision > 0.85
+        assert recall > 0.03  # small but clean evidence set
+
+
+class TestQualityMetric:
+    def test_perfect_estimate(self):
+        errors = BitVector.from_indices(32, [1, 2])
+        assert error_estimate_quality(errors, errors) == (1.0, 1.0)
+
+    def test_empty_denominators(self):
+        empty = BitVector.zeros(32)
+        assert error_estimate_quality(empty, empty) == (1.0, 1.0)
+
+    def test_partial(self):
+        estimated = BitVector.from_indices(32, [1, 2, 3, 4])
+        actual = BitVector.from_indices(32, [3, 4, 5, 6, 7, 8, 9, 10])
+        precision, recall = error_estimate_quality(estimated, actual)
+        assert precision == pytest.approx(0.5)
+        assert recall == pytest.approx(0.25)
+
+
+class TestSpeculativeIdentify:
+    def test_finds_matching_candidate(self):
+        database = FingerprintDatabase()
+        database.add("chip", Fingerprint(bits=BitVector.from_indices(64, [1, 2])))
+        approx = BitVector.from_indices(64, [1, 2, 30])
+        candidates = [
+            # Wrong reconstruction: implied errors {2, 30, 40} miss
+            # fingerprint bit 1, so the distance is 0.5.
+            BitVector.from_indices(64, [1, 40]),
+            # Right reconstruction: implied errors {1, 2} hit exactly.
+            BitVector.from_indices(64, [30]),
+        ]
+        result, index = speculative_identify(approx, candidates, database)
+        assert result.matched and result.key == "chip"
+        assert index == 1
+
+    def test_no_candidate_matches(self):
+        database = FingerprintDatabase()
+        database.add("chip", Fingerprint(bits=BitVector.from_indices(64, [1, 2])))
+        result, index = speculative_identify(
+            BitVector.from_indices(64, [50]),
+            [BitVector.zeros(64)],
+            database,
+        )
+        assert not result.matched and index is None

@@ -1,0 +1,165 @@
+"""Tests for fingerprint-store serialization."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bits import BitVector
+from repro.core import Fingerprint, FingerprintDatabase
+from repro.core.serialize import (
+    SerializationError,
+    dump_database,
+    dumps_fingerprint,
+    load_database,
+    loads_fingerprint,
+)
+
+
+def fingerprint(indices, nbits=256, support=1, source=None):
+    return Fingerprint(
+        bits=BitVector.from_indices(nbits, indices),
+        support=support,
+        source=source,
+    )
+
+
+class TestFingerprintRoundtrip:
+    def test_basic(self):
+        original = fingerprint([1, 5, 250], support=3, source="chip-A")
+        restored = loads_fingerprint(dumps_fingerprint(original))
+        assert restored.bits == original.bits
+        assert restored.support == 3
+        assert restored.source == "chip-A"
+
+    def test_no_source(self):
+        restored = loads_fingerprint(dumps_fingerprint(fingerprint([7])))
+        assert restored.source is None
+
+    def test_empty_fingerprint(self):
+        restored = loads_fingerprint(dumps_fingerprint(fingerprint([])))
+        assert restored.weight == 0
+        assert restored.nbits == 256
+
+    def test_unicode_source(self):
+        original = fingerprint([1], source="工場-7/モジュール")
+        assert loads_fingerprint(dumps_fingerprint(original)).source == original.source
+
+
+class TestDatabaseRoundtrip:
+    def make_db(self):
+        database = FingerprintDatabase()
+        database.add("SN0", fingerprint([1, 2], support=2, source="lot-1"))
+        database.add("SN1", fingerprint([100, 200]))
+        return database
+
+    def test_stream_roundtrip(self):
+        database = self.make_db()
+        buffer = io.BytesIO()
+        dump_database(database, buffer)
+        buffer.seek(0)
+        restored = load_database(buffer)
+        assert restored.keys() == database.keys()
+        for key in database.keys():
+            assert restored.get(key).bits == database.get(key).bits
+            assert restored.get(key).support == database.get(key).support
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "fingerprints.pcfp"
+        dump_database(self.make_db(), path)
+        restored = load_database(path)
+        assert restored.keys() == ["SN0", "SN1"]
+
+    def test_preserves_insertion_order(self, tmp_path):
+        """Algorithm 2 returns the first match, so order is semantic."""
+        database = FingerprintDatabase()
+        for index in range(20):
+            database.add(f"k{index}", fingerprint([index]))
+        path = tmp_path / "ordered.pcfp"
+        dump_database(database, path)
+        assert load_database(path).keys() == [f"k{i}" for i in range(20)]
+
+    def test_empty_database(self):
+        buffer = io.BytesIO()
+        dump_database(FingerprintDatabase(), buffer)
+        buffer.seek(0)
+        assert len(load_database(buffer)) == 0
+
+
+class TestCorruption:
+    def test_bad_magic(self):
+        with pytest.raises(SerializationError):
+            load_database(io.BytesIO(b"NOPE" + b"\x00" * 16))
+
+    def test_truncated_stream(self):
+        buffer = io.BytesIO()
+        database = FingerprintDatabase()
+        database.add("k", fingerprint([1, 2, 3]))
+        dump_database(database, buffer)
+        data = buffer.getvalue()
+        with pytest.raises(SerializationError):
+            load_database(io.BytesIO(data[:-4]))
+
+    def test_unsupported_version(self):
+        import struct
+
+        payload = b"PCFP" + struct.pack("<HI", 99, 0)
+        with pytest.raises(SerializationError):
+            load_database(io.BytesIO(payload))
+
+    def test_index_out_of_range_rejected(self):
+        import struct
+
+        stream = io.BytesIO()
+        stream.write(b"PCFP" + struct.pack("<HI", 1, 1))
+        stream.write(struct.pack("<H", 1) + b"k")
+        stream.write(struct.pack("<I", 1))
+        stream.write(struct.pack("<H", 0xFFFF))
+        stream.write(struct.pack("<QI", 8, 1))          # 8-bit region...
+        stream.write(struct.pack("<Q", 9))              # ...index 9
+        stream.seek(0)
+        with pytest.raises(SerializationError):
+            load_database(stream)
+
+
+class TestEndToEnd:
+    def test_attacker_persists_and_reuses_database(self, tmp_path):
+        """Supply-chain workflow: fingerprint today, identify tomorrow."""
+        from repro.attacks import SupplyChainAttacker
+        from repro.core import identify
+        from repro.dram import TEST_DEVICE, ChipFamily, TrialConditions
+
+        family = ChipFamily(TEST_DEVICE, n_chips=2, base_chip_seed=4000)
+        attacker = SupplyChainAttacker()
+        for index, platform in enumerate(family.platforms()):
+            attacker.intercept_device(platform, serial=f"SN{index}")
+        path = tmp_path / "store.pcfp"
+        dump_database(attacker.database, path)
+
+        restored = load_database(path)
+        trial = family.platforms()[1].run_trial(TrialConditions(0.95, 50.0))
+        result = identify(trial.approx, trial.exact, restored)
+        assert result.matched and result.key == "SN1"
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=4096),
+    st.lists(st.integers(min_value=0, max_value=100_000), max_size=64),
+    st.integers(min_value=1, max_value=1000),
+    st.one_of(st.none(), st.text(max_size=32)),
+)
+def test_roundtrip_property(nbits, raw_indices, support, source):
+    indices = sorted({index % nbits for index in raw_indices})
+    original = Fingerprint(
+        bits=BitVector.from_indices(nbits, indices),
+        support=support,
+        source=source,
+    )
+    restored = loads_fingerprint(dumps_fingerprint(original))
+    assert restored.bits == original.bits
+    assert restored.support == original.support
+    assert restored.source == original.source

@@ -1,0 +1,129 @@
+"""Tests for the SECDED ECC defense extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bits import BitVector
+from repro.defenses.ecc import (
+    ECCOutcome,
+    SECDEDConfig,
+    SECDEDDefense,
+    expected_uncorrectable_word_fraction,
+)
+
+
+class TestConfig:
+    def test_overhead(self):
+        assert SECDEDConfig().storage_overhead == pytest.approx(0.125)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SECDEDConfig(word_bits=0)
+
+
+class TestApply:
+    def make(self, exact_indices, approx_indices, nbits=256, seed=1):
+        defense = SECDEDDefense()
+        exact = BitVector.from_indices(nbits, exact_indices)
+        approx = BitVector.from_indices(nbits, approx_indices)
+        return defense.apply(approx, exact, np.random.default_rng(seed))
+
+    def test_error_free_output_untouched(self):
+        outcome = self.make([1, 2], [1, 2])
+        assert outcome.residual_error_count == 0
+        assert outcome.words_corrected == 0
+        assert outcome.suppression_ratio == 1.0
+
+    def test_single_flip_per_word_corrected(self):
+        """One flip in word 0, one in word 2: both correctable (check
+        bits drawn at the tiny observed error rate almost never flip)."""
+        outcome = self.make([], [5, 130])
+        assert outcome.residual_error_count == 0
+        assert outcome.words_corrected == 2
+        assert outcome.corrected_output == BitVector.zeros(256)
+
+    def test_double_flip_word_not_corrected(self):
+        outcome = self.make([], [5, 6])  # two flips in word 0
+        assert outcome.residual_error_count == 2
+        assert outcome.words_uncorrectable == 1
+        assert outcome.corrected_output == BitVector.from_indices(256, [5, 6])
+
+    def test_mixed_words(self):
+        outcome = self.make([], [5, 64, 65])  # word 0: 1 flip; word 1: 2
+        assert outcome.words_corrected == 1
+        assert outcome.words_uncorrectable == 1
+        assert sorted(outcome.residual_errors.to_indices()) == [64, 65]
+
+    def test_size_checks(self):
+        defense = SECDEDDefense()
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            defense.apply(BitVector.zeros(64), BitVector.zeros(128), rng)
+        with pytest.raises(ValueError):
+            defense.apply(BitVector.zeros(100), BitVector.zeros(100), rng)
+
+
+class TestAnalyticFraction:
+    def test_zero_rate(self):
+        assert expected_uncorrectable_word_fraction(0.0) == pytest.approx(0.0)
+
+    def test_monotone_in_rate(self):
+        values = [
+            expected_uncorrectable_word_fraction(rate)
+            for rate in (0.001, 0.01, 0.1)
+        ]
+        assert values[0] < values[1] < values[2]
+
+    def test_paper_operating_point(self):
+        """At 1% bit error a 72-bit codeword is uncorrectable ~16% of
+        the time — ECC thins but does not starve the fingerprint."""
+        fraction = expected_uncorrectable_word_fraction(0.01)
+        assert 0.1 < fraction < 0.25
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_uncorrectable_word_fraction(1.5)
+
+
+class TestDefenseEffectiveness:
+    def test_light_approximation_starves_the_fingerprint(self):
+        """At 0.1% error nearly every word has <=1 flip: ECC removes
+        almost all evidence."""
+        from repro.dram import KM41464A, DRAMChip
+
+        chip = DRAMChip(KM41464A, chip_seed=850)
+        data = chip.geometry.charged_pattern()
+        interval = chip.interval_for_error_rate(0.001)
+        approx = chip.decay_trial(data, interval)
+        outcome = SECDEDDefense().apply(approx, data, np.random.default_rng(1))
+        assert outcome.suppression_ratio > 0.9
+
+    def test_paper_rate_residual_still_identifies(self):
+        """At 1% error the residual (multi-flip-word) errors are still
+        the chip's most volatile cells — identification survives ECC."""
+        from repro.core import characterize_trials, probable_cause_distance
+        from repro.dram import KM41464A, DRAMChip, ExperimentPlatform, TrialConditions
+
+        chips = [DRAMChip(KM41464A, chip_seed=851 + i) for i in range(2)]
+        fingerprints = []
+        for chip in chips:
+            platform = ExperimentPlatform(chip)
+            fingerprints.append(
+                characterize_trials(
+                    [platform.run_trial(TrialConditions(0.99, 40.0))
+                     for _ in range(3)]
+                )
+            )
+        data = chips[0].geometry.charged_pattern()
+        approx = chips[0].decay_trial(
+            data, chips[0].interval_for_error_rate(0.01)
+        )
+        outcome = SECDEDDefense().apply(approx, data, np.random.default_rng(2))
+        assert 0.1 < outcome.suppression_ratio < 0.95  # thinned, not gone
+        residual = outcome.residual_errors
+        same = probable_cause_distance(residual, fingerprints[0])
+        other = probable_cause_distance(residual, fingerprints[1])
+        assert same < 0.2
+        assert other > 0.5

@@ -1,0 +1,79 @@
+"""Tests for the noise-addition defense (§8.2.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bits import BitVector
+from repro.core import characterize_trials, probable_cause_distance
+from repro.defenses import NoiseDefense, NoiseDefenseConfig, sweep_noise_levels
+from repro.dram import TEST_DEVICE, DRAMChip, ExperimentPlatform, TrialConditions
+
+
+class TestNoiseDefense:
+    def test_zero_noise_is_identity(self, rng):
+        defense = NoiseDefense(NoiseDefenseConfig(flip_rate=0.0), rng)
+        data = BitVector.from_indices(64, [1, 2])
+        assert defense.protect(data) == data
+
+    def test_flip_rate_respected(self, rng):
+        defense = NoiseDefense(NoiseDefenseConfig(flip_rate=0.1), rng)
+        data = BitVector.zeros(100_000)
+        protected = defense.protect(data)
+        assert protected.popcount() / data.nbits == pytest.approx(0.1, abs=0.01)
+
+    def test_quality_cost_counts_all_error(self, rng):
+        defense = NoiseDefense(NoiseDefenseConfig(flip_rate=0.5), rng)
+        exact = BitVector.zeros(1000)
+        decayed = BitVector.from_indices(1000, range(10))
+        protected = defense.protect(decayed)
+        cost = defense.quality_cost(exact, protected)
+        assert cost > 0.4  # defense noise dominates
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            NoiseDefenseConfig(flip_rate=1.5)
+
+
+class TestDefenseEffectiveness:
+    def test_random_noise_only_slows_the_attacker(self, rng):
+        """§8.2.2's verdict: because Algorithm 3 ignores *extra* errors,
+        moderate random noise barely moves within-class distance."""
+        chip = DRAMChip(TEST_DEVICE, chip_seed=800)
+        platform = ExperimentPlatform(chip)
+        fingerprint = characterize_trials(
+            [platform.run_trial(TrialConditions(0.99, 40.0)) for _ in range(3)]
+        )
+        trial = platform.run_trial(TrialConditions(0.99, 40.0))
+        defense = NoiseDefense(NoiseDefenseConfig(flip_rate=0.02), rng)
+        protected = defense.protect(trial.approx)
+        distance = probable_cause_distance(protected ^ trial.exact, fingerprint)
+        # Additive noise leaves nearly all fingerprint bits present; the
+        # small increase comes only from noise landing *on* fingerprint
+        # bits (2 % of them, in expectation) and flipping them back.
+        assert distance < 0.08
+
+    def test_sweep_reports_tradeoff(self, rng):
+        chip = DRAMChip(TEST_DEVICE, chip_seed=801)
+        platform = ExperimentPlatform(chip)
+        fingerprint = characterize_trials(
+            [platform.run_trial(TrialConditions(0.99, 40.0)) for _ in range(3)]
+        )
+        outputs = [
+            (trial.approx, trial.exact)
+            for trial in (
+                platform.run_trial(TrialConditions(0.99, 40.0)) for _ in range(5)
+            )
+        ]
+
+        def identify_fn(protected, exact):
+            return probable_cause_distance(protected ^ exact, fingerprint) < 0.1
+
+        results = sweep_noise_levels([0.0, 0.02, 0.4], outputs, identify_fn, rng)
+        rates = [rate for _level, rate, _cost in results]
+        costs = [cost for _level, _rate, cost in results]
+        assert rates[0] == 1.0           # undefended: always identified
+        assert rates[1] == 1.0           # light noise: attacker unaffected
+        assert rates[2] < 1.0            # only crushing noise works...
+        assert costs[2] > 0.3            # ...at catastrophic quality cost
+        assert costs == sorted(costs)

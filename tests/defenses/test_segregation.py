@@ -1,0 +1,103 @@
+"""Tests for the data-segregation defense (§8.2.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bits import BitVector
+from repro.defenses import SegregatedMemory, SegregationPolicy, evaluate_segregation
+
+
+def lossy_store(data: BitVector) -> BitVector:
+    """Stand-in approximate memory: flips the first three set bits."""
+    corrupted = data.copy()
+    for index in list(data.to_indices())[:3]:
+        corrupted.set(int(index), False)
+    return corrupted
+
+
+class TestPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SegregationPolicy(exact_fraction=1.5)
+        with pytest.raises(ValueError):
+            SegregationPolicy(exact_fraction=0.5, flagging_miss_rate=-0.1)
+
+    def test_energy_penalty_equals_exact_fraction(self):
+        assert SegregationPolicy(exact_fraction=0.3).energy_penalty_fraction == 0.3
+
+
+class TestSegregatedMemory:
+    def test_sensitive_data_stays_exact(self, rng):
+        memory = SegregatedMemory(
+            SegregationPolicy(exact_fraction=0.5), lossy_store, rng
+        )
+        data = BitVector.from_indices(64, [1, 2, 3, 4])
+        result = memory.store(data, sensitive=True)
+        assert result.went_exact
+        assert result.output == data
+        assert not result.leaked
+
+    def test_general_data_goes_approximate(self, rng):
+        memory = SegregatedMemory(
+            SegregationPolicy(exact_fraction=0.5), lossy_store, rng
+        )
+        data = BitVector.from_indices(64, [1, 2, 3, 4])
+        result = memory.store(data, sensitive=False)
+        assert not result.went_exact
+        assert result.output != data
+
+    def test_flagging_misses_leak(self, rng):
+        """Weakness 1: user error sends sensitive data to approximate
+        memory at the configured rate."""
+        memory = SegregatedMemory(
+            SegregationPolicy(exact_fraction=0.5, flagging_miss_rate=0.3),
+            lossy_store,
+            rng,
+        )
+        data = BitVector.from_indices(64, [1, 2, 3, 4])
+        for _ in range(300):
+            memory.store(data, sensitive=True)
+        assert memory.leak_rate() == pytest.approx(0.3, abs=0.07)
+
+    def test_leak_rate_without_sensitive_data(self, rng):
+        memory = SegregatedMemory(
+            SegregationPolicy(exact_fraction=0.5), lossy_store, rng
+        )
+        memory.store(BitVector.zeros(8), sensitive=False)
+        assert memory.leak_rate() == 0.0
+
+
+class TestEvaluation:
+    def test_perfect_flagging_blocks_attack(self, rng):
+        data = BitVector.from_indices(64, [1, 2, 3, 4])
+
+        def identify_fn(output: BitVector) -> bool:
+            return output != data  # attacker wins iff decay touched it
+
+        rate, leak, penalty = evaluate_segregation(
+            SegregationPolicy(exact_fraction=0.2),
+            lossy_store,
+            identify_fn,
+            outputs=[(data, True)] * 20,
+            rng=rng,
+        )
+        assert rate == 0.0
+        assert leak == 0.0
+        assert penalty == 0.2
+
+    def test_flagging_misses_expose_users(self, rng):
+        data = BitVector.from_indices(64, [1, 2, 3, 4])
+
+        def identify_fn(output: BitVector) -> bool:
+            return output != data
+
+        rate, leak, _penalty = evaluate_segregation(
+            SegregationPolicy(exact_fraction=0.2, flagging_miss_rate=0.5),
+            lossy_store,
+            identify_fn,
+            outputs=[(data, True)] * 200,
+            rng=rng,
+        )
+        assert rate == pytest.approx(0.5, abs=0.1)
+        assert rate == leak  # every leaked output is identified here

@@ -1,0 +1,95 @@
+"""Calibration pins: the simulator constants that encode paper-measured
+behaviour.  These tests fail if someone retunes the physics away from
+the paper's reported statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import intersect_all, union_all
+from repro.dram import (
+    KM41464A,
+    MICRON_DDR2,
+    DRAMChip,
+    ExperimentPlatform,
+    TrialConditions,
+)
+
+
+class TestRepeatability:
+    def test_98_percent_of_failing_bits_repeat_across_21_trials(self):
+        """§7.2: "98 % of bits that fail in any one trial will also fail
+        in the other 20 trials" (1 % error, 40 degC)."""
+        chip = DRAMChip(KM41464A, chip_seed=501)
+        platform = ExperimentPlatform(chip)
+        errors = [
+            platform.run_trial(TrialConditions(0.99, 40.0)).error_string
+            for _ in range(21)
+        ]
+        stable = intersect_all(errors).popcount()
+        ever = union_all(errors).popcount()
+        assert stable / ever >= 0.96
+
+    def test_error_volume_stable_across_trials(self):
+        chip = DRAMChip(KM41464A, chip_seed=502)
+        platform = ExperimentPlatform(chip)
+        counts = [
+            platform.run_trial(TrialConditions(0.99, 40.0)).error_count
+            for _ in range(5)
+        ]
+        assert max(counts) - min(counts) < 0.1 * max(counts)
+
+
+class TestAccuracyTargets:
+    @pytest.mark.parametrize("accuracy", [0.99, 0.95, 0.90])
+    @pytest.mark.parametrize("temperature", [40.0, 50.0, 60.0])
+    def test_controller_hits_accuracy_at_all_operating_points(
+        self, accuracy, temperature
+    ):
+        """The §7 grid: the controller holds the error rate at target
+        across the full temperature x accuracy matrix."""
+        chip = DRAMChip(KM41464A, chip_seed=503)
+        platform = ExperimentPlatform(chip)
+        result = platform.run_trial(TrialConditions(accuracy, temperature))
+        target = 1.0 - accuracy
+        assert result.measured_error_rate == pytest.approx(target, rel=0.15)
+
+
+class TestDeviceFamilies:
+    def test_ddr2_volatility_is_skewed_high(self):
+        """§8.1: the DDR2 volatility distribution is skewed toward
+        higher volatility; the legacy DRAM has no skew."""
+        import numpy as np
+
+        legacy = DRAMChip(KM41464A, chip_seed=504)
+        ddr2 = DRAMChip(MICRON_DDR2.scaled(rows=128, cols=128), chip_seed=504)
+
+        def log_skewness(chip):
+            log_retention = np.log(chip.retention_reference_s)
+            centered = log_retention - log_retention.mean()
+            return float((centered**3).mean() / centered.std() ** 3)
+
+        assert abs(log_skewness(legacy)) < 0.15
+        assert log_skewness(ddr2) < -0.5
+
+    def test_ddr2_fingerprinting_still_works(self):
+        """§8.1: the skew does not impair classification."""
+        from repro.core import characterize_trials, probable_cause_distance
+
+        spec = MICRON_DDR2.scaled(rows=128, cols=128)
+        chips = [DRAMChip(spec, chip_seed=600 + i) for i in range(2)]
+        platforms = [ExperimentPlatform(chip) for chip in chips]
+        fingerprints = [
+            characterize_trials(
+                [
+                    platform.run_trial(TrialConditions(0.99, temp))
+                    for temp in (40.0, 50.0, 60.0)
+                ]
+            )
+            for platform in platforms
+        ]
+        probe = platforms[0].run_trial(TrialConditions(0.95, 50.0))
+        same = probable_cause_distance(probe.error_string, fingerprints[0])
+        other = probable_cause_distance(probe.error_string, fingerprints[1])
+        assert same < 0.01
+        assert other > 0.5

@@ -1,0 +1,173 @@
+"""Tests for the DRAM chip simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bits import BitVector
+from repro.dram import DRAMChip, TEST_DEVICE
+
+
+def charged(chip: DRAMChip) -> BitVector:
+    return chip.geometry.charged_pattern()
+
+
+class TestIdentity:
+    def test_same_seed_same_retention(self):
+        a = DRAMChip(TEST_DEVICE, chip_seed=11)
+        b = DRAMChip(TEST_DEVICE, chip_seed=11)
+        assert np.array_equal(a.retention_reference_s, b.retention_reference_s)
+
+    def test_different_seed_different_retention(self):
+        a = DRAMChip(TEST_DEVICE, chip_seed=11)
+        b = DRAMChip(TEST_DEVICE, chip_seed=12)
+        assert not np.array_equal(a.retention_reference_s, b.retention_reference_s)
+
+    def test_retention_view_is_read_only(self, small_chip):
+        with pytest.raises(ValueError):
+            small_chip.retention_reference_s[0] = 1.0
+
+    def test_default_label(self):
+        chip = DRAMChip(TEST_DEVICE, chip_seed=3)
+        assert "3" in chip.label and TEST_DEVICE.name in chip.label
+
+
+class TestReadWrite:
+    def test_write_then_immediate_read_is_exact(self, small_chip, rng):
+        data = BitVector.random(small_chip.geometry.total_bits, rng)
+        small_chip.write(data)
+        assert small_chip.read() == data
+
+    def test_write_rejects_wrong_size(self, small_chip):
+        with pytest.raises(ValueError):
+            small_chip.write(BitVector.zeros(8))
+
+    def test_default_data_never_decays(self, small_chip):
+        """Uncharged cells have nothing to lose."""
+        small_chip.write(small_chip.geometry.default_pattern())
+        small_chip.idle(1e6)
+        assert small_chip.read() == small_chip.geometry.default_pattern()
+
+    def test_long_idle_decays_everything_to_default(self, small_chip):
+        small_chip.write(charged(small_chip))
+        small_chip.idle(1e9)
+        assert small_chip.read() == small_chip.geometry.default_pattern()
+
+    def test_decay_moves_bits_toward_default_only(self, small_chip, rng):
+        data = BitVector.random(small_chip.geometry.total_bits, rng)
+        small_chip.write(data)
+        small_chip.idle(small_chip.interval_for_error_rate(0.2))
+        readback = small_chip.read()
+        flipped = (readback ^ data).to_bool_array()
+        defaults = small_chip.geometry.default_array()
+        read_bools = readback.to_bool_array()
+        # Every flipped bit must now equal its default value.
+        assert np.array_equal(read_bools[flipped], defaults[flipped])
+
+    def test_negative_idle_rejected(self, small_chip):
+        with pytest.raises(ValueError):
+            small_chip.idle(-1.0)
+
+
+class TestDecayAmount:
+    def test_error_rate_tracks_interval_quantile(self):
+        chip = DRAMChip(TEST_DEVICE, chip_seed=21)
+        for target in (0.05, 0.2, 0.5):
+            readback = chip.decay_trial(
+                charged(chip), chip.interval_for_error_rate(target)
+            )
+            measured = (readback ^ charged(chip)).popcount()
+            assert measured / chip.geometry.total_bits == pytest.approx(
+                target, abs=0.04
+            )
+
+    def test_longer_idle_more_errors(self, small_chip):
+        data = charged(small_chip)
+        short = small_chip.decay_trial(data, small_chip.interval_for_error_rate(0.02))
+        long = small_chip.decay_trial(data, small_chip.interval_for_error_rate(0.3))
+        assert (long ^ data).popcount() > (short ^ data).popcount()
+
+    def test_interval_for_error_rate_validates(self, small_chip):
+        with pytest.raises(ValueError):
+            small_chip.interval_for_error_rate(0.0)
+        with pytest.raises(ValueError):
+            small_chip.interval_for_error_rate(1.0)
+
+    def test_temperature_shortens_required_interval(self, small_chip):
+        cold = small_chip.interval_for_error_rate(0.01, temperature_c=40.0)
+        hot = small_chip.interval_for_error_rate(0.01, temperature_c=60.0)
+        assert hot == pytest.approx(cold / 4.0, rel=1e-6)
+
+
+class TestRefresh:
+    def test_read_restores_charge(self, small_chip):
+        """A read's write-back restarts decay clocks: two half-interval
+        idles separated by a read lose far less than one full interval."""
+        data = charged(small_chip)
+        interval = small_chip.interval_for_error_rate(0.3)
+
+        small_chip.write(data)
+        small_chip.idle(interval)
+        lost_once = (small_chip.read() ^ data).popcount()
+
+        small_chip.write(data)
+        small_chip.idle(interval / 2)
+        small_chip.read()
+        small_chip.idle(interval / 2)
+        lost_refreshed = (small_chip.read() ^ data).popcount()
+        assert lost_refreshed < lost_once
+
+    def test_refresh_is_row_granular(self, small_chip):
+        """Refreshing only even rows lets odd rows keep decaying."""
+        data = charged(small_chip)
+        geometry = small_chip.geometry
+        interval = small_chip.interval_for_error_rate(0.5)
+        even_rows = range(0, geometry.rows, 2)
+
+        small_chip.write(data)
+        small_chip.idle(interval / 2)
+        small_chip.refresh_rows(even_rows)
+        small_chip.idle(interval * 0.75)
+        readback = small_chip.read()
+
+        errors = (readback ^ data).to_indices()
+        error_rows = geometry.rows_of_bits(errors)
+        even_errors = int(np.sum(error_rows % 2 == 0))
+        odd_errors = int(np.sum(error_rows % 2 == 1))
+        assert odd_errors > even_errors
+
+    def test_refresh_all_equivalent_to_read(self, small_chip):
+        data = charged(small_chip)
+        interval = small_chip.interval_for_error_rate(0.1)
+        small_chip.write(data)
+        small_chip.idle(interval / 4)
+        small_chip.refresh_all()
+        small_chip.idle(interval / 4)
+        # Neither window alone reaches the 10% quantile for most cells;
+        # losses should be near the 2.5% level, not 10%.
+        lost = (small_chip.read() ^ data).popcount() / data.nbits
+        assert lost < 0.06
+
+    def test_refresh_rows_validates_range(self, small_chip):
+        with pytest.raises(IndexError):
+            small_chip.refresh_rows([10_000])
+
+
+class TestTemperatureHandling:
+    def test_temperature_integrates_across_windows(self, small_chip):
+        """Half the time at 2x rate equals full time at 1x rate."""
+        data = charged(small_chip)
+        interval = small_chip.interval_for_error_rate(0.2)
+
+        small_chip.set_temperature(40.0)
+        readback_const = small_chip.decay_trial(data, interval)
+
+        small_chip.write(data)
+        small_chip.set_temperature(50.0)  # decay runs twice as fast
+        small_chip.idle(interval / 2)
+        readback_mixed = small_chip.read()
+
+        rate_const = (readback_const ^ data).popcount() / data.nbits
+        rate_mixed = (readback_mixed ^ data).popcount() / data.nbits
+        assert rate_mixed == pytest.approx(rate_const, abs=0.02)

@@ -1,0 +1,91 @@
+"""Tests for the adaptive approximate-memory controller."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dram import (
+    ApproximateMemoryController,
+    DRAMChip,
+    TEST_DEVICE,
+    accuracy_to_error_rate,
+)
+
+
+class TestAccuracyConversion:
+    def test_conversion(self):
+        assert accuracy_to_error_rate(0.99) == pytest.approx(0.01)
+        assert accuracy_to_error_rate(0.90) == pytest.approx(0.10)
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.5, 2.0])
+    def test_rejects_out_of_range(self, bad):
+        with pytest.raises(ValueError):
+            accuracy_to_error_rate(bad)
+
+
+class TestValidation:
+    def test_unknown_strategy_rejected(self, small_chip):
+        with pytest.raises(ValueError):
+            ApproximateMemoryController(small_chip, strategy="magic")
+
+    def test_nonpositive_tolerance_rejected(self, small_chip):
+        with pytest.raises(ValueError):
+            ApproximateMemoryController(small_chip, tolerance=0.0)
+
+
+class TestOracleStrategy:
+    def test_interval_hits_target_error(self, small_chip):
+        controller = ApproximateMemoryController(small_chip, strategy="oracle")
+        result = controller.interval_for(accuracy=0.9, temperature_c=40.0)
+        pattern = small_chip.geometry.charged_pattern()
+        readback = small_chip.decay_trial(pattern, result.interval_s)
+        measured = (readback ^ pattern).popcount() / pattern.nbits
+        assert measured == pytest.approx(0.10, abs=0.04)
+
+    def test_oracle_uses_no_probes(self, small_chip):
+        controller = ApproximateMemoryController(small_chip, strategy="oracle")
+        assert controller.interval_for(0.95, 40.0).probes == 0
+
+    def test_temperature_compensation(self, small_chip):
+        """§7.3: the controller shortens the interval as it heats up so
+        the accuracy target is maintained."""
+        controller = ApproximateMemoryController(small_chip, strategy="oracle")
+        cold = controller.interval_for(0.99, 40.0).interval_s
+        hot = controller.interval_for(0.99, 60.0).interval_s
+        assert hot == pytest.approx(cold / 4.0, rel=1e-6)
+
+    def test_results_cached(self, small_chip):
+        controller = ApproximateMemoryController(small_chip, strategy="oracle")
+        first = controller.interval_for(0.99, 40.0)
+        second = controller.interval_for(0.99, 40.0)
+        assert first is second
+
+
+class TestMeasureStrategy:
+    def test_measured_calibration_converges(self):
+        chip = DRAMChip(TEST_DEVICE, chip_seed=31)
+        controller = ApproximateMemoryController(
+            chip, strategy="measure", tolerance=0.2
+        )
+        result = controller.interval_for(accuracy=0.95, temperature_c=50.0)
+        assert result.achieved_error_rate == pytest.approx(0.05, rel=0.35)
+        assert result.probes >= 1
+
+    def test_measured_matches_oracle_scale(self):
+        chip = DRAMChip(TEST_DEVICE, chip_seed=33)
+        measured = ApproximateMemoryController(
+            chip, strategy="measure", tolerance=0.15
+        ).interval_for(0.9, 40.0)
+        oracle = ApproximateMemoryController(chip, strategy="oracle").interval_for(
+            0.9, 40.0
+        )
+        assert measured.interval_s == pytest.approx(oracle.interval_s, rel=0.5)
+
+    def test_measure_restores_temperature(self):
+        chip = DRAMChip(TEST_DEVICE, chip_seed=34)
+        chip.set_temperature(25.0)
+        controller = ApproximateMemoryController(
+            chip, strategy="measure", tolerance=0.2
+        )
+        controller.interval_for(0.95, 60.0)
+        assert chip.temperature_c == 25.0

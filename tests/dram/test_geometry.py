@@ -1,0 +1,100 @@
+"""Tests for chip geometry and default-value mapping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bits import BitVector
+from repro.dram import ChipGeometry, KM41464A
+
+
+class TestDimensions:
+    def test_km41464a_capacity(self):
+        geometry = KM41464A.geometry
+        # 64K 4-bit words as 256 x 256 (32 KB).
+        assert geometry.total_bits == 64 * 1024 * 4
+        assert geometry.total_bytes == 32 * 1024
+        assert geometry.bits_per_row == 256 * 4
+
+    def test_rejects_nonpositive_dimensions(self):
+        with pytest.raises(ValueError):
+            ChipGeometry(rows=0, cols=4)
+        with pytest.raises(ValueError):
+            ChipGeometry(rows=4, cols=4, bits_per_word=0)
+
+
+class TestAddressMapping:
+    def test_row_of_bit_boundaries(self):
+        geometry = ChipGeometry(rows=4, cols=8, bits_per_word=2)
+        assert geometry.row_of_bit(0) == 0
+        assert geometry.row_of_bit(15) == 0
+        assert geometry.row_of_bit(16) == 1
+        assert geometry.row_of_bit(63) == 3
+
+    def test_row_of_bit_out_of_range(self):
+        geometry = ChipGeometry(rows=2, cols=2)
+        with pytest.raises(IndexError):
+            geometry.row_of_bit(4)
+        with pytest.raises(IndexError):
+            geometry.row_of_bit(-1)
+
+    def test_bit_range_of_row_partitions_array(self):
+        geometry = ChipGeometry(rows=4, cols=8)
+        seen = []
+        for row in range(geometry.rows):
+            seen.extend(geometry.bit_range_of_row(row))
+        assert seen == list(range(geometry.total_bits))
+
+    def test_rows_of_bits_vectorized(self):
+        geometry = ChipGeometry(rows=4, cols=8)
+        rows = geometry.rows_of_bits(np.array([0, 8, 16, 31]))
+        assert list(rows) == [0, 1, 2, 3]
+
+
+class TestDefaults:
+    def test_default_alternates_by_stripe(self):
+        geometry = ChipGeometry(rows=8, cols=4, default_stripe_rows=2)
+        defaults = [geometry.row_default(row) for row in range(8)]
+        assert defaults == [False, False, True, True, False, False, True, True]
+
+    def test_default_array_matches_row_default(self):
+        geometry = ChipGeometry(rows=6, cols=4, default_stripe_rows=3)
+        defaults = geometry.default_array()
+        for row in range(geometry.rows):
+            for bit in geometry.bit_range_of_row(row):
+                assert defaults[bit] == geometry.row_default(row)
+
+    def test_charged_pattern_charges_every_cell(self):
+        geometry = ChipGeometry(rows=4, cols=8)
+        charged = geometry.charged_mask(geometry.charged_pattern())
+        assert charged.all()
+
+    def test_default_pattern_charges_nothing(self):
+        geometry = ChipGeometry(rows=4, cols=8)
+        charged = geometry.charged_mask(geometry.default_pattern())
+        assert not charged.any()
+
+    def test_charged_mask_rejects_wrong_size(self):
+        geometry = ChipGeometry(rows=4, cols=8)
+        with pytest.raises(ValueError):
+            geometry.charged_mask(BitVector.zeros(10))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=16),
+    st.integers(min_value=1, max_value=16),
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=1, max_value=5),
+)
+def test_default_and_charged_are_complementary(rows, cols, bits_per_word, stripe):
+    geometry = ChipGeometry(
+        rows=rows, cols=cols, bits_per_word=bits_per_word,
+        default_stripe_rows=stripe,
+    )
+    default = geometry.default_pattern()
+    charged = geometry.charged_pattern()
+    assert (default ^ charged).popcount() == geometry.total_bits

@@ -1,0 +1,89 @@
+"""Tests for the experiment platform and chip-family factory."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bits import BitVector
+from repro.dram import (
+    ChipFamily,
+    ExperimentPlatform,
+    TEST_DEVICE,
+    TrialConditions,
+)
+
+
+class TestTrialConditions:
+    def test_valid_conditions(self):
+        conditions = TrialConditions(accuracy=0.95, temperature_c=50.0)
+        assert conditions.accuracy == 0.95
+
+    @pytest.mark.parametrize("accuracy", [0.0, 1.0, -1.0])
+    def test_invalid_accuracy_rejected(self, accuracy):
+        with pytest.raises(ValueError):
+            TrialConditions(accuracy=accuracy, temperature_c=40.0)
+
+
+class TestRunTrial:
+    def test_default_data_is_worst_case(self, small_platform):
+        result = small_platform.run_trial(TrialConditions(0.95, 40.0))
+        assert result.exact == small_platform.chip.geometry.charged_pattern()
+
+    def test_error_rate_matches_target(self, small_platform):
+        result = small_platform.run_trial(TrialConditions(0.90, 40.0))
+        assert result.measured_error_rate == pytest.approx(0.10, abs=0.05)
+
+    def test_error_string_is_xor(self, small_platform):
+        result = small_platform.run_trial(TrialConditions(0.95, 40.0))
+        assert result.error_string == (result.approx ^ result.exact)
+        assert result.error_count == result.error_string.popcount()
+
+    def test_trial_records_provenance(self, small_platform):
+        result = small_platform.run_trial(TrialConditions(0.95, 40.0))
+        assert result.chip_label == small_platform.chip.label
+        assert result.interval_s > 0
+
+    def test_custom_data_flows_through(self, small_platform, rng):
+        data = BitVector.random(small_platform.chip.geometry.total_bits, rng)
+        result = small_platform.run_trial(TrialConditions(0.95, 40.0), data=data)
+        assert result.exact == data
+
+    def test_run_trials_order(self, small_platform):
+        points = [TrialConditions(0.99, 40.0), TrialConditions(0.9, 60.0)]
+        results = small_platform.run_trials(points)
+        assert [r.conditions for r in results] == points
+
+    def test_custom_data_fewer_errors_than_worst_case(self, small_platform, rng):
+        """Real data charges only some cells, so it shows fewer errors
+        than the all-charged worst case at the same interval."""
+        conditions = TrialConditions(0.90, 40.0)
+        worst = small_platform.run_trial(conditions)
+        data = BitVector.random(small_platform.chip.geometry.total_bits, rng)
+        partial = small_platform.run_trial(conditions, data=data)
+        assert partial.error_count < worst.error_count
+
+
+class TestChipFamily:
+    def test_family_size_and_labels(self):
+        family = ChipFamily(TEST_DEVICE, n_chips=4)
+        assert len(family) == 4
+        labels = [chip.label for chip in family]
+        assert len(set(labels)) == 4
+
+    def test_family_shares_mask(self):
+        family = ChipFamily(TEST_DEVICE, n_chips=2, mask_seed=9)
+        assert all(chip.mask_seed == 9 for chip in family)
+        assert family[0].chip_seed != family[1].chip_seed
+
+    def test_platforms_bound_to_chips(self):
+        family = ChipFamily(TEST_DEVICE, n_chips=2)
+        platforms = family.platforms()
+        assert [p.chip for p in platforms] == family.chips
+
+    def test_rejects_empty_family(self):
+        with pytest.raises(ValueError):
+            ChipFamily(TEST_DEVICE, n_chips=0)
+
+    def test_default_platform_controller_is_oracle(self, small_chip):
+        platform = ExperimentPlatform(small_chip)
+        assert platform.controller.strategy == "oracle"

@@ -1,0 +1,83 @@
+"""Tests for measurement-based retention profiling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dram import KM41464A, TEST_DEVICE, DRAMChip
+from repro.dram.profiling import profile_matches_oracle, profile_rows
+from repro.dram.refresh import _row_min_retention
+
+
+class TestProfileRows:
+    def test_profile_shape_and_restoration(self):
+        chip = DRAMChip(TEST_DEVICE, chip_seed=77)
+        chip.set_temperature(25.0)
+        profile = profile_rows(chip, temperature_c=50.0)
+        assert profile.rows == chip.geometry.rows
+        assert profile.temperature_c == 50.0
+        assert chip.temperature_c == 25.0  # restored
+
+    def test_profile_brackets_oracle(self):
+        chip = DRAMChip(TEST_DEVICE, chip_seed=78)
+        profile = profile_rows(chip, temperature_c=40.0, passes=2)
+        assert profile_matches_oracle(chip, profile)
+
+    def test_profiled_intervals_are_safe(self):
+        """Refreshing each row at its measured budget must be (nearly)
+        error-free — the property RAIDR needs from profiling."""
+        chip = DRAMChip(TEST_DEVICE, chip_seed=79)
+        profile = profile_rows(chip, temperature_c=40.0, passes=2)
+        data = chip.geometry.charged_pattern()
+        chip.write(data)
+        chip.idle_rows(profile.retention_s * 0.9)
+        errors = (chip.read() ^ data).popcount()
+        assert errors <= 3  # borderline noise only
+
+    def test_temperature_scales_profile(self):
+        chip = DRAMChip(TEST_DEVICE, chip_seed=80)
+        cold = profile_rows(chip, temperature_c=40.0)
+        hot = profile_rows(chip, temperature_c=60.0)
+        ratio = np.median(hot.retention_s / cold.retention_s)
+        assert ratio == pytest.approx(0.25, rel=0.3)
+
+    def test_validation(self):
+        chip = DRAMChip(TEST_DEVICE, chip_seed=81)
+        with pytest.raises(ValueError):
+            profile_rows(chip, resolution=0.0)
+        with pytest.raises(ValueError):
+            profile_rows(chip, passes=0)
+
+    def test_profile_driven_raidr_is_error_free(self):
+        """The realistic deployment loop: measured profile -> RAIDR
+        bins -> error-free refresh with a large energy saving, no
+        oracle access anywhere."""
+        from repro.dram.refresh import raidr_plan_from_profile, readback_under_plan
+
+        chip = DRAMChip(KM41464A, chip_seed=83)
+        profile = profile_rows(chip, temperature_c=40.0, passes=2)
+        plan = raidr_plan_from_profile(profile.retention_s, n_bins=4)
+        data = chip.geometry.charged_pattern()
+        readback = readback_under_plan(chip, data, plan, temperature_c=40.0)
+        assert (readback ^ data).popcount() <= 3  # borderline noise only
+        assert plan.energy_saving_vs_jedec() > 0.5
+
+    def test_raidr_plan_from_profile_validation(self):
+        from repro.dram.refresh import raidr_plan_from_profile
+
+        with pytest.raises(ValueError):
+            raidr_plan_from_profile(np.ones(4), n_bins=0)
+        with pytest.raises(ValueError):
+            raidr_plan_from_profile(np.ones(4), safety_factor=0.0)
+
+    def test_full_size_chip_profile(self):
+        """Profiling the KM41464A stays within the probe budget and
+        orders rows like the oracle."""
+        chip = DRAMChip(KM41464A, chip_seed=82)
+        profile = profile_rows(chip, temperature_c=40.0)
+        truth = _row_min_retention(chip, 40.0)
+        correlation = np.corrcoef(
+            np.log(profile.retention_s), np.log(truth)
+        )[0, 1]
+        assert correlation > 0.8

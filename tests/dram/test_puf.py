@@ -1,0 +1,149 @@
+"""Tests for the DRAM decay PUF (the §9.1 constructive twin)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dram import KM41464A, DRAMChip
+from repro.dram.puf import (
+    DRAMDecayPUF,
+    PUFChallenge,
+    fractional_hamming,
+    make_challenges,
+    reliability,
+    uniqueness,
+)
+
+
+@pytest.fixture(scope="module")
+def pufs():
+    return [
+        DRAMDecayPUF(DRAMChip(KM41464A, chip_seed=700 + index))
+        for index in range(3)
+    ]
+
+
+CHALLENGE = PUFChallenge(rows=(3, 70, 129, 200), interval_index=0)
+
+
+class TestChallengeValidation:
+    def test_empty_rows_rejected(self):
+        with pytest.raises(ValueError):
+            PUFChallenge(rows=(), interval_index=0)
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(ValueError):
+            PUFChallenge(rows=(1,), interval_index=-1)
+
+    def test_out_of_range_row(self, pufs):
+        with pytest.raises(IndexError):
+            pufs[0].evaluate(PUFChallenge(rows=(10_000,), interval_index=0))
+
+    def test_out_of_range_interval(self, pufs):
+        with pytest.raises(IndexError):
+            pufs[0].evaluate(PUFChallenge(rows=(1,), interval_index=99))
+
+
+class TestResponses:
+    def test_response_length(self, pufs):
+        response = pufs[0].evaluate(CHALLENGE)
+        expected = len(CHALLENGE.rows) * KM41464A.geometry.bits_per_row
+        assert response.nbits == expected
+
+    def test_response_density_tracks_interval(self, pufs):
+        light = pufs[0].evaluate(PUFChallenge(rows=tuple(range(64)), interval_index=0))
+        deep = pufs[0].evaluate(PUFChallenge(rows=tuple(range(64)), interval_index=2))
+        assert deep.popcount() > light.popcount()
+
+    def test_responses_repeat_on_same_chip(self, pufs):
+        first = pufs[0].evaluate(CHALLENGE)
+        second = pufs[0].evaluate(CHALLENGE)
+        assert fractional_hamming(first, second) < 0.005
+
+    def test_responses_differ_across_chips(self, pufs):
+        a = pufs[0].evaluate(CHALLENGE)
+        b = pufs[1].evaluate(CHALLENGE)
+        # Sparse responses: ~2% of positions differ (two ~1% patterns).
+        assert fractional_hamming(a, b) > 0.01
+
+
+class TestMetrics:
+    def test_reliability_near_one(self, pufs):
+        assert reliability(pufs[0], CHALLENGE, measurements=5) > 0.995
+
+    def test_uniqueness_near_ideal(self, pufs):
+        value = uniqueness(pufs, CHALLENGE)
+        assert 0.9 < value < 1.1  # indistinguishable from independence
+
+    def test_uniqueness_requires_two_devices(self, pufs):
+        with pytest.raises(ValueError):
+            uniqueness(pufs[:1], CHALLENGE)
+
+    def test_fractional_hamming_validation(self):
+        from repro.bits import BitVector
+
+        with pytest.raises(ValueError):
+            fractional_hamming(BitVector.zeros(8), BitVector.zeros(16))
+
+
+class TestKeyDerivation:
+    def test_key_is_stable_across_derivations(self, pufs):
+        first = pufs[0].derive_key(CHALLENGE, measurements=5)
+        second = pufs[0].derive_key(CHALLENGE, measurements=5)
+        assert first == second
+        assert len(first) == 32
+
+    def test_keys_differ_across_chips(self, pufs):
+        assert pufs[0].derive_key(CHALLENGE) != pufs[1].derive_key(CHALLENGE)
+
+    def test_keys_differ_across_challenges(self, pufs):
+        other = PUFChallenge(rows=(5, 9, 77, 201), interval_index=1)
+        assert pufs[0].derive_key(CHALLENGE) != pufs[0].derive_key(other)
+
+    def test_measurement_validation(self, pufs):
+        with pytest.raises(ValueError):
+            pufs[0].derive_key(CHALLENGE, measurements=0)
+
+
+class TestMakeChallenges:
+    def test_shapes(self, rng):
+        challenges = make_challenges(5, 256, 4, rng)
+        assert len(challenges) == 5
+        for challenge in challenges:
+            assert len(challenge.rows) == 4
+            assert len(set(challenge.rows)) == 4
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            make_challenges(1, 4, 8, rng)
+
+
+class TestPaperContrast:
+    def test_same_bits_serve_puf_and_attack(self, pufs):
+        """The paper's §9.1 point, executable: a PUF response from one
+        chip matches that chip's Probable Cause fingerprint."""
+        from repro.core import characterize_trials, probable_cause_distance
+        from repro.dram import ExperimentPlatform, TrialConditions
+
+        chip = pufs[0].chip
+        platform = ExperimentPlatform(chip)
+        fingerprint = characterize_trials(
+            [platform.run_trial(TrialConditions(0.99, 40.0)) for _ in range(3)]
+        )
+        # Reassemble the response into full-array coordinates.
+        challenge = PUFChallenge(rows=tuple(range(64)), interval_index=0)
+        response = pufs[0].evaluate(challenge)
+        from repro.bits import BitVector
+
+        full = np.zeros(chip.geometry.total_bits, dtype=bool)
+        bits_per_row = chip.geometry.bits_per_row
+        response_bools = response.to_bool_array()
+        for position, row in enumerate(challenge.rows):
+            full[row * bits_per_row : (row + 1) * bits_per_row] = response_bools[
+                position * bits_per_row : (position + 1) * bits_per_row
+            ]
+        distance = probable_cause_distance(
+            BitVector.from_bool_array(full), fingerprint
+        )
+        assert distance < 0.05

@@ -1,0 +1,191 @@
+"""Tests for the §9.2 approximate-DRAM refresh schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dram import (
+    KM41464A,
+    TEST_DEVICE,
+    DRAMChip,
+    FixedIntervalRefresh,
+    FlikkerRefresh,
+    JEDECRefresh,
+    RAIDRRefresh,
+    RAPIDRefresh,
+    RefreshPlan,
+    evaluate_policy,
+    readback_under_plan,
+)
+from repro.dram.retention import JEDEC_REFRESH_S
+
+
+@pytest.fixture
+def km_chip():
+    return DRAMChip(KM41464A, chip_seed=901)
+
+
+class TestRefreshPlan:
+    def test_energy_accounting(self):
+        plan = RefreshPlan(row_intervals_s=np.full(10, JEDEC_REFRESH_S))
+        assert plan.energy_saving_vs_jedec() == pytest.approx(0.0)
+        doubled = RefreshPlan(row_intervals_s=np.full(10, 2 * JEDEC_REFRESH_S))
+        assert doubled.energy_saving_vs_jedec() == pytest.approx(0.5)
+
+    def test_rejects_nonpositive_intervals(self):
+        with pytest.raises(ValueError):
+            RefreshPlan(row_intervals_s=np.array([0.064, 0.0]))
+
+
+class TestIdleRows:
+    def test_per_row_decay(self, km_chip):
+        """Rows with longer unrefreshed windows decay more."""
+        geometry = km_chip.geometry
+        data = geometry.charged_pattern()
+        long_interval = km_chip.interval_for_error_rate(0.5)
+        seconds = np.zeros(geometry.rows)
+        seconds[: geometry.rows // 2] = long_interval
+        km_chip.write(data)
+        km_chip.idle_rows(seconds)
+        errors = (km_chip.read() ^ data).to_indices()
+        error_rows = geometry.rows_of_bits(errors)
+        assert (error_rows < geometry.rows // 2).all()
+
+    def test_shape_validation(self, km_chip):
+        with pytest.raises(ValueError):
+            km_chip.idle_rows(np.zeros(3))
+        with pytest.raises(ValueError):
+            km_chip.idle_rows(np.full(km_chip.geometry.rows, -1.0))
+
+
+class TestJEDEC:
+    def test_error_free(self, km_chip):
+        evaluation, errors = evaluate_policy(km_chip, JEDECRefresh())
+        assert evaluation.error_rate == 0.0
+        assert evaluation.energy_saving == pytest.approx(0.0)
+
+
+class TestFixedInterval:
+    def test_hits_target_error_with_energy_saving(self, km_chip):
+        interval = km_chip.interval_for_error_rate(0.01)
+        evaluation, _ = evaluate_policy(km_chip, FixedIntervalRefresh(interval))
+        assert evaluation.error_rate == pytest.approx(0.01, rel=0.2)
+        assert evaluation.energy_saving > 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FixedIntervalRefresh(interval_s=0.0)
+
+
+class TestFlikker:
+    def test_errors_confined_to_low_refresh_zone(self, km_chip):
+        policy = FlikkerRefresh(high_zone_fraction=0.25, low_rate_divisor=16)
+        _evaluation, errors = evaluate_policy(km_chip, policy)
+        error_rows = km_chip.geometry.rows_of_bits(errors.to_indices())
+        assert (error_rows >= policy.high_zone_rows(km_chip)).all()
+
+    def test_energy_saving_between_zones(self, km_chip):
+        evaluation, _ = evaluate_policy(
+            km_chip, FlikkerRefresh(high_zone_fraction=0.25, low_rate_divisor=16)
+        )
+        # 25% of rows at full cost + 75% at 1/16 cost -> ~70% saving.
+        assert evaluation.energy_saving == pytest.approx(0.703, abs=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlikkerRefresh(high_zone_fraction=1.5)
+        with pytest.raises(ValueError):
+            FlikkerRefresh(low_rate_divisor=0.5)
+
+
+class TestRAIDR:
+    def test_faithful_raidr_is_error_free(self, km_chip):
+        evaluation, _ = evaluate_policy(
+            km_chip, RAIDRRefresh(n_bins=4, safety_factor=1.0)
+        )
+        assert evaluation.errors == 0
+        assert evaluation.energy_saving > 0.5
+
+    def test_more_bins_save_more_energy(self, km_chip):
+        few, _ = evaluate_policy(km_chip, RAIDRRefresh(n_bins=2))
+        many, _ = evaluate_policy(km_chip, RAIDRRefresh(n_bins=6))
+        assert many.energy_saving >= few.energy_saving
+
+    def test_approximate_raidr_errs_in_weak_rows_only(self, km_chip):
+        policy = RAIDRRefresh(n_bins=6, safety_factor=4.0)
+        evaluation, errors = evaluate_policy(km_chip, policy)
+        assert 0.001 < evaluation.error_rate < 0.2
+        assert evaluation.energy_saving > 0.8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RAIDRRefresh(n_bins=0)
+        with pytest.raises(ValueError):
+            RAIDRRefresh(safety_factor=0.0)
+
+
+class TestRAPID:
+    def test_populated_rows_are_strongest(self, km_chip):
+        policy = RAPIDRefresh(populated_fraction=0.5)
+        populated = set(policy.populated_rows(km_chip, 40.0))
+        from repro.dram.refresh import _row_min_retention
+
+        per_row = _row_min_retention(km_chip, 40.0)
+        weakest = int(np.argmin(per_row))
+        assert weakest not in populated
+
+    def test_near_error_free_with_large_saving(self, km_chip):
+        evaluation, _ = evaluate_policy(
+            km_chip, RAPIDRefresh(populated_fraction=0.75)
+        )
+        # Only borderline-noise errors; substantial saving because the
+        # weak tail no longer constrains the refresh interval.
+        assert evaluation.error_rate < 0.001
+        assert evaluation.energy_saving > 0.5
+
+    def test_smaller_population_saves_more(self, km_chip):
+        sparse, _ = evaluate_policy(km_chip, RAPIDRefresh(populated_fraction=0.25))
+        dense, _ = evaluate_policy(km_chip, RAPIDRefresh(populated_fraction=1.0))
+        assert sparse.energy_saving > dense.energy_saving
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RAPIDRefresh(populated_fraction=0.0)
+
+
+class TestFingerprintabilityAcrossSchemes:
+    def test_probable_cause_identifies_outputs_from_every_lossy_scheme(self):
+        """The attack generalizes: any scheme that admits errors leaks
+        the same volatile-cell fingerprint."""
+        from repro.core import characterize_trials, probable_cause_distance
+        from repro.dram import ExperimentPlatform, TrialConditions
+
+        chips = [DRAMChip(KM41464A, chip_seed=910 + i) for i in range(2)]
+        fingerprints = []
+        for chip in chips:
+            platform = ExperimentPlatform(chip)
+            fingerprints.append(
+                characterize_trials(
+                    [platform.run_trial(TrialConditions(0.99, 40.0))
+                     for _ in range(3)]
+                )
+            )
+
+        # Flikker's full-refresh zone masks the ~25 % of fingerprint
+        # bits living there (they can never fail), so its within-class
+        # distance floor is the high-zone fraction — still far below
+        # between-class.
+        lossy_policies = [
+            (FixedIntervalRefresh(chips[0].interval_for_error_rate(0.01)), 0.1),
+            (FlikkerRefresh(high_zone_fraction=0.25), 0.35),
+            (RAIDRRefresh(n_bins=6, safety_factor=4.0), 0.1),
+        ]
+        for policy, within_bound in lossy_policies:
+            _evaluation, errors = evaluate_policy(chips[0], policy)
+            assert errors.any(), policy.name
+            same = probable_cause_distance(errors, fingerprints[0])
+            other = probable_cause_distance(errors, fingerprints[1])
+            assert same < within_bound, policy.name
+            assert other > 0.5, policy.name
+            assert other > 2 * same, policy.name

@@ -1,0 +1,103 @@
+"""Tests for retention physics: thermal scaling, noise, decay masks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dram import NoiseModel, ThermalModel, decayed_mask
+
+
+class TestThermalModel:
+    def test_reference_temperature_is_identity(self):
+        thermal = ThermalModel(reference_c=40.0, halving_celsius=10.0)
+        assert thermal.retention_scale(40.0) == pytest.approx(1.0)
+
+    def test_halving_rule(self):
+        thermal = ThermalModel(reference_c=40.0, halving_celsius=10.0)
+        assert thermal.retention_scale(50.0) == pytest.approx(0.5)
+        assert thermal.retention_scale(60.0) == pytest.approx(0.25)
+        assert thermal.retention_scale(30.0) == pytest.approx(2.0)
+
+    def test_scale_retention_is_uniform(self):
+        """Temperature shifts every cell equally — the physical basis of
+        §7.3's order invariance."""
+        thermal = ThermalModel()
+        retention = np.array([0.1, 1.0, 10.0])
+        scaled = thermal.scale_retention(retention, 60.0)
+        ratios = scaled / retention
+        assert np.allclose(ratios, ratios[0])
+
+    def test_ordering_preserved_under_temperature(self):
+        thermal = ThermalModel()
+        rng = np.random.default_rng(3)
+        retention = rng.lognormal(1.0, 0.5, size=1000)
+        order_ref = np.argsort(retention)
+        order_hot = np.argsort(thermal.scale_retention(retention, 85.0))
+        assert np.array_equal(order_ref, order_hot)
+
+    def test_rejects_nonpositive_halving(self):
+        with pytest.raises(ValueError):
+            ThermalModel(halving_celsius=0.0)
+
+
+class TestNoiseModel:
+    def test_zero_sigma_is_exact_ones(self, rng):
+        noise = NoiseModel(log_sigma=0.0)
+        assert np.array_equal(noise.jitter(5, rng), np.ones(5))
+
+    def test_jitter_statistics(self, rng):
+        noise = NoiseModel(log_sigma=0.1)
+        jitter = noise.jitter(100_000, rng)
+        assert np.log(jitter).std() == pytest.approx(0.1, rel=0.05)
+        assert np.log(jitter).mean() == pytest.approx(0.0, abs=0.01)
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ValueError):
+            NoiseModel(log_sigma=-0.1)
+
+
+class TestDecayedMask:
+    THERMAL = ThermalModel(reference_c=40.0, halving_celsius=10.0)
+
+    def test_threshold_semantics(self):
+        retention = np.array([0.5, 1.0, 2.0])
+        mask = decayed_mask(retention, elapsed_s=1.0, temperature_c=40.0,
+                            thermal=self.THERMAL)
+        assert list(mask) == [True, False, False]
+
+    def test_heat_accelerates_decay(self):
+        retention = np.array([1.5])
+        cold = decayed_mask(retention, 1.0, 40.0, self.THERMAL)
+        hot = decayed_mask(retention, 1.0, 60.0, self.THERMAL)
+        assert not cold[0] and hot[0]
+
+    def test_zero_elapsed_never_decays(self):
+        retention = np.array([1e-9, 1.0])
+        mask = decayed_mask(retention, 0.0, 85.0, self.THERMAL)
+        assert not mask.any()
+
+    def test_negative_elapsed_rejected(self):
+        with pytest.raises(ValueError):
+            decayed_mask(np.array([1.0]), -1.0, 40.0, self.THERMAL)
+
+    def test_noise_requires_rng(self):
+        with pytest.raises(ValueError):
+            decayed_mask(
+                np.array([1.0]), 1.0, 40.0, self.THERMAL,
+                noise=NoiseModel(log_sigma=0.1), rng=None,
+            )
+
+    def test_noise_flips_only_borderline_cells(self, rng):
+        """Cells far from the threshold are unaffected by small jitter."""
+        retention = np.array([0.01, 0.999, 1.001, 100.0])
+        flips = np.zeros(4)
+        for _ in range(200):
+            mask = decayed_mask(
+                retention, 1.0, 40.0, self.THERMAL,
+                noise=NoiseModel(log_sigma=0.01), rng=rng,
+            )
+            flips += mask
+        assert flips[0] == 200 and flips[3] == 0
+        assert 0 < flips[1] <= 200
+        assert 0 <= flips[2] < 200

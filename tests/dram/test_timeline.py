@@ -1,0 +1,166 @@
+"""Tests for the command-timeline simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bits import BitVector
+from repro.dram import DRAMChip, KM41464A, TEST_DEVICE
+from repro.dram.timeline import (
+    ReadCommand,
+    Timeline,
+    WriteCommand,
+)
+
+
+@pytest.fixture
+def chip():
+    return DRAMChip(TEST_DEVICE, chip_seed=55)
+
+
+def charged(chip):
+    return chip.geometry.charged_pattern()
+
+
+class TestExecutionBasics:
+    def test_empty_timeline(self, chip):
+        assert Timeline().execute(chip).reads == []
+
+    def test_write_then_read_no_gap(self, chip):
+        data = charged(chip)
+        result = Timeline().write(0.0, data).read(0.0, tag="t0").execute(chip)
+        assert result.by_tag("t0").data == data
+
+    def test_gap_produces_decay(self, chip):
+        data = charged(chip)
+        interval = chip.interval_for_error_rate(0.2)
+        result = (
+            Timeline()
+            .write(0.0, data)
+            .read(interval, tag="after")
+            .execute(chip)
+        )
+        errors = (result.by_tag("after").data ^ data).popcount()
+        assert errors == pytest.approx(0.2 * data.nbits, rel=0.25)
+
+    def test_matches_platform_trial(self, chip):
+        """A write/idle/read timeline equals chip.decay_trial."""
+        data = charged(chip)
+        interval = chip.interval_for_error_rate(0.1)
+        timeline_read = (
+            Timeline().write(0.0, data).read(interval, tag="x").execute(chip)
+        ).by_tag("x").data
+        # Error *volume* matches a direct trial (per-trial noise differs).
+        direct = chip.decay_trial(data, interval)
+        assert (timeline_read ^ data).popcount() == pytest.approx(
+            (direct ^ data).popcount(), rel=0.15
+        )
+
+    def test_commands_sorted_by_time(self, chip):
+        data = charged(chip)
+        # Insert out of order; execution must sort.
+        timeline = Timeline(
+            [
+                ReadCommand(at_s=1.0, tag="later"),
+                WriteCommand(at_s=0.0, data=data),
+            ]
+        )
+        result = timeline.execute(chip)
+        assert result.reads[0].tag == "later"
+
+    def test_by_tag_requires_unique(self, chip):
+        result = (
+            Timeline()
+            .write(0.0, charged(chip))
+            .read(0.0, tag="dup")
+            .read(0.0, tag="dup")
+            .execute(chip)
+        )
+        with pytest.raises(KeyError):
+            result.by_tag("dup")
+
+
+class TestRefreshScheduling:
+    def test_midpoint_refresh_halves_decay(self, chip):
+        data = charged(chip)
+        interval = chip.interval_for_error_rate(0.3)
+        no_refresh = (
+            Timeline().write(0.0, data).read(interval, tag="r").execute(chip)
+        ).by_tag("r").data
+        with_refresh = (
+            Timeline()
+            .write(0.0, data)
+            .refresh(interval / 2)
+            .read(interval, tag="r")
+            .execute(chip)
+        ).by_tag("r").data
+        assert (with_refresh ^ data).popcount() < (no_refresh ^ data).popcount()
+
+    def test_partial_row_refresh(self, chip):
+        data = charged(chip)
+        geometry = chip.geometry
+        interval = chip.interval_for_error_rate(0.5)
+        result = (
+            Timeline()
+            .write(0.0, data)
+            .refresh(interval * 0.5, rows=range(0, geometry.rows, 2))
+            .read(interval * 1.2, tag="r")
+            .execute(chip)
+        )
+        errors = (result.by_tag("r").data ^ data).to_indices()
+        error_rows = geometry.rows_of_bits(errors)
+        odd = int(np.sum(error_rows % 2 == 1))
+        even = int(np.sum(error_rows % 2 == 0))
+        assert odd > even
+
+    def test_distributed_refresh_prevents_decay(self):
+        """A JEDEC-style staggered schedule with per-row interval well
+        below every retention time keeps the array error-free."""
+        chip = DRAMChip(KM41464A, chip_seed=56)
+        data = chip.geometry.charged_pattern()
+        rows = chip.geometry.rows
+        period = 0.05  # below the weakest cell's ~0.1 s retention
+        timeline = Timeline().write(0.0, data)
+        timeline.distributed_refresh(0.0, 1.0, period_s=period, rows=rows)
+        timeline.read(1.0, tag="end")
+        result = timeline.execute(chip)
+        assert result.by_tag("end").data == data
+
+    def test_distributed_refresh_validates_period(self):
+        with pytest.raises(ValueError):
+            Timeline().distributed_refresh(0.0, 1.0, period_s=0.0, rows=4)
+
+
+class TestEnvironmentCommands:
+    def test_temperature_change_mid_run(self, chip):
+        data = charged(chip)
+        interval = chip.interval_for_error_rate(0.1)
+        cool = (
+            Timeline().write(0.0, data).read(interval, tag="r").execute(chip)
+        ).by_tag("r").data
+        hot = (
+            Timeline()
+            .write(0.0, data)
+            .set_temperature(0.0, 60.0)
+            .read(interval, tag="r")
+            .execute(chip)
+        ).by_tag("r").data
+        chip.set_temperature(40.0)
+        assert (hot ^ data).popcount() > (cool ^ data).popcount()
+
+    def test_voltage_change_mid_run(self, chip):
+        data = charged(chip)
+        interval = chip.interval_for_error_rate(0.05)
+        nominal = (
+            Timeline().write(0.0, data).read(interval, tag="r").execute(chip)
+        ).by_tag("r").data
+        undervolted = (
+            Timeline()
+            .write(0.0, data)
+            .set_voltage(0.0, chip.spec.voltage.nominal_v / 2)
+            .read(interval, tag="r")
+            .execute(chip)
+        ).by_tag("r").data
+        chip.set_supply_voltage(chip.spec.voltage.nominal_v)
+        assert (undervolted ^ data).popcount() > (nominal ^ data).popcount()

@@ -1,0 +1,100 @@
+"""Tests for the process-variation model (§2's two variation sources)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dram import VariationProfile
+from repro.dram.variation import _standardized_skew_normal
+
+
+class TestProfileValidation:
+    def test_rejects_nonpositive_sigma(self):
+        with pytest.raises(ValueError):
+            VariationProfile(log_mean=0.0, log_sigma=0.0)
+
+    def test_rejects_mask_fraction_of_one(self):
+        with pytest.raises(ValueError):
+            VariationProfile(log_mean=0.0, log_sigma=1.0, mask_fraction=1.0)
+
+    def test_variance_split(self):
+        profile = VariationProfile(log_mean=0.0, log_sigma=2.0, mask_fraction=0.25)
+        assert profile.mask_sigma == pytest.approx(1.0)
+        assert profile.dopant_sigma == pytest.approx(np.sqrt(3.0))
+        total = profile.mask_sigma**2 + profile.dopant_sigma**2
+        assert total == pytest.approx(profile.log_sigma**2)
+
+
+class TestComponentSampling:
+    PROFILE = VariationProfile(log_mean=1.0, log_sigma=0.8, mask_fraction=0.1)
+
+    def test_mask_component_shared_across_chips(self):
+        a = self.PROFILE.sample_mask_component(1000, mask_seed=5)
+        b = self.PROFILE.sample_mask_component(1000, mask_seed=5)
+        assert np.array_equal(a, b)
+
+    def test_mask_component_differs_across_masks(self):
+        a = self.PROFILE.sample_mask_component(1000, mask_seed=5)
+        b = self.PROFILE.sample_mask_component(1000, mask_seed=6)
+        assert not np.array_equal(a, b)
+
+    def test_dopant_component_unique_per_chip(self):
+        a = self.PROFILE.sample_dopant_component(1000, chip_seed=1)
+        b = self.PROFILE.sample_dopant_component(1000, chip_seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_dopant_component_deterministic_per_chip(self):
+        a = self.PROFILE.sample_dopant_component(1000, chip_seed=1)
+        b = self.PROFILE.sample_dopant_component(1000, chip_seed=1)
+        assert np.array_equal(a, b)
+
+    def test_dopant_dominates_total_variation(self):
+        """The paper expects leakage (dopant) variation to dominate, so
+        chips from the same mask must still be far apart."""
+        n = 50_000
+        log_a = self.PROFILE.sample_log_retention(n, mask_seed=3, chip_seed=1)
+        log_b = self.PROFILE.sample_log_retention(n, mask_seed=3, chip_seed=2)
+        correlation = np.corrcoef(log_a, log_b)[0, 1]
+        # Shared-mask correlation equals mask_fraction (0.1) in expectation.
+        assert correlation < 0.2
+
+    def test_full_sample_statistics(self):
+        n = 200_000
+        sample = self.PROFILE.sample_log_retention(n, mask_seed=0, chip_seed=0)
+        assert sample.mean() == pytest.approx(self.PROFILE.log_mean, abs=0.02)
+        assert sample.std() == pytest.approx(self.PROFILE.log_sigma, rel=0.03)
+
+
+class TestSkew:
+    def test_standardized_skew_normal_moments(self):
+        rng = np.random.default_rng(1)
+        sample = _standardized_skew_normal(rng, shape=-4.0, size=400_000)
+        assert sample.mean() == pytest.approx(0.0, abs=0.01)
+        assert sample.std() == pytest.approx(1.0, abs=0.01)
+
+    def test_negative_shape_skews_left(self):
+        rng = np.random.default_rng(2)
+        sample = _standardized_skew_normal(rng, shape=-4.0, size=400_000)
+        skewness = float(((sample - sample.mean()) ** 3).mean()) / sample.std() ** 3
+        assert skewness < -0.5
+
+    def test_skewed_profile_keeps_scale(self):
+        """§8.1: the DDR2 distribution differs in *shape*, not scale."""
+        plain = VariationProfile(log_mean=0.0, log_sigma=0.7, skew=0.0)
+        skewed = VariationProfile(log_mean=0.0, log_sigma=0.7, skew=-4.0)
+        a = plain.sample_dopant_component(300_000, chip_seed=9)
+        b = skewed.sample_dopant_component(300_000, chip_seed=9)
+        assert np.std(a) == pytest.approx(np.std(b), rel=0.05)
+
+    def test_skewed_retention_has_heavier_short_tail(self):
+        """Volatility skewed high = more mass at short retention."""
+        plain = VariationProfile(log_mean=0.0, log_sigma=0.7, skew=0.0)
+        skewed = VariationProfile(log_mean=0.0, log_sigma=0.7, skew=-4.0)
+        a = plain.sample_log_retention(300_000, mask_seed=0, chip_seed=9)
+        b = skewed.sample_log_retention(300_000, mask_seed=0, chip_seed=9)
+        # Compare the 0.1 % quantile: the skewed device's most volatile
+        # cells decay much sooner relative to its own median.
+        spread_plain = np.median(a) - np.quantile(a, 0.001)
+        spread_skewed = np.median(b) - np.quantile(b, 0.001)
+        assert spread_skewed > spread_plain

@@ -1,0 +1,113 @@
+"""Tests for the voltage-scaling approximation knob.
+
+The paper's §1 names two ways to make DRAM approximate: lower the
+refresh rate or lower the supply voltage.  The headline property is
+that both expose the *same* manufacturing fingerprint, because voltage
+(like temperature) scales every cell's retention uniformly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bits import BitVector
+from repro.core import characterize_trials, probable_cause_distance
+from repro.dram import (
+    JEDEC_REFRESH_S,
+    KM41464A,
+    DRAMChip,
+    ExperimentPlatform,
+    TrialConditions,
+    VoltageModel,
+)
+
+
+class TestVoltageModel:
+    def test_nominal_is_identity(self):
+        model = VoltageModel(nominal_v=5.0)
+        assert model.retention_scale(5.0) == pytest.approx(1.0)
+
+    def test_quadratic_scaling(self):
+        model = VoltageModel(nominal_v=5.0, gamma=2.0)
+        assert model.retention_scale(2.5) == pytest.approx(0.25)
+
+    def test_floor_enforced(self):
+        model = VoltageModel(nominal_v=5.0, min_v=1.0)
+        with pytest.raises(ValueError):
+            model.retention_scale(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VoltageModel(nominal_v=0.0)
+        with pytest.raises(ValueError):
+            VoltageModel(gamma=0.0)
+
+
+class TestVoltageScaledChip:
+    def test_default_voltage_is_nominal(self):
+        chip = DRAMChip(KM41464A, chip_seed=1)
+        assert chip.supply_voltage_v == KM41464A.voltage.nominal_v
+
+    def test_set_voltage_validates(self):
+        chip = DRAMChip(KM41464A, chip_seed=1)
+        with pytest.raises(ValueError):
+            chip.set_supply_voltage(0.01)
+
+    def test_undervolting_accelerates_decay(self):
+        chip = DRAMChip(KM41464A, chip_seed=950)
+        data = chip.geometry.charged_pattern()
+        interval = chip.interval_for_error_rate(0.01)
+
+        nominal = chip.decay_trial(data, interval)
+        chip.set_supply_voltage(KM41464A.voltage.nominal_v / 2)
+        undervolted = chip.decay_trial(data, interval)
+
+        assert (undervolted ^ data).popcount() > 2 * (nominal ^ data).popcount()
+
+    def test_undervolting_at_jedec_refresh_creates_errors(self):
+        """The voltage knob alone — standard 64 ms refresh — produces
+        decay errors once the rail drops far enough."""
+        chip = DRAMChip(KM41464A, chip_seed=951)
+        data = chip.geometry.charged_pattern()
+        chip.set_supply_voltage(1.5)  # deep undervolt on the 5 V rail
+        readback = chip.decay_trial(data, JEDEC_REFRESH_S)
+        rate = (readback ^ data).popcount() / data.nbits
+        assert 0.0001 < rate < 0.3
+
+    def test_interval_for_error_rate_tracks_voltage(self):
+        chip = DRAMChip(KM41464A, chip_seed=952)
+        nominal = chip.interval_for_error_rate(0.01)
+        chip.set_supply_voltage(KM41464A.voltage.nominal_v / 2)
+        undervolted = chip.interval_for_error_rate(0.01)
+        assert undervolted == pytest.approx(nominal / 4.0, rel=1e-6)
+
+
+class TestKnobEquivalence:
+    def test_voltage_and_refresh_knobs_expose_the_same_fingerprint(self):
+        """Decay ordering is voltage-invariant, so a fingerprint built
+        from refresh-rate approximation identifies outputs produced by
+        voltage approximation — the attack transfers across knobs."""
+        chip = DRAMChip(KM41464A, chip_seed=953)
+        other = DRAMChip(KM41464A, chip_seed=954)
+
+        # Fingerprint via the refresh knob (the paper's platform).
+        platform = ExperimentPlatform(chip)
+        fingerprint = characterize_trials(
+            [platform.run_trial(TrialConditions(0.99, 40.0)) for _ in range(3)]
+        )
+
+        # Victim output via the voltage knob at standard refresh.
+        def undervolted_errors(target_chip: DRAMChip) -> BitVector:
+            data = target_chip.geometry.charged_pattern()
+            target_chip.set_supply_voltage(1.45)
+            readback = target_chip.decay_trial(data, JEDEC_REFRESH_S)
+            target_chip.set_supply_voltage(
+                target_chip.spec.voltage.nominal_v
+            )
+            return readback ^ data
+
+        same = probable_cause_distance(undervolted_errors(chip), fingerprint)
+        cross = probable_cause_distance(undervolted_errors(other), fingerprint)
+        assert same < 0.1
+        assert cross > 0.5

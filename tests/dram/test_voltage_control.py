@@ -1,0 +1,74 @@
+"""Tests for the voltage-mode approximate controller."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dram import JEDEC_REFRESH_S, KM41464A, TEST_DEVICE, DRAMChip
+from repro.dram.voltage_control import VoltageScalingController
+
+
+class TestValidation:
+    def test_unknown_strategy(self):
+        chip = DRAMChip(TEST_DEVICE, chip_seed=1)
+        with pytest.raises(ValueError):
+            VoltageScalingController(chip, strategy="magic")
+
+    def test_bad_interval(self):
+        chip = DRAMChip(TEST_DEVICE, chip_seed=1)
+        with pytest.raises(ValueError):
+            VoltageScalingController(chip, refresh_interval_s=0.0)
+
+
+class TestOracle:
+    def test_calibrated_voltage_hits_target(self):
+        chip = DRAMChip(KM41464A, chip_seed=990)
+        controller = VoltageScalingController(chip, strategy="oracle")
+        calibration = controller.voltage_for(accuracy=0.99)
+        chip.set_supply_voltage(calibration.supply_v)
+        data = chip.geometry.charged_pattern()
+        readback = chip.decay_trial(data, JEDEC_REFRESH_S)
+        measured = (readback ^ data).popcount() / data.nbits
+        chip.set_supply_voltage(chip.spec.voltage.nominal_v)
+        assert measured == pytest.approx(0.01, rel=0.25)
+
+    def test_deeper_approximation_needs_lower_rail(self):
+        chip = DRAMChip(KM41464A, chip_seed=991)
+        controller = VoltageScalingController(chip, strategy="oracle")
+        light = controller.voltage_for(0.99).supply_v
+        deep = controller.voltage_for(0.90).supply_v
+        assert deep < light < chip.spec.voltage.nominal_v
+
+    def test_power_saving_model(self):
+        chip = DRAMChip(KM41464A, chip_seed=992)
+        calibration = VoltageScalingController(chip).voltage_for(0.99)
+        saving = calibration.supply_power_saving(chip.spec.voltage.nominal_v)
+        # Undervolting to ~1.5 V on a 5 V rail saves ~90% dynamic power.
+        assert 0.5 < saving < 0.99
+
+
+class TestMeasure:
+    def test_measured_calibration_converges(self):
+        chip = DRAMChip(KM41464A, chip_seed=993)
+        controller = VoltageScalingController(
+            chip, strategy="measure", tolerance=0.2
+        )
+        calibration = controller.voltage_for(accuracy=0.95)
+        assert calibration.achieved_error_rate == pytest.approx(0.05, rel=0.35)
+        assert calibration.probes >= 2
+
+    def test_measure_restores_chip_state(self):
+        chip = DRAMChip(KM41464A, chip_seed=994)
+        chip.set_temperature(25.0)
+        nominal = chip.supply_voltage_v
+        VoltageScalingController(chip, strategy="measure").voltage_for(0.95)
+        assert chip.temperature_c == 25.0
+        assert chip.supply_voltage_v == nominal
+
+    def test_measured_agrees_with_oracle(self):
+        chip = DRAMChip(KM41464A, chip_seed=995)
+        oracle = VoltageScalingController(chip, strategy="oracle").voltage_for(0.95)
+        measured = VoltageScalingController(
+            chip, strategy="measure", tolerance=0.15
+        ).voltage_for(0.95)
+        assert measured.supply_v == pytest.approx(oracle.supply_v, rel=0.1)

@@ -1,0 +1,145 @@
+"""Tests for the variable-retention-time (VRT) extension."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core import characterize_trials, probable_cause_distance, union_all
+from repro.dram import KM41464A, DRAMChip, ExperimentPlatform, TrialConditions
+from repro.dram.vrt import VRTModel, VRTState
+
+
+def vrt_device(fraction=0.002, ratio=5.0, toggle=0.1):
+    return replace(
+        KM41464A,
+        vrt=VRTModel(
+            fraction=fraction,
+            retention_ratio=ratio,
+            toggle_probability=toggle,
+        ),
+    )
+
+
+class TestVRTModelValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(fraction=-0.1),
+            dict(fraction=1.1),
+            dict(retention_ratio=1.0),
+            dict(toggle_probability=2.0),
+            dict(weak_initial_probability=-1.0),
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            VRTModel(**kwargs)
+
+
+class TestVRTState:
+    def test_membership_is_manufacturing_locked(self, rng):
+        model = VRTModel(fraction=0.01)
+        first = VRTState(model, 10_000, chip_seed=5, rng=np.random.default_rng(1))
+        second = VRTState(model, 10_000, chip_seed=5, rng=np.random.default_rng(2))
+        assert np.array_equal(first.cell_indices, second.cell_indices)
+        other = VRTState(model, 10_000, chip_seed=6, rng=np.random.default_rng(1))
+        assert not np.array_equal(first.cell_indices, other.cell_indices)
+
+    def test_population_size(self, rng):
+        state = VRTState(VRTModel(fraction=0.01), 10_000, chip_seed=1, rng=rng)
+        assert state.n_vrt_cells == 100
+
+    def test_advance_toggles_states(self, rng):
+        state = VRTState(
+            VRTModel(fraction=0.05, toggle_probability=1.0),
+            10_000,
+            chip_seed=1,
+            rng=rng,
+        )
+        before = state.weak.copy()
+        state.advance()
+        assert np.array_equal(state.weak, ~before)
+
+    def test_apply_weakens_only_weak_cells(self, rng):
+        state = VRTState(
+            VRTModel(fraction=0.05, retention_ratio=4.0),
+            1_000,
+            chip_seed=1,
+            rng=rng,
+        )
+        retention = np.ones(1_000)
+        adjusted = state.apply(retention)
+        weak_cells = state.cell_indices[state.weak]
+        strong_cells = state.cell_indices[~state.weak]
+        assert np.allclose(adjusted[weak_cells], 0.25)
+        assert np.allclose(adjusted[strong_cells], 1.0)
+        untouched = np.setdiff1d(np.arange(1_000), state.cell_indices)
+        assert np.allclose(adjusted[untouched], 1.0)
+
+    def test_zero_fraction_is_noop(self, rng):
+        state = VRTState(VRTModel(fraction=0.0), 1_000, chip_seed=1, rng=rng)
+        state.advance()
+        assert state.n_vrt_cells == 0
+
+
+class TestVRTOnChip:
+    def test_ideal_device_has_no_vrt(self):
+        assert DRAMChip(KM41464A, chip_seed=1).vrt_state is None
+
+    def test_vrt_reduces_repeatability(self):
+        """A flickering population lowers the 21-trial repeatability in
+        rough proportion to its size, but characterization still works."""
+
+        def repeatability(spec, seed):
+            platform = ExperimentPlatform(DRAMChip(spec, chip_seed=seed))
+            errors = [
+                platform.run_trial(TrialConditions(0.99, 40.0)).error_string
+                for _ in range(21)
+            ]
+            union = union_all(errors).popcount()
+            stable = errors[0]
+            for error in errors[1:]:
+                stable = stable & error
+            return stable.popcount() / union
+
+        ideal = repeatability(KM41464A, seed=970)
+        flickery = repeatability(vrt_device(fraction=0.01, toggle=0.5), seed=970)
+        assert flickery < ideal
+        assert flickery > 0.5  # VRT is a perturbation, not a collapse
+
+    def test_characterization_suppresses_vrt_cells(self):
+        """Intersecting more outputs removes toggling cells from the
+        fingerprint — the reason Algorithm 1 uses intersection."""
+        spec = vrt_device(fraction=0.01, toggle=0.5)
+        chip = DRAMChip(spec, chip_seed=971)
+        platform = ExperimentPlatform(chip)
+        trials = [
+            platform.run_trial(TrialConditions(0.99, 40.0)) for _ in range(8)
+        ]
+        fingerprint = characterize_trials(trials)
+        vrt_cells = set(chip.vrt_state.cell_indices)
+        fingerprint_cells = set(int(i) for i in fingerprint.bits.to_indices())
+        overlap = len(fingerprint_cells & vrt_cells)
+        # A 1% VRT population would contribute ~1% of fingerprint cells
+        # if unsuppressed; after 8 intersections the weak-state-only
+        # survivors are a fraction of that.
+        assert overlap < 0.01 * len(fingerprint_cells) + 5
+
+    def test_identification_robust_to_vrt(self):
+        spec = vrt_device(fraction=0.005, toggle=0.3)
+        chips = [DRAMChip(spec, chip_seed=980 + i) for i in range(2)]
+        platforms = [ExperimentPlatform(chip) for chip in chips]
+        fingerprints = [
+            characterize_trials(
+                [p.run_trial(TrialConditions(0.99, 40.0)) for _ in range(3)]
+            )
+            for p in platforms
+        ]
+        probe = platforms[0].run_trial(TrialConditions(0.95, 50.0))
+        same = probable_cause_distance(probe.error_string, fingerprints[0])
+        other = probable_cause_distance(probe.error_string, fingerprints[1])
+        assert same < 0.1
+        assert other > 0.5

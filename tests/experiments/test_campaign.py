@@ -1,0 +1,60 @@
+"""Tests for the shared evaluation campaign."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dram import TEST_DEVICE
+from repro.experiments import ACCURACIES, TEMPERATURES, build_campaign
+
+
+@pytest.fixture(scope="module")
+def small_campaign():
+    return build_campaign(n_chips=2, device=TEST_DEVICE)
+
+
+class TestBuildCampaign:
+    def test_shape(self, small_campaign):
+        assert small_campaign.n_chips == 2
+        assert len(small_campaign.database) == 2
+        # 9 evaluation outputs per chip.
+        assert len(small_campaign.outputs) == 2 * 9
+
+    def test_grid_covers_all_operating_points(self, small_campaign):
+        label = small_campaign.family[0].label
+        points = {
+            (trial.conditions.accuracy, trial.conditions.temperature_c)
+            for trial in small_campaign.outputs_of(label)
+        }
+        assert points == {
+            (accuracy, temperature)
+            for accuracy in ACCURACIES
+            for temperature in TEMPERATURES
+        }
+
+    def test_deterministic(self):
+        first = build_campaign(n_chips=1, device=TEST_DEVICE)
+        second = build_campaign(n_chips=1, device=TEST_DEVICE)
+        assert (
+            first.database.get(first.family[0].label).bits
+            == second.database.get(second.family[0].label).bits
+        )
+
+
+class TestDistances:
+    def test_partition_counts(self, small_campaign):
+        within, between, detail = small_campaign.distances()
+        assert len(within) == 18          # each output vs its own chip
+        assert len(between) == 18         # each output vs the other chip
+        assert len(detail) == 36
+
+    def test_classes_separate(self, small_campaign):
+        within, between, _ = small_campaign.distances()
+        assert max(within) < min(between)
+
+    def test_between_by_groups(self, small_campaign):
+        by_temperature = small_campaign.between_by("temperature_c")
+        assert set(by_temperature) == set(TEMPERATURES)
+        assert all(len(values) == 6 for values in by_temperature.values())
+        by_accuracy = small_campaign.between_by("accuracy")
+        assert set(by_accuracy) == set(ACCURACIES)

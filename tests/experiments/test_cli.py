@@ -1,0 +1,66 @@
+"""Tests for the ``python -m repro`` CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import experiment_ids
+
+
+@pytest.fixture(autouse=True)
+def isolated_results_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+    return tmp_path
+
+
+class TestList:
+    def test_lists_every_experiment(self, capsys):
+        assert main(["list"]) == 0
+        printed = capsys.readouterr().out.split()
+        assert printed == experiment_ids()
+
+
+class TestRun:
+    def test_run_fast_experiment_writes_report(self, capsys, isolated_results_dir):
+        assert main(["run", "tab01"]) == 0
+        out = capsys.readouterr().out
+        assert "tab01" in out
+        assert "8.70e+795" in out  # report echoed
+        assert (isolated_results_dir / "tab01.txt").exists()
+
+    def test_quiet_suppresses_report_body(self, capsys, isolated_results_dir):
+        assert main(["run", "tab02", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "tab02" in out              # summary line present
+        assert "9.29e-591" not in out      # body not echoed
+        assert (isolated_results_dir / "tab02.txt").exists()
+
+    def test_unknown_experiment_errors(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_persists_metrics_json(self, isolated_results_dir):
+        assert main(["run", "tab01", "--quiet"]) == 0
+        metrics_file = isolated_results_dir / "tab01.metrics.json"
+        assert metrics_file.exists()
+        import json
+
+        payload = json.loads(metrics_file.read_text())
+        assert payload["experiment_id"] == "tab01"
+        assert "entropy_bits" in payload["metrics"]
+
+
+class TestSummary:
+    def test_summary_without_reports(self, capsys):
+        assert main(["summary"]) == 1
+        assert "no saved reports" in capsys.readouterr().out
+
+    def test_summary_collates_metrics(self, capsys):
+        main(["run", "tab01", "--quiet"])
+        main(["run", "tab02", "--quiet"])
+        capsys.readouterr()
+        assert main(["summary"]) == 0
+        out = capsys.readouterr().out
+        assert "[tab01]" in out and "[tab02]" in out
+        assert "entropy_bits" in out

@@ -1,0 +1,54 @@
+"""Tests for the extension experiments (robustness, population, data)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dram import KM41464A
+from repro.experiments import (
+    build_campaign,
+    data_dependence,
+    population,
+    robustness,
+)
+
+
+@pytest.fixture(scope="module")
+def km_campaign():
+    return build_campaign(n_chips=3, device=KM41464A)
+
+
+class TestThresholdStudy:
+    def test_window_brackets_default_threshold(self, km_campaign):
+        low, high = robustness.threshold_operating_window(km_campaign)
+        assert low < 0.1 < high  # the library default sits inside
+
+    def test_report_metrics(self, km_campaign):
+        report = robustness.run_threshold_study(km_campaign)
+        assert report.metrics["window_decades"] > 1.0
+        assert "operating window" in report.text
+
+
+class TestVRTStudy:
+    def test_two_point_sweep(self):
+        report = robustness.run_vrt_study(fractions=(0.0, 0.01), seed=975)
+        assert (
+            report.metrics["worst_repeatability"]
+            <= report.metrics["baseline_repeatability"]
+        )
+        assert report.metrics["worst_margin"] > 0.5
+
+
+class TestPopulationStudy:
+    def test_small_sweep(self):
+        report = population.run(populations=(2, 4))
+        assert report.metrics["identification_2"] == 1.0
+        assert report.metrics["identification_4"] == 1.0
+        # min over more pairs can only shrink the margin.
+        assert report.metrics["margin_4"] <= report.metrics["margin_2"] + 1e-9
+
+
+class TestDataDependenceStudy:
+    def test_degradation_shape(self):
+        report = data_dependence.run(charge_fractions=(1.0, 0.5), seed=77)
+        assert report.metrics["final_100"] <= report.metrics["final_50"]

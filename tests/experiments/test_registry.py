@@ -1,0 +1,54 @@
+"""Tests for the experiment registry and report plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentReport, experiment_ids, run_experiment
+from repro.experiments.base import register
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        ids = experiment_ids()
+        for expected in (
+            "fig05", "fig07", "fig08", "fig09", "fig10", "fig11", "fig13",
+            "tab01", "tab02", "sec10", "sec81", "sec82", "ablation",
+            "ext-refresh",
+        ):
+            assert expected in ids
+
+    def test_ids_in_paper_order(self):
+        ids = experiment_ids()
+        assert ids.index("fig05") < ids.index("fig13")
+        assert ids.index("fig13") < ids.index("tab01")
+        assert ids.index("tab02") < ids.index("sec10")
+        assert ids.index("sec82") < ids.index("ablation")
+        assert ids.index("ablation") < ids.index("ext-refresh")
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register("fig07")(lambda: None)
+
+    def test_run_fast_experiment(self):
+        report = run_experiment("tab01")
+        assert isinstance(report, ExperimentReport)
+        assert report.experiment_id == "tab01"
+        assert "8.70e+795" in report.text
+
+
+class TestReport:
+    def test_str_includes_id_and_title(self):
+        report = ExperimentReport(
+            experiment_id="x1", title="demo", text="body"
+        )
+        rendered = str(report)
+        assert "x1" in rendered and "demo" in rendered and "body" in rendered
+
+    def test_metrics_default_empty(self):
+        report = ExperimentReport(experiment_id="x2", title="t", text="")
+        assert dict(report.metrics) == {}

@@ -1,0 +1,77 @@
+"""Smoke tests for individual experiment runners at reduced scale.
+
+The benchmark harness exercises every runner at paper scale; these
+tests keep the package importable/runnable at unit-test cost by driving
+the parameterizable runners with small inputs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dram import KM41464A
+from repro.experiments import (
+    accuracy_privacy,
+    analytic_tables,
+    build_campaign,
+    consistency,
+    identification,
+    order,
+    stitching,
+    thermal,
+    uniqueness,
+)
+
+
+@pytest.fixture(scope="module")
+def km_campaign():
+    # Full-size chips (the distances need realistic bit counts) but only
+    # three of them.
+    return build_campaign(n_chips=3, device=KM41464A)
+
+
+class TestCampaignRunners:
+    def test_uniqueness(self, km_campaign):
+        report = uniqueness.run(km_campaign)
+        assert report.metrics["separation_ratio"] >= 100.0
+        assert "Within-class" in report.text
+
+    def test_thermal(self, km_campaign):
+        report = thermal.run(km_campaign)
+        assert report.metrics["mean_spread"] < 0.02
+
+    def test_accuracy_privacy(self, km_campaign):
+        report = accuracy_privacy.run(km_campaign)
+        assert report.metrics["mean_99"] > report.metrics["mean_90"]
+
+    def test_identification(self, km_campaign):
+        report = identification.run(km_campaign)
+        assert report.metrics["identification_rate"] == 1.0
+        assert report.metrics["clustering_perfect"] == 1.0
+
+
+class TestStandaloneRunners:
+    def test_consistency_small(self):
+        report = consistency.run(n_trials=5)
+        assert 0.9 <= report.metrics["repeatability"] <= 1.0
+
+    def test_order(self):
+        report = order.run()
+        assert (
+            report.metrics["errors_at_99"]
+            < report.metrics["errors_at_95"]
+            < report.metrics["errors_at_90"]
+        )
+
+    def test_analytic_tables(self):
+        table1 = analytic_tables.run_table1()
+        table2 = analytic_tables.run_table2()
+        assert table1.experiment_id == "tab01"
+        assert table2.metrics["log10_mismatch_90"] < table2.metrics[
+            "log10_mismatch_99"
+        ]
+
+    def test_stitching_small(self):
+        report = stitching.run(n_samples=150, record_every=10)
+        assert report.metrics["model_peak_suspects"] > 1
+        assert "interval model" in report.text

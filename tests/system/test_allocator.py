@@ -1,0 +1,170 @@
+"""Tests for the buddy allocator and emergent placement."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.system import PhysicalMemoryMap
+from repro.system.allocator import (
+    BuddyAllocator,
+    BuddyAllocatorPlacement,
+    ChurnModel,
+    _round_up_power_of_two,
+)
+
+
+class TestRounding:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [(1, 1), (2, 2), (3, 4), (5, 8), (8, 8), (9, 16), (1000, 1024)],
+    )
+    def test_round_up(self, value, expected):
+        assert _round_up_power_of_two(value) == expected
+
+
+class TestBuddyAllocator:
+    def test_pool_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            BuddyAllocator(100)
+
+    def test_full_pool_allocation(self):
+        allocator = BuddyAllocator(64)
+        assert allocator.allocate(64) == 0
+        assert allocator.free_pages() == 0
+        assert allocator.allocate(1) is None
+
+    def test_allocations_never_overlap(self):
+        allocator = BuddyAllocator(64)
+        seen = set()
+        starts = []
+        while True:
+            start = allocator.allocate(4)
+            if start is None:
+                break
+            starts.append(start)
+            pages = set(allocator.allocation_pages(start))
+            assert not (pages & seen)
+            seen |= pages
+        assert len(seen) == 64
+
+    def test_free_and_coalesce_restores_pool(self):
+        allocator = BuddyAllocator(64)
+        starts = [allocator.allocate(8) for _ in range(8)]
+        for start in starts:
+            allocator.free(start)
+        assert allocator.free_pages() == 64
+        # Full coalescing: the whole pool is one block again.
+        assert allocator.allocate(64) == 0
+
+    def test_rounds_request_to_power_of_two(self):
+        allocator = BuddyAllocator(64)
+        start = allocator.allocate(5)  # takes an 8-page block
+        assert len(allocator.allocation_pages(start)) == 8
+
+    def test_double_free_rejected(self):
+        allocator = BuddyAllocator(16)
+        start = allocator.allocate(4)
+        allocator.free(start)
+        with pytest.raises(ValueError):
+            allocator.free(start)
+
+    def test_oversized_request_returns_none(self):
+        assert BuddyAllocator(16).allocate(32) is None
+
+    def test_invalid_request_rejected(self):
+        with pytest.raises(ValueError):
+            BuddyAllocator(16).allocate(0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.booleans(), st.integers(min_value=1, max_value=16)),
+        max_size=60,
+    )
+)
+def test_allocator_invariants_under_random_workload(operations):
+    """Model check: live blocks are disjoint, accounting balances, and
+    freeing everything restores one maximal block."""
+    allocator = BuddyAllocator(128)
+    live = []
+    for is_alloc, size in operations:
+        if is_alloc or not live:
+            start = allocator.allocate(size)
+            if start is not None:
+                live.append(start)
+        else:
+            allocator.free(live.pop())
+        # Invariant: live allocations are pairwise disjoint.
+        pages = [set(allocator.allocation_pages(s)) for s in live]
+        total = set()
+        for block in pages:
+            assert not (block & total)
+            total |= block
+        # Invariant: free + allocated == pool.
+        assert allocator.free_pages() + len(total) == 128
+    for start in live:
+        allocator.free(start)
+    assert allocator.allocate(128) == 0
+
+
+class TestBuddyPlacement:
+    def test_placements_are_contiguous(self, rng):
+        memory = PhysicalMemoryMap(
+            total_pages=256, policy=BuddyAllocatorPlacement()
+        )
+        for _ in range(20):
+            placement = memory.place_buffer(16, rng)
+            assert placement.is_contiguous
+            assert placement.n_pages == 16
+
+    def test_churn_varies_offsets(self, rng):
+        """The §7.6 observation emerges: different runs land at
+        different physical offsets."""
+        memory = PhysicalMemoryMap(
+            total_pages=256, policy=BuddyAllocatorPlacement()
+        )
+        starts = {
+            memory.place_buffer(16, rng).page_indices[0] for _ in range(30)
+        }
+        assert len(starts) >= 4
+
+    def test_requires_power_of_two_pool(self, rng):
+        memory = PhysicalMemoryMap(
+            total_pages=100, policy=BuddyAllocatorPlacement()
+        )
+        with pytest.raises(ValueError):
+            memory.place_buffer(4, rng)
+
+    def test_alignment_is_an_emergent_quasi_defense(self, rng):
+        """An interesting emergent effect: buddy blocks are size-aligned,
+        so buffer placements either coincide exactly or are disjoint.
+        Repeat outputs from the same block still merge (same-page
+        fingerprints match), but the *partial overlaps* stitching uses
+        to bridge assemblies never occur — the suspect count converges
+        to the number of distinct blocks used, not to 1.  Allocator
+        alignment is thus a free partial defense the paper's uniform
+        placement model doesn't capture."""
+        from repro.attacks import run_stitching_experiment
+        from repro.system import ModeledApproximateMemory
+
+        machine = ModeledApproximateMemory(
+            chip_seed=3,
+            memory_map=PhysicalMemoryMap(
+                total_pages=256, policy=BuddyAllocatorPlacement()
+            ),
+        )
+        curve = run_stitching_experiment(
+            machines=[machine],
+            n_samples=150,
+            sample_pages=16,
+            rng=rng,
+            record_every=25,
+        )
+        # 16-page buffers in a 256-page pool: at most 16 aligned blocks.
+        assert curve.final.suspected_chips <= 16
+        # Repeat placements do merge: far fewer suspects than samples.
+        assert curve.final.suspected_chips < 150 / 4

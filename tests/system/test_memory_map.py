@@ -1,0 +1,144 @@
+"""Tests for the OS placement model and its policies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.system import (
+    ChunkASLRPlacement,
+    ContiguousPlacement,
+    PAGE_BYTES,
+    PageASLRPlacement,
+    PhysicalMemoryMap,
+    pages_for_bytes,
+)
+
+
+class TestContiguousPlacement:
+    def test_pages_are_consecutive(self, rng):
+        memory = PhysicalMemoryMap(total_pages=100)
+        placement = memory.place_buffer(10, rng)
+        assert placement.n_pages == 10
+        assert placement.is_contiguous
+
+    def test_placement_varies_across_runs(self, rng):
+        """§7.6: different runs land at different physical offsets."""
+        memory = PhysicalMemoryMap(total_pages=10_000)
+        starts = {memory.place_buffer(10, rng).page_indices[0] for _ in range(20)}
+        assert len(starts) > 10
+
+    def test_placement_stays_in_bounds(self, rng):
+        memory = PhysicalMemoryMap(total_pages=20)
+        for _ in range(50):
+            placement = memory.place_buffer(5, rng)
+            assert 0 <= placement.page_indices[0]
+            assert placement.page_indices[-1] < 20
+
+    def test_buffer_too_large_rejected(self, rng):
+        memory = PhysicalMemoryMap(total_pages=4)
+        with pytest.raises(ValueError):
+            memory.place_buffer(5, rng)
+
+    def test_exact_fit(self, rng):
+        memory = PhysicalMemoryMap(total_pages=4)
+        placement = memory.place_buffer(4, rng)
+        assert placement.page_indices == [0, 1, 2, 3]
+
+
+class TestPageASLRPlacement:
+    def test_pages_are_distinct(self, rng):
+        memory = PhysicalMemoryMap(total_pages=100, policy=PageASLRPlacement())
+        placement = memory.place_buffer(50, rng)
+        assert len(set(placement.page_indices)) == 50
+
+    def test_placement_is_scattered(self, rng):
+        memory = PhysicalMemoryMap(total_pages=10_000, policy=PageASLRPlacement())
+        placement = memory.place_buffer(100, rng)
+        assert not placement.is_contiguous
+
+    def test_size_check(self, rng):
+        memory = PhysicalMemoryMap(total_pages=4, policy=PageASLRPlacement())
+        with pytest.raises(ValueError):
+            memory.place_buffer(5, rng)
+
+
+class TestChunkASLRPlacement:
+    def test_chunks_are_internally_contiguous(self, rng):
+        memory = PhysicalMemoryMap(
+            total_pages=1000, policy=ChunkASLRPlacement(chunk_pages=8)
+        )
+        placement = memory.place_buffer(32, rng)
+        pages = placement.page_indices
+        for chunk_start in range(0, 32, 8):
+            chunk = pages[chunk_start : chunk_start + 8]
+            assert chunk == list(range(chunk[0], chunk[0] + 8))
+            assert chunk[0] % 8 == 0
+
+    def test_partial_final_chunk(self, rng):
+        memory = PhysicalMemoryMap(
+            total_pages=1000, policy=ChunkASLRPlacement(chunk_pages=8)
+        )
+        placement = memory.place_buffer(12, rng)
+        assert placement.n_pages == 12
+        assert len(set(placement.page_indices)) == 12
+
+    def test_invalid_granularity_rejected(self):
+        with pytest.raises(ValueError):
+            ChunkASLRPlacement(chunk_pages=0)
+
+    def test_memory_too_fragmented_rejected(self, rng):
+        memory = PhysicalMemoryMap(
+            total_pages=10, policy=ChunkASLRPlacement(chunk_pages=8)
+        )
+        with pytest.raises(ValueError):
+            memory.place_buffer(10, rng)
+
+
+class TestMemoryMap:
+    def test_sizes(self):
+        memory = PhysicalMemoryMap(total_pages=256)
+        assert memory.total_bytes == 256 * PAGE_BYTES
+
+    def test_rejects_empty_memory(self):
+        with pytest.raises(ValueError):
+            PhysicalMemoryMap(total_pages=0)
+
+
+class TestPagesForBytes:
+    @pytest.mark.parametrize(
+        "n_bytes,expected",
+        [(0, 0), (1, 1), (PAGE_BYTES, 1), (PAGE_BYTES + 1, 2), (10 * PAGE_BYTES, 10)],
+    )
+    def test_rounding(self, n_bytes, expected):
+        assert pages_for_bytes(n_bytes) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            pages_for_bytes(-1)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=500),
+    st.integers(min_value=1, max_value=500),
+    st.sampled_from(["contiguous", "page", "chunk4"]),
+    st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_all_policies_produce_valid_placements(total, n, policy_name, seed):
+    policies = {
+        "contiguous": ContiguousPlacement(),
+        "page": PageASLRPlacement(),
+        "chunk4": ChunkASLRPlacement(chunk_pages=4),
+    }
+    rng = np.random.default_rng(seed)
+    memory = PhysicalMemoryMap(total_pages=total, policy=policies[policy_name])
+    try:
+        placement = memory.place_buffer(n, rng)
+    except ValueError:
+        return  # size rejection is a valid outcome
+    assert placement.n_pages == n
+    assert len(set(placement.page_indices)) == n
+    assert all(0 <= page < total for page in placement.page_indices)

@@ -1,0 +1,115 @@
+"""Integration tests pinning the paper's headline claims end to end.
+
+Each test reproduces one sentence of the paper's abstract/conclusion on
+the simulated platform.  These are the canary tests: if a refactor
+breaks the *science*, they fail even when every unit test passes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import class_separation
+from repro.attacks import SupplyChainAttacker, run_interval_model
+from repro.core import (
+    cluster_outputs,
+    identify,
+    probable_cause_distance,
+)
+from repro.dram import TrialConditions
+
+EVALUATION_GRID = [
+    TrialConditions(accuracy, temperature)
+    for accuracy in (0.99, 0.95, 0.90)
+    for temperature in (40.0, 50.0, 60.0)
+]
+
+
+@pytest.fixture(scope="module")
+def evaluation_outputs(km_family):
+    """One output per chip per (accuracy, temperature) grid point."""
+    outputs = []
+    for chip, platform in zip(km_family, km_family.platforms()):
+        for conditions in EVALUATION_GRID:
+            outputs.append((chip.label, platform.run_trial(conditions)))
+    return outputs
+
+
+class TestHeadlineClaims:
+    def test_two_orders_of_magnitude_distance_separation(
+        self, evaluation_outputs, km_database
+    ):
+        """Abstract: "a distance metric that yields a two-orders-of-
+        magnitude difference ... between approximate results produced by
+        the same DRAM chip and those produced by other DRAM chips"."""
+        within, between = [], []
+        for true_label, trial in evaluation_outputs:
+            for key, fingerprint in km_database.items():
+                distance = probable_cause_distance(
+                    trial.error_string, fingerprint
+                )
+                (within if key == true_label else between).append(distance)
+        _max_within, _min_between, ratio = class_separation(within, between)
+        assert ratio >= 100.0
+
+    def test_100_percent_identification(self, evaluation_outputs, km_database):
+        """§10: "we have 100% success in ... host machine identification"."""
+        for true_label, trial in evaluation_outputs:
+            result = identify(trial.approx, trial.exact, km_database)
+            assert result.matched and result.key == true_label
+
+    def test_100_percent_clustering(self, evaluation_outputs):
+        """§10: "we have 100% success in ... clustering" — outputs group
+        exactly by physical chip without any fingerprint database."""
+        outputs = [trial.approx for _label, trial in evaluation_outputs]
+        exacts = [trial.exact for _label, trial in evaluation_outputs]
+        truth = [label for label, _trial in evaluation_outputs]
+        clusters, assignments = cluster_outputs(outputs, exacts)
+        assert len(clusters) == len(set(truth))
+        mapping = {}
+        for label, assigned in zip(truth, assignments):
+            mapping.setdefault(label, assigned)
+            assert mapping[label] == assigned
+
+    def test_robust_to_temperature_and_approximation_level(
+        self, evaluation_outputs, km_database
+    ):
+        """§10: identification "robust against changes in operating
+        conditions" — every single grid point matches, not just most."""
+        failures = [
+            (trial.conditions, result.key)
+            for true_label, trial in evaluation_outputs
+            if not (
+                (result := identify(trial.approx, trial.exact, km_database)).matched
+                and result.key == true_label
+            )
+        ]
+        assert failures == []
+
+    def test_supply_chain_attack_end_to_end(self, km_family):
+        """Figure 3a scenario on fresh platforms (fingerprint before
+        deployment, attribute afterwards)."""
+        attacker = SupplyChainAttacker()
+        platforms = km_family.platforms()
+        for index, platform in enumerate(platforms):
+            attacker.intercept_device(platform, serial=f"SN{index}")
+        trial = platforms[1].run_trial(TrialConditions(0.90, 60.0))
+        result = attacker.attribute_output(trial.approx, trial.exact)
+        assert result.matched and result.key == "SN1"
+
+    def test_eavesdropper_convergence_at_paper_scale(self):
+        """Abstract: "given less than 100 approximate outputs, the
+        fingerprint ... begins to converge" — the suspected-chip curve
+        peaks (convergence onset) in the double digits of samples for
+        1 GB memory / 10 MB outputs."""
+        curve = run_interval_model(
+            total_pages=262_144,
+            sample_pages=2_560,
+            n_samples=1000,
+            rng=np.random.default_rng(2015),
+            record_every=5,
+        )
+        assert curve.peak.samples <= 200
+        assert 20 <= curve.peak.suspected_chips <= 50
+        assert curve.final.suspected_chips <= 3

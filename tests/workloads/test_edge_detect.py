@@ -1,0 +1,65 @@
+"""Tests for the gradient edge-detection workload."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads import edge_detect, gradient_magnitude, synthetic_photo
+
+
+class TestGradientMagnitude:
+    def test_constant_image_has_zero_gradient(self):
+        image = np.full((16, 16), 77, dtype=np.uint8)
+        assert gradient_magnitude(image).max() == 0.0
+
+    def test_vertical_edge_detected(self):
+        image = np.zeros((16, 16), dtype=np.uint8)
+        image[:, 8:] = 200
+        magnitude = gradient_magnitude(image)
+        assert magnitude[:, 7:9].min() > 0
+        assert magnitude[:, 0:4].max() == 0.0
+
+    def test_magnitude_isotropy(self):
+        """A horizontal and a vertical step of the same height produce
+        the same peak gradient."""
+        horizontal = np.zeros((16, 16), dtype=np.uint8)
+        horizontal[8:, :] = 100
+        vertical = horizontal.T.copy()
+        assert gradient_magnitude(horizontal).max() == pytest.approx(
+            gradient_magnitude(vertical).max()
+        )
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            gradient_magnitude(np.zeros((4, 4, 3), dtype=np.uint8))
+
+
+class TestEdgeDetect:
+    def test_output_is_uint8_same_shape(self, rng):
+        image = synthetic_photo((32, 32), rng)
+        edges = edge_detect(image)
+        assert edges.dtype == np.uint8
+        assert edges.shape == image.shape
+
+    def test_full_range_normalization(self):
+        image = np.zeros((16, 16), dtype=np.uint8)
+        image[:, 8:] = 255
+        edges = edge_detect(image)
+        assert edges.max() == 255
+
+    def test_constant_image_maps_to_black(self):
+        image = np.full((8, 8), 10, dtype=np.uint8)
+        assert edge_detect(image).max() == 0
+
+    def test_threshold_binarizes(self):
+        image = np.zeros((16, 16), dtype=np.uint8)
+        image[:, 8:] = 255
+        edges = edge_detect(image, threshold=10.0)
+        assert set(np.unique(edges)) <= {0, 255}
+        assert edges[:, 8].max() == 255
+
+    def test_deterministic(self, rng):
+        """§8.3 relies on exact recomputation from inputs."""
+        image = synthetic_photo((32, 32), rng)
+        assert np.array_equal(edge_detect(image), edge_detect(image))

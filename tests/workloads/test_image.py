@@ -1,0 +1,82 @@
+"""Tests for synthetic image generation and bit packing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    FIGURE5_SHAPE,
+    binary_test_image,
+    bits_to_image,
+    image_to_bits,
+    synthetic_photo,
+)
+
+
+class TestSyntheticPhoto:
+    def test_shape_and_dtype(self, rng):
+        image = synthetic_photo((64, 48), rng)
+        assert image.shape == (64, 48)
+        assert image.dtype == np.uint8
+
+    def test_has_structure(self, rng):
+        """A photo is neither constant nor pure noise."""
+        image = synthetic_photo((64, 64), rng)
+        assert image.std() > 10  # objects and gradients
+        # Neighbouring pixels correlate (smooth regions dominate).
+        flat = image.astype(float)
+        corr = np.corrcoef(flat[:, :-1].ravel(), flat[:, 1:].ravel())[0, 1]
+        assert corr > 0.5
+
+    def test_different_calls_different_photos(self, rng):
+        a = synthetic_photo((32, 32), rng)
+        b = synthetic_photo((32, 32), rng)
+        assert not np.array_equal(a, b)
+
+    def test_invalid_shape_rejected(self, rng):
+        with pytest.raises(ValueError):
+            synthetic_photo((0, 10), rng)
+
+
+class TestBinaryTestImage:
+    def test_default_shape_matches_figure5(self):
+        image = binary_test_image()
+        assert image.shape == FIGURE5_SHAPE
+
+    def test_strictly_binary(self):
+        image = binary_test_image()
+        assert set(np.unique(image)) <= {0, 255}
+
+    def test_deterministic_without_rng(self):
+        assert np.array_equal(binary_test_image(), binary_test_image())
+
+    def test_rng_variant_differs(self, rng):
+        assert not np.array_equal(binary_test_image(), binary_test_image(rng=rng))
+
+
+class TestBitPacking:
+    def test_roundtrip(self, rng):
+        image = synthetic_photo((16, 16), rng)
+        assert np.array_equal(bits_to_image(image_to_bits(image), (16, 16)), image)
+
+    def test_bit_count(self, rng):
+        image = synthetic_photo((10, 10), rng)
+        assert image_to_bits(image).nbits == 800
+
+    def test_single_bitflip_changes_one_pixel(self, rng):
+        image = synthetic_photo((8, 8), rng)
+        bits = image_to_bits(image)
+        bits.set(0, not bits.get(0))
+        recovered = bits_to_image(bits, (8, 8))
+        assert (recovered != image).sum() == 1
+
+    def test_dtype_enforced(self):
+        with pytest.raises(ValueError):
+            image_to_bits(np.zeros((4, 4), dtype=np.float64))
+
+    def test_undersized_buffer_rejected(self, rng):
+        image = synthetic_photo((8, 8), rng)
+        bits = image_to_bits(image)
+        with pytest.raises(ValueError):
+            bits_to_image(bits, (16, 16))

@@ -1,0 +1,106 @@
+"""Tests for the approximate k-means workload."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dram import ChipGeometry, DRAMChip, KM41464A
+from repro.system import BitExactApproximateSystem, PAGE_BITS, PhysicalMemoryMap
+from repro.workloads import (
+    centroid_error,
+    kmeans_approximate,
+    kmeans_exact,
+    make_blobs,
+)
+from repro.workloads.kmeans import lloyd_step
+
+
+def make_system(rng, total_pages=8, accuracy=0.99, chip_seed=930):
+    bits = total_pages * PAGE_BITS
+    geometry = ChipGeometry(rows=256, cols=bits // 256, bits_per_word=1)
+    chip = DRAMChip(KM41464A.with_geometry(geometry), chip_seed=chip_seed)
+    return BitExactApproximateSystem(
+        chip=chip,
+        memory_map=PhysicalMemoryMap(total_pages=total_pages),
+        accuracy=accuracy,
+        temperature_c=40.0,
+        rng=rng,
+    )
+
+
+class TestMakeBlobs:
+    def test_shape_and_dtype(self, rng):
+        points, labels = make_blobs(300, 3, rng)
+        assert points.shape == (300, 2)
+        assert points.dtype == np.uint8
+        assert set(labels) <= {0, 1, 2}
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            make_blobs(2, 3, rng)
+
+
+class TestLloydStep:
+    def test_assignment_minimizes_distance(self, rng):
+        points = np.array([[0, 0], [100, 100], [2, 2]], dtype=np.uint8)
+        centroids = np.array([[0.0, 0.0], [100.0, 100.0]])
+        assignment, updated = lloyd_step(points, centroids)
+        assert list(assignment) == [0, 1, 0]
+        assert np.allclose(updated[0], [1.0, 1.0])
+
+    def test_empty_cluster_keeps_centroid(self):
+        points = np.array([[0, 0]], dtype=np.uint8)
+        centroids = np.array([[0.0, 0.0], [200.0, 200.0]])
+        _assignment, updated = lloyd_step(points, centroids)
+        assert np.allclose(updated[1], [200.0, 200.0])
+
+
+class TestApproximateKMeans:
+    def test_requires_uint8(self, rng):
+        system = make_system(rng)
+        with pytest.raises(ValueError):
+            kmeans_approximate(
+                np.zeros((10, 2), dtype=np.float64), 2, system, rng
+            )
+
+    def test_error_tolerance(self, rng):
+        """The intro's premise: approximate storage corrupts a few
+        bytes yet the clustering result barely moves."""
+        points, _labels = make_blobs(400, 3, rng, spread=8.0)
+        seed_rng = np.random.default_rng(9)
+        exact = kmeans_exact(points, 3, np.random.default_rng(9))
+        approx = kmeans_approximate(
+            points, 3, make_system(rng, accuracy=0.99), np.random.default_rng(9)
+        )
+        assert approx.corrupted_byte_fraction > 0.0      # decay happened
+        # Decay accumulates across iterations (each window re-stores the
+        # already-decayed working set), so byte corruption is sizable...
+        assert approx.corrupted_byte_fraction < 0.4
+        # ...yet the clustering result barely moves.
+        assert centroid_error(approx, exact) < 10.0      # quality held
+
+    def test_published_dataset_fingerprints_the_machine(self, rng):
+        """The paper's punchline for ML workloads: the published
+        (decayed) dataset identifies the machine that computed on it."""
+        from repro.core import probable_cause_distance
+
+        points, _ = make_blobs(400, 3, rng)
+        # Single-page memory pins the buffer to physical page 0, so the
+        # same chip exposes the same cells on every run.
+        system_a = make_system(rng, total_pages=1, accuracy=0.95, chip_seed=931)
+        system_b = make_system(rng, total_pages=1, accuracy=0.95, chip_seed=932)
+
+        run_a1 = kmeans_approximate(points, 3, system_a, np.random.default_rng(1))
+        run_a2 = kmeans_approximate(points, 3, system_a, np.random.default_rng(2))
+        run_b = kmeans_approximate(points, 3, system_b, np.random.default_rng(3))
+
+        def page0_errors(result):
+            return result.stored.page_error_strings()[0]
+
+        same = probable_cause_distance(page0_errors(run_a1), page0_errors(run_a2))
+        cross = probable_cause_distance(page0_errors(run_a1), page0_errors(run_b))
+        # Placement is random within a small memory; same-chip pages
+        # either coincide (tiny distance) or miss; cross-chip always far.
+        assert cross > 0.5
+        assert same < cross

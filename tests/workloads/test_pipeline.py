@@ -1,0 +1,64 @@
+"""Tests for the end-to-end edge-detection pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dram import ChipGeometry, DRAMChip, KM41464A
+from repro.system import BitExactApproximateSystem, PAGE_BITS, PhysicalMemoryMap
+from repro.workloads import EdgeDetectionPipeline, edge_detect, synthetic_photo
+
+
+def make_system(rng, total_pages=8, accuracy=0.95):
+    bits_needed = total_pages * PAGE_BITS
+    geometry = ChipGeometry(rows=256, cols=bits_needed // 256, bits_per_word=1)
+    chip = DRAMChip(KM41464A.with_geometry(geometry), chip_seed=901)
+    return BitExactApproximateSystem(
+        chip=chip,
+        memory_map=PhysicalMemoryMap(total_pages=total_pages),
+        accuracy=accuracy,
+        temperature_c=40.0,
+        rng=rng,
+    )
+
+
+class TestPipeline:
+    def test_run_produces_consistent_record(self, rng):
+        pipeline = EdgeDetectionPipeline(make_system(rng), image_shape=(64, 64))
+        result = pipeline.run(rng)
+        assert result.input_image.shape == (64, 64)
+        assert result.exact_output_image.shape == (64, 64)
+        assert result.approx_output_image.shape == (64, 64)
+        # Exact output really is the edge map of the input.
+        assert np.array_equal(
+            result.exact_output_image, edge_detect(result.input_image)
+        )
+
+    def test_approx_output_differs_from_exact(self, rng):
+        pipeline = EdgeDetectionPipeline(
+            make_system(rng, accuracy=0.90), image_shape=(64, 64)
+        )
+        result = pipeline.run(rng)
+        assert (result.approx_output_image != result.exact_output_image).any()
+        # ...but only in a minority of pixels.
+        fraction = (
+            result.approx_output_image != result.exact_output_image
+        ).mean()
+        assert fraction < 0.5
+
+    def test_explicit_input_image(self, rng):
+        pipeline = EdgeDetectionPipeline(make_system(rng), image_shape=(64, 64))
+        image = synthetic_photo((64, 64), rng)
+        result = pipeline.run(rng, input_image=image)
+        assert np.array_equal(result.input_image, image)
+
+    def test_stored_record_matches_images(self, rng):
+        pipeline = EdgeDetectionPipeline(make_system(rng), image_shape=(64, 64))
+        result = pipeline.run(rng)
+        n_pixels = 64 * 64
+        exact_bytes = np.frombuffer(
+            result.stored.exact.to_bytes(), dtype=np.uint8
+        )[:n_pixels]
+        assert np.array_equal(
+            exact_bytes.reshape(64, 64), result.exact_output_image
+        )
