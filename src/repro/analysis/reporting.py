@@ -8,7 +8,8 @@ diffed against EXPERIMENTS.md.
 
 The output directory defaults to ``benchmarks/results`` under the
 current working directory and can be redirected with the
-``REPRO_RESULTS_DIR`` environment variable.
+``REPRO_RESULTS_DIR`` environment variable or, with higher precedence,
+the CLI's ``--results-dir`` flag (which calls :func:`set_results_dir`).
 """
 
 from __future__ import annotations
@@ -16,13 +17,30 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
+from typing import Optional, Union
+
+_RESULTS_DIR_OVERRIDE: Optional[Path] = None
+
+
+def set_results_dir(path: Optional[Union[str, Path]]) -> None:
+    """Override the results directory for this process.
+
+    Takes precedence over the ``REPRO_RESULTS_DIR`` environment
+    variable; pass None to fall back to the environment/default again.
+    """
+    global _RESULTS_DIR_OVERRIDE
+    _RESULTS_DIR_OVERRIDE = Path(path) if path is not None else None
 
 
 def results_dir() -> Path:
     """Directory that experiment artifacts are written to (created on
-    demand)."""
-    root = os.environ.get("REPRO_RESULTS_DIR", "benchmarks/results")
-    path = Path(root)
+    demand).  Precedence: :func:`set_results_dir` override, then the
+    ``REPRO_RESULTS_DIR`` environment variable, then
+    ``benchmarks/results``."""
+    if _RESULTS_DIR_OVERRIDE is not None:
+        path = _RESULTS_DIR_OVERRIDE
+    else:
+        path = Path(os.environ.get("REPRO_RESULTS_DIR", "benchmarks/results"))
     path.mkdir(parents=True, exist_ok=True)
     return path
 

@@ -24,12 +24,15 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import List, Union
 
+from typing import Optional
+
 from repro.bits import BitVector
-from repro.core.distance import DEFAULT_THRESHOLD, probable_cause_distance
+from repro.core.distance import DEFAULT_THRESHOLD
 from repro.core.errors import mark_errors
 from repro.core.fingerprint import Fingerprint
-from repro.core.identify import FingerprintDatabase
+from repro.core.identify import FingerprintDatabase, identify_error_string
 from repro.core.serialize import dump_database, load_database
+from repro.service.indexed import IndexedFingerprintDatabase
 
 
 @dataclass(frozen=True)
@@ -62,12 +65,17 @@ class ProbableCause:
         self,
         threshold: float = DEFAULT_THRESHOLD,
         suspect_prefix: str = "suspect",
+        database: Optional[FingerprintDatabase] = None,
     ):
         if not 0.0 < threshold <= 1.0:
             raise ValueError(f"threshold must be in (0, 1], got {threshold}")
         self._threshold = threshold
         self._suspect_prefix = suspect_prefix
-        self._database = FingerprintDatabase()
+        # LSH-indexed store by default: matching stays sublinear as the
+        # suspect population grows.  Any FingerprintDatabase works.
+        self._database = (
+            database if database is not None else IndexedFingerprintDatabase()
+        )
         self._enrolled_keys: set = set()
         self._next_suspect = 0
         self._observations = 0
@@ -121,21 +129,28 @@ class ProbableCause:
         return self.observe_errors(mark_errors(approx, exact))
 
     def observe_errors(self, error_string: BitVector) -> Attribution:
-        """Like :meth:`observe`, starting from an extracted error string."""
+        """Like :meth:`observe`, starting from an extracted error string.
+
+        Identification is Algorithm 2 via
+        :func:`~repro.core.identify.identify_error_string`, so an
+        indexed database answers through its LSH candidate filter and
+        the error string is never re-marked.
+        """
         self._observations += 1
-        if error_string.any():
-            for key, fingerprint in self._database.items():
-                distance = probable_cause_distance(error_string, fingerprint)
-                if distance < self._threshold:
-                    self._database.update(
-                        key, fingerprint.intersect(error_string)
-                    )
-                    return Attribution(
-                        key=key,
-                        distance=distance,
-                        new_suspect=False,
-                        enrolled=key in self._enrolled_keys,
-                    )
+        result = identify_error_string(
+            error_string, self._database, self._threshold
+        )
+        if result.matched:
+            self._database.update(
+                result.key,
+                self._database.get(result.key).intersect(error_string),
+            )
+            return Attribution(
+                key=result.key,
+                distance=result.distance,
+                new_suspect=False,
+                enrolled=result.key in self._enrolled_keys,
+            )
         key = f"{self._suspect_prefix}-{self._next_suspect}"
         self._next_suspect += 1
         self._database.add(key, Fingerprint(bits=error_string.copy()))
@@ -161,7 +176,8 @@ class ProbableCause:
     ) -> "ProbableCause":
         """Restore a pipeline from a persisted store."""
         pipeline = cls(threshold=threshold, suspect_prefix=suspect_prefix)
-        pipeline._database = load_database(source)
+        for key, fingerprint in load_database(source).items():
+            pipeline._database.add(key, fingerprint)
         suspect_numbers = []
         for key in pipeline._database.keys():
             if key.startswith(f"{suspect_prefix}-"):

@@ -18,6 +18,7 @@ from repro.core.characterize import characterize_trials
 from repro.core.distance import DEFAULT_THRESHOLD, probable_cause_distance
 from repro.core.identify import FingerprintDatabase, Identification, identify
 from repro.dram.platform import ExperimentPlatform, TrialConditions
+from repro.service.indexed import IndexedFingerprintDatabase
 
 
 @dataclass(frozen=True)
@@ -42,11 +43,16 @@ class SupplyChainAttacker:
         threshold: float = DEFAULT_THRESHOLD,
         characterization_accuracy: float = 0.99,
         characterization_temperatures: Sequence[float] = (40.0, 50.0, 60.0),
+        database: Optional[FingerprintDatabase] = None,
     ):
         self._threshold = threshold
         self._accuracy = characterization_accuracy
         self._temperatures = tuple(characterization_temperatures)
-        self._database = FingerprintDatabase()
+        # Interception logs reach nation-state scale; the default store
+        # answers Algorithm 2 through an LSH index instead of a scan.
+        self._database = (
+            database if database is not None else IndexedFingerprintDatabase()
+        )
         self._records: List[InterceptionRecord] = []
 
     @property

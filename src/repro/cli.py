@@ -1,4 +1,4 @@
-"""Command-line interface: regenerate the paper's tables and figures.
+"""Command-line interface: experiments plus the identification service.
 
 Usage::
 
@@ -6,19 +6,34 @@ Usage::
     python -m repro run fig07            # run one experiment
     python -m repro run all              # run every experiment
     python -m repro run fig13 --quiet    # save the report, print summary
+    python -m repro serve-batch --store DB --ingest fp.pcfp \\
+        --queries queries.jsonl          # batch identification service
 
 Reports are written to ``benchmarks/results/`` (override with the
-``REPRO_RESULTS_DIR`` environment variable) and echoed to stdout.
+``REPRO_RESULTS_DIR`` environment variable, or with higher precedence
+the ``--results-dir`` flag) and echoed to stdout.
+
+The ``serve-batch`` query file is JSON Lines: each line holds ``id``,
+``nbits`` and either ``errors`` (set-bit indices of a prebuilt error
+string) or ``approx`` + ``exact`` (set-bit indices of the output and
+its exact value, marked vectorized by the engine).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
+from pathlib import Path
 from typing import List, Optional
 
-from repro.analysis.reporting import load_saved_metrics, save_experiment_report
+from repro.analysis.reporting import (
+    load_saved_metrics,
+    results_dir,
+    save_experiment_report,
+    set_results_dir,
+)
 from repro.experiments import experiment_ids, run_experiment
 
 
@@ -27,7 +42,13 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="python -m repro",
         description="Reproduce 'Probable Cause: The Deanonymizing Effects "
         "of Approximate DRAM' (ISCA 2015): regenerate any of the paper's "
-        "tables and figures on the simulated platform.",
+        "tables and figures on the simulated platform, or run the batch "
+        "identification service.",
+    )
+    parser.add_argument(
+        "--results-dir",
+        default=None,
+        help="directory for reports (overrides REPRO_RESULTS_DIR)",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -50,7 +71,142 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="save reports without echoing their full text",
     )
+
+    serve_parser = subparsers.add_parser(
+        "serve-batch",
+        help="ingest fingerprints and answer a batch identification run",
+    )
+    serve_parser.add_argument(
+        "--store",
+        required=True,
+        help="sharded fingerprint store directory (created if missing)",
+    )
+    serve_parser.add_argument(
+        "--ingest",
+        action="append",
+        default=[],
+        metavar="FILE.pcfp",
+        help="fingerprint database file(s) to append to the store",
+    )
+    serve_parser.add_argument(
+        "--shards",
+        type=int,
+        default=8,
+        help="shard count when creating a new store (default 8)",
+    )
+    serve_parser.add_argument(
+        "--queries",
+        default=None,
+        metavar="FILE.jsonl",
+        help="JSON Lines query file to identify",
+    )
+    serve_parser.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="Algorithm 2 match threshold (default: paper's 0.1)",
+    )
+    serve_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker pool width for the shard fan-out",
+    )
+    serve_parser.add_argument(
+        "--report",
+        default=None,
+        metavar="FILE.json",
+        help="where to write the JSON report "
+        "(default <results-dir>/serve_batch_report.json)",
+    )
+    serve_parser.add_argument(
+        "--no-cluster-residuals",
+        action="store_true",
+        help="do not route unmatched queries to the online clusterer",
+    )
+    serve_parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="only print the summary line, not the metrics block",
+    )
     return parser
+
+
+def _load_queries(path: Path) -> List:
+    """Parse a JSON Lines query file into BatchQuery objects."""
+    from repro.bits import BitVector
+    from repro.service import BatchQuery
+
+    queries = []
+    with open(path, "r", encoding="utf-8") as stream:
+        for line_number, line in enumerate(stream):
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            query_id = str(record.get("id", f"query-{line_number}"))
+            nbits = int(record["nbits"])
+            if "errors" in record:
+                queries.append(
+                    BatchQuery.from_errors(
+                        query_id,
+                        BitVector.from_indices(nbits, record["errors"]),
+                    )
+                )
+            elif "approx" in record and "exact" in record:
+                queries.append(
+                    BatchQuery.from_pair(
+                        query_id,
+                        BitVector.from_indices(nbits, record["approx"]),
+                        BitVector.from_indices(nbits, record["exact"]),
+                    )
+                )
+            else:
+                raise ValueError(
+                    f"{path}:{line_number + 1}: query needs 'errors' "
+                    "or 'approx'+'exact'"
+                )
+    return queries
+
+
+def _serve_batch(args: argparse.Namespace) -> int:
+    """The serve-batch command body."""
+    from repro.core.distance import DEFAULT_THRESHOLD
+    from repro.core.serialize import load_database
+    from repro.service import BatchIdentificationService, ShardedFingerprintStore
+
+    store = ShardedFingerprintStore(args.store, n_shards=args.shards)
+    for ingest_path in args.ingest:
+        ingested = store.ingest(load_database(ingest_path))
+        count = sum(segment.count for segment in ingested)
+        print(f"ingested {count} fingerprints from {ingest_path}")
+    print(f"store: {len(store)} fingerprints in {store.n_shards} shards")
+    if args.queries is None:
+        return 0
+    queries = _load_queries(Path(args.queries))
+    threshold = args.threshold if args.threshold is not None else DEFAULT_THRESHOLD
+    service = BatchIdentificationService(
+        store,
+        threshold=threshold,
+        max_workers=args.workers,
+        cluster_residuals=not args.no_cluster_residuals,
+    )
+    report = service.run(queries)
+    report_path = (
+        Path(args.report)
+        if args.report is not None
+        else results_dir() / "serve_batch_report.json"
+    )
+    report_path.parent.mkdir(parents=True, exist_ok=True)
+    report_path.write_text(json.dumps(report.to_json(), indent=2) + "\n")
+    print(
+        f"queries: {len(queries)}  matched: {report.matched_count}  "
+        f"unmatched: {report.unmatched_count}"
+    )
+    if not args.quiet:
+        print(service.metrics.format_stats())
+    print(f"report written to {report_path}")
+    return 0
 
 
 def _run_one(experiment_id: str, quiet: bool) -> None:
@@ -64,6 +220,16 @@ def _run_one(experiment_id: str, quiet: bool) -> None:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
+    if args.results_dir is not None:
+        set_results_dir(args.results_dir)
+    if args.command == "serve-batch":
+        try:
+            return _serve_batch(args)
+        except (ValueError, OSError) as error:
+            # Bad store directory, duplicate ingest keys, malformed or
+            # missing query file — user input problems, not crashes.
+            print(f"serve-batch: {error}", file=sys.stderr)
+            return 2
     if args.command == "list":
         for experiment_id in experiment_ids():
             print(experiment_id)

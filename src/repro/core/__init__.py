@@ -26,11 +26,13 @@ from repro.core.errors import (
     error_rate,
     intersect_all,
     mark_errors,
+    mark_errors_batch,
     mark_errors_many,
     union_all,
 )
 from repro.core.fingerprint import Fingerprint
 from repro.core.identify import (
+    DuplicateKeyError,
     FingerprintDatabase,
     Identification,
     best_match,
@@ -75,9 +77,11 @@ __all__ = [
     "error_rate",
     "intersect_all",
     "mark_errors",
+    "mark_errors_batch",
     "mark_errors_many",
     "union_all",
     "Fingerprint",
+    "DuplicateKeyError",
     "FingerprintDatabase",
     "Identification",
     "best_match",

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from typing import Iterable, List, Sequence
 
+import numpy as np
+
 from repro.bits import BitVector
 
 
@@ -29,6 +31,38 @@ def mark_errors_many(
 ) -> List[BitVector]:
     """Error strings of several outputs of the *same* exact data."""
     return [mark_errors(approx, exact) for approx in approx_outputs]
+
+
+def mark_errors_batch(
+    approx_outputs: Sequence[BitVector], exact_values: Sequence[BitVector]
+) -> List[BitVector]:
+    """Error strings of many independent ``(approx, exact)`` pairs.
+
+    The batch identification service marks whole query files at once;
+    when every pair shares one region size the XOR runs as a single
+    stacked numpy operation over all pairs instead of one call per
+    pair.  Mixed-size batches fall back to the per-pair path.
+    """
+    if len(approx_outputs) != len(exact_values):
+        raise ValueError(
+            f"{len(approx_outputs)} outputs but {len(exact_values)} exact values"
+        )
+    if not approx_outputs:
+        return []
+    nbits = approx_outputs[0].nbits
+    uniform = all(
+        approx.nbits == nbits and exact.nbits == nbits
+        for approx, exact in zip(approx_outputs, exact_values)
+    )
+    if not uniform:
+        return [
+            mark_errors(approx, exact)
+            for approx, exact in zip(approx_outputs, exact_values)
+        ]
+    approx_words = np.stack([approx._words for approx in approx_outputs])
+    exact_words = np.stack([exact._words for exact in exact_values])
+    xored = approx_words ^ exact_words
+    return [BitVector(nbits, xored[row].copy()) for row in range(xored.shape[0])]
 
 
 def error_rate(approx: BitVector, exact: BitVector) -> float:

@@ -23,6 +23,17 @@ from repro.core.errors import mark_errors
 from repro.core.fingerprint import Fingerprint
 
 
+class DuplicateKeyError(ValueError, KeyError):
+    """Raised when adding a fingerprint under a key already present.
+
+    Silent overwrites in the attacker's store would corrupt Algorithm
+    2's first-match priority; insertion of an existing key is therefore
+    an explicit error.  Subclasses both :class:`ValueError` (it is an
+    invalid argument) and :class:`KeyError` (for callers that guard on
+    key errors generically).
+    """
+
+
 @dataclass(frozen=True)
 class Identification:
     """Outcome of one identification query."""
@@ -50,9 +61,17 @@ class FingerprintDatabase:
         self._fingerprints: Dict[str, Fingerprint] = {}
 
     def add(self, key: str, fingerprint: Fingerprint) -> None:
-        """Store ``fingerprint`` under ``key``; keys must be unique."""
+        """Store ``fingerprint`` under ``key``; keys must be unique.
+
+        Raises :class:`DuplicateKeyError` if ``key`` is already
+        present — replacing an existing fingerprint must go through
+        :meth:`update` so overwrites are always deliberate.
+        """
         if key in self._fingerprints:
-            raise KeyError(f"fingerprint key {key!r} already present")
+            raise DuplicateKeyError(
+                f"fingerprint key {key!r} already present; "
+                "use update() to replace it"
+            )
         self._fingerprints[key] = fingerprint
 
     def update(self, key: str, fingerprint: Fingerprint) -> None:
@@ -94,7 +113,16 @@ def identify_error_string(
     the output never traversed approximate memory (or decayed nothing)
     — and identification fails rather than trivially matching every
     fingerprint through the footnote-2 swap rule.
+
+    Databases that implement their own ``identify_error_string`` method
+    (e.g. :class:`repro.service.IndexedFingerprintDatabase`, which
+    answers through an LSH candidate filter) are delegated to, so
+    callers holding a prebuilt error string always get the fastest
+    available path without recomputing :func:`mark_errors`.
     """
+    specialized = getattr(database, "identify_error_string", None)
+    if specialized is not None:
+        return specialized(error_string, threshold)
     if not error_string.any():
         return Identification.failed()
     for key, fingerprint in database.items():

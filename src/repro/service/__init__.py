@@ -1,0 +1,47 @@
+"""Batch identification service — the attacker at nation-state scale.
+
+The paper's §4 attacker model assumes a fingerprint per device —
+millions of system-level fingerprints queried continuously as
+approximate outputs are scraped.  :mod:`repro.core` provides the
+*algorithms* (Algorithm 2 identification, Algorithm 3 distance,
+Algorithm 4 clustering); this subpackage provides the *serving layer*
+that makes them answer at that scale:
+
+* :mod:`repro.service.metrics` — counters and latency histograms so
+  every stage of the service is observable;
+* :mod:`repro.service.indexed` — :class:`IndexedFingerprintDatabase`,
+  a drop-in :class:`~repro.core.identify.FingerprintDatabase` that
+  answers Algorithm-2 queries through a MinHash/LSH candidate filter
+  plus exact re-verification instead of a linear scan;
+* :mod:`repro.service.store` — a persistent, sharded, append-only
+  fingerprint store layered on :mod:`repro.core.serialize`, loading
+  lazily per shard;
+* :mod:`repro.service.batch` — a batch query engine that fans shards
+  out over a worker pool and routes unmatched residuals to the online
+  clusterer.
+
+The CLI front end is ``python -m repro serve-batch``.
+"""
+
+from repro.service.batch import (
+    BatchQuery,
+    BatchReport,
+    BatchIdentificationService,
+    QueryResult,
+)
+from repro.service.indexed import IndexedFingerprintDatabase, IndexParams
+from repro.service.metrics import LatencyHistogram, ServiceMetrics
+from repro.service.store import ShardedFingerprintStore, StoreError
+
+__all__ = [
+    "BatchQuery",
+    "BatchReport",
+    "BatchIdentificationService",
+    "QueryResult",
+    "IndexedFingerprintDatabase",
+    "IndexParams",
+    "LatencyHistogram",
+    "ServiceMetrics",
+    "ShardedFingerprintStore",
+    "StoreError",
+]

@@ -1,0 +1,351 @@
+"""Batch identification engine — many Algorithm-2 queries at once.
+
+The serving workload is not one query at a time: the eavesdropping
+attacker scrapes outputs by the thousand and the supply-chain attacker
+replays whole interception logs.  This engine takes a batch of queries
+— raw ``(approx, exact)`` pairs or prebuilt error strings — and runs
+the full paper loop over them:
+
+1. error strings are computed **vectorized** (one stacked-XOR numpy
+   pass via :func:`repro.core.errors.mark_errors_batch`) for all pair
+   queries;
+2. every store shard scans the whole batch in a
+   :class:`concurrent.futures.ThreadPoolExecutor` worker pool, each
+   producing its earliest below-threshold match per query;
+3. per-query shard answers are merged by **global sequence number**,
+   reproducing exactly the first-match decision a linear scan over one
+   flat database in ingest order would make;
+4. unmatched residuals are routed, in arrival order, to an
+   Algorithm 4 :class:`~repro.core.cluster.OnlineClusterer` — the
+   eavesdropper's "open a new suspect" step — and reported with their
+   suspect ids.
+
+Every stage is timed into the shared
+:class:`~repro.service.metrics.ServiceMetrics`.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.bits import BitVector
+from repro.core.cluster import OnlineClusterer
+from repro.core.distance import DEFAULT_THRESHOLD, probable_cause_distance
+from repro.core.errors import mark_errors_batch
+from repro.core.identify import Identification
+from repro.service.indexed import IndexedFingerprintDatabase
+from repro.service.metrics import ServiceMetrics
+from repro.service.store import LoadedShard, ShardedFingerprintStore
+
+
+@dataclass(frozen=True)
+class BatchQuery:
+    """One identification request.
+
+    Either carries a prebuilt ``error_string`` (the caller already ran
+    :func:`~repro.core.errors.mark_errors`, e.g. inside an attack
+    pipeline) or an ``(approx, exact)`` pair for the engine to mark
+    vectorized.  ``query_id`` is echoed into the result.
+    """
+
+    query_id: str
+    error_string: Optional[BitVector] = None
+    approx: Optional[BitVector] = None
+    exact: Optional[BitVector] = None
+
+    def __post_init__(self) -> None:
+        has_errors = self.error_string is not None
+        has_pair = self.approx is not None and self.exact is not None
+        if has_errors == has_pair:
+            raise ValueError(
+                "provide either error_string or both approx and exact"
+            )
+
+    @classmethod
+    def from_errors(cls, query_id: str, error_string: BitVector) -> "BatchQuery":
+        """Query from an already-extracted error string."""
+        return cls(query_id=query_id, error_string=error_string)
+
+    @classmethod
+    def from_pair(
+        cls, query_id: str, approx: BitVector, exact: BitVector
+    ) -> "BatchQuery":
+        """Query from an approximate output and its exact value."""
+        return cls(query_id=query_id, approx=approx, exact=exact)
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Outcome of one batch query.
+
+    ``identification`` is the Algorithm 2 decision; when it failed,
+    ``suspect_key`` names the online cluster the residual was routed to
+    (None when residual routing is disabled) and ``new_suspect`` tells
+    whether that cluster was freshly opened by this query.
+    """
+
+    query_id: str
+    identification: Identification
+    suspect_key: Optional[str] = None
+    new_suspect: bool = False
+
+    @property
+    def matched(self) -> bool:
+        """True when the query matched a stored fingerprint."""
+        return self.identification.matched
+
+
+@dataclass(frozen=True)
+class BatchReport:
+    """Results plus a metrics snapshot for one batch."""
+
+    results: List[QueryResult]
+    stats: Dict[str, object]
+
+    @property
+    def matched_count(self) -> int:
+        """Queries attributed to a stored fingerprint."""
+        return sum(1 for result in self.results if result.matched)
+
+    @property
+    def unmatched_count(self) -> int:
+        """Queries that fell through to residual handling."""
+        return len(self.results) - self.matched_count
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON-serializable report (CLI and benchmark output)."""
+        return {
+            "matched": self.matched_count,
+            "unmatched": self.unmatched_count,
+            "results": [
+                {
+                    "query_id": result.query_id,
+                    "matched": result.matched,
+                    "key": result.identification.key,
+                    "distance": result.identification.distance,
+                    "suspect_key": result.suspect_key,
+                    "new_suspect": result.new_suspect,
+                }
+                for result in self.results
+            ],
+            "metrics": self.stats,
+        }
+
+
+class BatchIdentificationService:
+    """Batch front end over a sharded store or a single database.
+
+    Parameters
+    ----------
+    backend:
+        A :class:`~repro.service.store.ShardedFingerprintStore` (shards
+        are fanned out over the worker pool) or a single
+        :class:`~repro.service.indexed.IndexedFingerprintDatabase`.
+    threshold:
+        Algorithm 2 match threshold.
+    max_workers:
+        Worker pool width for the shard fan-out (None lets
+        ``concurrent.futures`` pick).
+    cluster_residuals:
+        When True (default) unmatched queries feed an Algorithm 4
+        online clusterer and their results carry suspect ids.
+    metrics:
+        Instrumentation sink; defaults to the backend's own.
+    """
+
+    def __init__(
+        self,
+        backend: Union[ShardedFingerprintStore, IndexedFingerprintDatabase],
+        threshold: float = DEFAULT_THRESHOLD,
+        max_workers: Optional[int] = None,
+        cluster_residuals: bool = True,
+        suspect_prefix: str = "suspect",
+        metrics: Optional[ServiceMetrics] = None,
+    ) -> None:
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError(f"threshold must be in (0, 1], got {threshold}")
+        self._backend = backend
+        self._threshold = threshold
+        self._max_workers = max_workers
+        self._metrics = metrics if metrics is not None else backend.metrics
+        self._suspect_prefix = suspect_prefix
+        self._clusterer: Optional[OnlineClusterer] = (
+            OnlineClusterer(threshold=threshold) if cluster_residuals else None
+        )
+
+    @property
+    def threshold(self) -> float:
+        """Match threshold on the Algorithm 3 distance."""
+        return self._threshold
+
+    @property
+    def metrics(self) -> ServiceMetrics:
+        """Shared instrumentation sink."""
+        return self._metrics
+
+    @property
+    def clusterer(self) -> Optional[OnlineClusterer]:
+        """Residual clusterer (None when residual routing is off)."""
+        return self._clusterer
+
+    # ------------------------------------------------------------------
+    # Query execution
+    # ------------------------------------------------------------------
+
+    def run(self, queries: Sequence[BatchQuery]) -> BatchReport:
+        """Identify a whole batch; returns results in query order."""
+        self._metrics.count("batch.batches")
+        self._metrics.count("batch.queries", len(queries))
+        with self._metrics.time("batch.total"):
+            with self._metrics.time("batch.mark_errors"):
+                error_strings = self._error_strings(queries)
+            with self._metrics.time("batch.identify"):
+                identifications = self._identify_all(error_strings)
+            with self._metrics.time("batch.residuals"):
+                results = self._route_residuals(
+                    queries, error_strings, identifications
+                )
+        return BatchReport(results=results, stats=self._metrics.stats())
+
+    def _error_strings(self, queries: Sequence[BatchQuery]) -> List[BitVector]:
+        prebuilt: List[Optional[BitVector]] = []
+        pair_positions: List[int] = []
+        pairs: List[Tuple[BitVector, BitVector]] = []
+        for position, query in enumerate(queries):
+            if query.error_string is not None:
+                prebuilt.append(query.error_string)
+            else:
+                prebuilt.append(None)
+                pair_positions.append(position)
+                pairs.append((query.approx, query.exact))
+        if pairs:
+            marked = mark_errors_batch(
+                [approx for approx, _exact in pairs],
+                [exact for _approx, exact in pairs],
+            )
+            for position, error_string in zip(pair_positions, marked):
+                prebuilt[position] = error_string
+        return prebuilt  # type: ignore[return-value]  # every slot filled
+
+    def _identify_all(
+        self, error_strings: Sequence[BitVector]
+    ) -> List[Identification]:
+        if isinstance(self._backend, ShardedFingerprintStore):
+            return self._identify_sharded(self._backend, error_strings)
+        database = self._backend
+        return [
+            database.identify_error_string(error_string, self._threshold)
+            for error_string in error_strings
+        ]
+
+    def _identify_sharded(
+        self,
+        store: ShardedFingerprintStore,
+        error_strings: Sequence[BitVector],
+    ) -> List[Identification]:
+        shards = [
+            shard
+            for shard in range(store.n_shards)
+            if any(segment.shard == shard for segment in store.segments)
+        ]
+        if not shards:
+            return [Identification.failed() for _ in error_strings]
+        replicas = [store.load_shard(shard) for shard in shards]
+        with concurrent.futures.ThreadPoolExecutor(
+            max_workers=self._max_workers
+        ) as pool:
+            futures = [
+                pool.submit(self._scan_shard, replica, error_strings)
+                for replica in replicas
+            ]
+            per_shard = [future.result() for future in futures]
+        # Merge: per query, the match with the smallest global sequence.
+        merged: List[Identification] = []
+        for position in range(len(error_strings)):
+            best: Optional[Tuple[int, Identification]] = None
+            for shard_answers in per_shard:
+                answer = shard_answers[position]
+                if answer is None:
+                    continue
+                if best is None or answer[0] < best[0]:
+                    best = answer
+            merged.append(best[1] if best is not None else Identification.failed())
+        return merged
+
+    def _scan_shard(
+        self,
+        replica: LoadedShard,
+        error_strings: Sequence[BitVector],
+    ) -> List[Optional[Tuple[int, Identification]]]:
+        """Earliest in-shard match per query, tagged with global sequence."""
+        answers: List[Optional[Tuple[int, Identification]]] = []
+        for error_string in error_strings:
+            identification = replica.database.identify_error_string(
+                error_string, self._threshold
+            )
+            if identification.matched:
+                sequence = replica.sequences[identification.key]
+                answers.append((sequence, identification))
+            else:
+                answers.append(None)
+        return answers
+
+    def _route_residuals(
+        self,
+        queries: Sequence[BatchQuery],
+        error_strings: Sequence[BitVector],
+        identifications: Sequence[Identification],
+    ) -> List[QueryResult]:
+        results: List[QueryResult] = []
+        for query, error_string, identification in zip(
+            queries, error_strings, identifications
+        ):
+            if identification.matched or self._clusterer is None:
+                results.append(
+                    QueryResult(
+                        query_id=query.query_id, identification=identification
+                    )
+                )
+                continue
+            self._metrics.count("batch.residuals_clustered")
+            before = len(self._clusterer)
+            cluster_index = self._clusterer.add(error_string)
+            results.append(
+                QueryResult(
+                    query_id=query.query_id,
+                    identification=identification,
+                    suspect_key=f"{self._suspect_prefix}-{cluster_index}",
+                    new_suspect=len(self._clusterer) > before,
+                )
+            )
+        return results
+
+
+def verify_against_linear(
+    service_results: Sequence[QueryResult],
+    database_items: Sequence[Tuple[str, "object"]],
+    error_strings: Sequence[BitVector],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> int:
+    """Count disagreements between service results and a linear scan.
+
+    Debug/validation helper used by tests and the benchmark: replays
+    each query with the plain Algorithm 2 loop over ``database_items``
+    (in order) and compares the match/no-match decision and matched
+    key.  Returns the number of disagreeing queries (0 means the index
+    is exact on this workload).
+    """
+    disagreements = 0
+    for result, error_string in zip(service_results, error_strings):
+        expected_key = None
+        if error_string.any():
+            for key, fingerprint in database_items:
+                if probable_cause_distance(error_string, fingerprint) < threshold:
+                    expected_key = key
+                    break
+        actual_key = result.identification.key if result.matched else None
+        if expected_key != actual_key:
+            disagreements += 1
+    return disagreements

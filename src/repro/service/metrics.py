@@ -1,0 +1,227 @@
+"""Instrumentation for the identification service.
+
+A matching service serving heavy query traffic is only tunable if it
+is observable: how many LSH candidates does the index emit per query,
+how many exact distance verifications did they cost, how often did a
+shard have to be read from disk, and where does the time go.  This
+module provides the two primitives the service layers share:
+
+* :class:`LatencyHistogram` — a log-bucketed latency histogram with
+  percentile estimation, cheap enough to sit on the per-query path;
+* :class:`ServiceMetrics` — a thread-safe registry of named counters
+  and per-stage histograms with a :meth:`ServiceMetrics.stats`
+  snapshot, printed by the CLI and embedded in benchmark reports.
+
+Everything here is dependency-free and safe to share across the worker
+pool threads of :mod:`repro.service.batch`.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+#: Histogram bucket geometry: boundaries grow by 10^(1/5) per bucket
+#: (five buckets per decade), spanning 1 microsecond to ~1000 seconds.
+_BUCKETS_PER_DECADE = 5
+_MIN_LATENCY = 1e-6
+_DECADES = 9
+_N_BUCKETS = _BUCKETS_PER_DECADE * _DECADES
+
+
+def _bucket_index(seconds: float) -> int:
+    """Histogram bucket for a latency sample (clamped to the range)."""
+    if seconds <= _MIN_LATENCY:
+        return 0
+    index = int(math.log10(seconds / _MIN_LATENCY) * _BUCKETS_PER_DECADE)
+    return min(max(index, 0), _N_BUCKETS - 1)
+
+
+def _bucket_upper_bound(index: int) -> float:
+    """Upper latency boundary of bucket ``index`` in seconds."""
+    return _MIN_LATENCY * 10.0 ** ((index + 1) / _BUCKETS_PER_DECADE)
+
+
+class LatencyHistogram:
+    """Log-bucketed latency histogram with percentile estimates.
+
+    Samples are recorded in seconds into geometric buckets (five per
+    decade from 1 µs up), so memory is constant regardless of sample
+    count and percentiles are accurate to ~58 % relative error bounds —
+    plenty for the p50/p95 service dashboards this feeds.
+    """
+
+    __slots__ = ("_counts", "_count", "_sum", "_max")
+
+    def __init__(self) -> None:
+        self._counts = [0] * _N_BUCKETS
+        self._count = 0
+        self._sum = 0.0
+        self._max = 0.0
+
+    @property
+    def count(self) -> int:
+        """Number of samples recorded."""
+        return self._count
+
+    @property
+    def total(self) -> float:
+        """Sum of all recorded latencies in seconds."""
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        """Mean latency in seconds (0.0 when empty)."""
+        return self._sum / self._count if self._count else 0.0
+
+    @property
+    def max(self) -> float:
+        """Largest recorded latency in seconds."""
+        return self._max
+
+    def record(self, seconds: float) -> None:
+        """Record one latency sample (negative samples clamp to zero)."""
+        seconds = max(0.0, float(seconds))
+        self._counts[_bucket_index(seconds)] += 1
+        self._count += 1
+        self._sum += seconds
+        if seconds > self._max:
+            self._max = seconds
+
+    def percentile(self, q: float) -> float:
+        """Latency below which a fraction ``q`` of samples fall.
+
+        Returns the upper bound of the bucket containing the requested
+        rank (0.0 on an empty histogram).  ``q`` is a fraction in
+        [0, 1], e.g. 0.95 for p95.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"percentile fraction must be in [0, 1], got {q}")
+        if self._count == 0:
+            return 0.0
+        rank = q * self._count
+        seen = 0
+        for index, bucket_count in enumerate(self._counts):
+            seen += bucket_count
+            if seen >= rank and bucket_count:
+                return min(_bucket_upper_bound(index), self._max)
+        return self._max
+
+    def snapshot(self) -> Dict[str, float]:
+        """Summary dict: count, mean/max and p50/p95/p99 in seconds."""
+        return {
+            "count": float(self._count),
+            "mean_s": self.mean,
+            "max_s": self._max,
+            "p50_s": self.percentile(0.50),
+            "p95_s": self.percentile(0.95),
+            "p99_s": self.percentile(0.99),
+        }
+
+
+class ServiceMetrics:
+    """Thread-safe named counters plus per-stage latency histograms.
+
+    The service layers share one instance: the index counts candidates
+    and verifications, the store counts shard loads and cache hits, the
+    batch engine times its stages.  :meth:`stats` produces a plain-dict
+    snapshot for JSON reports and the CLI.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self._histograms: Dict[str, LatencyHistogram] = {}
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Increment counter ``name`` by ``amount``."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def counter(self, name: str) -> int:
+        """Current value of counter ``name`` (0 if never incremented)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def observe(self, stage: str, seconds: float) -> None:
+        """Record one latency sample for ``stage``."""
+        with self._lock:
+            histogram = self._histograms.get(stage)
+            if histogram is None:
+                histogram = self._histograms[stage] = LatencyHistogram()
+            histogram.record(seconds)
+
+    @contextmanager
+    def time(self, stage: str) -> Iterator[None]:
+        """Context manager timing its body into stage ``stage``."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(stage, time.perf_counter() - started)
+
+    def histogram(self, stage: str) -> Optional[LatencyHistogram]:
+        """The histogram for ``stage``, or None if never observed."""
+        with self._lock:
+            return self._histograms.get(stage)
+
+    def candidate_reduction(self) -> Optional[float]:
+        """Fraction of the database the LSH filter let the service skip.
+
+        ``1 - verifications / (queries * database_size)`` over indexed
+        queries; None until the index has answered at least one query
+        against a known database size.
+        """
+        with self._lock:
+            scanned = self._counters.get("index.pairs_considered", 0)
+            verified = self._counters.get("index.verifications", 0)
+        if scanned <= 0:
+            return None
+        return 1.0 - verified / scanned
+
+    def reset(self) -> None:
+        """Drop all counters and histograms."""
+        with self._lock:
+            self._counters.clear()
+            self._histograms.clear()
+
+    def stats(self) -> Dict[str, object]:
+        """Plain-dict snapshot of every counter and stage histogram."""
+        with self._lock:
+            counters = dict(self._counters)
+            stages = {
+                name: histogram.snapshot()
+                for name, histogram in self._histograms.items()
+            }
+        snapshot: Dict[str, object] = {
+            "counters": counters,
+            "stages": stages,
+        }
+        reduction = self.candidate_reduction()
+        if reduction is not None:
+            snapshot["candidate_reduction"] = reduction
+        return snapshot
+
+    def format_stats(self) -> str:
+        """Human-readable rendering of :meth:`stats` for the CLI."""
+        lines = []
+        stats = self.stats()
+        counters: Dict[str, int] = stats["counters"]  # type: ignore[assignment]
+        for name in sorted(counters):
+            lines.append(f"{name}: {counters[name]}")
+        stages: Dict[str, Dict[str, float]] = stats["stages"]  # type: ignore[assignment]
+        for name in sorted(stages):
+            summary = stages[name]
+            lines.append(
+                f"{name}: n={int(summary['count'])}"
+                f" p50={summary['p50_s'] * 1e3:.3f}ms"
+                f" p95={summary['p95_s'] * 1e3:.3f}ms"
+                f" max={summary['max_s'] * 1e3:.3f}ms"
+            )
+        reduction = stats.get("candidate_reduction")
+        if isinstance(reduction, float):
+            lines.append(f"candidate_reduction: {reduction:.4f}")
+        return "\n".join(lines)

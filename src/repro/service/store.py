@@ -1,0 +1,366 @@
+"""Persistent, sharded fingerprint store with append-only segments.
+
+The supply-chain attacker accumulates fingerprints for years; the §4
+model puts the database at a fingerprint per device — 10^5-10^6
+entries and beyond.  Loading all of that to answer one query is
+wasteful, and rewriting one monolithic file per interception batch is
+worse.  This store borrows the standard LSM-ish layout used by
+storage engines:
+
+* fingerprints live in **append-only segment files**, each an ordinary
+  :func:`repro.core.serialize.dump_database` stream — one new segment
+  per ingested batch per shard, never rewritten in place;
+* a JSON **manifest** records the schema version, the shard split
+  keys, every segment (shard, file, entry count, starting global
+  sequence number) and the next sequence to assign;
+* entries are **key-range sharded**: the first ingested batch picks
+  balanced lexicographic split keys, and every later key routes to the
+  shard owning its range, so point lookups and ingests touch one
+  shard while batch queries fan out over all of them.
+
+Global **sequence numbers** (assigned at ingest, recorded per segment)
+preserve Algorithm 2's "first fingerprint below threshold" semantics
+across shards: per-shard answers carry the sequence of their match and
+the merge step takes the minimum — identical to a linear scan over one
+big database in ingest order.
+
+Shards load lazily into :class:`IndexedFingerprintDatabase` replicas
+and are cached; :class:`~repro.service.metrics.ServiceMetrics` counts
+loads and cache hits.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.fingerprint import Fingerprint
+from repro.core.identify import FingerprintDatabase
+from repro.core.serialize import dump_database, load_database
+from repro.service.indexed import IndexedFingerprintDatabase, IndexParams
+from repro.service.metrics import ServiceMetrics
+
+_MANIFEST_NAME = "manifest.json"
+_STORE_VERSION = 1
+
+
+class StoreError(ValueError):
+    """Raised on a malformed store directory or an invalid ingest."""
+
+
+@dataclass(frozen=True)
+class SegmentRecord:
+    """One append-only segment file as recorded in the manifest."""
+
+    shard: int
+    filename: str
+    count: int
+    start_sequence: int
+
+    def to_json(self) -> Dict[str, object]:
+        """Manifest representation of this segment."""
+        return {
+            "shard": self.shard,
+            "filename": self.filename,
+            "count": self.count,
+            "start_sequence": self.start_sequence,
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, object]) -> "SegmentRecord":
+        """Inverse of :meth:`to_json`."""
+        return cls(
+            shard=int(payload["shard"]),
+            filename=str(payload["filename"]),
+            count=int(payload["count"]),
+            start_sequence=int(payload["start_sequence"]),
+        )
+
+
+@dataclass
+class LoadedShard:
+    """An in-memory replica of one shard.
+
+    ``database`` preserves the shard's ingest order (so its indexed
+    identification returns the shard's earliest match), ``sequences``
+    maps each key to its global sequence for the cross-shard merge.
+    """
+
+    database: IndexedFingerprintDatabase
+    sequences: Dict[str, int]
+
+
+class ShardedFingerprintStore:
+    """Durable fingerprint store: manifest + shards + segments.
+
+    Open an existing store (or create an empty one) by constructing
+    with its directory path; ingest batches with :meth:`ingest`; get a
+    queryable shard replica with :meth:`load_shard`.  All mutation is
+    append-plus-manifest-rewrite, so a crash between the two leaves at
+    worst an orphaned segment file the manifest never references.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        n_shards: int = 8,
+        index_params: IndexParams = IndexParams(),
+        metrics: Optional[ServiceMetrics] = None,
+    ) -> None:
+        self._root = Path(root)
+        self._index_params = index_params
+        self._metrics = metrics if metrics is not None else ServiceMetrics()
+        self._cache: Dict[int, LoadedShard] = {}
+        manifest_path = self._root / _MANIFEST_NAME
+        if manifest_path.exists():
+            self._load_manifest(manifest_path)
+        else:
+            if n_shards < 1:
+                raise StoreError(f"n_shards must be >= 1, got {n_shards}")
+            self._root.mkdir(parents=True, exist_ok=True)
+            self._n_shards = n_shards
+            self._boundaries: List[str] = []
+            self._segments: List[SegmentRecord] = []
+            self._next_sequence = 0
+            self._write_manifest()
+
+    # ------------------------------------------------------------------
+    # Manifest handling
+    # ------------------------------------------------------------------
+
+    def _load_manifest(self, path: Path) -> None:
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            raise StoreError(f"unreadable manifest at {path}: {error}") from error
+        if payload.get("version") != _STORE_VERSION:
+            raise StoreError(
+                f"unsupported store version {payload.get('version')!r}"
+            )
+        self._n_shards = int(payload["n_shards"])
+        self._boundaries = [str(boundary) for boundary in payload["boundaries"]]
+        self._segments = [
+            SegmentRecord.from_json(record) for record in payload["segments"]
+        ]
+        self._next_sequence = int(payload["next_sequence"])
+
+    def _write_manifest(self) -> None:
+        payload = {
+            "version": _STORE_VERSION,
+            "n_shards": self._n_shards,
+            "boundaries": self._boundaries,
+            "segments": [segment.to_json() for segment in self._segments],
+            "next_sequence": self._next_sequence,
+        }
+        path = self._root / _MANIFEST_NAME
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        tmp.replace(path)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def root(self) -> Path:
+        """Store directory."""
+        return self._root
+
+    @property
+    def n_shards(self) -> int:
+        """Number of key-range shards."""
+        return self._n_shards
+
+    @property
+    def boundaries(self) -> List[str]:
+        """Lexicographic split keys (``n_shards - 1`` of them, once set)."""
+        return list(self._boundaries)
+
+    @property
+    def segments(self) -> List[SegmentRecord]:
+        """Every segment in manifest (= ingest) order."""
+        return list(self._segments)
+
+    def __len__(self) -> int:
+        return sum(segment.count for segment in self._segments)
+
+    @property
+    def metrics(self) -> ServiceMetrics:
+        """Shared instrumentation sink."""
+        return self._metrics
+
+    def shard_for_key(self, key: str) -> int:
+        """Shard owning ``key``'s range (0 before boundaries exist).
+
+        Shard ``i`` owns keys in ``(boundaries[i-1], boundaries[i]]``
+        with open ends at the extremes.
+        """
+        if not self._boundaries:
+            return 0
+        return bisect.bisect_left(self._boundaries, key)
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+
+    def ingest(
+        self,
+        entries: Union[FingerprintDatabase, Iterable[Tuple[str, Fingerprint]]],
+    ) -> List[SegmentRecord]:
+        """Append a batch of fingerprints; returns the new segments.
+
+        ``entries`` is a database or an iterable of ``(key,
+        fingerprint)`` pairs; their order defines the global sequence
+        numbers assigned (and therefore Algorithm 2 priority).  The
+        first non-empty ingest of a fresh store also fixes the shard
+        boundaries from the batch's sorted keys.  Keys already present
+        in the store (or repeated within the batch) are rejected.
+        """
+        if isinstance(entries, FingerprintDatabase):
+            batch = list(entries.items())
+        else:
+            batch = list(entries)
+        if not batch:
+            return []
+        keys = [key for key, _fingerprint in batch]
+        if len(set(keys)) != len(keys):
+            raise StoreError("duplicate keys within ingest batch")
+        existing = self._known_keys()
+        clashes = existing.intersection(keys)
+        if clashes:
+            raise StoreError(
+                f"keys already stored: {sorted(clashes)[:5]}"
+                f"{'...' if len(clashes) > 5 else ''}"
+            )
+        if not self._boundaries and self._n_shards > 1:
+            self._boundaries = _balanced_boundaries(keys, self._n_shards)
+
+        per_shard: Dict[int, List[Tuple[int, str, Fingerprint]]] = {}
+        for offset, (key, fingerprint) in enumerate(batch):
+            sequence = self._next_sequence + offset
+            per_shard.setdefault(self.shard_for_key(key), []).append(
+                (sequence, key, fingerprint)
+            )
+
+        created: List[SegmentRecord] = []
+        for shard in sorted(per_shard):
+            rows = per_shard[shard]
+            shard_dir = self._root / f"shard-{shard:03d}"
+            shard_dir.mkdir(parents=True, exist_ok=True)
+            segment_id = sum(1 for s in self._segments if s.shard == shard)
+            filename = f"shard-{shard:03d}/segment-{segment_id:06d}.pcfp"
+            segment_db = FingerprintDatabase()
+            for _sequence, key, fingerprint in rows:
+                segment_db.add(key, fingerprint)
+            dump_database(segment_db, self._root / filename)
+            record = SegmentRecord(
+                shard=shard,
+                filename=filename,
+                count=len(rows),
+                start_sequence=rows[0][0],
+            )
+            self._segments.append(record)
+            created.append(record)
+            # Keep a warm cache coherent instead of dropping it.
+            cached = self._cache.get(shard)
+            if cached is not None:
+                for sequence, key, fingerprint in rows:
+                    cached.database.add(key, fingerprint)
+                    cached.sequences[key] = sequence
+        self._next_sequence += len(batch)
+        self._write_manifest()
+        return created
+
+    def _known_keys(self) -> set:
+        known: set = set()
+        for shard in range(self._n_shards):
+            cached = self._cache.get(shard)
+            if cached is not None:
+                known.update(cached.sequences)
+            else:
+                for segment in self._segments:
+                    if segment.shard == shard:
+                        database = load_database(self._root / segment.filename)
+                        known.update(database.keys())
+        return known
+
+    # ------------------------------------------------------------------
+    # Lazy loading
+    # ------------------------------------------------------------------
+
+    def load_shard(self, shard: int) -> LoadedShard:
+        """Replica of one shard, reading its segments on first access.
+
+        Entries are inserted in segment order (= ingest order within
+        the shard); the per-key global sequence map supports the
+        cross-shard first-match merge.  Replicas are cached; cache hits
+        and cold loads are counted in the metrics.
+        """
+        if not 0 <= shard < self._n_shards:
+            raise StoreError(
+                f"shard {shard} out of range for {self._n_shards} shards"
+            )
+        cached = self._cache.get(shard)
+        if cached is not None:
+            self._metrics.count("store.shard_cache_hits")
+            return cached
+        self._metrics.count("store.shard_loads")
+        with self._metrics.time("store.shard_load"):
+            database = IndexedFingerprintDatabase(
+                params=self._index_params, metrics=self._metrics
+            )
+            sequences: Dict[str, int] = {}
+            for segment in self._segments:
+                if segment.shard != shard:
+                    continue
+                segment_db = load_database(self._root / segment.filename)
+                for offset, (key, fingerprint) in enumerate(segment_db.items()):
+                    database.add(key, fingerprint)
+                    sequences[key] = segment.start_sequence + offset
+        replica = LoadedShard(database=database, sequences=sequences)
+        self._cache[shard] = replica
+        return replica
+
+    def loaded_shards(self) -> List[int]:
+        """Shard ids currently resident in the cache."""
+        return sorted(self._cache)
+
+    def evict(self, shard: Optional[int] = None) -> None:
+        """Drop one shard replica (or all of them) from the cache."""
+        if shard is None:
+            self._cache.clear()
+        else:
+            self._cache.pop(shard, None)
+
+    def all_keys(self) -> List[str]:
+        """Every stored key in global sequence order (loads all shards)."""
+        rows: List[Tuple[int, str]] = []
+        for shard in range(self._n_shards):
+            replica = self.load_shard(shard)
+            rows.extend(
+                (sequence, key) for key, sequence in replica.sequences.items()
+            )
+        rows.sort()
+        return [key for _sequence, key in rows]
+
+
+def _balanced_boundaries(keys: Sequence[str], n_shards: int) -> List[str]:
+    """Split keys partitioning ``keys`` into ``n_shards`` even ranges.
+
+    The boundaries are drawn from the sorted key sample itself (the
+    classic range-sharding bootstrap); each boundary is the last key of
+    its shard's range (see :meth:`ShardedFingerprintStore.shard_for_key`).
+    """
+    ordered = sorted(set(keys))
+    if len(ordered) < n_shards:
+        # Too few distinct keys to split evenly; duplicate the tail so
+        # later keys still route deterministically.
+        return ordered[:-1] if len(ordered) > 1 else []
+    boundaries = []
+    for index in range(1, n_shards):
+        position = index * len(ordered) // n_shards - 1
+        boundaries.append(ordered[max(position, 0)])
+    return boundaries

@@ -6,6 +6,7 @@ import pytest
 
 from repro.bits import BitVector
 from repro.core import (
+    DuplicateKeyError,
     Fingerprint,
     FingerprintDatabase,
     best_match,
@@ -31,9 +32,17 @@ class TestDatabase:
         assert database.keys() == ["a", "b"]
 
     def test_duplicate_key_rejected(self):
+        """Re-adding a key must raise, never silently overwrite."""
         database = db_with(a=[1])
+        original = database.get("a")
+        with pytest.raises(ValueError, match="already present"):
+            database.add("a", Fingerprint(bits=BitVector.zeros(64)))
+        # Legacy callers guarding on KeyError still catch it.
         with pytest.raises(KeyError):
             database.add("a", Fingerprint(bits=BitVector.zeros(64)))
+        with pytest.raises(DuplicateKeyError):
+            database.add("a", original)
+        assert database.get("a") is original  # store untouched by the attempts
 
     def test_update_requires_existing_key(self):
         database = db_with(a=[1])

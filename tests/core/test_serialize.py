@@ -103,6 +103,40 @@ class TestCorruption:
         with pytest.raises(SerializationError):
             load_database(io.BytesIO(data[:-4]))
 
+    def test_truncation_at_every_boundary(self):
+        """Cutting the stream anywhere mid-record must raise cleanly.
+
+        Exercises every ``_read_exact`` short-read path: magic, header,
+        key length, key bytes, support, source length, source bytes,
+        region size, index count and index payload.
+        """
+        database = FingerprintDatabase()
+        database.add("serial-X", fingerprint([3, 7, 11], source="lot-9"))
+        buffer = io.BytesIO()
+        dump_database(database, buffer)
+        data = buffer.getvalue()
+        for cut in range(len(data)):
+            with pytest.raises(SerializationError):
+                load_database(io.BytesIO(data[:cut]))
+
+    def test_loads_fingerprint_truncated(self):
+        """Single-fingerprint payloads fail the same way."""
+        payload = dumps_fingerprint(fingerprint([1, 64, 99], source="s"))
+        for cut in range(len(payload)):
+            with pytest.raises(SerializationError):
+                loads_fingerprint(payload[:cut])
+
+    def test_read_exact_short_read(self):
+        """The low-level reader reports truncation, not a short buffer."""
+        from repro.core.serialize import _read_exact
+
+        stream = io.BytesIO(b"abc")
+        assert _read_exact(stream, 3) == b"abc"
+        with pytest.raises(SerializationError):
+            _read_exact(stream, 1)
+        with pytest.raises(SerializationError):
+            _read_exact(io.BytesIO(b"ab"), 3)
+
     def test_unsupported_version(self):
         import struct
 

@@ -1,0 +1,193 @@
+"""Tests for the ``serve-batch`` CLI command and ``--results-dir``."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.reporting import results_dir, set_results_dir
+from repro.bits import BitVector
+from repro.cli import main
+from repro.core import Fingerprint, FingerprintDatabase
+from repro.core.serialize import dump_database
+
+NBITS = 1024
+
+
+@pytest.fixture(autouse=True)
+def clean_results_override():
+    """The --results-dir flag sets a process-global override; make sure
+    no test leaks it into the rest of the suite."""
+    yield
+    set_results_dir(None)
+
+
+@pytest.fixture
+def fingerprint_file(tmp_path, rng):
+    """A PCFP database of 30 devices plus the corpus used to build it."""
+    database = FingerprintDatabase()
+    for index in range(30):
+        database.add(
+            f"device-{index:04d}",
+            Fingerprint(bits=BitVector.random(NBITS, rng, 0.02)),
+        )
+    path = tmp_path / "fingerprints.pcfp"
+    dump_database(database, path)
+    return path, database
+
+
+def write_queries(path, database, rng, n_hits=5, n_misses=2):
+    """JSONL query file: hits as index pairs, misses as error strings."""
+    items = list(database.items())
+    lines = []
+    for hit in range(n_hits):
+        _key, fingerprint = items[hit * 3]
+        exact = BitVector.random(NBITS, rng, 0.5)
+        approx = exact ^ fingerprint.bits
+        lines.append(
+            {
+                "id": f"hit-{hit}",
+                "nbits": NBITS,
+                "approx": approx.to_indices().tolist(),
+                "exact": exact.to_indices().tolist(),
+            }
+        )
+    for miss in range(n_misses):
+        lines.append(
+            {
+                "id": f"miss-{miss}",
+                "nbits": NBITS,
+                "errors": BitVector.random(NBITS, rng, 0.02).to_indices().tolist(),
+            }
+        )
+    path.write_text("\n".join(json.dumps(line) for line in lines) + "\n")
+    return lines
+
+
+class TestServeBatch:
+    def test_ingest_then_query_end_to_end(
+        self, tmp_path, fingerprint_file, rng, capsys
+    ):
+        fp_path, database = fingerprint_file
+        queries_path = tmp_path / "queries.jsonl"
+        write_queries(queries_path, database, rng)
+        report_path = tmp_path / "report.json"
+        code = main(
+            [
+                "serve-batch",
+                "--store",
+                str(tmp_path / "store"),
+                "--ingest",
+                str(fp_path),
+                "--shards",
+                "3",
+                "--queries",
+                str(queries_path),
+                "--report",
+                str(report_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ingested 30 fingerprints" in out
+        assert "matched: 5" in out and "unmatched: 2" in out
+        payload = json.loads(report_path.read_text())
+        assert payload["matched"] == 5
+        matched_keys = {
+            result["key"] for result in payload["results"] if result["matched"]
+        }
+        assert matched_keys <= set(database.keys())
+        # Residuals got suspect ids from the online clusterer.
+        unmatched = [r for r in payload["results"] if not r["matched"]]
+        assert all(r["suspect_key"] is not None for r in unmatched)
+
+    def test_store_persists_between_invocations(
+        self, tmp_path, fingerprint_file, rng, capsys
+    ):
+        fp_path, database = fingerprint_file
+        store = tmp_path / "store"
+        assert main(["serve-batch", "--store", str(store), "--ingest", str(fp_path)]) == 0
+        capsys.readouterr()
+        queries_path = tmp_path / "queries.jsonl"
+        write_queries(queries_path, database, rng, n_hits=3, n_misses=0)
+        code = main(
+            [
+                "serve-batch",
+                "--store",
+                str(store),
+                "--queries",
+                str(queries_path),
+                "--report",
+                str(tmp_path / "report.json"),
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        assert "matched: 3" in capsys.readouterr().out
+
+    def test_malformed_query_line_errors_cleanly(self, tmp_path, capsys):
+        """User-input problems exit 2 with a one-line message, not a
+        traceback."""
+        queries_path = tmp_path / "queries.jsonl"
+        queries_path.write_text(json.dumps({"id": "bad", "nbits": 8}) + "\n")
+        code = main(
+            [
+                "serve-batch",
+                "--store",
+                str(tmp_path / "store"),
+                "--queries",
+                str(queries_path),
+            ]
+        )
+        assert code == 2
+        assert "'errors' or 'approx'" in capsys.readouterr().err
+
+    def test_duplicate_ingest_errors_cleanly(self, tmp_path, fingerprint_file, capsys):
+        fp_path, _database = fingerprint_file
+        store = str(tmp_path / "store")
+        assert main(["serve-batch", "--store", store, "--ingest", str(fp_path)]) == 0
+        code = main(["serve-batch", "--store", store, "--ingest", str(fp_path)])
+        assert code == 2
+        assert "already stored" in capsys.readouterr().err
+
+
+class TestResultsDirPrecedence:
+    def test_flag_beats_environment(self, tmp_path, monkeypatch):
+        """--results-dir > REPRO_RESULTS_DIR > default (satellite 6)."""
+        env_dir = tmp_path / "from-env"
+        flag_dir = tmp_path / "from-flag"
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(env_dir))
+        assert results_dir() == env_dir
+
+        assert main(["--results-dir", str(flag_dir), "list"]) == 0
+        assert results_dir() == flag_dir
+
+        set_results_dir(None)
+        assert results_dir() == env_dir
+
+    def test_default_report_lands_in_results_dir(
+        self, tmp_path, fingerprint_file, rng, monkeypatch, capsys
+    ):
+        fp_path, database = fingerprint_file
+        queries_path = tmp_path / "queries.jsonl"
+        write_queries(queries_path, database, rng, n_hits=1, n_misses=0)
+        flag_dir = tmp_path / "reports"
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "ignored"))
+        code = main(
+            [
+                "--results-dir",
+                str(flag_dir),
+                "serve-batch",
+                "--store",
+                str(tmp_path / "store"),
+                "--ingest",
+                str(fp_path),
+                "--queries",
+                str(queries_path),
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        assert (flag_dir / "serve_batch_report.json").exists()
+        assert not (tmp_path / "ignored" / "serve_batch_report.json").exists()

@@ -1,0 +1,178 @@
+"""Tests for the LSH-indexed fingerprint database.
+
+The load-bearing test is the equivalence property: on a randomized
+1000-device corpus the indexed database must make the *same*
+match/no-match decisions (and return the same keys) as the linear-scan
+reference — LSH is a recall filter, never a semantics change.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bits import BitVector
+from repro.core import (
+    DuplicateKeyError,
+    Fingerprint,
+    FingerprintDatabase,
+    identify_error_string,
+)
+from repro.service import IndexedFingerprintDatabase, IndexParams, ServiceMetrics
+
+NBITS = 4096
+DENSITY = 0.01
+
+
+def make_corpus(n_devices: int, rng: np.random.Generator):
+    """``n_devices`` synthetic system fingerprints, keyed by serial."""
+    return [
+        (f"device-{index:04d}", Fingerprint(bits=BitVector.random(NBITS, rng, DENSITY)))
+        for index in range(n_devices)
+    ]
+
+
+def matching_query(fingerprint: Fingerprint, rng: np.random.Generator) -> BitVector:
+    """An error string the fingerprint's chip could have produced.
+
+    Keeps ~95 % of the fingerprint bits (a few promised cells failed to
+    decay this time) and adds ~2x extra error volume from deeper
+    approximation — the mismatched-approximation-level case Algorithm 3
+    is designed for.
+    """
+    keep = BitVector.from_bool_array(
+        fingerprint.bits.to_bool_array() & (rng.random(NBITS) < 0.97)
+    )
+    noise = BitVector.random(NBITS, rng, DENSITY * 2)
+    return keep | noise
+
+
+class TestEquivalenceProperty:
+    def test_matches_linear_scan_on_1k_corpus(self):
+        """Acceptance: identical decisions to the linear scan, 1k devices."""
+        rng = np.random.default_rng(0x15CA2015)
+        corpus = make_corpus(1000, rng)
+        indexed = IndexedFingerprintDatabase()
+        linear = FingerprintDatabase()
+        for key, fingerprint in corpus:
+            indexed.add(key, fingerprint)
+            linear.add(key, fingerprint)
+
+        queries = []
+        for query_index in range(100):
+            key, fingerprint = corpus[int(rng.integers(0, len(corpus)))]
+            queries.append(("hit", key, matching_query(fingerprint, rng)))
+        for query_index in range(50):
+            queries.append(
+                ("miss", None, BitVector.random(NBITS, rng, DENSITY * 1.5))
+            )
+        queries.append(("empty", None, BitVector.zeros(NBITS)))
+
+        matched_hits = 0
+        for kind, expected_key, error_string in queries:
+            fast = indexed.identify_error_string(error_string)
+            slow = identify_error_string(error_string, linear)
+            assert fast.matched == slow.matched, (kind, expected_key)
+            assert fast.key == slow.key, (kind, expected_key)
+            if kind == "hit" and fast.matched:
+                assert fast.key == expected_key
+                matched_hits += 1
+            if kind != "hit":
+                assert not fast.matched
+        # A borderline same-chip query may legitimately sit just over
+        # the threshold (the linear scan misses it too — equivalence is
+        # asserted above); the vast majority must still match.
+        assert matched_hits >= 95
+
+        # The filter actually filtered: far fewer verifications than a
+        # linear scan would have made.
+        metrics = indexed.metrics
+        assert metrics.counter("index.indexed_scans") > 0
+        reduction = metrics.candidate_reduction()
+        assert reduction is not None and reduction > 0.9
+
+
+class TestSemantics:
+    def test_first_match_wins_in_insertion_order(self):
+        """Two equally-close fingerprints: the earlier key must win,
+        exactly as Algorithm 2's linear scan decides."""
+        params = IndexParams(linear_threshold=1)  # force the indexed path
+        database = IndexedFingerprintDatabase(params=params)
+        bits = BitVector.from_indices(NBITS, range(0, 40))
+        database.add("later-alphabetically", Fingerprint(bits=bits.copy()))
+        database.add("earlier-alphabetically", Fingerprint(bits=bits.copy()))
+        result = database.identify_error_string(bits)
+        assert result.key == "later-alphabetically"  # inserted first
+
+    def test_linear_fallback_below_threshold(self):
+        database = IndexedFingerprintDatabase()  # default threshold 64
+        bits = BitVector.from_indices(NBITS, [1, 2, 3])
+        database.add("only", Fingerprint(bits=bits))
+        result = database.identify_error_string(bits)
+        assert result.matched and result.key == "only"
+        assert database.metrics.counter("index.linear_scans") == 1
+        assert database.metrics.counter("index.indexed_scans") == 0
+
+    def test_empty_error_string_fails(self):
+        database = IndexedFingerprintDatabase()
+        database.add("a", Fingerprint(bits=BitVector.from_indices(NBITS, [5])))
+        assert not database.identify_error_string(BitVector.zeros(NBITS)).matched
+        assert database.metrics.counter("index.empty_queries") == 1
+
+    def test_empty_fingerprints_stay_visible_to_queries(self):
+        """Zero-weight fingerprints cannot be MinHashed; they ride in
+        an unindexed side list and are still verified on every query —
+        the decision must equal the linear scan's (which, per the
+        Algorithm 3 edge case, lets an empty fingerprint match first)."""
+        params = IndexParams(linear_threshold=1)
+        database = IndexedFingerprintDatabase(params=params)
+        linear = FingerprintDatabase()
+        for key, fingerprint in (
+            ("empty", Fingerprint(bits=BitVector.zeros(NBITS))),
+            ("real", Fingerprint(bits=BitVector.from_indices(NBITS, [7, 8, 9]))),
+        ):
+            database.add(key, fingerprint)
+            linear.add(key, fingerprint)
+        query = BitVector.from_indices(NBITS, [7, 8, 9])
+        fast = database.identify_error_string(query)
+        slow = identify_error_string(query, linear)
+        assert (fast.matched, fast.key) == (slow.matched, slow.key)
+
+    def test_duplicate_key_raises_through_subclass(self):
+        database = IndexedFingerprintDatabase()
+        database.add("k", Fingerprint(bits=BitVector.from_indices(NBITS, [1])))
+        with pytest.raises(DuplicateKeyError):
+            database.add("k", Fingerprint(bits=BitVector.from_indices(NBITS, [2])))
+
+    def test_update_reindexes(self):
+        """After an Algorithm-4 style refinement the *new* fingerprint
+        is what queries verify against."""
+        params = IndexParams(linear_threshold=1)
+        rng = np.random.default_rng(3)
+        database = IndexedFingerprintDatabase(params=params)
+        original = Fingerprint(bits=BitVector.random(NBITS, rng, DENSITY))
+        database.add("dev", original)
+        refined = original.intersect(
+            original.bits | BitVector.random(NBITS, rng, DENSITY)
+        )
+        database.update("dev", refined)
+        assert database.get("dev").support == 2
+        result = database.identify_error_string(refined.bits)
+        assert result.matched and result.key == "dev"
+
+    def test_delegation_from_core_identify(self):
+        """core.identify_error_string routes to the indexed fast path."""
+        params = IndexParams(linear_threshold=1)
+        database = IndexedFingerprintDatabase(params=params)
+        bits = BitVector.from_indices(NBITS, range(30))
+        database.add("dev", Fingerprint(bits=bits))
+        result = identify_error_string(bits, database)
+        assert result.matched and result.key == "dev"
+        assert database.metrics.counter("index.indexed_scans") == 1
+
+    def test_shared_metrics_instance(self):
+        metrics = ServiceMetrics()
+        database = IndexedFingerprintDatabase(metrics=metrics)
+        database.add("a", Fingerprint(bits=BitVector.from_indices(NBITS, [1])))
+        database.identify_error_string(BitVector.from_indices(NBITS, [1]))
+        assert metrics.counter("index.queries") == 1

@@ -1,0 +1,115 @@
+"""Tests for the service instrumentation layer."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.service import LatencyHistogram, ServiceMetrics
+
+
+class TestLatencyHistogram:
+    def test_empty(self):
+        histogram = LatencyHistogram()
+        assert histogram.count == 0
+        assert histogram.percentile(0.5) == 0.0
+        assert histogram.mean == 0.0
+
+    def test_basic_stats(self):
+        histogram = LatencyHistogram()
+        for sample in (0.001, 0.002, 0.003, 0.004):
+            histogram.record(sample)
+        assert histogram.count == 4
+        assert abs(histogram.mean - 0.0025) < 1e-9
+        assert histogram.max == 0.004
+
+    def test_percentiles_bracket_samples(self):
+        """Bucketed percentiles land within a bucket width of truth."""
+        histogram = LatencyHistogram()
+        for index in range(100):
+            histogram.record(0.001 * (index + 1))  # 1ms .. 100ms
+        p50 = histogram.percentile(0.50)
+        p95 = histogram.percentile(0.95)
+        assert 0.03 <= p50 <= 0.09  # true p50 = 50ms, bucket factor ~1.58
+        assert 0.06 <= p95 <= 0.15  # true p95 = 95ms
+        assert p50 <= p95 <= histogram.max
+
+    def test_percentile_never_exceeds_max(self):
+        histogram = LatencyHistogram()
+        histogram.record(0.0005)
+        assert histogram.percentile(0.99) <= histogram.max
+
+    def test_snapshot_keys(self):
+        histogram = LatencyHistogram()
+        histogram.record(0.01)
+        snapshot = histogram.snapshot()
+        assert set(snapshot) == {
+            "count",
+            "mean_s",
+            "max_s",
+            "p50_s",
+            "p95_s",
+            "p99_s",
+        }
+
+
+class TestServiceMetrics:
+    def test_counters(self):
+        metrics = ServiceMetrics()
+        metrics.count("queries")
+        metrics.count("queries", 4)
+        assert metrics.counter("queries") == 5
+        assert metrics.counter("never") == 0
+
+    def test_timing_context(self):
+        metrics = ServiceMetrics()
+        with metrics.time("stage"):
+            pass
+        histogram = metrics.histogram("stage")
+        assert histogram is not None and histogram.count == 1
+
+    def test_stats_snapshot(self):
+        metrics = ServiceMetrics()
+        metrics.count("index.pairs_considered", 1000)
+        metrics.count("index.verifications", 20)
+        metrics.observe("identify.indexed", 0.002)
+        stats = metrics.stats()
+        assert stats["counters"]["index.verifications"] == 20
+        assert "identify.indexed" in stats["stages"]
+        assert abs(stats["candidate_reduction"] - 0.98) < 1e-9
+
+    def test_candidate_reduction_undefined_without_queries(self):
+        assert ServiceMetrics().candidate_reduction() is None
+
+    def test_format_stats_mentions_percentiles(self):
+        metrics = ServiceMetrics()
+        metrics.count("batch.queries", 3)
+        metrics.observe("batch.total", 0.01)
+        text = metrics.format_stats()
+        assert "batch.queries: 3" in text
+        assert "p50=" in text and "p95=" in text
+
+    def test_thread_safety(self):
+        """Concurrent increments are not lost (the batch engine's
+        worker threads share one metrics object)."""
+        metrics = ServiceMetrics()
+
+        def work():
+            for _ in range(1000):
+                metrics.count("hits")
+                metrics.observe("stage", 1e-6)
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert metrics.counter("hits") == 8000
+        assert metrics.histogram("stage").count == 8000
+
+    def test_reset(self):
+        metrics = ServiceMetrics()
+        metrics.count("a")
+        metrics.observe("s", 0.1)
+        metrics.reset()
+        assert metrics.counter("a") == 0
+        assert metrics.histogram("s") is None

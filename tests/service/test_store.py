@@ -1,0 +1,188 @@
+"""Tests for the sharded, append-only fingerprint store."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bits import BitVector
+from repro.core import Fingerprint
+from repro.service import ShardedFingerprintStore, StoreError
+from repro.service.store import _balanced_boundaries
+
+NBITS = 1024
+
+
+def make_batch(n, rng, prefix="dev"):
+    """``n`` synthetic fingerprints keyed ``<prefix>-0000`` onwards."""
+    return [
+        (
+            f"{prefix}-{index:04d}",
+            Fingerprint(bits=BitVector.random(NBITS, rng, 0.01)),
+        )
+        for index in range(n)
+    ]
+
+
+@pytest.fixture
+def store_dir(tmp_path):
+    """Fresh store directory."""
+    return tmp_path / "fingerprints"
+
+
+class TestLifecycle:
+    def test_create_ingest_reopen(self, store_dir, rng):
+        store = ShardedFingerprintStore(store_dir, n_shards=4)
+        batch = make_batch(100, rng)
+        created = store.ingest(batch)
+        assert sum(record.count for record in created) == 100
+        assert len(store) == 100
+
+        reopened = ShardedFingerprintStore(store_dir)
+        assert reopened.n_shards == 4
+        assert len(reopened) == 100
+        assert reopened.boundaries == store.boundaries
+        assert reopened.all_keys() == [key for key, _fp in batch]
+
+    def test_manifest_is_json(self, store_dir, rng):
+        store = ShardedFingerprintStore(store_dir, n_shards=2)
+        store.ingest(make_batch(10, rng))
+        manifest = json.loads((store_dir / "manifest.json").read_text())
+        assert manifest["version"] == 1
+        assert manifest["n_shards"] == 2
+        assert manifest["next_sequence"] == 10
+        assert all(
+            (store_dir / segment["filename"]).exists()
+            for segment in manifest["segments"]
+        )
+
+    def test_append_only_segments(self, store_dir, rng):
+        """A second ingest adds segments; it never rewrites old ones."""
+        store = ShardedFingerprintStore(store_dir, n_shards=2)
+        store.ingest(make_batch(20, rng))
+        first_files = {record.filename for record in store.segments}
+        mtimes = {
+            name: (store_dir / name).stat().st_mtime_ns for name in first_files
+        }
+        store.ingest(make_batch(20, rng, prefix="late"))
+        assert len(store) == 40
+        for name in first_files:
+            assert (store_dir / name).stat().st_mtime_ns == mtimes[name]
+        assert len(store.segments) > len(first_files)
+
+    def test_duplicate_keys_rejected(self, store_dir, rng):
+        store = ShardedFingerprintStore(store_dir, n_shards=2)
+        batch = make_batch(10, rng)
+        store.ingest(batch)
+        with pytest.raises(StoreError, match="already stored"):
+            store.ingest(batch[:1])
+        with pytest.raises(StoreError, match="within ingest batch"):
+            store.ingest([batch[0], batch[0]])
+
+    def test_empty_ingest_is_noop(self, store_dir):
+        store = ShardedFingerprintStore(store_dir, n_shards=2)
+        assert store.ingest([]) == []
+        assert len(store) == 0
+
+    def test_bad_manifest_raises(self, store_dir):
+        store_dir.mkdir(parents=True)
+        (store_dir / "manifest.json").write_text("{not json")
+        with pytest.raises(StoreError, match="unreadable manifest"):
+            ShardedFingerprintStore(store_dir)
+
+    def test_unsupported_version_raises(self, store_dir):
+        store_dir.mkdir(parents=True)
+        (store_dir / "manifest.json").write_text(json.dumps({"version": 99}))
+        with pytest.raises(StoreError, match="unsupported store version"):
+            ShardedFingerprintStore(store_dir)
+
+
+class TestSharding:
+    def test_key_range_routing_is_stable(self, store_dir, rng):
+        """Keys route by lexicographic range and consistently so."""
+        store = ShardedFingerprintStore(store_dir, n_shards=4)
+        store.ingest(make_batch(100, rng))
+        boundaries = store.boundaries
+        assert boundaries == sorted(boundaries)
+        assert len(boundaries) == 3
+        for key in ("dev-0000", "dev-0050", "dev-0099", "zzz", "aaa"):
+            shard = store.shard_for_key(key)
+            assert 0 <= shard < 4
+            assert shard == ShardedFingerprintStore(store_dir).shard_for_key(key)
+
+    def test_shards_balanced_on_bootstrap_batch(self, store_dir, rng):
+        store = ShardedFingerprintStore(store_dir, n_shards=4)
+        store.ingest(make_batch(100, rng))
+        per_shard = {}
+        for record in store.segments:
+            per_shard[record.shard] = per_shard.get(record.shard, 0) + record.count
+        assert set(per_shard) == {0, 1, 2, 3}
+        assert all(count == 25 for count in per_shard.values())
+
+    def test_lazy_loading_and_cache(self, store_dir, rng):
+        store = ShardedFingerprintStore(store_dir, n_shards=4)
+        store.ingest(make_batch(40, rng))
+        store.evict()  # drop the ingest-warmed cache: force cold loads
+        metrics = store.metrics
+        assert store.loaded_shards() == []
+        store.load_shard(1)
+        assert store.loaded_shards() == [1]
+        assert metrics.counter("store.shard_loads") == 1
+        store.load_shard(1)
+        assert metrics.counter("store.shard_cache_hits") == 1
+        assert metrics.counter("store.shard_loads") == 1
+
+    def test_loaded_shard_contents_and_sequences(self, store_dir, rng):
+        batch = make_batch(30, rng)
+        store = ShardedFingerprintStore(store_dir, n_shards=3)
+        store.ingest(batch)
+        store.evict()
+        sequences = {}
+        for shard in range(3):
+            replica = store.load_shard(shard)
+            for key in replica.database.keys():
+                assert replica.database.get(key).bits == dict(batch)[key].bits
+            sequences.update(replica.sequences)
+        assert sorted(sequences) == sorted(key for key, _fp in batch)
+        # Global sequences are exactly the ingest positions.
+        for position, (key, _fp) in enumerate(batch):
+            assert sequences[key] == position
+
+    def test_ingest_keeps_warm_cache_coherent(self, store_dir, rng):
+        store = ShardedFingerprintStore(store_dir, n_shards=2)
+        store.ingest(make_batch(10, rng))
+        replica = store.load_shard(0)
+        before = len(replica.database)
+        store.ingest(make_batch(10, rng, prefix="new"))
+        assert len(store.load_shard(0).database) >= before
+        total = sum(
+            len(store.load_shard(shard).database) for shard in range(2)
+        )
+        assert total == 20
+
+    def test_shard_out_of_range(self, store_dir):
+        store = ShardedFingerprintStore(store_dir, n_shards=2)
+        with pytest.raises(StoreError, match="out of range"):
+            store.load_shard(2)
+
+    def test_single_shard_store(self, store_dir, rng):
+        store = ShardedFingerprintStore(store_dir, n_shards=1)
+        store.ingest(make_batch(10, rng))
+        assert store.boundaries == []
+        assert store.shard_for_key("anything") == 0
+        assert len(store.load_shard(0).database) == 10
+
+
+class TestBoundaries:
+    def test_balanced_split(self):
+        keys = [f"k{index:03d}" for index in range(100)]
+        boundaries = _balanced_boundaries(keys, 4)
+        assert len(boundaries) == 3
+        assert boundaries == sorted(boundaries)
+
+    def test_fewer_keys_than_shards(self):
+        assert _balanced_boundaries(["only"], 8) == []
+        few = _balanced_boundaries(["a", "b"], 8)
+        assert few == ["a"]
