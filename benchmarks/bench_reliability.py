@@ -1,0 +1,229 @@
+"""Chaos benchmark — crash recovery, corruption detection, degradation.
+
+The paper's storage silently decays bits; this benchmark measures how
+the hardened store behaves when its own storage misbehaves, along three
+axes:
+
+1. **Crash recovery latency** — enumerate every IO operation of a
+   journaled ingest, kill it there, and time the reopen-with-recovery;
+   also checks the all-or-nothing contract at every point.
+2. **Corruption detection** — flip seeded random bits in v2 segment
+   files and measure the detected fraction (CRC frames make silent
+   corruption vanishingly unlikely) plus the salvage yield of repair.
+3. **Degraded-mode serving** — fully corrupt one shard and measure the
+   batch service answering from the healthy remainder.
+
+Artifacts: ``bench_reliability.json`` in the results directory (CI
+uploads it from the chaos job).  Seeded via ``REPRO_FAULT_SEED`` like
+the chaos tests.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import time
+
+import numpy as np
+
+from repro.analysis.reporting import results_dir
+from repro.bits import BitVector
+from repro.core import Fingerprint
+from repro.reliability import FaultPlan, FaultyIO, repair_store, verify_store
+from repro.service import (
+    BatchIdentificationService,
+    BatchQuery,
+    ShardedFingerprintStore,
+)
+
+NBITS = 1024
+DENSITY = 0.02
+N_DEVICES = 400
+N_SHARDS = 4
+N_BITFLIP_TRIALS = 40
+
+FAULT_SEED = int(os.environ.get("REPRO_FAULT_SEED", "2015"))
+
+
+def _corpus(rng, n=N_DEVICES, prefix="device"):
+    return [
+        (
+            f"{prefix}-{index:05d}",
+            Fingerprint(bits=BitVector.random(NBITS, rng, DENSITY)),
+        )
+        for index in range(n)
+    ]
+
+
+def _build_store(root, batch):
+    store = ShardedFingerprintStore(root, n_shards=N_SHARDS)
+    store.ingest(batch)
+    return store
+
+
+def _crash_recovery_axis(tmp_path, rng):
+    """Kill an ingest at every IO op; time and verify each recovery."""
+    base = tmp_path / "crash-base"
+    first = _corpus(rng, n=N_DEVICES // 2)
+    second = _corpus(rng, n=N_DEVICES // 2, prefix="late")
+    _build_store(base, first)
+
+    dry = tmp_path / "crash-dry"
+    shutil.copytree(base, dry)
+    io_ = FaultyIO()
+    ShardedFingerprintStore(dry, storage_io=io_).ingest(second)
+    total_ops = io_.ops
+
+    latencies = []
+    outcomes = {"rolled_back": 0, "committed": 0}
+    for crash_at in range(2, total_ops + 1):  # op 1 is the manifest read
+        work = tmp_path / f"crash-{crash_at:03d}"
+        shutil.copytree(base, work)
+        store = ShardedFingerprintStore(
+            work, storage_io=FaultyIO(FaultPlan(fail_at=crash_at))
+        )
+        try:
+            store.ingest(second)
+        except OSError:
+            pass
+        started = time.perf_counter()
+        recovered = ShardedFingerprintStore(work)
+        latencies.append(time.perf_counter() - started)
+        n_keys = len(recovered)
+        if n_keys == len(first):
+            outcomes["rolled_back"] += 1
+        elif n_keys == len(first) + len(second):
+            outcomes["committed"] += 1
+        else:
+            raise AssertionError(
+                f"crash at op {crash_at} left {n_keys} records — hybrid state"
+            )
+        assert verify_store(work).ok, f"inconsistent after crash {crash_at}"
+        shutil.rmtree(work)
+    return {
+        "crash_points": total_ops - 1,
+        "outcomes": outcomes,
+        "recovery_latency_s": {
+            "mean": float(np.mean(latencies)),
+            "p95": float(np.quantile(latencies, 0.95)),
+            "max": float(np.max(latencies)),
+        },
+    }
+
+
+def _corruption_axis(tmp_path, rng, fault_rng):
+    """Seeded bit flips in segment files: detection and salvage yield."""
+    root = tmp_path / "bitflip"
+    batch = _corpus(rng)
+    store = _build_store(root, batch)
+    segments = store.segments
+
+    detected = 0
+    salvaged_total = 0
+    lost_total = 0
+    for trial in range(N_BITFLIP_TRIALS):
+        work = tmp_path / f"bitflip-{trial:03d}"
+        shutil.copytree(root, work)
+        victim = segments[int(fault_rng.integers(0, len(segments)))]
+        path = work / victim.filename
+        data = bytearray(path.read_bytes())
+        position = int(fault_rng.integers(10, len(data)))  # spare the magic
+        data[position] ^= 1 << int(fault_rng.integers(0, 8))
+        path.write_bytes(bytes(data))
+
+        verification = verify_store(work)
+        if not verification.ok:
+            detected += 1
+            damaged = ShardedFingerprintStore(work)
+            report = repair_store(damaged)
+            salvaged_total += report.records_salvaged
+            lost_total += report.records_lost
+            assert verify_store(work).ok
+        shutil.rmtree(work)
+    return {
+        "trials": N_BITFLIP_TRIALS,
+        "detected": detected,
+        "detection_rate": detected / N_BITFLIP_TRIALS,
+        "records_salvaged": salvaged_total,
+        "records_lost": lost_total,
+    }
+
+
+def _degraded_axis(tmp_path, rng):
+    """One shard fully corrupted: healthy-shard service throughput."""
+    root = tmp_path / "degraded"
+    batch = _corpus(rng)
+    store = _build_store(root, batch)
+    victim_shard = store.segments[0].shard
+    for record in store.segments:
+        if record.shard == victim_shard:
+            path = root / record.filename
+            data = bytearray(path.read_bytes())
+            data[len(data) // 2] ^= 0xFF
+            path.write_bytes(bytes(data))
+    store.evict()
+
+    queries = [
+        BatchQuery.from_errors(key, fingerprint.bits)
+        for key, fingerprint in batch[::4]
+    ]
+    service = BatchIdentificationService(
+        store, cluster_residuals=False, retry_backoff_s=0.0
+    )
+    started = time.perf_counter()
+    report = service.run(queries)
+    elapsed = time.perf_counter() - started
+    assert report.degraded
+    healthy_hits = sum(
+        1
+        for result in report.results
+        if result.matched and result.identification.key == result.query_id
+    )
+    expected_healthy = sum(
+        1
+        for key, _fp in batch[::4]
+        if store.shard_for_key(key) != victim_shard
+    )
+    assert healthy_hits == expected_healthy
+    return {
+        "queries": len(queries),
+        "degraded_shards": [
+            entry.to_json() for entry in report.degraded_shards
+        ],
+        "healthy_matches": healthy_hits,
+        "lost_key_range_queries": len(queries) - healthy_hits,
+        "throughput_qps": len(queries) / elapsed,
+        "shard_failures": service.metrics.counter("batch.shard_failures"),
+        "shard_retries": service.metrics.counter("batch.shard_retries"),
+    }
+
+
+def test_chaos_benchmark(tmp_path, bench_rng):
+    """Run all three axes and write the JSON artifact."""
+    fault_rng = np.random.default_rng(FAULT_SEED)
+    report = {
+        "fault_seed": FAULT_SEED,
+        "corpus_devices": N_DEVICES,
+        "shards": N_SHARDS,
+        "crash_recovery": _crash_recovery_axis(tmp_path, bench_rng),
+        "corruption": _corruption_axis(tmp_path, bench_rng, fault_rng),
+        "degraded_serving": _degraded_axis(tmp_path, bench_rng),
+    }
+    path = results_dir() / "bench_reliability.json"
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    crash = report["crash_recovery"]
+    corruption = report["corruption"]
+    print(
+        f"\n{crash['crash_points']} crash points "
+        f"(rolled back {crash['outcomes']['rolled_back']}, "
+        f"committed {crash['outcomes']['committed']}), "
+        f"recovery p95 {crash['recovery_latency_s']['p95'] * 1e3:.1f}ms; "
+        f"corruption detection {corruption['detection_rate']:.2f} "
+        f"over {corruption['trials']} seeded flips; "
+        f"degraded serving "
+        f"{report['degraded_serving']['throughput_qps']:.1f} qps"
+    )
+    # CRC framing must catch essentially every flip; allow a flip to
+    # land in file slack (padding/footer bits that cancel) rarely.
+    assert corruption["detection_rate"] >= 0.9

@@ -8,10 +8,19 @@ Usage::
     python -m repro run fig13 --quiet    # save the report, print summary
     python -m repro serve-batch --store DB --ingest fp.pcfp \\
         --queries queries.jsonl          # batch identification service
+    python -m repro verify-store --store DB   # read-only integrity check
+    python -m repro repair --store DB         # recover + quarantine damage
 
 Reports are written to ``benchmarks/results/`` (override with the
 ``REPRO_RESULTS_DIR`` environment variable, or with higher precedence
 the ``--results-dir`` flag) and echoed to stdout.
+
+``verify-store`` exits 0 on a consistent store and 1 when it found
+problems (a pending crashed ingest, checksum failures, manifest
+inconsistencies); ``repair`` resolves them — rolling the ingest
+journal forward or back, salvaging readable records out of corrupt
+segments and quarantining the rest.  Malformed input (a corrupt
+``.pcfp`` file, a missing store) exits 2 with a one-line error.
 
 The ``serve-batch`` query file is JSON Lines: each line holds ``id``,
 ``nbits`` and either ``errors`` (set-bit indices of a prebuilt error
@@ -129,6 +138,36 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="only print the summary line, not the metrics block",
     )
+
+    verify_parser = subparsers.add_parser(
+        "verify-store",
+        help="read-only integrity check of a fingerprint store",
+    )
+    verify_parser.add_argument(
+        "--store",
+        required=True,
+        help="sharded fingerprint store directory to inspect",
+    )
+    verify_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full verification report as JSON on stdout",
+    )
+
+    repair_parser = subparsers.add_parser(
+        "repair",
+        help="recover a crashed ingest and quarantine corrupt segments",
+    )
+    repair_parser.add_argument(
+        "--store",
+        required=True,
+        help="sharded fingerprint store directory to repair",
+    )
+    repair_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full repair report as JSON on stdout",
+    )
     return parser
 
 
@@ -203,9 +242,90 @@ def _serve_batch(args: argparse.Namespace) -> int:
         f"queries: {len(queries)}  matched: {report.matched_count}  "
         f"unmatched: {report.unmatched_count}"
     )
+    if report.degraded:
+        for entry in report.degraded_shards:
+            low, high = entry.key_range
+            span = f"({low if low is not None else '-inf'}, " \
+                f"{high if high is not None else '+inf'}]"
+            print(
+                f"DEGRADED shard {entry.shard} keys {span}: {entry.reason}",
+                file=sys.stderr,
+            )
+        print(
+            "results are tagged degraded; run 'repro verify-store' / "
+            "'repro repair'",
+            file=sys.stderr,
+        )
     if not args.quiet:
         print(service.metrics.format_stats())
     print(f"report written to {report_path}")
+    return 0
+
+
+def _verify_store(args: argparse.Namespace) -> int:
+    """The verify-store command body (read-only)."""
+    from repro.reliability import verify_store
+
+    store_dir = Path(args.store)
+    if not store_dir.exists():
+        print(f"verify-store: no store at {store_dir}", file=sys.stderr)
+        return 2
+    verification = verify_store(store_dir)
+    if args.json:
+        print(json.dumps(verification.to_json(), indent=2, sort_keys=True))
+    else:
+        for segment in verification.segments:
+            print(segment.describe())
+        for problem in verification.problems():
+            print(f"problem: {problem}")
+        if verification.degraded_shards:
+            print(
+                "degraded shards (data previously lost to quarantine): "
+                + ", ".join(str(s) for s in verification.degraded_shards)
+            )
+        status = "consistent" if verification.ok else "INCONSISTENT"
+        print(
+            f"store {store_dir}: {status} "
+            f"({verification.total_records} records, "
+            f"{verification.corrupt_records} corrupt)"
+        )
+    return 0 if verification.ok else 1
+
+
+def _repair(args: argparse.Namespace) -> int:
+    """The repair command body."""
+    from repro.reliability import repair_store
+    from repro.service import ShardedFingerprintStore
+
+    store_dir = Path(args.store)
+    if not (store_dir / "manifest.json").exists():
+        print(f"repair: no store at {store_dir}", file=sys.stderr)
+        return 2
+    store = ShardedFingerprintStore(store_dir)
+    report = repair_store(store)
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+        return 0
+    if report.recovery.action != "none":
+        print(
+            f"recovery: {report.recovery.action} ({report.recovery.detail})"
+        )
+    for orphan in report.recovery.orphans_removed:
+        print(f"removed orphan segment: {orphan}")
+    for filename, reason in report.quarantined:
+        print(f"quarantined {filename}: {reason}")
+    if report.records_salvaged or report.records_lost:
+        print(
+            f"salvaged {report.records_salvaged} records, "
+            f"lost {report.records_lost}"
+        )
+    if report.clean:
+        print(f"store {store_dir}: clean, nothing to repair")
+    else:
+        reliability = store.metrics.counters_with_prefix("reliability.")
+        for name in sorted(reliability):
+            print(f"{name}: {reliability[name]}")
+        print(f"store {store_dir}: repaired")
     return 0
 
 
@@ -222,13 +342,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.results_dir is not None:
         set_results_dir(args.results_dir)
-    if args.command == "serve-batch":
+    if args.command in ("serve-batch", "verify-store", "repair"):
+        body = {
+            "serve-batch": _serve_batch,
+            "verify-store": _verify_store,
+            "repair": _repair,
+        }[args.command]
         try:
-            return _serve_batch(args)
+            return body(args)
         except (ValueError, OSError) as error:
             # Bad store directory, duplicate ingest keys, malformed or
-            # missing query file — user input problems, not crashes.
-            print(f"serve-batch: {error}", file=sys.stderr)
+            # missing query file, a corrupt .pcfp stream
+            # (CorruptStreamError renders with byte offset and record
+            # index) — user input problems, not crashes.
+            print(f"{args.command}: {error}", file=sys.stderr)
             return 2
     if args.command == "list":
         for experiment_id in experiment_ids():

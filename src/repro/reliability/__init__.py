@@ -1,0 +1,65 @@
+"""Crash-safety, fault injection and self-healing for the service.
+
+The paper is about storage that silently decays bits (§3, §6); the
+attacker's own fingerprint store — years of accumulated interceptions
+per §4 — lives on exactly that kind of storage.  This subpackage gives
+the store a real failure model and the tools to survive it:
+
+* :mod:`repro.reliability.faults` — the :class:`StorageIO` seam every
+  durable store operation goes through, plus :class:`FaultyIO` /
+  :class:`FaultPlan`, a deterministic chaos layer (crash at operation
+  N, torn writes, seeded bit flips, transient error windows) the tests
+  and the chaos benchmark use to enumerate crash points;
+* :mod:`repro.reliability.repair` — :func:`verify_store`, a strictly
+  read-only ``fsck`` for a store directory, and :func:`repair_store`,
+  the self-healing pass that salvages readable records out of corrupt
+  segments and quarantines the rest while preserving global sequence
+  numbers (and therefore Algorithm 2 decisions).
+
+The crash-safe write protocol itself (write-ahead journal, fsynced
+segments, atomic manifest swap, idempotent recovery) lives in
+:mod:`repro.service.store`; degraded-mode serving (retry with backoff,
+per-shard timeouts, ``degraded`` result tagging) in
+:mod:`repro.service.batch`.  CLI front ends: ``repro verify-store``
+and ``repro repair``.
+"""
+
+from repro.reliability.faults import (
+    FaultPlan,
+    FaultyIO,
+    InjectedFault,
+    StorageIO,
+)
+
+_REPAIR_EXPORTS = (
+    "RepairReport",
+    "SegmentVerification",
+    "StoreVerification",
+    "repair_store",
+    "verify_store",
+)
+
+
+def __getattr__(name: str):
+    # repro.service.store imports repro.reliability.faults (the IO
+    # seam), and repro.reliability.repair imports the store back; the
+    # repair surface is therefore re-exported lazily (PEP 562) so that
+    # importing this package from inside the store does not cycle.
+    if name in _REPAIR_EXPORTS:
+        from repro.reliability import repair
+
+        return getattr(repair, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "FaultPlan",
+    "FaultyIO",
+    "InjectedFault",
+    "StorageIO",
+    "RepairReport",
+    "SegmentVerification",
+    "StoreVerification",
+    "repair_store",
+    "verify_store",
+]

@@ -1,0 +1,217 @@
+"""Deterministic fault injection under the fingerprint store's IO.
+
+The paper's premise is that storage silently decays bits; the store
+that hoards the attacker's fingerprints is itself storage.  This module
+gives the store an explicit IO seam (:class:`StorageIO`) and a chaos
+wrapper (:class:`FaultyIO`) that turns "what if the machine dies here?"
+into an enumerable, reproducible test axis:
+
+* every durable operation (write, read, replace, remove, directory
+  fsync) advances a global **operation counter**;
+* a :class:`FaultPlan` names the operation index at which the fault
+  fires and what it does — crash (raise mid-ingest), torn write
+  (persist a prefix, then raise), silent seeded bit flips, or a window
+  of transient errors that clears for retries;
+* the RNG is seeded (``REPRO_FAULT_SEED`` in CI), so every crash point
+  and every corruption pattern replays bit-for-bit.
+
+The real implementation, :class:`StorageIO`, is deliberately paranoid:
+data files are fsynced before they are visible, atomic replaces fsync
+the temporary first, and directory entries are fsynced after renames
+and removals — the classic power-cut checklist.  Tests assert the
+*ordering* of these operations through the recording counter.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+PathLike = Union[str, Path]
+
+#: Fault modes understood by :class:`FaultPlan`.
+MODE_CRASH = "crash"
+MODE_TORN = "torn"
+MODE_BITFLIP = "bitflip"
+_MODES = (MODE_CRASH, MODE_TORN, MODE_BITFLIP)
+
+
+class InjectedFault(OSError):
+    """The error :class:`FaultyIO` raises at a planned crash point."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Declarative description of when and how IO misbehaves.
+
+    ``fail_at`` is the 1-based operation index at which the fault
+    fires; ``fail_count`` widens it to a window of consecutive
+    operations (a *transient* outage: an operation retried after the
+    window succeeds, because the retry lands on a later index).
+    ``mode`` selects the behaviour at a firing point:
+
+    * ``"crash"`` — raise :class:`InjectedFault` before touching disk;
+    * ``"torn"`` — persist a prefix of the payload, then raise (only
+      meaningful for writes; reads under ``"torn"`` crash);
+    * ``"bitflip"`` — flip ``flip_bits`` seeded-random bits in the
+      payload and carry on silently (write: corrupt data lands on
+      disk; read: corrupt data is returned).
+
+    ``match`` restricts faults to operations whose path contains the
+    substring, so a plan can target one segment file.
+    """
+
+    fail_at: Optional[int] = None
+    mode: str = MODE_CRASH
+    fail_count: int = 1
+    flip_bits: int = 8
+    seed: int = 0
+    match: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in _MODES:
+            raise ValueError(f"unknown fault mode {self.mode!r}")
+        if self.fail_count < 1:
+            raise ValueError(f"fail_count must be >= 1, got {self.fail_count}")
+        if self.flip_bits < 1:
+            raise ValueError(f"flip_bits must be >= 1, got {self.flip_bits}")
+
+    def fires(self, op_index: int, path: PathLike) -> bool:
+        """True when operation ``op_index`` on ``path`` hits the plan."""
+        if self.fail_at is None:
+            return False
+        if not self.fail_at <= op_index < self.fail_at + self.fail_count:
+            return False
+        return self.match is None or self.match in str(path)
+
+
+class StorageIO:
+    """Durable filesystem primitives the fingerprint store builds on.
+
+    Every method is one *operation* in the fault-injection sense.  The
+    durability discipline lives here so the store logic never calls
+    ``os`` directly: a power cut between any two operations leaves the
+    store in a state :meth:`~repro.service.store.ShardedFingerprintStore.recover`
+    can resolve.
+    """
+
+    def write_bytes(self, path: PathLike, data: bytes, sync: bool = True) -> None:
+        """Write ``data`` to ``path``, fsyncing the file by default."""
+        with open(path, "wb") as stream:
+            stream.write(data)
+            if sync:
+                stream.flush()
+                os.fsync(stream.fileno())
+
+    def read_bytes(self, path: PathLike) -> bytes:
+        """Read the whole file at ``path``."""
+        with open(path, "rb") as stream:
+            return stream.read()
+
+    def replace(self, source: PathLike, destination: PathLike) -> None:
+        """Atomically rename ``source`` over ``destination``."""
+        os.replace(source, destination)
+
+    def fsync_dir(self, path: PathLike) -> None:
+        """Flush a directory entry table (after create/rename/remove)."""
+        fd = os.open(path, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        except OSError:
+            # Some filesystems refuse directory fsync; the rename is
+            # still atomic, durability is merely weakened.
+            pass
+        finally:
+            os.close(fd)
+
+    def remove(self, path: PathLike) -> None:
+        """Unlink ``path``."""
+        os.remove(path)
+
+
+class FaultyIO(StorageIO):
+    """A :class:`StorageIO` that misbehaves exactly as planned.
+
+    Wraps an inner implementation (a real :class:`StorageIO` by
+    default), counts every operation into :attr:`ops`, logs them into
+    :attr:`log` as ``(op_name, path)`` tuples, and applies the
+    :class:`FaultPlan` at its firing window.  Counting is deterministic
+    for a fixed call sequence, which is what makes "crash at operation
+    N, for every N" an exhaustive loop rather than a race.
+    """
+
+    def __init__(
+        self, plan: FaultPlan = FaultPlan(), inner: Optional[StorageIO] = None
+    ) -> None:
+        self.plan = plan
+        self.inner = inner if inner is not None else StorageIO()
+        self.ops = 0
+        self.faults_fired = 0
+        self.log: List[Tuple[str, str]] = []
+        self._rng = np.random.default_rng(plan.seed)
+
+    # ------------------------------------------------------------------
+    # Fault machinery
+    # ------------------------------------------------------------------
+
+    def _enter(self, op_name: str, path: PathLike) -> bool:
+        """Count one operation; True when the fault plan fires on it."""
+        self.ops += 1
+        self.log.append((op_name, str(path)))
+        if self.plan.fires(self.ops, path):
+            self.faults_fired += 1
+            return True
+        return False
+
+    def _corrupt(self, data: bytes) -> bytes:
+        """Flip ``plan.flip_bits`` seeded-random bits of ``data``."""
+        if not data:
+            return data
+        corrupted = bytearray(data)
+        for _ in range(self.plan.flip_bits):
+            position = int(self._rng.integers(0, len(corrupted)))
+            corrupted[position] ^= 1 << int(self._rng.integers(0, 8))
+        return bytes(corrupted)
+
+    # ------------------------------------------------------------------
+    # StorageIO surface
+    # ------------------------------------------------------------------
+
+    def write_bytes(self, path: PathLike, data: bytes, sync: bool = True) -> None:
+        if self._enter("write_bytes", path):
+            if self.plan.mode == MODE_TORN:
+                # Persist only a prefix — the classic torn write — then
+                # die.  The prefix is synced so recovery really sees it.
+                self.inner.write_bytes(path, data[: len(data) // 2], sync=True)
+                raise InjectedFault(f"injected torn write at op {self.ops}: {path}")
+            if self.plan.mode == MODE_BITFLIP:
+                self.inner.write_bytes(path, self._corrupt(data), sync=sync)
+                return
+            raise InjectedFault(f"injected crash at op {self.ops}: {path}")
+        self.inner.write_bytes(path, data, sync=sync)
+
+    def read_bytes(self, path: PathLike) -> bytes:
+        if self._enter("read_bytes", path):
+            if self.plan.mode == MODE_BITFLIP:
+                return self._corrupt(self.inner.read_bytes(path))
+            raise InjectedFault(f"injected read error at op {self.ops}: {path}")
+        return self.inner.read_bytes(path)
+
+    def replace(self, source: PathLike, destination: PathLike) -> None:
+        if self._enter("replace", destination):
+            raise InjectedFault(f"injected crash at op {self.ops}: {destination}")
+        self.inner.replace(source, destination)
+
+    def fsync_dir(self, path: PathLike) -> None:
+        if self._enter("fsync_dir", path):
+            raise InjectedFault(f"injected crash at op {self.ops}: {path}")
+        self.inner.fsync_dir(path)
+
+    def remove(self, path: PathLike) -> None:
+        if self._enter("remove", path):
+            raise InjectedFault(f"injected crash at op {self.ops}: {path}")
+        self.inner.remove(path)

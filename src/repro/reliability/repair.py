@@ -1,0 +1,398 @@
+"""Offline integrity verification and self-healing for the store.
+
+Two entry points, mirroring ``fsck``'s split personality:
+
+* :func:`verify_store` — **strictly read-only** inspection of a store
+  directory: manifest well-formedness, a pending ingest journal,
+  per-segment checksum scans (corruption localized to records), global
+  sequence coverage, missing and orphaned files.  It never constructs
+  a :class:`~repro.service.store.ShardedFingerprintStore`, because
+  opening one auto-recovers a crashed ingest and verification must not
+  mutate what it is judging.
+* :func:`repair_store` — the mutating counterpart: resolve the journal
+  (roll forward or back), salvage every readable record out of corrupt
+  segments into fresh checksummed replacements, and quarantine the
+  damaged originals.  Salvage preserves global sequence numbers (the
+  manifest records which original offsets were dropped), so Algorithm 2
+  first-match priority is unchanged for every surviving fingerprint —
+  the property test asserts repair is decision-for-decision invisible
+  on an uncorrupted store.
+
+Both surface through the CLI as ``repro verify-store`` / ``repro
+repair``.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.core.serialize import (
+    CorruptRecord,
+    SerializationError,
+    dump_database,
+    scan_database,
+)
+from repro.service.store import (
+    QuarantinedSegment,
+    RecoveryReport,
+    SegmentRecord,
+    ShardedFingerprintStore,
+)
+
+_MANIFEST_NAME = "manifest.json"
+_JOURNAL_NAME = "ingest-journal.json"
+_SUPPORTED_VERSIONS = (1, 2)
+
+
+@dataclass
+class SegmentVerification:
+    """Integrity verdict for one live segment file."""
+
+    filename: str
+    shard: int
+    declared_count: int
+    readable_count: int = 0
+    exists: bool = True
+    corrupt: List[CorruptRecord] = field(default_factory=list)
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the file is present and every record read clean."""
+        return (
+            self.exists
+            and self.error is None
+            and not self.corrupt
+            and self.readable_count == self.declared_count
+        )
+
+    def describe(self) -> str:
+        """One-line human rendering for the CLI."""
+        if self.ok:
+            return f"{self.filename}: ok ({self.readable_count} records)"
+        if not self.exists:
+            return f"{self.filename}: MISSING"
+        if self.error is not None:
+            return f"{self.filename}: UNREADABLE ({self.error})"
+        where = ", ".join(
+            f"record {entry.record_index} @ byte {entry.byte_offset}"
+            for entry in self.corrupt[:3]
+        )
+        more = "..." if len(self.corrupt) > 3 else ""
+        return (
+            f"{self.filename}: CORRUPT "
+            f"({len(self.corrupt)} bad of {self.declared_count}: {where}{more})"
+        )
+
+
+@dataclass
+class StoreVerification:
+    """Full integrity verdict for a store directory."""
+
+    root: Path
+    manifest_ok: bool = False
+    manifest_error: Optional[str] = None
+    journal_pending: bool = False
+    segments: List[SegmentVerification] = field(default_factory=list)
+    orphan_files: List[str] = field(default_factory=list)
+    sequence_gaps: List[Tuple[int, int]] = field(default_factory=list)
+    degraded_shards: List[int] = field(default_factory=list)
+    total_records: int = 0
+    corrupt_records: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """Consistent and fully readable (degraded-but-consistent is ok)."""
+        return (
+            self.manifest_ok
+            and not self.journal_pending
+            and not self.orphan_files
+            and not self.sequence_gaps
+            and all(segment.ok for segment in self.segments)
+        )
+
+    def problems(self) -> List[str]:
+        """Every finding, one line each, for the CLI and reports."""
+        lines: List[str] = []
+        if not self.manifest_ok:
+            lines.append(f"manifest: {self.manifest_error}")
+            return lines
+        if self.journal_pending:
+            lines.append(
+                "pending ingest journal (crashed ingest); run 'repro repair'"
+            )
+        for segment in self.segments:
+            if not segment.ok:
+                lines.append(segment.describe())
+        for orphan in self.orphan_files:
+            lines.append(f"orphan segment file not in manifest: {orphan}")
+        for start, stop in self.sequence_gaps:
+            lines.append(f"sequence range [{start}, {stop}) unaccounted for")
+        return lines
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON-serializable summary (CLI ``--json`` and benchmarks)."""
+        return {
+            "root": str(self.root),
+            "ok": self.ok,
+            "manifest_ok": self.manifest_ok,
+            "journal_pending": self.journal_pending,
+            "total_records": self.total_records,
+            "corrupt_records": self.corrupt_records,
+            "degraded_shards": self.degraded_shards,
+            "orphan_files": self.orphan_files,
+            "sequence_gaps": [list(gap) for gap in self.sequence_gaps],
+            "segments": [
+                {
+                    "filename": segment.filename,
+                    "shard": segment.shard,
+                    "ok": segment.ok,
+                    "declared_count": segment.declared_count,
+                    "readable_count": segment.readable_count,
+                    "corrupt_records": [
+                        {
+                            "record_index": entry.record_index,
+                            "byte_offset": entry.byte_offset,
+                            "reason": entry.reason,
+                        }
+                        for entry in segment.corrupt
+                    ],
+                    "error": segment.error,
+                }
+                for segment in self.segments
+            ],
+            "problems": self.problems(),
+        }
+
+
+def verify_store(root: Union[str, Path]) -> StoreVerification:
+    """Read-only integrity check of a store directory.
+
+    Safe to run against a live or a crashed store: nothing on disk is
+    touched, so a crashed ingest shows up as ``journal_pending`` rather
+    than being silently resolved.
+    """
+    root = Path(root)
+    verification = StoreVerification(root=root)
+    manifest_path = root / _MANIFEST_NAME
+    try:
+        payload = json.loads(manifest_path.read_text())
+    except FileNotFoundError:
+        verification.manifest_error = f"no manifest at {manifest_path}"
+        return verification
+    except (OSError, json.JSONDecodeError) as error:
+        verification.manifest_error = f"unreadable manifest: {error}"
+        return verification
+    if payload.get("version") not in _SUPPORTED_VERSIONS:
+        verification.manifest_error = (
+            f"unsupported store version {payload.get('version')!r}"
+        )
+        return verification
+    try:
+        segments = [
+            SegmentRecord.from_json(record) for record in payload["segments"]
+        ]
+        quarantined = [
+            QuarantinedSegment.from_json(record)
+            for record in payload.get("quarantined", [])
+        ]
+        next_sequence = int(payload["next_sequence"])
+    except (KeyError, TypeError, ValueError) as error:
+        verification.manifest_error = f"malformed manifest: {error}"
+        return verification
+    verification.manifest_ok = True
+    verification.journal_pending = (root / _JOURNAL_NAME).exists()
+
+    for record in segments:
+        entry = SegmentVerification(
+            filename=record.filename,
+            shard=record.shard,
+            declared_count=record.count,
+        )
+        verification.segments.append(entry)
+        path = root / record.filename
+        if not path.exists():
+            entry.exists = False
+            continue
+        try:
+            scan = scan_database(path)
+        except (OSError, SerializationError) as error:
+            entry.error = str(error)
+            continue
+        entry.readable_count = len(scan.database)
+        entry.corrupt = list(scan.corrupt)
+        if not scan.footer_ok and not entry.corrupt:
+            entry.error = "footer digest mismatch"
+        verification.total_records += record.count
+        verification.corrupt_records += len(scan.corrupt)
+
+    # Global sequence coverage.  Two invariants: live segments must not
+    # overlap each other (double assignment), and live + quarantined
+    # spans together must cover [0, next_sequence) without a hole (a
+    # hole means fingerprints vanished without a quarantine record).  A
+    # quarantined span overlapping a live one is expected — that is
+    # what a salvage replacement looks like.
+    live_spans = sorted(
+        (record.start_sequence, record.start_sequence + record.original_count)
+        for record in segments
+    )
+    cursor = 0
+    for start, stop in live_spans:
+        if start < cursor:
+            verification.sequence_gaps.append((start, cursor))
+        cursor = max(cursor, stop)
+    all_spans = sorted(
+        live_spans
+        + [
+            (
+                entry.record.start_sequence,
+                entry.record.start_sequence + entry.record.original_count,
+            )
+            for entry in quarantined
+        ]
+    )
+    cursor = 0
+    for start, stop in all_spans:
+        if start > cursor:
+            verification.sequence_gaps.append((cursor, start))
+        cursor = max(cursor, stop)
+    if cursor < next_sequence:
+        verification.sequence_gaps.append((cursor, next_sequence))
+    elif cursor > next_sequence:
+        verification.sequence_gaps.append((next_sequence, cursor))
+
+    referenced = {record.filename for record in segments}
+    for candidate in sorted(root.glob("shard-*/*.pcfp")):
+        relative = candidate.relative_to(root).as_posix()
+        if relative not in referenced:
+            verification.orphan_files.append(relative)
+
+    shards = {entry.record.shard for entry in quarantined}
+    shards.update(record.shard for record in segments if record.omitted)
+    verification.degraded_shards = sorted(shards)
+    return verification
+
+
+@dataclass
+class RepairReport:
+    """What :func:`repair_store` changed."""
+
+    recovery: RecoveryReport = field(default_factory=RecoveryReport)
+    quarantined: List[Tuple[str, str]] = field(default_factory=list)
+    records_salvaged: int = 0
+    records_lost: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing needed fixing."""
+        return (
+            self.recovery.action == "none"
+            and not self.recovery.orphans_removed
+            and not self.quarantined
+        )
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON-serializable summary."""
+        return {
+            "clean": self.clean,
+            "recovery_action": self.recovery.action,
+            "orphans_removed": list(self.recovery.orphans_removed),
+            "quarantined": [
+                {"filename": filename, "reason": reason}
+                for filename, reason in self.quarantined
+            ],
+            "records_salvaged": self.records_salvaged,
+            "records_lost": self.records_lost,
+        }
+
+
+def _salvaged_filename(filename: str) -> str:
+    stem = filename[: -len(".pcfp")] if filename.endswith(".pcfp") else filename
+    return f"{stem}-salvaged.pcfp"
+
+
+def repair_store(store: ShardedFingerprintStore) -> RepairReport:
+    """Self-heal a store: resolve the journal, quarantine corruption.
+
+    Idempotent, and a strict no-op on a healthy store: segments that
+    verify clean are left byte-identical and the manifest is not
+    rewritten.  Damaged segments have every record that still passes
+    its checksum salvaged into a fresh v2 segment (original offsets
+    recorded so sequence numbers survive); records that do not are
+    counted lost, and the damaged file is moved to ``quarantine/``.
+    """
+    recovery = store.recover()
+    # If this pass found nothing but opening the store had already
+    # resolved a crashed ingest, report that recovery instead of "none".
+    prior = store.take_recovery_report()
+    report = RepairReport(recovery=prior if prior is not None else recovery)
+    metrics = store.metrics
+    for record in store.segments:
+        path = store.root / record.filename
+        if not path.exists():
+            store.quarantine_segment(record, "segment file missing")
+            report.quarantined.append((record.filename, "segment file missing"))
+            report.records_lost += record.count
+            metrics.count("reliability.records_lost", record.count)
+            continue
+        try:
+            scan = scan_database(path)
+        except (OSError, SerializationError) as error:
+            # Header-level damage: nothing salvageable.
+            reason = f"unreadable segment: {error}"
+            store.quarantine_segment(record, reason)
+            report.quarantined.append((record.filename, reason))
+            report.records_lost += record.count
+            metrics.count("reliability.records_lost", record.count)
+            continue
+        readable = len(scan.database)
+        damaged = (
+            bool(scan.corrupt)
+            or not scan.footer_ok
+            or readable != record.count
+        )
+        if not damaged:
+            continue
+        metrics.count("reliability.corrupt_records", len(scan.corrupt))
+        # Map surviving file positions back to *original* ingest
+        # offsets (the file may itself be a prior salvage).
+        original_offsets = record.offsets()
+        survivors = [original_offsets[j] for j in scan.offsets if j < len(original_offsets)]
+        reason = (
+            f"{len(scan.corrupt)} corrupt of {record.count} records"
+            if scan.corrupt
+            else "segment failed verification"
+        )
+        if not survivors:
+            store.quarantine_segment(record, reason)
+            report.quarantined.append((record.filename, reason))
+            report.records_lost += record.count
+            metrics.count("reliability.records_lost", record.count)
+            continue
+        omitted = tuple(
+            sorted(set(range(record.original_count)) - set(survivors))
+        )
+        replacement = SegmentRecord(
+            shard=record.shard,
+            filename=_salvaged_filename(record.filename),
+            count=len(survivors),
+            start_sequence=record.start_sequence,
+            omitted=omitted,
+        )
+        buffer = io.BytesIO()
+        dump_database(scan.database, buffer)
+        store.quarantine_segment(
+            record, reason, replacement=(replacement, buffer.getvalue())
+        )
+        report.quarantined.append((record.filename, reason))
+        report.records_salvaged += len(survivors)
+        report.records_lost += record.count - len(survivors)
+        metrics.count("reliability.records_salvaged", len(survivors))
+        lost = record.count - len(survivors)
+        if lost:
+            metrics.count("reliability.records_lost", lost)
+    return report

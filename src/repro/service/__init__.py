@@ -14,33 +14,48 @@ that makes them answer at that scale:
   answers Algorithm-2 queries through a MinHash/LSH candidate filter
   plus exact re-verification instead of a linear scan;
 * :mod:`repro.service.store` — a persistent, sharded, append-only
-  fingerprint store layered on :mod:`repro.core.serialize`, loading
-  lazily per shard;
+  fingerprint store layered on :mod:`repro.core.serialize`: journaled
+  crash-safe ingest, idempotent recovery, checksummed v2 segments,
+  quarantine bookkeeping, lazy per-shard loading;
 * :mod:`repro.service.batch` — a batch query engine that fans shards
-  out over a worker pool and routes unmatched residuals to the online
-  clusterer.
+  out over a worker pool (with retry, backoff and per-shard timeouts,
+  degrading instead of failing when shards are unreadable) and routes
+  unmatched residuals to the online clusterer.
 
-The CLI front end is ``python -m repro serve-batch``.
+Fault injection and offline verify/repair live in
+:mod:`repro.reliability`.  The CLI front ends are ``python -m repro
+serve-batch`` / ``verify-store`` / ``repair``.
 """
 
 from repro.service.batch import (
     BatchQuery,
     BatchReport,
     BatchIdentificationService,
+    DegradedShard,
     QueryResult,
 )
 from repro.service.indexed import IndexedFingerprintDatabase, IndexParams
 from repro.service.metrics import LatencyHistogram, ServiceMetrics
-from repro.service.store import ShardedFingerprintStore, StoreError
+from repro.service.store import (
+    QuarantinedSegment,
+    RecoveryReport,
+    SegmentRecord,
+    ShardedFingerprintStore,
+    StoreError,
+)
 
 __all__ = [
     "BatchQuery",
     "BatchReport",
     "BatchIdentificationService",
+    "DegradedShard",
     "QueryResult",
     "IndexedFingerprintDatabase",
     "IndexParams",
     "LatencyHistogram",
+    "QuarantinedSegment",
+    "RecoveryReport",
+    "SegmentRecord",
     "ServiceMetrics",
     "ShardedFingerprintStore",
     "StoreError",

@@ -9,7 +9,7 @@ the full paper loop over them:
 1. error strings are computed **vectorized** (one stacked-XOR numpy
    pass via :func:`repro.core.errors.mark_errors_batch`) for all pair
    queries;
-2. every store shard scans the whole batch in a
+2. every store shard loads and scans the whole batch in a
    :class:`concurrent.futures.ThreadPoolExecutor` worker pool, each
    producing its earliest below-threshold match per query;
 3. per-query shard answers are merged by **global sequence number**,
@@ -20,14 +20,26 @@ the full paper loop over them:
    eavesdropper's "open a new suspect" step — and reported with their
    suspect ids.
 
+The shard fan-out **degrades instead of failing**: a shard whose
+segments will not load (corruption, transient IO errors) is retried
+with exponential backoff, bounded by an optional per-shard timeout,
+and on persistent failure the batch still answers from every healthy
+shard — results are tagged ``degraded`` and the report names the
+unreadable shards with the key ranges they own, so a caller knows
+exactly which fingerprints could not have been consulted.  Shards the
+manifest already marks as quarantined/salvaged are reported the same
+way.
+
 Every stage is timed into the shared
-:class:`~repro.service.metrics.ServiceMetrics`.
+:class:`~repro.service.metrics.ServiceMetrics`; retries, shard
+failures, timeouts and degraded queries are counted there too.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.bits import BitVector
@@ -77,6 +89,29 @@ class BatchQuery:
 
 
 @dataclass(frozen=True)
+class DegradedShard:
+    """One shard the batch could not (fully) consult.
+
+    ``key_range`` is the ``(low_exclusive, high_inclusive)`` slice of
+    key space the shard owns (``None`` = open end): any stored
+    fingerprint whose key falls in it may have been skipped, so a
+    no-match answer for such a key is advisory, not authoritative.
+    """
+
+    shard: int
+    key_range: Tuple[Optional[str], Optional[str]]
+    reason: str
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON rendering for reports."""
+        return {
+            "shard": self.shard,
+            "key_range": list(self.key_range),
+            "reason": self.reason,
+        }
+
+
+@dataclass(frozen=True)
 class QueryResult:
     """Outcome of one batch query.
 
@@ -84,12 +119,16 @@ class QueryResult:
     ``suspect_key`` names the online cluster the residual was routed to
     (None when residual routing is disabled) and ``new_suspect`` tells
     whether that cluster was freshly opened by this query.
+    ``degraded`` is set when any store shard was unreadable or known
+    incomplete while this batch ran — the decision stands, but a miss
+    might have matched inside the degraded key ranges.
     """
 
     query_id: str
     identification: Identification
     suspect_key: Optional[str] = None
     new_suspect: bool = False
+    degraded: bool = False
 
     @property
     def matched(self) -> bool:
@@ -103,6 +142,7 @@ class BatchReport:
 
     results: List[QueryResult]
     stats: Dict[str, object]
+    degraded_shards: List[DegradedShard] = field(default_factory=list)
 
     @property
     def matched_count(self) -> int:
@@ -114,11 +154,20 @@ class BatchReport:
         """Queries that fell through to residual handling."""
         return len(self.results) - self.matched_count
 
+    @property
+    def degraded(self) -> bool:
+        """True when any shard was unreadable or incomplete."""
+        return bool(self.degraded_shards)
+
     def to_json(self) -> Dict[str, object]:
         """JSON-serializable report (CLI and benchmark output)."""
         return {
             "matched": self.matched_count,
             "unmatched": self.unmatched_count,
+            "degraded": self.degraded,
+            "degraded_shards": [
+                entry.to_json() for entry in self.degraded_shards
+            ],
             "results": [
                 {
                     "query_id": result.query_id,
@@ -127,6 +176,7 @@ class BatchReport:
                     "distance": result.identification.distance,
                     "suspect_key": result.suspect_key,
                     "new_suspect": result.new_suspect,
+                    "degraded": result.degraded,
                 }
                 for result in self.results
             ],
@@ -151,6 +201,14 @@ class BatchIdentificationService:
     cluster_residuals:
         When True (default) unmatched queries feed an Algorithm 4
         online clusterer and their results carry suspect ids.
+    shard_retries:
+        How many times a failing shard load/scan is retried (with
+        exponential backoff) before the shard is declared degraded.
+    retry_backoff_s:
+        Base of the exponential backoff between shard retries.
+    shard_timeout_s:
+        Wall-clock budget to wait for any one shard's answer; a shard
+        exceeding it is declared degraded (None = wait forever).
     metrics:
         Instrumentation sink; defaults to the backend's own.
     """
@@ -162,15 +220,27 @@ class BatchIdentificationService:
         max_workers: Optional[int] = None,
         cluster_residuals: bool = True,
         suspect_prefix: str = "suspect",
+        shard_retries: int = 2,
+        retry_backoff_s: float = 0.05,
+        shard_timeout_s: Optional[float] = None,
         metrics: Optional[ServiceMetrics] = None,
     ) -> None:
         if not 0.0 < threshold <= 1.0:
             raise ValueError(f"threshold must be in (0, 1], got {threshold}")
+        if shard_retries < 0:
+            raise ValueError(f"shard_retries must be >= 0, got {shard_retries}")
+        if retry_backoff_s < 0.0:
+            raise ValueError(
+                f"retry_backoff_s must be >= 0, got {retry_backoff_s}"
+            )
         self._backend = backend
         self._threshold = threshold
         self._max_workers = max_workers
         self._metrics = metrics if metrics is not None else backend.metrics
         self._suspect_prefix = suspect_prefix
+        self._shard_retries = shard_retries
+        self._retry_backoff_s = retry_backoff_s
+        self._shard_timeout_s = shard_timeout_s
         self._clusterer: Optional[OnlineClusterer] = (
             OnlineClusterer(threshold=threshold) if cluster_residuals else None
         )
@@ -195,19 +265,30 @@ class BatchIdentificationService:
     # ------------------------------------------------------------------
 
     def run(self, queries: Sequence[BatchQuery]) -> BatchReport:
-        """Identify a whole batch; returns results in query order."""
+        """Identify a whole batch; returns results in query order.
+
+        Never raises on shard damage: every healthy shard still
+        answers, and the report's ``degraded_shards`` names what could
+        not be consulted.
+        """
         self._metrics.count("batch.batches")
         self._metrics.count("batch.queries", len(queries))
         with self._metrics.time("batch.total"):
             with self._metrics.time("batch.mark_errors"):
                 error_strings = self._error_strings(queries)
             with self._metrics.time("batch.identify"):
-                identifications = self._identify_all(error_strings)
+                identifications, degraded = self._identify_all(error_strings)
             with self._metrics.time("batch.residuals"):
                 results = self._route_residuals(
-                    queries, error_strings, identifications
+                    queries, error_strings, identifications, bool(degraded)
                 )
-        return BatchReport(results=results, stats=self._metrics.stats())
+        if degraded:
+            self._metrics.count("batch.degraded_queries", len(queries))
+        return BatchReport(
+            results=results,
+            stats=self._metrics.stats(),
+            degraded_shards=degraded,
+        )
 
     def _error_strings(self, queries: Sequence[BatchQuery]) -> List[BitVector]:
         prebuilt: List[Optional[BitVector]] = []
@@ -231,36 +312,82 @@ class BatchIdentificationService:
 
     def _identify_all(
         self, error_strings: Sequence[BitVector]
-    ) -> List[Identification]:
+    ) -> Tuple[List[Identification], List[DegradedShard]]:
         if isinstance(self._backend, ShardedFingerprintStore):
             return self._identify_sharded(self._backend, error_strings)
         database = self._backend
         return [
             database.identify_error_string(error_string, self._threshold)
             for error_string in error_strings
-        ]
+        ], []
 
     def _identify_sharded(
         self,
         store: ShardedFingerprintStore,
         error_strings: Sequence[BitVector],
-    ) -> List[Identification]:
+    ) -> Tuple[List[Identification], List[DegradedShard]]:
+        degraded: List[DegradedShard] = []
+        # Shards the manifest already knows to be incomplete: they still
+        # serve what survived, but their answers are advisory.
+        for shard in store.degraded_shards():
+            degraded.append(
+                DegradedShard(
+                    shard=shard,
+                    key_range=store.shard_key_range(shard),
+                    reason="quarantined segments: stored fingerprints lost",
+                )
+            )
         shards = [
             shard
             for shard in range(store.n_shards)
             if any(segment.shard == shard for segment in store.segments)
         ]
         if not shards:
-            return [Identification.failed() for _ in error_strings]
-        replicas = [store.load_shard(shard) for shard in shards]
-        with concurrent.futures.ThreadPoolExecutor(
+            return [Identification.failed() for _ in error_strings], degraded
+        pool = concurrent.futures.ThreadPoolExecutor(
             max_workers=self._max_workers
-        ) as pool:
-            futures = [
-                pool.submit(self._scan_shard, replica, error_strings)
-                for replica in replicas
-            ]
-            per_shard = [future.result() for future in futures]
+        )
+        try:
+            futures = {
+                shard: pool.submit(
+                    self._load_and_scan, store, shard, error_strings
+                )
+                for shard in shards
+            }
+            per_shard: List[List[Optional[Tuple[int, Identification]]]] = []
+            deadline = (
+                time.monotonic() + self._shard_timeout_s
+                if self._shard_timeout_s is not None
+                else None
+            )
+            for shard, future in futures.items():
+                remaining: Optional[float] = None
+                if deadline is not None:
+                    remaining = max(0.0, deadline - time.monotonic())
+                try:
+                    per_shard.append(future.result(timeout=remaining))
+                except concurrent.futures.TimeoutError:
+                    self._metrics.count("batch.shard_timeouts")
+                    degraded.append(
+                        DegradedShard(
+                            shard=shard,
+                            key_range=store.shard_key_range(shard),
+                            reason=(
+                                f"timed out after {self._shard_timeout_s}s"
+                            ),
+                        )
+                    )
+                except Exception as error:  # noqa: BLE001 - degrade, never fail
+                    self._metrics.count("batch.shard_failures")
+                    degraded.append(
+                        DegradedShard(
+                            shard=shard,
+                            key_range=store.shard_key_range(shard),
+                            reason=f"unreadable after retries: {error}",
+                        )
+                    )
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
         # Merge: per query, the match with the smallest global sequence.
         merged: List[Identification] = []
         for position in range(len(error_strings)):
@@ -272,7 +399,34 @@ class BatchIdentificationService:
                 if best is None or answer[0] < best[0]:
                     best = answer
             merged.append(best[1] if best is not None else Identification.failed())
-        return merged
+        return merged, degraded
+
+    def _load_and_scan(
+        self,
+        store: ShardedFingerprintStore,
+        shard: int,
+        error_strings: Sequence[BitVector],
+    ) -> List[Optional[Tuple[int, Identification]]]:
+        """Load one shard and scan the batch, retrying with backoff.
+
+        Transient IO errors heal across retries; persistent damage
+        exhausts the retry budget and propagates for the caller to
+        translate into a :class:`DegradedShard`.
+        """
+        attempts = self._shard_retries + 1
+        for attempt in range(attempts):
+            try:
+                replica = store.load_shard(shard)
+                return self._scan_shard(replica, error_strings)
+            except Exception:
+                # Drop any half-built replica so the retry reloads.
+                store.evict(shard)
+                if attempt + 1 == attempts:
+                    raise
+                self._metrics.count("batch.shard_retries")
+                if self._retry_backoff_s:
+                    time.sleep(self._retry_backoff_s * (2 ** attempt))
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def _scan_shard(
         self,
@@ -297,6 +451,7 @@ class BatchIdentificationService:
         queries: Sequence[BatchQuery],
         error_strings: Sequence[BitVector],
         identifications: Sequence[Identification],
+        degraded: bool = False,
     ) -> List[QueryResult]:
         results: List[QueryResult] = []
         for query, error_string, identification in zip(
@@ -305,7 +460,9 @@ class BatchIdentificationService:
             if identification.matched or self._clusterer is None:
                 results.append(
                     QueryResult(
-                        query_id=query.query_id, identification=identification
+                        query_id=query.query_id,
+                        identification=identification,
+                        degraded=degraded,
                     )
                 )
                 continue
@@ -318,6 +475,7 @@ class BatchIdentificationService:
                     identification=identification,
                     suspect_key=f"{self._suspect_prefix}-{cluster_index}",
                     new_suspect=len(self._clusterer) > before,
+                    degraded=degraded,
                 )
             )
         return results

@@ -146,6 +146,21 @@ class ServiceMetrics:
         with self._lock:
             return self._counters.get(name, 0)
 
+    def counters_with_prefix(self, prefix: str) -> Dict[str, int]:
+        """Snapshot of every counter whose name starts with ``prefix``.
+
+        The reliability surface groups its counters under
+        ``reliability.``, ``store.recovery`` and ``batch.shard`` /
+        ``batch.degraded`` prefixes; the CLI uses this to print one
+        coherent health block without knowing each name.
+        """
+        with self._lock:
+            return {
+                name: value
+                for name, value in self._counters.items()
+                if name.startswith(prefix)
+            }
+
     def observe(self, stage: str, seconds: float) -> None:
         """Record one latency sample for ``stage``."""
         with self._lock:

@@ -9,10 +9,12 @@ storage engines:
 
 * fingerprints live in **append-only segment files**, each an ordinary
   :func:`repro.core.serialize.dump_database` stream — one new segment
-  per ingested batch per shard, never rewritten in place;
+  per ingested batch per shard, never rewritten in place, written in
+  the checksummed v2 frame format (legacy v1 segments stay readable);
 * a JSON **manifest** records the schema version, the shard split
   keys, every segment (shard, file, entry count, starting global
-  sequence number) and the next sequence to assign;
+  sequence number), any quarantined segments, and the next sequence to
+  assign;
 * entries are **key-range sharded**: the first ingested batch picks
   balanced lexicographic split keys, and every later key routes to the
   shard owning its range, so point lookups and ingests touch one
@@ -24,27 +26,47 @@ across shards: per-shard answers carry the sequence of their match and
 the merge step takes the minimum — identical to a linear scan over one
 big database in ingest order.
 
+Ingest is **crash-safe**: a write-ahead journal naming the planned
+segments is made durable before any segment byte lands, every file is
+fsynced before the manifest swap publishes it, the swap itself is an
+fsync + atomic ``os.replace`` + directory fsync, and the journal is
+only then retired.  :meth:`ShardedFingerprintStore.recover` (run
+automatically on open) resolves any crash point by rolling the journal
+forward (all planned segments verified on disk) or back (planned files
+deleted) — never a hybrid, and never touching previously committed
+segments.  All filesystem traffic goes through a
+:class:`repro.reliability.faults.StorageIO` seam so the chaos tests
+can enumerate crash points deterministically.
+
 Shards load lazily into :class:`IndexedFingerprintDatabase` replicas
 and are cached; :class:`~repro.service.metrics.ServiceMetrics` counts
-loads and cache hits.
+loads, cache hits, recoveries and quarantines.
 """
 
 from __future__ import annotations
 
 import bisect
+import io
 import json
-from dataclasses import dataclass
+import re
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.fingerprint import Fingerprint
 from repro.core.identify import FingerprintDatabase
 from repro.core.serialize import dump_database, load_database
+from repro.reliability.faults import StorageIO
 from repro.service.indexed import IndexedFingerprintDatabase, IndexParams
 from repro.service.metrics import ServiceMetrics
 
 _MANIFEST_NAME = "manifest.json"
-_STORE_VERSION = 1
+_MANIFEST_TMP_NAME = "manifest.json.tmp"
+_JOURNAL_NAME = "ingest-journal.json"
+_QUARANTINE_DIR = "quarantine"
+_STORE_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
+_SEGMENT_ID_PATTERN = re.compile(r"segment-(\d+)")
 
 
 class StoreError(ValueError):
@@ -53,21 +75,47 @@ class StoreError(ValueError):
 
 @dataclass(frozen=True)
 class SegmentRecord:
-    """One append-only segment file as recorded in the manifest."""
+    """One append-only segment file as recorded in the manifest.
+
+    ``omitted`` lists the original record offsets a repair dropped from
+    a salvaged segment: the k-th surviving record's global sequence is
+    ``start_sequence +`` its *original* offset, so sequence numbers —
+    and therefore Algorithm 2 priority — survive salvage intact.
+    """
 
     shard: int
     filename: str
     count: int
     start_sequence: int
+    omitted: Tuple[int, ...] = ()
+
+    @property
+    def original_count(self) -> int:
+        """Record count before any salvage dropped corrupt records."""
+        return self.count + len(self.omitted)
+
+    def offsets(self) -> List[int]:
+        """Original offsets of the surviving records, in stored order."""
+        if not self.omitted:
+            return list(range(self.count))
+        dropped = set(self.omitted)
+        return [
+            offset
+            for offset in range(self.original_count)
+            if offset not in dropped
+        ]
 
     def to_json(self) -> Dict[str, object]:
         """Manifest representation of this segment."""
-        return {
+        payload: Dict[str, object] = {
             "shard": self.shard,
             "filename": self.filename,
             "count": self.count,
             "start_sequence": self.start_sequence,
         }
+        if self.omitted:
+            payload["omitted"] = list(self.omitted)
+        return payload
 
     @classmethod
     def from_json(cls, payload: Dict[str, object]) -> "SegmentRecord":
@@ -77,7 +125,38 @@ class SegmentRecord:
             filename=str(payload["filename"]),
             count=int(payload["count"]),
             start_sequence=int(payload["start_sequence"]),
+            omitted=tuple(int(o) for o in payload.get("omitted", ())),
         )
+
+
+@dataclass(frozen=True)
+class QuarantinedSegment:
+    """A segment pulled from serving because its content is damaged."""
+
+    record: SegmentRecord
+    reason: str
+
+    def to_json(self) -> Dict[str, object]:
+        """Manifest representation."""
+        return {"record": self.record.to_json(), "reason": self.reason}
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, object]) -> "QuarantinedSegment":
+        """Inverse of :meth:`to_json`."""
+        return cls(
+            record=SegmentRecord.from_json(payload["record"]),
+            reason=str(payload["reason"]),
+        )
+
+
+@dataclass
+class RecoveryReport:
+    """What :meth:`ShardedFingerprintStore.recover` did."""
+
+    action: str = "none"  # none | committed | rolled_forward | rolled_back
+    journal_found: bool = False
+    orphans_removed: List[str] = field(default_factory=list)
+    detail: str = ""
 
 
 @dataclass
@@ -94,13 +173,13 @@ class LoadedShard:
 
 
 class ShardedFingerprintStore:
-    """Durable fingerprint store: manifest + shards + segments.
+    """Durable fingerprint store: manifest + journal + shards + segments.
 
     Open an existing store (or create an empty one) by constructing
     with its directory path; ingest batches with :meth:`ingest`; get a
-    queryable shard replica with :meth:`load_shard`.  All mutation is
-    append-plus-manifest-rewrite, so a crash between the two leaves at
-    worst an orphaned segment file the manifest never references.
+    queryable shard replica with :meth:`load_shard`.  A pending ingest
+    journal found at open is resolved by :meth:`recover` before the
+    store serves anything.
     """
 
     def __init__(
@@ -109,14 +188,21 @@ class ShardedFingerprintStore:
         n_shards: int = 8,
         index_params: IndexParams = IndexParams(),
         metrics: Optional[ServiceMetrics] = None,
+        storage_io: Optional[StorageIO] = None,
     ) -> None:
         self._root = Path(root)
         self._index_params = index_params
         self._metrics = metrics if metrics is not None else ServiceMetrics()
+        self._io = storage_io if storage_io is not None else StorageIO()
         self._cache: Dict[int, LoadedShard] = {}
+        self._quarantined: List[QuarantinedSegment] = []
+        self._needs_recovery = False
+        self._last_recovery: Optional[RecoveryReport] = None
         manifest_path = self._root / _MANIFEST_NAME
         if manifest_path.exists():
-            self._load_manifest(manifest_path)
+            self._apply_manifest(self._read_manifest(manifest_path))
+            if self.journal_path.exists():
+                self.recover()
         else:
             if n_shards < 1:
                 raise StoreError(f"n_shards must be >= 1, got {n_shards}")
@@ -131,34 +217,53 @@ class ShardedFingerprintStore:
     # Manifest handling
     # ------------------------------------------------------------------
 
-    def _load_manifest(self, path: Path) -> None:
+    def _read_manifest(self, path: Path) -> Dict[str, object]:
         try:
-            payload = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError) as error:
+            payload = json.loads(self._io.read_bytes(path).decode("utf-8"))
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError) as error:
             raise StoreError(f"unreadable manifest at {path}: {error}") from error
-        if payload.get("version") != _STORE_VERSION:
+        if payload.get("version") not in _SUPPORTED_VERSIONS:
             raise StoreError(
                 f"unsupported store version {payload.get('version')!r}"
             )
+        return payload
+
+    def _apply_manifest(self, payload: Dict[str, object]) -> None:
         self._n_shards = int(payload["n_shards"])
         self._boundaries = [str(boundary) for boundary in payload["boundaries"]]
         self._segments = [
             SegmentRecord.from_json(record) for record in payload["segments"]
         ]
         self._next_sequence = int(payload["next_sequence"])
+        self._quarantined = [
+            QuarantinedSegment.from_json(record)
+            for record in payload.get("quarantined", [])
+        ]
 
-    def _write_manifest(self) -> None:
-        payload = {
+    def _manifest_payload(self) -> Dict[str, object]:
+        return {
             "version": _STORE_VERSION,
             "n_shards": self._n_shards,
             "boundaries": self._boundaries,
             "segments": [segment.to_json() for segment in self._segments],
+            "quarantined": [entry.to_json() for entry in self._quarantined],
             "next_sequence": self._next_sequence,
         }
+
+    def _write_manifest(self) -> None:
+        """Durably publish the in-memory manifest state.
+
+        fsync the temporary before the atomic replace (so a power cut
+        can never publish a manifest whose bytes are not on disk) and
+        fsync the directory after it (so the rename itself survives).
+        """
+        payload = self._manifest_payload()
         path = self._root / _MANIFEST_NAME
-        tmp = path.with_suffix(".json.tmp")
-        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-        tmp.replace(path)
+        tmp = self._root / _MANIFEST_TMP_NAME
+        data = (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode("utf-8")
+        self._io.write_bytes(tmp, data, sync=True)
+        self._io.replace(tmp, path)
+        self._io.fsync_dir(self._root)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -168,6 +273,16 @@ class ShardedFingerprintStore:
     def root(self) -> Path:
         """Store directory."""
         return self._root
+
+    @property
+    def journal_path(self) -> Path:
+        """Location of the write-ahead ingest journal."""
+        return self._root / _JOURNAL_NAME
+
+    @property
+    def quarantine_dir(self) -> Path:
+        """Directory quarantined segment files are moved into."""
+        return self._root / _QUARANTINE_DIR
 
     @property
     def n_shards(self) -> int:
@@ -181,8 +296,13 @@ class ShardedFingerprintStore:
 
     @property
     def segments(self) -> List[SegmentRecord]:
-        """Every segment in manifest (= ingest) order."""
+        """Every live segment in manifest (= ingest) order."""
         return list(self._segments)
+
+    @property
+    def quarantined(self) -> List[QuarantinedSegment]:
+        """Segments pulled from serving by :meth:`quarantine_segment`."""
+        return list(self._quarantined)
 
     def __len__(self) -> int:
         return sum(segment.count for segment in self._segments)
@@ -191,6 +311,11 @@ class ShardedFingerprintStore:
     def metrics(self) -> ServiceMetrics:
         """Shared instrumentation sink."""
         return self._metrics
+
+    @property
+    def storage_io(self) -> StorageIO:
+        """The IO seam all durable operations go through."""
+        return self._io
 
     def shard_for_key(self, key: str) -> int:
         """Shard owning ``key``'s range (0 before boundaries exist).
@@ -202,9 +327,66 @@ class ShardedFingerprintStore:
             return 0
         return bisect.bisect_left(self._boundaries, key)
 
+    def shard_key_range(self, shard: int) -> Tuple[Optional[str], Optional[str]]:
+        """Key range ``(low_exclusive, high_inclusive)`` a shard owns.
+
+        ``None`` marks an open end; with no boundaries fixed yet, shard
+        0 owns everything.
+        """
+        if not 0 <= shard < self._n_shards:
+            raise StoreError(
+                f"shard {shard} out of range for {self._n_shards} shards"
+            )
+        if not self._boundaries:
+            return (None, None)
+        low = self._boundaries[shard - 1] if shard > 0 else None
+        high = (
+            self._boundaries[shard]
+            if shard < len(self._boundaries)
+            else None
+        )
+        return (low, high)
+
+    def degraded_shards(self) -> List[int]:
+        """Shards known to be missing data (quarantined or salvaged).
+
+        Answers from these shards may be incomplete: a fingerprint
+        ingested into them might have been lost to corruption, so a
+        query that should match it will fall through.
+        """
+        shards = {entry.record.shard for entry in self._quarantined}
+        shards.update(
+            segment.shard for segment in self._segments if segment.omitted
+        )
+        return sorted(shards)
+
     # ------------------------------------------------------------------
     # Ingest
     # ------------------------------------------------------------------
+
+    def _check_serviceable(self) -> None:
+        if self._needs_recovery:
+            raise StoreError(
+                "a crashed ingest left this store handle inconsistent; "
+                "call recover() or reopen the store"
+            )
+
+    def _next_segment_id(self, shard: int) -> int:
+        """Next unused segment number for a shard.
+
+        Derived from filenames across live *and* quarantined segments,
+        so a quarantine never frees a number for reuse (reuse would let
+        a new segment collide with a file sitting in quarantine's
+        history).
+        """
+        used = [-1]
+        for record in self._segments + [q.record for q in self._quarantined]:
+            if record.shard != shard:
+                continue
+            match = _SEGMENT_ID_PATTERN.search(record.filename)
+            if match:
+                used.append(int(match.group(1)))
+        return max(used) + 1
 
     def ingest(
         self,
@@ -218,7 +400,13 @@ class ShardedFingerprintStore:
         first non-empty ingest of a fresh store also fixes the shard
         boundaries from the batch's sorted keys.  Keys already present
         in the store (or repeated within the batch) are rejected.
+
+        The write protocol — journal, then segments, then the manifest
+        swap, then journal retirement, every step durable — means a
+        crash at any point either commits the whole batch or none of
+        it; previously committed fingerprints are never at risk.
         """
+        self._check_serviceable()
         if isinstance(entries, FingerprintDatabase):
             batch = list(entries.items())
         else:
@@ -235,44 +423,273 @@ class ShardedFingerprintStore:
                 f"keys already stored: {sorted(clashes)[:5]}"
                 f"{'...' if len(clashes) > 5 else ''}"
             )
-        if not self._boundaries and self._n_shards > 1:
-            self._boundaries = _balanced_boundaries(keys, self._n_shards)
+        new_boundaries = list(self._boundaries)
+        if not new_boundaries and self._n_shards > 1:
+            new_boundaries = _balanced_boundaries(keys, self._n_shards)
+
+        def route(key: str) -> int:
+            if not new_boundaries:
+                return 0
+            return bisect.bisect_left(new_boundaries, key)
 
         per_shard: Dict[int, List[Tuple[int, str, Fingerprint]]] = {}
         for offset, (key, fingerprint) in enumerate(batch):
             sequence = self._next_sequence + offset
-            per_shard.setdefault(self.shard_for_key(key), []).append(
+            per_shard.setdefault(route(key), []).append(
                 (sequence, key, fingerprint)
             )
 
-        created: List[SegmentRecord] = []
+        planned: List[Tuple[SegmentRecord, bytes]] = []
         for shard in sorted(per_shard):
             rows = per_shard[shard]
-            shard_dir = self._root / f"shard-{shard:03d}"
-            shard_dir.mkdir(parents=True, exist_ok=True)
-            segment_id = sum(1 for s in self._segments if s.shard == shard)
+            segment_id = self._next_segment_id(shard)
             filename = f"shard-{shard:03d}/segment-{segment_id:06d}.pcfp"
             segment_db = FingerprintDatabase()
             for _sequence, key, fingerprint in rows:
                 segment_db.add(key, fingerprint)
-            dump_database(segment_db, self._root / filename)
-            record = SegmentRecord(
-                shard=shard,
-                filename=filename,
-                count=len(rows),
-                start_sequence=rows[0][0],
+            buffer = io.BytesIO()
+            dump_database(segment_db, buffer)
+            planned.append(
+                (
+                    SegmentRecord(
+                        shard=shard,
+                        filename=filename,
+                        count=len(rows),
+                        start_sequence=rows[0][0],
+                    ),
+                    buffer.getvalue(),
+                )
             )
-            self._segments.append(record)
-            created.append(record)
-            # Keep a warm cache coherent instead of dropping it.
-            cached = self._cache.get(shard)
-            if cached is not None:
-                for sequence, key, fingerprint in rows:
-                    cached.database.add(key, fingerprint)
-                    cached.sequences[key] = sequence
+
+        try:
+            self._commit_ingest(planned, new_boundaries, len(batch))
+        except OSError:
+            # Disk state is now at an unknown point of the protocol;
+            # refuse further mutation from this handle until recovery.
+            self._needs_recovery = True
+            raise
+
+        created = [record for record, _data in planned]
+        self._segments.extend(created)
+        self._boundaries = new_boundaries
         self._next_sequence += len(batch)
-        self._write_manifest()
+        for record, _data in planned:
+            cached = self._cache.get(record.shard)
+            if cached is None:
+                continue
+            # Keep a warm cache coherent instead of dropping it.
+            for sequence, key, fingerprint in per_shard[record.shard]:
+                cached.database.add(key, fingerprint)
+                cached.sequences[key] = sequence
         return created
+
+    def _commit_ingest(
+        self,
+        planned: List[Tuple[SegmentRecord, bytes]],
+        new_boundaries: List[str],
+        batch_size: int,
+    ) -> None:
+        """The durable half of :meth:`ingest` — journal → segments →
+        manifest swap → journal retirement, every step fsynced."""
+        journal = {
+            "version": 1,
+            "next_sequence_before": self._next_sequence,
+            "next_sequence_after": self._next_sequence + batch_size,
+            "boundaries": new_boundaries,
+            "planned": [record.to_json() for record, _data in planned],
+        }
+        journal_data = (json.dumps(journal, indent=2) + "\n").encode("utf-8")
+        self._io.write_bytes(self.journal_path, journal_data, sync=True)
+        self._io.fsync_dir(self._root)
+
+        for record, data in planned:
+            path = self._root / record.filename
+            path.parent.mkdir(parents=True, exist_ok=True)
+            self._io.write_bytes(path, data, sync=True)
+
+        manifest = self._manifest_payload()
+        manifest["segments"] = [
+            segment.to_json() for segment in self._segments
+        ] + [record.to_json() for record, _data in planned]
+        manifest["boundaries"] = new_boundaries
+        manifest["next_sequence"] = self._next_sequence + batch_size
+        data = (json.dumps(manifest, indent=2, sort_keys=True) + "\n").encode("utf-8")
+        tmp = self._root / _MANIFEST_TMP_NAME
+        self._io.write_bytes(tmp, data, sync=True)
+        self._io.replace(tmp, self._root / _MANIFEST_NAME)
+        self._io.fsync_dir(self._root)
+
+        self._io.remove(self.journal_path)
+        self._io.fsync_dir(self._root)
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+
+    def recover(self) -> RecoveryReport:
+        """Resolve any interrupted ingest; idempotent, safe to re-run.
+
+        Re-reads the manifest from disk, then: a journal whose batch
+        already reached the manifest is simply retired ("committed"); a
+        journal whose planned segments all exist and verify is rolled
+        forward (manifest rewritten to include them); anything else is
+        rolled back (planned files deleted).  Finally, segment files
+        referenced by neither the manifest nor quarantine — orphans
+        from a pre-journal crash or a torn rollback — are swept.
+        Committed fingerprints are never touched.
+        """
+        report = RecoveryReport()
+        manifest_path = self._root / _MANIFEST_NAME
+        if manifest_path.exists():
+            self._apply_manifest(self._read_manifest(manifest_path))
+        journal = None
+        if self.journal_path.exists():
+            report.journal_found = True
+            try:
+                journal = json.loads(
+                    self._io.read_bytes(self.journal_path).decode("utf-8")
+                )
+            except (OSError, UnicodeDecodeError, json.JSONDecodeError):
+                journal = None  # torn journal write: nothing was planned yet
+        if journal is not None:
+            planned = [
+                SegmentRecord.from_json(record) for record in journal["planned"]
+            ]
+            if self._next_sequence >= int(journal["next_sequence_after"]):
+                report.action = "committed"
+                report.detail = "manifest swap had already completed"
+            elif all(self._segment_verifies(record) for record in planned):
+                self._segments.extend(planned)
+                self._boundaries = [str(b) for b in journal["boundaries"]]
+                self._next_sequence = int(journal["next_sequence_after"])
+                self._write_manifest()
+                report.action = "rolled_forward"
+                report.detail = (
+                    f"replayed {len(planned)} planned segment(s) into the manifest"
+                )
+                self._metrics.count("store.recovery_rolled_forward")
+            else:
+                for record in planned:
+                    path = self._root / record.filename
+                    if path.exists():
+                        self._io.remove(path)
+                report.action = "rolled_back"
+                report.detail = (
+                    f"dropped {len(planned)} incomplete planned segment(s)"
+                )
+                self._metrics.count("store.recovery_rolled_back")
+        elif report.journal_found:
+            report.action = "rolled_back"
+            report.detail = "journal itself was torn; no segments were planned"
+            self._metrics.count("store.recovery_rolled_back")
+        if report.journal_found:
+            if self.journal_path.exists():
+                self._io.remove(self.journal_path)
+            self._io.fsync_dir(self._root)
+            self._metrics.count("store.recoveries")
+        # Sweep leftovers: a stale manifest temporary and any segment
+        # file no manifest entry references.
+        tmp = self._root / _MANIFEST_TMP_NAME
+        if tmp.exists():
+            self._io.remove(tmp)
+        referenced = {record.filename for record in self._segments}
+        for orphan in sorted(self._root.glob("shard-*/*.pcfp")):
+            relative = orphan.relative_to(self._root).as_posix()
+            if relative not in referenced:
+                self._io.remove(orphan)
+                report.orphans_removed.append(relative)
+        self._cache.clear()
+        self._needs_recovery = False
+        if report.journal_found or report.orphans_removed:
+            # Stash non-trivial outcomes so a later repair pass can
+            # report a recovery that ran implicitly at open time.
+            self._last_recovery = report
+        return report
+
+    def take_recovery_report(self) -> Optional[RecoveryReport]:
+        """Most recent non-trivial recovery, consumed exactly once.
+
+        Opening a store auto-runs :meth:`recover`; this lets
+        :func:`repro.reliability.repair.repair_store` attribute that
+        open-time recovery in its own report instead of losing it.
+        """
+        report, self._last_recovery = self._last_recovery, None
+        return report
+
+    def _segment_verifies(self, record: SegmentRecord) -> bool:
+        """True when a planned segment is fully, validly on disk."""
+        path = self._root / record.filename
+        if not path.exists():
+            return False
+        try:
+            database = self._load_segment(record)
+        except (OSError, ValueError):
+            return False
+        return len(database) == record.count
+
+    # ------------------------------------------------------------------
+    # Quarantine (used by repro.reliability.repair)
+    # ------------------------------------------------------------------
+
+    def _quarantine_destination(self, filename: str) -> Path:
+        self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+        base = filename.replace("/", "__")
+        destination = self.quarantine_dir / base
+        suffix = 0
+        while destination.exists():
+            suffix += 1
+            destination = self.quarantine_dir / f"{base}.{suffix}"
+        return destination
+
+    def quarantine_segment(
+        self,
+        record: SegmentRecord,
+        reason: str,
+        replacement: Optional[Tuple[SegmentRecord, bytes]] = None,
+    ) -> None:
+        """Pull a damaged segment from serving, optionally salvaged.
+
+        The file moves into ``quarantine/`` (it is evidence, not
+        garbage), the manifest entry moves to the quarantined list, and
+        when a salvage replacement is supplied its file is written
+        durably and spliced in at the original manifest position so
+        per-shard ingest order is preserved.
+        """
+        try:
+            position = self._segments.index(record)
+        except ValueError:
+            raise StoreError(
+                f"segment {record.filename} is not in the live manifest"
+            ) from None
+        if replacement is not None:
+            new_record, data = replacement
+            path = self._root / new_record.filename
+            path.parent.mkdir(parents=True, exist_ok=True)
+            self._io.write_bytes(path, data, sync=True)
+        source = self._root / record.filename
+        if source.exists():
+            self._io.replace(source, self._quarantine_destination(record.filename))
+        if replacement is not None:
+            self._segments[position] = replacement[0]
+        else:
+            del self._segments[position]
+        self._quarantined.append(QuarantinedSegment(record=record, reason=reason))
+        self._write_manifest()
+        self._cache.pop(record.shard, None)
+        self._metrics.count("store.segments_quarantined")
+
+    def rewrite_manifest(self) -> None:
+        """Durably re-publish the current in-memory manifest state."""
+        self._write_manifest()
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def _load_segment(self, record: SegmentRecord) -> FingerprintDatabase:
+        """Strictly load one segment through the IO seam."""
+        data = self._io.read_bytes(self._root / record.filename)
+        return load_database(io.BytesIO(data))
 
     def _known_keys(self) -> set:
         known: set = set()
@@ -283,22 +700,20 @@ class ShardedFingerprintStore:
             else:
                 for segment in self._segments:
                     if segment.shard == shard:
-                        database = load_database(self._root / segment.filename)
-                        known.update(database.keys())
+                        known.update(self._load_segment(segment).keys())
         return known
-
-    # ------------------------------------------------------------------
-    # Lazy loading
-    # ------------------------------------------------------------------
 
     def load_shard(self, shard: int) -> LoadedShard:
         """Replica of one shard, reading its segments on first access.
 
-        Entries are inserted in segment order (= ingest order within
+        Entries are inserted in sequence order (= ingest order within
         the shard); the per-key global sequence map supports the
-        cross-shard first-match merge.  Replicas are cached; cache hits
-        and cold loads are counted in the metrics.
+        cross-shard first-match merge.  Salvaged segments map their
+        surviving records back to original offsets, so sequences are
+        stable across repair.  Replicas are cached; cache hits and cold
+        loads are counted in the metrics.
         """
+        self._check_serviceable()
         if not 0 <= shard < self._n_shards:
             raise StoreError(
                 f"shard {shard} out of range for {self._n_shards} shards"
@@ -313,11 +728,21 @@ class ShardedFingerprintStore:
                 params=self._index_params, metrics=self._metrics
             )
             sequences: Dict[str, int] = {}
-            for segment in self._segments:
-                if segment.shard != shard:
-                    continue
-                segment_db = load_database(self._root / segment.filename)
-                for offset, (key, fingerprint) in enumerate(segment_db.items()):
+            shard_segments = sorted(
+                (s for s in self._segments if s.shard == shard),
+                key=lambda record: record.start_sequence,
+            )
+            for segment in shard_segments:
+                segment_db = self._load_segment(segment)
+                if len(segment_db) != segment.count:
+                    raise StoreError(
+                        f"segment {segment.filename} holds {len(segment_db)} "
+                        f"records, manifest says {segment.count}"
+                    )
+                offsets = segment.offsets()
+                for offset, (key, fingerprint) in zip(
+                    offsets, segment_db.items()
+                ):
                     database.add(key, fingerprint)
                     sequences[key] = segment.start_sequence + offset
         replica = LoadedShard(database=database, sequences=sequences)

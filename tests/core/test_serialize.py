@@ -11,11 +11,15 @@ from hypothesis import strategies as st
 from repro.bits import BitVector
 from repro.core import Fingerprint, FingerprintDatabase
 from repro.core.serialize import (
+    VERSION_1,
+    VERSION_2,
+    CorruptStreamError,
     SerializationError,
     dump_database,
     dumps_fingerprint,
     load_database,
     loads_fingerprint,
+    scan_database,
 )
 
 
@@ -25,6 +29,35 @@ def fingerprint(indices, nbits=256, support=1, source=None):
         support=support,
         source=source,
     )
+
+
+def make_db(n, prefix="dev"):
+    """``n`` distinct single-bit fingerprints keyed ``<prefix>-N``."""
+    database = FingerprintDatabase()
+    for index in range(n):
+        database.add(f"{prefix}-{index}", fingerprint([index, index + 100]))
+    return database
+
+
+def dump_bytes(database, version=VERSION_2):
+    buffer = io.BytesIO()
+    dump_database(database, buffer, version=version)
+    return buffer.getvalue()
+
+
+def frame_spans(data):
+    """(payload_start, payload_end) of every v2 frame in ``data``."""
+    import struct
+
+    spans = []
+    _version, count = struct.unpack("<HI", data[4:10])
+    cursor = 10
+    for _ in range(count):
+        (payload_length,) = struct.unpack("<I", data[cursor : cursor + 4])
+        start = cursor + 4
+        spans.append((start, start + payload_length))
+        cursor = start + payload_length + 4
+    return spans
 
 
 class TestFingerprintRoundtrip:
@@ -157,6 +190,123 @@ class TestCorruption:
         stream.seek(0)
         with pytest.raises(SerializationError):
             load_database(stream)
+
+
+class TestVersionedFormats:
+    def test_default_writes_v2_with_footer(self):
+        data = dump_bytes(make_db(3))
+        assert data[4:6] == b"\x02\x00"
+        assert data[-8:-4] == b"PCFX"
+
+    def test_v1_still_written_and_read(self):
+        data = dump_bytes(make_db(3), version=VERSION_1)
+        assert data[4:6] == b"\x01\x00"
+        assert load_database(io.BytesIO(data)).keys() == [
+            "dev-0",
+            "dev-1",
+            "dev-2",
+        ]
+
+    def test_v2_roundtrip_preserves_everything(self):
+        database = FingerprintDatabase()
+        database.add("a", fingerprint([1, 2], support=7, source="lot-1"))
+        database.add("b", fingerprint([], support=1))
+        restored = load_database(io.BytesIO(dump_bytes(database)))
+        assert restored.keys() == ["a", "b"]
+        assert restored.get("a").support == 7
+        assert restored.get("a").source == "lot-1"
+        assert restored.get("b").weight == 0
+
+    def test_unknown_dump_version_rejected(self):
+        with pytest.raises(SerializationError):
+            dump_database(make_db(1), io.BytesIO(), version=3)
+
+    def test_v2_is_larger_but_bounded(self):
+        """Framing costs 8 bytes per record plus an 8-byte footer."""
+        database = make_db(10)
+        v1 = dump_bytes(database, version=VERSION_1)
+        v2 = dump_bytes(database)
+        assert len(v2) == len(v1) + 8 * 10 + 8
+
+
+class TestChecksummedFrames:
+    def test_bitflip_raises_corrupt_stream_error(self):
+        data = bytearray(dump_bytes(make_db(5)))
+        start, _end = frame_spans(bytes(data))[2]
+        data[start + 3] ^= 0x40
+        with pytest.raises(CorruptStreamError) as excinfo:
+            load_database(io.BytesIO(bytes(data)))
+        error = excinfo.value
+        assert error.record_index == 2
+        assert error.byte_offset == start - 4
+        assert "byte" in str(error) and "record 2" in str(error)
+        assert isinstance(error, SerializationError)
+
+    def test_footer_detects_frame_boundary_truncation(self):
+        """Cutting whole trailing frames leaves every remaining CRC
+        valid; only the footer catches it."""
+        data = dump_bytes(make_db(4))
+        spans = frame_spans(data)
+        cut = spans[3][0] - 4  # drop the last frame and the footer
+        with pytest.raises(CorruptStreamError):
+            load_database(io.BytesIO(data[:cut]))
+
+    def test_scan_salvages_around_a_flipped_bit(self):
+        data = bytearray(dump_bytes(make_db(6)))
+        start, _end = frame_spans(bytes(data))[3]
+        data[start + 1] ^= 0x01
+        scan = scan_database(io.BytesIO(bytes(data)))
+        assert not scan.ok
+        assert scan.database.keys() == [
+            "dev-0",
+            "dev-1",
+            "dev-2",
+            "dev-4",
+            "dev-5",
+        ]
+        assert scan.offsets == [0, 1, 2, 4, 5]
+        assert len(scan.corrupt) == 1
+        assert scan.corrupt[0].record_index == 3
+        assert scan.corrupt[0].reason == "record checksum mismatch"
+        assert scan.footer_ok  # CRCs (not payloads) feed the digest
+
+    def test_scan_of_clean_stream_is_ok(self):
+        scan = scan_database(io.BytesIO(dump_bytes(make_db(4))))
+        assert scan.ok and scan.version == VERSION_2
+        assert scan.offsets == [0, 1, 2, 3]
+        assert scan.declared_count == 4
+
+    def test_scan_truncated_frame_stops_with_trailing_corrupt(self):
+        data = dump_bytes(make_db(3))
+        spans = frame_spans(data)
+        scan = scan_database(io.BytesIO(data[: spans[2][0] + 2]))
+        assert scan.database.keys() == ["dev-0", "dev-1"]
+        assert not scan.footer_ok
+        assert scan.corrupt[-1].record_index == 2
+
+    def test_scan_v1_stream_has_no_resync(self):
+        data = bytearray(dump_bytes(make_db(4), version=VERSION_1))
+        data[len(data) // 2] ^= 0xFF  # somewhere inside record 1 or 2
+        scan = scan_database(io.BytesIO(bytes(data)))
+        assert scan.version == VERSION_1
+        assert not scan.ok
+        # Whatever read clean before the damage survives; nothing after.
+        assert any(
+            "no framing" in entry.reason or "unrecoverable" in entry.reason
+            for entry in scan.corrupt
+        ) or len(scan.corrupt) == 1
+
+    def test_implausible_frame_length_is_corruption_not_allocation(self):
+        import struct
+
+        data = bytearray(dump_bytes(make_db(2)))
+        start, _end = frame_spans(bytes(data))[0]
+        data[start - 4 : start] = struct.pack("<I", (1 << 30) + 1)
+        with pytest.raises(CorruptStreamError) as excinfo:
+            load_database(io.BytesIO(bytes(data)))
+        assert "implausible" in str(excinfo.value)
+        scan = scan_database(io.BytesIO(bytes(data)))
+        assert scan.corrupt and "implausible" in scan.corrupt[0].reason
 
 
 class TestEndToEnd:

@@ -1,0 +1,41 @@
+"""Shared fixtures for the fault-injection and recovery tests.
+
+The chaos tests are seeded so every corruption pattern replays
+bit-for-bit.  CI runs the suite under several ``REPRO_FAULT_SEED``
+values; locally the default seed keeps runs deterministic.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.bits import BitVector
+from repro.core import Fingerprint
+
+NBITS = 512
+
+
+@pytest.fixture
+def fault_seed() -> int:
+    """Seed for injected corruption (CI matrix via REPRO_FAULT_SEED)."""
+    return int(os.environ.get("REPRO_FAULT_SEED", "2015"))
+
+
+@pytest.fixture
+def fault_rng(fault_seed: int) -> np.random.Generator:
+    """RNG derived from the fault seed, for test-local corruption."""
+    return np.random.default_rng(fault_seed)
+
+
+def make_batch(n, rng, prefix="dev"):
+    """``n`` synthetic fingerprints keyed ``<prefix>-0000`` onwards."""
+    return [
+        (
+            f"{prefix}-{index:04d}",
+            Fingerprint(bits=BitVector.random(NBITS, rng, 0.02)),
+        )
+        for index in range(n)
+    ]

@@ -1,0 +1,126 @@
+"""Tests for the deterministic fault-injection layer itself."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.reliability import FaultPlan, FaultyIO, InjectedFault, StorageIO
+
+
+class TestFaultPlan:
+    def test_no_fail_at_never_fires(self):
+        plan = FaultPlan()
+        assert not plan.fires(1, "x") and not plan.fires(10_000, "x")
+
+    def test_window(self):
+        plan = FaultPlan(fail_at=3, fail_count=2)
+        assert [plan.fires(i, "x") for i in range(1, 7)] == [
+            False,
+            False,
+            True,
+            True,
+            False,
+            False,
+        ]
+
+    def test_match_restricts_to_path(self):
+        plan = FaultPlan(fail_at=1, fail_count=10**6, match="segment-")
+        assert plan.fires(1, "shard-000/segment-000001.pcfp")
+        assert not plan.fires(1, "manifest.json")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(mode="melt")
+        with pytest.raises(ValueError):
+            FaultPlan(fail_count=0)
+        with pytest.raises(ValueError):
+            FaultPlan(flip_bits=0)
+
+
+class TestFaultyIO:
+    def test_counts_and_logs_every_operation(self, tmp_path):
+        io_ = FaultyIO()
+        io_.write_bytes(tmp_path / "a", b"data")
+        io_.read_bytes(tmp_path / "a")
+        io_.replace(tmp_path / "a", tmp_path / "b")
+        io_.fsync_dir(tmp_path)
+        io_.remove(tmp_path / "b")
+        assert io_.ops == 5
+        assert [name for name, _path in io_.log] == [
+            "write_bytes",
+            "read_bytes",
+            "replace",
+            "fsync_dir",
+            "remove",
+        ]
+        assert io_.faults_fired == 0
+
+    def test_crash_leaves_no_file(self, tmp_path):
+        io_ = FaultyIO(FaultPlan(fail_at=2))
+        io_.write_bytes(tmp_path / "first", b"ok")
+        with pytest.raises(InjectedFault):
+            io_.write_bytes(tmp_path / "second", b"never")
+        assert (tmp_path / "first").exists()
+        assert not (tmp_path / "second").exists()
+        assert io_.faults_fired == 1
+
+    def test_torn_write_persists_a_prefix(self, tmp_path):
+        io_ = FaultyIO(FaultPlan(fail_at=1, mode="torn"))
+        payload = b"0123456789abcdef"
+        with pytest.raises(InjectedFault):
+            io_.write_bytes(tmp_path / "torn", payload)
+        on_disk = (tmp_path / "torn").read_bytes()
+        assert on_disk == payload[: len(payload) // 2]
+
+    def test_bitflip_write_is_silent_and_seeded(self, tmp_path):
+        payload = bytes(range(256)) * 4
+        first = FaultyIO(FaultPlan(fail_at=1, mode="bitflip", seed=7))
+        first.write_bytes(tmp_path / "one", payload)
+        second = FaultyIO(FaultPlan(fail_at=1, mode="bitflip", seed=7))
+        second.write_bytes(tmp_path / "two", payload)
+        one = (tmp_path / "one").read_bytes()
+        two = (tmp_path / "two").read_bytes()
+        assert one == two  # same seed, same corruption
+        assert one != payload  # but corruption did happen
+        assert len(one) == len(payload)
+        other_seed = FaultyIO(FaultPlan(fail_at=1, mode="bitflip", seed=8))
+        other_seed.write_bytes(tmp_path / "three", payload)
+        assert (tmp_path / "three").read_bytes() != one
+
+    def test_bitflip_read_corrupts_only_the_view(self, tmp_path):
+        payload = b"pristine bytes on disk" * 10
+        (tmp_path / "f").write_bytes(payload)
+        io_ = FaultyIO(FaultPlan(fail_at=1, mode="bitflip", seed=3))
+        seen = io_.read_bytes(tmp_path / "f")
+        assert seen != payload
+        assert (tmp_path / "f").read_bytes() == payload
+
+    def test_transient_window_clears_for_retries(self, tmp_path):
+        (tmp_path / "f").write_bytes(b"data")
+        io_ = FaultyIO(FaultPlan(fail_at=1, fail_count=2))
+        for _ in range(2):
+            with pytest.raises(InjectedFault):
+                io_.read_bytes(tmp_path / "f")
+        assert io_.read_bytes(tmp_path / "f") == b"data"
+        assert io_.faults_fired == 2
+
+    def test_match_scopes_fault_to_one_file(self, tmp_path):
+        io_ = FaultyIO(FaultPlan(fail_at=1, fail_count=10**6, match="victim"))
+        io_.write_bytes(tmp_path / "bystander", b"fine")
+        with pytest.raises(InjectedFault):
+            io_.write_bytes(tmp_path / "victim", b"doomed")
+        assert (tmp_path / "bystander").read_bytes() == b"fine"
+
+    def test_wraps_an_inner_io(self, tmp_path):
+        class Recording(StorageIO):
+            def __init__(self):
+                self.calls = []
+
+            def write_bytes(self, path, data, sync=True):
+                self.calls.append("write")
+                super().write_bytes(path, data, sync=sync)
+
+        inner = Recording()
+        io_ = FaultyIO(inner=inner)
+        io_.write_bytes(tmp_path / "f", b"x")
+        assert inner.calls == ["write"]

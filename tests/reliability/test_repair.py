@@ -1,0 +1,344 @@
+"""Tests for verify/repair self-healing and degraded-mode serving."""
+
+from __future__ import annotations
+
+import struct
+import time
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.reliability import (
+    FaultPlan,
+    FaultyIO,
+    StorageIO,
+    repair_store,
+    verify_store,
+)
+from repro.service import (
+    BatchIdentificationService,
+    BatchQuery,
+    ShardedFingerprintStore,
+)
+from tests.reliability.conftest import make_batch
+
+CORPUS_SEED = 2015
+CORPUS_SIZE = 500
+
+
+def corrupt_record(path, record_index, rng=None):
+    """Flip one bit inside the payload of frame ``record_index``.
+
+    With ``rng`` (the CI fault-seed matrix) the flipped position and
+    bit vary per seed; without it the payload midpoint is hit.
+    """
+    data = bytearray(path.read_bytes())
+    _version, count = struct.unpack("<HI", bytes(data[4:10]))
+    assert record_index < count
+    cursor = 10
+    for index in range(count):
+        (payload_length,) = struct.unpack(
+            "<I", bytes(data[cursor : cursor + 4])
+        )
+        if index == record_index:
+            if rng is None:
+                position, bit = payload_length // 2, 4
+            else:
+                position = int(rng.integers(0, payload_length))
+                bit = int(rng.integers(0, 8))
+            data[cursor + 4 + position] ^= 1 << bit
+            path.write_bytes(bytes(data))
+            return
+        cursor += 4 + payload_length + 4
+    raise AssertionError("record not found")
+
+
+def exact_queries(batch, stride=1):
+    """One query per fingerprint, using its own bits as error string."""
+    return [
+        BatchQuery.from_errors(key, fingerprint.bits)
+        for key, fingerprint in batch[::stride]
+    ]
+
+
+def decisions(store, queries):
+    """query_id -> matched key (or None) via the batch service."""
+    service = BatchIdentificationService(store, cluster_residuals=False)
+    report = service.run(queries)
+    return {
+        result.query_id: result.identification.key if result.matched else None
+        for result in report.results
+    }
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    """Seeded 500-device fingerprint corpus (satellite property test)."""
+    rng = np.random.default_rng(CORPUS_SEED)
+    return make_batch(CORPUS_SIZE, rng, prefix="device")
+
+
+@pytest.fixture(scope="module")
+def store_pair(tmp_path_factory, corpus):
+    """Two identical stores over the corpus; one gets repaired."""
+    base = tmp_path_factory.mktemp("repair-property")
+    control = ShardedFingerprintStore(base / "control", n_shards=4)
+    control.ingest(corpus)
+    repaired = ShardedFingerprintStore(base / "repaired", n_shards=4)
+    repaired.ingest(corpus)
+    report = repair_store(repaired)
+    assert report.clean
+    return control, repaired
+
+
+class TestRepairIsInvisibleOnHealthyStore:
+    def test_repair_clean_and_idempotent(self, tmp_path, rng):
+        store = ShardedFingerprintStore(tmp_path / "s", n_shards=3)
+        store.ingest(make_batch(40, rng))
+        manifest_before = (tmp_path / "s" / "manifest.json").read_bytes()
+        segment_files = {
+            record.filename: (tmp_path / "s" / record.filename).read_bytes()
+            for record in store.segments
+        }
+        for _round in range(2):
+            report = repair_store(store)
+            assert report.clean
+            assert report.records_salvaged == 0 and report.records_lost == 0
+        assert (tmp_path / "s" / "manifest.json").read_bytes() == manifest_before
+        for filename, content in segment_files.items():
+            assert (tmp_path / "s" / filename).read_bytes() == content
+
+    def test_decisions_unchanged_across_corpus(self, store_pair, corpus):
+        """Every one of the 500 devices identifies identically on the
+        repaired store and the untouched control."""
+        control, repaired = store_pair
+        queries = exact_queries(corpus)
+        assert decisions(repaired, queries) == decisions(control, queries)
+
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        device=st.integers(min_value=0, max_value=CORPUS_SIZE - 1),
+        extra_bits=st.lists(
+            st.integers(min_value=0, max_value=511), max_size=4
+        ),
+    )
+    def test_decisions_unchanged_property(
+        self, store_pair, corpus, device, extra_bits
+    ):
+        """Property: for any device and any decayed variant of its
+        error string, repair does not change the identification."""
+        control, repaired = store_pair
+        key, fingerprint = corpus[device]
+        errors = fingerprint.bits.copy()
+        for bit in extra_bits:
+            errors.set(bit, True)
+        query = [BatchQuery.from_errors(key, errors)]
+        assert decisions(repaired, query) == decisions(control, query)
+
+
+class TestSalvage:
+    @pytest.fixture
+    def damaged_store(self, tmp_path, rng, fault_rng):
+        """A 2-shard store with one record of one segment corrupted."""
+        root = tmp_path / "damaged"
+        store = ShardedFingerprintStore(root, n_shards=2)
+        batch = make_batch(60, rng)
+        store.ingest(batch)
+        victim = store.segments[0]
+        corrupt_record(root / victim.filename, 2, rng=fault_rng)
+        store.evict()
+        return root, store, batch, victim
+
+    def test_verify_localizes_the_damage(self, damaged_store):
+        root, _store, _batch, victim = damaged_store
+        verification = verify_store(root)
+        assert not verification.ok
+        assert verification.corrupt_records == 1
+        bad = [entry for entry in verification.segments if not entry.ok]
+        assert len(bad) == 1
+        assert bad[0].filename == victim.filename
+        assert bad[0].corrupt[0].record_index == 2
+        assert any("CORRUPT" in line for line in verification.problems())
+
+    def test_salvage_preserves_surviving_decisions(self, damaged_store):
+        root, store, batch, victim = damaged_store
+        report = repair_store(store)
+        assert not report.clean
+        assert report.records_salvaged == victim.count - 1
+        assert report.records_lost == 1
+        assert report.quarantined == [
+            (victim.filename, f"1 corrupt of {victim.count} records")
+        ]
+        # The damaged original is evidence, not garbage.
+        quarantine_name = victim.filename.replace("/", "__")
+        assert (root / "quarantine" / quarantine_name).exists()
+        assert not (root / victim.filename).exists()
+        # The replacement is spliced in with the dropped offset recorded.
+        replacement = next(
+            record
+            for record in store.segments
+            if record.filename.endswith("-salvaged.pcfp")
+        )
+        assert replacement.start_sequence == victim.start_sequence
+        assert replacement.count == victim.count - 1
+        assert len(replacement.omitted) == 1
+        assert verify_store(root).ok  # degraded but consistent
+        assert store.degraded_shards() == [victim.shard]
+
+        # Every fingerprint that survived still identifies as itself,
+        # with its original sequence-based priority.
+        expectation = decisions(store, exact_queries(batch))
+        missing = [key for key, matched in expectation.items() if matched is None]
+        assert len(missing) == 1  # exactly the corrupted record
+        for key, matched in expectation.items():
+            if key not in missing:
+                assert matched == key
+
+        # Self-healing converges: a second repair finds nothing.
+        assert repair_store(store).clean
+
+    def test_unreadable_segment_is_fully_quarantined(self, tmp_path, rng):
+        root = tmp_path / "trashed"
+        store = ShardedFingerprintStore(root, n_shards=2)
+        store.ingest(make_batch(30, rng))
+        victim = store.segments[0]
+        (root / victim.filename).write_bytes(b"not a fingerprint stream")
+        store.evict()
+        report = repair_store(store)
+        assert report.records_salvaged == 0
+        assert report.records_lost == victim.count
+        assert store.metrics.counter("store.segments_quarantined") == 1
+        assert verify_store(root).ok
+
+    def test_missing_segment_is_quarantined(self, tmp_path, rng):
+        root = tmp_path / "missing"
+        store = ShardedFingerprintStore(root, n_shards=2)
+        store.ingest(make_batch(30, rng))
+        victim = store.segments[-1]
+        (root / victim.filename).unlink()
+        store.evict()
+        report = repair_store(store)
+        assert (victim.filename, "segment file missing") in report.quarantined
+        assert report.records_lost >= victim.count
+        assert verify_store(root).ok
+
+
+class TestDegradedServing:
+    @pytest.fixture
+    def served_store(self, tmp_path, rng):
+        root = tmp_path / "serving"
+        store = ShardedFingerprintStore(root, n_shards=3)
+        batch = make_batch(90, rng)
+        store.ingest(batch)
+        return root, store, batch
+
+    def test_corrupt_shard_degrades_instead_of_failing(
+        self, served_store, fault_rng
+    ):
+        """The acceptance criterion: one shard fully corrupted, batch
+        queries still answer from the healthy shards, every result is
+        tagged degraded and the report names the lost key range."""
+        root, store, batch = served_store
+        victim_shard = store.segments[0].shard
+        for record in store.segments:
+            if record.shard == victim_shard:
+                corrupt_record(root / record.filename, 0, rng=fault_rng)
+        store.evict()
+
+        service = BatchIdentificationService(
+            store, cluster_residuals=False, retry_backoff_s=0.0
+        )
+        report = service.run(exact_queries(batch, stride=3))
+        assert report.degraded
+        assert [entry.shard for entry in report.degraded_shards] == [
+            victim_shard
+        ]
+        entry = report.degraded_shards[0]
+        assert entry.key_range == store.shard_key_range(victim_shard)
+        assert "unreadable" in entry.reason
+        assert all(result.degraded for result in report.results)
+        # Healthy shards still answered authoritatively.
+        healthy = [
+            result
+            for result in report.results
+            if store.shard_for_key(result.query_id) != victim_shard
+        ]
+        assert healthy and all(result.matched for result in healthy)
+        assert all(
+            result.identification.key == result.query_id for result in healthy
+        )
+        # Victim-shard queries fell through, but did not error.
+        lost = [
+            result
+            for result in report.results
+            if store.shard_for_key(result.query_id) == victim_shard
+        ]
+        assert lost and not any(result.matched for result in lost)
+        assert service.metrics.counter("batch.shard_failures") == 1
+        assert service.metrics.counter("batch.shard_retries") >= 1
+        assert service.metrics.counter("batch.degraded_queries") == len(
+            report.results
+        )
+
+        # Repair, then serve again: survivors answer, the report still
+        # flags the shard as incomplete (quarantined data is gone).
+        repair_store(store)
+        after = BatchIdentificationService(
+            store, cluster_residuals=False
+        ).run(exact_queries(batch, stride=3))
+        assert after.degraded
+        assert "quarantined" in after.degraded_shards[0].reason
+        assert service.metrics.counter("batch.shard_failures") == 1  # no new
+
+    def test_transient_fault_heals_via_retry(self, tmp_path, rng):
+        root = tmp_path / "transient"
+        batch = make_batch(20, rng)
+        ShardedFingerprintStore(root, n_shards=2).ingest(batch)
+
+        # Op 1 is the manifest read at open; op 2 is the first segment
+        # read of the batch run — it fails once, then the retry heals.
+        io_ = FaultyIO(FaultPlan(fail_at=2, match="segment-"))
+        store = ShardedFingerprintStore(root, storage_io=io_)
+        service = BatchIdentificationService(
+            store,
+            cluster_residuals=False,
+            retry_backoff_s=0.0,
+            max_workers=1,
+        )
+        report = service.run(exact_queries(batch, stride=20))
+        assert not report.degraded
+        assert report.results[0].matched
+        assert io_.faults_fired == 1
+        assert service.metrics.counter("batch.shard_retries") == 1
+        assert service.metrics.counter("batch.shard_failures") == 0
+
+    def test_slow_shard_times_out_into_degraded(self, tmp_path, rng):
+        class SlowIO(StorageIO):
+            def read_bytes(self, path):
+                if str(path).endswith(".pcfp"):
+                    time.sleep(0.5)
+                return super().read_bytes(path)
+
+        root = tmp_path / "slow"
+        batch = make_batch(20, rng)
+        ShardedFingerprintStore(root, n_shards=2).ingest(batch)
+        store = ShardedFingerprintStore(root, storage_io=SlowIO())
+        service = BatchIdentificationService(
+            store,
+            cluster_residuals=False,
+            shard_retries=0,
+            shard_timeout_s=0.05,
+        )
+        report = service.run(exact_queries(batch, stride=10))
+        assert report.degraded
+        assert any(
+            "timed out" in entry.reason for entry in report.degraded_shards
+        )
+        assert service.metrics.counter("batch.shard_timeouts") >= 1
+        assert not any(result.matched for result in report.results)

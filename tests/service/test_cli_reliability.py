@@ -1,0 +1,155 @@
+"""Tests for the ``verify-store`` and ``repair`` CLI commands, and the
+one-line :class:`CorruptStreamError` rendering (exit code 2)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.reporting import set_results_dir
+from repro.bits import BitVector
+from repro.cli import main
+from repro.core import Fingerprint, FingerprintDatabase
+from repro.core.serialize import dump_database
+from repro.service import ShardedFingerprintStore
+
+NBITS = 512
+
+
+@pytest.fixture(autouse=True)
+def clean_results_override():
+    yield
+    set_results_dir(None)
+
+
+@pytest.fixture
+def populated_store(tmp_path, rng):
+    """A 2-shard store with 24 fingerprints on disk."""
+    root = tmp_path / "store"
+    store = ShardedFingerprintStore(root, n_shards=2)
+    database = FingerprintDatabase()
+    for index in range(24):
+        database.add(
+            f"device-{index:04d}",
+            Fingerprint(bits=BitVector.random(NBITS, rng, 0.02)),
+        )
+    store.ingest(database)
+    return root, store
+
+
+def corrupt_first_segment(root, store):
+    """Flip a payload byte of the first segment; returns its record."""
+    victim = store.segments[0]
+    path = root / victim.filename
+    data = bytearray(path.read_bytes())
+    data[len(data) // 2] ^= 0x20
+    path.write_bytes(bytes(data))
+    return victim
+
+
+class TestVerifyStore:
+    def test_consistent_store_exits_zero(self, populated_store, capsys):
+        root, _store = populated_store
+        assert main(["verify-store", "--store", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert "consistent" in out
+        assert "24 records" in out
+
+    def test_corrupt_store_exits_one(self, populated_store, capsys):
+        root, store = populated_store
+        victim = corrupt_first_segment(root, store)
+        assert main(["verify-store", "--store", str(root)]) == 1
+        out = capsys.readouterr().out
+        assert "INCONSISTENT" in out
+        assert victim.filename in out
+
+    def test_missing_store_exits_two(self, tmp_path, capsys):
+        assert main(["verify-store", "--store", str(tmp_path / "nope")]) == 2
+        assert "no store" in capsys.readouterr().err
+
+    def test_json_report(self, populated_store, capsys):
+        root, store = populated_store
+        corrupt_first_segment(root, store)
+        assert main(["verify-store", "--store", str(root), "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["corrupt_records"] >= 1
+        assert any(not segment["ok"] for segment in payload["segments"])
+
+    def test_verify_is_read_only_on_crashed_ingest(
+        self, populated_store, capsys
+    ):
+        """A pending journal is reported, not resolved."""
+        root, _store = populated_store
+        journal = root / "ingest-journal.json"
+        journal.write_text('{"half a jour')
+        assert main(["verify-store", "--store", str(root)]) == 1
+        assert "pending ingest journal" in capsys.readouterr().out
+        assert journal.exists()  # untouched
+
+
+class TestRepair:
+    def test_clean_store_is_a_noop(self, populated_store, capsys):
+        root, _store = populated_store
+        assert main(["repair", "--store", str(root)]) == 0
+        assert "nothing to repair" in capsys.readouterr().out
+
+    def test_repair_then_verify_round_trip(self, populated_store, capsys):
+        root, store = populated_store
+        victim = corrupt_first_segment(root, store)
+        assert main(["repair", "--store", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert f"quarantined {victim.filename}" in out
+        assert "salvaged" in out
+        assert "reliability.records_salvaged" in out
+        # The store is consistent again (degraded, but accounted for).
+        assert main(["verify-store", "--store", str(root)]) == 0
+        assert "degraded shards" in capsys.readouterr().out
+
+    def test_repair_resolves_crashed_ingest(self, populated_store, capsys):
+        root, _store = populated_store
+        (root / "ingest-journal.json").write_text("{torn")
+        assert main(["repair", "--store", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert "recovery: rolled_back" in out
+        assert not (root / "ingest-journal.json").exists()
+
+    def test_missing_store_exits_two(self, tmp_path, capsys):
+        assert main(["repair", "--store", str(tmp_path / "nope")]) == 2
+        assert "no store" in capsys.readouterr().err
+
+    def test_json_report(self, populated_store, capsys):
+        root, store = populated_store
+        corrupt_first_segment(root, store)
+        assert main(["repair", "--store", str(root), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["clean"] is False
+        assert payload["records_salvaged"] >= 1
+        assert payload["quarantined"]
+
+
+class TestCorruptIngestFile:
+    def test_one_line_error_exit_two(self, tmp_path, rng, capsys):
+        """A corrupt .pcfp ingest renders one CorruptStreamError line
+        with byte offset and record index, and exits 2 (satellite)."""
+        database = FingerprintDatabase()
+        for index in range(5):
+            database.add(
+                f"d{index}", Fingerprint(bits=BitVector.random(NBITS, rng, 0.02))
+            )
+        path = tmp_path / "damaged.pcfp"
+        dump_database(database, path)
+        data = bytearray(path.read_bytes())
+        data[40] ^= 0x08
+        path.write_bytes(bytes(data))
+
+        code = main(
+            ["serve-batch", "--store", str(tmp_path / "s"), "--ingest", str(path)]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "corrupt fingerprint stream" in err
+        assert "byte" in err and "record" in err
+        assert "Traceback" not in err

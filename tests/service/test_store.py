@@ -50,7 +50,7 @@ class TestLifecycle:
         store = ShardedFingerprintStore(store_dir, n_shards=2)
         store.ingest(make_batch(10, rng))
         manifest = json.loads((store_dir / "manifest.json").read_text())
-        assert manifest["version"] == 1
+        assert manifest["version"] == 2
         assert manifest["n_shards"] == 2
         assert manifest["next_sequence"] == 10
         assert all(
