@@ -1,0 +1,334 @@
+"""Chaos benchmark — supervised streaming under compound failure.
+
+The streaming pipeline's claim is that identification keeps making
+progress when everything around it misbehaves at once.  This benchmark
+drives one run with all three failure modes active simultaneously:
+
+1. **Poisoned input** — one malformed observation per ``POISON_EVERY``
+   (alternating broken JSON and a negative width) must land in the
+   quarantine file with machine-readable reasons, never abort the run.
+2. **Worker crashes** — a seeded :class:`WorkerCrashPlan` kills
+   identification workers mid-batch; the supervisor restarts them.
+3. **A persistently failing shard** — every IO against ``shard-001``
+   raises, so its circuit breaker must trip open and the stream must
+   degrade (answering from the healthy shards) instead of stalling.
+
+On top of the chaos run it verifies the exactly-once contract — a run
+killed at a batch boundary and resumed from its checkpoint reproduces
+the uninterrupted results **byte for byte** — and measures what the
+breaker buys: steady-state batch p99 with the breaker open versus
+paying the retry budget on every batch with breakers disabled.
+
+Artifacts: ``bench_stream.json`` in the results directory (CI uploads
+it from the stream-chaos job).  Seeded via ``REPRO_FAULT_SEED`` like
+the other chaos suites.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.analysis.reporting import results_dir
+from repro.bits import BitVector
+from repro.core import Fingerprint
+from repro.reliability import (
+    STATE_OPEN,
+    FaultPlan,
+    FaultyIO,
+    WorkerCrashPlan,
+    WorkerFaultInjector,
+)
+from repro.service import (
+    ShardedFingerprintStore,
+    StreamingIdentificationService,
+    list_quarantine,
+)
+
+NBITS = 512
+DENSITY = 0.02
+N_DEVICES = 300
+N_SHARDS = 4
+BAD_SHARD = 1
+
+N_OBSERVATIONS = 2400
+POISON_EVERY = 50
+BATCH_SIZE = 64
+CRASH_RATE = 0.06
+
+#: Smaller subset for the breaker-off comparison: with breakers
+#: disabled every batch re-pays the full retry budget for the failing
+#: shard, so the full stream would mostly measure sleep.
+N_THROUGHPUT_OBSERVATIONS = 600
+THROUGHPUT_BATCH_SIZE = 16
+
+FAULT_SEED = int(os.environ.get("REPRO_FAULT_SEED", "2015"))
+
+
+def _build_corpus(root, rng):
+    """Ingest a clean 4-shard corpus; return the per-device bits."""
+    store = ShardedFingerprintStore(root, n_shards=N_SHARDS)
+    bits = {}
+    batch = []
+    for index in range(N_DEVICES):
+        vector = BitVector.random(NBITS, rng, DENSITY)
+        bits[f"device-{index:05d}"] = vector
+        batch.append(
+            (f"device-{index:05d}", Fingerprint(bits=vector, support=2))
+        )
+    store.ingest(batch)
+    return bits
+
+
+def _broken_store(root):
+    """Reopen the corpus with every ``shard-001`` IO failing forever."""
+    faulty = FaultyIO(
+        FaultPlan(fail_at=1, fail_count=10**9, match=f"shard-{BAD_SHARD:03d}")
+    )
+    return ShardedFingerprintStore(root, storage_io=faulty)
+
+
+def _write_observations(path, bits, rng, n_observations):
+    """Observation stream with one poisoned line per POISON_EVERY."""
+    keys = sorted(bits)
+    lines = []
+    poisoned = 0
+    for index in range(n_observations):
+        if index % POISON_EVERY == POISON_EVERY // 2:
+            lines.append('{"nbits": -4}' if poisoned % 2 else "{not json")
+            poisoned += 1
+            continue
+        key = keys[int(rng.integers(0, len(keys)))]
+        lines.append(
+            json.dumps(
+                {
+                    "id": f"obs-{index}",
+                    "nbits": NBITS,
+                    "errors": [int(i) for i in bits[key].to_indices()],
+                }
+            )
+        )
+    path.write_text("\n".join(lines) + "\n")
+    return poisoned
+
+
+def _chaos_axis(tmp_path, observations, n_poisoned):
+    """All three failure modes at once: the run must still complete."""
+    injector = WorkerFaultInjector(
+        WorkerCrashPlan.seeded(seed=FAULT_SEED, rate=CRASH_RATE, horizon=4096)
+    )
+    store = _broken_store(tmp_path / "store")
+    service = StreamingIdentificationService(
+        store,
+        tmp_path / "state-chaos",
+        batch_size=BATCH_SIZE,
+        checkpoint_every=256,
+        shard_retries=2,
+        retry_backoff_s=0.01,
+        breaker_failure_threshold=3,
+        breaker_reset_s=3600.0,
+        max_restarts=3,
+        worker_fault_hook=injector,
+    )
+    started = time.perf_counter()
+    report = service.run(observations)
+    elapsed = time.perf_counter() - started
+
+    # Zero pipeline aborts: chaos degrades the answers, never the run.
+    assert report.status == "completed", report.status
+    assert report.fatal is None
+    assert report.observations == N_OBSERVATIONS
+    assert report.matched + report.unmatched + report.quarantined == (
+        N_OBSERVATIONS
+    )
+    assert report.matched > 0
+
+    # Every poisoned line is quarantined with a machine-readable reason.
+    entries = list_quarantine(service.state_dir)
+    assert report.quarantined == n_poisoned == len(entries)
+    reasons = sorted({entry.reason for entry in entries})
+    assert reasons == ["bad-json", "bad-nbits"]
+
+    # The failing shard's breaker ends the run open, and later batches
+    # short-circuited instead of re-paying the retry budget.
+    assert report.breakers[str(BAD_SHARD)]["state"] == STATE_OPEN
+    short_circuits = service.metrics.counter("batch.shard_short_circuits")
+    assert short_circuits > 0
+
+    # The seeded kills actually fired and were absorbed by restarts.
+    assert injector.kills > 0
+    assert report.restarts >= injector.kills
+    return {
+        "observations": report.observations,
+        "matched": report.matched,
+        "unmatched": report.unmatched,
+        "quarantined": report.quarantined,
+        "quarantine_reasons": reasons,
+        "batches": report.batches,
+        "checkpoints": report.checkpoints,
+        "worker_kills": injector.kills,
+        "restarts": report.restarts,
+        "breaker_state": report.breakers[str(BAD_SHARD)]["state"],
+        "shard_short_circuits": short_circuits,
+        "degraded_shards": [
+            entry.to_json() for entry in report.degraded_shards
+        ],
+        "throughput_obs_per_s": report.observations / elapsed,
+        "elapsed_s": elapsed,
+    }
+
+
+def _exactly_once_axis(tmp_path, observations):
+    """Kill at a batch boundary, resume: byte-identical state files."""
+
+    def run_files(state, max_batches=None, resume=False):
+        injector = WorkerFaultInjector(
+            WorkerCrashPlan.seeded(
+                seed=FAULT_SEED, rate=CRASH_RATE, horizon=4096
+            )
+        )
+        service = StreamingIdentificationService(
+            _broken_store(tmp_path / "store"),
+            state,
+            batch_size=BATCH_SIZE,
+            checkpoint_every=256,
+            shard_retries=2,
+            retry_backoff_s=0.01,
+            breaker_failure_threshold=3,
+            breaker_reset_s=3600.0,
+            max_restarts=3,
+            worker_fault_hook=injector,
+        )
+        report = service.run(
+            observations, resume=resume, max_batches=max_batches
+        )
+        return report, service
+
+    uninterrupted, straight = run_files(tmp_path / "state-straight")
+    assert uninterrupted.status == "completed"
+
+    interrupted, killed = run_files(tmp_path / "state-killed", max_batches=13)
+    assert interrupted.status == "interrupted"
+    resumed, _service = run_files(tmp_path / "state-killed", resume=True)
+    assert resumed.status == "completed"
+    assert (
+        interrupted.observations + resumed.observations == N_OBSERVATIONS
+    )
+
+    results_identical = (
+        straight.results_path.read_bytes() == killed.results_path.read_bytes()
+    )
+    quarantine_identical = (
+        killed.quarantine_path.read_bytes()
+        == straight.quarantine_path.read_bytes()
+    )
+    assert results_identical, "resumed results diverge from uninterrupted"
+    assert quarantine_identical, "resumed quarantine diverges"
+    return {
+        "kill_after_batches": 13,
+        "observations_before_kill": interrupted.observations,
+        "observations_after_resume": resumed.observations,
+        "results_bytes": straight.results_path.stat().st_size,
+        "results_byte_identical": results_identical,
+        "quarantine_byte_identical": quarantine_identical,
+    }
+
+
+def _throughput_axis(tmp_path, bits, rng):
+    """Steady-state batch latency: breaker open vs breakers disabled."""
+    observations = tmp_path / "observations-small.jsonl"
+    _write_observations(observations, bits, rng, N_THROUGHPUT_OBSERVATIONS)
+
+    def service_for(state, breaker_failures):
+        return StreamingIdentificationService(
+            _broken_store(tmp_path / "store"),
+            state,
+            batch_size=THROUGHPUT_BATCH_SIZE,
+            checkpoint_every=10**9,  # checkpoint only at boundaries/EOF
+            shard_retries=2,
+            retry_backoff_s=0.04,
+            breaker_failure_threshold=breaker_failures,
+            breaker_reset_s=3600.0,
+            cluster_residuals=False,
+        )
+
+    # Breaker ON: a short warmup trips the breaker (the same service
+    # instance keeps the open board across resume), then the metrics
+    # reset isolates the steady-state batches the breaker protects.
+    protected = service_for(tmp_path / "state-on", breaker_failures=2)
+    warmup = protected.run(observations, max_batches=4)
+    assert warmup.breakers[str(BAD_SHARD)]["state"] == STATE_OPEN
+    protected.metrics.reset()
+    started = time.perf_counter()
+    steady = protected.run(observations, resume=True)
+    elapsed_on = time.perf_counter() - started
+    assert steady.status == "completed"
+    p99_on = protected.metrics.histogram("stream.batch").snapshot()["p99_s"]
+
+    # Breakers OFF: every batch re-pays the full retry budget for the
+    # failing shard.
+    unprotected = service_for(tmp_path / "state-off", breaker_failures=0)
+    started = time.perf_counter()
+    full = unprotected.run(observations)
+    elapsed_off = time.perf_counter() - started
+    assert full.status == "completed"
+    p99_off = unprotected.metrics.histogram("stream.batch").snapshot()[
+        "p99_s"
+    ]
+
+    assert p99_on < p99_off, (
+        f"breaker should bound batch p99: on={p99_on:.4f}s "
+        f"off={p99_off:.4f}s"
+    )
+    return {
+        "observations": N_THROUGHPUT_OBSERVATIONS,
+        "batch_size": THROUGHPUT_BATCH_SIZE,
+        "breaker_on": {
+            "batch_p99_s": p99_on,
+            "throughput_obs_per_s": steady.observations / elapsed_on,
+        },
+        "breaker_off": {
+            "batch_p99_s": p99_off,
+            "throughput_obs_per_s": full.observations / elapsed_off,
+        },
+        "p99_ratio_off_over_on": p99_off / p99_on if p99_on else None,
+    }
+
+
+def test_stream_chaos_benchmark(tmp_path, bench_rng):
+    """Run all three axes and write the JSON artifact."""
+    bits = _build_corpus(tmp_path / "store", bench_rng)
+    observations = tmp_path / "observations.jsonl"
+    n_poisoned = _write_observations(
+        observations, bits, bench_rng, N_OBSERVATIONS
+    )
+
+    report = {
+        "fault_seed": FAULT_SEED,
+        "corpus_devices": N_DEVICES,
+        "shards": N_SHARDS,
+        "failing_shard": BAD_SHARD,
+        "observations": N_OBSERVATIONS,
+        "poisoned": n_poisoned,
+        "chaos": _chaos_axis(tmp_path, observations, n_poisoned),
+        "exactly_once": _exactly_once_axis(tmp_path, observations),
+        "throughput": _throughput_axis(tmp_path, bits, bench_rng),
+    }
+    path = results_dir() / "bench_stream.json"
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    chaos = report["chaos"]
+    throughput = report["throughput"]
+    print(
+        f"\nchaos run: {chaos['observations']} observations in "
+        f"{chaos['batches']} batches, {chaos['quarantined']} quarantined, "
+        f"{chaos['worker_kills']} worker kills absorbed, breaker "
+        f"{chaos['breaker_state']} after "
+        f"{chaos['shard_short_circuits']} short-circuits; "
+        f"resume byte-identical: "
+        f"{report['exactly_once']['results_byte_identical']}; "
+        f"batch p99 {throughput['breaker_on']['batch_p99_s'] * 1e3:.1f}ms "
+        f"(breaker on) vs "
+        f"{throughput['breaker_off']['batch_p99_s'] * 1e3:.1f}ms (off)"
+    )

@@ -8,6 +8,12 @@ Usage::
     python -m repro run fig13 --quiet    # save the report, print summary
     python -m repro serve-batch --store DB --ingest fp.pcfp \\
         --queries queries.jsonl          # batch identification service
+    python -m repro stream --store DB --observations obs.jsonl \\
+        --state-dir STATE                # supervised streaming pipeline
+    python -m repro stream --store DB --observations obs.jsonl \\
+        --state-dir STATE --resume       # continue after a crash/drain
+    python -m repro quarantine ls --state-dir STATE      # triage rejects
+    python -m repro quarantine retry --state-dir STATE --store DB
     python -m repro verify-store --store DB   # read-only integrity check
     python -m repro repair --store DB         # recover + quarantine damage
 
@@ -26,6 +32,16 @@ The ``serve-batch`` query file is JSON Lines: each line holds ``id``,
 ``nbits`` and either ``errors`` (set-bit indices of a prebuilt error
 string) or ``approx`` + ``exact`` (set-bit indices of the output and
 its exact value, marked vectorized by the engine).
+
+``stream`` consumes the same wire format as an unbounded feed (a file,
+or a directory of ``*.jsonl`` files) through the supervised streaming
+pipeline: malformed observations are quarantined with machine-readable
+reasons instead of crashing the run, persistently failing shards trip
+per-shard circuit breakers, crashed workers restart with backoff, and
+the pipeline checkpoints so ``--resume`` continues exactly once after
+a crash or a SIGTERM drain.  Exit codes: 0 completed, 3 interrupted
+(drained on signal — resume to continue), 1 fatal escalation (see
+``fatal.json`` in the state directory), 2 usage errors.
 """
 
 from __future__ import annotations
@@ -137,6 +153,136 @@ def _build_parser() -> argparse.ArgumentParser:
         "--quiet",
         action="store_true",
         help="only print the summary line, not the metrics block",
+    )
+
+    stream_parser = subparsers.add_parser(
+        "stream",
+        help="run the supervised streaming identification pipeline",
+    )
+    stream_parser.add_argument(
+        "--store",
+        required=True,
+        help="sharded fingerprint store directory to identify against",
+    )
+    stream_parser.add_argument(
+        "--observations",
+        required=True,
+        metavar="FILE_OR_DIR",
+        help="JSON Lines observation file, or a directory of *.jsonl files",
+    )
+    stream_parser.add_argument(
+        "--state-dir",
+        required=True,
+        help="directory for checkpoint/results/quarantine state",
+    )
+    stream_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue from the state directory's checkpoint",
+    )
+    stream_parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=64,
+        help="valid observations per identification micro-batch",
+    )
+    stream_parser.add_argument(
+        "--queue-depth",
+        type=int,
+        default=256,
+        help="ingest queue bound (backpressure beyond this)",
+    )
+    stream_parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=500,
+        help="checkpoint cadence in consumed observations",
+    )
+    stream_parser.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="Algorithm 2 match threshold (default: paper's 0.1)",
+    )
+    stream_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker pool width for the shard fan-out",
+    )
+    stream_parser.add_argument(
+        "--no-breaker",
+        action="store_true",
+        help="disable per-shard circuit breakers",
+    )
+    stream_parser.add_argument(
+        "--breaker-failures",
+        type=int,
+        default=3,
+        help="consecutive shard failures before the breaker opens",
+    )
+    stream_parser.add_argument(
+        "--breaker-reset-s",
+        type=float,
+        default=5.0,
+        help="seconds an open breaker waits before a half-open probe",
+    )
+    stream_parser.add_argument(
+        "--max-restarts",
+        type=int,
+        default=3,
+        help="worker restarts granted per micro-batch before escalating",
+    )
+    stream_parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="only print the summary line, not the metrics block",
+    )
+
+    quarantine_parser = subparsers.add_parser(
+        "quarantine",
+        help="triage a stream state directory's quarantined observations",
+    )
+    quarantine_sub = quarantine_parser.add_subparsers(
+        dest="quarantine_command", required=True
+    )
+    quarantine_ls = quarantine_sub.add_parser(
+        "ls", help="list quarantined observations with their reasons"
+    )
+    quarantine_ls.add_argument(
+        "--state-dir",
+        required=True,
+        help="stream state directory holding quarantine.jsonl",
+    )
+    quarantine_ls.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the entries as JSON on stdout",
+    )
+    quarantine_retry = quarantine_sub.add_parser(
+        "retry",
+        help="re-validate quarantined observations and identify the valid",
+    )
+    quarantine_retry.add_argument(
+        "--state-dir",
+        required=True,
+        help="stream state directory holding quarantine.jsonl",
+    )
+    quarantine_retry.add_argument(
+        "--store",
+        required=True,
+        help="sharded fingerprint store directory to identify against",
+    )
+    quarantine_retry.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="Algorithm 2 match threshold (default: paper's 0.1)",
+    )
+    quarantine_retry.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the retry report as JSON on stdout",
     )
 
     verify_parser = subparsers.add_parser(
@@ -262,6 +408,146 @@ def _serve_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _stream(args: argparse.Namespace) -> int:
+    """The stream command body."""
+    import threading
+
+    from repro.core.distance import DEFAULT_THRESHOLD
+    from repro.service import (
+        ShardedFingerprintStore,
+        StreamingIdentificationService,
+        install_signal_handlers,
+    )
+
+    store_dir = Path(args.store)
+    if not (store_dir / "manifest.json").exists():
+        print(f"stream: no store at {store_dir}", file=sys.stderr)
+        return 2
+    observations = Path(args.observations)
+    if not observations.exists():
+        print(f"stream: no observations at {observations}", file=sys.stderr)
+        return 2
+    store = ShardedFingerprintStore(store_dir)
+    threshold = args.threshold if args.threshold is not None else DEFAULT_THRESHOLD
+    service = StreamingIdentificationService(
+        store,
+        args.state_dir,
+        threshold=threshold,
+        batch_size=args.batch_size,
+        queue_depth=args.queue_depth,
+        checkpoint_every=args.checkpoint_every,
+        max_workers=args.workers,
+        breaker_failure_threshold=0 if args.no_breaker else args.breaker_failures,
+        breaker_reset_s=args.breaker_reset_s,
+        max_restarts=args.max_restarts,
+    )
+    stop = threading.Event()
+    restore = install_signal_handlers(stop)
+    try:
+        report = service.run(observations, resume=args.resume, stop_event=stop)
+    finally:
+        restore()
+    print(
+        f"stream {report.status}: {report.observations} observations "
+        f"({report.start_offset}..{report.final_offset}), "
+        f"matched {report.matched}, unmatched {report.unmatched}, "
+        f"quarantined {report.quarantined}, "
+        f"{report.batches} batches, {report.checkpoints} checkpoints, "
+        f"{report.restarts} worker restarts"
+    )
+    for entry in report.degraded_shards:
+        print(
+            f"DEGRADED shard {entry.shard} "
+            f"({entry.attempts} attempt(s)): {entry.reason}",
+            file=sys.stderr,
+        )
+    open_breakers = [
+        name
+        for name, snap in report.breakers.items()
+        if snap.get("state") != "closed"
+    ]
+    if open_breakers:
+        print(
+            "breakers not closed for shard(s): " + ", ".join(open_breakers),
+            file=sys.stderr,
+        )
+    if report.quarantined:
+        print(
+            f"{report.quarantined} observation(s) quarantined; inspect with "
+            f"'python -m repro quarantine ls --state-dir {args.state_dir}'",
+            file=sys.stderr,
+        )
+    if report.fatal is not None:
+        print(
+            f"FATAL: worker {report.fatal['label']!r} exhausted its restart "
+            f"budget ({report.fatal['error_type']}: {report.fatal['error']}); "
+            f"progress up to offset {report.final_offset} is checkpointed",
+            file=sys.stderr,
+        )
+    if not args.quiet:
+        print(service.metrics.format_stats())
+    if report.status == "failed":
+        return 1
+    if report.status == "interrupted":
+        print(
+            "interrupted: rerun with --resume to continue", file=sys.stderr
+        )
+        return 3
+    return 0
+
+
+def _quarantine(args: argparse.Namespace) -> int:
+    """The quarantine ls/retry command body."""
+    from repro.core.distance import DEFAULT_THRESHOLD
+    from repro.service import (
+        ShardedFingerprintStore,
+        list_quarantine,
+        retry_quarantine,
+    )
+
+    state_dir = Path(args.state_dir)
+    if not state_dir.exists():
+        print(f"quarantine: no state directory at {state_dir}", file=sys.stderr)
+        return 2
+    if args.quarantine_command == "ls":
+        entries = list_quarantine(state_dir)
+        if args.json:
+            print(
+                json.dumps(
+                    [entry.to_json() for entry in entries],
+                    indent=2,
+                    sort_keys=True,
+                )
+            )
+            return 0
+        for entry in entries:
+            preview = entry.observation[:80]
+            if len(entry.observation) > 80 or entry.truncated:
+                preview += "..."
+            print(
+                f"offset {entry.offset}  [{entry.reason}] "
+                f"{entry.detail}  {preview}"
+            )
+        print(f"{len(entries)} quarantined observation(s)")
+        return 0
+    store_dir = Path(args.store)
+    if not (store_dir / "manifest.json").exists():
+        print(f"quarantine: no store at {store_dir}", file=sys.stderr)
+        return 2
+    store = ShardedFingerprintStore(store_dir)
+    threshold = args.threshold if args.threshold is not None else DEFAULT_THRESHOLD
+    report = retry_quarantine(store, state_dir, threshold=threshold)
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+        return 0
+    print(
+        f"retried {report.retried}: matched {report.matched}, "
+        f"unmatched {report.unmatched}; "
+        f"{report.still_quarantined} still quarantined"
+    )
+    return 0
+
+
 def _verify_store(args: argparse.Namespace) -> int:
     """The verify-store command body (read-only)."""
     from repro.reliability import verify_store
@@ -342,9 +628,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.results_dir is not None:
         set_results_dir(args.results_dir)
-    if args.command in ("serve-batch", "verify-store", "repair"):
+    if args.command in (
+        "serve-batch",
+        "stream",
+        "quarantine",
+        "verify-store",
+        "repair",
+    ):
         body = {
             "serve-batch": _serve_batch,
+            "stream": _stream,
+            "quarantine": _quarantine,
             "verify-store": _verify_store,
             "repair": _repair,
         }[args.command]

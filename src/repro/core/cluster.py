@@ -86,6 +86,52 @@ class OnlineClusterer:
         )
         return len(self._clusters) - 1
 
+    def to_state(self) -> dict:
+        """JSON-serializable snapshot of the full clusterer state.
+
+        Clustering is order-dependent (each arrival may refine a
+        fingerprint), so a streaming pipeline that wants to resume
+        after a crash must persist and restore this state exactly —
+        replaying only the unprocessed tail then reproduces the
+        decisions of an uninterrupted run.  Fingerprint bits are stored
+        as set-bit indices (fingerprints are ~1 % dense).
+        """
+        return {
+            "threshold": self._threshold,
+            "next_member_index": self._next_member_index,
+            "clusters": [
+                {
+                    "nbits": cluster.fingerprint.bits.nbits,
+                    "bits": [
+                        int(i) for i in cluster.fingerprint.bits.to_indices()
+                    ],
+                    "support": cluster.fingerprint.support,
+                    "members": list(cluster.members),
+                }
+                for cluster in self._clusters
+            ],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "OnlineClusterer":
+        """Rebuild a clusterer from a :meth:`to_state` snapshot."""
+        clusterer = cls(threshold=float(state["threshold"]))
+        clusterer._next_member_index = int(state["next_member_index"])
+        for entry in state["clusters"]:
+            clusterer._clusters.append(
+                Cluster(
+                    fingerprint=Fingerprint(
+                        bits=BitVector.from_indices(
+                            int(entry["nbits"]),
+                            [int(i) for i in entry["bits"]],
+                        ),
+                        support=int(entry["support"]),
+                    ),
+                    members=[int(m) for m in entry["members"]],
+                )
+            )
+        return clusterer
+
 
 def cluster_outputs(
     approx_outputs: Sequence[BitVector],

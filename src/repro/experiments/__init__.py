@@ -38,10 +38,12 @@ from repro.experiments.base import (
 )
 from repro.experiments.campaign import (
     ACCURACIES,
+    CAMPAIGN_CHECKPOINT_VERSION,
     EVALUATION_GRID,
     TEMPERATURES,
     Campaign,
     build_campaign,
+    build_campaign_checkpointed,
 )
 
 __all__ = [
@@ -50,7 +52,9 @@ __all__ = [
     "run_experiment",
     "Campaign",
     "build_campaign",
+    "build_campaign_checkpointed",
     "ACCURACIES",
+    "CAMPAIGN_CHECKPOINT_VERSION",
     "EVALUATION_GRID",
     "TEMPERATURES",
 ]

@@ -10,11 +10,20 @@ outputs per chip covering the {40, 50, 60 °C} x {99, 95, 90 %} grid.
 
 from __future__ import annotations
 
+import base64
+import json
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
 
+from repro.bits import BitVector
 from repro.core import FingerprintDatabase, characterize_trials, probable_cause_distance
+from repro.core.fingerprint import Fingerprint
 from repro.dram import KM41464A, ChipFamily, DeviceSpec, TrialConditions, TrialResult
+from repro.reliability.faults import StorageIO
+
+#: Version of the per-chip campaign checkpoint files.
+CAMPAIGN_CHECKPOINT_VERSION = 1
 
 #: Operating temperatures of the §7 grid.
 TEMPERATURES = (40.0, 50.0, 60.0)
@@ -100,4 +109,174 @@ def build_campaign(
     for chip, platform in zip(family, platforms):
         for conditions in EVALUATION_GRID:
             outputs.append((chip.label, platform.run_trial(conditions)))
+    return Campaign(family=family, database=database, outputs=outputs)
+
+
+# ----------------------------------------------------------------------
+# Checkpointed (resumable) campaign build
+# ----------------------------------------------------------------------
+#
+# The full campaign is minutes of simulated decay physics; a crashed
+# benchmark run used to pay all of it again.  Chips are seeded
+# independently (base_chip_seed + index), so per-chip results are a
+# pure function of (device, seeds, index) — which makes the chip the
+# natural checkpoint unit: each completed chip's fingerprint and nine
+# evaluation outputs land in an atomically-replaced chip-<index>.json,
+# and a resumed build recomputes only the chips with no file yet.
+
+
+def _encode_bits(bits: BitVector) -> Dict[str, object]:
+    return {
+        "nbits": bits.nbits,
+        "b64": base64.b64encode(bits.to_bytes()).decode("ascii"),
+    }
+
+
+def _decode_bits(payload: Dict[str, object]) -> BitVector:
+    nbits = int(payload["nbits"])
+    decoded = BitVector.from_bytes(base64.b64decode(str(payload["b64"])))
+    # from_bytes rounds nbits up to a whole byte; cut back to the truth.
+    return decoded.slice(0, nbits) if decoded.nbits != nbits else decoded
+
+
+def _campaign_params(
+    n_chips: int, device: DeviceSpec, base_chip_seed: int
+) -> Dict[str, object]:
+    return {
+        "n_chips": n_chips,
+        "device": device.name,
+        "base_chip_seed": base_chip_seed,
+    }
+
+
+def _chip_checkpoint_payload(
+    params: Dict[str, object],
+    chip_index: int,
+    label: str,
+    fingerprint: Fingerprint,
+    trials: List[TrialResult],
+) -> Dict[str, object]:
+    return {
+        "schema_version": CAMPAIGN_CHECKPOINT_VERSION,
+        "params": params,
+        "chip_index": chip_index,
+        "label": label,
+        "fingerprint": {
+            "bits": _encode_bits(fingerprint.bits),
+            "support": fingerprint.support,
+            "source": fingerprint.source,
+        },
+        "outputs": [
+            {
+                "accuracy": trial.conditions.accuracy,
+                "temperature_c": trial.conditions.temperature_c,
+                "interval_s": trial.interval_s,
+                "exact": _encode_bits(trial.exact),
+                "approx": _encode_bits(trial.approx),
+            }
+            for trial in trials
+        ],
+    }
+
+
+def _load_chip_checkpoint(
+    path: Path,
+    params: Dict[str, object],
+    chip_index: int,
+    label: str,
+    storage_io: StorageIO,
+) -> Optional[Tuple[Fingerprint, List[TrialResult]]]:
+    """Read one chip's checkpoint; None when absent/stale/unreadable.
+
+    A payload whose params disagree with the requested build (different
+    device, seed or chip count) is ignored rather than trusted — the
+    chip is simply recomputed, so a stale checkpoint directory can
+    never smuggle another campaign's physics into this one.
+    """
+    if not path.exists():
+        return None
+    try:
+        payload = json.loads(storage_io.read_bytes(path).decode("utf-8"))
+    except (OSError, UnicodeDecodeError, json.JSONDecodeError):
+        return None
+    if payload.get("schema_version") != CAMPAIGN_CHECKPOINT_VERSION:
+        return None
+    if payload.get("params") != params:
+        return None
+    if payload.get("chip_index") != chip_index or payload.get("label") != label:
+        return None
+    source = payload["fingerprint"].get("source")
+    fingerprint = Fingerprint(
+        bits=_decode_bits(payload["fingerprint"]["bits"]),
+        support=int(payload["fingerprint"]["support"]),
+        source=None if source is None else str(source),
+    )
+    trials = [
+        TrialResult(
+            exact=_decode_bits(entry["exact"]),
+            approx=_decode_bits(entry["approx"]),
+            conditions=TrialConditions(
+                float(entry["accuracy"]), float(entry["temperature_c"])
+            ),
+            chip_label=label,
+            interval_s=float(entry["interval_s"]),
+        )
+        for entry in payload["outputs"]
+    ]
+    return fingerprint, trials
+
+
+def build_campaign_checkpointed(
+    checkpoint_dir: Union[str, Path],
+    n_chips: int = 10,
+    device: DeviceSpec = KM41464A,
+    base_chip_seed: int = 1000,
+    storage_io: Optional[StorageIO] = None,
+) -> Campaign:
+    """Build the campaign with per-chip checkpoints; resume is free.
+
+    Produces a campaign equal to :func:`build_campaign` with the same
+    parameters (chips are independently seeded, so replaying a subset
+    changes nothing), while persisting each completed chip to
+    ``checkpoint_dir`` via atomic replace.  Rerunning after a crash
+    recomputes only the missing chips; checkpoints from a different
+    parameterization are ignored and overwritten.
+    """
+    io_seam = storage_io if storage_io is not None else StorageIO()
+    directory = Path(checkpoint_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    params = _campaign_params(n_chips, device, base_chip_seed)
+    family = ChipFamily(device, n_chips=n_chips, base_chip_seed=base_chip_seed)
+    platforms = family.platforms()
+    database = FingerprintDatabase()
+    outputs: List[Tuple[str, TrialResult]] = []
+    for chip_index, (chip, platform) in enumerate(zip(family, platforms)):
+        path = directory / f"chip-{chip_index:04d}.json"
+        restored = _load_chip_checkpoint(
+            path, params, chip_index, chip.label, io_seam
+        )
+        if restored is None:
+            characterization = [
+                platform.run_trial(TrialConditions(0.99, temperature))
+                for temperature in TEMPERATURES
+            ]
+            fingerprint = characterize_trials(characterization)
+            trials = [
+                platform.run_trial(conditions)
+                for conditions in EVALUATION_GRID
+            ]
+            payload = _chip_checkpoint_payload(
+                params, chip_index, chip.label, fingerprint, trials
+            )
+            data = (
+                json.dumps(payload, sort_keys=True) + "\n"
+            ).encode("utf-8")
+            tmp = directory / (path.name + ".tmp")
+            io_seam.write_bytes(tmp, data, sync=True)
+            io_seam.replace(tmp, path)
+            io_seam.fsync_dir(directory)
+        else:
+            fingerprint, trials = restored
+        database.add(chip.label, fingerprint)
+        outputs.extend((chip.label, trial) for trial in trials)
     return Campaign(family=family, database=database, outputs=outputs)

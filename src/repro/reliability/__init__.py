@@ -14,7 +14,18 @@ the store a real failure model and the tools to survive it:
   read-only ``fsck`` for a store directory, and :func:`repair_store`,
   the self-healing pass that salvages readable records out of corrupt
   segments and quarantines the rest while preserving global sequence
-  numbers (and therefore Algorithm 2 decisions).
+  numbers (and therefore Algorithm 2 decisions);
+* :mod:`repro.reliability.breaker` — :class:`CircuitBreaker` /
+  :class:`BreakerBoard`, the per-shard closed → open → half-open state
+  machine the batch engine and the streaming pipeline layer over the
+  retry/timeout path so a persistently failing shard is skipped
+  cheaply instead of re-paying the retry budget forever.
+
+Fault hooks for killing *workers* (not just storage) live next to the
+storage chaos layer: :class:`WorkerCrashPlan` /
+:class:`WorkerFaultInjector` deterministically kill identification
+worker invocations so the supervisor's restart-and-escalate logic is
+testable crash by crash.
 
 The crash-safe write protocol itself (write-ahead journal, fsynced
 segments, atomic manifest swap, idempotent recovery) lives in
@@ -24,11 +35,20 @@ per-shard timeouts, ``degraded`` result tagging) in
 and ``repro repair``.
 """
 
+from repro.reliability.breaker import (
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+    BreakerBoard,
+    CircuitBreaker,
+)
 from repro.reliability.faults import (
     FaultPlan,
     FaultyIO,
     InjectedFault,
     StorageIO,
+    WorkerCrashPlan,
+    WorkerFaultInjector,
 )
 
 _REPAIR_EXPORTS = (
@@ -53,10 +73,17 @@ def __getattr__(name: str):
 
 
 __all__ = [
+    "BreakerBoard",
+    "CircuitBreaker",
     "FaultPlan",
     "FaultyIO",
     "InjectedFault",
+    "STATE_CLOSED",
+    "STATE_HALF_OPEN",
+    "STATE_OPEN",
     "StorageIO",
+    "WorkerCrashPlan",
+    "WorkerFaultInjector",
     "RepairReport",
     "SegmentVerification",
     "StoreVerification",

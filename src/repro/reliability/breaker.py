@@ -1,0 +1,240 @@
+"""Per-shard circuit breakers for the identification fan-out.
+
+The batch engine already retries a failing shard with backoff and a
+timeout — the right behaviour for a *transient* fault, and exactly the
+wrong one for a *persistent* fault: every batch re-pays the full
+retry-and-backoff budget on a shard that is simply gone, and a
+streaming pipeline stalls on it forever.  A circuit breaker turns that
+repeated discovery into remembered state, the classic three-state
+machine:
+
+* **closed** — requests flow; consecutive failures are counted, and
+  reaching ``failure_threshold`` trips the breaker open;
+* **open** — requests are short-circuited without touching the shard
+  (it is reported degraded immediately, costing nothing), until
+  ``reset_timeout_s`` has elapsed;
+* **half-open** — after the timeout one *probe* request is let
+  through; success closes the breaker, failure re-opens it and the
+  timeout starts again.
+
+Time comes from an injectable monotonic clock so tests and the chaos
+benchmark can drive state transitions deterministically.  Metrics are
+duck-typed (anything with a ``count`` method, in practice
+:class:`repro.service.metrics.ServiceMetrics`) to keep this module
+dependency-free of the service layer.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, List, Optional
+
+#: Breaker states (values appear in reports and checkpoints).
+STATE_CLOSED = "closed"
+STATE_OPEN = "open"
+STATE_HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """One three-state breaker guarding a single downstream resource.
+
+    Call :meth:`allow` before attempting the guarded operation; when it
+    returns False the caller should skip the operation and degrade.
+    Report the outcome with :meth:`record_success` /
+    :meth:`record_failure`.  All methods are thread-safe.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive failures (while closed) that trip the breaker.
+    reset_timeout_s:
+        Seconds the breaker stays open before letting one probe
+        through.
+    clock:
+        Monotonic time source (injectable for deterministic tests).
+    metrics:
+        Optional counter sink (``count(name)``); transitions are
+        counted as ``breaker.opened`` / ``breaker.half_open`` /
+        ``breaker.closed`` and short-circuited calls as
+        ``breaker.short_circuits``.
+    name:
+        Label used in snapshots and error messages.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        reset_timeout_s: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+        metrics: Optional[object] = None,
+        name: str = "",
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if reset_timeout_s < 0.0:
+            raise ValueError(
+                f"reset_timeout_s must be >= 0, got {reset_timeout_s}"
+            )
+        self._failure_threshold = failure_threshold
+        self._reset_timeout_s = reset_timeout_s
+        self._clock = clock
+        self._metrics = metrics
+        self.name = name
+        self._lock = threading.Lock()
+        self._state = STATE_CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: Optional[float] = None
+        self._probe_in_flight = False
+        self._times_opened = 0
+
+    def _count(self, counter: str) -> None:
+        if self._metrics is not None:
+            self._metrics.count(counter)
+
+    @property
+    def state(self) -> str:
+        """Current state (``closed`` / ``open`` / ``half_open``)."""
+        with self._lock:
+            return self._state
+
+    @property
+    def times_opened(self) -> int:
+        """How many times this breaker has tripped open."""
+        with self._lock:
+            return self._times_opened
+
+    def allow(self) -> bool:
+        """True when the guarded operation may be attempted now.
+
+        While open, returns False until the reset timeout elapses, at
+        which point exactly one caller is admitted as the half-open
+        probe; concurrent callers keep getting False until that probe
+        reports its outcome.
+        """
+        with self._lock:
+            if self._state == STATE_CLOSED:
+                return True
+            if self._state == STATE_OPEN:
+                elapsed = self._clock() - self._opened_at
+                if elapsed < self._reset_timeout_s:
+                    self._count("breaker.short_circuits")
+                    return False
+                self._state = STATE_HALF_OPEN
+                self._probe_in_flight = True
+                self._count("breaker.half_open")
+                return True
+            # Half-open: only the single probe is in flight.
+            if self._probe_in_flight:
+                self._count("breaker.short_circuits")
+                return False
+            self._probe_in_flight = True
+            return True
+
+    def record_success(self) -> None:
+        """Report that the guarded operation succeeded."""
+        with self._lock:
+            self._consecutive_failures = 0
+            self._probe_in_flight = False
+            if self._state != STATE_CLOSED:
+                self._state = STATE_CLOSED
+                self._opened_at = None
+                self._count("breaker.closed")
+
+    def record_failure(self) -> None:
+        """Report that the guarded operation failed."""
+        with self._lock:
+            self._probe_in_flight = False
+            if self._state == STATE_HALF_OPEN:
+                # The probe failed: straight back to open, fresh timer.
+                self._state = STATE_OPEN
+                self._opened_at = self._clock()
+                self._times_opened += 1
+                self._count("breaker.opened")
+                return
+            self._consecutive_failures += 1
+            if (
+                self._state == STATE_CLOSED
+                and self._consecutive_failures >= self._failure_threshold
+            ):
+                self._state = STATE_OPEN
+                self._opened_at = self._clock()
+                self._times_opened += 1
+                self._count("breaker.opened")
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-friendly view of the breaker's state."""
+        with self._lock:
+            return {
+                "name": self.name,
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "times_opened": self._times_opened,
+            }
+
+
+class BreakerBoard:
+    """Lazy registry of per-shard breakers sharing one configuration.
+
+    The batch engine and the streaming pipeline hold one board per
+    store; shard breakers come into existence on first use so a board
+    never needs to know the shard count up front.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        reset_timeout_s: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+        metrics: Optional[object] = None,
+    ) -> None:
+        self._failure_threshold = failure_threshold
+        self._reset_timeout_s = reset_timeout_s
+        self._clock = clock
+        self._metrics = metrics
+        self._lock = threading.Lock()
+        self._breakers: Dict[int, CircuitBreaker] = {}
+
+    def breaker(self, shard: int) -> CircuitBreaker:
+        """The breaker guarding ``shard`` (created on first use)."""
+        with self._lock:
+            existing = self._breakers.get(shard)
+            if existing is None:
+                existing = self._breakers[shard] = CircuitBreaker(
+                    failure_threshold=self._failure_threshold,
+                    reset_timeout_s=self._reset_timeout_s,
+                    clock=self._clock,
+                    metrics=self._metrics,
+                    name=f"shard-{shard}",
+                )
+            return existing
+
+    def allow(self, shard: int) -> bool:
+        """Delegates to the shard's breaker."""
+        return self.breaker(shard).allow()
+
+    def record_success(self, shard: int) -> None:
+        """Delegates to the shard's breaker."""
+        self.breaker(shard).record_success()
+
+    def record_failure(self, shard: int) -> None:
+        """Delegates to the shard's breaker."""
+        self.breaker(shard).record_failure()
+
+    def open_shards(self) -> List[int]:
+        """Shards whose breaker is currently open or half-open."""
+        with self._lock:
+            breakers = list(self._breakers.items())
+        return sorted(
+            shard
+            for shard, breaker in breakers
+            if breaker.state != STATE_CLOSED
+        )
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Per-shard breaker snapshots keyed by shard id (as strings)."""
+        with self._lock:
+            breakers = list(self._breakers.items())
+        return {str(shard): breaker.snapshot() for shard, breaker in breakers}

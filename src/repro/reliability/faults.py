@@ -25,6 +25,7 @@ and removals — the classic power-cut checklist.  Tests assert the
 from __future__ import annotations
 
 import os
+import threading
 from dataclasses import dataclass
 from pathlib import Path
 from typing import List, Optional, Tuple, Union
@@ -107,6 +108,21 @@ class StorageIO:
                 stream.flush()
                 os.fsync(stream.fileno())
 
+    def append_bytes(self, path: PathLike, data: bytes, sync: bool = True) -> None:
+        """Append ``data`` to ``path`` (creating it), fsynced by default."""
+        with open(path, "ab") as stream:
+            stream.write(data)
+            if sync:
+                stream.flush()
+                os.fsync(stream.fileno())
+
+    def truncate(self, path: PathLike, size: int) -> None:
+        """Cut ``path`` down to ``size`` bytes (resume discards torn tails)."""
+        with open(path, "rb+") as stream:
+            stream.truncate(size)
+            stream.flush()
+            os.fsync(stream.fileno())
+
     def read_bytes(self, path: PathLike) -> bytes:
         """Read the whole file at ``path``."""
         with open(path, "rb") as stream:
@@ -131,6 +147,69 @@ class StorageIO:
     def remove(self, path: PathLike) -> None:
         """Unlink ``path``."""
         os.remove(path)
+
+
+@dataclass(frozen=True)
+class WorkerCrashPlan:
+    """Declarative schedule of identification-worker deaths.
+
+    The streaming pipeline counts worker *invocations* (one per
+    identification attempt, retries included); an invocation whose
+    1-based index is in ``crash_at`` dies with :class:`InjectedFault`
+    before doing any work.  Because the supervisor's restart is a fresh
+    invocation with a later index, a planned crash is transient by
+    construction — exactly the failure the supervisor exists to absorb
+    — while a *run* of consecutive indices models a worker that keeps
+    dying until the restart budget escalates.
+    """
+
+    crash_at: Tuple[int, ...] = ()
+
+    @classmethod
+    def seeded(
+        cls, seed: int, rate: float, horizon: int
+    ) -> "WorkerCrashPlan":
+        """Plan killing roughly ``rate`` of the first ``horizon``
+        invocations, chosen by a seeded RNG (CI's ``REPRO_FAULT_SEED``
+        axis)."""
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {rate}")
+        rng = np.random.default_rng(seed)
+        indices = tuple(
+            int(index) + 1
+            for index in np.flatnonzero(rng.random(horizon) < rate)
+        )
+        return cls(crash_at=indices)
+
+
+class WorkerFaultInjector:
+    """Callable hook a worker runs on entry; dies on planned indices.
+
+    Thread-safe: invocations may come from supervisor-spawned worker
+    threads.  The zero-argument call signature is the whole contract —
+    the streaming pipeline accepts any ``Callable[[], None]`` as its
+    ``worker_fault_hook``, this class is merely the deterministic
+    implementation the chaos tests use.
+    """
+
+    def __init__(self, plan: WorkerCrashPlan) -> None:
+        self.plan = plan
+        self.invocations = 0
+        self.kills = 0
+        self._lock = threading.Lock()
+        self._crash_at = frozenset(plan.crash_at)
+
+    def __call__(self) -> None:
+        with self._lock:
+            self.invocations += 1
+            fires = self.invocations in self._crash_at
+            if fires:
+                self.kills += 1
+            invocation = self.invocations
+        if fires:
+            raise InjectedFault(
+                f"injected worker crash at invocation {invocation}"
+            )
 
 
 class FaultyIO(StorageIO):
@@ -193,6 +272,24 @@ class FaultyIO(StorageIO):
                 return
             raise InjectedFault(f"injected crash at op {self.ops}: {path}")
         self.inner.write_bytes(path, data, sync=sync)
+
+    def append_bytes(self, path: PathLike, data: bytes, sync: bool = True) -> None:
+        if self._enter("append_bytes", path):
+            if self.plan.mode == MODE_TORN:
+                self.inner.append_bytes(path, data[: len(data) // 2], sync=True)
+                raise InjectedFault(
+                    f"injected torn append at op {self.ops}: {path}"
+                )
+            if self.plan.mode == MODE_BITFLIP:
+                self.inner.append_bytes(path, self._corrupt(data), sync=sync)
+                return
+            raise InjectedFault(f"injected crash at op {self.ops}: {path}")
+        self.inner.append_bytes(path, data, sync=sync)
+
+    def truncate(self, path: PathLike, size: int) -> None:
+        if self._enter("truncate", path):
+            raise InjectedFault(f"injected crash at op {self.ops}: {path}")
+        self.inner.truncate(path, size)
 
     def read_bytes(self, path: PathLike) -> bytes:
         if self._enter("read_bytes", path):

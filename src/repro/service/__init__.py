@@ -20,19 +20,29 @@ that makes them answer at that scale:
 * :mod:`repro.service.batch` — a batch query engine that fans shards
   out over a worker pool (with retry, backoff and per-shard timeouts,
   degrading instead of failing when shards are unreadable) and routes
-  unmatched residuals to the online clusterer.
+  unmatched residuals to the online clusterer;
+* :mod:`repro.service.supervisor` — worker supervision: crashed
+  workers restart in fresh threads with capped exponential backoff and
+  escalate to a machine-readable fatal report when the budget runs out;
+* :mod:`repro.service.stream` — the supervised streaming pipeline:
+  bounded-queue ingest with backpressure and admission control,
+  validation quarantine, per-shard circuit breaking, checkpointed
+  exactly-once ``--resume`` and graceful SIGTERM drain.
 
 Fault injection and offline verify/repair live in
 :mod:`repro.reliability`.  The CLI front ends are ``python -m repro
-serve-batch`` / ``verify-store`` / ``repair``.
+serve-batch`` / ``stream`` / ``quarantine`` / ``verify-store`` /
+``repair``.
 """
 
 from repro.service.batch import (
+    SCHEMA_VERSION,
     BatchQuery,
     BatchReport,
     BatchIdentificationService,
     DegradedShard,
     QueryResult,
+    merge_degraded,
 )
 from repro.service.indexed import IndexedFingerprintDatabase, IndexParams
 from repro.service.metrics import LatencyHistogram, ServiceMetrics
@@ -43,20 +53,59 @@ from repro.service.store import (
     ShardedFingerprintStore,
     StoreError,
 )
+from repro.service.supervisor import SupervisorEscalation, WorkerSupervisor
+
+# stream imports from batch/store/supervisor; keep it last.
+from repro.service.stream import (
+    Admission,
+    BoundedObservationQueue,
+    ObservationError,
+    QuarantineEntry,
+    QuarantineRetryReport,
+    StreamCheckpoint,
+    StreamError,
+    StreamReport,
+    StreamSession,
+    StreamingIdentificationService,
+    install_signal_handlers,
+    list_quarantine,
+    observation_records,
+    retry_quarantine,
+    validate_observation,
+)
 
 __all__ = [
+    "SCHEMA_VERSION",
+    "Admission",
     "BatchQuery",
     "BatchReport",
     "BatchIdentificationService",
+    "BoundedObservationQueue",
     "DegradedShard",
+    "ObservationError",
     "QueryResult",
     "IndexedFingerprintDatabase",
     "IndexParams",
     "LatencyHistogram",
     "QuarantinedSegment",
+    "QuarantineEntry",
+    "QuarantineRetryReport",
     "RecoveryReport",
     "SegmentRecord",
     "ServiceMetrics",
     "ShardedFingerprintStore",
     "StoreError",
+    "StreamCheckpoint",
+    "StreamError",
+    "StreamReport",
+    "StreamSession",
+    "StreamingIdentificationService",
+    "SupervisorEscalation",
+    "WorkerSupervisor",
+    "install_signal_handlers",
+    "list_quarantine",
+    "merge_degraded",
+    "observation_records",
+    "retry_quarantine",
+    "validate_observation",
 ]

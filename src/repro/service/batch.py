@@ -47,9 +47,17 @@ from repro.core.cluster import OnlineClusterer
 from repro.core.distance import DEFAULT_THRESHOLD, probable_cause_distance
 from repro.core.errors import mark_errors_batch
 from repro.core.identify import Identification
+from repro.reliability.breaker import BreakerBoard
 from repro.service.indexed import IndexedFingerprintDatabase
 from repro.service.metrics import ServiceMetrics
 from repro.service.store import LoadedShard, ShardedFingerprintStore
+
+#: Version stamped into every serialized report and checkpoint payload
+#: (:meth:`BatchReport.to_json`, :meth:`DegradedShard.to_json`, the
+#: streaming results/checkpoint files).  Bump on breaking layout
+#: changes; readers reject versions they do not understand instead of
+#: misparsing them.
+SCHEMA_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -96,19 +104,83 @@ class DegradedShard:
     key space the shard owns (``None`` = open end): any stored
     fingerprint whose key falls in it may have been skipped, so a
     no-match answer for such a key is advisory, not authoritative.
+    ``attempts`` counts how many times the shard was actually tried
+    (0 when a circuit breaker skipped it without touching disk); a
+    shard failing repeatedly across retries or stream micro-batches is
+    reported once with its attempts summed, not once per failure.
     """
 
     shard: int
     key_range: Tuple[Optional[str], Optional[str]]
     reason: str
+    attempts: int = 1
 
     def to_json(self) -> Dict[str, object]:
-        """JSON rendering for reports."""
+        """JSON rendering for reports and checkpoints."""
         return {
+            "schema_version": SCHEMA_VERSION,
             "shard": self.shard,
             "key_range": list(self.key_range),
             "reason": self.reason,
+            "attempts": self.attempts,
         }
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, object]) -> "DegradedShard":
+        """Inverse of :meth:`to_json`; rejects unknown schema versions."""
+        version = payload.get("schema_version", SCHEMA_VERSION)
+        if version != SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported DegradedShard schema_version {version!r}"
+            )
+        low, high = payload["key_range"]
+        return cls(
+            shard=int(payload["shard"]),
+            key_range=(
+                None if low is None else str(low),
+                None if high is None else str(high),
+            ),
+            reason=str(payload["reason"]),
+            attempts=int(payload.get("attempts", 1)),
+        )
+
+    def merged_with(self, other: "DegradedShard") -> "DegradedShard":
+        """Combine two entries for the same shard into one.
+
+        Attempts add up; a repeated reason is kept once, distinct
+        reasons are joined so no information is dropped.
+        """
+        if other.shard != self.shard:
+            raise ValueError(
+                f"cannot merge shard {other.shard} into shard {self.shard}"
+            )
+        if other.reason == self.reason:
+            reason = self.reason
+        else:
+            reason = f"{self.reason}; {other.reason}"
+        return DegradedShard(
+            shard=self.shard,
+            key_range=self.key_range,
+            reason=reason,
+            attempts=self.attempts + other.attempts,
+        )
+
+
+def merge_degraded(entries: Sequence[DegradedShard]) -> List[DegradedShard]:
+    """Deduplicate degraded-shard entries by shard id.
+
+    Used wherever degradation accumulates across attempts — within one
+    batch (a shard both quarantined and timing out) and across stream
+    micro-batches (the same shard failing every batch): one entry per
+    shard, attempts summed, ordered by shard id.
+    """
+    merged: Dict[int, DegradedShard] = {}
+    for entry in entries:
+        existing = merged.get(entry.shard)
+        merged[entry.shard] = (
+            entry if existing is None else existing.merged_with(entry)
+        )
+    return [merged[shard] for shard in sorted(merged)]
 
 
 @dataclass(frozen=True)
@@ -162,6 +234,7 @@ class BatchReport:
     def to_json(self) -> Dict[str, object]:
         """JSON-serializable report (CLI and benchmark output)."""
         return {
+            "schema_version": SCHEMA_VERSION,
             "matched": self.matched_count,
             "unmatched": self.unmatched_count,
             "degraded": self.degraded,
@@ -209,6 +282,14 @@ class BatchIdentificationService:
     shard_timeout_s:
         Wall-clock budget to wait for any one shard's answer; a shard
         exceeding it is declared degraded (None = wait forever).
+    breakers:
+        Optional :class:`~repro.reliability.breaker.BreakerBoard` of
+        per-shard circuit breakers layered *over* the retry/timeout
+        path: a shard whose breaker is open is skipped without being
+        loaded (reported degraded with ``attempts=0``), successes and
+        failures feed the breaker state machine.  Share one board
+        across batches (the streaming pipeline does) so persistent
+        shard failure stops burning the retry budget.
     metrics:
         Instrumentation sink; defaults to the backend's own.
     """
@@ -223,6 +304,7 @@ class BatchIdentificationService:
         shard_retries: int = 2,
         retry_backoff_s: float = 0.05,
         shard_timeout_s: Optional[float] = None,
+        breakers: Optional[BreakerBoard] = None,
         metrics: Optional[ServiceMetrics] = None,
     ) -> None:
         if not 0.0 < threshold <= 1.0:
@@ -241,6 +323,7 @@ class BatchIdentificationService:
         self._shard_retries = shard_retries
         self._retry_backoff_s = retry_backoff_s
         self._shard_timeout_s = shard_timeout_s
+        self._breakers = breakers
         self._clusterer: Optional[OnlineClusterer] = (
             OnlineClusterer(threshold=threshold) if cluster_residuals else None
         )
@@ -259,6 +342,11 @@ class BatchIdentificationService:
     def clusterer(self) -> Optional[OnlineClusterer]:
         """Residual clusterer (None when residual routing is off)."""
         return self._clusterer
+
+    @property
+    def breakers(self) -> Optional[BreakerBoard]:
+        """Per-shard circuit breaker board (None when disabled)."""
+        return self._breakers
 
     # ------------------------------------------------------------------
     # Query execution
@@ -343,7 +431,31 @@ class BatchIdentificationService:
             if any(segment.shard == shard for segment in store.segments)
         ]
         if not shards:
-            return [Identification.failed() for _ in error_strings], degraded
+            return (
+                [Identification.failed() for _ in error_strings],
+                merge_degraded(degraded),
+            )
+        admitted: List[int] = []
+        for shard in shards:
+            if self._breakers is not None and not self._breakers.allow(shard):
+                # Open breaker: the shard has failed persistently, skip
+                # it without paying the load/retry budget at all.
+                self._metrics.count("batch.shard_short_circuits")
+                degraded.append(
+                    DegradedShard(
+                        shard=shard,
+                        key_range=store.shard_key_range(shard),
+                        reason="circuit breaker open: shard skipped",
+                        attempts=0,
+                    )
+                )
+            else:
+                admitted.append(shard)
+        if not admitted:
+            return (
+                [Identification.failed() for _ in error_strings],
+                merge_degraded(degraded),
+            )
         pool = concurrent.futures.ThreadPoolExecutor(
             max_workers=self._max_workers
         )
@@ -352,7 +464,7 @@ class BatchIdentificationService:
                 shard: pool.submit(
                     self._load_and_scan, store, shard, error_strings
                 )
-                for shard in shards
+                for shard in admitted
             }
             per_shard: List[List[Optional[Tuple[int, Identification]]]] = []
             deadline = (
@@ -368,6 +480,8 @@ class BatchIdentificationService:
                     per_shard.append(future.result(timeout=remaining))
                 except concurrent.futures.TimeoutError:
                     self._metrics.count("batch.shard_timeouts")
+                    if self._breakers is not None:
+                        self._breakers.record_failure(shard)
                     degraded.append(
                         DegradedShard(
                             shard=shard,
@@ -379,13 +493,19 @@ class BatchIdentificationService:
                     )
                 except Exception as error:  # noqa: BLE001 - degrade, never fail
                     self._metrics.count("batch.shard_failures")
+                    if self._breakers is not None:
+                        self._breakers.record_failure(shard)
                     degraded.append(
                         DegradedShard(
                             shard=shard,
                             key_range=store.shard_key_range(shard),
                             reason=f"unreadable after retries: {error}",
+                            attempts=self._shard_retries + 1,
                         )
                     )
+                else:
+                    if self._breakers is not None:
+                        self._breakers.record_success(shard)
         finally:
             pool.shutdown(wait=False, cancel_futures=True)
         # Merge: per query, the match with the smallest global sequence.
@@ -399,7 +519,7 @@ class BatchIdentificationService:
                 if best is None or answer[0] < best[0]:
                     best = answer
             merged.append(best[1] if best is not None else Identification.failed())
-        return merged, degraded
+        return merged, merge_degraded(degraded)
 
     def _load_and_scan(
         self,

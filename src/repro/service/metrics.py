@@ -52,74 +52,103 @@ class LatencyHistogram:
     decade from 1 µs up), so memory is constant regardless of sample
     count and percentiles are accurate to ~58 % relative error bounds —
     plenty for the p50/p95 service dashboards this feeds.
+
+    The histogram is itself thread-safe (an internal re-entrant lock
+    guards every read and write), so the streaming pipeline's workers
+    may record into one instance concurrently — whether they reached it
+    through :class:`ServiceMetrics` or hold it directly.
     """
 
-    __slots__ = ("_counts", "_count", "_sum", "_max")
+    __slots__ = ("_counts", "_count", "_sum", "_max", "_min", "_lock")
 
     def __init__(self) -> None:
+        self._lock = threading.RLock()
         self._counts = [0] * _N_BUCKETS
         self._count = 0
         self._sum = 0.0
         self._max = 0.0
+        self._min = 0.0
 
     @property
     def count(self) -> int:
         """Number of samples recorded."""
-        return self._count
+        with self._lock:
+            return self._count
 
     @property
     def total(self) -> float:
         """Sum of all recorded latencies in seconds."""
-        return self._sum
+        with self._lock:
+            return self._sum
 
     @property
     def mean(self) -> float:
         """Mean latency in seconds (0.0 when empty)."""
-        return self._sum / self._count if self._count else 0.0
+        with self._lock:
+            return self._sum / self._count if self._count else 0.0
 
     @property
     def max(self) -> float:
         """Largest recorded latency in seconds."""
-        return self._max
+        with self._lock:
+            return self._max
+
+    @property
+    def min(self) -> float:
+        """Smallest recorded latency in seconds (0.0 when empty)."""
+        with self._lock:
+            return self._min
 
     def record(self, seconds: float) -> None:
         """Record one latency sample (negative samples clamp to zero)."""
         seconds = max(0.0, float(seconds))
-        self._counts[_bucket_index(seconds)] += 1
-        self._count += 1
-        self._sum += seconds
-        if seconds > self._max:
-            self._max = seconds
+        with self._lock:
+            self._counts[_bucket_index(seconds)] += 1
+            if self._count == 0 or seconds < self._min:
+                self._min = seconds
+            self._count += 1
+            self._sum += seconds
+            if seconds > self._max:
+                self._max = seconds
 
     def percentile(self, q: float) -> float:
         """Latency below which a fraction ``q`` of samples fall.
 
-        Returns the upper bound of the bucket containing the requested
-        rank (0.0 on an empty histogram).  ``q`` is a fraction in
-        [0, 1], e.g. 0.95 for p95.
+        ``q`` is a fraction in [0, 1], e.g. 0.95 for p95.  Estimates
+        come from the bucket containing the requested rank, clamped
+        into ``[min, max]`` of the recorded samples so the edges are
+        exact: an empty histogram answers 0.0 for every ``q``, ``q=0``
+        answers the smallest sample, ``q=1`` the largest, and a
+        single-sample histogram answers that sample at every ``q``.
         """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"percentile fraction must be in [0, 1], got {q}")
-        if self._count == 0:
-            return 0.0
-        rank = q * self._count
-        seen = 0
-        for index, bucket_count in enumerate(self._counts):
-            seen += bucket_count
-            if seen >= rank and bucket_count:
-                return min(_bucket_upper_bound(index), self._max)
-        return self._max
+        with self._lock:
+            if self._count == 0:
+                return 0.0
+            if q == 0.0:
+                return self._min
+            rank = q * self._count
+            seen = 0
+            for index, bucket_count in enumerate(self._counts):
+                seen += bucket_count
+                if seen >= rank and bucket_count:
+                    estimate = _bucket_upper_bound(index)
+                    return min(max(estimate, self._min), self._max)
+            return self._max
 
     def snapshot(self) -> Dict[str, float]:
-        """Summary dict: count, mean/max and p50/p95/p99 in seconds."""
-        return {
-            "count": float(self._count),
-            "mean_s": self.mean,
-            "max_s": self._max,
-            "p50_s": self.percentile(0.50),
-            "p95_s": self.percentile(0.95),
-            "p99_s": self.percentile(0.99),
-        }
+        """Summary dict: count, mean/min/max and p50/p95/p99 in seconds."""
+        with self._lock:
+            return {
+                "count": float(self._count),
+                "mean_s": self.mean,
+                "min_s": self._min,
+                "max_s": self._max,
+                "p50_s": self.percentile(0.50),
+                "p95_s": self.percentile(0.95),
+                "p99_s": self.percentile(0.99),
+            }
 
 
 class ServiceMetrics:

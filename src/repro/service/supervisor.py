@@ -1,0 +1,174 @@
+"""Worker supervision: restart crashed workers, escalate when hopeless.
+
+A long-running interception pipeline cannot treat a worker crash as a
+pipeline crash: a poisoned observation, a transient allocator failure
+or an injected chaos fault should cost one retry, not the whole
+campaign.  :class:`WorkerSupervisor` runs each unit of work in a fresh
+worker thread and applies the classic supervision policy:
+
+* a crashed worker (any exception escaping the task) is **restarted**
+  in a brand-new thread — a dead thread cannot be revived, so restart
+  means respawn;
+* restarts back off **exponentially** from ``backoff_base_s`` up to a
+  cap, so a hot crash loop does not spin the CPU;
+* after ``max_restarts`` restarts the supervisor **escalates**:
+  :class:`SupervisorEscalation` carries a machine-readable fatal
+  report (label, attempts, backoff schedule, last error) for the
+  pipeline to persist before it dies.
+
+The supervisor is policy only — it knows nothing about identification.
+The streaming pipeline hands it micro-batch closures; the chaos tests
+hand it tasks rigged with
+:class:`~repro.reliability.faults.WorkerFaultInjector` kill plans.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, List, Optional, TypeVar
+
+from repro.service.metrics import ServiceMetrics
+
+T = TypeVar("T")
+
+
+class SupervisorEscalation(RuntimeError):
+    """A worker kept dying after exhausting its restart budget.
+
+    ``fatal_report()`` is the machine-readable post-mortem the pipeline
+    writes to disk before aborting, so an operator (or a test) can see
+    exactly what died, how often, and with what error.
+    """
+
+    def __init__(
+        self,
+        label: str,
+        attempts: int,
+        backoffs_s: List[float],
+        cause: BaseException,
+    ) -> None:
+        super().__init__(
+            f"worker {label!r} failed {attempts} time(s), "
+            f"restart budget exhausted: {cause!r}"
+        )
+        self.label = label
+        self.attempts = attempts
+        self.backoffs_s = list(backoffs_s)
+        self.cause = cause
+
+    def fatal_report(self) -> Dict[str, object]:
+        """JSON-serializable description of the escalation."""
+        return {
+            "schema_version": 1,
+            "label": self.label,
+            "attempts": self.attempts,
+            "backoffs_s": self.backoffs_s,
+            "error_type": type(self.cause).__name__,
+            "error": str(self.cause),
+        }
+
+
+class WorkerSupervisor:
+    """Run tasks in supervised worker threads with capped-backoff restarts.
+
+    Parameters
+    ----------
+    max_restarts:
+        Restarts granted per task (so a task runs at most
+        ``max_restarts + 1`` times) before escalation.
+    backoff_base_s:
+        Delay before the first restart; doubles per subsequent restart.
+    backoff_cap_s:
+        Upper bound on any single backoff delay.
+    metrics:
+        Counter sink: ``supervisor.restarts``, ``supervisor.escalations``
+        and per-run ``supervisor.crashes`` are recorded here.
+    sleep:
+        Injectable sleep (tests pass a recorder to assert the schedule
+        without waiting).
+    """
+
+    def __init__(
+        self,
+        max_restarts: int = 3,
+        backoff_base_s: float = 0.05,
+        backoff_cap_s: float = 2.0,
+        metrics: Optional[ServiceMetrics] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if max_restarts < 0:
+            raise ValueError(f"max_restarts must be >= 0, got {max_restarts}")
+        if backoff_base_s < 0.0 or backoff_cap_s < 0.0:
+            raise ValueError("backoff delays must be >= 0")
+        self._max_restarts = max_restarts
+        self._backoff_base_s = backoff_base_s
+        self._backoff_cap_s = backoff_cap_s
+        self._metrics = metrics if metrics is not None else ServiceMetrics()
+        self._sleep = sleep
+
+    @property
+    def max_restarts(self) -> int:
+        """Restart budget per supervised task."""
+        return self._max_restarts
+
+    @property
+    def metrics(self) -> ServiceMetrics:
+        """Instrumentation sink."""
+        return self._metrics
+
+    def backoff_schedule(self) -> List[float]:
+        """The capped-exponential delays a fully failing task would see."""
+        return [
+            min(self._backoff_cap_s, self._backoff_base_s * (2 ** attempt))
+            for attempt in range(self._max_restarts)
+        ]
+
+    def run(self, task: Callable[[], T], label: str = "worker") -> T:
+        """Execute ``task`` under supervision and return its result.
+
+        Each attempt runs in a fresh worker thread; the calling thread
+        blocks for the outcome (the pipeline's parallelism lives inside
+        the task's shard fan-out, not here).  Raises
+        :class:`SupervisorEscalation` when the restart budget runs out.
+        """
+        backoffs: List[float] = []
+        last_error: Optional[BaseException] = None
+        for attempt in range(self._max_restarts + 1):
+            if attempt:
+                delay = min(
+                    self._backoff_cap_s,
+                    self._backoff_base_s * (2 ** (attempt - 1)),
+                )
+                backoffs.append(delay)
+                self._metrics.count("supervisor.restarts")
+                if delay:
+                    self._sleep(delay)
+            outcome: Dict[str, object] = {}
+
+            def body() -> None:
+                try:
+                    outcome["value"] = task()
+                except BaseException as error:  # noqa: BLE001 - supervised
+                    outcome["error"] = error
+
+            worker = threading.Thread(
+                target=body,
+                name=f"{label}-attempt-{attempt}",
+                daemon=True,
+            )
+            with self._metrics.time("supervisor.attempt"):
+                worker.start()
+                worker.join()
+            if "error" not in outcome:
+                return outcome["value"]  # type: ignore[return-value]
+            last_error = outcome["error"]  # type: ignore[assignment]
+            self._metrics.count("supervisor.crashes")
+        self._metrics.count("supervisor.escalations")
+        assert last_error is not None
+        raise SupervisorEscalation(
+            label=label,
+            attempts=self._max_restarts + 1,
+            backoffs_s=backoffs,
+            cause=last_error,
+        )

@@ -2,15 +2,40 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.dram import TEST_DEVICE
-from repro.experiments import ACCURACIES, TEMPERATURES, build_campaign
+from repro.experiments import (
+    ACCURACIES,
+    TEMPERATURES,
+    build_campaign,
+    build_campaign_checkpointed,
+)
 
 
 @pytest.fixture(scope="module")
 def small_campaign():
     return build_campaign(n_chips=2, device=TEST_DEVICE)
+
+
+def campaigns_equal(a, b) -> bool:
+    """Full structural equality: fingerprints and every trial output."""
+    if sorted(a.database.items(), key=lambda kv: kv[0]) != sorted(
+        b.database.items(), key=lambda kv: kv[0]
+    ):
+        return False
+    if len(a.outputs) != len(b.outputs):
+        return False
+    for (label_a, trial_a), (label_b, trial_b) in zip(a.outputs, b.outputs):
+        if label_a != label_b or trial_a.conditions != trial_b.conditions:
+            return False
+        if trial_a.exact != trial_b.exact or trial_a.approx != trial_b.approx:
+            return False
+        if trial_a.interval_s != trial_b.interval_s:
+            return False
+    return True
 
 
 class TestBuildCampaign:
@@ -39,6 +64,68 @@ class TestBuildCampaign:
             first.database.get(first.family[0].label).bits
             == second.database.get(second.family[0].label).bits
         )
+
+
+class TestCheckpointedBuild:
+    def test_equals_plain_build(self, tmp_path, small_campaign):
+        checkpointed = build_campaign_checkpointed(
+            tmp_path / "ckpt", n_chips=2, device=TEST_DEVICE
+        )
+        assert campaigns_equal(small_campaign, checkpointed)
+        files = sorted(p.name for p in (tmp_path / "ckpt").iterdir())
+        assert files == ["chip-0000.json", "chip-0001.json"]
+
+    def test_resume_skips_completed_chips_and_matches(
+        self, tmp_path, small_campaign
+    ):
+        directory = tmp_path / "ckpt"
+        build_campaign_checkpointed(directory, n_chips=2, device=TEST_DEVICE)
+        stamps = {
+            p.name: p.stat().st_mtime_ns for p in directory.iterdir()
+        }
+        resumed = build_campaign_checkpointed(
+            directory, n_chips=2, device=TEST_DEVICE
+        )
+        assert campaigns_equal(small_campaign, resumed)
+        # untouched checkpoints: nothing was recomputed or rewritten
+        assert stamps == {
+            p.name: p.stat().st_mtime_ns for p in directory.iterdir()
+        }
+
+    def test_partial_checkpoint_resumes_remaining_chips(
+        self, tmp_path, small_campaign
+    ):
+        directory = tmp_path / "ckpt"
+        build_campaign_checkpointed(directory, n_chips=2, device=TEST_DEVICE)
+        (directory / "chip-0001.json").unlink()  # simulate a crash
+        resumed = build_campaign_checkpointed(
+            directory, n_chips=2, device=TEST_DEVICE
+        )
+        assert campaigns_equal(small_campaign, resumed)
+        assert (directory / "chip-0001.json").exists()
+
+    def test_corrupt_checkpoint_is_recomputed(self, tmp_path, small_campaign):
+        directory = tmp_path / "ckpt"
+        build_campaign_checkpointed(directory, n_chips=2, device=TEST_DEVICE)
+        (directory / "chip-0000.json").write_text("{torn")
+        resumed = build_campaign_checkpointed(
+            directory, n_chips=2, device=TEST_DEVICE
+        )
+        assert campaigns_equal(small_campaign, resumed)
+        json.loads((directory / "chip-0000.json").read_text())  # rewritten
+
+    def test_mismatched_params_are_ignored_not_trusted(self, tmp_path):
+        directory = tmp_path / "ckpt"
+        build_campaign_checkpointed(
+            directory, n_chips=1, device=TEST_DEVICE, base_chip_seed=1000
+        )
+        other = build_campaign_checkpointed(
+            directory, n_chips=1, device=TEST_DEVICE, base_chip_seed=2000
+        )
+        expected = build_campaign(
+            n_chips=1, device=TEST_DEVICE, base_chip_seed=2000
+        )
+        assert campaigns_equal(expected, other)
 
 
 class TestDistances:

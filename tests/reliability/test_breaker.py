@@ -1,0 +1,161 @@
+"""Tests for the per-shard circuit breaker state machine."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.reliability import (
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+    BreakerBoard,
+    CircuitBreaker,
+)
+from repro.service import ServiceMetrics
+
+
+class FakeClock:
+    """Manually advanced monotonic clock."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestCircuitBreaker:
+    def test_starts_closed_and_allows(self):
+        breaker = CircuitBreaker()
+        assert breaker.state == STATE_CLOSED
+        assert breaker.allow()
+
+    def test_opens_after_threshold_consecutive_failures(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=3, clock=clock)
+        for _ in range(2):
+            breaker.record_failure()
+            assert breaker.state == STATE_CLOSED
+        breaker.record_failure()
+        assert breaker.state == STATE_OPEN
+        assert not breaker.allow()
+
+    def test_success_resets_the_failure_count(self):
+        breaker = CircuitBreaker(failure_threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == STATE_CLOSED
+
+    def test_open_allows_single_probe_after_reset_timeout(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout_s=10.0, clock=clock
+        )
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(9.0)
+        assert not breaker.allow()
+        clock.advance(1.5)
+        assert breaker.allow()  # the half-open probe
+        assert breaker.state == STATE_HALF_OPEN
+        assert not breaker.allow()  # only one probe in flight
+
+    def test_probe_success_closes(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout_s=1.0, clock=clock
+        )
+        breaker.record_failure()
+        clock.advance(2.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == STATE_CLOSED
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_with_fresh_timer(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout_s=10.0, clock=clock
+        )
+        breaker.record_failure()
+        clock.advance(11.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == STATE_OPEN
+        clock.advance(9.0)  # fresh timer: not yet
+        assert not breaker.allow()
+        clock.advance(2.0)
+        assert breaker.allow()
+
+    def test_metrics_and_snapshot(self):
+        clock = FakeClock()
+        metrics = ServiceMetrics()
+        breaker = CircuitBreaker(
+            failure_threshold=1,
+            reset_timeout_s=1.0,
+            clock=clock,
+            metrics=metrics,
+            name="7",
+        )
+        breaker.record_failure()
+        breaker.allow()
+        assert metrics.counter("breaker.opened") == 1
+        assert metrics.counter("breaker.short_circuits") == 1
+        snap = breaker.snapshot()
+        assert snap["state"] == STATE_OPEN
+        assert snap["times_opened"] == 1
+
+    def test_thread_safety_under_concurrent_traffic(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=5, clock=clock)
+
+        def work():
+            for _ in range(500):
+                if breaker.allow():
+                    breaker.record_failure()
+                    breaker.record_success()
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert breaker.state in (STATE_CLOSED, STATE_OPEN, STATE_HALF_OPEN)
+
+
+class TestBreakerBoard:
+    def test_per_shard_isolation(self):
+        clock = FakeClock()
+        board = BreakerBoard(
+            failure_threshold=1, reset_timeout_s=1.0, clock=clock
+        )
+        board.record_failure(1)
+        assert not board.allow(1)
+        assert board.allow(0)
+        assert board.open_shards() == [1]
+
+    def test_snapshot_keyed_by_shard(self):
+        board = BreakerBoard(failure_threshold=1)
+        board.record_failure(2)
+        board.record_success(0)
+        snap = board.snapshot()
+        assert snap["2"]["state"] == STATE_OPEN
+        assert snap["0"]["state"] == STATE_CLOSED
+
+    def test_recovery_path_through_half_open(self):
+        clock = FakeClock()
+        board = BreakerBoard(
+            failure_threshold=2, reset_timeout_s=5.0, clock=clock
+        )
+        board.record_failure(3)
+        board.record_failure(3)
+        assert not board.allow(3)
+        clock.advance(6.0)
+        assert board.allow(3)
+        board.record_success(3)
+        assert board.breaker(3).state == STATE_CLOSED
+        assert board.open_shards() == []

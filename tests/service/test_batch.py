@@ -2,15 +2,20 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.bits import BitVector
 from repro.core import Fingerprint, FingerprintDatabase, mark_errors
 from repro.service import (
+    SCHEMA_VERSION,
     BatchIdentificationService,
     BatchQuery,
+    DegradedShard,
     IndexedFingerprintDatabase,
     ShardedFingerprintStore,
+    merge_degraded,
 )
 from repro.service.batch import verify_against_linear
 
@@ -200,3 +205,102 @@ class TestReporting:
         )
         assert report.matched_count == 0
         assert report.results[0].suspect_key == "suspect-0"
+
+
+class TestSchemaVersioning:
+    def test_batch_report_carries_schema_version(self, rng):
+        corpus, queries, _expected = corpus_and_queries(rng, n_hits=2, n_misses=1)
+        database = IndexedFingerprintDatabase()
+        for key, fingerprint in corpus:
+            database.add(key, fingerprint)
+        payload = BatchIdentificationService(database).run(queries).to_json()
+        assert payload["schema_version"] == SCHEMA_VERSION
+
+    def test_degraded_shard_round_trips(self):
+        entry = DegradedShard(
+            shard=3,
+            key_range=("device-0100", None),
+            reason="unreadable after retries: boom",
+            attempts=3,
+        )
+        payload = entry.to_json()
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert DegradedShard.from_json(payload) == entry
+        # and through an actual JSON encode/decode cycle
+        recycled = DegradedShard.from_json(json.loads(json.dumps(payload)))
+        assert recycled == entry
+
+    def test_unknown_schema_version_is_rejected(self):
+        payload = DegradedShard(
+            shard=0, key_range=(None, None), reason="x"
+        ).to_json()
+        payload["schema_version"] = 999
+        with pytest.raises(ValueError):
+            DegradedShard.from_json(payload)
+
+    def test_missing_attempts_defaults_to_one(self):
+        payload = DegradedShard(
+            shard=0, key_range=(None, None), reason="x"
+        ).to_json()
+        del payload["attempts"]
+        assert DegradedShard.from_json(payload).attempts == 1
+
+
+class TestDegradedDeduplication:
+    def test_merge_sums_attempts_and_keeps_single_reason(self):
+        a = DegradedShard(shard=1, key_range=(None, None), reason="r", attempts=2)
+        b = DegradedShard(shard=1, key_range=(None, None), reason="r", attempts=3)
+        merged = merge_degraded([a, b])
+        assert len(merged) == 1
+        assert merged[0].attempts == 5
+        assert merged[0].reason == "r"
+
+    def test_merge_joins_distinct_reasons(self):
+        a = DegradedShard(
+            shard=1, key_range=(None, None), reason="timed out", attempts=1
+        )
+        b = DegradedShard(
+            shard=1, key_range=(None, None), reason="unreadable", attempts=3
+        )
+        merged = merge_degraded([a, b])
+        assert merged[0].reason == "timed out; unreadable"
+        assert merged[0].attempts == 4
+
+    def test_merge_orders_by_shard_and_preserves_distinct_shards(self):
+        entries = [
+            DegradedShard(shard=2, key_range=(None, None), reason="x"),
+            DegradedShard(shard=0, key_range=(None, None), reason="y"),
+            DegradedShard(shard=2, key_range=(None, None), reason="x"),
+        ]
+        merged = merge_degraded(entries)
+        assert [entry.shard for entry in merged] == [0, 2]
+        assert merged[1].attempts == 2
+
+    def test_merged_with_rejects_shard_mismatch(self):
+        a = DegradedShard(shard=1, key_range=(None, None), reason="x")
+        b = DegradedShard(shard=2, key_range=(None, None), reason="x")
+        with pytest.raises(ValueError):
+            a.merged_with(b)
+
+    def test_failing_shard_reported_once_per_batch(self, tmp_path, rng):
+        """A shard that is both quarantined-degraded and load-failing
+        produces one merged entry, not duplicates."""
+        from repro.reliability import FaultPlan, FaultyIO
+
+        corpus, queries, _expected = corpus_and_queries(
+            rng, n_devices=60, n_hits=4, n_misses=0
+        )
+        store = ShardedFingerprintStore(tmp_path / "store", n_shards=2)
+        store.ingest(corpus)
+        faulty = FaultyIO(
+            FaultPlan(fail_at=1, fail_count=10**9, match="shard-001")
+        )
+        broken = ShardedFingerprintStore(tmp_path / "store", storage_io=faulty)
+        service = BatchIdentificationService(
+            broken, shard_retries=1, retry_backoff_s=0.0
+        )
+        report = service.run(queries)
+        shards = [entry.shard for entry in report.degraded_shards]
+        assert shards == sorted(set(shards))
+        entry = next(e for e in report.degraded_shards if e.shard == 1)
+        assert entry.attempts == 2  # retries + 1

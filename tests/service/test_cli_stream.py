@@ -1,0 +1,221 @@
+"""Tests for the ``stream`` and ``quarantine`` CLI commands."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bits import BitVector
+from repro.cli import main
+from repro.core import Fingerprint
+from repro.service import ShardedFingerprintStore
+
+NBITS = 512
+
+
+@pytest.fixture
+def stream_setup(tmp_path, rng):
+    """A populated store plus an observation file with one poisoned line."""
+    store = ShardedFingerprintStore(tmp_path / "store", n_shards=2)
+    bits = {}
+    batch = []
+    for index in range(12):
+        vector = BitVector.random(NBITS, rng, density=0.02)
+        bits[f"device-{index:03d}"] = vector
+        batch.append(
+            (f"device-{index:03d}", Fingerprint(bits=vector, support=2))
+        )
+    store.ingest(batch)
+    lines = []
+    keys = sorted(bits)
+    for index in range(40):
+        if index == 11:
+            lines.append('{"nbits": 64}')  # missing-payload
+            continue
+        key = keys[index % len(keys)]
+        lines.append(
+            json.dumps(
+                {
+                    "id": f"obs-{index}",
+                    "nbits": NBITS,
+                    "errors": [int(i) for i in bits[key].to_indices()],
+                }
+            )
+        )
+    observations = tmp_path / "observations.jsonl"
+    observations.write_text("\n".join(lines) + "\n")
+    return tmp_path, observations
+
+
+class TestStreamCommand:
+    def test_complete_run_exits_zero(self, stream_setup, capsys):
+        tmp_path, observations = stream_setup
+        code = main(
+            [
+                "stream",
+                "--store",
+                str(tmp_path / "store"),
+                "--observations",
+                str(observations),
+                "--state-dir",
+                str(tmp_path / "state"),
+                "--batch-size",
+                "8",
+                "--quiet",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "stream completed: 40 observations" in captured.out
+        assert "matched 39" in captured.out
+        assert "quarantined 1" in captured.out
+        assert "quarantine ls" in captured.err
+        assert (tmp_path / "state" / "checkpoint.json").exists()
+        assert (tmp_path / "state" / "report.json").exists()
+
+    def test_missing_store_exits_two(self, stream_setup, capsys):
+        tmp_path, observations = stream_setup
+        code = main(
+            [
+                "stream",
+                "--store",
+                str(tmp_path / "nowhere"),
+                "--observations",
+                str(observations),
+                "--state-dir",
+                str(tmp_path / "state"),
+            ]
+        )
+        assert code == 2
+        assert "no store" in capsys.readouterr().err
+
+    def test_missing_observations_exits_two(self, stream_setup, capsys):
+        tmp_path, _observations = stream_setup
+        code = main(
+            [
+                "stream",
+                "--store",
+                str(tmp_path / "store"),
+                "--observations",
+                str(tmp_path / "missing.jsonl"),
+                "--state-dir",
+                str(tmp_path / "state"),
+            ]
+        )
+        assert code == 2
+        assert "no observations" in capsys.readouterr().err
+
+    def test_rerun_without_resume_is_a_usage_error(self, stream_setup, capsys):
+        tmp_path, observations = stream_setup
+        argv = [
+            "stream",
+            "--store",
+            str(tmp_path / "store"),
+            "--observations",
+            str(observations),
+            "--state-dir",
+            str(tmp_path / "state"),
+            "--quiet",
+        ]
+        assert main(argv) == 0
+        assert main(argv) == 2  # StreamError -> usage exit
+        assert "resume" in capsys.readouterr().err
+
+    def test_resume_flag_continues_existing_state(self, stream_setup, capsys):
+        tmp_path, observations = stream_setup
+        argv = [
+            "stream",
+            "--store",
+            str(tmp_path / "store"),
+            "--observations",
+            str(observations),
+            "--state-dir",
+            str(tmp_path / "state"),
+            "--quiet",
+        ]
+        assert main(argv) == 0
+        assert main(argv + ["--resume"]) == 0
+        captured = capsys.readouterr()
+        # Nothing left to consume: the resumed run starts at the end.
+        assert "stream completed: 0 observations (40..40)" in captured.out
+
+
+class TestQuarantineCommands:
+    def run_stream(self, tmp_path, observations):
+        assert (
+            main(
+                [
+                    "stream",
+                    "--store",
+                    str(tmp_path / "store"),
+                    "--observations",
+                    str(observations),
+                    "--state-dir",
+                    str(tmp_path / "state"),
+                    "--quiet",
+                ]
+            )
+            == 0
+        )
+
+    def test_ls_lists_reasons(self, stream_setup, capsys):
+        tmp_path, observations = stream_setup
+        self.run_stream(tmp_path, observations)
+        capsys.readouterr()
+        code = main(
+            ["quarantine", "ls", "--state-dir", str(tmp_path / "state")]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "offset 11" in captured.out
+        assert "[missing-payload]" in captured.out
+        assert "1 quarantined observation(s)" in captured.out
+
+    def test_ls_json(self, stream_setup, capsys):
+        tmp_path, observations = stream_setup
+        self.run_stream(tmp_path, observations)
+        capsys.readouterr()
+        code = main(
+            [
+                "quarantine",
+                "ls",
+                "--state-dir",
+                str(tmp_path / "state"),
+                "--json",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        entries = json.loads(captured.out)
+        assert len(entries) == 1
+        assert entries[0]["reason"] == "missing-payload"
+        assert entries[0]["schema_version"] == 1
+
+    def test_retry_reports_outcome(self, stream_setup, capsys):
+        tmp_path, observations = stream_setup
+        self.run_stream(tmp_path, observations)
+        capsys.readouterr()
+        code = main(
+            [
+                "quarantine",
+                "retry",
+                "--state-dir",
+                str(tmp_path / "state"),
+                "--store",
+                str(tmp_path / "store"),
+                "--json",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        report = json.loads(captured.out)
+        assert report["retried"] == 0
+        assert report["still_quarantined"] == 1
+
+    def test_missing_state_dir_exits_two(self, tmp_path, capsys):
+        code = main(
+            ["quarantine", "ls", "--state-dir", str(tmp_path / "nowhere")]
+        )
+        assert code == 2
+        assert "no state directory" in capsys.readouterr().err

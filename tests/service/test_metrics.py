@@ -45,11 +45,67 @@ class TestLatencyHistogram:
         assert set(snapshot) == {
             "count",
             "mean_s",
+            "min_s",
             "max_s",
             "p50_s",
             "p95_s",
             "p99_s",
         }
+
+    def test_empty_percentile_all_fractions(self):
+        histogram = LatencyHistogram()
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert histogram.percentile(q) == 0.0
+
+    def test_percentile_q0_is_min_q1_is_max(self):
+        histogram = LatencyHistogram()
+        for sample in (0.004, 0.001, 0.1):
+            histogram.record(sample)
+        assert histogram.percentile(0.0) == 0.001
+        assert histogram.percentile(1.0) == 0.1
+        assert histogram.min == 0.001
+
+    def test_single_sample_every_percentile(self):
+        """One sample answers itself at every q — no bucket rounding."""
+        histogram = LatencyHistogram()
+        histogram.record(0.0123)
+        for q in (0.0, 0.25, 0.5, 0.95, 0.99, 1.0):
+            assert histogram.percentile(q) == 0.0123
+
+    def test_percentiles_clamped_into_sample_range(self):
+        histogram = LatencyHistogram()
+        histogram.record(0.005)
+        histogram.record(0.006)
+        for q in (0.0, 0.5, 1.0):
+            assert 0.005 <= histogram.percentile(q) <= 0.006
+
+    def test_percentile_rejects_out_of_range(self):
+        histogram = LatencyHistogram()
+        for bad in (-0.1, 1.1):
+            try:
+                histogram.percentile(bad)
+            except ValueError:
+                continue
+            raise AssertionError(f"percentile({bad}) did not raise")
+
+    def test_histogram_thread_safety(self):
+        """Concurrent recorders into one histogram lose no samples."""
+        histogram = LatencyHistogram()
+
+        def work():
+            for index in range(1000):
+                histogram.record(1e-6 * (index + 1))
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert histogram.count == 8000
+        assert histogram.min == 1e-6
+        assert histogram.max == 1e-3
+        snapshot = histogram.snapshot()
+        assert snapshot["count"] == 8000.0
 
 
 class TestServiceMetrics:

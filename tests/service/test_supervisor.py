@@ -1,0 +1,152 @@
+"""Tests for the worker supervisor (restart with backoff, escalate)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.reliability import InjectedFault, WorkerCrashPlan, WorkerFaultInjector
+from repro.service import ServiceMetrics, SupervisorEscalation, WorkerSupervisor
+
+
+def no_sleep(_seconds: float) -> None:
+    """Injectable sleep that skips real waiting in tests."""
+
+
+class TestWorkerSupervisor:
+    def test_healthy_task_runs_once(self):
+        metrics = ServiceMetrics()
+        supervisor = WorkerSupervisor(metrics=metrics, sleep=no_sleep)
+        assert supervisor.run(lambda: 42) == 42
+        assert metrics.counter("supervisor.restarts") == 0
+        assert metrics.counter("supervisor.crashes") == 0
+
+    def test_runs_in_a_fresh_worker_thread(self):
+        seen = []
+        supervisor = WorkerSupervisor(sleep=no_sleep)
+        supervisor.run(lambda: seen.append(threading.current_thread()))
+        assert seen[0] is not threading.main_thread()
+
+    def test_transient_crash_is_restarted(self):
+        metrics = ServiceMetrics()
+        supervisor = WorkerSupervisor(
+            max_restarts=3, metrics=metrics, sleep=no_sleep
+        )
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise RuntimeError("transient")
+            return "ok"
+
+        assert supervisor.run(flaky) == "ok"
+        assert len(attempts) == 3
+        assert metrics.counter("supervisor.restarts") == 2
+        assert metrics.counter("supervisor.crashes") == 2
+
+    def test_escalates_with_machine_readable_report(self):
+        metrics = ServiceMetrics()
+        supervisor = WorkerSupervisor(
+            max_restarts=2, metrics=metrics, sleep=no_sleep
+        )
+
+        def doomed():
+            raise ValueError("poisoned batch")
+
+        with pytest.raises(SupervisorEscalation) as info:
+            supervisor.run(doomed, label="identify-batch-7")
+        report = info.value.fatal_report()
+        assert report["label"] == "identify-batch-7"
+        assert report["attempts"] == 3
+        assert report["error_type"] == "ValueError"
+        assert "poisoned batch" in report["error"]
+        assert len(report["backoffs_s"]) == 2
+        assert metrics.counter("supervisor.escalations") == 1
+
+    def test_backoff_schedule_is_capped_exponential(self):
+        supervisor = WorkerSupervisor(
+            max_restarts=5,
+            backoff_base_s=0.1,
+            backoff_cap_s=0.5,
+            sleep=no_sleep,
+        )
+        assert supervisor.backoff_schedule() == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_sleeps_follow_the_schedule(self):
+        slept = []
+        supervisor = WorkerSupervisor(
+            max_restarts=3,
+            backoff_base_s=0.1,
+            backoff_cap_s=0.25,
+            sleep=slept.append,
+        )
+
+        def doomed():
+            raise RuntimeError("still dead")
+
+        with pytest.raises(SupervisorEscalation):
+            supervisor.run(doomed)
+        assert slept == [0.1, 0.2, 0.25]
+
+    def test_zero_restarts_escalates_immediately(self):
+        supervisor = WorkerSupervisor(max_restarts=0, sleep=no_sleep)
+        with pytest.raises(SupervisorEscalation) as info:
+            supervisor.run(self._raise)
+        assert info.value.attempts == 1
+
+    @staticmethod
+    def _raise():
+        raise RuntimeError("dead")
+
+    def test_rejects_negative_budget(self):
+        with pytest.raises(ValueError):
+            WorkerSupervisor(max_restarts=-1)
+
+
+class TestWorkerFaultIntegration:
+    def test_injector_kills_planned_invocations_only(self):
+        injector = WorkerFaultInjector(WorkerCrashPlan(crash_at=(1, 3)))
+        with pytest.raises(InjectedFault):
+            injector()
+        injector()  # invocation 2 survives
+        with pytest.raises(InjectedFault):
+            injector()
+        injector()
+        assert injector.invocations == 4
+        assert injector.kills == 2
+
+    def test_seeded_plan_is_deterministic(self):
+        first = WorkerCrashPlan.seeded(seed=2015, rate=0.2, horizon=100)
+        second = WorkerCrashPlan.seeded(seed=2015, rate=0.2, horizon=100)
+        assert first.crash_at == second.crash_at
+        assert 0 < len(first.crash_at) < 50
+
+    def test_supervisor_absorbs_planned_crashes(self):
+        """A kill plan with isolated crash indices never escalates: each
+        restart is a later invocation, which the plan spares."""
+        injector = WorkerFaultInjector(WorkerCrashPlan(crash_at=(2, 5)))
+        supervisor = WorkerSupervisor(max_restarts=2, sleep=no_sleep)
+        results = []
+        for index in range(4):
+
+            def task():
+                injector()
+                return index
+
+            results.append(supervisor.run(task))
+        assert results == [0, 1, 2, 3]
+        assert injector.kills == 2
+
+    def test_consecutive_kill_run_escalates(self):
+        injector = WorkerFaultInjector(WorkerCrashPlan(crash_at=(1, 2, 3)))
+        supervisor = WorkerSupervisor(max_restarts=2, sleep=no_sleep)
+
+        def task():
+            injector()
+            return "unreachable"
+
+        with pytest.raises(SupervisorEscalation) as info:
+            supervisor.run(task)
+        assert isinstance(info.value.cause, InjectedFault)
