@@ -16,6 +16,8 @@ Usage::
     python -m repro quarantine retry --state-dir STATE --store DB
     python -m repro verify-store --store DB   # read-only integrity check
     python -m repro repair --store DB         # recover + quarantine damage
+    python -m repro lint                      # repo invariant checker
+    python -m repro lint --list-rules         # the rule catalogue
 
 Reports are written to ``benchmarks/results/`` (override with the
 ``REPRO_RESULTS_DIR`` environment variable, or with higher precedence
@@ -60,6 +62,8 @@ from repro.analysis.reporting import (
     set_results_dir,
 )
 from repro.experiments import experiment_ids, run_experiment
+from repro.lint.cli import configure_parser as configure_lint_parser
+from repro.lint.cli import run_lint
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -314,6 +318,13 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the full repair report as JSON on stdout",
     )
+
+    lint_parser = subparsers.add_parser(
+        "lint",
+        help="check the determinism / crash-safety / lock-discipline "
+        "invariants (see DESIGN.md §10)",
+    )
+    configure_lint_parser(lint_parser)
     return parser
 
 
@@ -626,6 +637,8 @@ def _run_one(experiment_id: str, quiet: bool) -> None:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
+    if args.command == "lint":
+        return run_lint(args)
     if args.results_dir is not None:
         set_results_dir(args.results_dir)
     if args.command in (

@@ -52,7 +52,7 @@ class NoiseDefense:
 
     def protect(self, output: BitVector) -> BitVector:
         """Return the output with defense noise applied."""
-        if self._config.flip_rate == 0.0:
+        if self._config.flip_rate <= 0.0:
             return output.copy()
         mask = BitVector.random(
             output.nbits, self._rng, density=self._config.flip_rate

@@ -126,7 +126,7 @@ class NoiseModel:
 
     def jitter(self, n_cells: int, rng: np.random.Generator) -> np.ndarray:
         """Multiplicative jitter factors for one decay window."""
-        if self.log_sigma == 0.0:
+        if self.log_sigma <= 0.0:
             return np.ones(n_cells)
         return np.exp(rng.normal(0.0, self.log_sigma, size=n_cells))
 
@@ -159,7 +159,7 @@ def decayed_mask(
     # (typically a few percent of cells) keeps large-array trials fast
     # while remaining statistically identical to full-array jitter.
     mask = effective < elapsed_s
-    if elapsed_s == 0.0:
+    if elapsed_s <= 0.0:
         return mask
     band = float(np.exp(6.0 * noise.log_sigma))
     borderline = (effective > elapsed_s / band) & (effective < elapsed_s * band)

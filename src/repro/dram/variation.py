@@ -97,7 +97,7 @@ class VariationProfile:
         rng = np.random.default_rng(
             np.random.SeedSequence(entropy=chip_seed, spawn_key=(0x444F50,))
         )
-        if self.skew == 0.0:
+        if self.skew == 0.0:  # repro-lint: disable=REP005 -- exact config sentinel, set literally and never computed; skew may be negative so no ordering test exists
             return rng.normal(0.0, self.dopant_sigma, size=n_cells)
         return _standardized_skew_normal(rng, self.skew, n_cells) * self.dopant_sigma
 

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from typing import Callable, Dict, Optional
 
 from repro.core import (
@@ -36,7 +37,7 @@ def margin_under_mismatch(campaign: Campaign, metric: Callable) -> float:
     """Threshold margin on the worst-mismatch (90 %-accuracy) outputs."""
     within, between = [], []
     for true_label, trial in campaign.outputs:
-        if trial.conditions.accuracy != 0.90:
+        if not math.isclose(trial.conditions.accuracy, 0.90):
             continue
         for key, fingerprint in campaign.database.items():
             distance = metric(trial.error_string, fingerprint.bits)

@@ -109,7 +109,7 @@ def _vrt_point(
     fraction: float, seed: int, n_trials: int = 21
 ) -> Tuple[float, float, float]:
     """(repeatability, within distance, between distance) at one VRT level."""
-    if fraction == 0.0:
+    if fraction <= 0.0:
         spec = KM41464A
     else:
         spec = replace(

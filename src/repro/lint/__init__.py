@@ -1,0 +1,41 @@
+"""``repro.lint`` — AST-based checker for the repo's own invariants.
+
+The paper's results are only meaningful because the simulation is
+deterministic given a seed, and the storage/service layers added in
+PRs 1-3 are only trustworthy because they follow strict crash-safety
+and lock-discipline rules.  This package makes those conventions
+machine-checkable: a single-walk AST rule engine
+(:mod:`repro.lint.engine`), six repo-specific rules
+(:mod:`repro.lint.rules`, ``REP001``-``REP006`` plus the ``REP000``
+parse-error channel), per-line suppressions, and a committed baseline
+(:mod:`repro.lint.baseline`) so legacy findings never block while new
+ones always do.
+
+Run it as ``python -m repro.lint`` or ``python -m repro lint``.
+"""
+
+from repro.lint.baseline import (
+    BaselineError,
+    apply_baseline,
+    load_baseline,
+    save_baseline,
+)
+from repro.lint.engine import lint_paths, lint_source, parse_suppressions
+from repro.lint.findings import PARSE_ERROR_RULE, Finding, LintRun
+from repro.lint.rules import ALL_RULES, RULES_BY_ID, Rule
+
+__all__ = [
+    "ALL_RULES",
+    "RULES_BY_ID",
+    "Rule",
+    "Finding",
+    "LintRun",
+    "PARSE_ERROR_RULE",
+    "BaselineError",
+    "apply_baseline",
+    "load_baseline",
+    "save_baseline",
+    "lint_paths",
+    "lint_source",
+    "parse_suppressions",
+]

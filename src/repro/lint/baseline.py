@@ -1,0 +1,88 @@
+"""Baseline bookkeeping: accepted legacy findings don't fail the run.
+
+The committed ``lint-baseline.json`` holds the fingerprints of
+findings that predate a rule (or were accepted with an issue link); a
+run subtracts them, so *new* violations fail CI while the legacy debt
+is visible but non-blocking.  The file maps fingerprint → a snapshot
+of the finding (for human review in diffs); matching is purely by
+fingerprint, which hashes line *content* rather than line numbers.
+
+Expiry: a baseline entry whose finding no longer occurs is *expired* —
+reported so the debt ledger shrinks — and ``--update-baseline``
+rewrites the file to exactly the current findings (add + expire in one
+step).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.lint.findings import Finding
+
+BASELINE_SCHEMA_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """Raised on an unreadable or malformed baseline file."""
+
+
+def load_baseline(path: Path) -> Dict[str, Dict[str, object]]:
+    """Read a baseline file into fingerprint → finding-snapshot."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise BaselineError(f"unreadable baseline {path}: {error}") from error
+    if not isinstance(payload, dict):
+        raise BaselineError(f"baseline {path} must be a JSON object")
+    version = payload.get("schema_version")
+    if version != BASELINE_SCHEMA_VERSION:
+        raise BaselineError(
+            f"unsupported baseline schema_version {version!r} in {path}"
+        )
+    findings = payload.get("findings", {})
+    if not isinstance(findings, dict):
+        raise BaselineError(f"baseline {path} 'findings' must be an object")
+    return {str(key): dict(value) for key, value in findings.items()}
+
+
+def save_baseline(path: Path, findings: List[Finding]) -> None:
+    """Write ``findings`` as the new baseline (sorted, stable diffs)."""
+    entries = {
+        finding.fingerprint: {
+            "rule": finding.rule,
+            "path": finding.path,
+            "message": finding.message,
+        }
+        for finding in findings
+    }
+    payload = {
+        "schema_version": BASELINE_SCHEMA_VERSION,
+        "findings": {key: entries[key] for key in sorted(entries)},
+    }
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def apply_baseline(
+    findings: List[Finding], baseline: Dict[str, Dict[str, object]]
+) -> Tuple[List[Finding], List[str]]:
+    """Mark baselined findings; return (findings, expired fingerprints).
+
+    A finding whose fingerprint appears in the baseline is marked
+    ``baselined`` (reported, but not failing).  Baseline entries no
+    fingerprint matched are *expired*: the violation was fixed, the
+    entry should be dropped at the next ``--update-baseline``.
+    """
+    matched: set = set()
+    resolved: List[Finding] = []
+    for finding in findings:
+        if finding.fingerprint in baseline:
+            matched.add(finding.fingerprint)
+            resolved.append(finding.as_baselined())
+        else:
+            resolved.append(finding)
+    expired = sorted(set(baseline) - matched)
+    return resolved, expired

@@ -1,0 +1,130 @@
+"""Finding model shared by the lint engine, baseline, and CLI.
+
+A :class:`Finding` is one rule violation at one source location.  Its
+``fingerprint`` is the identity the baseline mechanism keys on: a hash
+of the *content* of the violating line (plus path, rule, and an
+occurrence index for identical lines) rather than its line number, so
+unrelated edits above a legacy finding do not churn the baseline.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+#: Reserved rule id for files that fail ``ast.parse`` — a parse error
+#: is reported as a finding, never as a crash of the linter itself.
+PARSE_ERROR_RULE = "REP000"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str  #: repo-relative POSIX path of the offending file
+    line: int  #: 1-based line of the violating node
+    col: int  #: 0-based column of the violating node
+    rule: str  #: rule id, e.g. ``REP001``
+    message: str  #: human-readable description of the violation
+    fingerprint: str = ""  #: content-addressed baseline identity
+    baselined: bool = False  #: True when an accepted legacy finding
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON rendering (one entry of the ``findings`` array)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+            "fingerprint": self.fingerprint,
+            "baselined": self.baselined,
+        }
+
+    def render(self) -> str:
+        """Compiler-style one-liner for the human output format."""
+        mark = " (baselined)" if self.baselined else ""
+        return f"{self.path}:{self.line}:{self.col + 1}: {self.rule} {self.message}{mark}"
+
+    def as_baselined(self) -> "Finding":
+        """Copy of this finding marked as accepted by the baseline."""
+        return replace(self, baselined=True)
+
+
+def fingerprint_findings(
+    findings: List[Finding], source_lines: Dict[str, List[str]]
+) -> List[Finding]:
+    """Assign content-addressed fingerprints to ``findings``.
+
+    The fingerprint hashes ``path``, ``rule``, the stripped text of the
+    violating line, and an occurrence index that disambiguates several
+    identical violations of the same line text in one file — stable
+    under reordering of *other* lines, unique within a run.
+    """
+    seen: Dict[str, int] = {}
+    stamped: List[Finding] = []
+    for finding in findings:
+        lines = source_lines.get(finding.path, [])
+        if 1 <= finding.line <= len(lines):
+            text = lines[finding.line - 1].strip()
+        else:
+            text = ""
+        key = f"{finding.path}\0{finding.rule}\0{text}"
+        occurrence = seen.get(key, 0)
+        seen[key] = occurrence + 1
+        digest = hashlib.sha256(
+            f"{key}\0{occurrence}".encode("utf-8")
+        ).hexdigest()[:16]
+        stamped.append(replace(finding, fingerprint=digest))
+    return stamped
+
+
+@dataclass
+class LintRun:
+    """Everything one linter invocation produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    rules: List[str] = field(default_factory=list)
+    expired: List[str] = field(default_factory=list)
+
+    @property
+    def new_findings(self) -> List[Finding]:
+        """Findings not accepted by the baseline — these fail the run."""
+        return [f for f in self.findings if not f.baselined]
+
+    @property
+    def exit_code(self) -> int:
+        """0 when clean (or fully baselined), 1 when new findings exist."""
+        return 1 if self.new_findings else 0
+
+    def to_json(self) -> Dict[str, object]:
+        """The documented JSON output schema (``--format json``)."""
+        return {
+            "schema_version": 1,
+            "files_checked": self.files_checked,
+            "rules": list(self.rules),
+            "findings": [f.to_json() for f in self.findings],
+            "counts": {
+                "total": len(self.findings),
+                "new": len(self.new_findings),
+                "baselined": len(self.findings) - len(self.new_findings),
+                "expired": len(self.expired),
+            },
+            "expired": list(self.expired),
+            "exit_code": self.exit_code,
+        }
+
+
+def parse_error_finding(
+    path: str, lineno: Optional[int], col: Optional[int], message: str
+) -> Finding:
+    """Build the :data:`PARSE_ERROR_RULE` finding for an unparseable file."""
+    return Finding(
+        path=path,
+        line=lineno if lineno else 1,
+        col=(col - 1) if col else 0,
+        rule=PARSE_ERROR_RULE,
+        message=f"file does not parse: {message}",
+    )

@@ -1,0 +1,484 @@
+"""The repo-specific invariant rules behind ``repro lint``.
+
+Each rule guards one invariant this codebase's correctness story
+depends on (see DESIGN.md §10 for the catalogue):
+
+========  ==========================================================
+REP001    determinism — no unseeded / global RNG
+REP002    crash safety — fsync before rename, atomic durable writes
+REP003    lock discipline — shared ``self._*`` writes under the lock
+REP004    no blocking calls while holding a lock
+REP005    no ``==`` / ``!=`` on float literals (distance/threshold code)
+REP006    durations and timeouts use a monotonic clock, not ``time.time``
+========  ==========================================================
+
+A rule is an ``enter``/``leave`` visitor over the engine's single AST
+walk; it reports findings with :meth:`Rule.report` and may keep small
+per-function or per-class state on a stack it pushes in ``enter`` and
+pops in ``leave``.  Adding a rule is ~40 lines: subclass, set the
+class attributes, implement ``enter``, append to :data:`ALL_RULES`.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import PurePosixPath
+from typing import Dict, List, Optional, Set, Tuple, Type
+
+from repro.lint.engine import LintContext, Scope, attr_chain, terminal_name
+from repro.lint.findings import Finding
+
+
+class Rule:
+    """Base class: one invariant, one visitor, a list of findings."""
+
+    rule_id: str = ""
+    title: str = ""
+    invariant: str = ""
+    #: Path components the rule is limited to (empty = every file).
+    path_filters: Tuple[str, ...] = ()
+
+    def __init__(self, context: LintContext) -> None:
+        self.context = context
+        #: ``(finding, (first_line, last_line))`` pairs; the span lets
+        #: a suppression comment anywhere in a multi-line statement
+        #: silence the finding.
+        self.findings: List[Tuple[Finding, Tuple[int, int]]] = []
+
+    @classmethod
+    def applies_to(cls, rel_path: str) -> bool:
+        """True when this rule runs on ``rel_path``."""
+        if not cls.path_filters:
+            return True
+        parts = set(PurePosixPath(rel_path).parts)
+        return any(component in parts for component in cls.path_filters)
+
+    def report(self, node: ast.AST, message: str) -> None:
+        """Record one finding anchored at ``node``."""
+        line = getattr(node, "lineno", 1)
+        end_line = getattr(node, "end_lineno", None) or line
+        finding = Finding(
+            path=self.context.rel_path,
+            line=line,
+            col=getattr(node, "col_offset", 0),
+            rule=self.rule_id,
+            message=message,
+        )
+        self.findings.append((finding, (line, end_line)))
+
+    def enter(self, node: ast.AST, scope: Scope) -> None:
+        """Called before a node's children are walked."""
+
+    def leave(self, node: ast.AST, scope: Scope) -> None:
+        """Called after a node's children were walked."""
+
+
+# ----------------------------------------------------------------------
+# REP001 — determinism: no unseeded / global RNG
+# ----------------------------------------------------------------------
+
+#: ``numpy.random`` attributes that are fine: explicit generator
+#: construction (seeded or fed a SeedSequence) and the types themselves.
+_NP_RANDOM_ALLOWED = {
+    "default_rng",
+    "Generator",
+    "BitGenerator",
+    "SeedSequence",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "MT19937",
+    "SFC64",
+}
+
+#: Stdlib ``random`` module functions that draw from the hidden global
+#: state — the determinism hazard the paper's fingerprints cannot
+#: tolerate.
+_GLOBAL_RANDOM_FUNCTIONS = {
+    "random",
+    "randint",
+    "randrange",
+    "choice",
+    "choices",
+    "sample",
+    "shuffle",
+    "uniform",
+    "gauss",
+    "normalvariate",
+    "betavariate",
+    "expovariate",
+    "getrandbits",
+    "randbytes",
+    "seed",
+}
+
+
+class UnseededRandomRule(Rule):
+    """REP001: every random draw must come from an explicitly seeded
+    generator — fingerprint decay is only reproducible given a seed."""
+
+    rule_id = "REP001"
+    title = "unseeded or global RNG"
+    invariant = "determinism: decay is a pure function of the seed"
+
+    def enter(self, node: ast.AST, scope: Scope) -> None:
+        if not isinstance(node, ast.Call):
+            return
+        chain = attr_chain(node.func)
+        if len(chain) >= 3 and chain[-3] in ("np", "numpy") and chain[-2] == "random":
+            function = chain[-1]
+            if function == "default_rng":
+                if not node.args and not node.keywords:
+                    self.report(
+                        node,
+                        "np.random.default_rng() without a seed draws "
+                        "OS entropy; pass a seed or a SeedSequence",
+                    )
+            elif function not in _NP_RANDOM_ALLOWED:
+                self.report(
+                    node,
+                    f"np.random.{function}() uses numpy's hidden global "
+                    "RNG; draw from an explicitly seeded "
+                    "np.random.Generator instead",
+                )
+        elif len(chain) == 2 and chain[0] == "random":
+            function = chain[1]
+            if function in _GLOBAL_RANDOM_FUNCTIONS:
+                self.report(
+                    node,
+                    f"random.{function}() uses the interpreter-global "
+                    "RNG; use a seeded random.Random(seed) instance",
+                )
+            elif function == "Random" and not node.args and not node.keywords:
+                self.report(
+                    node,
+                    "random.Random() without a seed draws OS entropy; "
+                    "pass an explicit seed",
+                )
+
+
+# ----------------------------------------------------------------------
+# REP002 — crash safety: fsync before rename, atomic durable writes
+# ----------------------------------------------------------------------
+
+#: Write-like attribute calls through the StorageIO seam (default
+#: ``sync=True`` makes them durable unless ``sync=False`` is passed).
+_SEAM_WRITES = {"write_bytes", "append_bytes"}
+
+#: Calls that make previously written bytes durable.
+_SYNC_NAMES = {"fsync", "fsync_dir"}
+
+#: Filename fragments that mark a durable artifact whose readers
+#: assume the atomic temp-write-fsync-replace pattern.
+_DURABLE_FRAGMENTS = ("manifest", "checkpoint", "journal", "fatal")
+_TMP_FRAGMENTS = ("tmp", "temp")
+
+
+def _string_fragments(expr: ast.AST) -> str:
+    """Lower-cased concatenation of every identifier and string literal
+    inside an expression — a cheap way to ask "does this path mention a
+    manifest?" without evaluating it."""
+    pieces: List[str] = []
+    for sub in ast.walk(expr):
+        if isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+            pieces.append(sub.value.lower())
+        elif isinstance(sub, ast.Name):
+            pieces.append(sub.id.lower())
+        elif isinstance(sub, ast.Attribute):
+            pieces.append(sub.attr.lower())
+    return " ".join(pieces)
+
+
+def _open_mode(node: ast.Call) -> Optional[str]:
+    """The string mode of an ``open``-like call, when statically known."""
+    mode_expr: Optional[ast.AST] = None
+    if len(node.args) >= 2:
+        mode_expr = node.args[1]
+    for keyword in node.keywords:
+        if keyword.arg == "mode":
+            mode_expr = keyword.value
+    if mode_expr is None:
+        return "r"
+    if isinstance(mode_expr, ast.Constant) and isinstance(mode_expr.value, str):
+        return mode_expr.value
+    return None
+
+
+def _keyword_is_false(node: ast.Call, name: str) -> bool:
+    for keyword in node.keywords:
+        if keyword.arg == name:
+            return (
+                isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is False
+            )
+    return False
+
+
+class FsyncBeforeReplaceRule(Rule):
+    """REP002: within a function, bytes written must be fsynced before
+    an ``os.replace``/``os.rename`` publishes them, and durable
+    artifacts are never opened for direct overwrite."""
+
+    rule_id = "REP002"
+    title = "rename without fsync / non-atomic durable write"
+    invariant = "crash safety: fsync-before-replace ordering (PR 2/3)"
+
+    def __init__(self, context: LintContext) -> None:
+        super().__init__(context)
+        # Per-function stack: line of the latest un-fsynced write, or
+        # None when everything written so far is durable.
+        self._unsynced: List[Optional[int]] = []
+
+    def enter(self, node: ast.AST, scope: Scope) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self._unsynced.append(None)
+            return
+        if not isinstance(node, ast.Call) or not self._unsynced:
+            return
+        chain = attr_chain(node.func)
+        name = chain[-1]
+        if name == "open" and len(chain) == 1:
+            mode = _open_mode(node)
+            if mode is not None and any(c in mode for c in "wax"):
+                fragments = _string_fragments(node.args[0]) if node.args else ""
+                if any(f in fragments for f in _DURABLE_FRAGMENTS) and not any(
+                    f in fragments for f in _TMP_FRAGMENTS
+                ):
+                    self.report(
+                        node,
+                        "durable artifact opened for in-place write; use "
+                        "the atomic pattern: write a temp file, fsync it, "
+                        "os.replace over the target",
+                    )
+                self._unsynced[-1] = node.lineno
+        elif name in _SEAM_WRITES:
+            if _keyword_is_false(node, "sync"):
+                self._unsynced[-1] = node.lineno
+            # sync=True (the default) leaves the durable state as-is:
+            # it syncs its own file, not earlier unsynced ones.
+        elif name in _SYNC_NAMES:
+            self._unsynced[-1] = None
+        elif name in ("replace", "rename"):
+            receiver = chain[-2] if len(chain) >= 2 else ""
+            seam_like = "io" in receiver.lower() or receiver in ("os", "inner")
+            if seam_like and self._unsynced[-1] is not None:
+                self.report(
+                    node,
+                    "rename publishes bytes written on line "
+                    f"{self._unsynced[-1]} that were never fsynced; a "
+                    "power cut can publish a torn file — fsync first",
+                )
+
+    def leave(self, node: ast.AST, scope: Scope) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self._unsynced.pop()
+
+
+# ----------------------------------------------------------------------
+# REP003 — lock discipline in service/ and reliability/
+# ----------------------------------------------------------------------
+
+_LOCK_FACTORY_NAMES = {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"}
+_EXEMPT_METHODS = {"__init__", "__new__", "__post_init__"}
+
+
+def _class_lock_attrs(class_node: ast.ClassDef) -> Set[str]:
+    """Names of ``self.<attr>`` assigned a ``threading`` lock anywhere
+    in the class body."""
+    lock_attrs: Set[str] = set()
+    for sub in ast.walk(class_node):
+        if not isinstance(sub, ast.Assign):
+            continue
+        value = sub.value
+        if not isinstance(value, ast.Call):
+            continue
+        chain = attr_chain(value.func)
+        if chain[-1] not in _LOCK_FACTORY_NAMES:
+            continue
+        for target in sub.targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                lock_attrs.add(target.attr)
+    return lock_attrs
+
+
+class LockDisciplineRule(Rule):
+    """REP003: in a class that owns a lock, private shared state
+    (``self._*``) is only written while holding that lock."""
+
+    rule_id = "REP003"
+    title = "shared attribute written outside the owning lock"
+    invariant = "lock discipline in the concurrent service layers (PR 3)"
+    path_filters = ("service", "reliability")
+
+    def __init__(self, context: LintContext) -> None:
+        super().__init__(context)
+        self._lock_attrs: List[Set[str]] = []
+
+    def enter(self, node: ast.AST, scope: Scope) -> None:
+        if isinstance(node, ast.ClassDef):
+            self._lock_attrs.append(_class_lock_attrs(node))
+            return
+        if not self._lock_attrs or not self._lock_attrs[-1]:
+            return
+        if not isinstance(node, (ast.Assign, ast.AugAssign)):
+            return
+        function = scope.current_function
+        if function is None or getattr(function, "name", "") in _EXEMPT_METHODS:
+            return
+        lock_attrs = self._lock_attrs[-1]
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for target in targets:
+            for leaf in ast.walk(target):
+                if not (
+                    isinstance(leaf, ast.Attribute)
+                    and isinstance(leaf.value, ast.Name)
+                    and leaf.value.id == "self"
+                ):
+                    continue
+                attr = leaf.attr
+                if not attr.startswith("_") or attr in lock_attrs:
+                    continue
+                if not scope.holds_self_lock(lock_attrs):
+                    locks = ", ".join(sorted(lock_attrs))
+                    self.report(
+                        node,
+                        f"self.{attr} is written outside 'with "
+                        f"self.{locks}'; this class shares state across "
+                        "threads, so unguarded writes race",
+                    )
+
+    def leave(self, node: ast.AST, scope: Scope) -> None:
+        if isinstance(node, ast.ClassDef):
+            self._lock_attrs.pop()
+
+
+# ----------------------------------------------------------------------
+# REP004 — no blocking calls while holding a lock
+# ----------------------------------------------------------------------
+
+#: Attribute/function names that block on IO or time when called.
+_BLOCKING_ATTR_NAMES = {
+    "write_bytes",
+    "append_bytes",
+    "read_bytes",
+    "write_text",
+    "read_text",
+    "fsync",
+    "fsync_dir",
+}
+
+
+class BlockingUnderLockRule(Rule):
+    """REP004: a held lock serializes every other thread — never pay
+    for disk, subprocesses, or sleeps while holding one."""
+
+    rule_id = "REP004"
+    title = "blocking call while holding a lock"
+    invariant = "lock hold times stay bounded (service latency, PR 1-3)"
+
+    def enter(self, node: ast.AST, scope: Scope) -> None:
+        if not isinstance(node, ast.Call):
+            return
+        held = scope.held_locks()
+        if not held:
+            return
+        chain = attr_chain(node.func)
+        name = chain[-1]
+        blocking: Optional[str] = None
+        if chain == ("time", "sleep"):
+            blocking = "time.sleep"
+        elif chain == ("os", "fsync"):
+            blocking = "os.fsync"
+        elif len(chain) >= 2 and chain[-2] == "subprocess":
+            blocking = f"subprocess.{name}"
+        elif chain == ("open",):
+            blocking = "open"
+        elif name in _BLOCKING_ATTR_NAMES:
+            blocking = f".{name}"
+        if blocking is not None:
+            holder = held[-1].name
+            self.report(
+                node,
+                f"{blocking}() is called while holding '{holder}'; move "
+                "the blocking work outside the critical section",
+            )
+
+
+# ----------------------------------------------------------------------
+# REP005 — float equality in distance/threshold code
+# ----------------------------------------------------------------------
+
+
+class FloatEqualityRule(Rule):
+    """REP005: ``==`` / ``!=`` against a float literal is fragile in
+    code that computes distances and compares thresholds."""
+
+    rule_id = "REP005"
+    title = "exact equality against a float literal"
+    invariant = "distance/threshold comparisons tolerate rounding (§5)"
+
+    def enter(self, node: ast.AST, scope: Scope) -> None:
+        if not isinstance(node, ast.Compare):
+            return
+        operands = [node.left] + list(node.comparators)
+        for index, op in enumerate(node.ops):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            pair = (operands[index], operands[index + 1])
+            for operand in pair:
+                if isinstance(operand, ast.Constant) and isinstance(
+                    operand.value, float
+                ):
+                    self.report(
+                        node,
+                        f"exact {'==' if isinstance(op, ast.Eq) else '!='} "
+                        f"against float literal {operand.value!r}; use "
+                        "math.isclose(), an explicit tolerance, or an "
+                        "ordering test for non-negative sentinels",
+                    )
+                    break
+
+
+# ----------------------------------------------------------------------
+# REP006 — wall clock used where a monotonic clock is required
+# ----------------------------------------------------------------------
+
+
+class WallClockRule(Rule):
+    """REP006: ``time.time()`` jumps with NTP/DST; durations, timeouts
+    and backoff schedules must use ``time.monotonic()`` (or
+    ``time.perf_counter()`` for fine-grained measurement)."""
+
+    rule_id = "REP006"
+    title = "time.time() used for durations/timeouts"
+    invariant = "timeouts and backoff survive wall-clock adjustments"
+
+    def enter(self, node: ast.AST, scope: Scope) -> None:
+        if not isinstance(node, ast.Call):
+            return
+        if attr_chain(node.func) == ("time", "time"):
+            self.report(
+                node,
+                "time.time() is a wall clock and jumps under NTP/DST; "
+                "use time.monotonic() for timeouts/backoff or "
+                "time.perf_counter() for latency measurement (suppress "
+                "with a reason if a real timestamp is intended)",
+            )
+
+
+#: Registry, in rule-id order; the engine runs them in one walk.
+ALL_RULES: Tuple[Type[Rule], ...] = (
+    UnseededRandomRule,
+    FsyncBeforeReplaceRule,
+    LockDisciplineRule,
+    BlockingUnderLockRule,
+    FloatEqualityRule,
+    WallClockRule,
+)
+
+#: rule id → class, for ``--list-rules`` and documentation tooling.
+RULES_BY_ID: Dict[str, Type[Rule]] = {rule.rule_id: rule for rule in ALL_RULES}

@@ -30,6 +30,19 @@ import threading
 import time
 from typing import Callable, Dict, List, Optional
 
+try:  # pragma: no cover - Protocol exists on every supported Python
+    from typing import Protocol
+except ImportError:  # pragma: no cover
+    Protocol = object  # type: ignore[assignment]
+
+
+class CounterSink(Protocol):
+    """Anything accepting ``count(name)`` — duck-typed metrics."""
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Increment counter ``name``."""
+
+
 #: Breaker states (values appear in reports and checkpoints).
 STATE_CLOSED = "closed"
 STATE_OPEN = "open"
@@ -67,7 +80,7 @@ class CircuitBreaker:
         failure_threshold: int = 3,
         reset_timeout_s: float = 1.0,
         clock: Callable[[], float] = time.monotonic,
-        metrics: Optional[object] = None,
+        metrics: Optional[CounterSink] = None,
         name: str = "",
     ) -> None:
         if failure_threshold < 1:
@@ -188,7 +201,7 @@ class BreakerBoard:
         failure_threshold: int = 3,
         reset_timeout_s: float = 1.0,
         clock: Callable[[], float] = time.monotonic,
-        metrics: Optional[object] = None,
+        metrics: Optional[CounterSink] = None,
     ) -> None:
         self._failure_threshold = failure_threshold
         self._reset_timeout_s = reset_timeout_s

@@ -126,7 +126,7 @@ class LatencyHistogram:
         with self._lock:
             if self._count == 0:
                 return 0.0
-            if q == 0.0:
+            if q <= 0.0:
                 return self._min
             rank = q * self._count
             seen = 0

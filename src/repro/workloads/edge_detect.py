@@ -48,6 +48,6 @@ def edge_detect(image: np.ndarray, threshold: Optional[float] = None) -> np.ndar
     if threshold is not None:
         return np.where(magnitude > threshold, 255, 0).astype(np.uint8)
     peak = magnitude.max()
-    if peak == 0.0:
+    if peak <= 0.0:
         return np.zeros_like(magnitude, dtype=np.uint8)
     return np.clip(magnitude * (255.0 / peak), 0, 255).astype(np.uint8)

@@ -1,0 +1,5 @@
+"""Fixture: deliberately unparseable (REP000 path)."""
+
+
+def broken(:
+    return

@@ -1,0 +1,14 @@
+"""Fixture: REP001 violations — global and unseeded RNG."""
+
+import random
+
+import numpy as np
+
+
+def draw():
+    """Draw from every RNG the determinism invariant forbids."""
+    a = np.random.rand(4)
+    b = random.random()
+    rng = np.random.default_rng()
+    r = random.Random()
+    return a, b, rng, r

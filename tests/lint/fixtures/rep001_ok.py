@@ -1,0 +1,13 @@
+"""Fixture: REP001-clean — every draw is explicitly seeded."""
+
+import random
+
+import numpy as np
+
+
+def draw(seed):
+    """Draw only from seeded generator instances."""
+    rng = np.random.default_rng(seed)
+    sequence = np.random.SeedSequence(seed)
+    r = random.Random(seed)
+    return rng.random(), sequence, r.randint(0, 9)

@@ -1,0 +1,16 @@
+"""Fixture: REP002-clean — fsync-before-replace and seam defaults."""
+
+import os
+
+
+def publish(io, path, payload):
+    """The atomic pattern: temp write, fsync, then replace."""
+    io.write_bytes(path + ".tmp", payload, sync=False)
+    io.fsync(path + ".tmp")
+    os.replace(path + ".tmp", path)
+
+
+def publish_with_seam_default(io, path, payload):
+    """The seam's default sync=True leaves nothing unsynced."""
+    io.write_bytes(path + ".tmp", payload)
+    os.replace(path + ".tmp", path)

@@ -1,0 +1,15 @@
+"""Fixture: REP003 violation — shared write outside the owning lock."""
+
+import threading
+
+
+class Counter:
+    """Thread-shared counter with sloppy discipline."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0
+
+    def bump(self):
+        """Increment without holding the lock."""
+        self._count += 1

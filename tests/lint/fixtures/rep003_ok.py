@@ -1,0 +1,16 @@
+"""Fixture: REP003-clean — writes guarded, __init__ exempt."""
+
+import threading
+
+
+class Counter:
+    """Thread-shared counter with proper discipline."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0
+
+    def bump(self):
+        """Increment while holding the lock."""
+        with self._lock:
+            self._count += 1

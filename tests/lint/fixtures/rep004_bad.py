@@ -1,0 +1,16 @@
+"""Fixture: REP004 violation — blocking work inside the critical section."""
+
+import threading
+import time
+
+
+class Sleeper:
+    """Holds its lock across a sleep."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def nap(self):
+        """Sleep while every other thread queues on the lock."""
+        with self._lock:
+            time.sleep(0.1)

@@ -1,0 +1,17 @@
+"""Fixture: REP004-clean — blocking work outside the critical section."""
+
+import threading
+import time
+
+
+class Sleeper:
+    """Sleeps with the lock released."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def nap(self):
+        """Blocking call happens before the lock is taken."""
+        time.sleep(0.1)
+        with self._lock:
+            pass

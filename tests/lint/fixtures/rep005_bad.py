@@ -1,0 +1,11 @@
+"""Fixture: REP005 violations — exact equality against float literals."""
+
+
+def is_zero(x):
+    """Fragile exact-zero test."""
+    return x == 0.0
+
+
+def not_half(x):
+    """Fragile inequality test."""
+    return x != 0.5

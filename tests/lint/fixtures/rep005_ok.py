@@ -1,0 +1,18 @@
+"""Fixture: REP005-clean — tolerant comparisons and int equality."""
+
+import math
+
+
+def is_zero(x):
+    """Ordering test for a non-negative quantity."""
+    return x <= 0.0
+
+
+def near_half(x):
+    """Tolerance-based comparison."""
+    return math.isclose(x, 0.5)
+
+
+def is_three(n):
+    """Integer equality is exact and fine."""
+    return n == 3

@@ -1,0 +1,9 @@
+"""Fixture: REP006 violations — wall clock used for a duration."""
+
+import time
+
+
+def elapsed():
+    """Measures a duration with a clock that can jump."""
+    started = time.time()
+    return time.time() - started

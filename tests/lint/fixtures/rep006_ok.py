@@ -1,0 +1,10 @@
+"""Fixture: REP006-clean — monotonic clocks for durations."""
+
+import time
+
+
+def elapsed():
+    """Measures a duration with clocks that cannot jump."""
+    started = time.monotonic()
+    fine = time.perf_counter()
+    return time.monotonic() - started, time.perf_counter() - fine

@@ -1,0 +1,13 @@
+"""Fixture: suppression comments silence findings with a reason."""
+
+import time
+
+
+def report_timestamp():
+    """A real timestamp, deliberately wall clock."""
+    return time.time()  # repro-lint: disable=REP006 -- epoch stamp for the report header
+
+
+def sentinel(x):
+    """Suppressing every rule on one line."""
+    return x == 0.5  # repro-lint: disable=all

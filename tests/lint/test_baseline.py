@@ -1,0 +1,100 @@
+"""Baseline mechanics: roundtrip, matching, expiry, malformed files."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.lint.baseline import (
+    BASELINE_SCHEMA_VERSION,
+    BaselineError,
+    apply_baseline,
+    load_baseline,
+    save_baseline,
+)
+from repro.lint.findings import Finding
+
+
+def make_finding(fingerprint: str, rule: str = "REP005") -> Finding:
+    return Finding(
+        path="src/x.py",
+        line=3,
+        col=0,
+        rule=rule,
+        message="msg",
+        fingerprint=fingerprint,
+    )
+
+
+class TestRoundtrip:
+    def test_save_then_load(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        save_baseline(path, [make_finding("aa"), make_finding("bb")])
+        loaded = load_baseline(path)
+        assert set(loaded) == {"aa", "bb"}
+        assert loaded["aa"]["rule"] == "REP005"
+        assert loaded["aa"]["path"] == "src/x.py"
+
+    def test_file_is_sorted_and_versioned(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        save_baseline(path, [make_finding("zz"), make_finding("aa")])
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert payload["schema_version"] == BASELINE_SCHEMA_VERSION
+        assert list(payload["findings"]) == ["aa", "zz"]
+
+
+class TestLoadErrors:
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(BaselineError, match="unreadable"):
+            load_baseline(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(BaselineError, match="unreadable"):
+            load_baseline(tmp_path / "absent.json")
+
+    def test_wrong_schema_version(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(
+            json.dumps({"schema_version": 99, "findings": {}}), encoding="utf-8"
+        )
+        with pytest.raises(BaselineError, match="schema_version"):
+            load_baseline(path)
+
+    def test_non_object_payload(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("[1, 2]", encoding="utf-8")
+        with pytest.raises(BaselineError, match="JSON object"):
+            load_baseline(path)
+
+    def test_non_object_findings(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(
+            json.dumps({"schema_version": 1, "findings": [1]}), encoding="utf-8"
+        )
+        with pytest.raises(BaselineError, match="findings"):
+            load_baseline(path)
+
+
+class TestApply:
+    def test_matched_findings_are_baselined(self):
+        findings = [make_finding("aa"), make_finding("bb")]
+        resolved, expired = apply_baseline(findings, {"aa": {}})
+        assert [f.baselined for f in resolved] == [True, False]
+        assert expired == []
+
+    def test_unmatched_entries_expire_sorted(self):
+        resolved, expired = apply_baseline(
+            [make_finding("aa")], {"aa": {}, "zz": {}, "bb": {}}
+        )
+        assert resolved[0].baselined
+        assert expired == ["bb", "zz"]
+
+    def test_empty_baseline_marks_nothing(self):
+        findings = [make_finding("aa")]
+        resolved, expired = apply_baseline(findings, {})
+        assert resolved == findings
+        assert not resolved[0].baselined
+        assert expired == []

@@ -1,0 +1,140 @@
+"""Engine-level tests: suppressions, path filters, fingerprints, walk."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint import ALL_RULES, lint_source, parse_suppressions
+from repro.lint.engine import SUPPRESS_ALL, attr_chain
+from repro.lint.findings import Finding, fingerprint_findings
+from repro.lint.rules import LockDisciplineRule
+
+
+class TestAttrChain:
+    def test_dotted_chain(self):
+        import ast
+
+        node = ast.parse("np.random.default_rng(0)").body[0].value
+        assert attr_chain(node.func) == ("np", "random", "default_rng")
+
+    def test_non_name_head_becomes_placeholder(self):
+        import ast
+
+        node = ast.parse("factory().replace(a, b)").body[0].value
+        assert attr_chain(node.func) == ("?", "replace")
+
+
+class TestSuppressions:
+    def test_single_rule_and_reason(self):
+        source = "x = time.time()  # repro-lint: disable=REP006 -- why\n"
+        assert parse_suppressions(source) == {1: {"REP006"}}
+
+    def test_multiple_rules_one_comment(self):
+        source = "y = 1  # repro-lint: disable=REP001, rep005\n"
+        assert parse_suppressions(source) == {1: {"REP001", "REP005"}}
+
+    def test_disable_all_sentinel(self):
+        source = "z = 2  # repro-lint: disable=all\n"
+        assert parse_suppressions(source) == {1: {SUPPRESS_ALL}}
+
+    def test_marker_inside_string_is_not_a_suppression(self):
+        source = 's = "# repro-lint: disable=REP005"\nprint(s == 0.5)\n'
+        assert parse_suppressions(source) == {}
+        findings = lint_source(source, "module.py", ALL_RULES)
+        assert [f.rule for f in findings] == ["REP005"]
+
+    def test_suppression_anywhere_in_multiline_statement(self):
+        source = textwrap.dedent(
+            """\
+            value = (
+                x
+                == 0.5  # repro-lint: disable=REP005 -- fixture
+            )
+            """
+        )
+        assert lint_source(source, "module.py", ALL_RULES) == []
+
+
+class TestPathFilters:
+    SOURCE = textwrap.dedent(
+        """\
+        import threading
+
+
+        class Box:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def poke(self):
+                self._value = 1
+        """
+    )
+
+    def test_filters_respected_by_default(self):
+        assert lint_source(self.SOURCE, "dram/box.py", ALL_RULES) == []
+
+    def test_filters_can_be_bypassed(self):
+        findings = lint_source(
+            self.SOURCE,
+            "dram/box.py",
+            [LockDisciplineRule],
+            respect_path_filters=False,
+        )
+        assert [f.rule for f in findings] == ["REP003"]
+
+
+class TestFingerprints:
+    def test_identical_lines_get_distinct_fingerprints(self):
+        lines = ["x == 0.5", "x == 0.5"]
+        findings = [
+            Finding(path="m.py", line=1, col=0, rule="REP005", message="a"),
+            Finding(path="m.py", line=2, col=0, rule="REP005", message="a"),
+        ]
+        stamped = fingerprint_findings(findings, {"m.py": lines})
+        prints = [f.fingerprint for f in stamped]
+        assert len(prints) == len(set(prints)) == 2
+        assert all(len(p) == 16 for p in prints)
+
+    def test_fingerprint_survives_line_number_drift(self):
+        before = ["x == 0.5"]
+        after = ["# an unrelated comment pushed the line down", "x == 0.5"]
+        first = fingerprint_findings(
+            [Finding(path="m.py", line=1, col=0, rule="REP005", message="a")],
+            {"m.py": before},
+        )[0]
+        second = fingerprint_findings(
+            [Finding(path="m.py", line=2, col=0, rule="REP005", message="a")],
+            {"m.py": after},
+        )[0]
+        assert first.fingerprint == second.fingerprint
+
+    def test_fingerprint_distinguishes_rule_and_path(self):
+        lines = {"a.py": ["time.time()"], "b.py": ["time.time()"]}
+        findings = [
+            Finding(path="a.py", line=1, col=0, rule="REP006", message="m"),
+            Finding(path="b.py", line=1, col=0, rule="REP006", message="m"),
+        ]
+        stamped = fingerprint_findings(findings, lines)
+        assert stamped[0].fingerprint != stamped[1].fingerprint
+
+
+class TestLockScope:
+    def test_condition_counts_as_held_lock(self):
+        source = textwrap.dedent(
+            """\
+            import threading
+            import time
+
+
+            class Queue:
+                def __init__(self):
+                    self._not_empty = threading.Condition()
+
+                def wait_badly(self):
+                    with self._not_empty:
+                        time.sleep(0.1)
+            """
+        )
+        findings = lint_source(source, "service/queue.py", ALL_RULES)
+        assert [f.rule for f in findings] == ["REP004"]
+        assert "_not_empty" in findings[0].message

@@ -1,0 +1,73 @@
+"""Per-rule fixture tests: every rule has a violating and a clean file.
+
+Fixtures live in ``fixtures/`` and are linted through the public
+:func:`repro.lint.lint_source` entry with a ``service/``-prefixed
+relative path, so the path-filtered rules (REP003) participate.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import ALL_RULES, PARSE_ERROR_RULE, lint_source
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: (rule id, violating fixture, expected finding count, clean fixture)
+CASES = [
+    ("REP001", "rep001_bad.py", 4, "rep001_ok.py"),
+    ("REP002", "rep002_bad.py", 2, "rep002_ok.py"),
+    ("REP003", "rep003_bad.py", 1, "rep003_ok.py"),
+    ("REP004", "rep004_bad.py", 1, "rep004_ok.py"),
+    ("REP005", "rep005_bad.py", 2, "rep005_ok.py"),
+    ("REP006", "rep006_bad.py", 2, "rep006_ok.py"),
+]
+
+
+def lint_fixture(name: str, rel_path: str = "") -> list:
+    source = (FIXTURES / name).read_text(encoding="utf-8")
+    return lint_source(source, rel_path or f"service/{name}", ALL_RULES)
+
+
+@pytest.mark.parametrize(
+    "rule_id,bad,expected,_ok", CASES, ids=[case[0] for case in CASES]
+)
+def test_rule_flags_violating_fixture(rule_id, bad, expected, _ok):
+    findings = lint_fixture(bad)
+    assert len(findings) == expected
+    assert {finding.rule for finding in findings} == {rule_id}
+
+
+@pytest.mark.parametrize(
+    "rule_id,_bad,_expected,ok", CASES, ids=[case[0] for case in CASES]
+)
+def test_rule_passes_clean_fixture(rule_id, _bad, _expected, ok):
+    assert lint_fixture(ok) == []
+
+
+def test_findings_are_source_ordered_with_locations():
+    findings = lint_fixture("rep005_bad.py")
+    assert [f.line for f in findings] == sorted(f.line for f in findings)
+    assert all(f.line >= 1 and f.col >= 0 for f in findings)
+    assert all("0.0" in f.message or "0.5" in f.message for f in findings)
+
+
+def test_rep003_is_limited_to_service_and_reliability_paths():
+    source = (FIXTURES / "rep003_bad.py").read_text(encoding="utf-8")
+    assert lint_source(source, "experiments/rep003_bad.py", ALL_RULES) == []
+    assert lint_source(source, "reliability/rep003_bad.py", ALL_RULES)
+
+
+def test_suppression_comments_silence_findings():
+    assert lint_fixture("suppressed.py") == []
+
+
+def test_unparseable_fixture_yields_parse_error_finding():
+    findings = lint_fixture("broken.py")
+    assert len(findings) == 1
+    finding = findings[0]
+    assert finding.rule == PARSE_ERROR_RULE
+    assert "does not parse" in finding.message
+    assert finding.line >= 1
