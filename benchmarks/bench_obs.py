@@ -1,0 +1,145 @@
+"""Observability overhead benchmark — tracing must be ~free.
+
+The design rule of :mod:`repro.obs` is that instrumentation is always
+compiled in: the batch engine, store and supervisor call ``obs_span``
+unconditionally, and a disabled tracer must make that a no-op cheap
+enough to leave on in production paths.  This benchmark quantifies the
+claim on the real batch-identification hot path:
+
+1. run the same sharded batch workload with the tracer **disabled**
+   (the process default) and **enabled**, ``TRIALS`` times each;
+2. compare minimum wall times (minimum-of-trials is the standard
+   scheduler-noise filter) and assert the enabled run stays within
+   ``MAX_OVERHEAD`` (5 %) plus a small absolute epsilon for timer
+   jitter;
+3. validate the artifacts a traced run produces: the span tree parses
+   back with no orphans, and the Chrome export is structurally a
+   ``trace_event`` document.
+
+Artifacts: ``bench_obs.json`` in the results directory, plus a ledger
+entry — the benchmark eats its own dog food.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.analysis.reporting import results_dir
+from repro.bits import BitVector
+from repro.core import Fingerprint
+from repro.obs import (
+    LEDGER_NAME,
+    RunLedger,
+    Tracer,
+    chrome_trace,
+    set_tracer,
+    validate_spans,
+)
+from repro.service import (
+    BatchIdentificationService,
+    BatchQuery,
+    ShardedFingerprintStore,
+)
+
+NBITS = 2048
+DENSITY = 0.01
+N_DEVICES = 300
+N_SHARDS = 4
+N_QUERIES = 48
+TRIALS = 5
+
+#: Acceptance bound: enabled tracing within 5 % of disabled.
+MAX_OVERHEAD = 0.05
+#: Absolute jitter allowance on top of the relative bound (timer noise
+#: dominates the ratio on fast runs).
+EPSILON_S = 0.002
+
+
+def _build_workload(tmp_path, rng):
+    corpus = [
+        (
+            f"device-{index:05d}",
+            Fingerprint(bits=BitVector.random(NBITS, rng, DENSITY)),
+        )
+        for index in range(N_DEVICES)
+    ]
+    store = ShardedFingerprintStore(tmp_path / "store", n_shards=N_SHARDS)
+    store.ingest(corpus)
+    queries = [
+        BatchQuery.from_errors(
+            f"q-{index}",
+            corpus[index * 5][1].bits | BitVector.random(NBITS, rng, 0.02),
+        )
+        for index in range(N_QUERIES)
+    ]
+    return store, queries
+
+
+def _min_run_time(service, queries, trials=TRIALS):
+    best = float("inf")
+    for _trial in range(trials):
+        started = time.perf_counter()
+        service.run(queries)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_obs_overhead_benchmark(tmp_path, bench_rng):
+    """Tracing on vs off on the batch hot path, plus artifact validity."""
+    store, queries = _build_workload(tmp_path, bench_rng)
+    service = BatchIdentificationService(store, cluster_residuals=False)
+    service.run(queries)  # warmup: shard replicas into the cache
+
+    disabled_s = _min_run_time(service, queries)
+
+    tracer = Tracer()
+    previous = set_tracer(tracer)
+    try:
+        enabled_s = _min_run_time(service, queries)
+    finally:
+        set_tracer(previous)
+
+    spans = tracer.buffer.spans()
+    assert spans, "enabled tracer recorded no spans"
+    assert tracer.buffer.dropped == 0
+    assert validate_spans(spans) == []
+    chrome = chrome_trace(spans)
+    assert chrome["traceEvents"], "chrome export is empty"
+    assert all(event["ph"] in ("X", "M") for event in chrome["traceEvents"])
+
+    overhead = enabled_s / disabled_s - 1.0 if disabled_s else 0.0
+    budget_s = disabled_s * (1.0 + MAX_OVERHEAD) + EPSILON_S
+    assert enabled_s <= budget_s, (
+        f"tracing overhead too high: disabled={disabled_s * 1e3:.2f}ms "
+        f"enabled={enabled_s * 1e3:.2f}ms ({overhead:+.1%})"
+    )
+
+    report = {
+        "devices": N_DEVICES,
+        "queries": N_QUERIES,
+        "trials": TRIALS,
+        "disabled_min_s": disabled_s,
+        "enabled_min_s": enabled_s,
+        "overhead_fraction": overhead,
+        "max_overhead_fraction": MAX_OVERHEAD,
+        "spans_per_run": len(spans) // TRIALS,
+        "trace_events": len(chrome["traceEvents"]),
+    }
+    path = results_dir() / "bench_obs.json"
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    RunLedger(results_dir() / LEDGER_NAME).record(
+        command="bench-obs",
+        argv=["benchmarks/bench_obs.py"],
+        config={"devices": N_DEVICES, "queries": N_QUERIES, "trials": TRIALS},
+        exit_code=0,
+        duration_s=(disabled_s + enabled_s) * TRIALS,
+        metrics_path=None,
+        trace_path=None,
+    )
+    print(
+        f"\ntracing overhead: disabled {disabled_s * 1e3:.2f}ms vs enabled "
+        f"{enabled_s * 1e3:.2f}ms ({overhead:+.1%}, budget "
+        f"{MAX_OVERHEAD:.0%} + {EPSILON_S * 1e3:.0f}ms), "
+        f"{report['spans_per_run']} spans/run"
+    )

@@ -13,9 +13,12 @@ axes:
 3. **Degraded-mode serving** — fully corrupt one shard and measure the
    batch service answering from the healthy remainder.
 
-Artifacts: ``bench_reliability.json`` in the results directory (CI
-uploads it from the chaos job).  Seeded via ``REPRO_FAULT_SEED`` like
-the chaos tests.
+Artifacts: ``bench_reliability.json`` plus the observability set —
+``bench_reliability_trace.jsonl`` / ``.chrome.json`` (spans of the
+degraded-serving axis) and ``bench_reliability_metrics.prom`` /
+``.json`` — in the results directory (CI uploads them from the chaos
+job and validates them with ``repro obs summary``).  Seeded via
+``REPRO_FAULT_SEED`` like the chaos tests.
 """
 
 from __future__ import annotations
@@ -30,6 +33,14 @@ import numpy as np
 from repro.analysis.reporting import results_dir
 from repro.bits import BitVector
 from repro.core import Fingerprint
+from repro.obs import (
+    LEDGER_NAME,
+    MetricsRegistry,
+    RunLedger,
+    Tracer,
+    bind_service_metrics,
+    set_tracer,
+)
 from repro.reliability import FaultPlan, FaultyIO, repair_store, verify_store
 from repro.service import (
     BatchIdentificationService,
@@ -186,6 +197,13 @@ def _degraded_axis(tmp_path, rng):
         if store.shard_for_key(key) != victim_shard
     )
     assert healthy_hits == expected_healthy
+
+    registry = MetricsRegistry()
+    bind_service_metrics(registry, service.metrics)
+    registry.write_exposition(
+        results_dir() / "bench_reliability_metrics.prom"
+    )
+    registry.write_snapshot(results_dir() / "bench_reliability_metrics.json")
     return {
         "queries": len(queries),
         "degraded_shards": [
@@ -202,16 +220,36 @@ def _degraded_axis(tmp_path, rng):
 def test_chaos_benchmark(tmp_path, bench_rng):
     """Run all three axes and write the JSON artifact."""
     fault_rng = np.random.default_rng(FAULT_SEED)
+    started = time.perf_counter()
     report = {
         "fault_seed": FAULT_SEED,
         "corpus_devices": N_DEVICES,
         "shards": N_SHARDS,
         "crash_recovery": _crash_recovery_axis(tmp_path, bench_rng),
         "corruption": _corruption_axis(tmp_path, bench_rng, fault_rng),
-        "degraded_serving": _degraded_axis(tmp_path, bench_rng),
     }
+    tracer = Tracer()
+    previous = set_tracer(tracer)
+    try:
+        report["degraded_serving"] = _degraded_axis(tmp_path, bench_rng)
+    finally:
+        set_tracer(previous)
+    trace_path = results_dir() / "bench_reliability_trace.jsonl"
+    tracer.export_jsonl(trace_path)
+    tracer.export_chrome(
+        results_dir() / "bench_reliability_trace.chrome.json"
+    )
     path = results_dir() / "bench_reliability.json"
     path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    RunLedger(results_dir() / LEDGER_NAME).record(
+        command="bench-reliability",
+        argv=["benchmarks/bench_reliability.py"],
+        config={"fault_seed": FAULT_SEED, "corpus_devices": N_DEVICES},
+        exit_code=0,
+        duration_s=time.perf_counter() - started,
+        metrics_path=results_dir() / "bench_reliability_metrics.json",
+        trace_path=trace_path,
+    )
     crash = report["crash_recovery"]
     corruption = report["corruption"]
     print(

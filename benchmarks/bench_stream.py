@@ -19,9 +19,13 @@ the uninterrupted results **byte for byte** — and measures what the
 breaker buys: steady-state batch p99 with the breaker open versus
 paying the retry budget on every batch with breakers disabled.
 
-Artifacts: ``bench_stream.json`` in the results directory (CI uploads
-it from the stream-chaos job).  Seeded via ``REPRO_FAULT_SEED`` like
-the other chaos suites.
+Artifacts: ``bench_stream.json`` plus the observability set —
+``bench_stream_trace.jsonl`` / ``bench_stream_trace.chrome.json``
+(spans of the chaos run; the chrome file opens in Perfetto) and
+``bench_stream_metrics.prom`` / ``bench_stream_metrics.json`` — in the
+results directory (CI uploads them from the stream-chaos job and
+validates them with ``repro obs summary``).  Seeded via
+``REPRO_FAULT_SEED`` like the other chaos suites.
 """
 
 from __future__ import annotations
@@ -33,6 +37,14 @@ import time
 from repro.analysis.reporting import results_dir
 from repro.bits import BitVector
 from repro.core import Fingerprint
+from repro.obs import (
+    LEDGER_NAME,
+    MetricsRegistry,
+    RunLedger,
+    Tracer,
+    bind_service_metrics,
+    set_tracer,
+)
 from repro.reliability import (
     STATE_OPEN,
     FaultPlan,
@@ -159,6 +171,11 @@ def _chaos_axis(tmp_path, observations, n_poisoned):
     # The seeded kills actually fired and were absorbed by restarts.
     assert injector.kills > 0
     assert report.restarts >= injector.kills
+
+    registry = MetricsRegistry()
+    bind_service_metrics(registry, service.metrics)
+    registry.write_exposition(results_dir() / "bench_stream_metrics.prom")
+    registry.write_snapshot(results_dir() / "bench_stream_metrics.json")
     return {
         "observations": report.observations,
         "matched": report.matched,
@@ -304,6 +321,17 @@ def test_stream_chaos_benchmark(tmp_path, bench_rng):
         observations, bits, bench_rng, N_OBSERVATIONS
     )
 
+    started = time.perf_counter()
+    tracer = Tracer()
+    previous = set_tracer(tracer)
+    try:
+        chaos = _chaos_axis(tmp_path, observations, n_poisoned)
+    finally:
+        set_tracer(previous)
+    trace_path = results_dir() / "bench_stream_trace.jsonl"
+    tracer.export_jsonl(trace_path)
+    tracer.export_chrome(results_dir() / "bench_stream_trace.chrome.json")
+
     report = {
         "fault_seed": FAULT_SEED,
         "corpus_devices": N_DEVICES,
@@ -311,12 +339,21 @@ def test_stream_chaos_benchmark(tmp_path, bench_rng):
         "failing_shard": BAD_SHARD,
         "observations": N_OBSERVATIONS,
         "poisoned": n_poisoned,
-        "chaos": _chaos_axis(tmp_path, observations, n_poisoned),
+        "chaos": chaos,
         "exactly_once": _exactly_once_axis(tmp_path, observations),
         "throughput": _throughput_axis(tmp_path, bits, bench_rng),
     }
     path = results_dir() / "bench_stream.json"
     path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    RunLedger(results_dir() / LEDGER_NAME).record(
+        command="bench-stream",
+        argv=["benchmarks/bench_stream.py"],
+        config={"fault_seed": FAULT_SEED, "observations": N_OBSERVATIONS},
+        exit_code=0,
+        duration_s=time.perf_counter() - started,
+        metrics_path=results_dir() / "bench_stream_metrics.json",
+        trace_path=trace_path,
+    )
 
     chaos = report["chaos"]
     throughput = report["throughput"]

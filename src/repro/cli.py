@@ -18,6 +18,11 @@ Usage::
     python -m repro repair --store DB         # recover + quarantine damage
     python -m repro lint                      # repo invariant checker
     python -m repro lint --list-rules         # the rule catalogue
+    python -m repro obs summary --trace obs/trace.jsonl \\
+        --metrics obs/metrics.json            # validate observability
+    python -m repro obs export --trace obs/trace.jsonl \\
+        --format chrome --output trace.json   # open in Perfetto
+    python -m repro obs ledger ls             # list recorded runs
 
 Reports are written to ``benchmarks/results/`` (override with the
 ``REPRO_RESULTS_DIR`` environment variable, or with higher precedence
@@ -44,6 +49,15 @@ the pipeline checkpoints so ``--resume`` continues exactly once after
 a crash or a SIGTERM drain.  Exit codes: 0 completed, 3 interrupted
 (drained on signal — resume to continue), 1 fatal escalation (see
 ``fatal.json`` in the state directory), 2 usage errors.
+
+Observability (DESIGN.md §11): ``--obs-dir DIR`` on ``serve-batch``
+and ``stream`` turns on the tracer for the run and writes
+``trace.jsonl`` (span interchange), ``trace.chrome.json`` (opens in
+Perfetto), ``metrics.prom`` (Prometheus text exposition) and
+``metrics.json`` into DIR; ``--profile`` additionally samples stacks
+around the identification run.  Every service/experiment invocation
+appends one record to ``<results-dir>/ledger.jsonl`` (best-effort),
+inspectable with ``repro obs ledger ls``.
 """
 
 from __future__ import annotations
@@ -64,6 +78,8 @@ from repro.analysis.reporting import (
 from repro.experiments import experiment_ids, run_experiment
 from repro.lint.cli import configure_parser as configure_lint_parser
 from repro.lint.cli import run_lint
+from repro.obs.cli import configure_parser as configure_obs_parser
+from repro.obs.cli import run_obs
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -158,6 +174,19 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="only print the summary line, not the metrics block",
     )
+    serve_parser.add_argument(
+        "--obs-dir",
+        default=None,
+        metavar="DIR",
+        help="write trace.jsonl / trace.chrome.json / metrics.prom / "
+        "metrics.json observability artifacts into DIR",
+    )
+    serve_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="sample stacks around the identification run "
+        "(aggregate lands in the trace and on stdout)",
+    )
 
     stream_parser = subparsers.add_parser(
         "stream",
@@ -242,6 +271,13 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="only print the summary line, not the metrics block",
     )
+    stream_parser.add_argument(
+        "--obs-dir",
+        default=None,
+        metavar="DIR",
+        help="write trace.jsonl / trace.chrome.json / metrics.prom / "
+        "metrics.json observability artifacts into DIR",
+    )
 
     quarantine_parser = subparsers.add_parser(
         "quarantine",
@@ -325,6 +361,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "invariants (see DESIGN.md §10)",
     )
     configure_lint_parser(lint_parser)
+
+    obs_parser = subparsers.add_parser(
+        "obs",
+        help="observability artifacts: validate, convert, list the "
+        "run ledger (see DESIGN.md §11)",
+    )
+    configure_obs_parser(obs_parser)
     return parser
 
 
@@ -365,6 +408,21 @@ def _load_queries(path: Path) -> List:
     return queries
 
 
+def _write_metrics_artifacts(obs_dir: Path, metrics: object) -> None:
+    """Export a ServiceMetrics via the registry into ``obs_dir``.
+
+    Writes both the Prometheus text exposition (``metrics.prom``) and
+    the JSON snapshot (``metrics.json``).
+    """
+    from repro.obs import MetricsRegistry, bind_service_metrics
+
+    registry = MetricsRegistry()
+    bind_service_metrics(registry, metrics)  # type: ignore[arg-type]
+    obs_dir.mkdir(parents=True, exist_ok=True)
+    registry.write_exposition(obs_dir / "metrics.prom")
+    registry.write_snapshot(obs_dir / "metrics.json")
+
+
 def _serve_batch(args: argparse.Namespace) -> int:
     """The serve-batch command body."""
     from repro.core.distance import DEFAULT_THRESHOLD
@@ -387,7 +445,18 @@ def _serve_batch(args: argparse.Namespace) -> int:
         max_workers=args.workers,
         cluster_residuals=not args.no_cluster_residuals,
     )
-    report = service.run(queries)
+    if args.profile:
+        from repro.obs import SamplingProfiler
+
+        profiler = SamplingProfiler()
+        with profiler.attach("serve-batch"):
+            report = service.run(queries)
+        for location, samples in profiler.top(10):
+            print(f"profile: {location} x{samples}")
+    else:
+        report = service.run(queries)
+    if args.obs_dir is not None:
+        _write_metrics_artifacts(Path(args.obs_dir), service.metrics)
     report_path = (
         Path(args.report)
         if args.report is not None
@@ -458,6 +527,8 @@ def _stream(args: argparse.Namespace) -> int:
         report = service.run(observations, resume=args.resume, stop_event=stop)
     finally:
         restore()
+    if args.obs_dir is not None:
+        _write_metrics_artifacts(Path(args.obs_dir), service.metrics)
     print(
         f"stream {report.status}: {report.observations} observations "
         f"({report.start_offset}..{report.final_offset}), "
@@ -634,11 +705,99 @@ def _run_one(experiment_id: str, quiet: bool) -> None:
     print(f"[{report.experiment_id}] {report.title}  ({elapsed:.1f}s)")
 
 
+def _append_ledger(
+    command: str,
+    argv: List[str],
+    args: argparse.Namespace,
+    exit_code: int,
+    duration_s: float,
+    metrics_path: Optional[Path] = None,
+    trace_path: Optional[Path] = None,
+) -> None:
+    """Best-effort run-ledger append (never fails the run it records)."""
+    from repro.obs import LEDGER_NAME, RunLedger
+
+    try:
+        RunLedger(results_dir() / LEDGER_NAME).record(
+            command=command,
+            argv=argv,
+            config=dict(vars(args)),
+            exit_code=exit_code,
+            duration_s=duration_s,
+            metrics_path=metrics_path,
+            trace_path=trace_path,
+        )
+    except OSError:
+        pass
+
+
+def _run_service_command(
+    args: argparse.Namespace, argv: List[str]
+) -> int:
+    """Dispatch one service command with tracing + ledger around it."""
+    from repro.obs import Tracer, set_tracer
+
+    body = {
+        "serve-batch": _serve_batch,
+        "stream": _stream,
+        "quarantine": _quarantine,
+        "verify-store": _verify_store,
+        "repair": _repair,
+    }[args.command]
+    obs_dir = getattr(args, "obs_dir", None)
+    tracer: Optional[Tracer] = None
+    previous: Optional[Tracer] = None
+    if obs_dir is not None:
+        tracer = Tracer()
+        previous = set_tracer(tracer)
+    started = time.perf_counter()
+    try:
+        try:
+            exit_code = body(args)
+        except (ValueError, OSError) as error:
+            # Bad store directory, duplicate ingest keys, malformed or
+            # missing query file, a corrupt .pcfp stream
+            # (CorruptStreamError renders with byte offset and record
+            # index) — user input problems, not crashes.
+            print(f"{args.command}: {error}", file=sys.stderr)
+            exit_code = 2
+    finally:
+        if tracer is not None:
+            set_tracer(previous)
+    duration_s = time.perf_counter() - started
+    trace_path: Optional[Path] = None
+    metrics_path: Optional[Path] = None
+    if tracer is not None and obs_dir is not None:
+        obs_path = Path(obs_dir)
+        obs_path.mkdir(parents=True, exist_ok=True)
+        trace_path = obs_path / "trace.jsonl"
+        tracer.export_jsonl(trace_path)
+        tracer.export_chrome(obs_path / "trace.chrome.json")
+        if (obs_path / "metrics.json").exists():
+            metrics_path = obs_path / "metrics.json"
+        print(f"observability artifacts written to {obs_path}")
+    _append_ledger(
+        args.command,
+        argv,
+        args,
+        exit_code,
+        duration_s,
+        metrics_path=metrics_path,
+        trace_path=trace_path,
+    )
+    return exit_code
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
+    raw_argv = list(argv) if argv is not None else sys.argv[1:]
     args = _build_parser().parse_args(argv)
     if args.command == "lint":
         return run_lint(args)
+    if args.command == "obs":
+        if args.results_dir is not None:
+            set_results_dir(args.results_dir)
+        return run_obs(args)
     if args.results_dir is not None:
         set_results_dir(args.results_dir)
     if args.command in (
@@ -648,22 +807,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "verify-store",
         "repair",
     ):
-        body = {
-            "serve-batch": _serve_batch,
-            "stream": _stream,
-            "quarantine": _quarantine,
-            "verify-store": _verify_store,
-            "repair": _repair,
-        }[args.command]
-        try:
-            return body(args)
-        except (ValueError, OSError) as error:
-            # Bad store directory, duplicate ingest keys, malformed or
-            # missing query file, a corrupt .pcfp stream
-            # (CorruptStreamError renders with byte offset and record
-            # index) — user input problems, not crashes.
-            print(f"{args.command}: {error}", file=sys.stderr)
-            return 2
+        return _run_service_command(args, raw_argv)
     if args.command == "list":
         for experiment_id in experiment_ids():
             print(experiment_id)
@@ -678,13 +822,18 @@ def main(argv: Optional[List[str]] = None) -> int:
             for key, value in sorted(record["metrics"].items()):
                 print(f"    {key}: {value:.6g}")
         return 0
+    started = time.perf_counter()
     if args.experiment == "all":
         for experiment_id in experiment_ids():
             _run_one(experiment_id, args.quiet)
+        _append_ledger(
+            "run", raw_argv, args, 0, time.perf_counter() - started
+        )
         return 0
     try:
         _run_one(args.experiment, args.quiet)
     except KeyError as error:
         print(error.args[0], file=sys.stderr)
         return 2
+    _append_ledger("run", raw_argv, args, 0, time.perf_counter() - started)
     return 0

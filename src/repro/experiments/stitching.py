@@ -11,6 +11,7 @@ from repro.attacks import (
     run_stitching_experiment,
 )
 from repro.experiments.base import ExperimentReport, register
+from repro.obs.trace import span as obs_span
 from repro.system import ModeledApproximateMemory, PhysicalMemoryMap
 
 #: Paper scale: 1 GB of 4 KB pages, 10 MB samples.
@@ -37,24 +38,30 @@ def render_curve(curve: ConvergenceCurve, width: int = 50) -> str:
 def run(n_samples: int = 1000, seed: int = 13, record_every: int = 25) -> ExperimentReport:
     """Reproduce Figure 13 at paper scale (interval model) and scaled
     full-fingerprint stitching."""
-    model_curve = run_interval_model(
-        total_pages=PAPER_TOTAL_PAGES,
-        sample_pages=PAPER_SAMPLE_PAGES,
-        n_samples=n_samples,
-        rng=np.random.default_rng(seed),
-        record_every=record_every,
-    )
+    with obs_span(
+        "experiment.fig13.interval_model", n_samples=n_samples, seed=seed
+    ):
+        model_curve = run_interval_model(
+            total_pages=PAPER_TOTAL_PAGES,
+            sample_pages=PAPER_SAMPLE_PAGES,
+            n_samples=n_samples,
+            rng=np.random.default_rng(seed),
+            record_every=record_every,
+        )
     machine = ModeledApproximateMemory(
         chip_seed=seed,
         memory_map=PhysicalMemoryMap(total_pages=SCALED_TOTAL_PAGES),
     )
-    stitch_curve = run_stitching_experiment(
-        machines=[machine],
-        n_samples=n_samples,
-        sample_pages=SCALED_SAMPLE_PAGES,
-        rng=np.random.default_rng(seed),
-        record_every=record_every,
-    )
+    with obs_span(
+        "experiment.fig13.stitching", n_samples=n_samples, seed=seed
+    ):
+        stitch_curve = run_stitching_experiment(
+            machines=[machine],
+            n_samples=n_samples,
+            sample_pages=SCALED_SAMPLE_PAGES,
+            rng=np.random.default_rng(seed),
+            record_every=record_every,
+        )
     analytic_peak_n = PAPER_TOTAL_PAGES / PAPER_SAMPLE_PAGES
     analytic_rows = [
         f"    n={n:>4}: expected "

@@ -5,8 +5,8 @@ deterministic given a seed, and the storage/service layers added in
 PRs 1-3 are only trustworthy because they follow strict crash-safety
 and lock-discipline rules.  This package makes those conventions
 machine-checkable: a single-walk AST rule engine
-(:mod:`repro.lint.engine`), six repo-specific rules
-(:mod:`repro.lint.rules`, ``REP001``-``REP006`` plus the ``REP000``
+(:mod:`repro.lint.engine`), seven repo-specific rules
+(:mod:`repro.lint.rules`, ``REP001``-``REP007`` plus the ``REP000``
 parse-error channel), per-line suppressions, and a committed baseline
 (:mod:`repro.lint.baseline`) so legacy findings never block while new
 ones always do.

@@ -10,6 +10,7 @@ REP003    lock discipline — shared ``self._*`` writes under the lock
 REP004    no blocking calls while holding a lock
 REP005    no ``==`` / ``!=`` on float literals (distance/threshold code)
 REP006    durations and timeouts use a monotonic clock, not ``time.time``
+REP007    metrics go through the registry — no bare dict counters
 ========  ==========================================================
 
 A rule is an ``enter``/``leave`` visitor over the engine's single AST
@@ -448,14 +449,27 @@ class FloatEqualityRule(Rule):
 # ----------------------------------------------------------------------
 
 
+#: The one module allowed to read the wall clock: the sanctioned seam
+#: everything else (the run ledger's timestamps) goes through.
+_WALL_CLOCK_SEAM = "obs/clock.py"
+
+
 class WallClockRule(Rule):
     """REP006: ``time.time()`` jumps with NTP/DST; durations, timeouts
     and backoff schedules must use ``time.monotonic()`` (or
-    ``time.perf_counter()`` for fine-grained measurement)."""
+    ``time.perf_counter()`` for fine-grained measurement).  The only
+    sanctioned caller is :mod:`repro.obs.clock`, the seam real
+    timestamps (the run ledger) are read through."""
 
     rule_id = "REP006"
     title = "time.time() used for durations/timeouts"
     invariant = "timeouts and backoff survive wall-clock adjustments"
+
+    @classmethod
+    def applies_to(cls, rel_path: str) -> bool:
+        if rel_path.endswith(_WALL_CLOCK_SEAM):
+            return False
+        return super().applies_to(rel_path)
 
     def enter(self, node: ast.AST, scope: Scope) -> None:
         if not isinstance(node, ast.Call):
@@ -464,10 +478,92 @@ class WallClockRule(Rule):
             self.report(
                 node,
                 "time.time() is a wall clock and jumps under NTP/DST; "
-                "use time.monotonic() for timeouts/backoff or "
-                "time.perf_counter() for latency measurement (suppress "
-                "with a reason if a real timestamp is intended)",
+                "use time.monotonic() for timeouts/backoff, "
+                "time.perf_counter() for latency measurement, or "
+                "repro.obs.clock.wall_time() when a real timestamp is "
+                "intended",
             )
+
+
+# ----------------------------------------------------------------------
+# REP007 — metrics go through the registry, not bare dict counters
+# ----------------------------------------------------------------------
+
+#: The sanctioned counter implementations themselves — the one place a
+#: raw dict-backed counter is the point, not a bypass.
+_SANCTIONED_METRIC_MODULES = ("service/metrics.py",)
+
+
+def _is_get_default_call(expr: ast.AST) -> bool:
+    """True for ``<mapping>.get(key, <default>)`` expressions."""
+    return (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Attribute)
+        and expr.func.attr == "get"
+        and len(expr.args) == 2
+    )
+
+
+class BareCounterRule(Rule):
+    """REP007: counters in the service layers must go through
+    ``ServiceMetrics`` / ``MetricsRegistry`` so they reach the
+    exporters; a bare dict counter is invisible to every dashboard."""
+
+    rule_id = "REP007"
+    title = "bare dict counter bypasses the metrics registry"
+    invariant = "every counter is exported (observability, DESIGN.md §11)"
+    path_filters = ("service", "reliability")
+
+    @classmethod
+    def applies_to(cls, rel_path: str) -> bool:
+        if any(rel_path.endswith(m) for m in _SANCTIONED_METRIC_MODULES):
+            return False
+        return super().applies_to(rel_path)
+
+    def enter(self, node: ast.AST, scope: Scope) -> None:
+        if isinstance(node, ast.Call):
+            chain = attr_chain(node.func)
+            if chain[-1] == "Counter" and (
+                len(chain) == 1 or chain[-2] == "collections"
+            ):
+                self.report(
+                    node,
+                    "collections.Counter is a bare in-process counter; "
+                    "count through ServiceMetrics.count() or a "
+                    "MetricsRegistry counter so the value reaches the "
+                    "exporters",
+                )
+            return
+        if isinstance(node, ast.AugAssign):
+            if isinstance(node.op, ast.Add) and isinstance(
+                node.target, ast.Subscript
+            ):
+                self.report(
+                    node,
+                    "dict-subscript '+=' builds a bare counter; use "
+                    "ServiceMetrics.count() / a MetricsRegistry counter "
+                    "so the value reaches the exporters",
+                )
+            return
+        if isinstance(node, ast.Assign):
+            value = node.value
+            if not (
+                isinstance(value, ast.BinOp)
+                and isinstance(value.op, ast.Add)
+            ):
+                return
+            if any(
+                isinstance(target, ast.Subscript) for target in node.targets
+            ) and (
+                _is_get_default_call(value.left)
+                or _is_get_default_call(value.right)
+            ):
+                self.report(
+                    node,
+                    "'d[k] = d.get(k, 0) + n' builds a bare counter; use "
+                    "ServiceMetrics.count() / a MetricsRegistry counter "
+                    "so the value reaches the exporters",
+                )
 
 
 #: Registry, in rule-id order; the engine runs them in one walk.
@@ -478,6 +574,7 @@ ALL_RULES: Tuple[Type[Rule], ...] = (
     BlockingUnderLockRule,
     FloatEqualityRule,
     WallClockRule,
+    BareCounterRule,
 )
 
 #: rule id → class, for ``--list-rules`` and documentation tooling.

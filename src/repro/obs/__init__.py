@@ -1,0 +1,101 @@
+"""Unified observability: tracing, a metrics registry, profiling, ledger.
+
+The service (PR 1), reliability (PR 2) and streaming (PR 3) layers
+made the pipeline survive scale and failure; this subsystem makes it
+*legible*.  Four pieces, one design rule — instrumentation is always
+compiled in, and costs ~nothing until a run turns it on:
+
+* :mod:`repro.obs.trace` — hierarchical :class:`Span` trees propagated
+  via ``contextvars`` (across the batch shard fan-out threads and the
+  stream supervisor's workers), buffered in a bounded ring, exported
+  as JSONL or Chrome ``trace_event`` JSON (opens in Perfetto);
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry` with counters,
+  gauges, explicit-bucket histograms, scrape-time collectors bridging
+  :class:`~repro.service.metrics.ServiceMetrics`, and Prometheus-text
+  / JSON exporters;
+* :mod:`repro.obs.profile` — a sampling wall-clock profiler
+  (:class:`SamplingProfiler`), off by default, attachable around hot
+  paths, publishing top-of-stack aggregates into the trace;
+* :mod:`repro.obs.ledger` — the append-only run ledger
+  (:class:`RunLedger`) every CLI entry point and benchmark records
+  into, so runs are findable and diffable after the fact.
+
+:mod:`repro.obs.clock` is the one sanctioned wall-clock seam (REP006);
+``repro obs summary / export / ledger ls`` are the CLI front ends.
+"""
+
+from repro.obs.clock import monotonic, perf_counter, wall_time
+from repro.obs.ledger import (
+    LEDGER_NAME,
+    LEDGER_SCHEMA_VERSION,
+    LedgerEntry,
+    RunLedger,
+    config_digest,
+    git_describe,
+)
+from repro.obs.metrics import (
+    METRICS_SCHEMA_VERSION,
+    Counter,
+    Family,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Sample,
+    bind_service_metrics,
+    sanitize_metric_name,
+    service_metrics_families,
+)
+from repro.obs.profile import SamplingProfiler
+from repro.obs.trace import (
+    STATUS_ERROR,
+    STATUS_OK,
+    TRACE_SCHEMA_VERSION,
+    Span,
+    TraceBuffer,
+    Tracer,
+    canonical_records,
+    chrome_trace,
+    current_span,
+    get_tracer,
+    read_trace_jsonl,
+    set_tracer,
+    span,
+    validate_spans,
+)
+
+__all__ = [
+    "LEDGER_NAME",
+    "LEDGER_SCHEMA_VERSION",
+    "METRICS_SCHEMA_VERSION",
+    "STATUS_ERROR",
+    "STATUS_OK",
+    "TRACE_SCHEMA_VERSION",
+    "Counter",
+    "Family",
+    "Gauge",
+    "Histogram",
+    "LedgerEntry",
+    "MetricsRegistry",
+    "RunLedger",
+    "Sample",
+    "SamplingProfiler",
+    "Span",
+    "TraceBuffer",
+    "Tracer",
+    "bind_service_metrics",
+    "canonical_records",
+    "chrome_trace",
+    "config_digest",
+    "current_span",
+    "get_tracer",
+    "git_describe",
+    "monotonic",
+    "perf_counter",
+    "read_trace_jsonl",
+    "sanitize_metric_name",
+    "service_metrics_families",
+    "set_tracer",
+    "span",
+    "validate_spans",
+    "wall_time",
+]

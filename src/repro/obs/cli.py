@@ -1,0 +1,301 @@
+"""The ``repro obs`` CLI: summarize, export, and list the run ledger.
+
+Three subcommands over the artifacts the instrumented runs produce:
+
+* ``repro obs summary --trace trace.jsonl [--metrics metrics.json]``
+  validates every record (schema versions, orphan spans, negative
+  durations, malformed metrics families) and prints a per-span-name
+  duration rollup; exit 1 on malformed records — CI's smoke step.
+* ``repro obs export --trace trace.jsonl --format chrome|jsonl
+  --output out`` converts a JSONL trace to Chrome ``trace_event`` JSON
+  (open in Perfetto) or re-emits canonical JSONL for diffing.
+* ``repro obs ledger ls [--ledger PATH] [--json]`` lists the run
+  ledger, newest last.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List
+
+from repro.obs.ledger import LEDGER_NAME, RunLedger
+from repro.obs.metrics import METRICS_SCHEMA_VERSION
+from repro.obs.trace import (
+    Span,
+    canonical_records,
+    chrome_trace,
+    read_trace_jsonl,
+    validate_spans,
+)
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``obs`` subcommand tree to an argparse parser."""
+    sub = parser.add_subparsers(dest="obs_command", required=True)
+
+    summary = sub.add_parser(
+        "summary",
+        help="validate trace/metrics artifacts and print a rollup",
+    )
+    summary.add_argument(
+        "--trace",
+        default=None,
+        metavar="TRACE.jsonl",
+        help="span JSONL file to validate and summarize",
+    )
+    summary.add_argument(
+        "--metrics",
+        default=None,
+        metavar="METRICS.json",
+        help="metrics JSON snapshot to validate",
+    )
+    summary.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the summary as JSON on stdout",
+    )
+
+    export = sub.add_parser(
+        "export",
+        help="convert a span JSONL trace for other tools",
+    )
+    export.add_argument(
+        "--trace",
+        required=True,
+        metavar="TRACE.jsonl",
+        help="span JSONL file to convert",
+    )
+    export.add_argument(
+        "--format",
+        choices=("chrome", "jsonl"),
+        default="chrome",
+        help="chrome: trace_event JSON for Perfetto; "
+        "jsonl: canonical (deterministic) span lines",
+    )
+    export.add_argument(
+        "--output",
+        required=True,
+        metavar="FILE",
+        help="where to write the converted trace",
+    )
+
+    ledger = sub.add_parser(
+        "ledger", help="inspect the run ledger"
+    )
+    ledger_sub = ledger.add_subparsers(dest="ledger_command", required=True)
+    ledger_ls = ledger_sub.add_parser(
+        "ls", help="list recorded runs, oldest first"
+    )
+    ledger_ls.add_argument(
+        "--ledger",
+        default=None,
+        metavar="LEDGER.jsonl",
+        help=f"ledger file (default <results-dir>/{LEDGER_NAME})",
+    )
+    ledger_ls.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the entries as JSON on stdout",
+    )
+
+
+def _span_rollup(spans: List[Span]) -> List[Dict[str, object]]:
+    """Per-name span aggregates, deterministically ordered by name."""
+    grouped: Dict[str, Dict[str, float]] = {}
+    for span_record in spans:
+        entry = grouped.setdefault(
+            span_record.name,
+            {"count": 0.0, "total_us": 0.0, "max_us": 0.0, "errors": 0.0},
+        )
+        entry["count"] += 1
+        entry["total_us"] += span_record.duration_us
+        entry["max_us"] = max(entry["max_us"], float(span_record.duration_us))
+        if span_record.status != "ok":
+            entry["errors"] += 1
+    return [
+        {
+            "name": name,
+            "count": int(grouped[name]["count"]),
+            "total_ms": grouped[name]["total_us"] / 1e3,
+            "max_ms": grouped[name]["max_us"] / 1e3,
+            "errors": int(grouped[name]["errors"]),
+        }
+        for name in sorted(grouped)
+    ]
+
+
+def _validate_metrics_snapshot(path: Path) -> List[str]:
+    """Structural problems in a metrics JSON snapshot (empty = valid)."""
+    problems: List[str] = []
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as error:
+        return [f"unreadable metrics snapshot: {error}"]
+    if not isinstance(payload, dict):
+        return ["metrics snapshot must be a JSON object"]
+    if payload.get("schema_version") != METRICS_SCHEMA_VERSION:
+        problems.append(
+            "unsupported metrics schema_version "
+            f"{payload.get('schema_version')!r}"
+        )
+        return problems
+    families = payload.get("families")
+    if not isinstance(families, list):
+        return ["metrics snapshot has no 'families' list"]
+    for index, family in enumerate(families):
+        if not isinstance(family, dict):
+            problems.append(f"family #{index} is not an object")
+            continue
+        name = family.get("name")
+        if not isinstance(name, str) or not name.startswith("repro_"):
+            problems.append(
+                f"family #{index} name {name!r} violates the "
+                "repro_<subsystem>_<name> scheme"
+            )
+        if family.get("type") not in ("counter", "gauge", "histogram"):
+            problems.append(
+                f"family {name!r} has unknown type {family.get('type')!r}"
+            )
+        samples = family.get("samples")
+        if not isinstance(samples, list) or not samples:
+            problems.append(f"family {name!r} has no samples")
+            continue
+        for sample in samples:
+            if not isinstance(sample, dict) or "value" not in sample:
+                problems.append(f"family {name!r} holds a malformed sample")
+                break
+    return problems
+
+
+def _summary(args: argparse.Namespace) -> int:
+    if args.trace is None and args.metrics is None:
+        print("obs summary: pass --trace and/or --metrics", file=sys.stderr)
+        return 2
+    problems: List[str] = []
+    report: Dict[str, object] = {}
+    if args.trace is not None:
+        trace_path = Path(args.trace)
+        if not trace_path.exists():
+            print(f"obs summary: no trace at {trace_path}", file=sys.stderr)
+            return 2
+        try:
+            spans = read_trace_jsonl(trace_path)
+        except ValueError as error:
+            problems.append(str(error))
+            spans = []
+        else:
+            problems.extend(validate_spans(spans))
+        report["spans"] = len(spans)
+        report["span_rollup"] = _span_rollup(spans)
+    if args.metrics is not None:
+        metrics_path = Path(args.metrics)
+        if not metrics_path.exists():
+            print(
+                f"obs summary: no metrics snapshot at {metrics_path}",
+                file=sys.stderr,
+            )
+            return 2
+        metrics_problems = _validate_metrics_snapshot(metrics_path)
+        problems.extend(metrics_problems)
+        if not metrics_problems:
+            payload = json.loads(metrics_path.read_text(encoding="utf-8"))
+            report["metric_families"] = len(payload["families"])
+    report["problems"] = problems
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        for entry in report.get("span_rollup", []):  # type: ignore[union-attr]
+            print(
+                f"{entry['name']}: n={entry['count']} "
+                f"total={entry['total_ms']:.3f}ms "
+                f"max={entry['max_ms']:.3f}ms errors={entry['errors']}"
+            )
+        if "spans" in report:
+            print(f"{report['spans']} span(s) validated")
+        if "metric_families" in report:
+            print(f"{report['metric_families']} metric families validated")
+        for problem in problems:
+            print(f"problem: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+def _export(args: argparse.Namespace) -> int:
+    trace_path = Path(args.trace)
+    if not trace_path.exists():
+        print(f"obs export: no trace at {trace_path}", file=sys.stderr)
+        return 2
+    try:
+        spans = read_trace_jsonl(trace_path)
+    except ValueError as error:
+        print(f"obs export: {error}", file=sys.stderr)
+        return 1
+    output = Path(args.output)
+    output.parent.mkdir(parents=True, exist_ok=True)
+    if args.format == "chrome":
+        payload = chrome_trace(spans)
+        output.write_text(
+            json.dumps(payload, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        print(
+            f"wrote {len(payload['traceEvents'])} trace events to {output} "
+            "(open in https://ui.perfetto.dev or chrome://tracing)"
+        )
+    else:
+        records = canonical_records(spans)
+        output.write_text(
+            "".join(
+                json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+                for record in records
+            ),
+            encoding="utf-8",
+        )
+        print(f"wrote {len(records)} canonical span lines to {output}")
+    return 0
+
+
+def _ledger_ls(args: argparse.Namespace) -> int:
+    from repro.analysis.reporting import results_dir
+
+    path = (
+        Path(args.ledger)
+        if args.ledger is not None
+        else results_dir() / LEDGER_NAME
+    )
+    if not path.exists():
+        print(f"obs ledger: no ledger at {path}", file=sys.stderr)
+        return 2
+    try:
+        entries = RunLedger(path).entries()
+    except ValueError as error:
+        print(f"obs ledger: {error}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(
+            json.dumps(
+                [entry.to_json() for entry in entries],
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+    for entry in entries:
+        described = entry.git_describe or "-"
+        print(
+            f"{entry.timestamp:.0f}  {entry.command:<12} "
+            f"exit={entry.exit_code} {entry.duration_s:.2f}s "
+            f"cfg={entry.config_digest[:12]} git={described}"
+        )
+    print(f"{len(entries)} run(s) recorded")
+    return 0
+
+
+def run_obs(args: argparse.Namespace) -> int:
+    """Dispatch an ``obs`` namespace parsed by :func:`configure_parser`."""
+    if args.obs_command == "summary":
+        return _summary(args)
+    if args.obs_command == "export":
+        return _export(args)
+    return _ledger_ls(args)

@@ -1,0 +1,39 @@
+"""The sanctioned clock seam for the observability layer.
+
+Everything in this repo that measures a *duration* must use a
+monotonic clock (invariant REP006): ``time.time()`` jumps under NTP
+slew and DST and would corrupt timeouts, backoff schedules and latency
+histograms.  But the observability layer genuinely needs one wall-clock
+reading per run — the ledger timestamp that lets an operator line a
+trace up against the rest of the fleet's logs.
+
+This module is the **only** place in the tree allowed to read the wall
+clock (``repro lint`` whitelists exactly this file for REP006).  Code
+that needs a timestamp imports :func:`wall_time` from here; code that
+needs a duration uses :func:`monotonic` / :func:`perf_counter` like
+everywhere else.  Keeping both behind one seam also gives tests a
+single monkeypatch point to freeze time.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def wall_time() -> float:
+    """Seconds since the Unix epoch — ledger/trace timestamps only.
+
+    Never use this for durations, timeouts or ordering; it is the one
+    sanctioned wall-clock read in the repository.
+    """
+    return time.time()
+
+
+def monotonic() -> float:
+    """Monotonic seconds for timeouts and coarse durations."""
+    return time.monotonic()
+
+
+def perf_counter() -> float:
+    """High-resolution monotonic seconds for latency measurement."""
+    return time.perf_counter()

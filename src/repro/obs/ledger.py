@@ -1,0 +1,221 @@
+"""The run ledger: every CLI/benchmark invocation leaves a record.
+
+Benchmark trajectories are only diffable if runs are findable: which
+command ran, with which configuration, on which code, and where its
+artifacts went.  The ledger is a single append-only ``ledger.jsonl``
+(one canonical JSON object per line) in the results directory; each
+entry carries:
+
+* ``command`` and ``argv`` — what was invoked;
+* ``config_digest`` — SHA-256 over the canonical JSON of the resolved
+  configuration, so "same flags" is a string comparison;
+* ``git_describe`` — ``git describe --always --dirty`` when the tree
+  is a git checkout (best-effort: absent otherwise, never an error);
+* ``exit_code`` / ``duration_s`` — how it ended and how long it took;
+* ``metrics_path`` / ``trace_path`` — where the run's observability
+  artifacts were written (when observability was on);
+* ``timestamp`` — the one sanctioned wall-clock read
+  (:func:`repro.obs.clock.wall_time`), for lining runs up against
+  external logs.
+
+Appends are flushed and fsynced so a crash right after a run still
+leaves the record; the file is append-only, so concurrent runs
+interleave whole lines rather than corrupting each other (single
+``write`` of one line, standard POSIX append semantics).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import subprocess
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.obs.clock import wall_time
+
+#: Version stamped into every ledger line.
+LEDGER_SCHEMA_VERSION = 1
+
+#: Default ledger file name inside the results directory.
+LEDGER_NAME = "ledger.jsonl"
+
+
+def config_digest(config: Dict[str, object]) -> str:
+    """SHA-256 hex digest of a configuration mapping.
+
+    Canonical JSON (sorted keys, minimal separators, non-JSON values
+    stringified) so two invocations with the same resolved settings
+    digest identically regardless of dict ordering.
+    """
+    canonical = json.dumps(
+        config, sort_keys=True, separators=(",", ":"), default=str
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def git_describe(cwd: Optional[Union[str, Path]] = None) -> Optional[str]:
+    """``git describe --always --dirty`` for ``cwd``, or None.
+
+    Best-effort by contract: a missing git binary, a non-repo
+    directory, or any git failure yields None — the ledger records the
+    absence instead of failing the run it is documenting.
+    """
+    try:
+        completed = subprocess.run(
+            ["git", "describe", "--always", "--dirty"],
+            cwd=str(cwd) if cwd is not None else None,
+            capture_output=True,
+            text=True,
+            timeout=5.0,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if completed.returncode != 0:
+        return None
+    described = completed.stdout.strip()
+    return described or None
+
+
+@dataclass(frozen=True)
+class LedgerEntry:
+    """One run record (one ``ledger.jsonl`` line)."""
+
+    command: str
+    argv: List[str]
+    config_digest: str
+    exit_code: int
+    duration_s: float
+    timestamp: float
+    git_describe: Optional[str] = None
+    metrics_path: Optional[str] = None
+    trace_path: Optional[str] = None
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON rendering (one ledger line)."""
+        payload: Dict[str, object] = {
+            "schema_version": LEDGER_SCHEMA_VERSION,
+            "command": self.command,
+            "argv": list(self.argv),
+            "config_digest": self.config_digest,
+            "exit_code": self.exit_code,
+            "duration_s": self.duration_s,
+            "timestamp": self.timestamp,
+            "git_describe": self.git_describe,
+            "metrics_path": self.metrics_path,
+            "trace_path": self.trace_path,
+        }
+        if self.extra:
+            payload["extra"] = dict(self.extra)
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, object]) -> "LedgerEntry":
+        """Inverse of :meth:`to_json`; rejects unknown versions."""
+        version = payload.get("schema_version")
+        if version != LEDGER_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported ledger schema_version {version!r}"
+            )
+        return cls(
+            command=str(payload["command"]),
+            argv=[str(arg) for arg in payload.get("argv", [])],  # type: ignore[union-attr]
+            config_digest=str(payload["config_digest"]),
+            exit_code=int(payload["exit_code"]),  # type: ignore[arg-type]
+            duration_s=float(payload["duration_s"]),  # type: ignore[arg-type]
+            timestamp=float(payload["timestamp"]),  # type: ignore[arg-type]
+            git_describe=(
+                None
+                if payload.get("git_describe") is None
+                else str(payload["git_describe"])
+            ),
+            metrics_path=(
+                None
+                if payload.get("metrics_path") is None
+                else str(payload["metrics_path"])
+            ),
+            trace_path=(
+                None
+                if payload.get("trace_path") is None
+                else str(payload["trace_path"])
+            ),
+            extra=dict(payload.get("extra", {})),  # type: ignore[arg-type]
+        )
+
+
+class RunLedger:
+    """Append-only accessor for one ``ledger.jsonl`` file."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+
+    def append(self, entry: LedgerEntry) -> None:
+        """Durably append one entry (flush + fsync before returning)."""
+        line = (
+            json.dumps(entry.to_json(), sort_keys=True, separators=(",", ":"))
+            + "\n"
+        ).encode("utf-8")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "ab") as stream:
+            stream.write(line)
+            stream.flush()
+            os.fsync(stream.fileno())
+
+    def record(
+        self,
+        command: str,
+        argv: List[str],
+        config: Dict[str, object],
+        exit_code: int,
+        duration_s: float,
+        metrics_path: Optional[Union[str, Path]] = None,
+        trace_path: Optional[Union[str, Path]] = None,
+        extra: Optional[Dict[str, object]] = None,
+    ) -> LedgerEntry:
+        """Build an entry from run facts, append it, and return it."""
+        entry = LedgerEntry(
+            command=command,
+            argv=list(argv),
+            config_digest=config_digest(config),
+            exit_code=exit_code,
+            duration_s=duration_s,
+            timestamp=wall_time(),
+            git_describe=git_describe(self.path.parent),
+            metrics_path=None if metrics_path is None else str(metrics_path),
+            trace_path=None if trace_path is None else str(trace_path),
+            extra=dict(extra) if extra else {},
+        )
+        self.append(entry)
+        return entry
+
+    def entries(self) -> List[LedgerEntry]:
+        """Parse every ledger line (raises ValueError on a bad line)."""
+        if not self.path.exists():
+            return []
+        entries: List[LedgerEntry] = []
+        text = self.path.read_text(encoding="utf-8")
+        for line_number, line in enumerate(text.splitlines(), start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(
+                    f"{self.path}:{line_number}: bad JSON: {error}"
+                ) from error
+            if not isinstance(payload, dict):
+                raise ValueError(
+                    f"{self.path}:{line_number}: entry must be an object"
+                )
+            try:
+                entries.append(LedgerEntry.from_json(payload))
+            except (KeyError, TypeError, ValueError) as error:
+                raise ValueError(
+                    f"{self.path}:{line_number}: {error}"
+                ) from error
+        return entries

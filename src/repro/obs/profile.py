@@ -1,0 +1,173 @@
+"""Cheap sampling wall-clock profiler for the hot paths.
+
+``cProfile`` taxes every function call — unusable around the
+vectorized marking loop or the LSH probe without distorting exactly
+what it measures.  This is the always-affordable alternative: a
+background thread wakes every ``interval_s`` seconds, snapshots every
+live Python frame via :func:`sys._current_frames`, and aggregates the
+**top-of-stack** location per sample.  Overhead is proportional to the
+sampling rate, not to the workload's call volume, and zero when not
+attached (the default — nothing samples unless a caller enters
+:meth:`SamplingProfiler.attach`).
+
+The result is a deterministic-ordered table of ``file:line function``
+→ sample count.  When a tracer is active the aggregate is also
+published into the trace as an ``obs.profile`` span whose attributes
+carry the top locations, so a Perfetto view of a run shows *where the
+time went* next to *which stage spent it*.
+
+Seed-free by design: sampling uses only the monotonic clock, never an
+RNG (invariant REP001), and the sampler thread is excluded from its
+own samples.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from contextlib import contextmanager
+from pathlib import PurePath
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.obs.trace import Tracer, get_tracer
+
+
+def _frame_key(frame: object) -> str:
+    """``file:line function`` for a frame's top of stack."""
+    code = frame.f_code  # type: ignore[attr-defined]
+    filename = PurePath(code.co_filename).name
+    return f"{filename}:{frame.f_lineno} {code.co_name}"  # type: ignore[attr-defined]
+
+
+class SamplingProfiler:
+    """Periodic whole-process stack sampler (off unless attached).
+
+    Parameters
+    ----------
+    interval_s:
+        Sampling period; 5 ms default keeps overhead well under a
+        percent for the workloads in this repo.
+    tracer:
+        Where the aggregate span is published on detach (defaults to
+        the process-wide tracer; a disabled tracer silently skips the
+        publication, the table is still available via :meth:`top`).
+    """
+
+    def __init__(
+        self,
+        interval_s: float = 0.005,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        if interval_s <= 0.0:
+            raise ValueError(f"interval_s must be > 0, got {interval_s}")
+        self._interval_s = interval_s
+        self._tracer = tracer
+        self._lock = threading.Lock()
+        self._samples: Dict[str, int] = {}
+        self._total_samples = 0
+        self._stop: Optional[threading.Event] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def total_samples(self) -> int:
+        """Stack snapshots taken so far."""
+        with self._lock:
+            return self._total_samples
+
+    def _sample_once(self, own_ident: int) -> None:
+        frames = sys._current_frames()
+        counted: List[str] = []
+        for ident, frame in frames.items():
+            if ident == own_ident:
+                continue
+            counted.append(_frame_key(frame))
+        with self._lock:
+            self._total_samples += 1
+            for key in counted:
+                self._samples[key] = self._samples.get(key, 0) + 1
+
+    def _run(self, stop: threading.Event) -> None:
+        own_ident = threading.get_ident()
+        while not stop.wait(self._interval_s):
+            self._sample_once(own_ident)
+
+    def start(self) -> None:
+        """Begin sampling (idempotent while running)."""
+        with self._lock:
+            if self._thread is not None:
+                return
+            stop = threading.Event()
+            thread = threading.Thread(
+                target=self._run,
+                args=(stop,),
+                name="obs-profiler",
+                daemon=True,
+            )
+            self._stop = stop
+            self._thread = thread
+        thread.start()
+
+    def stop(self) -> None:
+        """Stop sampling and join the sampler thread."""
+        with self._lock:
+            thread = self._thread
+            stop = self._stop
+            self._thread = None
+            self._stop = None
+        if thread is None or stop is None:
+            return
+        stop.set()
+        thread.join(timeout=5.0)
+
+    @contextmanager
+    def attach(self, label: str = "profile") -> Iterator["SamplingProfiler"]:
+        """Sample for the duration of the block, then publish.
+
+        On exit the sampler stops and — when a tracer is enabled — the
+        aggregate lands in the trace as an ``obs.profile`` span whose
+        attributes carry ``label``, the sample count, and the top
+        locations.
+        """
+        self.start()
+        try:
+            yield self
+        finally:
+            self.stop()
+            self._publish(label)
+
+    def top(self, n: int = 10) -> List[Tuple[str, int]]:
+        """The ``n`` hottest top-of-stack locations, deterministically
+        ordered (count descending, then location name)."""
+        with self._lock:
+            items = list(self._samples.items())
+        items.sort(key=lambda item: (-item[1], item[0]))
+        return items[:n]
+
+    def report(self, n: int = 10) -> Dict[str, object]:
+        """JSON-friendly aggregate: total samples plus the top table."""
+        return {
+            "total_samples": self.total_samples,
+            "top": [
+                {"location": location, "samples": count}
+                for location, count in self.top(n)
+            ],
+        }
+
+    def reset(self) -> None:
+        """Drop every aggregate (does not stop a running sampler)."""
+        with self._lock:
+            self._samples.clear()
+            self._total_samples = 0
+
+    def _publish(self, label: str) -> None:
+        tracer = self._tracer if self._tracer is not None else get_tracer()
+        if not tracer.enabled:
+            return
+        top = self.top(10)
+        with tracer.span(
+            "obs.profile",
+            label=label,
+            total_samples=self.total_samples,
+            top=[f"{location} x{count}" for location, count in top],
+        ):
+            pass

@@ -1,0 +1,522 @@
+"""Hierarchical tracing spans with context propagation and exporters.
+
+The service, stream and reliability layers are multi-stage pipelines:
+a batch fans out over shard-scan threads, a stream micro-batch runs
+inside a supervised worker thread that may be killed and respawned.
+Counters say *how often*; spans say *where the time went and under
+what* — each :class:`Span` records its parent, duration, attributes
+and status, and the parent/child links survive thread hops because the
+current span travels in a :mod:`contextvars` context that callers copy
+into worker threads (``contextvars.copy_context().run(...)``).
+
+Design constraints, in order:
+
+* **cheap when off** — :func:`span` on a disabled tracer is a single
+  attribute check and a no-op context manager; hot paths keep their
+  instrumentation unconditionally.
+* **bounded** — finished spans land in a ring buffer
+  (:class:`TraceBuffer`); a run that outlives the capacity drops the
+  oldest spans and counts the drops rather than growing without bound.
+* **no orphans** — a span is only ever published from the ``finally``
+  of its context manager, so a worker dying mid-span still closes it
+  (status ``error``) before the exception propagates.
+* **deterministic export** — :meth:`TraceBuffer.export_jsonl` with
+  ``canonical=True`` strips timing/thread fields and renumbers span
+  ids by the tree structure (root-to-leaf name path plus attributes),
+  so two runs of a deterministic workload produce byte-identical
+  trace files; the chaos CI jobs diff exactly that.
+
+Exporters: JSONL (one span per line, the ``repro obs`` interchange
+format) and the Chrome ``trace_event`` JSON that Perfetto and
+``chrome://tracing`` open directly.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Deque, Dict, Iterator, List, Optional, Tuple, Union
+
+#: Version stamped into exported span records; readers reject versions
+#: they do not understand instead of misparsing them.
+TRACE_SCHEMA_VERSION = 1
+
+#: Span completion statuses.
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+
+
+@dataclass(frozen=True)
+class Span:
+    """One finished span: a named, timed, attributed tree node.
+
+    ``start_us`` / ``duration_us`` are microseconds on the tracer's
+    own monotonic epoch (comparable within one trace, meaningless
+    across processes — the ledger carries the wall-clock anchor).
+    """
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    start_us: int
+    duration_us: int
+    thread: str
+    status: str = STATUS_OK
+    error: Optional[str] = None
+    attributes: Dict[str, object] = field(default_factory=dict)
+
+    def to_json(self) -> Dict[str, object]:
+        """Full JSONL rendering (one trace-file line)."""
+        return {
+            "schema_version": TRACE_SCHEMA_VERSION,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start_us": self.start_us,
+            "duration_us": self.duration_us,
+            "thread": self.thread,
+            "status": self.status,
+            "error": self.error,
+            "attributes": dict(self.attributes),
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, object]) -> "Span":
+        """Inverse of :meth:`to_json`; rejects unknown versions."""
+        version = payload.get("schema_version", TRACE_SCHEMA_VERSION)
+        if version != TRACE_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported span schema_version {version!r}"
+            )
+        return cls(
+            span_id=int(payload["span_id"]),  # type: ignore[arg-type]
+            parent_id=(
+                None
+                if payload.get("parent_id") is None
+                else int(payload["parent_id"])  # type: ignore[arg-type]
+            ),
+            name=str(payload["name"]),
+            start_us=int(payload.get("start_us", 0)),  # type: ignore[arg-type]
+            duration_us=int(payload.get("duration_us", 0)),  # type: ignore[arg-type]
+            thread=str(payload.get("thread", "")),
+            status=str(payload.get("status", STATUS_OK)),
+            error=(
+                None
+                if payload.get("error") is None
+                else str(payload["error"])
+            ),
+            attributes=dict(payload.get("attributes", {})),  # type: ignore[arg-type]
+        )
+
+
+class TraceBuffer:
+    """Bounded in-process ring of finished spans (thread-safe).
+
+    The newest ``capacity`` spans are kept; older ones are dropped and
+    counted so an export can say how much history it is missing.
+    """
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._lock = threading.Lock()
+        self._capacity = capacity
+        self._spans: Deque[Span] = deque(maxlen=capacity)
+        self._dropped = 0
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of retained spans."""
+        return self._capacity
+
+    @property
+    def dropped(self) -> int:
+        """Spans evicted because the buffer was full."""
+        with self._lock:
+            return self._dropped
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+    def append(self, span: Span) -> None:
+        """Publish one finished span (oldest is evicted when full)."""
+        with self._lock:
+            if len(self._spans) == self._capacity:
+                self._dropped += 1
+            self._spans.append(span)
+
+    def spans(self) -> List[Span]:
+        """Snapshot of the retained spans, oldest first."""
+        with self._lock:
+            return list(self._spans)
+
+    def clear(self) -> None:
+        """Drop every retained span and reset the drop counter."""
+        with self._lock:
+            self._spans.clear()
+            self._dropped = 0
+
+
+class _ActiveSpan:
+    """Mutable in-flight span state, private to the tracer."""
+
+    __slots__ = ("span_id", "parent_id", "name", "start", "attributes")
+
+    def __init__(
+        self,
+        span_id: int,
+        parent_id: Optional[int],
+        name: str,
+        start: float,
+        attributes: Dict[str, object],
+    ) -> None:
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.start = start
+        self.attributes = attributes
+
+
+#: The innermost open span of the current logical context.  Copies of
+#: the context (``contextvars.copy_context()``) carry it into worker
+#: threads, which is how shard-scan and supervisor-worker spans nest
+#: under the batch that spawned them.
+_CURRENT_SPAN: contextvars.ContextVar[Optional[_ActiveSpan]] = (
+    contextvars.ContextVar("repro_obs_current_span", default=None)
+)
+
+
+class Tracer:
+    """Span factory bound to one :class:`TraceBuffer`.
+
+    Disabled tracers (the default) make :meth:`span` a no-op; the
+    instrumentation in the service layers therefore never needs to be
+    conditionally compiled in or out.
+    """
+
+    def __init__(
+        self, capacity: int = 65536, enabled: bool = True
+    ) -> None:
+        self.buffer = TraceBuffer(capacity=capacity)
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._next_id = 1
+        self._epoch = time.perf_counter()
+
+    def _allocate_id(self) -> int:
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        return span_id
+
+    @contextmanager
+    def span(
+        self, name: str, **attributes: object
+    ) -> Iterator[Optional[_ActiveSpan]]:
+        """Open a child span of the context's current span.
+
+        The span is published to the buffer from the ``finally`` — on
+        an exception it carries status ``error`` and the exception's
+        repr, and the exception still propagates.
+        """
+        if not self.enabled:
+            yield None
+            return
+        parent = _CURRENT_SPAN.get()
+        active = _ActiveSpan(
+            span_id=self._allocate_id(),
+            parent_id=parent.span_id if parent is not None else None,
+            name=name,
+            start=time.perf_counter(),
+            attributes=dict(attributes),
+        )
+        token = _CURRENT_SPAN.set(active)
+        status = STATUS_OK
+        error: Optional[str] = None
+        try:
+            yield active
+        except BaseException as exc:
+            status = STATUS_ERROR
+            error = f"{type(exc).__name__}: {exc}"
+            raise
+        finally:
+            _CURRENT_SPAN.reset(token)
+            end = time.perf_counter()
+            self.buffer.append(
+                Span(
+                    span_id=active.span_id,
+                    parent_id=active.parent_id,
+                    name=active.name,
+                    start_us=int((active.start - self._epoch) * 1e6),
+                    duration_us=max(0, int((end - active.start) * 1e6)),
+                    thread=threading.current_thread().name,
+                    status=status,
+                    error=error,
+                    attributes=active.attributes,
+                )
+            )
+
+    # -- export --------------------------------------------------------
+
+    def export_jsonl(
+        self, target: Union[str, Path], canonical: bool = False
+    ) -> int:
+        """Write the buffer as JSON Lines; returns the span count.
+
+        ``canonical=True`` produces the deterministic form (see
+        :func:`canonical_records`): timing and thread fields dropped,
+        ids renumbered by tree structure — byte-identical across runs
+        of a deterministic workload.
+        """
+        spans = self.buffer.spans()
+        if canonical:
+            records = canonical_records(spans)
+        else:
+            records = [span.to_json() for span in spans]
+        lines = [
+            json.dumps(record, sort_keys=True, separators=(",", ":"))
+            for record in records
+        ]
+        data = "".join(line + "\n" for line in lines)
+        Path(target).write_text(data, encoding="utf-8")
+        return len(records)
+
+    def export_chrome(self, target: Union[str, Path]) -> int:
+        """Write the buffer as Chrome ``trace_event`` JSON.
+
+        The output opens directly in Perfetto (https://ui.perfetto.dev)
+        or ``chrome://tracing``.  Returns the event count.
+        """
+        spans = self.buffer.spans()
+        payload = chrome_trace(spans)
+        Path(target).write_text(
+            json.dumps(payload, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        return len(payload["traceEvents"])
+
+
+def current_span() -> Optional[_ActiveSpan]:
+    """The context's innermost open span (None outside any span)."""
+    return _CURRENT_SPAN.get()
+
+
+#: Process-wide tracer the module-level :func:`span` delegates to.
+#: Starts disabled: importing the observability layer costs nothing
+#: until a CLI flag or a benchmark turns it on.
+_DEFAULT_TRACER = Tracer(capacity=1, enabled=False)
+_tracer_lock = threading.Lock()
+_active_tracer: Tracer = _DEFAULT_TRACER
+
+
+def get_tracer() -> Tracer:
+    """The currently installed process-wide tracer."""
+    with _tracer_lock:
+        return _active_tracer
+
+
+def set_tracer(tracer: Optional[Tracer]) -> Tracer:
+    """Install (or, with None, uninstall) the process-wide tracer.
+
+    Returns the previously installed tracer so callers can restore it.
+    """
+    global _active_tracer
+    with _tracer_lock:
+        previous = _active_tracer
+        _active_tracer = tracer if tracer is not None else _DEFAULT_TRACER
+    return previous
+
+
+@contextmanager
+def span(name: str, **attributes: object) -> Iterator[Optional[_ActiveSpan]]:
+    """Open a span on the process-wide tracer (no-op when disabled)."""
+    tracer = _active_tracer
+    if not tracer.enabled:
+        yield None
+        return
+    with tracer.span(name, **attributes) as active:
+        yield active
+
+
+# ----------------------------------------------------------------------
+# Deterministic (canonical) export
+# ----------------------------------------------------------------------
+
+
+def _attrs_key(span_record: Span) -> str:
+    return json.dumps(
+        span_record.attributes,
+        sort_keys=True,
+        separators=(",", ":"),
+        default=str,
+    )
+
+
+def canonical_records(spans: List[Span]) -> List[Dict[str, object]]:
+    """Timing-free, deterministically ordered span records.
+
+    Each span's sort key is its root-to-leaf path of ``(name,
+    attributes)`` pairs — structure the instrumentation chooses, not
+    scheduler timing — with the original creation order as the final
+    tiebreak for genuinely identical siblings.  Ids are renumbered in
+    that order, so two runs that build the same span tree export the
+    same bytes regardless of thread interleaving.
+    """
+    by_id: Dict[int, Span] = {s.span_id: s for s in spans}
+    key_cache: Dict[int, Tuple[Tuple[str, str], ...]] = {}
+
+    def structural_key(span_record: Span) -> Tuple[Tuple[str, str], ...]:
+        cached = key_cache.get(span_record.span_id)
+        if cached is not None:
+            return cached
+        own = (span_record.name, _attrs_key(span_record))
+        parent = (
+            by_id.get(span_record.parent_id)
+            if span_record.parent_id is not None
+            else None
+        )
+        key: Tuple[Tuple[str, str], ...]
+        if parent is None:
+            key = (own,)
+        else:
+            key = structural_key(parent) + (own,)
+        key_cache[span_record.span_id] = key
+        return key
+
+    ordered = sorted(
+        spans, key=lambda s: (structural_key(s), s.span_id)
+    )
+    renumbered = {s.span_id: index + 1 for index, s in enumerate(ordered)}
+    records: List[Dict[str, object]] = []
+    for span_record in ordered:
+        parent_id = span_record.parent_id
+        records.append(
+            {
+                "schema_version": TRACE_SCHEMA_VERSION,
+                "span_id": renumbered[span_record.span_id],
+                "parent_id": (
+                    renumbered.get(parent_id) if parent_id is not None else None
+                ),
+                "name": span_record.name,
+                "status": span_record.status,
+                "error": span_record.error,
+                "attributes": dict(span_record.attributes),
+            }
+        )
+    return records
+
+
+# ----------------------------------------------------------------------
+# Chrome trace_event conversion
+# ----------------------------------------------------------------------
+
+
+def chrome_trace(spans: List[Span]) -> Dict[str, object]:
+    """Convert spans to the Chrome ``trace_event`` JSON object format.
+
+    Every span becomes one complete (``"ph": "X"``) event; thread names
+    map to stable integer tids (sorted first-seen names) and are named
+    via ``thread_name`` metadata events so Perfetto's track labels stay
+    readable.
+    """
+    thread_names = sorted({s.thread for s in spans})
+    tids = {name: index + 1 for index, name in enumerate(thread_names)}
+    events: List[Dict[str, object]] = []
+    for name, tid in sorted(tids.items(), key=lambda item: item[1]):
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": 1,
+                "tid": tid,
+                "args": {"name": name},
+            }
+        )
+    for span_record in spans:
+        args: Dict[str, object] = dict(span_record.attributes)
+        args["span_id"] = span_record.span_id
+        if span_record.parent_id is not None:
+            args["parent_id"] = span_record.parent_id
+        if span_record.status != STATUS_OK:
+            args["status"] = span_record.status
+            if span_record.error is not None:
+                args["error"] = span_record.error
+        events.append(
+            {
+                "ph": "X",
+                "name": span_record.name,
+                "cat": span_record.name.split(".", 1)[0],
+                "ts": span_record.start_us,
+                "dur": span_record.duration_us,
+                "pid": 1,
+                "tid": tids[span_record.thread],
+                "args": args,
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+# ----------------------------------------------------------------------
+# Trace-file reading and validation (the ``repro obs`` commands)
+# ----------------------------------------------------------------------
+
+
+def read_trace_jsonl(path: Union[str, Path]) -> List[Span]:
+    """Parse a (non-canonical) trace JSONL file back into spans."""
+    spans: List[Span] = []
+    text = Path(path).read_text(encoding="utf-8")
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"{path}:{line_number}: bad JSON: {error}") from error
+        if not isinstance(payload, dict):
+            raise ValueError(f"{path}:{line_number}: span must be an object")
+        try:
+            spans.append(Span.from_json(payload))
+        except (KeyError, TypeError, ValueError) as error:
+            raise ValueError(f"{path}:{line_number}: {error}") from error
+    return spans
+
+
+def validate_spans(spans: List[Span]) -> List[str]:
+    """Structural problems in a span list (empty = valid).
+
+    Checks the invariants the exporters promise: unique ids, parent
+    references that resolve (no orphans), non-negative timing, and a
+    known status on every span.
+    """
+    problems: List[str] = []
+    seen: Dict[int, Span] = {}
+    for span_record in spans:
+        if span_record.span_id in seen:
+            problems.append(f"duplicate span_id {span_record.span_id}")
+        seen[span_record.span_id] = span_record
+    for span_record in spans:
+        if (
+            span_record.parent_id is not None
+            and span_record.parent_id not in seen
+        ):
+            problems.append(
+                f"span {span_record.span_id} ({span_record.name!r}) is an "
+                f"orphan: parent_id {span_record.parent_id} not in trace"
+            )
+        if span_record.duration_us < 0:
+            problems.append(
+                f"span {span_record.span_id} has negative duration"
+            )
+        if span_record.status not in (STATUS_OK, STATUS_ERROR):
+            problems.append(
+                f"span {span_record.span_id} has unknown status "
+                f"{span_record.status!r}"
+            )
+    return problems

@@ -36,6 +36,7 @@ from repro.core.serialize import (
     dump_database,
     scan_database,
 )
+from repro.obs.trace import span as obs_span
 from repro.service.store import (
     QuarantinedSegment,
     RecoveryReport,
@@ -176,7 +177,11 @@ def verify_store(root: Union[str, Path]) -> StoreVerification:
     touched, so a crashed ingest shows up as ``journal_pending`` rather
     than being silently resolved.
     """
-    root = Path(root)
+    with obs_span("reliability.verify", root=str(root)):
+        return _verify_store_impl(Path(root))
+
+
+def _verify_store_impl(root: Path) -> StoreVerification:
     verification = StoreVerification(root=root)
     manifest_path = root / _MANIFEST_NAME
     try:
@@ -325,6 +330,11 @@ def repair_store(store: ShardedFingerprintStore) -> RepairReport:
     recorded so sequence numbers survive); records that do not are
     counted lost, and the damaged file is moved to ``quarantine/``.
     """
+    with obs_span("reliability.repair", root=str(store.root)):
+        return _repair_store_impl(store)
+
+
+def _repair_store_impl(store: ShardedFingerprintStore) -> RepairReport:
     recovery = store.recover()
     # If this pass found nothing but opening the store had already
     # resolved a crashed ingest, report that recovery instead of "none".

@@ -32,12 +32,17 @@ way.
 
 Every stage is timed into the shared
 :class:`~repro.service.metrics.ServiceMetrics`; retries, shard
-failures, timeouts and degraded queries are counted there too.
+failures, timeouts and degraded queries are counted there too.  When a
+tracer is installed (``--obs-dir``, benchmarks) the same stages emit
+:mod:`repro.obs.trace` spans; each shard-scan worker runs under a copy
+of the submitting context, so its ``batch.shard_scan`` spans nest
+under the batch that spawned them.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
+import contextvars
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -47,6 +52,7 @@ from repro.core.cluster import OnlineClusterer
 from repro.core.distance import DEFAULT_THRESHOLD, probable_cause_distance
 from repro.core.errors import mark_errors_batch
 from repro.core.identify import Identification
+from repro.obs.trace import span as obs_span
 from repro.reliability.breaker import BreakerBoard
 from repro.service.indexed import IndexedFingerprintDatabase
 from repro.service.metrics import ServiceMetrics
@@ -361,15 +367,24 @@ class BatchIdentificationService:
         """
         self._metrics.count("batch.batches")
         self._metrics.count("batch.queries", len(queries))
-        with self._metrics.time("batch.total"):
-            with self._metrics.time("batch.mark_errors"):
-                error_strings = self._error_strings(queries)
-            with self._metrics.time("batch.identify"):
-                identifications, degraded = self._identify_all(error_strings)
-            with self._metrics.time("batch.residuals"):
-                results = self._route_residuals(
-                    queries, error_strings, identifications, bool(degraded)
-                )
+        with obs_span("batch.run", queries=len(queries)):
+            with self._metrics.time("batch.total"):
+                with self._metrics.time("batch.mark_errors"), obs_span(
+                    "batch.mark_errors"
+                ):
+                    error_strings = self._error_strings(queries)
+                with self._metrics.time("batch.identify"), obs_span(
+                    "batch.identify"
+                ):
+                    identifications, degraded = self._identify_all(
+                        error_strings
+                    )
+                with self._metrics.time("batch.residuals"), obs_span(
+                    "batch.residuals"
+                ):
+                    results = self._route_residuals(
+                        queries, error_strings, identifications, bool(degraded)
+                    )
         if degraded:
             self._metrics.count("batch.degraded_queries", len(queries))
         return BatchReport(
@@ -460,9 +475,15 @@ class BatchIdentificationService:
             max_workers=self._max_workers
         )
         try:
+            # Each worker runs under a copy of this context so its
+            # shard-scan spans parent onto the enclosing batch span.
             futures = {
                 shard: pool.submit(
-                    self._load_and_scan, store, shard, error_strings
+                    contextvars.copy_context().run,
+                    self._load_and_scan,
+                    store,
+                    shard,
+                    error_strings,
                 )
                 for shard in admitted
             }
@@ -536,8 +557,11 @@ class BatchIdentificationService:
         attempts = self._shard_retries + 1
         for attempt in range(attempts):
             try:
-                replica = store.load_shard(shard)
-                return self._scan_shard(replica, error_strings)
+                with obs_span(
+                    "batch.shard_scan", shard=shard, attempt=attempt
+                ):
+                    replica = store.load_shard(shard)
+                    return self._scan_shard(replica, error_strings)
             except Exception:
                 # Drop any half-built replica so the retry reloads.
                 store.evict(shard)

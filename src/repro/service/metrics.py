@@ -24,6 +24,10 @@ import time
 from contextlib import contextmanager
 from typing import Dict, Iterator, Optional
 
+#: Version stamped into :meth:`ServiceMetrics.stats` snapshots so the
+#: exporters (and any report reader) can reject shapes they predate.
+STATS_SCHEMA_VERSION = 1
+
 #: Histogram bucket geometry: boundaries grow by 10^(1/5) per bucket
 #: (five buckets per decade), spanning 1 microsecond to ~1000 seconds.
 _BUCKETS_PER_DECADE = 5
@@ -137,9 +141,30 @@ class LatencyHistogram:
                     return min(max(estimate, self._min), self._max)
             return self._max
 
-    def snapshot(self) -> Dict[str, float]:
-        """Summary dict: count, mean/min/max and p50/p95/p99 in seconds."""
+    def snapshot(self) -> Dict[str, object]:
+        """Summary dict: count, mean/min/max, percentiles, and buckets.
+
+        ``buckets`` carries explicit upper bounds as cumulative
+        ``{"le": seconds, "count": n}`` pairs (Prometheus ``le``
+        semantics), truncated after the last non-empty bucket, so an
+        exposition writer can emit the histogram without re-deriving
+        the bucket geometry from this module's constants.
+        """
         with self._lock:
+            last_occupied = -1
+            for index, bucket_count in enumerate(self._counts):
+                if bucket_count:
+                    last_occupied = index
+            buckets = []
+            cumulative = 0
+            for index in range(last_occupied + 1):
+                cumulative += self._counts[index]
+                buckets.append(
+                    {
+                        "le": _bucket_upper_bound(index),
+                        "count": cumulative,
+                    }
+                )
             return {
                 "count": float(self._count),
                 "mean_s": self.mean,
@@ -148,6 +173,7 @@ class LatencyHistogram:
                 "p50_s": self.percentile(0.50),
                 "p95_s": self.percentile(0.95),
                 "p99_s": self.percentile(0.99),
+                "buckets": buckets,
             }
 
 
@@ -181,12 +207,13 @@ class ServiceMetrics:
         The reliability surface groups its counters under
         ``reliability.``, ``store.recovery`` and ``batch.shard`` /
         ``batch.degraded`` prefixes; the CLI uses this to print one
-        coherent health block without knowing each name.
+        coherent health block without knowing each name.  Keys are
+        sorted, so iteration order is deterministic.
         """
         with self._lock:
             return {
-                name: value
-                for name, value in self._counters.items()
+                name: self._counters[name]
+                for name in sorted(self._counters)
                 if name.startswith(prefix)
             }
 
@@ -233,14 +260,22 @@ class ServiceMetrics:
             self._histograms.clear()
 
     def stats(self) -> Dict[str, object]:
-        """Plain-dict snapshot of every counter and stage histogram."""
+        """Plain-dict snapshot of every counter and stage histogram.
+
+        Counter and stage keys are sorted, so two snapshots of the same
+        state serialize identically; ``schema_version`` lets report
+        readers and the metrics exporters reject shapes they predate.
+        """
         with self._lock:
-            counters = dict(self._counters)
+            counters = {
+                name: self._counters[name] for name in sorted(self._counters)
+            }
             stages = {
-                name: histogram.snapshot()
-                for name, histogram in self._histograms.items()
+                name: self._histograms[name].snapshot()
+                for name in sorted(self._histograms)
             }
         snapshot: Dict[str, object] = {
+            "schema_version": STATS_SCHEMA_VERSION,
             "counters": counters,
             "stages": stages,
         }

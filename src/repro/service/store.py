@@ -56,6 +56,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 from repro.core.fingerprint import Fingerprint
 from repro.core.identify import FingerprintDatabase
 from repro.core.serialize import dump_database, load_database
+from repro.obs.trace import span as obs_span
 from repro.reliability.faults import StorageIO
 from repro.service.indexed import IndexedFingerprintDatabase, IndexParams
 from repro.service.metrics import ServiceMetrics
@@ -723,7 +724,9 @@ class ShardedFingerprintStore:
             self._metrics.count("store.shard_cache_hits")
             return cached
         self._metrics.count("store.shard_loads")
-        with self._metrics.time("store.shard_load"):
+        with self._metrics.time("store.shard_load"), obs_span(
+            "store.shard_load", shard=shard
+        ):
             database = IndexedFingerprintDatabase(
                 params=self._index_params, metrics=self._metrics
             )

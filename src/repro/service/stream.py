@@ -71,6 +71,7 @@ from typing import (
 from repro.bits import BitVector
 from repro.core.cluster import OnlineClusterer
 from repro.core.distance import DEFAULT_THRESHOLD
+from repro.obs.trace import span as obs_span
 from repro.reliability.breaker import BreakerBoard
 from repro.reliability.faults import StorageIO
 from repro.service.batch import (
@@ -773,6 +774,10 @@ class StreamingIdentificationService:
         a checkpoint that under-counts the files — and resume truncates
         the surplus tail, never the other way around.
         """
+        with obs_span("stream.checkpoint", offset=offset):
+            self._flush_and_checkpoint_body(offset, completed)
+
+    def _flush_and_checkpoint_body(self, offset: int, completed: bool) -> None:
         if self._pending_results:
             data = b"".join(self._pending_results)
             self._io.append_bytes(self.results_path, data, sync=True)
@@ -1067,7 +1072,9 @@ class StreamingIdentificationService:
                 self._worker_fault_hook()
             return self._engine.run(queries)
 
-        with self._metrics.time("stream.batch"):
+        with self._metrics.time("stream.batch"), obs_span(
+            "stream.batch", batch=batch_index, queries=len(queries)
+        ):
             report = self._supervisor.run(
                 task, label=f"identify-batch-{batch_index}"
             )

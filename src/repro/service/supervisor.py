@@ -24,10 +24,12 @@ hand it tasks rigged with
 
 from __future__ import annotations
 
+import contextvars
 import threading
 import time
 from typing import Callable, Dict, List, Optional, TypeVar
 
+from repro.obs.trace import span as obs_span
 from repro.service.metrics import ServiceMetrics
 
 T = TypeVar("T")
@@ -145,10 +147,24 @@ class WorkerSupervisor:
                 if delay:
                     self._sleep(delay)
             outcome: Dict[str, object] = {}
+            # A fresh copy of the calling context per attempt carries
+            # the caller's open span into the worker thread: attempt
+            # spans nest under the submitting batch, and a worker dying
+            # mid-span still closes it (status ``error``) on its way
+            # out — the trace never holds an orphan.
+            ctx = contextvars.copy_context()
+
+            def attempt_body(attempt_index: int = attempt) -> T:
+                with obs_span(
+                    "supervisor.attempt",
+                    label=label,
+                    attempt=attempt_index,
+                ):
+                    return task()
 
             def body() -> None:
                 try:
-                    outcome["value"] = task()
+                    outcome["value"] = ctx.run(attempt_body)
                 except BaseException as error:  # noqa: BLE001 - supervised
                     outcome["error"] = error
 

@@ -1,0 +1,18 @@
+"""Fixture: REP007 violations — counters bypassing the registry."""
+
+import collections
+
+
+class ShardScanner:
+    """Counts work in plain dicts, invisible to the exporters."""
+
+    def __init__(self):
+        self.hits = {}
+        self.errors = {}
+        self.retries = collections.Counter()
+
+    def scan(self, shard):
+        """Tallies per-shard work three forbidden ways."""
+        self.hits[shard] += 1
+        self.errors[shard] = self.errors.get(shard, 0) + 1
+        return self.retries

@@ -1,0 +1,17 @@
+"""Fixture: REP007-clean — counters go through the sanctioned sinks."""
+
+
+class ShardScanner:
+    """Counts work through ServiceMetrics so the exporters see it."""
+
+    def __init__(self, metrics, registry):
+        self.metrics = metrics
+        self.scans = registry.counter("repro_store_scans_total")
+
+    def scan(self, shard):
+        """Counts through the metrics primitives, plus unrelated math."""
+        self.metrics.count("store.shard_scans")
+        self.scans.inc()
+        lookup = {"a": 1}
+        total = lookup.get("a", 0) + 2  # plain read-plus, not a counter
+        return total

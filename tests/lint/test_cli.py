@@ -87,6 +87,7 @@ class TestJsonOutput:
             "REP004",
             "REP005",
             "REP006",
+            "REP007",
         }
         (finding,) = payload["findings"]
         assert finding["rule"] == "REP006"
@@ -159,6 +160,14 @@ class TestListRules:
     def test_catalogue_lists_every_rule(self, workdir, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("REP001", "REP002", "REP003", "REP004", "REP005", "REP006"):
+        for rule_id in (
+            "REP001",
+            "REP002",
+            "REP003",
+            "REP004",
+            "REP005",
+            "REP006",
+            "REP007",
+        ):
             assert rule_id in out
         assert "invariant" in out

@@ -23,6 +23,7 @@ CASES = [
     ("REP004", "rep004_bad.py", 1, "rep004_ok.py"),
     ("REP005", "rep005_bad.py", 2, "rep005_ok.py"),
     ("REP006", "rep006_bad.py", 2, "rep006_ok.py"),
+    ("REP007", "rep007_bad.py", 3, "rep007_ok.py"),
 ]
 
 
@@ -58,6 +59,23 @@ def test_rep003_is_limited_to_service_and_reliability_paths():
     source = (FIXTURES / "rep003_bad.py").read_text(encoding="utf-8")
     assert lint_source(source, "experiments/rep003_bad.py", ALL_RULES) == []
     assert lint_source(source, "reliability/rep003_bad.py", ALL_RULES)
+
+
+def test_rep006_whitelists_the_obs_clock_seam():
+    source = (FIXTURES / "rep006_bad.py").read_text(encoding="utf-8")
+    assert lint_source(source, "src/repro/obs/clock.py", ALL_RULES) == []
+    assert lint_source(source, "src/repro/obs/trace.py", ALL_RULES)
+
+
+def test_rep007_is_limited_to_service_and_reliability_paths():
+    source = (FIXTURES / "rep007_bad.py").read_text(encoding="utf-8")
+    assert lint_source(source, "experiments/rep007_bad.py", ALL_RULES) == []
+    assert lint_source(source, "reliability/rep007_bad.py", ALL_RULES)
+
+
+def test_rep007_exempts_the_sanctioned_metrics_module():
+    source = (FIXTURES / "rep007_bad.py").read_text(encoding="utf-8")
+    assert lint_source(source, "src/repro/service/metrics.py", ALL_RULES) == []
 
 
 def test_suppression_comments_silence_findings():

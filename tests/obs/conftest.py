@@ -1,0 +1,16 @@
+"""Shared fixtures for the observability tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import Tracer, set_tracer
+
+
+@pytest.fixture
+def tracer():
+    """An enabled process-wide tracer, uninstalled again afterwards."""
+    installed = Tracer()
+    previous = set_tracer(installed)
+    yield installed
+    set_tracer(previous)

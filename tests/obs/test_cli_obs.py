@@ -1,0 +1,377 @@
+"""End-to-end tests: --obs-dir artifacts, the ledger, and ``repro obs``."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.reporting import set_results_dir
+from repro.bits import BitVector
+from repro.cli import main
+from repro.core import Fingerprint, FingerprintDatabase
+from repro.core.serialize import dump_database
+from repro.obs import (
+    LEDGER_NAME,
+    RunLedger,
+    read_trace_jsonl,
+    validate_spans,
+)
+
+NBITS = 1024
+
+
+@pytest.fixture(autouse=True)
+def clean_results_override():
+    """--results-dir sets a process-global override; never leak it."""
+    yield
+    set_results_dir(None)
+
+
+@pytest.fixture
+def fingerprint_file(tmp_path, rng):
+    """A PCFP database of 30 devices plus the corpus used to build it."""
+    database = FingerprintDatabase()
+    for index in range(30):
+        database.add(
+            f"device-{index:04d}",
+            Fingerprint(bits=BitVector.random(NBITS, rng, 0.02)),
+        )
+    path = tmp_path / "fingerprints.pcfp"
+    dump_database(database, path)
+    return path, database
+
+
+def write_queries(path, database, rng, n_hits=5, n_misses=2):
+    """JSONL query file: hits as index pairs, misses as error strings."""
+    items = list(database.items())
+    lines = []
+    for hit in range(n_hits):
+        _key, fingerprint = items[hit * 3]
+        exact = BitVector.random(NBITS, rng, 0.5)
+        approx = exact ^ fingerprint.bits
+        lines.append(
+            {
+                "id": f"hit-{hit}",
+                "nbits": NBITS,
+                "approx": approx.to_indices().tolist(),
+                "exact": exact.to_indices().tolist(),
+            }
+        )
+    for miss in range(n_misses):
+        lines.append(
+            {
+                "id": f"miss-{miss}",
+                "nbits": NBITS,
+                "errors": BitVector.random(NBITS, rng, 0.02).to_indices().tolist(),
+            }
+        )
+    path.write_text("\n".join(json.dumps(line) for line in lines) + "\n")
+    return lines
+
+
+def serve_batch_with_obs(tmp_path, fingerprint_file, rng, *extra):
+    """Run one instrumented serve-batch; returns (code, obs_dir, results)."""
+    fp_path, database = fingerprint_file
+    queries_path = tmp_path / "queries.jsonl"
+    write_queries(queries_path, database, rng)
+    obs_dir = tmp_path / "obs"
+    results = tmp_path / "results"
+    code = main(
+        [
+            "--results-dir",
+            str(results),
+            "serve-batch",
+            "--store",
+            str(tmp_path / "store"),
+            "--ingest",
+            str(fp_path),
+            "--shards",
+            "3",
+            "--queries",
+            str(queries_path),
+            "--report",
+            str(tmp_path / "report.json"),
+            "--obs-dir",
+            str(obs_dir),
+            *extra,
+        ]
+    )
+    return code, obs_dir, results
+
+
+class TestObsArtifacts:
+    def test_serve_batch_writes_all_four_artifacts(
+        self, tmp_path, fingerprint_file, rng, capsys
+    ):
+        code, obs_dir, results = serve_batch_with_obs(
+            tmp_path, fingerprint_file, rng
+        )
+        assert code == 0
+        assert "observability artifacts written" in capsys.readouterr().out
+
+        spans = read_trace_jsonl(obs_dir / "trace.jsonl")
+        assert validate_spans(spans) == []
+        names = {span.name for span in spans}
+        assert "batch.run" in names
+        assert "batch.shard_scan" in names
+        assert "store.shard_load" in names
+
+        chrome = json.loads(
+            (obs_dir / "trace.chrome.json").read_text(encoding="utf-8")
+        )
+        assert any(
+            event["ph"] == "X" and event["name"] == "batch.run"
+            for event in chrome["traceEvents"]
+        )
+
+        exposition = (obs_dir / "metrics.prom").read_text(encoding="utf-8")
+        assert "# TYPE repro_batch_queries_total counter" in exposition
+        assert 'repro_batch_identify_seconds_bucket{le="+Inf"}' in exposition
+
+        snapshot = json.loads(
+            (obs_dir / "metrics.json").read_text(encoding="utf-8")
+        )
+        assert snapshot["schema_version"] == 1
+
+        entries = RunLedger(results / LEDGER_NAME).entries()
+        assert len(entries) == 1
+        entry = entries[0]
+        assert entry.command == "serve-batch"
+        assert entry.exit_code == 0
+        assert entry.trace_path == str(obs_dir / "trace.jsonl")
+        assert entry.metrics_path == str(obs_dir / "metrics.json")
+        assert "--obs-dir" in entry.argv
+
+    def test_profile_prints_sample_table(
+        self, tmp_path, fingerprint_file, rng, capsys
+    ):
+        code, _obs_dir, _results = serve_batch_with_obs(
+            tmp_path, fingerprint_file, rng, "--profile"
+        )
+        assert code == 0
+        capsys.readouterr()  # table may be empty on a fast run; no crash
+
+    def test_failed_run_still_lands_in_ledger(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        code = main(
+            [
+                "--results-dir",
+                str(results),
+                "serve-batch",
+                "--store",
+                str(tmp_path / "store"),
+                "--queries",
+                str(tmp_path / "missing.jsonl"),
+                "--obs-dir",
+                str(tmp_path / "obs"),
+            ]
+        )
+        assert code == 2
+        capsys.readouterr()
+        (entry,) = RunLedger(results / LEDGER_NAME).entries()
+        assert entry.exit_code == 2
+
+
+class TestObsSummary:
+    def test_summary_validates_real_artifacts(
+        self, tmp_path, fingerprint_file, rng, capsys
+    ):
+        code, obs_dir, _results = serve_batch_with_obs(
+            tmp_path, fingerprint_file, rng
+        )
+        assert code == 0
+        capsys.readouterr()
+        code = main(
+            [
+                "obs",
+                "summary",
+                "--trace",
+                str(obs_dir / "trace.jsonl"),
+                "--metrics",
+                str(obs_dir / "metrics.json"),
+                "--json",
+            ]
+        )
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["problems"] == []
+        assert report["spans"] > 0
+        assert report["metric_families"] > 0
+        rollup_names = [entry["name"] for entry in report["span_rollup"]]
+        assert rollup_names == sorted(rollup_names)
+        assert "batch.run" in rollup_names
+
+    def test_summary_fails_on_malformed_trace(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        # an orphan: parent_id 99 resolves to nothing
+        trace.write_text(
+            json.dumps(
+                {
+                    "schema_version": 1,
+                    "span_id": 1,
+                    "parent_id": 99,
+                    "name": "orphan",
+                    "start_us": 0,
+                    "duration_us": 1,
+                    "thread": "main",
+                    "status": "ok",
+                    "error": None,
+                    "attributes": {},
+                }
+            )
+            + "\n",
+            encoding="utf-8",
+        )
+        assert main(["obs", "summary", "--trace", str(trace)]) == 1
+        assert "orphan" in capsys.readouterr().err
+
+    def test_summary_fails_on_malformed_metrics(self, tmp_path, capsys):
+        metrics = tmp_path / "metrics.json"
+        metrics.write_text(
+            json.dumps(
+                {
+                    "schema_version": 1,
+                    "families": [
+                        {"name": "bad_name", "type": "counter", "samples": []}
+                    ],
+                }
+            ),
+            encoding="utf-8",
+        )
+        assert main(["obs", "summary", "--metrics", str(metrics)]) == 1
+        err = capsys.readouterr().err
+        assert "scheme" in err
+
+    def test_summary_usage_errors_exit_2(self, tmp_path, capsys):
+        assert main(["obs", "summary"]) == 2
+        assert (
+            main(["obs", "summary", "--trace", str(tmp_path / "none.jsonl")])
+            == 2
+        )
+        capsys.readouterr()
+
+
+class TestObsExport:
+    def write_trace(self, tmp_path, tracer_spans=2):
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+        with tracer.span("outer", k=1):
+            with tracer.span("inner"):
+                pass
+        path = tmp_path / "trace.jsonl"
+        tracer.export_jsonl(path)
+        return path
+
+    def test_export_chrome(self, tmp_path, capsys):
+        trace = self.write_trace(tmp_path)
+        output = tmp_path / "out" / "trace.chrome.json"
+        code = main(
+            [
+                "obs",
+                "export",
+                "--trace",
+                str(trace),
+                "--format",
+                "chrome",
+                "--output",
+                str(output),
+            ]
+        )
+        assert code == 0
+        assert "perfetto" in capsys.readouterr().out
+        payload = json.loads(output.read_text(encoding="utf-8"))
+        assert {e["name"] for e in payload["traceEvents"] if e["ph"] == "X"} == {
+            "outer",
+            "inner",
+        }
+
+    def test_export_canonical_jsonl(self, tmp_path, capsys):
+        trace = self.write_trace(tmp_path)
+        output = tmp_path / "canonical.jsonl"
+        code = main(
+            [
+                "obs",
+                "export",
+                "--trace",
+                str(trace),
+                "--format",
+                "jsonl",
+                "--output",
+                str(output),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        records = [
+            json.loads(line)
+            for line in output.read_text(encoding="utf-8").splitlines()
+        ]
+        assert [record["span_id"] for record in records] == [1, 2]
+        assert all("start_us" not in record for record in records)
+
+    def test_export_missing_trace_exits_2(self, tmp_path, capsys):
+        code = main(
+            [
+                "obs",
+                "export",
+                "--trace",
+                str(tmp_path / "none.jsonl"),
+                "--output",
+                str(tmp_path / "out.json"),
+            ]
+        )
+        assert code == 2
+        capsys.readouterr()
+
+
+class TestObsLedgerLs:
+    def test_ls_lists_runs(self, tmp_path, fingerprint_file, rng, capsys):
+        code, _obs_dir, results = serve_batch_with_obs(
+            tmp_path, fingerprint_file, rng
+        )
+        assert code == 0
+        capsys.readouterr()
+        code = main(
+            [
+                "obs",
+                "ledger",
+                "ls",
+                "--ledger",
+                str(results / LEDGER_NAME),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serve-batch" in out
+        assert "1 run(s) recorded" in out
+
+    def test_ls_json_via_results_dir(self, tmp_path, capsys):
+        ledger = RunLedger(tmp_path / LEDGER_NAME)
+        ledger.record(
+            command="stream",
+            argv=["stream"],
+            config={"a": 1},
+            exit_code=0,
+            duration_s=0.1,
+        )
+        code = main(
+            ["--results-dir", str(tmp_path), "obs", "ledger", "ls", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["command"] == "stream"
+
+    def test_ls_missing_ledger_exits_2(self, tmp_path, capsys):
+        code = main(
+            [
+                "obs",
+                "ledger",
+                "ls",
+                "--ledger",
+                str(tmp_path / "none.jsonl"),
+            ]
+        )
+        assert code == 2
+        capsys.readouterr()

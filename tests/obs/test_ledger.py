@@ -1,0 +1,116 @@
+"""Tests for the run ledger."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    LEDGER_SCHEMA_VERSION,
+    LedgerEntry,
+    RunLedger,
+    config_digest,
+)
+
+
+def entry(**overrides):
+    payload = dict(
+        command="serve-batch",
+        argv=["serve-batch", "--shards", "4"],
+        config_digest="ab" * 32,
+        exit_code=0,
+        duration_s=1.25,
+        timestamp=1700000000.0,
+    )
+    payload.update(overrides)
+    return LedgerEntry(**payload)
+
+
+class TestConfigDigest:
+    def test_deterministic_and_order_independent(self):
+        first = config_digest({"shards": 4, "queries": "q.json"})
+        second = config_digest({"queries": "q.json", "shards": 4})
+        assert first == second
+        assert len(first) == 64
+        assert first != config_digest({"shards": 5, "queries": "q.json"})
+
+    def test_non_json_values_are_stringified(self):
+        from pathlib import Path
+
+        assert config_digest({"path": Path("/tmp/x")}) == config_digest(
+            {"path": "/tmp/x"}
+        )
+
+
+class TestLedgerEntry:
+    def test_json_roundtrip(self):
+        original = entry(
+            git_describe="abc1234-dirty",
+            metrics_path="obs/metrics.json",
+            trace_path="obs/trace.jsonl",
+            extra={"note": "chaos"},
+        )
+        assert LedgerEntry.from_json(original.to_json()) == original
+
+    def test_rejects_unknown_schema_version(self):
+        payload = entry().to_json()
+        payload["schema_version"] = LEDGER_SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="schema_version"):
+            LedgerEntry.from_json(payload)
+
+    def test_empty_extra_is_omitted_from_json(self):
+        assert "extra" not in entry().to_json()
+
+
+class TestRunLedger:
+    def test_append_and_entries_roundtrip(self, tmp_path):
+        ledger = RunLedger(tmp_path / "ledger.jsonl")
+        assert ledger.entries() == []
+        first = entry()
+        second = entry(command="stream", exit_code=3)
+        ledger.append(first)
+        ledger.append(second)
+        assert ledger.entries() == [first, second]
+        # one canonical JSON object per line
+        lines = (tmp_path / "ledger.jsonl").read_text("utf-8").splitlines()
+        assert len(lines) == 2
+        assert all(json.loads(line)["schema_version"] == 1 for line in lines)
+
+    def test_record_fills_derived_fields(self, tmp_path):
+        ledger = RunLedger(tmp_path / "ledger.jsonl")
+        recorded = ledger.record(
+            command="repair",
+            argv=["repair", "--store", "s"],
+            config={"store": "s", "dry_run": False},
+            exit_code=0,
+            duration_s=0.5,
+            metrics_path=tmp_path / "metrics.json",
+        )
+        assert recorded.config_digest == config_digest(
+            {"store": "s", "dry_run": False}
+        )
+        assert recorded.timestamp > 0
+        assert recorded.metrics_path == str(tmp_path / "metrics.json")
+        assert recorded.trace_path is None
+        assert ledger.entries() == [recorded]
+
+    def test_bad_line_reports_its_number(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        ledger = RunLedger(path)
+        ledger.append(entry())
+        with open(path, "a", encoding="utf-8") as stream:
+            stream.write("not json\n")
+        with pytest.raises(ValueError, match=":2:"):
+            ledger.entries()
+
+    def test_non_object_line_is_rejected(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        path.write_text("[1, 2]\n", encoding="utf-8")
+        with pytest.raises(ValueError, match="must be an object"):
+            RunLedger(path).entries()
+
+    def test_append_creates_parent_directories(self, tmp_path):
+        ledger = RunLedger(tmp_path / "nested" / "deep" / "ledger.jsonl")
+        ledger.append(entry())
+        assert len(ledger.entries()) == 1

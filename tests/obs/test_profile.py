@@ -1,0 +1,86 @@
+"""Tests for the sampling profiler."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.obs import SamplingProfiler, Tracer
+
+
+def busy_wait(seconds: float) -> int:
+    """Spin so the sampler has frames to catch."""
+    deadline = time.perf_counter() + seconds
+    spins = 0
+    while time.perf_counter() < deadline:
+        spins += 1
+    return spins
+
+
+class TestSamplingProfiler:
+    def test_interval_validation(self):
+        with pytest.raises(ValueError, match="interval_s"):
+            SamplingProfiler(interval_s=0.0)
+        with pytest.raises(ValueError, match="interval_s"):
+            SamplingProfiler(interval_s=-1.0)
+
+    def test_off_unless_attached(self):
+        profiler = SamplingProfiler(interval_s=0.001)
+        busy_wait(0.02)
+        assert profiler.total_samples == 0
+        assert profiler.top() == []
+
+    def test_attach_samples_the_block(self):
+        profiler = SamplingProfiler(interval_s=0.001)
+        with profiler.attach("busy"):
+            busy_wait(0.2)
+        assert profiler.total_samples > 0
+        locations = dict(profiler.top(50))
+        assert any("busy_wait" in key for key in locations)
+        # stopped: no further samples accumulate
+        settled = profiler.total_samples
+        busy_wait(0.02)
+        assert profiler.total_samples == settled
+
+    def test_start_stop_idempotent(self):
+        profiler = SamplingProfiler(interval_s=0.001)
+        profiler.start()
+        profiler.start()
+        profiler.stop()
+        profiler.stop()  # second stop is a no-op
+
+    def test_top_order_is_deterministic(self):
+        profiler = SamplingProfiler(interval_s=0.001)
+        profiler._samples.update({"b.py:1 f": 3, "a.py:1 g": 3, "c.py:9 h": 7})
+        profiler._total_samples = 13
+        assert profiler.top(3) == [
+            ("c.py:9 h", 7),
+            ("a.py:1 g", 3),
+            ("b.py:1 f", 3),
+        ]
+        report = profiler.report(2)
+        assert report["total_samples"] == 13
+        assert report["top"][0] == {"location": "c.py:9 h", "samples": 7}
+        profiler.reset()
+        assert profiler.top() == []
+        assert profiler.total_samples == 0
+
+    def test_publishes_span_when_tracer_enabled(self):
+        tracer = Tracer()
+        profiler = SamplingProfiler(interval_s=0.001, tracer=tracer)
+        with profiler.attach("hot-path"):
+            busy_wait(0.05)
+        spans = [s for s in tracer.buffer.spans() if s.name == "obs.profile"]
+        assert len(spans) == 1
+        attributes = spans[0].attributes
+        assert attributes["label"] == "hot-path"
+        assert attributes["total_samples"] == profiler.total_samples
+        assert isinstance(attributes["top"], list)
+
+    def test_disabled_tracer_skips_publication(self):
+        tracer = Tracer(enabled=False)
+        profiler = SamplingProfiler(interval_s=0.001, tracer=tracer)
+        with profiler.attach("quiet"):
+            busy_wait(0.01)
+        assert tracer.buffer.spans() == []

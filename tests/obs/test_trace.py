@@ -1,0 +1,335 @@
+"""Tests for tracing spans: nesting, thread propagation, exporters."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.bits import BitVector
+from repro.core import Fingerprint
+from repro.obs import (
+    STATUS_ERROR,
+    STATUS_OK,
+    TRACE_SCHEMA_VERSION,
+    Span,
+    TraceBuffer,
+    Tracer,
+    canonical_records,
+    chrome_trace,
+    current_span,
+    get_tracer,
+    read_trace_jsonl,
+    set_tracer,
+    validate_spans,
+)
+from repro.service import (
+    BatchIdentificationService,
+    BatchQuery,
+    ShardedFingerprintStore,
+    SupervisorEscalation,
+    WorkerSupervisor,
+)
+
+NBITS = 1024
+
+
+def no_sleep(_seconds: float) -> None:
+    """Injectable sleep that skips real waiting in tests."""
+
+
+def by_name(spans, name):
+    return [s for s in spans if s.name == name]
+
+
+class TestSpanNesting:
+    def test_parent_child_links(self, tracer):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        spans = tracer.buffer.spans()
+        # inner finishes (and is published) before outer
+        inner, outer = spans
+        assert inner.name == "inner"
+        assert outer.name == "outer"
+        assert outer.parent_id is None
+        assert inner.parent_id == outer.span_id
+        assert validate_spans(spans) == []
+
+    def test_current_span_tracks_innermost(self, tracer):
+        assert current_span() is None
+        with tracer.span("outer") as outer:
+            assert current_span() is outer
+            with tracer.span("inner") as inner:
+                assert current_span() is inner
+            assert current_span() is outer
+        assert current_span() is None
+
+    def test_error_span_closes_with_status_and_propagates(self, tracer):
+        with pytest.raises(RuntimeError, match="boom"):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        (span_record,) = tracer.buffer.spans()
+        assert span_record.status == STATUS_ERROR
+        assert "RuntimeError: boom" in span_record.error
+        assert validate_spans([span_record]) == []
+
+    def test_attributes_are_recorded(self, tracer):
+        with tracer.span("work", shard=3, queries=40):
+            pass
+        (span_record,) = tracer.buffer.spans()
+        assert span_record.attributes == {"shard": 3, "queries": 40}
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("ignored") as active:
+            assert active is None
+        assert tracer.buffer.spans() == []
+
+    def test_module_level_span_uses_installed_tracer(self, tracer):
+        from repro.obs import span as module_span
+
+        with module_span("via-module", k=1):
+            pass
+        (span_record,) = tracer.buffer.spans()
+        assert span_record.name == "via-module"
+        assert get_tracer() is tracer
+
+    def test_set_tracer_returns_previous(self):
+        first = Tracer()
+        previous = set_tracer(first)
+        try:
+            second = Tracer()
+            assert set_tracer(second) is first
+        finally:
+            set_tracer(previous)
+
+
+class TestTraceBuffer:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            TraceBuffer(capacity=0)
+
+    def test_ring_drops_oldest_and_counts(self, tracer):
+        buffer = TraceBuffer(capacity=2)
+        for index in range(5):
+            buffer.append(
+                Span(
+                    span_id=index + 1,
+                    parent_id=None,
+                    name=f"s{index}",
+                    start_us=0,
+                    duration_us=0,
+                    thread="main",
+                )
+            )
+        assert len(buffer) == 2
+        assert buffer.dropped == 3
+        assert [s.name for s in buffer.spans()] == ["s3", "s4"]
+        buffer.clear()
+        assert len(buffer) == 0
+        assert buffer.dropped == 0
+
+
+class TestThreadPropagation:
+    def build_store(self, tmp_path, rng, n_devices=60, n_shards=4):
+        corpus = [
+            (
+                f"device-{index:03d}",
+                Fingerprint(bits=BitVector.random(NBITS, rng, 0.01)),
+            )
+            for index in range(n_devices)
+        ]
+        store = ShardedFingerprintStore(tmp_path / "store", n_shards=n_shards)
+        store.ingest(corpus)
+        store.evict()
+        return corpus, store
+
+    def queries(self, corpus, rng, n=12):
+        out = []
+        for index in range(n):
+            _key, fingerprint = corpus[index * 3]
+            errors = fingerprint.bits | BitVector.random(NBITS, rng, 0.02)
+            out.append(BatchQuery.from_errors(f"q-{index}", errors))
+        return out
+
+    def test_shard_scan_spans_nest_under_batch(self, tmp_path, rng, tracer):
+        corpus, store = self.build_store(tmp_path, rng)
+        queries = self.queries(corpus, rng)
+        BatchIdentificationService(store, max_workers=3).run(queries)
+
+        spans = tracer.buffer.spans()
+        assert validate_spans(spans) == []
+        (run_span,) = by_name(spans, "batch.run")
+        (identify,) = by_name(spans, "batch.identify")
+        scans = by_name(spans, "batch.shard_scan")
+        assert identify.parent_id == run_span.span_id
+        assert len(scans) == 4  # one per shard
+        # every scan ran in a pool thread yet parents under identify
+        assert {s.parent_id for s in scans} == {identify.span_id}
+        assert all(s.thread != threading.main_thread().name for s in scans)
+        assert {s.attributes["shard"] for s in scans} == {0, 1, 2, 3}
+
+    def test_supervisor_attempt_spans_nest_and_close_on_crash(self, tracer):
+        supervisor = WorkerSupervisor(max_restarts=3, sleep=no_sleep)
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise RuntimeError("killed mid-batch")
+            return "ok"
+
+        with tracer.span("stream.batch"):
+            assert supervisor.run(flaky, label="batch-0") == "ok"
+
+        spans = tracer.buffer.spans()
+        assert validate_spans(spans) == []
+        (batch,) = by_name(spans, "stream.batch")
+        attempts_spans = by_name(spans, "supervisor.attempt")
+        assert len(attempts_spans) == 3
+        # all attempts parent under the batch that spawned them, across
+        # three different worker threads
+        assert {s.parent_id for s in attempts_spans} == {batch.span_id}
+        assert [s.status for s in attempts_spans] == [
+            STATUS_ERROR,
+            STATUS_ERROR,
+            STATUS_OK,
+        ]
+        assert [s.attributes["attempt"] for s in attempts_spans] == [0, 1, 2]
+
+    def test_no_orphans_after_worker_killed_for_good(self, tracer):
+        supervisor = WorkerSupervisor(max_restarts=1, sleep=no_sleep)
+
+        def doomed():
+            raise ValueError("poisoned")
+
+        with pytest.raises(SupervisorEscalation):
+            with tracer.span("stream.batch"):
+                supervisor.run(doomed, label="batch-1")
+
+        spans = tracer.buffer.spans()
+        # the span context manager published every span despite the
+        # worker dying: nothing dangles
+        assert validate_spans(spans) == []
+        attempts_spans = by_name(spans, "supervisor.attempt")
+        assert len(attempts_spans) == 2
+        assert all(s.status == STATUS_ERROR for s in attempts_spans)
+        (batch,) = by_name(spans, "stream.batch")
+        assert batch.status == STATUS_ERROR
+
+
+class TestExporters:
+    def run_workload(self, tmp_path, store_dir, seed=0xC0FFEE):
+        """One deterministic batch run against an on-disk store."""
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        corpus = [
+            (
+                f"device-{index:03d}",
+                Fingerprint(bits=BitVector.random(NBITS, rng, 0.01)),
+            )
+            for index in range(40)
+        ]
+        fresh = not store_dir.exists()
+        store = ShardedFingerprintStore(store_dir, n_shards=3)
+        if fresh:
+            store.ingest(corpus)
+        store.evict()
+        queries = [
+            BatchQuery.from_errors(
+                f"q-{index}",
+                corpus[index][1].bits | BitVector.random(NBITS, rng, 0.02),
+            )
+            for index in range(8)
+        ]
+        tracer = Tracer()
+        previous = set_tracer(tracer)
+        try:
+            BatchIdentificationService(store, max_workers=2).run(queries)
+        finally:
+            set_tracer(previous)
+        return tracer
+
+    def test_canonical_export_is_byte_stable(self, tmp_path):
+        store_dir = tmp_path / "store"
+        first = self.run_workload(tmp_path, store_dir)
+        second = self.run_workload(tmp_path, store_dir)
+        path_a = tmp_path / "a.jsonl"
+        path_b = tmp_path / "b.jsonl"
+        count_a = first.export_jsonl(path_a, canonical=True)
+        count_b = second.export_jsonl(path_b, canonical=True)
+        assert count_a == count_b > 0
+        assert path_a.read_bytes() == path_b.read_bytes()
+
+    def test_canonical_records_renumber_and_strip_timing(self, tracer):
+        with tracer.span("outer", k=1):
+            with tracer.span("inner"):
+                pass
+        records = canonical_records(tracer.buffer.spans())
+        assert [r["name"] for r in records] == ["outer", "inner"]
+        assert [r["span_id"] for r in records] == [1, 2]
+        assert records[1]["parent_id"] == 1
+        assert all("start_us" not in r and "thread" not in r for r in records)
+
+    def test_jsonl_roundtrip(self, tmp_path, tracer):
+        with tracer.span("outer"):
+            with tracer.span("inner", shard=2):
+                pass
+        path = tmp_path / "trace.jsonl"
+        assert tracer.export_jsonl(path) == 2
+        spans = read_trace_jsonl(path)
+        assert spans == tracer.buffer.spans()
+        assert validate_spans(spans) == []
+
+    def test_read_rejects_unknown_schema_version(self, tmp_path, tracer):
+        with tracer.span("only"):
+            pass
+        path = tmp_path / "trace.jsonl"
+        tracer.export_jsonl(path)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        payload["schema_version"] = TRACE_SCHEMA_VERSION + 1
+        path.write_text(json.dumps(payload) + "\n", encoding="utf-8")
+        with pytest.raises(ValueError, match="schema_version"):
+            read_trace_jsonl(path)
+
+    def test_read_reports_bad_line_number(self, tmp_path, tracer):
+        with tracer.span("only"):
+            pass
+        path = tmp_path / "trace.jsonl"
+        tracer.export_jsonl(path)
+        with open(path, "a", encoding="utf-8") as stream:
+            stream.write("not json\n")
+        with pytest.raises(ValueError, match=":2:"):
+            read_trace_jsonl(path)
+
+    def test_chrome_trace_structure(self, tmp_path, tracer):
+        with tracer.span("batch.run", queries=8):
+            with tracer.span("batch.identify"):
+                pass
+        path = tmp_path / "trace.chrome.json"
+        assert tracer.export_chrome(path) >= 3  # 2 X events + metadata
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        events = payload["traceEvents"]
+        assert payload["displayTimeUnit"] == "ms"
+        metadata = [e for e in events if e["ph"] == "M"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert metadata and all(e["name"] == "thread_name" for e in metadata)
+        assert {e["name"] for e in complete} == {"batch.run", "batch.identify"}
+        run_event = next(e for e in complete if e["name"] == "batch.run")
+        assert run_event["cat"] == "batch"
+        assert run_event["args"]["queries"] == 8
+        assert all(e["pid"] == 1 for e in events)
+
+    def test_validate_spans_flags_orphans_and_duplicates(self):
+        good = Span(1, None, "a", 0, 1, "main")
+        orphan = Span(2, 99, "b", 0, 1, "main")
+        duplicate = Span(1, None, "c", 0, 1, "main")
+        bad_status = Span(3, None, "d", 0, 1, "main", status="weird")
+        problems = validate_spans([good, orphan, duplicate, bad_status])
+        assert any("orphan" in p for p in problems)
+        assert any("duplicate" in p for p in problems)
+        assert any("unknown status" in p for p in problems)
+        assert validate_spans([good]) == []

@@ -50,7 +50,27 @@ class TestLatencyHistogram:
             "p50_s",
             "p95_s",
             "p99_s",
+            "buckets",
         }
+
+    def test_snapshot_buckets_are_cumulative_with_explicit_bounds(self):
+        """The exposition writer consumes ``le`` pairs as-is — no
+        re-derivation of the private bucket geometry."""
+        histogram = LatencyHistogram()
+        for sample in (0.001, 0.002, 0.5):
+            histogram.record(sample)
+        buckets = histogram.snapshot()["buckets"]
+        bounds = [bucket["le"] for bucket in buckets]
+        counts = [bucket["count"] for bucket in buckets]
+        assert bounds == sorted(bounds)
+        assert counts == sorted(counts)  # cumulative: monotone
+        assert counts[-1] == 3  # truncated after the last occupied bucket
+        assert all(bound > 0 for bound in bounds)
+        # every recorded sample is <= the final bound (le semantics)
+        assert 0.5 <= bounds[-1]
+
+    def test_snapshot_buckets_empty_histogram(self):
+        assert LatencyHistogram().snapshot()["buckets"] == []
 
     def test_empty_percentile_all_fractions(self):
         histogram = LatencyHistogram()
@@ -132,6 +152,27 @@ class TestServiceMetrics:
         assert stats["counters"]["index.verifications"] == 20
         assert "identify.indexed" in stats["stages"]
         assert abs(stats["candidate_reduction"] - 0.98) < 1e-9
+
+    def test_stats_keys_are_sorted_and_versioned(self):
+        from repro.service.metrics import STATS_SCHEMA_VERSION
+
+        metrics = ServiceMetrics()
+        metrics.count("zeta.last", 1)
+        metrics.count("alpha.first", 2)
+        metrics.observe("z.stage", 0.001)
+        metrics.observe("a.stage", 0.001)
+        stats = metrics.stats()
+        assert stats["schema_version"] == STATS_SCHEMA_VERSION
+        assert list(stats["counters"]) == ["alpha.first", "zeta.last"]
+        assert list(stats["stages"]) == ["a.stage", "z.stage"]
+
+    def test_counters_with_prefix_sorted(self):
+        metrics = ServiceMetrics()
+        metrics.count("reliability.z", 1)
+        metrics.count("reliability.a", 2)
+        metrics.count("other", 3)
+        block = metrics.counters_with_prefix("reliability.")
+        assert list(block) == ["reliability.a", "reliability.z"]
 
     def test_candidate_reduction_undefined_without_queries(self):
         assert ServiceMetrics().candidate_reduction() is None
