@@ -52,3 +52,38 @@ def test_fig13_stitching_convergence(benchmark):
         rounds=5,
         iterations=1,
     )
+
+
+def test_fig13x_flat_vs_interleaved(benchmark):
+    """Flat-vs-interleaved comparison, gated on mapping recovery.
+
+    The interleave permutes which silicon each logical page lands on
+    but not the decay physics, so once the attacker recovers the
+    mapping within budget the convergence landmarks must match the
+    flat run's acceptance windows.
+    """
+    flat_report = stitching.run(n_samples=1000)
+    interleaved_report = benchmark.pedantic(
+        stitching.run_interleaved,
+        kwargs={"n_samples": 1000},
+        rounds=1,
+        iterations=1,
+    )
+    save_experiment_report(interleaved_report)
+
+    # Gate: the comparison is only meaningful over a recovered mapping.
+    assert interleaved_report.metrics["addrmap_recovered"] == 1.0
+    assert interleaved_report.metrics["addrmap_matches_truth"] == 1.0
+    assert (
+        interleaved_report.metrics["addrmap_recovery_queries"]
+        <= interleaved_report.metrics["addrmap_recovery_budget"]
+    )
+
+    for report in (flat_report, interleaved_report):
+        assert 20 <= report.metrics["stitch_peak_suspects"] <= 55
+        assert 50 <= report.metrics["stitch_peak_samples"] <= 250
+        assert report.metrics["stitch_final"] <= 3
+    # Recovered-mapping physical coverage of the dominant assembly:
+    # converged stitching spans (nearly) the full interleaved device.
+    assert interleaved_report.metrics["addrmap_bank_classes_covered"] == 16.0
+    assert interleaved_report.metrics["addrmap_channels_touched"] == 2.0

@@ -1,0 +1,67 @@
+"""Physical DRAM address-mapping layer (DESIGN.md §12).
+
+Real controllers interleave page frames across channels, ranks, banks
+and rows through XOR-folded addressing functions; this subpackage
+models those functions as verified GF(2) bijections
+(:class:`MappingFunction`), binds them to concrete page counts
+(:class:`MappedGeometry`), expresses decay fingerprints over the
+interleaved geometry (:class:`InterleavedApproximateMemory`), and
+implements the partial-knowledge attacker that recovers unknown
+interleave functions from decay-cluster co-occurrence within a
+tracked query budget (:func:`run_recovery`).
+"""
+
+from repro.addrmap.geometry import MappedCoverage, MappedGeometry
+from repro.addrmap.mapping import (
+    FIELD_ORDER,
+    INTERLEAVE_FIELDS,
+    MAPPING_SCHEMA_VERSION,
+    DramCoordinate,
+    FieldLayout,
+    MappingError,
+    MappingFunction,
+    ddr2_linear_mapping,
+    ddr2_xor_mapping,
+    flat_mapping,
+    km41464a_mapping,
+    preset_mapping,
+    random_mapping,
+)
+from repro.addrmap.memory import InterleavedApproximateMemory
+from repro.addrmap.recover import (
+    AddrmapMetrics,
+    BudgetExceededError,
+    CoDecayOracle,
+    QueryBudget,
+    RecoveredMapping,
+    recover_interleave,
+    register_addrmap_metrics,
+    run_recovery,
+)
+
+__all__ = [
+    "FIELD_ORDER",
+    "INTERLEAVE_FIELDS",
+    "MAPPING_SCHEMA_VERSION",
+    "AddrmapMetrics",
+    "BudgetExceededError",
+    "CoDecayOracle",
+    "DramCoordinate",
+    "FieldLayout",
+    "InterleavedApproximateMemory",
+    "MappedCoverage",
+    "MappedGeometry",
+    "MappingError",
+    "MappingFunction",
+    "QueryBudget",
+    "RecoveredMapping",
+    "ddr2_linear_mapping",
+    "ddr2_xor_mapping",
+    "flat_mapping",
+    "km41464a_mapping",
+    "preset_mapping",
+    "random_mapping",
+    "recover_interleave",
+    "register_addrmap_metrics",
+    "run_recovery",
+]

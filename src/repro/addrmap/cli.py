@@ -1,0 +1,252 @@
+"""``repro addrmap`` — inspect mappings and run the recovery attacker.
+
+Two subcommands (DESIGN.md §12):
+
+``repro addrmap show --preset ddr2-xor``
+    Print a preset mapping's field layout, XOR masks and a sample
+    translation table; the bijection is verified on construction.
+
+``repro addrmap recover --preset ddr2-xor --seed 2015 --budget 8000``
+    Build an interleaved machine over the preset, run the
+    partial-knowledge co-decay recovery against it within the query
+    budget, and report whether the recovered interleave span matches
+    the ground truth.  ``--output`` writes the recovered-mapping JSON
+    artifact; ``--obs-dir`` additionally exports ``repro_addrmap_*``
+    metrics (``metrics.prom`` / ``metrics.json``) and, via the shared
+    service-command wrapper, the run's trace.
+
+Exit codes: 0 recovery converged and matches the true interleave
+structure, 1 recovery failed (budget exhausted or wrong span), 2 usage
+errors (unknown preset, bad widths).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import Dict
+
+import numpy as np
+
+from repro.addrmap.geometry import MappedGeometry
+from repro.addrmap.mapping import MappingFunction, preset_mapping
+from repro.addrmap.memory import InterleavedApproximateMemory
+from repro.addrmap.recover import register_addrmap_metrics, run_recovery
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import span as obs_span
+
+PRESETS = ("flat", "km41464a", "ddr2-linear", "ddr2-xor")
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    """Attach the addrmap subcommands to an argparse parser."""
+    sub = parser.add_subparsers(dest="addrmap_command", required=True)
+
+    show = sub.add_parser(
+        "show", help="print a preset mapping's layout, masks and samples"
+    )
+    _add_mapping_arguments(show)
+    show.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the mapping document as JSON on stdout",
+    )
+
+    recover = sub.add_parser(
+        "recover",
+        help="recover the interleave functions from co-decay probes",
+    )
+    _add_mapping_arguments(recover)
+    recover.add_argument(
+        "--seed",
+        type=int,
+        default=2015,
+        help="chip seed and attacker RNG seed (default 2015)",
+    )
+    recover.add_argument(
+        "--budget",
+        type=int,
+        default=8000,
+        help="co-decay probe budget (default 8000)",
+    )
+    recover.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="probes per majority-voted oracle answer (default 3)",
+    )
+    recover.add_argument(
+        "--probe-error",
+        type=float,
+        default=0.02,
+        help="per-probe flip probability of the observable (default 0.02)",
+    )
+    recover.add_argument(
+        "--patience",
+        type=int,
+        default=200,
+        help="uninformative random-delta rounds before giving up",
+    )
+    recover.add_argument(
+        "--expected-bits",
+        type=int,
+        default=None,
+        help="attacker's datasheet interleave width "
+        "(default: read from the true geometry)",
+    )
+    recover.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE.json",
+        help="write the recovered-mapping JSON artifact to FILE",
+    )
+    recover.add_argument(
+        "--obs-dir",
+        default=None,
+        metavar="DIR",
+        help="write metrics.prom / metrics.json (and the run trace) "
+        "observability artifacts into DIR",
+    )
+    recover.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the recovery report as JSON on stdout",
+    )
+    recover.add_argument(
+        "--quiet",
+        action="store_true",
+        help="only print the verdict line",
+    )
+
+
+def _add_mapping_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--preset",
+        choices=PRESETS,
+        default="ddr2-xor",
+        help="mapping preset (default ddr2-xor)",
+    )
+    parser.add_argument(
+        "--address-bits",
+        type=int,
+        default=None,
+        help="address width in page bits (default: the preset's natural "
+        "width; km41464a is fixed at 8)",
+    )
+
+
+def _build_mapping(args: argparse.Namespace) -> MappingFunction:
+    return preset_mapping(args.preset, address_bits=args.address_bits)
+
+
+def _show(args: argparse.Namespace) -> int:
+    mapping = _build_mapping(args)
+    geometry = MappedGeometry(mapping=mapping)
+    if args.json:
+        print(json.dumps(mapping.to_json(), indent=2, sort_keys=True))
+        return 0
+    print(f"preset {args.preset}: {geometry.describe()}")
+    widths = mapping.layout.widths()
+    print(
+        "layout (LSB to MSB): "
+        + " ".join(f"{name}:{width}" for name, width in widths.items())
+    )
+    digits = (mapping.address_bits + 3) // 4
+    for bit, mask in enumerate(mapping.masks):
+        print(f"physical bit {bit:>2}: mask 0x{mask:0{digits}x}")
+    sample = np.arange(min(8, geometry.total_pages), dtype=np.uint64)
+    physical = geometry.physical_pages(sample)
+    coords = geometry.coordinates(sample)
+    print("sample translation (logical -> physical ch/rk/bank/row/col):")
+    for i in range(sample.size):
+        print(
+            f"  {int(sample[i]):>4} -> {int(physical[i]):>4}  "
+            f"ch={int(coords['channel'][i])} rk={int(coords['rank'][i])} "
+            f"bank={int(coords['bank'][i])} row={int(coords['row'][i])} "
+            f"col={int(coords['column'][i])}"
+        )
+    print(
+        f"bijection verified over {geometry.total_pages} pages "
+        "(inverse computed by GF(2) elimination at construction)"
+    )
+    return 0
+
+
+def _recover(args: argparse.Namespace) -> int:
+    mapping = _build_mapping(args)
+    geometry = MappedGeometry(mapping=mapping)
+    machine = InterleavedApproximateMemory(
+        chip_seed=args.seed, geometry=geometry
+    )
+    registry = MetricsRegistry()
+    metrics = register_addrmap_metrics(registry)
+    with obs_span(
+        "addrmap.recover",
+        preset=args.preset,
+        seed=args.seed,
+        budget=args.budget,
+        interleave_bits=geometry.layout.interleave_bits,
+    ):
+        recovered = run_recovery(
+            machine,
+            budget_limit=args.budget,
+            rng=np.random.default_rng(args.seed),
+            repeats=args.repeats,
+            probe_error=args.probe_error,
+            expected_interleave_bits=args.expected_bits,
+            patience=args.patience,
+            metrics=metrics,
+        )
+    matches = recovered.matches(mapping)
+    success = recovered.converged and matches
+    document: Dict[str, object] = {
+        "preset": args.preset,
+        "seed": args.seed,
+        "repeats": args.repeats,
+        "probe_error": args.probe_error,
+        "geometry": geometry.describe(),
+        "true_interleave_span": [hex(m) for m in mapping.interleave_span()],
+        "matches_truth": matches,
+        "success": success,
+        "recovered": recovered.to_json(),
+    }
+    if args.output is not None:
+        output = Path(args.output)
+        output.parent.mkdir(parents=True, exist_ok=True)
+        output.write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    if args.obs_dir is not None:
+        obs_path = Path(args.obs_dir)
+        obs_path.mkdir(parents=True, exist_ok=True)
+        registry.write_exposition(obs_path / "metrics.prom")
+        registry.write_snapshot(obs_path / "metrics.json")
+    if args.json:
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        verdict = "recovered" if success else "NOT recovered"
+        print(
+            f"addrmap {verdict}: preset {args.preset}, "
+            f"{recovered.interleave_bits}/"
+            f"{geometry.layout.interleave_bits} interleave functions in "
+            f"{recovered.queries_used}/{args.budget} probes; "
+            f"matches truth: {'yes' if matches else 'no'}"
+        )
+        if not args.quiet:
+            for mask in recovered.interleave_masks:
+                print(f"  recovered mask 0x{mask:x}")
+            if args.output is not None:
+                print(f"  artifact written to {args.output}")
+    return 0 if success else 1
+
+
+def run_addrmap(args: argparse.Namespace) -> int:
+    """The addrmap command body (dispatched by the repro CLI)."""
+    if args.addrmap_command == "show":
+        return _show(args)
+    return _recover(args)
+
+
+__all__ = ["PRESETS", "configure_parser", "run_addrmap"]

@@ -1,0 +1,123 @@
+"""GF(2) linear algebra over bit-mask row vectors.
+
+The whole address-mapping layer reduces to linear algebra over GF(2):
+an XOR-folded DRAM addressing function is a linear map on address
+bits, a mapping is a bijection exactly when its bit matrix is
+invertible, and recovering unknown XOR functions from co-location
+observations is null-space learning.  This module implements the few
+primitives that need, representing a row vector over ``nbits``
+variables as a Python ``int`` whose bit ``i`` is the coefficient of
+variable ``i`` — masks compose with ``&`` and ``^`` and stay cheap at
+any width.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+
+def parity(value: int) -> int:
+    """Parity (sum over GF(2)) of the set bits of ``value``."""
+    return bin(value).count("1") & 1
+
+
+def dot(a: int, b: int) -> int:
+    """GF(2) inner product of two row vectors."""
+    return parity(a & b)
+
+
+def rref(vectors: Iterable[int]) -> Tuple[int, ...]:
+    """Reduced row echelon basis of the span of ``vectors``.
+
+    Returns a canonical tuple (rows sorted by descending pivot, each
+    pivot appearing in exactly one row), so two mask sets span the same
+    subspace iff their ``rref`` tuples are equal.
+    """
+    basis: List[int] = []  # kept fully reduced, sorted descending
+    for vector in vectors:
+        reduced = int(vector)
+        for row in basis:
+            reduced = min(reduced, reduced ^ row)
+        if reduced:
+            basis = [min(row, row ^ reduced) for row in basis]
+            basis.append(reduced)
+            basis.sort(reverse=True)
+    return tuple(basis)
+
+
+def in_span(vector: int, basis: Sequence[int]) -> bool:
+    """True when ``vector`` lies in the span of an ``rref`` basis."""
+    reduced = int(vector)
+    for row in basis:
+        reduced = min(reduced, reduced ^ row)
+    return reduced == 0
+
+
+def rank(vectors: Iterable[int]) -> int:
+    """Dimension of the span of ``vectors``."""
+    return len(rref(vectors))
+
+
+def complement_basis(basis: Sequence[int], nbits: int) -> Tuple[int, ...]:
+    """Canonical basis of the orthogonal complement of ``basis``.
+
+    The complement is ``{m : dot(m, b) = 0 for every b in basis}`` —
+    exactly the masks whose XOR-parity function is constant on cosets
+    of the spanned subspace.  Solved by back-substitution over the
+    free variables of the RREF system; the result is itself returned
+    in RREF form.
+    """
+    rows = list(rref(basis))
+    pivots = [row.bit_length() - 1 for row in rows]
+    pivot_set = set(pivots)
+    free = [i for i in range(nbits) if i not in pivot_set]
+    solutions: List[int] = []
+    for free_bit in free:
+        solution = 1 << free_bit
+        # Each pivot variable is determined by the free assignment.
+        for row, pivot in zip(rows, pivots):
+            if dot(row & ~(1 << pivot), solution):
+                solution |= 1 << pivot
+        solutions.append(solution)
+    return rref(solutions)
+
+
+def invert(masks: Sequence[int], nbits: int) -> Optional[List[int]]:
+    """Inverse of the linear map ``y_j = dot(masks[j], x)``.
+
+    Returns ``inverse`` with ``x_i = dot(inverse[i], y)``, or ``None``
+    when the map is singular (not a bijection).  Gauss-Jordan on the
+    augmented system ``(M | I)``.
+    """
+    if len(masks) != nbits:
+        raise ValueError(
+            f"need exactly {nbits} masks for a {nbits}-bit map, "
+            f"got {len(masks)}"
+        )
+    rows = [(int(mask), 1 << j) for j, mask in enumerate(masks)]
+    inverse: List[Optional[int]] = [None] * nbits
+    reduced: List[Tuple[int, int]] = []  # (mask in RREF, augmented)
+    for mask, augmented in rows:
+        for other_mask, other_aug in reduced:
+            if mask ^ other_mask < mask:
+                mask ^= other_mask
+                augmented ^= other_aug
+        if mask == 0:
+            return None
+        updated = []
+        for other_mask, other_aug in reduced:
+            if other_mask ^ mask < other_mask:
+                updated.append((other_mask ^ mask, other_aug ^ augmented))
+            else:
+                updated.append((other_mask, other_aug))
+        updated.append((mask, augmented))
+        updated.sort(reverse=True)
+        reduced = updated
+    for mask, augmented in reduced:
+        # Fully reduced and full-rank: each row is a single pivot bit.
+        if parity(mask) != 1:
+            return None
+        inverse[mask.bit_length() - 1] = augmented
+    if any(entry is None for entry in inverse):
+        return None
+    return [entry for entry in inverse if entry is not None]

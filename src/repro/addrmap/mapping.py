@@ -1,0 +1,512 @@
+"""Physical DRAM address-mapping functions (GF(2)-linear model).
+
+A memory controller does not lay pages out contiguously: the physical
+page address is decomposed into **channel / rank / bank / row /
+column** coordinates, and on every platform the paper's era onward the
+interleave coordinates are *XOR-folded* functions of the address bits
+(the reverse-engineered Intel functions of the Rowhammer literature;
+DRAMA, FP-Rowhammer).  Every such decomposition — including the plain
+linear-offset ones and the KM41464A's degenerate flat layout — is a
+linear bijection on address bits over GF(2).
+
+:class:`MappingFunction` represents the map explicitly as one XOR mask
+per physical address bit: physical bit ``j`` is the parity of
+``logical & masks[j]``.  Construction verifies the map is invertible
+(a bijection) and precomputes the inverse; translation is vectorized
+over numpy ``uint64`` arrays so the fingerprint pipeline can translate
+whole placements per call.
+
+Field semantics live in :class:`FieldLayout`: the *physical* address
+packs, LSB to MSB, ``column | channel | rank | bank | row``.  Column
+bits address pages within one DRAM row; channel/rank/bank are the
+interleave coordinates the recovery attacker targets; row bits select
+the refresh-granular row.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.addrmap import gf2
+
+#: Version stamped into mapping JSON documents.
+MAPPING_SCHEMA_VERSION = 1
+
+#: Field names, in physical-address LSB-to-MSB order.
+FIELD_ORDER = ("column", "channel", "rank", "bank", "row")
+
+#: Interleave fields — the coordinates XOR-folded by real controllers
+#: and the target of mapping recovery.
+INTERLEAVE_FIELDS = ("channel", "rank", "bank")
+
+
+class MappingError(ValueError):
+    """An address mapping that is not a verified bijection."""
+
+
+@dataclass(frozen=True)
+class FieldLayout:
+    """Bit widths of the physical-address fields (page granularity).
+
+    ``column_bits`` counts pages per DRAM row (a 4 KB-page model of an
+    8 KB row has one column bit); ``row_bits`` must be positive — every
+    device has rows.  The degenerate single-channel / single-rank /
+    single-bank chip (the paper's KM41464A) sets the corresponding
+    widths to zero.
+    """
+
+    column_bits: int = 0
+    channel_bits: int = 0
+    rank_bits: int = 0
+    bank_bits: int = 0
+    row_bits: int = 1
+
+    def __post_init__(self) -> None:
+        for name in (
+            "column_bits", "channel_bits", "rank_bits", "bank_bits", "row_bits"
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.row_bits <= 0:
+            raise ValueError("row_bits must be positive (devices have rows)")
+
+    @property
+    def address_bits(self) -> int:
+        """Total width of a physical (and logical) page address."""
+        return (
+            self.column_bits + self.channel_bits + self.rank_bits
+            + self.bank_bits + self.row_bits
+        )
+
+    @property
+    def interleave_bits(self) -> int:
+        """Channel + rank + bank width — the XOR-foldable coordinates."""
+        return self.channel_bits + self.rank_bits + self.bank_bits
+
+    def widths(self) -> Dict[str, int]:
+        """Field name → bit width, in :data:`FIELD_ORDER`."""
+        return {
+            "column": self.column_bits,
+            "channel": self.channel_bits,
+            "rank": self.rank_bits,
+            "bank": self.bank_bits,
+            "row": self.row_bits,
+        }
+
+    def field_positions(self, field: str) -> range:
+        """Physical bit positions of ``field`` (LSB-first packing)."""
+        offset = 0
+        for name in FIELD_ORDER:
+            width = self.widths()[name]
+            if name == field:
+                return range(offset, offset + width)
+            offset += width
+        raise KeyError(f"unknown field {field!r}; known: {FIELD_ORDER}")
+
+    def to_json(self) -> Dict[str, int]:
+        """JSON-serializable widths."""
+        return {f"{name}_bits": width for name, width in self.widths().items()}
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, int]) -> "FieldLayout":
+        """Inverse of :meth:`to_json`."""
+        return cls(**{key: int(value) for key, value in payload.items()})
+
+
+@dataclass(frozen=True)
+class DramCoordinate:
+    """One page's physical location in the device hierarchy."""
+
+    channel: int
+    rank: int
+    bank: int
+    row: int
+    column: int
+
+
+def _parity_u64(values: np.ndarray) -> np.ndarray:
+    """Vectorized bit-parity of a uint64 array."""
+    folded = values.astype(np.uint64, copy=True)
+    for shift in (32, 16, 8, 4, 2, 1):
+        folded ^= folded >> np.uint64(shift)
+    return folded & np.uint64(1)
+
+
+@dataclass(frozen=True)
+class MappingFunction:
+    """A verified-bijective logical↔physical page-address map.
+
+    ``masks[j]`` is the XOR mask over *logical* address bits producing
+    *physical* bit ``j``.  Construction inverts the map over GF(2) and
+    raises :class:`MappingError` when it is singular, so holding a
+    ``MappingFunction`` is proof of bijectivity over the full
+    ``2**address_bits`` space.
+    """
+
+    layout: FieldLayout
+    masks: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        n = self.layout.address_bits
+        if len(self.masks) != n:
+            raise MappingError(
+                f"layout has {n} address bits but {len(self.masks)} masks "
+                "were given (one mask per physical bit)"
+            )
+        limit = 1 << n
+        for j, mask in enumerate(self.masks):
+            if not 0 <= mask < limit:
+                raise MappingError(
+                    f"mask for physical bit {j} ({mask:#x}) uses bits "
+                    f"outside the {n}-bit address space"
+                )
+        inverse = gf2.invert(self.masks, n)
+        if inverse is None:
+            raise MappingError(
+                "mapping is singular (two logical pages would share one "
+                "physical page); XOR masks must form an invertible "
+                "GF(2) matrix"
+            )
+        object.__setattr__(self, "_inverse_masks", tuple(inverse))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def address_bits(self) -> int:
+        """Width of the address space."""
+        return self.layout.address_bits
+
+    @property
+    def total_pages(self) -> int:
+        """Size of the full address space."""
+        return 1 << self.layout.address_bits
+
+    @property
+    def inverse_masks(self) -> Tuple[int, ...]:
+        """Masks of the inverse map (physical → logical)."""
+        return self._inverse_masks  # type: ignore[attr-defined]
+
+    @property
+    def is_flat(self) -> bool:
+        """True for the identity (contiguous, un-interleaved) map."""
+        return all(mask == 1 << j for j, mask in enumerate(self.masks))
+
+    def field_masks(self, field: str) -> Tuple[int, ...]:
+        """Logical-space XOR masks computing one physical field."""
+        return tuple(
+            self.masks[j] for j in self.layout.field_positions(field)
+        )
+
+    def colocation_masks(self, fields: Iterable[str]) -> Tuple[int, ...]:
+        """Masks that must all have even parity on ``a ^ b`` for two
+        logical pages to share the given physical fields."""
+        masks: List[int] = []
+        for field in fields:
+            masks.extend(self.field_masks(field))
+        return tuple(masks)
+
+    @property
+    def interleave_masks(self) -> Tuple[int, ...]:
+        """The channel/rank/bank function masks — the recovery target."""
+        return self.colocation_masks(INTERLEAVE_FIELDS)
+
+    def interleave_span(self) -> Tuple[int, ...]:
+        """Canonical (RREF) span of the interleave masks.
+
+        Two mappings induce the same bank/rank/channel co-location
+        structure exactly when their spans are equal, so this is the
+        comparison key for recovered mappings.
+        """
+        return gf2.rref(self.interleave_masks)
+
+    # ------------------------------------------------------------------
+    # Translation
+    # ------------------------------------------------------------------
+
+    def _check_scalar(self, address: int, direction: str) -> None:
+        if not 0 <= address < self.total_pages:
+            raise IndexError(
+                f"{direction} page {address} out of range for "
+                f"{self.address_bits}-bit mapping"
+            )
+
+    def to_physical_scalar(self, logical: int) -> int:
+        """Reference (scalar) logical → physical translation."""
+        self._check_scalar(logical, "logical")
+        physical = 0
+        for j, mask in enumerate(self.masks):
+            physical |= gf2.dot(mask, logical) << j
+        return physical
+
+    def to_logical_scalar(self, physical: int) -> int:
+        """Reference (scalar) physical → logical translation."""
+        self._check_scalar(physical, "physical")
+        logical = 0
+        for i, mask in enumerate(self.inverse_masks):
+            logical |= gf2.dot(mask, physical) << i
+        return logical
+
+    def _translate_batch(
+        self, addresses: np.ndarray, masks: Sequence[int], direction: str
+    ) -> np.ndarray:
+        array = np.asarray(addresses, dtype=np.uint64)
+        if array.size and int(array.max()) >= self.total_pages:
+            raise IndexError(
+                f"{direction} page {int(array.max())} out of range for "
+                f"{self.address_bits}-bit mapping"
+            )
+        out = np.zeros_like(array)
+        for j, mask in enumerate(masks):
+            out |= _parity_u64(array & np.uint64(mask)) << np.uint64(j)
+        return out
+
+    def to_physical(
+        self, logical: Union[int, np.ndarray]
+    ) -> Union[int, np.ndarray]:
+        """Vectorized logical → physical translation (scalar passthrough)."""
+        if isinstance(logical, (int, np.integer)):
+            return self.to_physical_scalar(int(logical))
+        return self._translate_batch(logical, self.masks, "logical")
+
+    def to_logical(
+        self, physical: Union[int, np.ndarray]
+    ) -> Union[int, np.ndarray]:
+        """Vectorized physical → logical translation (scalar passthrough)."""
+        if isinstance(physical, (int, np.integer)):
+            return self.to_logical_scalar(int(physical))
+        return self._translate_batch(physical, self.inverse_masks, "physical")
+
+    # ------------------------------------------------------------------
+    # Coordinates and co-location
+    # ------------------------------------------------------------------
+
+    def _extract_field(
+        self, physical: np.ndarray, field: str
+    ) -> np.ndarray:
+        positions = self.layout.field_positions(field)
+        if len(positions) == 0:
+            return np.zeros_like(physical)
+        start = np.uint64(positions.start)
+        mask = np.uint64((1 << len(positions)) - 1)
+        return (physical >> start) & mask
+
+    def decompose(self, logical: int) -> DramCoordinate:
+        """Physical device coordinates of one logical page."""
+        physical = self.to_physical_scalar(logical)
+        values = {}
+        for field in FIELD_ORDER:
+            positions = self.layout.field_positions(field)
+            width_mask = (1 << len(positions)) - 1
+            values[field] = (physical >> positions.start) & width_mask
+        return DramCoordinate(
+            channel=values["channel"],
+            rank=values["rank"],
+            bank=values["bank"],
+            row=values["row"],
+            column=values["column"],
+        )
+
+    def coordinates(self, logical: np.ndarray) -> Dict[str, np.ndarray]:
+        """Vectorized :meth:`decompose`: field name → value array."""
+        physical = np.asarray(
+            self.to_physical(np.asarray(logical, dtype=np.uint64))
+        )
+        return {
+            field: self._extract_field(physical, field)
+            for field in FIELD_ORDER
+        }
+
+    def colocated(self, a: int, b: int, fields: Iterable[str]) -> bool:
+        """True when two logical pages share the given physical fields.
+
+        Linearity makes this a function of ``a ^ b`` alone — the fact
+        the recovery attacker exploits.
+        """
+        delta = a ^ b
+        return all(
+            gf2.dot(mask, delta) == 0
+            for mask in self.colocation_masks(fields)
+        )
+
+    def same_bank_group(self, a: int, b: int) -> bool:
+        """Share channel, rank and bank (same physically-banked unit)."""
+        return self.colocated(a, b, INTERLEAVE_FIELDS)
+
+    def same_row(self, a: int, b: int) -> bool:
+        """Share channel, rank, bank *and* row (same refresh unit)."""
+        return self.colocated(a, b, INTERLEAVE_FIELDS + ("row",))
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON document (masks as hex strings for legibility)."""
+        return {
+            "schema_version": MAPPING_SCHEMA_VERSION,
+            "layout": self.layout.to_json(),
+            "masks": [hex(mask) for mask in self.masks],
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, object]) -> "MappingFunction":
+        """Inverse of :meth:`to_json` (re-verifies bijectivity)."""
+        version = payload.get("schema_version")
+        if version != MAPPING_SCHEMA_VERSION:
+            raise MappingError(
+                f"unsupported mapping schema_version {version!r}"
+            )
+        layout = FieldLayout.from_json(payload["layout"])  # type: ignore[arg-type]
+        masks = tuple(int(mask, 16) for mask in payload["masks"])  # type: ignore[union-attr]
+        return cls(layout=layout, masks=masks)
+
+    def dumps(self) -> str:
+        """Pretty JSON string of :meth:`to_json`."""
+        return json.dumps(self.to_json(), indent=2, sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# Presets
+# ----------------------------------------------------------------------
+
+
+def flat_mapping(
+    address_bits: int, layout: Optional[FieldLayout] = None
+) -> MappingFunction:
+    """The identity map: logical page == physical page.
+
+    This is the degenerate single-channel/rank/bank case — the paper's
+    KM41464A platform, and the implicit assumption the stitching
+    experiment made before this layer existed.
+    """
+    if layout is None:
+        layout = FieldLayout(row_bits=address_bits)
+    if layout.address_bits != address_bits:
+        raise MappingError(
+            f"layout covers {layout.address_bits} bits, "
+            f"expected {address_bits}"
+        )
+    return MappingFunction(
+        layout=layout,
+        masks=tuple(1 << j for j in range(address_bits)),
+    )
+
+
+def km41464a_mapping() -> MappingFunction:
+    """Flat mapping of the KM41464A's 256 rows (one page per row).
+
+    The 64 K x 4 bit part has one internal array: no channels, ranks or
+    banks to interleave, so the physical decomposition is row index ==
+    page index.
+    """
+    return flat_mapping(8, FieldLayout(row_bits=8))
+
+
+def _ddr2_layout(address_bits: int) -> FieldLayout:
+    """DDR2-style field widths scaled to ``address_bits`` pages.
+
+    One column bit (8 KB rows of 4 KB pages), one channel, one rank,
+    four banks (DDR2 x8 parts expose 4 or 8); the rest is rows.
+    """
+    fixed = 1 + 1 + 1 + 2
+    if address_bits <= fixed:
+        raise MappingError(
+            f"DDR2 presets need more than {fixed} address bits, "
+            f"got {address_bits}"
+        )
+    return FieldLayout(
+        column_bits=1,
+        channel_bits=1,
+        rank_bits=1,
+        bank_bits=2,
+        row_bits=address_bits - fixed,
+    )
+
+
+def ddr2_linear_mapping(address_bits: int = 13) -> MappingFunction:
+    """DDR2 linear-offset decomposition (bit reorder, no XOR folding).
+
+    Consecutive logical pages alternate channels, then columns, then
+    banks — the stride interleave of a controller with XOR folding
+    disabled.  Logical LSB-first source order: channel, column, bank,
+    rank, row.
+    """
+    layout = _ddr2_layout(address_bits)
+    source_order: List[Tuple[str, int]] = []
+    for field in ("channel", "column", "bank", "rank", "row"):
+        source_order.extend(
+            (field, k) for k in range(layout.widths()[field])
+        )
+    source_of = {
+        field_bit: position for position, field_bit in enumerate(source_order)
+    }
+    masks = [0] * address_bits
+    for field in FIELD_ORDER:
+        for k, j in enumerate(layout.field_positions(field)):
+            masks[j] = 1 << source_of[(field, k)]
+    return MappingFunction(layout=layout, masks=tuple(masks))
+
+
+def ddr2_xor_mapping(address_bits: int = 13) -> MappingFunction:
+    """DDR2 decomposition with XOR-folded bank/channel functions.
+
+    Starts from :func:`ddr2_linear_mapping` and folds low row bits into
+    the bank and channel functions — the shape of the reverse-
+    engineered Intel addressing functions (bank XOR-ed with row bits to
+    spread row-buffer conflicts).  Row-op folding keeps the matrix
+    invertible by construction.
+    """
+    linear = ddr2_linear_mapping(address_bits)
+    layout = linear.layout
+    masks = list(linear.masks)
+    row_positions = list(layout.field_positions("row"))
+    fold_targets = list(layout.field_positions("bank")) + list(
+        layout.field_positions("channel")
+    )
+    for k, j in enumerate(fold_targets):
+        masks[j] ^= masks[row_positions[k % len(row_positions)]]
+    return MappingFunction(layout=layout, masks=tuple(masks))
+
+
+def random_mapping(
+    layout: FieldLayout, rng: np.random.Generator, folds: int = 16
+) -> MappingFunction:
+    """Random invertible mapping: a bit permutation plus XOR folds.
+
+    Built from elementary operations only (source permutation, then
+    ``masks[j] ^= masks[k]`` with ``j != k``), so the result is
+    invertible by construction — property tests use it to exercise the
+    bijection verifier across arbitrary geometries.
+    """
+    n = layout.address_bits
+    permutation = rng.permutation(n)
+    masks = [1 << int(source) for source in permutation]
+    for _ in range(folds if n >= 2 else 0):
+        j, k = (int(v) for v in rng.choice(n, size=2, replace=False))
+        masks[j] ^= masks[k]
+    return MappingFunction(layout=layout, masks=tuple(masks))
+
+
+#: CLI preset names → constructors taking ``address_bits``.
+def preset_mapping(name: str, address_bits: Optional[int] = None) -> MappingFunction:
+    """Look up a named preset (CLI / experiment configuration)."""
+    if name == "flat":
+        return flat_mapping(13 if address_bits is None else address_bits)
+    if name == "km41464a":
+        if address_bits not in (None, 8):
+            raise MappingError("km41464a is a fixed 8-bit (256-row) preset")
+        return km41464a_mapping()
+    if name == "ddr2-linear":
+        return ddr2_linear_mapping(13 if address_bits is None else address_bits)
+    if name == "ddr2-xor":
+        return ddr2_xor_mapping(13 if address_bits is None else address_bits)
+    raise MappingError(
+        f"unknown mapping preset {name!r}; "
+        "available: flat, km41464a, ddr2-linear, ddr2-xor"
+    )

@@ -1,0 +1,121 @@
+"""Machine model whose decay fingerprints live at *physical* pages.
+
+:class:`~repro.system.ModeledApproximateMemory` keys each page's
+manufacturing-locked volatile-bit set by the page index the OS (and
+the attacker) sees.  That is only correct for a flat controller
+mapping; on a real platform the fingerprint is a property of the
+silicon at the *physical* DRAM location, and the controller's
+channel/rank/bank interleave decides which silicon a logical page
+lands on.
+
+:class:`InterleavedApproximateMemory` makes that explicit: it derives
+the volatile set from the mapped physical page, so a flat
+:class:`~repro.addrmap.geometry.MappedGeometry` reproduces the base
+model bit-for-bit while an interleaved one expresses the same decay
+physics over interleaved geometry.  It also exposes the side channel
+mapping recovery feeds on: a *co-decay probe* answering whether two
+logical pages decayed in the same refresh phase — true exactly when
+they share a physical bank group (per-bank staggered refresh aligns
+the decay windows of same-bank rows), observed through the usual
+measurement noise.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.addrmap.geometry import MappedGeometry
+from repro.addrmap.mapping import INTERLEAVE_FIELDS
+from repro.system.approx_system import ModeledApproximateMemory
+from repro.system.memory_map import PAGE_BITS, PhysicalMemoryMap
+
+
+class InterleavedApproximateMemory(ModeledApproximateMemory):
+    """A modeled machine over a mapped (possibly interleaved) geometry.
+
+    Parameters are those of :class:`ModeledApproximateMemory` plus the
+    geometry; the memory map defaults to a contiguous-placement map of
+    the geometry's page count (§7.6 placement facts are unchanged —
+    interleaving happens *below* the OS page frame number).
+    """
+
+    def __init__(
+        self,
+        chip_seed: int,
+        geometry: MappedGeometry,
+        memory_map: Optional[PhysicalMemoryMap] = None,
+        error_rate: float = 0.01,
+        miss_rate: float = 0.02,
+        spurious_bits: float = 4.0,
+        charge_fraction: float = 1.0,
+        page_bits: int = PAGE_BITS,
+    ):
+        if memory_map is None:
+            memory_map = PhysicalMemoryMap(total_pages=geometry.total_pages)
+        if memory_map.total_pages != geometry.total_pages:
+            raise ValueError(
+                f"memory map covers {memory_map.total_pages} pages but the "
+                f"mapped geometry covers {geometry.total_pages}"
+            )
+        super().__init__(
+            chip_seed=chip_seed,
+            memory_map=memory_map,
+            error_rate=error_rate,
+            miss_rate=miss_rate,
+            spurious_bits=spurious_bits,
+            charge_fraction=charge_fraction,
+            page_bits=page_bits,
+        )
+        self._geometry = geometry
+
+    @property
+    def geometry(self) -> MappedGeometry:
+        """The mapped physical geometry of this machine."""
+        return self._geometry
+
+    def volatile_indices(self, page: int) -> np.ndarray:
+        """Ground-truth volatile set — keyed by the *physical* page.
+
+        With a flat geometry this is exactly the base model (physical
+        == logical), making the old behaviour the degenerate case.
+        """
+        return super().volatile_indices(self._geometry.physical_page(page))
+
+    def co_decay_probe(
+        self,
+        page_a: int,
+        page_b: int,
+        rng: np.random.Generator,
+        probe_error: float = 0.0,
+        granularity: str = "bank",
+    ) -> bool:
+        """One noisy same-refresh-phase observation of two pages.
+
+        ``granularity="bank"`` answers whether the pages share a
+        physical channel/rank/bank (staggered per-bank refresh gives
+        same-bank rows coinciding decay windows); ``"row"`` narrows to
+        the same DRAM row.  ``probe_error`` flips the answer with the
+        given probability — the attacker pays repeated probes to vote
+        noise away, and every probe is one query against the recovery
+        budget.
+        """
+        if granularity == "bank":
+            fields = INTERLEAVE_FIELDS
+        elif granularity == "row":
+            fields = INTERLEAVE_FIELDS + ("row",)
+        else:
+            raise ValueError(
+                f"granularity must be 'bank' or 'row', got {granularity!r}"
+            )
+        for name, page in (("page_a", page_a), ("page_b", page_b)):
+            if not 0 <= page < self._geometry.total_pages:
+                raise IndexError(
+                    f"{name}={page} out of range for "
+                    f"{self._geometry.total_pages} pages"
+                )
+        truth = self._geometry.mapping.colocated(page_a, page_b, fields)
+        if probe_error > 0.0 and rng.random() < probe_error:
+            return not truth
+        return truth

@@ -1,0 +1,391 @@
+"""Mapping recovery: learn XOR interleave functions from co-decay.
+
+The partial-knowledge attacker of this layer does not know the
+controller's channel/rank/bank functions, only that they are XOR folds
+of address bits (true of every documented or reverse-engineered
+controller; the linear structure is the standing assumption of the
+DRAMA / FP-Rowhammer line of work).  What they *can* observe is decay:
+pages sharing a physical bank group share a staggered refresh phase,
+so their volatile cells decay in the same window — a co-occurrence of
+decay clusters that acts as a *same-bank oracle*.
+
+Linearity makes the oracle a function of the XOR of the two queried
+addresses: ``same_bank(a, b)`` holds iff ``a ^ b`` lies in the kernel
+of the interleave functions.  Recovery is therefore null-space
+learning:
+
+1. probe single-bit deltas (cheap wins: every address bit no function
+   uses),
+2. sample random deltas, keeping those the oracle places in the
+   kernel (for ``k`` interleave bits a random delta hits the kernel
+   with probability ``2**-k`` — a handful of banks makes this fast),
+3. stop when the kernel basis reaches the expected dimension (partial
+   knowledge: datasheets state bank/rank/channel counts) or stalls,
+4. the recovered interleave functions are the kernel's orthogonal
+   complement, reported in canonical (RREF) form.
+
+Every physical probe — including majority-vote repeats that pay down
+measurement noise — is charged against a :class:`QueryBudget`; the
+attacker either converges within budget or reports failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.addrmap import gf2
+from repro.addrmap.mapping import MappingFunction
+from repro.addrmap.memory import InterleavedApproximateMemory
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class BudgetExceededError(RuntimeError):
+    """The recovery attacker ran out of probe budget."""
+
+
+class QueryBudget:
+    """Tracks physical probes spent against a hard limit."""
+
+    def __init__(self, limit: int):
+        if limit <= 0:
+            raise ValueError(f"budget limit must be positive, got {limit}")
+        self._limit = int(limit)
+        self._used = 0
+
+    @property
+    def limit(self) -> int:
+        """Total probes allowed."""
+        return self._limit
+
+    @property
+    def used(self) -> int:
+        """Probes spent so far."""
+        return self._used
+
+    @property
+    def remaining(self) -> int:
+        """Probes left before exhaustion."""
+        return self._limit - self._used
+
+    def charge(self, probes: int = 1) -> None:
+        """Spend ``probes``; raises :class:`BudgetExceededError` when
+        the limit would be crossed."""
+        if self._used + probes > self._limit:
+            raise BudgetExceededError(
+                f"query budget exhausted: {self._used} used + {probes} "
+                f"requested > {self._limit} allowed"
+            )
+        self._used += probes
+
+
+@dataclass
+class AddrmapMetrics:
+    """The ``repro_addrmap_*`` instruments, bound to one registry."""
+
+    recovery_queries: Counter
+    recovery_rounds: Counter
+    recoveries: Counter
+    recovery_failures: Counter
+    kernel_dim: Gauge
+    recovery_query_spread: Histogram
+    translated_pages: Counter
+
+
+def register_addrmap_metrics(registry: MetricsRegistry) -> AddrmapMetrics:
+    """Create the addrmap instrument set on ``registry``."""
+    return AddrmapMetrics(
+        recovery_queries=registry.counter(
+            "repro_addrmap_recovery_queries_total",
+            "physical co-decay probes spent on mapping recovery",
+        ),
+        recovery_rounds=registry.counter(
+            "repro_addrmap_recovery_rounds_total",
+            "oracle rounds (majority votes) during mapping recovery",
+        ),
+        recoveries=registry.counter(
+            "repro_addrmap_recoveries_total",
+            "mapping recoveries that converged within budget",
+        ),
+        recovery_failures=registry.counter(
+            "repro_addrmap_recovery_failures_total",
+            "mapping recoveries that exhausted their budget",
+        ),
+        kernel_dim=registry.gauge(
+            "repro_addrmap_kernel_dim",
+            "dimension of the learned co-location kernel",
+        ),
+        recovery_query_spread=registry.histogram(
+            "repro_addrmap_recovery_queries",
+            "probes needed per recovery",
+            buckets=[128, 256, 512, 1024, 2048, 4096, 8192, 16384],
+        ),
+        translated_pages=registry.counter(
+            "repro_addrmap_translated_pages_total",
+            "pages translated through a mapping by instrumented callers",
+        ),
+    )
+
+
+class CoDecayOracle:
+    """Budgeted, majority-voted front end over a machine's co-decay.
+
+    One :meth:`colocated` round costs ``repeats`` probes (each charged
+    to the budget); the majority answer suppresses ``probe_error``
+    noise quadratically.
+    """
+
+    def __init__(
+        self,
+        memory: InterleavedApproximateMemory,
+        budget: QueryBudget,
+        rng: np.random.Generator,
+        repeats: int = 3,
+        probe_error: float = 0.0,
+        metrics: Optional[AddrmapMetrics] = None,
+    ):
+        if repeats <= 0:
+            raise ValueError(f"repeats must be positive, got {repeats}")
+        if not 0.0 <= probe_error < 0.5:
+            raise ValueError(
+                f"probe_error must be in [0, 0.5), got {probe_error}"
+            )
+        self._memory = memory
+        self._budget = budget
+        self._rng = rng
+        self._repeats = repeats
+        self._probe_error = probe_error
+        self._metrics = metrics
+
+    @property
+    def budget(self) -> QueryBudget:
+        """The probe budget this oracle charges."""
+        return self._budget
+
+    @property
+    def address_bits(self) -> int:
+        """Address width of the probed machine."""
+        return self._memory.geometry.address_bits
+
+    def colocated(self, page_a: int, page_b: int) -> bool:
+        """Majority-voted same-bank-group answer for two pages."""
+        votes = 0
+        for _ in range(self._repeats):
+            self._budget.charge(1)
+            if self._metrics is not None:
+                self._metrics.recovery_queries.inc()
+            if self._memory.co_decay_probe(
+                page_a, page_b, self._rng, probe_error=self._probe_error
+            ):
+                votes += 1
+        if self._metrics is not None:
+            self._metrics.recovery_rounds.inc()
+        return votes * 2 > self._repeats
+
+
+@dataclass(frozen=True)
+class RecoveredMapping:
+    """Outcome of one mapping-recovery run.
+
+    ``interleave_masks`` are the recovered channel/rank/bank XOR
+    functions in canonical (RREF) form — recoverable only up to an
+    invertible relabeling of bank numbers, which RREF quotients out, so
+    equality with :meth:`MappingFunction.interleave_span` is exactly
+    "induces the same co-location structure".
+    """
+
+    address_bits: int
+    interleave_masks: Tuple[int, ...]
+    kernel_basis: Tuple[int, ...]
+    converged: bool
+    queries_used: int
+    budget_limit: int
+
+    @property
+    def interleave_bits(self) -> int:
+        """Number of independent interleave functions recovered."""
+        return len(self.interleave_masks)
+
+    def matches(self, mapping: MappingFunction) -> bool:
+        """True when the recovery equals the mapping's true structure."""
+        return self.interleave_masks == mapping.interleave_span()
+
+    def bank_classes(self, pages: np.ndarray) -> np.ndarray:
+        """Recovered-bank class label of each page.
+
+        Labels are canonical up to the recovery's relabeling freedom;
+        distinct-count statistics are relabeling-invariant.
+        """
+        array = np.asarray(pages, dtype=np.uint64)
+        labels = np.zeros_like(array)
+        for mask in self.interleave_masks:
+            folded = array & np.uint64(mask)
+            for shift in (32, 16, 8, 4, 2, 1):
+                folded ^= folded >> np.uint64(shift)
+            labels = (labels << np.uint64(1)) | (folded & np.uint64(1))
+        return labels
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON document for the CLI artifact."""
+        return {
+            "schema_version": 1,
+            "address_bits": self.address_bits,
+            "interleave_masks": [hex(m) for m in self.interleave_masks],
+            "kernel_basis": [hex(m) for m in self.kernel_basis],
+            "converged": self.converged,
+            "queries_used": self.queries_used,
+            "budget_limit": self.budget_limit,
+        }
+
+
+@dataclass
+class _KernelLearner:
+    """Incremental RREF basis of observed kernel (same-bank) deltas."""
+
+    basis: List[int] = field(default_factory=list)
+
+    @property
+    def dim(self) -> int:
+        return len(self.basis)
+
+    def knows(self, delta: int) -> bool:
+        return gf2.in_span(delta, self.basis)
+
+    def add(self, delta: int) -> bool:
+        """Insert a kernel vector; returns True if it was new."""
+        if self.knows(delta):
+            return False
+        self.basis = list(gf2.rref(list(self.basis) + [delta]))
+        return True
+
+
+def recover_interleave(
+    oracle: CoDecayOracle,
+    rng: np.random.Generator,
+    expected_interleave_bits: Optional[int] = None,
+    patience: int = 200,
+    known_kernel: Tuple[int, ...] = (),
+) -> RecoveredMapping:
+    """Recover the interleave functions through a co-decay oracle.
+
+    ``expected_interleave_bits`` encodes the attacker's partial
+    knowledge (bank/rank/channel counts from the datasheet): recovery
+    stops the moment the kernel dimension accounts for every other
+    bit.  Without it, recovery stops after ``patience`` consecutive
+    uninformative rounds.  ``known_kernel`` seeds already-known
+    co-located deltas (e.g. column bits from a prior run).
+
+    Never raises on exhaustion: a budget overrun returns a result with
+    ``converged=False`` and whatever structure was learned.
+    """
+    n = oracle.address_bits
+    if n <= 0:
+        raise ValueError("oracle must cover a positive address width")
+    if expected_interleave_bits is not None and not (
+        0 <= expected_interleave_bits < n
+    ):
+        raise ValueError(
+            f"expected_interleave_bits must be in [0, {n}), "
+            f"got {expected_interleave_bits}"
+        )
+    learner = _KernelLearner()
+    for delta in known_kernel:
+        learner.add(delta)
+    target_dim = (
+        None
+        if expected_interleave_bits is None
+        else n - expected_interleave_bits
+    )
+    total = 1 << n
+    converged = False
+    exhausted = False
+
+    def done() -> bool:
+        return target_dim is not None and learner.dim >= target_dim
+
+    try:
+        # Pass 1: single-bit deltas — every bit no function uses is a
+        # kernel vector, learned in one round each.
+        for bit in range(n):
+            if done():
+                break
+            delta = 1 << bit
+            if learner.knows(delta):
+                continue
+            base = int(rng.integers(0, total))
+            if oracle.colocated(base, base ^ delta):
+                learner.add(delta)
+        # Pass 2: random deltas pick up the XOR-folded combinations.
+        stall = 0
+        while not done() and stall < patience:
+            delta = int(rng.integers(1, total))
+            if learner.knows(delta):
+                continue
+            base = int(rng.integers(0, total))
+            if oracle.colocated(base, base ^ delta):
+                # Confirm at a second base before trusting: a false
+                # positive here would corrupt the basis, and kernel
+                # hits are rare enough that the extra round is cheap.
+                confirm = int(rng.integers(0, total))
+                if oracle.colocated(confirm, confirm ^ delta):
+                    learner.add(delta)
+                    stall = 0
+                    continue
+            stall += 1
+        converged = done() or (target_dim is None and learner.dim > 0)
+    except BudgetExceededError:
+        exhausted = True
+
+    masks = gf2.complement_basis(learner.basis, n)
+    return RecoveredMapping(
+        address_bits=n,
+        interleave_masks=masks,
+        kernel_basis=tuple(learner.basis),
+        converged=converged and not exhausted,
+        queries_used=oracle.budget.used,
+        budget_limit=oracle.budget.limit,
+    )
+
+
+def run_recovery(
+    memory: InterleavedApproximateMemory,
+    budget_limit: int,
+    rng: np.random.Generator,
+    repeats: int = 3,
+    probe_error: float = 0.0,
+    expected_interleave_bits: Optional[int] = None,
+    patience: int = 200,
+    metrics: Optional[AddrmapMetrics] = None,
+) -> RecoveredMapping:
+    """End-to-end recovery against one machine (oracle + attacker).
+
+    ``expected_interleave_bits`` defaults to the machine's true
+    interleave width when omitted — the datasheet-knowledge attacker.
+    """
+    if expected_interleave_bits is None:
+        expected_interleave_bits = memory.geometry.layout.interleave_bits
+    budget = QueryBudget(budget_limit)
+    oracle = CoDecayOracle(
+        memory,
+        budget,
+        rng,
+        repeats=repeats,
+        probe_error=probe_error,
+        metrics=metrics,
+    )
+    recovered = recover_interleave(
+        oracle,
+        rng,
+        expected_interleave_bits=expected_interleave_bits,
+        patience=patience,
+    )
+    if metrics is not None:
+        metrics.kernel_dim.set(len(recovered.kernel_basis))
+        metrics.recovery_query_spread.observe(recovered.queries_used)
+        if recovered.converged:
+            metrics.recoveries.inc()
+        else:
+            metrics.recovery_failures.inc()
+    return recovered

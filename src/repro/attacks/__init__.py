@@ -8,6 +8,7 @@ from repro.attacks.eavesdropper import (
     run_interval_model,
     run_stitching_experiment,
 )
+from repro.attacks.mapping_recovery import MappingRecoveryAttacker
 from repro.attacks.pipeline import Attribution, ProbableCause
 from repro.attacks.supply_chain import InterceptionRecord, SupplyChainAttacker
 
@@ -15,6 +16,7 @@ __all__ = [
     "ConvergenceCurve",
     "ConvergencePoint",
     "EavesdropperAttacker",
+    "MappingRecoveryAttacker",
     "expected_suspected_chips",
     "run_interval_model",
     "run_stitching_experiment",

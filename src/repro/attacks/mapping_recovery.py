@@ -1,0 +1,90 @@
+"""Attack scenario (c): the mapping-recovery attacker (DESIGN.md §12).
+
+Before the eavesdropper (or a Rowhammer-adjacent co-location attacker)
+can reason about *physical* DRAM structure, they must reverse-engineer
+the controller's channel/rank/bank interleave functions — the step the
+FP-Rowhammer / DRAMA line of work performs with timing side channels.
+In the approximate-DRAM threat model the same information leaks
+through decay itself: pages sharing a physical bank group share a
+staggered refresh phase, and their decay clusters co-occur.
+
+:class:`MappingRecoveryAttacker` packages the recovery loop of
+:mod:`repro.addrmap.recover` with the attack-facing vocabulary: a
+probe budget, datasheet partial knowledge, and a
+:class:`~repro.addrmap.recover.RecoveredMapping` verdict.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.addrmap.memory import InterleavedApproximateMemory
+from repro.addrmap.recover import (
+    AddrmapMetrics,
+    RecoveredMapping,
+    run_recovery,
+)
+
+
+class MappingRecoveryAttacker:
+    """Recovers unknown XOR interleave functions from co-decay.
+
+    Parameters
+    ----------
+    budget:
+        Hard limit on physical co-decay probes (each majority-vote
+        repeat counts).
+    repeats:
+        Probes per oracle round; the majority suppresses noise.
+    probe_error:
+        Per-probe flip probability of the co-decay observable.
+    expected_interleave_bits:
+        The attacker's datasheet knowledge (channel+rank+bank width);
+        ``None`` means the attacker reads it off the victim's geometry
+        — the fully-informed baseline.
+    patience:
+        Uninformative rounds tolerated before giving up when no
+        expected width is known.
+    """
+
+    def __init__(
+        self,
+        budget: int = 8000,
+        repeats: int = 3,
+        probe_error: float = 0.02,
+        expected_interleave_bits: Optional[int] = None,
+        patience: int = 200,
+        metrics: Optional[AddrmapMetrics] = None,
+    ):
+        self._budget = budget
+        self._repeats = repeats
+        self._probe_error = probe_error
+        self._expected = expected_interleave_bits
+        self._patience = patience
+        self._metrics = metrics
+        self._last: Optional[RecoveredMapping] = None
+
+    @property
+    def last_recovery(self) -> Optional[RecoveredMapping]:
+        """Most recent recovery result, if any."""
+        return self._last
+
+    def recover(
+        self,
+        memory: InterleavedApproximateMemory,
+        rng: np.random.Generator,
+    ) -> RecoveredMapping:
+        """Run the budgeted recovery against one machine."""
+        self._last = run_recovery(
+            memory,
+            budget_limit=self._budget,
+            rng=rng,
+            repeats=self._repeats,
+            probe_error=self._probe_error,
+            expected_interleave_bits=self._expected,
+            patience=self._patience,
+            metrics=self._metrics,
+        )
+        return self._last

@@ -18,6 +18,10 @@ Usage::
     python -m repro repair --store DB         # recover + quarantine damage
     python -m repro lint                      # repo invariant checker
     python -m repro lint --list-rules         # the rule catalogue
+    python -m repro addrmap show --preset ddr2-xor   # mapping layout
+    python -m repro addrmap recover --preset ddr2-xor --seed 2015 \\
+        --budget 8000 --output recovered.json \\
+        --obs-dir obs                         # mapping-recovery attack
     python -m repro obs summary --trace obs/trace.jsonl \\
         --metrics obs/metrics.json            # validate observability
     python -m repro obs export --trace obs/trace.jsonl \\
@@ -75,6 +79,8 @@ from repro.analysis.reporting import (
     save_experiment_report,
     set_results_dir,
 )
+from repro.addrmap.cli import configure_parser as configure_addrmap_parser
+from repro.addrmap.cli import run_addrmap
 from repro.experiments import experiment_ids, run_experiment
 from repro.lint.cli import configure_parser as configure_lint_parser
 from repro.lint.cli import run_lint
@@ -368,6 +374,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "run ledger (see DESIGN.md §11)",
     )
     configure_obs_parser(obs_parser)
+
+    addrmap_parser = subparsers.add_parser(
+        "addrmap",
+        help="physical address mappings: inspect presets, run the "
+        "mapping-recovery attacker (see DESIGN.md §12)",
+    )
+    configure_addrmap_parser(addrmap_parser)
     return parser
 
 
@@ -743,6 +756,7 @@ def _run_service_command(
         "quarantine": _quarantine,
         "verify-store": _verify_store,
         "repair": _repair,
+        "addrmap": run_addrmap,
     }[args.command]
     obs_dir = getattr(args, "obs_dir", None)
     tracer: Optional[Tracer] = None
@@ -806,6 +820,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "quarantine",
         "verify-store",
         "repair",
+        "addrmap",
     ):
         return _run_service_command(args, raw_argv)
     if args.command == "list":

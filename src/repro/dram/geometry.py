@@ -46,6 +46,14 @@ class ChipGeometry:
         for name in ("rows", "cols", "bits_per_word", "default_stripe_rows"):
             if getattr(self, name) <= 0:
                 raise ValueError(f"{name} must be positive")
+        if self.rows % self.default_stripe_rows != 0:
+            # A partial trailing stripe would give the last rows a
+            # default pattern no real part exhibits and break the
+            # stripe symmetry §2 describes.
+            raise ValueError(
+                f"default_stripe_rows={self.default_stripe_rows} must "
+                f"divide rows={self.rows} (stripes may not end mid-array)"
+            )
 
     @property
     def bits_per_row(self) -> int:

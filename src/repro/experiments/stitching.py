@@ -1,18 +1,39 @@
-"""Figure 13 — eavesdropper fingerprint-stitching convergence."""
+"""Figure 13 — eavesdropper fingerprint-stitching convergence.
+
+PR 6 extends the experiment with a physical address-mapping axis
+(DESIGN.md §12): ``run`` now takes an explicit
+:class:`~repro.addrmap.MappedGeometry`.  The default (``None``) is the
+flat geometry the paper's KM41464A platform implies, and reproduces
+the pre-addrmap output byte-for-byte.  An interleaved geometry runs
+the mapping-recovery attacker first (within a tracked query budget),
+then the stitching attack, and reports the physical coverage of the
+dominant assembly through both the recovered and the true mapping.
+"""
 
 from __future__ import annotations
 
+import dataclasses
+from typing import List, Optional
+
 import numpy as np
 
+from repro.addrmap import (
+    MappedGeometry,
+    ddr2_xor_mapping,
+    register_addrmap_metrics,
+)
+from repro.addrmap.memory import InterleavedApproximateMemory
 from repro.attacks import (
     ConvergenceCurve,
+    EavesdropperAttacker,
+    MappingRecoveryAttacker,
     expected_suspected_chips,
     run_interval_model,
     run_stitching_experiment,
 )
 from repro.experiments.base import ExperimentReport, register
+from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import span as obs_span
-from repro.system import ModeledApproximateMemory, PhysicalMemoryMap
 
 #: Paper scale: 1 GB of 4 KB pages, 10 MB samples.
 PAPER_TOTAL_PAGES = 262_144
@@ -21,6 +42,9 @@ PAPER_SAMPLE_PAGES = 2_560
 #: Scaled pipeline size preserving the total/sample ratio of 102.4.
 SCALED_TOTAL_PAGES = 8_192
 SCALED_SAMPLE_PAGES = 80
+
+#: Default co-decay probe budget for the recovery phase (fig13x).
+DEFAULT_RECOVERY_BUDGET = 8_000
 
 
 def render_curve(curve: ConvergenceCurve, width: int = 50) -> str:
@@ -35,9 +59,24 @@ def render_curve(curve: ConvergenceCurve, width: int = 50) -> str:
     return "\n".join(lines)
 
 
-def run(n_samples: int = 1000, seed: int = 13, record_every: int = 25) -> ExperimentReport:
+def run(
+    n_samples: int = 1000,
+    seed: int = 13,
+    record_every: int = 25,
+    geometry: Optional[MappedGeometry] = None,
+    recovery_budget: int = DEFAULT_RECOVERY_BUDGET,
+    registry: Optional[MetricsRegistry] = None,
+) -> ExperimentReport:
     """Reproduce Figure 13 at paper scale (interval model) and scaled
-    full-fingerprint stitching."""
+    full-fingerprint stitching.
+
+    ``geometry=None`` selects the flat mapping (the paper's platform)
+    and is byte-identical to the historical report.  An interleaved
+    geometry inserts a mapping-recovery phase before stitching; its
+    convergence lands in ``repro_addrmap_*`` metrics on ``registry``
+    (one is created internally when not supplied) and in the report's
+    ``addrmap_*`` metric keys.
+    """
     with obs_span(
         "experiment.fig13.interval_model", n_samples=n_samples, seed=seed
     ):
@@ -48,10 +87,28 @@ def run(n_samples: int = 1000, seed: int = 13, record_every: int = 25) -> Experi
             rng=np.random.default_rng(seed),
             record_every=record_every,
         )
-    machine = ModeledApproximateMemory(
-        chip_seed=seed,
-        memory_map=PhysicalMemoryMap(total_pages=SCALED_TOTAL_PAGES),
-    )
+    if geometry is None:
+        geometry = MappedGeometry.flat(SCALED_TOTAL_PAGES)
+    machine = InterleavedApproximateMemory(chip_seed=seed, geometry=geometry)
+    recovered = None
+    addrmap_metrics = {}
+    if geometry.is_interleaved:
+        if registry is None:
+            registry = MetricsRegistry()
+        metrics = register_addrmap_metrics(registry)
+        recovery_attacker = MappingRecoveryAttacker(
+            budget=recovery_budget, metrics=metrics
+        )
+        with obs_span(
+            "experiment.fig13.addrmap_recover",
+            seed=seed,
+            budget=recovery_budget,
+            interleave_bits=geometry.layout.interleave_bits,
+        ):
+            recovered = recovery_attacker.recover(
+                machine, np.random.default_rng(seed + 0x5EED)
+            )
+    attacker = EavesdropperAttacker()
     with obs_span(
         "experiment.fig13.stitching", n_samples=n_samples, seed=seed
     ):
@@ -61,6 +118,7 @@ def run(n_samples: int = 1000, seed: int = 13, record_every: int = 25) -> Experi
             sample_pages=SCALED_SAMPLE_PAGES,
             rng=np.random.default_rng(seed),
             record_every=record_every,
+            attacker=attacker,
         )
     analytic_peak_n = PAPER_TOTAL_PAGES / PAPER_SAMPLE_PAGES
     analytic_rows = [
@@ -68,44 +126,144 @@ def run(n_samples: int = 1000, seed: int = 13, record_every: int = 25) -> Experi
         f"{expected_suspected_chips(n, PAPER_TOTAL_PAGES, PAPER_SAMPLE_PAGES):.1f}"
         for n in (25, 50, 102, 250, 500, 1000)
     ]
-    text = "\n".join(
-        [
-            "(a) interval model at paper scale (1 GB memory, 10 MB samples):",
-            render_curve(model_curve),
-            f"    peak: {model_curve.peak.suspected_chips} suspects at "
-            f"{model_curve.peak.samples} samples; final: "
-            f"{model_curve.final.suspected_chips}",
-            "",
-            "(b) full fingerprint stitching at scaled size "
-            "(same memory/sample ratio 102.4):",
-            render_curve(stitch_curve),
-            f"    peak: {stitch_curve.peak.suspected_chips} suspects at "
-            f"{stitch_curve.peak.samples} samples; final: "
-            f"{stitch_curve.final.suspected_chips}",
-            "",
-            "(c) closed form E[clusters] = 1 + (n-1) exp(-nL/M) "
-            f"(peak at n = M/L = {analytic_peak_n:.0f}):",
-            *analytic_rows,
-            "",
-            "paper: peak ~35 suspects, convergence begins ~90 samples, "
-            "single fingerprint by 1000 samples",
-        ]
-    )
+    lines = [
+        "(a) interval model at paper scale (1 GB memory, 10 MB samples):",
+        render_curve(model_curve),
+        f"    peak: {model_curve.peak.suspected_chips} suspects at "
+        f"{model_curve.peak.samples} samples; final: "
+        f"{model_curve.final.suspected_chips}",
+        "",
+        "(b) full fingerprint stitching at scaled size "
+        "(same memory/sample ratio 102.4):",
+        render_curve(stitch_curve),
+        f"    peak: {stitch_curve.peak.suspected_chips} suspects at "
+        f"{stitch_curve.peak.samples} samples; final: "
+        f"{stitch_curve.final.suspected_chips}",
+        "",
+        "(c) closed form E[clusters] = 1 + (n-1) exp(-nL/M) "
+        f"(peak at n = M/L = {analytic_peak_n:.0f}):",
+        *analytic_rows,
+        "",
+        "paper: peak ~35 suspects, convergence begins ~90 samples, "
+        "single fingerprint by 1000 samples",
+    ]
+    metrics_out = {
+        "model_peak_suspects": float(model_curve.peak.suspected_chips),
+        "model_peak_samples": float(model_curve.peak.samples),
+        "model_final": float(model_curve.final.suspected_chips),
+        "stitch_peak_suspects": float(stitch_curve.peak.suspected_chips),
+        "stitch_peak_samples": float(stitch_curve.peak.samples),
+        "stitch_final": float(stitch_curve.final.suspected_chips),
+    }
+    if recovered is not None:
+        addrmap_metrics = _addrmap_section(
+            geometry, recovered, attacker, recovery_budget, lines
+        )
+        metrics_out.update(addrmap_metrics)
     return ExperimentReport(
         experiment_id="fig13",
         title="suspected chips vs samples collected",
-        text=text,
-        metrics={
-            "model_peak_suspects": float(model_curve.peak.suspected_chips),
-            "model_peak_samples": float(model_curve.peak.samples),
-            "model_final": float(model_curve.final.suspected_chips),
-            "stitch_peak_suspects": float(stitch_curve.peak.suspected_chips),
-            "stitch_peak_samples": float(stitch_curve.peak.samples),
-            "stitch_final": float(stitch_curve.final.suspected_chips),
-        },
+        text="\n".join(lines),
+        metrics=metrics_out,
+    )
+
+
+def _addrmap_section(
+    geometry: MappedGeometry,
+    recovered,
+    attacker: EavesdropperAttacker,
+    recovery_budget: int,
+    lines: List[str],
+) -> dict:
+    """Append section (d) to the report and return its metric keys.
+
+    Assembly offsets are only relative (the attacker never learns an
+    absolute base), so physical coverage is computed over the dominant
+    assembly's base-normalised pages: exact once stitching converges
+    to a full-memory assembly, approximate before that.
+    """
+    dominant = max(
+        attacker.stitcher.assemblies(),
+        key=lambda assembly: assembly.known_pages,
+        default=None,
+    )
+    pages = np.asarray(
+        sorted(dominant.pages) if dominant is not None else [],
+        dtype=np.int64,
+    )
+    if pages.size:
+        pages = pages - pages.min()
+        pages = pages[pages < geometry.total_pages]
+    bank_classes = (
+        int(np.unique(recovered.bank_classes(pages)).size) if pages.size else 0
+    )
+    coverage = geometry.coverage(pages.astype(np.uint64))
+    status = "recovered" if recovered.converged else "NOT recovered"
+    matches = recovered.matches(geometry.mapping)
+    lines.extend(
+        [
+            "",
+            f"(d) physical mapping [{geometry.describe()}]:",
+            f"    recovery: {status} in {recovered.queries_used} co-decay "
+            f"probes (budget {recovery_budget}); matches true interleave: "
+            f"{'yes' if matches else 'no'}",
+            f"    dominant assembly: {int(pages.size)} pages across "
+            f"{bank_classes} recovered bank classes; true-geometry "
+            f"coverage: {coverage.rows_touched} rows touched, "
+            f"{coverage.rows_complete} complete, "
+            f"{coverage.banks_touched} banks",
+        ]
+    )
+    out = {
+        "addrmap_interleave_bits": float(geometry.layout.interleave_bits),
+        "addrmap_recovered": 1.0 if recovered.converged else 0.0,
+        "addrmap_matches_truth": 1.0 if matches else 0.0,
+        "addrmap_recovery_queries": float(recovered.queries_used),
+        "addrmap_recovery_budget": float(recovery_budget),
+        "addrmap_kernel_dim": float(len(recovered.kernel_basis)),
+        "addrmap_bank_classes_covered": float(bank_classes),
+    }
+    out.update(coverage.to_metrics())
+    return out
+
+
+def run_interleaved(
+    n_samples: int = 1000,
+    seed: int = 13,
+    record_every: int = 25,
+    recovery_budget: int = DEFAULT_RECOVERY_BUDGET,
+    registry: Optional[MetricsRegistry] = None,
+) -> ExperimentReport:
+    """Figure 13 over the DDR2 XOR-folded interleave (fig13x).
+
+    The attacker first recovers the unknown interleave functions from
+    co-decay probes, then runs the stitching attack against the same
+    machine; the report gains section (d) and ``addrmap_*`` metrics.
+    """
+    geometry = MappedGeometry(
+        mapping=ddr2_xor_mapping(address_bits=13),
+        total_pages=SCALED_TOTAL_PAGES,
+    )
+    report = run(
+        n_samples=n_samples,
+        seed=seed,
+        record_every=record_every,
+        geometry=geometry,
+        recovery_budget=recovery_budget,
+        registry=registry,
+    )
+    return dataclasses.replace(
+        report,
+        experiment_id="fig13x",
+        title="stitching convergence over recovered DDR2 XOR interleave",
     )
 
 
 @register("fig13")
 def _run_default() -> ExperimentReport:
     return run()
+
+
+@register("fig13x")
+def _run_interleaved() -> ExperimentReport:
+    return run_interleaved()

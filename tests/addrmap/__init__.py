@@ -1,0 +1,1 @@
+"""Tests for the physical address-mapping layer (DESIGN.md §12)."""

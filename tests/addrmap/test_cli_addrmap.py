@@ -1,0 +1,116 @@
+"""Tests for the ``repro addrmap`` CLI subcommands."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import LEDGER_NAME
+
+
+@pytest.fixture(autouse=True)
+def isolated_results_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "results"))
+    return tmp_path / "results"
+
+
+class TestShow:
+    def test_show_prints_layout_and_masks(self, capsys):
+        assert main(["addrmap", "show", "--preset", "ddr2-xor"]) == 0
+        out = capsys.readouterr().out
+        assert "13-bit interleaved mapping" in out
+        assert "physical bit  0" in out
+        assert "bijection verified over 8192 pages" in out
+
+    def test_show_json_round_trips(self, capsys):
+        assert main(["addrmap", "show", "--preset", "ddr2-xor", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema_version"] == 1
+        assert len(payload["masks"]) == 13
+
+    def test_unknown_widths_are_usage_errors(self, capsys):
+        assert (
+            main(["addrmap", "show", "--preset", "km41464a", "--address-bits", "9"])
+            == 2
+        )
+        assert "fixed 8-bit" in capsys.readouterr().err
+
+
+class TestRecover:
+    def test_recover_writes_artifact_and_metrics(
+        self, tmp_path, capsys, isolated_results_dir
+    ):
+        output = tmp_path / "recovered.json"
+        obs_dir = tmp_path / "obs"
+        code = main(
+            [
+                "addrmap",
+                "recover",
+                "--preset",
+                "ddr2-xor",
+                "--seed",
+                "2015",
+                "--budget",
+                "8000",
+                "--output",
+                str(output),
+                "--obs-dir",
+                str(obs_dir),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "addrmap recovered" in out
+        assert "matches truth: yes" in out
+        document = json.loads(output.read_text())
+        assert document["success"] is True
+        assert document["matches_truth"] is True
+        assert document["recovered"]["converged"] is True
+        assert document["recovered"]["queries_used"] <= 8000
+        # Observability artifacts: metrics via the registry, the trace
+        # via the shared service-command wrapper.
+        assert (obs_dir / "metrics.json").exists()
+        assert "repro_addrmap_recoveries_total 1" in (
+            obs_dir / "metrics.prom"
+        ).read_text()
+        assert (obs_dir / "trace.jsonl").exists()
+        # The run lands in the obs run ledger.
+        ledger = (isolated_results_dir / LEDGER_NAME).read_text()
+        assert '"command":"addrmap"' in ledger
+
+    def test_exhausted_budget_exits_one(self, capsys):
+        code = main(
+            [
+                "addrmap",
+                "recover",
+                "--preset",
+                "ddr2-xor",
+                "--budget",
+                "20",
+                "--quiet",
+            ]
+        )
+        assert code == 1
+        assert "NOT recovered" in capsys.readouterr().out
+
+    def test_recover_json_report(self, capsys):
+        code = main(
+            [
+                "addrmap",
+                "recover",
+                "--preset",
+                "flat",
+                "--seed",
+                "2015",
+                "--budget",
+                "8000",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["preset"] == "flat"
+        assert payload["success"] is True
+        assert payload["true_interleave_span"] == []

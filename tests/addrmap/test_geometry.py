@@ -1,0 +1,97 @@
+"""Tests for MappedGeometry: restriction closure and coverage."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.addrmap import (
+    FieldLayout,
+    MappedGeometry,
+    MappingError,
+    ddr2_xor_mapping,
+    flat_mapping,
+)
+from repro.dram import KM41464A
+
+
+class TestRestriction:
+    def test_full_space_needs_no_closure_check(self):
+        geometry = MappedGeometry(mapping=ddr2_xor_mapping(13))
+        assert geometry.total_pages == 8192
+        assert geometry.is_interleaved
+
+    def test_flat_supports_non_power_of_two_page_counts(self):
+        # 300 pages under an identity map: the restriction is closed.
+        geometry = MappedGeometry.flat(300)
+        assert geometry.total_pages == 300
+        assert geometry.physical_page(299) == 299
+        pages = np.arange(300, dtype=np.uint64)
+        assert np.array_equal(geometry.physical_pages(pages), pages)
+
+    def test_interleaved_restriction_must_be_closed(self):
+        # An XOR-folded map scatters the first 5000 pages outside
+        # [0, 5000), so the restriction is not a bijection there.
+        with pytest.raises(MappingError, match="not closed"):
+            MappedGeometry(mapping=ddr2_xor_mapping(13), total_pages=5000)
+
+    def test_rejects_bad_page_counts(self):
+        mapping = flat_mapping(4)
+        with pytest.raises(MappingError):
+            MappedGeometry(mapping=mapping, total_pages=0)
+        with pytest.raises(MappingError):
+            MappedGeometry(mapping=mapping, total_pages=17)
+
+    def test_out_of_range_translations_rejected(self):
+        geometry = MappedGeometry.flat(10)
+        with pytest.raises(IndexError):
+            geometry.physical_page(10)
+        with pytest.raises(IndexError):
+            geometry.logical_page(-1)
+        with pytest.raises(IndexError):
+            geometry.physical_pages(np.array([3, 10], dtype=np.uint64))
+
+    def test_for_chip_defaults_to_flat_rows(self):
+        geometry = MappedGeometry.for_chip(KM41464A.geometry)
+        assert geometry.total_pages == 256
+        assert geometry.is_flat
+        assert not geometry.is_interleaved
+
+
+class TestCoverage:
+    def test_full_space_coverage(self):
+        geometry = MappedGeometry(mapping=ddr2_xor_mapping(13))
+        coverage = geometry.coverage(np.arange(8192, dtype=np.uint64))
+        assert coverage.pages == 8192
+        assert coverage.rows_touched == 4096
+        assert coverage.rows_complete == 4096
+        assert coverage.banks_touched == 16
+        assert coverage.channels_touched == 2
+
+    def test_empty_coverage(self):
+        geometry = MappedGeometry(mapping=ddr2_xor_mapping(13))
+        coverage = geometry.coverage(np.array([], dtype=np.uint64))
+        assert coverage.pages == 0
+        assert coverage.rows_touched == 0
+
+    def test_partial_row_is_touched_not_complete(self):
+        layout = FieldLayout(column_bits=2, row_bits=3)
+        geometry = MappedGeometry(mapping=flat_mapping(5, layout))
+        assert geometry.pages_per_row == 4
+        coverage = geometry.coverage([0, 1, 2])
+        assert coverage.rows_touched == 1
+        assert coverage.rows_complete == 0
+        full_row = geometry.coverage([0, 1, 2, 3])
+        assert full_row.rows_complete == 1
+
+    def test_to_metrics_keys(self):
+        geometry = MappedGeometry.flat(16)
+        metrics = geometry.coverage([0, 1]).to_metrics()
+        assert metrics["addrmap_pages_covered"] == 2.0
+        assert set(metrics) == {
+            "addrmap_pages_covered",
+            "addrmap_rows_touched",
+            "addrmap_rows_complete",
+            "addrmap_banks_touched",
+            "addrmap_channels_touched",
+        }

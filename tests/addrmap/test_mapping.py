@@ -1,0 +1,178 @@
+"""Property tests for GF(2) mapping functions (DESIGN.md §12)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.addrmap import (
+    FieldLayout,
+    MappingError,
+    MappingFunction,
+    ddr2_linear_mapping,
+    ddr2_xor_mapping,
+    flat_mapping,
+    km41464a_mapping,
+    preset_mapping,
+    random_mapping,
+)
+from repro.addrmap.gf2 import complement_basis, in_span, invert, rank, rref
+
+PRESET_BUILDERS = {
+    "flat": lambda: flat_mapping(13),
+    "km41464a": km41464a_mapping,
+    "ddr2-linear": lambda: ddr2_linear_mapping(13),
+    "ddr2-xor": lambda: ddr2_xor_mapping(13),
+}
+
+
+def assert_bijection(mapping: MappingFunction) -> None:
+    """Full-space bijection check: round trip + permutation image."""
+    pages = np.arange(mapping.total_pages, dtype=np.uint64)
+    physical = np.asarray(mapping.to_physical(pages))
+    assert np.array_equal(np.sort(physical), pages)
+    assert np.array_equal(np.asarray(mapping.to_logical(physical)), pages)
+
+
+layouts = st.builds(
+    FieldLayout,
+    column_bits=st.integers(min_value=0, max_value=2),
+    channel_bits=st.integers(min_value=0, max_value=2),
+    rank_bits=st.integers(min_value=0, max_value=1),
+    bank_bits=st.integers(min_value=0, max_value=3),
+    row_bits=st.integers(min_value=1, max_value=5),
+)
+
+
+class TestGf2:
+    def test_rref_is_canonical_under_row_ops(self):
+        basis = (0b1101, 0b0110, 0b0011)
+        shuffled = (0b0110, 0b1101 ^ 0b0110, 0b0011 ^ 0b1101)
+        assert rref(basis) == rref(shuffled)
+
+    def test_complement_basis_completes_the_space(self):
+        basis = rref((0b1100, 0b0110))
+        complement = complement_basis(basis, 4)
+        assert rank(basis + complement) == 4
+        for vector in complement:
+            assert not in_span(vector, basis)
+
+    def test_invert_rejects_singular(self):
+        assert invert((0b01, 0b01), 2) is None
+
+
+class TestPresets:
+    @pytest.mark.parametrize("name", sorted(PRESET_BUILDERS))
+    def test_preset_is_bijection(self, name):
+        assert_bijection(PRESET_BUILDERS[name]())
+
+    def test_flat_and_km41464a_are_flat(self):
+        assert flat_mapping(13).is_flat
+        assert km41464a_mapping().is_flat
+        assert not ddr2_linear_mapping(13).is_flat
+
+    def test_km41464a_matches_paper_geometry(self):
+        mapping = km41464a_mapping()
+        assert mapping.total_pages == 256
+        assert mapping.layout.interleave_bits == 0
+        assert mapping.interleave_span() == ()
+
+    def test_ddr2_xor_differs_from_linear_only_in_interleave(self):
+        linear = ddr2_linear_mapping(13)
+        xor = ddr2_xor_mapping(13)
+        assert linear.field_masks("row") == xor.field_masks("row")
+        assert linear.field_masks("column") == xor.field_masks("column")
+        assert linear.interleave_span() != xor.interleave_span()
+
+    def test_preset_lookup_rejects_unknown(self):
+        with pytest.raises(MappingError):
+            preset_mapping("ddr5-fancy")
+
+    def test_singular_masks_rejected(self):
+        layout = FieldLayout(row_bits=2)
+        with pytest.raises(MappingError, match="singular"):
+            MappingFunction(layout=layout, masks=(0b01, 0b01))
+
+    def test_mask_count_and_range_validated(self):
+        layout = FieldLayout(row_bits=2)
+        with pytest.raises(MappingError, match="masks"):
+            MappingFunction(layout=layout, masks=(0b01,))
+        with pytest.raises(MappingError, match="outside"):
+            MappingFunction(layout=layout, masks=(0b01, 0b100))
+
+    def test_json_round_trip(self):
+        mapping = ddr2_xor_mapping(13)
+        clone = MappingFunction.from_json(mapping.to_json())
+        assert clone == mapping
+        with pytest.raises(MappingError, match="schema_version"):
+            MappingFunction.from_json({"schema_version": 99})
+
+
+class TestTranslationProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(layouts, st.integers(min_value=0, max_value=2**31 - 1))
+    def test_random_mapping_is_bijection(self, layout, seed):
+        mapping = random_mapping(layout, np.random.default_rng(seed))
+        assert_bijection(mapping)
+
+    @settings(max_examples=40, deadline=None)
+    @given(layouts, st.integers(min_value=0, max_value=2**31 - 1))
+    def test_batch_agrees_with_scalar_reference(self, layout, seed):
+        mapping = random_mapping(layout, np.random.default_rng(seed))
+        pages = np.arange(mapping.total_pages, dtype=np.uint64)
+        physical = np.asarray(mapping.to_physical(pages))
+        for page in range(mapping.total_pages):
+            assert int(physical[page]) == mapping.to_physical_scalar(page)
+            assert (
+                mapping.to_logical_scalar(int(physical[page])) == page
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        layouts,
+        st.integers(min_value=0, max_value=2**31 - 1),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_colocation_depends_only_on_delta(self, layout, seed, page_seed):
+        mapping = random_mapping(layout, np.random.default_rng(seed))
+        rng = np.random.default_rng(page_seed)
+        total = mapping.total_pages
+        a, b, shift = (int(v) for v in rng.integers(0, total, size=3))
+        fields = ("channel", "rank", "bank")
+        assert mapping.colocated(a, b, fields) == mapping.colocated(
+            a ^ shift, b ^ shift, fields
+        )
+
+    def test_degenerate_single_bank_has_empty_interleave(self):
+        # channel/rank/bank all width zero: everything is co-located.
+        layout = FieldLayout(column_bits=1, row_bits=4)
+        mapping = random_mapping(layout, np.random.default_rng(7))
+        assert_bijection(mapping)
+        assert mapping.interleave_span() == ()
+        assert mapping.same_bank_group(3, 29)
+
+    def test_one_bit_address_space(self):
+        layout = FieldLayout(row_bits=1)
+        mapping = random_mapping(layout, np.random.default_rng(0))
+        assert_bijection(mapping)
+
+    def test_out_of_range_pages_rejected(self):
+        mapping = flat_mapping(4)
+        with pytest.raises(IndexError):
+            mapping.to_physical_scalar(16)
+        with pytest.raises(IndexError):
+            mapping.to_physical(np.array([3, 16], dtype=np.uint64))
+
+    def test_decompose_matches_coordinates(self):
+        mapping = ddr2_xor_mapping(13)
+        pages = np.arange(64, dtype=np.uint64)
+        coords = mapping.coordinates(pages)
+        for page in range(64):
+            scalar = mapping.decompose(page)
+            assert scalar.channel == int(coords["channel"][page])
+            assert scalar.rank == int(coords["rank"][page])
+            assert scalar.bank == int(coords["bank"][page])
+            assert scalar.row == int(coords["row"][page])
+            assert scalar.column == int(coords["column"][page])

@@ -1,0 +1,152 @@
+"""Tests for mapping recovery: the ISSUE's three seeded configs + noise."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.addrmap import (
+    BudgetExceededError,
+    CoDecayOracle,
+    InterleavedApproximateMemory,
+    MappedGeometry,
+    QueryBudget,
+    ddr2_linear_mapping,
+    ddr2_xor_mapping,
+    flat_mapping,
+    register_addrmap_metrics,
+    run_recovery,
+)
+from repro.attacks import MappingRecoveryAttacker
+from repro.obs import MetricsRegistry
+
+BUDGET = 8000
+
+SEEDED_CONFIGS = {
+    "flat": flat_mapping(13),
+    "ddr2-linear": ddr2_linear_mapping(13),
+    "ddr2-xor": ddr2_xor_mapping(13),
+}
+
+
+def _machine(mapping, seed=2015):
+    return InterleavedApproximateMemory(
+        chip_seed=seed, geometry=MappedGeometry(mapping=mapping)
+    )
+
+
+class TestQueryBudget:
+    def test_charges_until_exhausted(self):
+        budget = QueryBudget(3)
+        budget.charge(2)
+        assert budget.used == 2
+        assert budget.remaining == 1
+        budget.charge()
+        with pytest.raises(BudgetExceededError):
+            budget.charge()
+        assert budget.used == 3
+
+    def test_rejects_nonpositive_limit(self):
+        with pytest.raises(ValueError):
+            QueryBudget(0)
+
+
+class TestRecovery:
+    @pytest.mark.parametrize("name", sorted(SEEDED_CONFIGS))
+    def test_recovers_seeded_configs_within_budget(self, name):
+        # The ISSUE's acceptance gate: flat, DDR2 linear and XOR-folded
+        # mappings all recovered within the tracked budget, under noise.
+        mapping = SEEDED_CONFIGS[name]
+        recovered = run_recovery(
+            _machine(mapping),
+            budget_limit=BUDGET,
+            rng=np.random.default_rng(2015),
+            repeats=3,
+            probe_error=0.02,
+        )
+        assert recovered.converged
+        assert recovered.matches(mapping)
+        assert recovered.queries_used <= BUDGET
+
+    def test_recovery_is_deterministic_for_a_seed(self):
+        mapping = SEEDED_CONFIGS["ddr2-xor"]
+        runs = [
+            run_recovery(
+                _machine(mapping),
+                budget_limit=BUDGET,
+                rng=np.random.default_rng(7),
+                probe_error=0.02,
+            )
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+
+    def test_budget_exhaustion_reports_not_converged(self):
+        recovered = run_recovery(
+            _machine(SEEDED_CONFIGS["ddr2-xor"]),
+            budget_limit=20,
+            rng=np.random.default_rng(2015),
+        )
+        assert not recovered.converged
+        assert recovered.queries_used <= 20
+
+    def test_oracle_majority_vote_suppresses_noise(self):
+        machine = _machine(SEEDED_CONFIGS["ddr2-xor"])
+        truth = machine.geometry.mapping.same_bank_group(0, 12)
+        oracle = CoDecayOracle(
+            machine,
+            QueryBudget(100_000),
+            np.random.default_rng(3),
+            repeats=5,
+            probe_error=0.1,
+        )
+        answers = [oracle.colocated(0, 12) for _ in range(200)]
+        assert sum(answer == truth for answer in answers) >= 195
+
+    def test_metrics_are_updated(self):
+        registry = MetricsRegistry()
+        metrics = register_addrmap_metrics(registry)
+        recovered = run_recovery(
+            _machine(SEEDED_CONFIGS["ddr2-xor"]),
+            budget_limit=BUDGET,
+            rng=np.random.default_rng(2015),
+            probe_error=0.02,
+            metrics=metrics,
+        )
+        snapshot = {
+            family["name"]: family
+            for family in registry.snapshot()["families"]
+        }
+        queries = snapshot["repro_addrmap_recovery_queries_total"]
+        assert queries["samples"][0]["value"] == float(recovered.queries_used)
+        assert (
+            snapshot["repro_addrmap_recoveries_total"]["samples"][0]["value"]
+            == 1.0
+        )
+        assert snapshot["repro_addrmap_kernel_dim"]["samples"][0][
+            "value"
+        ] == float(len(recovered.kernel_basis))
+
+    def test_attacker_wrapper_tracks_last_recovery(self):
+        attacker = MappingRecoveryAttacker(budget=BUDGET, probe_error=0.02)
+        assert attacker.last_recovery is None
+        mapping = SEEDED_CONFIGS["ddr2-linear"]
+        recovered = attacker.recover(
+            _machine(mapping), np.random.default_rng(11)
+        )
+        assert attacker.last_recovery is recovered
+        assert recovered.matches(mapping)
+
+    def test_bank_classes_are_relabeling_invariant_counts(self):
+        mapping = SEEDED_CONFIGS["ddr2-xor"]
+        recovered = run_recovery(
+            _machine(mapping),
+            budget_limit=BUDGET,
+            rng=np.random.default_rng(2015),
+        )
+        pages = np.arange(8192, dtype=np.uint64)
+        labels = recovered.bank_classes(pages)
+        # 4 interleave bits -> 16 equally-sized classes.
+        values, counts = np.unique(labels, return_counts=True)
+        assert values.size == 16
+        assert np.all(counts == 512)

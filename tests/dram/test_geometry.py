@@ -24,6 +24,17 @@ class TestDimensions:
             ChipGeometry(rows=0, cols=4)
         with pytest.raises(ValueError):
             ChipGeometry(rows=4, cols=4, bits_per_word=0)
+        with pytest.raises(ValueError):
+            ChipGeometry(rows=4, cols=4, default_stripe_rows=0)
+
+    def test_rejects_stripe_not_dividing_rows(self):
+        with pytest.raises(ValueError, match="must divide rows"):
+            ChipGeometry(rows=5, cols=4, default_stripe_rows=2)
+        with pytest.raises(ValueError, match="must divide rows"):
+            ChipGeometry(rows=8, cols=4, default_stripe_rows=3)
+        # Whole-array stripes and exact divisors stay legal.
+        ChipGeometry(rows=6, cols=4, default_stripe_rows=6)
+        ChipGeometry(rows=6, cols=4, default_stripe_rows=3)
 
 
 class TestAddressMapping:
@@ -88,9 +99,11 @@ class TestDefaults:
     st.integers(min_value=1, max_value=16),
     st.integers(min_value=1, max_value=16),
     st.integers(min_value=1, max_value=4),
-    st.integers(min_value=1, max_value=5),
+    st.data(),
 )
-def test_default_and_charged_are_complementary(rows, cols, bits_per_word, stripe):
+def test_default_and_charged_are_complementary(rows, cols, bits_per_word, data):
+    divisors = [d for d in range(1, rows + 1) if rows % d == 0]
+    stripe = data.draw(st.sampled_from(divisors), label="stripe")
     geometry = ChipGeometry(
         rows=rows, cols=cols, bits_per_word=bits_per_word,
         default_stripe_rows=stripe,

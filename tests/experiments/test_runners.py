@@ -75,3 +75,29 @@ class TestStandaloneRunners:
         report = stitching.run(n_samples=150, record_every=10)
         assert report.metrics["model_peak_suspects"] > 1
         assert "interval model" in report.text
+
+    def test_stitching_default_equals_explicit_flat_geometry(self):
+        # Satellite 1: the geometry parameter with a flat default must
+        # be byte-identical to the historical (pre-addrmap) report.
+        from repro.addrmap import MappedGeometry
+
+        implicit = stitching.run(n_samples=120, record_every=20)
+        explicit = stitching.run(
+            n_samples=120,
+            record_every=20,
+            geometry=MappedGeometry.flat(stitching.SCALED_TOTAL_PAGES),
+        )
+        assert implicit.text == explicit.text
+        assert dict(implicit.metrics) == dict(explicit.metrics)
+        assert "addrmap_recovered" not in implicit.metrics
+
+    def test_stitching_interleaved_recovers_then_stitches(self):
+        report = stitching.run_interleaved(n_samples=150, record_every=25)
+        assert report.experiment_id == "fig13x"
+        assert report.metrics["addrmap_recovered"] == 1.0
+        assert report.metrics["addrmap_matches_truth"] == 1.0
+        assert (
+            report.metrics["addrmap_recovery_queries"]
+            <= report.metrics["addrmap_recovery_budget"]
+        )
+        assert "(d) physical mapping" in report.text
