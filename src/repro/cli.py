@@ -71,7 +71,7 @@ import json
 import sys
 import time
 from pathlib import Path
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.analysis.reporting import (
     load_saved_metrics,
@@ -359,6 +359,67 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="emit the full repair report as JSON on stdout",
+    )
+    repair_parser.add_argument(
+        "--prune-quarantine",
+        action="store_true",
+        help="also delete quarantined segment files older than "
+        "--older-than days (their manifest entries fold into the "
+        "reclaimed sequence ledger)",
+    )
+    repair_parser.add_argument(
+        "--older-than",
+        type=float,
+        default=None,
+        metavar="DAYS",
+        help="retention cutoff in days for --prune-quarantine",
+    )
+    repair_parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="with --prune-quarantine: report what would be pruned "
+        "without touching disk (skips the repair pass too)",
+    )
+
+    compact_parser = subparsers.add_parser(
+        "compact",
+        help="merge small and tombstone-carrying store segments "
+        "(crash-safe LSM compaction)",
+    )
+    compact_parser.add_argument(
+        "--store",
+        required=True,
+        help="sharded fingerprint store directory to compact",
+    )
+    compact_parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="print the compaction plan without executing any merge",
+    )
+    compact_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the plan/report as JSON on stdout",
+    )
+    compact_parser.add_argument(
+        "--max-merges",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap the number of merges this invocation commits",
+    )
+    compact_parser.add_argument(
+        "--small-records",
+        type=int,
+        default=None,
+        metavar="N",
+        help="segments holding at most N records are merge candidates "
+        "(default: policy default)",
+    )
+    compact_parser.add_argument(
+        "--obs-dir",
+        default=None,
+        help="write trace + metrics artifacts for this run into DIR",
     )
 
     lint_parser = subparsers.add_parser(
@@ -664,7 +725,12 @@ def _verify_store(args: argparse.Namespace) -> int:
                 "degraded shards (data previously lost to quarantine): "
                 + ", ".join(str(s) for s in verification.degraded_shards)
             )
-        status = "consistent" if verification.ok else "INCONSISTENT"
+        if verification.ok:
+            status = "consistent"
+        elif verification.recoverable:
+            status = "INCONSISTENT (recoverable: reopen the store or run 'repro repair')"
+        else:
+            status = "INCONSISTENT"
         print(
             f"store {store_dir}: {status} "
             f"({verification.total_records} records, "
@@ -675,17 +741,51 @@ def _verify_store(args: argparse.Namespace) -> int:
 
 def _repair(args: argparse.Namespace) -> int:
     """The repair command body."""
-    from repro.reliability import repair_store
+    from repro.reliability import prune_quarantine, repair_store
     from repro.service import ShardedFingerprintStore
 
+    if args.prune_quarantine and args.older_than is None:
+        print(
+            "repair: --prune-quarantine requires --older-than DAYS",
+            file=sys.stderr,
+        )
+        return 2
+    if args.older_than is not None and not args.prune_quarantine:
+        print(
+            "repair: --older-than only applies with --prune-quarantine",
+            file=sys.stderr,
+        )
+        return 2
     store_dir = Path(args.store)
     if not (store_dir / "manifest.json").exists():
         print(f"repair: no store at {store_dir}", file=sys.stderr)
         return 2
     store = ShardedFingerprintStore(store_dir)
+    if args.prune_quarantine and args.dry_run:
+        # Preview-only: report the would-be pruning, skip the repair
+        # pass so nothing on disk changes.
+        prune = prune_quarantine(store, args.older_than, dry_run=True)
+        if args.json:
+            print(json.dumps(prune.to_json(), indent=2, sort_keys=True))
+        else:
+            for filename in prune.pruned_files:
+                print(f"would prune {filename}")
+            print(
+                f"quarantine: {prune.pruned_entries} of {prune.examined} "
+                f"entries prunable, {prune.bytes_freed} bytes (dry run)"
+            )
+        return 0
     report = repair_store(store)
+    prune = (
+        prune_quarantine(store, args.older_than)
+        if args.prune_quarantine
+        else None
+    )
     if args.json:
-        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+        payload = report.to_json()
+        if prune is not None:
+            payload["prune"] = prune.to_json()
+        print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
     if report.recovery.action != "none":
         print(
@@ -700,6 +800,13 @@ def _repair(args: argparse.Namespace) -> int:
             f"salvaged {report.records_salvaged} records, "
             f"lost {report.records_lost}"
         )
+    if prune is not None:
+        for filename in prune.pruned_files:
+            print(f"pruned {filename}")
+        print(
+            f"quarantine: pruned {prune.pruned_entries} of "
+            f"{prune.examined} entries, {prune.bytes_freed} bytes freed"
+        )
     if report.clean:
         print(f"store {store_dir}: clean, nothing to repair")
     else:
@@ -707,6 +814,57 @@ def _repair(args: argparse.Namespace) -> int:
         for name in sorted(reliability):
             print(f"{name}: {reliability[name]}")
         print(f"store {store_dir}: repaired")
+    return 0
+
+
+def _compact(args: argparse.Namespace) -> int:
+    """The compact command body (manual compaction trigger)."""
+    from repro.reliability import CompactionPolicy, Compactor
+    from repro.service import ShardedFingerprintStore
+
+    store_dir = Path(args.store)
+    if not (store_dir / "manifest.json").exists():
+        print(f"compact: no store at {store_dir}", file=sys.stderr)
+        return 2
+    policy_kwargs: Dict[str, object] = {}
+    if args.small_records is not None:
+        policy_kwargs["small_segment_records"] = args.small_records
+    policy = CompactionPolicy(**policy_kwargs)
+    store = ShardedFingerprintStore(store_dir)
+    compactor = Compactor(store, policy=policy)
+    if args.dry_run:
+        plan = compactor.plan()
+        if args.json:
+            print(json.dumps(plan.to_json(), indent=2, sort_keys=True))
+        else:
+            for merge in plan.merges:
+                sources = ", ".join(
+                    record.filename for record in merge.sources
+                )
+                print(f"shard {merge.shard} [{merge.reason}]: {sources}")
+            print(
+                f"plan: {len(plan)} merge(s); nothing executed (--dry-run)"
+            )
+        return 0
+    report = compactor.compact_all(max_merges=args.max_merges)
+    if args.obs_dir is not None:
+        _write_metrics_artifacts(Path(args.obs_dir), store.metrics)
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+        return 0
+    for merge in report.merges:
+        output = merge.output or "(all records dropped)"
+        print(
+            f"shard {merge.shard} [{merge.reason}]: "
+            f"{len(merge.sources)} segment(s) -> {output}; "
+            f"kept {merge.records_kept}, dropped {merge.records_dropped}, "
+            f"reclaimed {merge.bytes_reclaimed} bytes"
+        )
+    print(
+        f"store {store_dir}: {len(report.merges)} merge(s), "
+        f"{report.bytes_reclaimed} bytes reclaimed, "
+        f"{report.records_dropped} records dropped"
+    )
     return 0
 
 
@@ -756,6 +914,7 @@ def _run_service_command(
         "quarantine": _quarantine,
         "verify-store": _verify_store,
         "repair": _repair,
+        "compact": _compact,
         "addrmap": run_addrmap,
     }[args.command]
     obs_dir = getattr(args, "obs_dir", None)
@@ -820,6 +979,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "quarantine",
         "verify-store",
         "repair",
+        "compact",
         "addrmap",
     ):
         return _run_service_command(args, raw_argv)

@@ -80,6 +80,17 @@ class FingerprintDatabase:
             raise KeyError(f"no fingerprint under key {key!r}")
         self._fingerprints[key] = fingerprint
 
+    def remove(self, key: str) -> None:
+        """Delete the fingerprint stored under an existing ``key``.
+
+        Compaction drops tombstoned devices from the store; warm
+        in-memory caches must be able to shed the same keys so cached
+        and cold reads keep answering identically.
+        """
+        if key not in self._fingerprints:
+            raise KeyError(f"no fingerprint under key {key!r}")
+        del self._fingerprints[key]
+
     def get(self, key: str) -> Fingerprint:
         """Fingerprint stored under ``key``."""
         return self._fingerprints[key]

@@ -15,6 +15,15 @@ the store a real failure model and the tools to survive it:
   the self-healing pass that salvages readable records out of corrupt
   segments and quarantines the rest while preserving global sequence
   numbers (and therefore Algorithm 2 decisions);
+* :mod:`repro.reliability.bloom` — per-segment bloom filters persisted
+  as checksummed segment trailers, so point lookups skip cold segments
+  instead of reading every body;
+* :mod:`repro.reliability.compaction` — the LSM maintenance half:
+  :class:`CompactionPolicy` / :class:`Compactor` /
+  :class:`BackgroundCompactor` merge small and tombstone-carrying
+  segments through the store's journalled
+  ``commit_compaction`` protocol, so a crash mid-merge resolves to
+  exactly the pre- or post-merge store;
 * :mod:`repro.reliability.breaker` — :class:`CircuitBreaker` /
   :class:`BreakerBoard`, the per-shard closed → open → half-open state
   machine the batch engine and the streaming pipeline layer over the
@@ -42,6 +51,7 @@ from repro.reliability.breaker import (
     BreakerBoard,
     CircuitBreaker,
 )
+from repro.reliability.bloom import BloomFilter, build_filter
 from repro.reliability.faults import (
     FaultPlan,
     FaultyIO,
@@ -52,41 +62,73 @@ from repro.reliability.faults import (
 )
 
 _REPAIR_EXPORTS = (
+    "PruneReport",
     "RepairReport",
     "SegmentVerification",
     "StoreVerification",
+    "prune_quarantine",
     "repair_store",
     "verify_store",
 )
 
+_COMPACTION_EXPORTS = (
+    "BackgroundCompactor",
+    "CompactionPlan",
+    "CompactionPolicy",
+    "CompactionReport",
+    "Compactor",
+    "MergePlan",
+    "MergeReport",
+    "plan_compaction",
+    "stream_load_probe",
+)
+
 
 def __getattr__(name: str):
-    # repro.service.store imports repro.reliability.faults (the IO
-    # seam), and repro.reliability.repair imports the store back; the
-    # repair surface is therefore re-exported lazily (PEP 562) so that
-    # importing this package from inside the store does not cycle.
+    # repro.service.store imports repro.reliability.faults and .bloom,
+    # and both repro.reliability.repair and .compaction import the
+    # store back; those surfaces are therefore re-exported lazily
+    # (PEP 562) so that importing this package from inside the store
+    # does not cycle.
     if name in _REPAIR_EXPORTS:
         from repro.reliability import repair
 
         return getattr(repair, name)
+    if name in _COMPACTION_EXPORTS:
+        from repro.reliability import compaction
+
+        return getattr(compaction, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 __all__ = [
+    "BackgroundCompactor",
+    "BloomFilter",
     "BreakerBoard",
     "CircuitBreaker",
+    "CompactionPlan",
+    "CompactionPolicy",
+    "CompactionReport",
+    "Compactor",
     "FaultPlan",
     "FaultyIO",
     "InjectedFault",
+    "MergePlan",
+    "MergeReport",
     "STATE_CLOSED",
     "STATE_HALF_OPEN",
     "STATE_OPEN",
     "StorageIO",
     "WorkerCrashPlan",
     "WorkerFaultInjector",
+    "PruneReport",
     "RepairReport",
     "SegmentVerification",
     "StoreVerification",
+    "build_filter",
+    "plan_compaction",
+    "prune_quarantine",
     "repair_store",
+    "stream_load_probe",
     "verify_store",
 ]

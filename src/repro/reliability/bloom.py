@@ -1,0 +1,210 @@
+"""Per-segment bloom filters — point lookups skip cold segments.
+
+At the §4 population scale a shard accumulates dozens of append-only
+segments, and a point lookup ("is device X enrolled? what is its
+fingerprint?") on a cold shard would have to read every one of them.
+Each segment therefore carries a bloom filter over its keys, persisted
+as a self-describing trailer *after* the v2 checksummed stream, so:
+
+* a point lookup reads only the few-KB trailer of each segment
+  (through :meth:`repro.reliability.faults.StorageIO.read_tail`) and
+  loads the segment body only when the filter says *maybe*;
+* the trailer is invisible to every existing reader —
+  :func:`repro.core.serialize.load_database` and ``scan_database``
+  stop at the v2 footer, so a segment with a bloom trailer is still a
+  valid v2 stream (and v1 segments simply have no trailer);
+* the trailer is independently checksummed; a damaged trailer degrades
+  to "no filter" (the segment is read — correct, just slower), never
+  to a wrong answer.
+
+Hashing is double hashing over a keyed BLAKE2b digest (index_i =
+(h1 + i*h2) mod m), deterministic across processes and platforms —
+a store built on one machine answers identically on another.
+
+Wire format, appended after the ``PCFX`` footer::
+
+    trailer := payload  crc32(payload):u32  payload_len:u32  "PCBF"
+    payload := "BF01"  m_bits:u64  k:u8  seed:u64  bitmap bytes
+
+The fixed-size tail (``payload_len`` + magic) sits at the very end of
+the file so a reader can find the trailer with one bounded tail read.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+import zlib
+from typing import Iterable, Optional, Tuple
+
+TRAILER_MAGIC = b"PCBF"
+_PAYLOAD_MAGIC = b"BF01"
+#: payload_len:u32 + magic — the fixed-size tail locating the trailer.
+_TAIL_SIZE = 8
+#: Bits provisioned per key (~1 % false-positive rate with k=7).
+DEFAULT_BITS_PER_KEY = 10
+DEFAULT_HASHES = 7
+#: A trailer payload larger than this is treated as damage, not as a
+#: request to allocate gigabytes.
+_MAX_PAYLOAD = 1 << 28
+
+
+class BloomFilter:
+    """A fixed-size bloom filter over string keys.
+
+    False positives are possible (a *maybe* answer costs one segment
+    read that finds nothing); false negatives are not — a key that was
+    added always answers *maybe*, which is the property the lookup
+    path's correctness rests on.
+    """
+
+    __slots__ = ("m_bits", "k", "seed", "_bitmap")
+
+    def __init__(self, m_bits: int, k: int = DEFAULT_HASHES, seed: int = 0) -> None:
+        if m_bits < 8:
+            raise ValueError(f"m_bits must be >= 8, got {m_bits}")
+        if not 1 <= k <= 32:
+            raise ValueError(f"k must be in [1, 32], got {k}")
+        self.m_bits = int(m_bits)
+        self.k = int(k)
+        self.seed = int(seed)
+        self._bitmap = bytearray((self.m_bits + 7) // 8)
+
+    @classmethod
+    def sized_for(
+        cls,
+        n_keys: int,
+        bits_per_key: int = DEFAULT_BITS_PER_KEY,
+        k: int = DEFAULT_HASHES,
+        seed: int = 0,
+    ) -> "BloomFilter":
+        """A filter provisioned for ``n_keys`` keys."""
+        return cls(max(64, n_keys * bits_per_key), k=k, seed=seed)
+
+    def _hash_pair(self, key: str) -> Tuple[int, int]:
+        digest = hashlib.blake2b(
+            key.encode("utf-8"),
+            digest_size=16,
+            key=self.seed.to_bytes(8, "little"),
+        ).digest()
+        h1 = int.from_bytes(digest[:8], "little")
+        # Forcing h2 odd keeps the probe sequence full-period for
+        # power-of-two m and non-degenerate everywhere else.
+        h2 = int.from_bytes(digest[8:], "little") | 1
+        return h1, h2
+
+    def add(self, key: str) -> None:
+        """Insert ``key``."""
+        h1, h2 = self._hash_pair(key)
+        for i in range(self.k):
+            position = (h1 + i * h2) % self.m_bits
+            self._bitmap[position >> 3] |= 1 << (position & 7)
+
+    def __contains__(self, key: str) -> bool:
+        h1, h2 = self._hash_pair(key)
+        for i in range(self.k):
+            position = (h1 + i * h2) % self.m_bits
+            if not self._bitmap[position >> 3] & (1 << (position & 7)):
+                return False
+        return True
+
+    def fill_ratio(self) -> float:
+        """Fraction of bitmap bits set (rough saturation indicator)."""
+        set_bits = sum(bin(byte).count("1") for byte in self._bitmap)
+        return set_bits / self.m_bits
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the trailer payload layout."""
+        return (
+            _PAYLOAD_MAGIC
+            + struct.pack("<QBQ", self.m_bits, self.k, self.seed)
+            + bytes(self._bitmap)
+        )
+
+    @classmethod
+    def from_bytes(cls, payload: bytes) -> "BloomFilter":
+        """Inverse of :meth:`to_bytes`; raises ``ValueError`` on damage."""
+        header = 4 + 8 + 1 + 8
+        if len(payload) < header or payload[:4] != _PAYLOAD_MAGIC:
+            raise ValueError("not a bloom filter payload")
+        m_bits, k, seed = struct.unpack("<QBQ", payload[4:header])
+        bitmap = payload[header:]
+        if len(bitmap) != (m_bits + 7) // 8:
+            raise ValueError(
+                f"bloom bitmap holds {len(bitmap)} bytes, "
+                f"m_bits={m_bits} needs {(m_bits + 7) // 8}"
+            )
+        instance = cls(int(m_bits), k=int(k), seed=int(seed))
+        instance._bitmap = bytearray(bitmap)
+        return instance
+
+
+def build_filter(keys: Iterable[str], seed: int = 0) -> BloomFilter:
+    """A filter holding every key in ``keys``."""
+    materialized = list(keys)
+    instance = BloomFilter.sized_for(len(materialized), seed=seed)
+    for key in materialized:
+        instance.add(key)
+    return instance
+
+
+def append_trailer(segment_bytes: bytes, bloom: BloomFilter) -> bytes:
+    """Segment stream plus the checksummed bloom trailer."""
+    payload = bloom.to_bytes()
+    return (
+        segment_bytes
+        + payload
+        + struct.pack("<I", zlib.crc32(payload))
+        + struct.pack("<I", len(payload))
+        + TRAILER_MAGIC
+    )
+
+
+def parse_trailer(tail: bytes) -> Optional[BloomFilter]:
+    """Decode a bloom trailer from the end of ``tail``.
+
+    ``tail`` is any byte string ending at the end of the segment file
+    (e.g. the result of a bounded ``read_tail``).  Returns ``None``
+    when there is no trailer or it is damaged — the caller must then
+    treat the segment as *maybe containing every key*.
+    """
+    if len(tail) < _TAIL_SIZE or tail[-4:] != TRAILER_MAGIC:
+        return None
+    (payload_length,) = struct.unpack("<I", tail[-8:-4])
+    if payload_length > _MAX_PAYLOAD:
+        return None
+    block = payload_length + 4 + _TAIL_SIZE  # payload + crc + tail
+    if len(tail) < block:
+        return None
+    payload = tail[-block:-block + payload_length]
+    (expected_crc,) = struct.unpack("<I", tail[-12:-8])
+    if zlib.crc32(payload) != expected_crc:
+        return None
+    try:
+        return BloomFilter.from_bytes(payload)
+    except ValueError:
+        return None
+
+
+def trailer_read_size(n_keys_hint: int = 1 << 16) -> int:
+    """Tail bytes to request to be sure of capturing the trailer.
+
+    Sized for the largest filter a segment of ``n_keys_hint`` records
+    would carry, plus framing slack; reading more than the file holds
+    is safe (``read_tail`` clamps).
+    """
+    return (n_keys_hint * DEFAULT_BITS_PER_KEY) // 8 + 64
+
+
+def load_segment_bloom(io: object, path: object) -> Optional[BloomFilter]:
+    """Read a segment's bloom filter via a bounded tail read.
+
+    ``io`` is a :class:`~repro.reliability.faults.StorageIO`; returns
+    ``None`` when the segment has no (valid) trailer — legacy v1
+    segments, pre-bloom v2 segments, or a damaged trailer.
+    """
+    try:
+        tail = io.read_tail(path, trailer_read_size())  # type: ignore[attr-defined]
+    except OSError:
+        return None
+    return parse_trailer(tail)

@@ -10,8 +10,10 @@ into an enumerable, reproducible test axis:
   fsync) advances a global **operation counter**;
 * a :class:`FaultPlan` names the operation index at which the fault
   fires and what it does — crash (raise mid-ingest), torn write
-  (persist a prefix, then raise), silent seeded bit flips, or a window
-  of transient errors that clears for retries;
+  (persist a prefix, then raise), post-rename crash (the atomic
+  replace lands, then the process dies before publishing it), silent
+  seeded bit flips, or a window of transient errors that clears for
+  retries;
 * the RNG is seeded (``REPRO_FAULT_SEED`` in CI), so every crash point
   and every corruption pattern replays bit-for-bit.
 
@@ -38,7 +40,8 @@ PathLike = Union[str, Path]
 MODE_CRASH = "crash"
 MODE_TORN = "torn"
 MODE_BITFLIP = "bitflip"
-_MODES = (MODE_CRASH, MODE_TORN, MODE_BITFLIP)
+MODE_RENAME = "rename"
+_MODES = (MODE_CRASH, MODE_TORN, MODE_BITFLIP, MODE_RENAME)
 
 
 class InjectedFault(OSError):
@@ -60,7 +63,14 @@ class FaultPlan:
       meaningful for writes; reads under ``"torn"`` crash);
     * ``"bitflip"`` — flip ``flip_bits`` seeded-random bits in the
       payload and carry on silently (write: corrupt data lands on
-      disk; read: corrupt data is returned).
+      disk; read: corrupt data is returned);
+    * ``"rename"`` — on a ``replace`` operation, *perform* the atomic
+      rename and then die.  ``"crash"`` kills a replace before it
+      touches disk, so between the two modes both sides of the
+      atomic-replace step are enumerable — the compaction protocol's
+      "crash after the segment rename, before the manifest write"
+      point needs the post-rename side.  Non-replace operations under
+      ``"rename"`` crash before touching disk, like ``"crash"``.
 
     ``match`` restricts faults to operations whose path contains the
     substring, so a plan can target one segment file.
@@ -126,6 +136,19 @@ class StorageIO:
     def read_bytes(self, path: PathLike) -> bytes:
         """Read the whole file at ``path``."""
         with open(path, "rb") as stream:
+            return stream.read()
+
+    def read_tail(self, path: PathLike, size: int) -> bytes:
+        """Read up to the last ``size`` bytes of ``path``.
+
+        The bloom-filter trailer lives at the end of a segment file;
+        reading it must not cost a full segment scan, so this is its
+        own primitive (and its own fault-injection point).
+        """
+        with open(path, "rb") as stream:
+            stream.seek(0, os.SEEK_END)
+            length = stream.tell()
+            stream.seek(max(0, length - size))
             return stream.read()
 
     def replace(self, source: PathLike, destination: PathLike) -> None:
@@ -298,8 +321,23 @@ class FaultyIO(StorageIO):
             raise InjectedFault(f"injected read error at op {self.ops}: {path}")
         return self.inner.read_bytes(path)
 
+    def read_tail(self, path: PathLike, size: int) -> bytes:
+        if self._enter("read_tail", path):
+            if self.plan.mode == MODE_BITFLIP:
+                return self._corrupt(self.inner.read_tail(path, size))
+            raise InjectedFault(f"injected read error at op {self.ops}: {path}")
+        return self.inner.read_tail(path, size)
+
     def replace(self, source: PathLike, destination: PathLike) -> None:
         if self._enter("replace", destination):
+            if self.plan.mode == MODE_RENAME:
+                # The rename itself lands on disk; the crash hits the
+                # gap between the replace and whatever was meant to
+                # publish it (the manifest write, for compaction).
+                self.inner.replace(source, destination)
+                raise InjectedFault(
+                    f"injected post-rename crash at op {self.ops}: {destination}"
+                )
             raise InjectedFault(f"injected crash at op {self.ops}: {destination}")
         self.inner.replace(source, destination)
 

@@ -13,13 +13,22 @@ Two entry points, mirroring ``fsck``'s split personality:
   (roll forward or back), salvage every readable record out of corrupt
   segments into fresh checksummed replacements, and quarantine the
   damaged originals.  Salvage preserves global sequence numbers (the
-  manifest records which original offsets were dropped), so Algorithm 2
+  manifest records which original offsets were dropped, or the exact
+  sequence ``runs`` for compacted segments), so Algorithm 2
   first-match priority is unchanged for every surviving fingerprint —
   the property test asserts repair is decision-for-decision invisible
   on an uncorrupted store.
 
+Verification understands the compaction protocol: a pending
+compaction journal makes the store not-ok but its artefacts — a
+missing or orphaned segment file named as a merge source — are
+classified as *recoverable* findings pointing at ``recover()``
+rather than as data loss.  :func:`prune_quarantine` adds retention:
+quarantined segment files older than a cutoff are deleted and their
+manifest entries folded into the ``reclaimed`` sequence ledger.
+
 Both surface through the CLI as ``repro verify-store`` / ``repro
-repair``.
+repair`` (pruning via ``repro repair --prune-quarantine``).
 """
 
 from __future__ import annotations
@@ -36,17 +45,31 @@ from repro.core.serialize import (
     dump_database,
     scan_database,
 )
+from repro.obs.clock import wall_time
 from repro.obs.trace import span as obs_span
+from repro.reliability.bloom import append_trailer, build_filter
 from repro.service.store import (
     QuarantinedSegment,
     RecoveryReport,
     SegmentRecord,
     ShardedFingerprintStore,
+    coalesce_runs,
 )
 
 _MANIFEST_NAME = "manifest.json"
 _JOURNAL_NAME = "ingest-journal.json"
+_COMPACTION_JOURNAL_NAME = "compaction-journal.json"
 _SUPPORTED_VERSIONS = (1, 2)
+_SECONDS_PER_DAY = 86400.0
+
+
+def _record_intervals(record: SegmentRecord) -> List[Tuple[int, int]]:
+    """Sequence ``(start, stop)`` intervals a segment accounts for."""
+    if record.runs:
+        return [(start, start + count) for start, count in record.runs]
+    return [
+        (record.start_sequence, record.start_sequence + record.original_count)
+    ]
 
 
 @dataclass
@@ -60,6 +83,9 @@ class SegmentVerification:
     exists: bool = True
     corrupt: List[CorruptRecord] = field(default_factory=list)
     error: Optional[str] = None
+    #: A finding a plain ``recover()`` resolves without data loss —
+    #: e.g. the file is a merge source a crashed compaction deleted.
+    recoverable: bool = False
 
     @property
     def ok(self) -> bool:
@@ -76,6 +102,12 @@ class SegmentVerification:
         if self.ok:
             return f"{self.filename}: ok ({self.readable_count} records)"
         if not self.exists:
+            if self.recoverable:
+                return (
+                    f"{self.filename}: MISSING (source of a pending "
+                    "compaction; recover() — reopen the store or run "
+                    "'repro repair' — will resolve it without loss)"
+                )
             return f"{self.filename}: MISSING"
         if self.error is not None:
             return f"{self.filename}: UNREADABLE ({self.error})"
@@ -98,8 +130,12 @@ class StoreVerification:
     manifest_ok: bool = False
     manifest_error: Optional[str] = None
     journal_pending: bool = False
+    compaction_pending: bool = False
     segments: List[SegmentVerification] = field(default_factory=list)
     orphan_files: List[str] = field(default_factory=list)
+    #: On-disk files explained by the pending compaction journal
+    #: (undeleted merge sources); cleaned up by ``recover()``.
+    pending_compaction_files: List[str] = field(default_factory=list)
     sequence_gaps: List[Tuple[int, int]] = field(default_factory=list)
     degraded_shards: List[int] = field(default_factory=list)
     total_records: int = 0
@@ -111,10 +147,21 @@ class StoreVerification:
         return (
             self.manifest_ok
             and not self.journal_pending
+            and not self.compaction_pending
             and not self.orphan_files
             and not self.sequence_gaps
             and all(segment.ok for segment in self.segments)
         )
+
+    @property
+    def recoverable(self) -> bool:
+        """Not ok, but every finding is one ``recover()`` resolves."""
+        if self.ok or not self.manifest_ok:
+            return False
+        for segment in self.segments:
+            if not segment.ok and not segment.recoverable:
+                return False
+        return not self.orphan_files and not self.sequence_gaps
 
     def problems(self) -> List[str]:
         """Every finding, one line each, for the CLI and reports."""
@@ -126,11 +173,21 @@ class StoreVerification:
             lines.append(
                 "pending ingest journal (crashed ingest); run 'repro repair'"
             )
+        if self.compaction_pending:
+            lines.append(
+                "pending compaction journal (crashed compaction); "
+                "recoverable — reopen the store or run 'repro repair'"
+            )
         for segment in self.segments:
             if not segment.ok:
                 lines.append(segment.describe())
         for orphan in self.orphan_files:
             lines.append(f"orphan segment file not in manifest: {orphan}")
+        for leftover in self.pending_compaction_files:
+            lines.append(
+                f"undeleted compaction source {leftover}; "
+                "recover() will sweep it"
+            )
         for start, stop in self.sequence_gaps:
             lines.append(f"sequence range [{start}, {stop}) unaccounted for")
         return lines
@@ -140,18 +197,22 @@ class StoreVerification:
         return {
             "root": str(self.root),
             "ok": self.ok,
+            "recoverable": self.recoverable,
             "manifest_ok": self.manifest_ok,
             "journal_pending": self.journal_pending,
+            "compaction_pending": self.compaction_pending,
             "total_records": self.total_records,
             "corrupt_records": self.corrupt_records,
             "degraded_shards": self.degraded_shards,
             "orphan_files": self.orphan_files,
+            "pending_compaction_files": self.pending_compaction_files,
             "sequence_gaps": [list(gap) for gap in self.sequence_gaps],
             "segments": [
                 {
                     "filename": segment.filename,
                     "shard": segment.shard,
                     "ok": segment.ok,
+                    "recoverable": segment.recoverable,
                     "declared_count": segment.declared_count,
                     "readable_count": segment.readable_count,
                     "corrupt_records": [
@@ -206,11 +267,36 @@ def _verify_store_impl(root: Path) -> StoreVerification:
             for record in payload.get("quarantined", [])
         ]
         next_sequence = int(payload["next_sequence"])
+        reclaimed = [
+            (int(start), int(count))
+            for start, count in payload.get("reclaimed", [])
+        ]
     except (KeyError, TypeError, ValueError) as error:
         verification.manifest_error = f"malformed manifest: {error}"
         return verification
     verification.manifest_ok = True
     verification.journal_pending = (root / _JOURNAL_NAME).exists()
+
+    # A pending compaction journal names merge sources and an output;
+    # files it explains are recoverable findings, not data loss.
+    compaction_sources: set = set()
+    compaction_files: set = set()
+    compaction_path = root / _COMPACTION_JOURNAL_NAME
+    if compaction_path.exists():
+        verification.compaction_pending = True
+        try:
+            compaction_journal = json.loads(compaction_path.read_text())
+            compaction_sources = {
+                str(name) for name in compaction_journal.get("sources", [])
+            }
+            compaction_files = set(compaction_sources)
+            output_record = compaction_journal.get("output")
+            if isinstance(output_record, dict):
+                # The merge output may already be renamed into place
+                # without being published in the manifest yet.
+                compaction_files.add(str(output_record.get("filename")))
+        except (OSError, json.JSONDecodeError):
+            compaction_sources = set()  # torn journal: nothing planned
 
     for record in segments:
         entry = SegmentVerification(
@@ -222,6 +308,8 @@ def _verify_store_impl(root: Path) -> StoreVerification:
         path = root / record.filename
         if not path.exists():
             entry.exists = False
+            if record.filename in compaction_sources:
+                entry.recoverable = True
             continue
         try:
             scan = scan_database(path)
@@ -236,14 +324,17 @@ def _verify_store_impl(root: Path) -> StoreVerification:
         verification.corrupt_records += len(scan.corrupt)
 
     # Global sequence coverage.  Two invariants: live segments must not
-    # overlap each other (double assignment), and live + quarantined
-    # spans together must cover [0, next_sequence) without a hole (a
-    # hole means fingerprints vanished without a quarantine record).  A
-    # quarantined span overlapping a live one is expected — that is
-    # what a salvage replacement looks like.
+    # overlap each other (double assignment), and live + quarantined +
+    # reclaimed spans together must cover [0, next_sequence) without a
+    # hole (a hole means fingerprints vanished without a quarantine or
+    # reclamation record).  A quarantined or reclaimed span overlapping
+    # a live one is expected — that is what a salvage replacement or a
+    # compacted partial drop looks like.  Compacted segments account
+    # for their exact sequence ``runs``.
     live_spans = sorted(
-        (record.start_sequence, record.start_sequence + record.original_count)
+        interval
         for record in segments
+        for interval in _record_intervals(record)
     )
     cursor = 0
     for start, stop in live_spans:
@@ -253,12 +344,11 @@ def _verify_store_impl(root: Path) -> StoreVerification:
     all_spans = sorted(
         live_spans
         + [
-            (
-                entry.record.start_sequence,
-                entry.record.start_sequence + entry.record.original_count,
-            )
+            interval
             for entry in quarantined
+            for interval in _record_intervals(entry.record)
         ]
+        + [(start, start + count) for start, count in reclaimed]
     )
     cursor = 0
     for start, stop in all_spans:
@@ -273,7 +363,19 @@ def _verify_store_impl(root: Path) -> StoreVerification:
     referenced = {record.filename for record in segments}
     for candidate in sorted(root.glob("shard-*/*.pcfp")):
         relative = candidate.relative_to(root).as_posix()
-        if relative not in referenced:
+        if relative in referenced:
+            continue
+        if relative in compaction_files:
+            # An undeleted merge source, or the merge output renamed
+            # into place before the crash; recover() resolves both.
+            verification.pending_compaction_files.append(relative)
+        else:
+            verification.orphan_files.append(relative)
+    for leftover in sorted(root.glob("shard-*/*.pcfp.tmp")):
+        relative = leftover.relative_to(root).as_posix()
+        if verification.compaction_pending:
+            verification.pending_compaction_files.append(relative)
+        else:
             verification.orphan_files.append(relative)
 
     shards = {entry.record.shard for entry in quarantined}
@@ -383,21 +485,44 @@ def _repair_store_impl(store: ShardedFingerprintStore) -> RepairReport:
             report.records_lost += record.count
             metrics.count("reliability.records_lost", record.count)
             continue
-        omitted = tuple(
-            sorted(set(range(record.original_count)) - set(survivors))
-        )
-        replacement = SegmentRecord(
-            shard=record.shard,
-            filename=_salvaged_filename(record.filename),
-            count=len(survivors),
-            start_sequence=record.start_sequence,
-            omitted=omitted,
-        )
+        if record.runs:
+            # A compacted segment: its sequences are explicit, so the
+            # salvage replacement records the survivors' runs directly
+            # (offset arithmetic does not apply).
+            all_sequences = record.sequences()
+            surviving_sequences = [
+                all_sequences[j] for j in scan.offsets if j < len(all_sequences)
+            ]
+            replacement = SegmentRecord(
+                shard=record.shard,
+                filename=_salvaged_filename(record.filename),
+                count=len(surviving_sequences),
+                start_sequence=surviving_sequences[0],
+                runs=tuple(
+                    coalesce_runs(
+                        (sequence, 1) for sequence in surviving_sequences
+                    )
+                ),
+            )
+        else:
+            omitted = tuple(
+                sorted(set(range(record.original_count)) - set(survivors))
+            )
+            replacement = SegmentRecord(
+                shard=record.shard,
+                filename=_salvaged_filename(record.filename),
+                count=len(survivors),
+                start_sequence=record.start_sequence,
+                omitted=omitted,
+            )
         buffer = io.BytesIO()
         dump_database(scan.database, buffer)
-        store.quarantine_segment(
-            record, reason, replacement=(replacement, buffer.getvalue())
+        # Salvage rebuilds the bloom trailer too — the damaged file's
+        # filter (if any) described records that may no longer exist.
+        data = append_trailer(
+            buffer.getvalue(), build_filter(scan.database.keys())
         )
+        store.quarantine_segment(record, reason, replacement=(replacement, data))
         report.quarantined.append((record.filename, reason))
         report.records_salvaged += len(survivors)
         report.records_lost += record.count - len(survivors)
@@ -405,4 +530,120 @@ def _repair_store_impl(store: ShardedFingerprintStore) -> RepairReport:
         lost = record.count - len(survivors)
         if lost:
             metrics.count("reliability.records_lost", lost)
+    return report
+
+
+# ----------------------------------------------------------------------
+# Quarantine retention pruning
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class PruneReport:
+    """What :func:`prune_quarantine` deleted (or would delete)."""
+
+    older_than_days: float
+    dry_run: bool
+    examined: int = 0
+    pruned_entries: int = 0
+    pruned_files: List[str] = field(default_factory=list)
+    kept_files: List[str] = field(default_factory=list)
+    bytes_freed: int = 0
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON-serializable summary."""
+        return {
+            "older_than_days": self.older_than_days,
+            "dry_run": self.dry_run,
+            "examined": self.examined,
+            "pruned_entries": self.pruned_entries,
+            "pruned_files": list(self.pruned_files),
+            "kept_files": list(self.kept_files),
+            "bytes_freed": self.bytes_freed,
+        }
+
+
+def _quarantine_base(filename: str) -> str:
+    """Quarantine-directory base name of a segment filename."""
+    return filename.replace("/", "__")
+
+
+def prune_quarantine(
+    store: ShardedFingerprintStore,
+    older_than_days: float,
+    dry_run: bool = False,
+) -> PruneReport:
+    """Delete quarantined segment files older than a retention cutoff.
+
+    Quarantined files are evidence, not garbage — but evidence has a
+    shelf life, and without retention the quarantine directory grows
+    forever.  A quarantine entry is pruned only when *every* file
+    backing it (the original plus any ``.N``-suffixed siblings) has
+    sat in quarantine longer than ``older_than_days``; the entry's
+    sequence span then moves into the manifest's ``reclaimed`` ledger
+    so ``verify-store`` coverage stays whole.  ``dry_run`` computes
+    the same report without touching disk or manifest.
+    """
+    if older_than_days < 0:
+        raise ValueError(
+            f"older_than_days must be >= 0, got {older_than_days}"
+        )
+    with obs_span(
+        "reliability.prune_quarantine",
+        root=str(store.root),
+        older_than_days=older_than_days,
+        dry_run=dry_run,
+    ):
+        return _prune_quarantine_impl(store, older_than_days, dry_run)
+
+
+def _prune_quarantine_impl(
+    store: ShardedFingerprintStore,
+    older_than_days: float,
+    dry_run: bool,
+) -> PruneReport:
+    report = PruneReport(older_than_days=older_than_days, dry_run=dry_run)
+    entries = store.quarantined
+    report.examined = len(entries)
+    if not entries:
+        return report
+    cutoff = wall_time() - older_than_days * _SECONDS_PER_DAY
+    quarantine_dir = store.quarantine_dir
+
+    def files_for(base: str) -> List[Path]:
+        if not quarantine_dir.exists():
+            return []
+        return sorted(
+            path
+            for path in quarantine_dir.iterdir()
+            if path.name == base or path.name.startswith(base + ".")
+        )
+
+    prunable: List[QuarantinedSegment] = []
+    prunable_files: List[Path] = []
+    seen_files: set = set()
+    for entry in entries:
+        backing = files_for(_quarantine_base(entry.record.filename))
+        fresh = [
+            path for path in backing if path.stat().st_mtime > cutoff
+        ]
+        if fresh:
+            report.kept_files.extend(
+                path.relative_to(store.root).as_posix() for path in fresh
+            )
+            continue
+        prunable.append(entry)
+        for path in backing:
+            if path not in seen_files:
+                seen_files.add(path)
+                prunable_files.append(path)
+    for path in prunable_files:
+        report.pruned_files.append(path.relative_to(store.root).as_posix())
+        report.bytes_freed += path.stat().st_size
+    report.pruned_entries = len(prunable)
+    if dry_run or not prunable:
+        return report
+    for path in prunable_files:
+        store.storage_io.remove(path)
+    store.drop_quarantined(prunable)
     return report

@@ -145,6 +145,18 @@ class IndexedFingerprintDatabase(FingerprintDatabase):
         super().update(key, fingerprint)
         self._index_entry(key, fingerprint)
 
+    def remove(self, key: str) -> None:
+        """Drop ``key`` from the database and the query path.
+
+        The LSH buckets are append-only, so the key's signature rows
+        stay behind as stale entries; :meth:`candidate_keys` filters
+        them out, and re-verification only ever touches live keys.
+        """
+        super().remove(key)
+        self._order.pop(key, None)
+        if key in self._unindexed:
+            self._unindexed.remove(key)
+
     def _index_entry(self, key: str, fingerprint: Fingerprint) -> None:
         if fingerprint.bits.any():
             self._index.add(fingerprint.bits, key)
@@ -156,10 +168,12 @@ class IndexedFingerprintDatabase(FingerprintDatabase):
 
         The union of LSH collisions and the unindexable (empty)
         fingerprints, sorted by insertion sequence so that verification
-        preserves Algorithm 2's first-match semantics.
+        preserves Algorithm 2's first-match semantics.  Stale bucket
+        entries for since-removed keys are filtered out here.
         """
         candidates = set(self._index.query(error_string))
         candidates.update(self._unindexed)
+        candidates.intersection_update(self._order)
         return sorted(candidates, key=self._order.__getitem__)
 
     def identify_error_string(

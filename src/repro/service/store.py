@@ -41,6 +41,23 @@ can enumerate crash points deterministically.
 Shards load lazily into :class:`IndexedFingerprintDatabase` replicas
 and are cached; :class:`~repro.service.metrics.ServiceMetrics` counts
 loads, cache hits, recoveries and quarantines.
+
+Two scale features ride on top of the append-only core:
+
+* every ingested segment carries a **bloom filter** trailer (see
+  :mod:`repro.reliability.bloom`) so :meth:`ShardedFingerprintStore.lookup`
+  can answer point queries on a cold shard without reading every
+  segment body;
+* :meth:`ShardedFingerprintStore.commit_compaction` merges segments
+  through its own write-ahead **compaction journal** — journal →
+  output segment (tmp + fsync + atomic rename) → manifest swap →
+  source deletion → journal retirement — so background compaction
+  (see :mod:`repro.reliability.compaction`) inherits the same
+  crash-anywhere recovery guarantees as ingest.  Compacted segments
+  record their surviving global sequences as ``runs``; sequence spans
+  whose records were dropped (tombstoned devices) move to the
+  manifest's ``reclaimed`` list so the sequence space stays fully
+  accounted for.
 """
 
 from __future__ import annotations
@@ -57,6 +74,12 @@ from repro.core.fingerprint import Fingerprint
 from repro.core.identify import FingerprintDatabase
 from repro.core.serialize import dump_database, load_database
 from repro.obs.trace import span as obs_span
+from repro.reliability.bloom import (
+    BloomFilter,
+    append_trailer,
+    build_filter,
+    load_segment_bloom,
+)
 from repro.reliability.faults import StorageIO
 from repro.service.indexed import IndexedFingerprintDatabase, IndexParams
 from repro.service.metrics import ServiceMetrics
@@ -64,6 +87,7 @@ from repro.service.metrics import ServiceMetrics
 _MANIFEST_NAME = "manifest.json"
 _MANIFEST_TMP_NAME = "manifest.json.tmp"
 _JOURNAL_NAME = "ingest-journal.json"
+_COMPACTION_JOURNAL_NAME = "compaction-journal.json"
 _QUARANTINE_DIR = "quarantine"
 _STORE_VERSION = 2
 _SUPPORTED_VERSIONS = (1, 2)
@@ -82,6 +106,14 @@ class SegmentRecord:
     a salvaged segment: the k-th surviving record's global sequence is
     ``start_sequence +`` its *original* offset, so sequence numbers —
     and therefore Algorithm 2 priority — survive salvage intact.
+
+    A *compacted* segment carries ``runs`` instead: coalesced
+    ``(start, count)`` spans of the global sequences its records hold,
+    in stored order.  A merge output's sequences are rarely contiguous
+    (tombstoned records were dropped between survivors), and runs keep
+    the manifest entry small no matter how fragmented the survivors
+    are.  When ``runs`` is set, ``count`` equals the total run length
+    and ``start_sequence`` equals ``runs[0][0]``.
     """
 
     shard: int
@@ -89,6 +121,7 @@ class SegmentRecord:
     count: int
     start_sequence: int
     omitted: Tuple[int, ...] = ()
+    runs: Tuple[Tuple[int, int], ...] = ()
 
     @property
     def original_count(self) -> int:
@@ -106,6 +139,15 @@ class SegmentRecord:
             if offset not in dropped
         ]
 
+    def sequences(self) -> List[int]:
+        """Global sequence of each stored record, in stored order."""
+        if self.runs:
+            expanded: List[int] = []
+            for start, count in self.runs:
+                expanded.extend(range(start, start + count))
+            return expanded
+        return [self.start_sequence + offset for offset in self.offsets()]
+
     def to_json(self) -> Dict[str, object]:
         """Manifest representation of this segment."""
         payload: Dict[str, object] = {
@@ -116,6 +158,8 @@ class SegmentRecord:
         }
         if self.omitted:
             payload["omitted"] = list(self.omitted)
+        if self.runs:
+            payload["runs"] = [list(run) for run in self.runs]
         return payload
 
     @classmethod
@@ -127,6 +171,10 @@ class SegmentRecord:
             count=int(payload["count"]),
             start_sequence=int(payload["start_sequence"]),
             omitted=tuple(int(o) for o in payload.get("omitted", ())),
+            runs=tuple(
+                (int(start), int(count))
+                for start, count in payload.get("runs", ())
+            ),
         )
 
 
@@ -152,12 +200,22 @@ class QuarantinedSegment:
 
 @dataclass
 class RecoveryReport:
-    """What :meth:`ShardedFingerprintStore.recover` did."""
+    """What :meth:`ShardedFingerprintStore.recover` did.
+
+    ``action`` covers the ingest journal; ``compaction_action`` covers
+    the compaction journal — the two protocols are independent (a
+    background merge can crash while an ingest journal is also
+    pending) and each resolves on its own.
+    """
 
     action: str = "none"  # none | committed | rolled_forward | rolled_back
     journal_found: bool = False
     orphans_removed: List[str] = field(default_factory=list)
     detail: str = ""
+    # none | compaction_committed | compaction_rolled_forward |
+    # compaction_rolled_back
+    compaction_action: str = "none"
+    compaction_journal_found: bool = False
 
 
 @dataclass
@@ -171,6 +229,22 @@ class LoadedShard:
 
     database: IndexedFingerprintDatabase
     sequences: Dict[str, int]
+
+
+@dataclass(frozen=True)
+class StoreLookup:
+    """Answer to one point lookup, with its read-path accounting.
+
+    ``segments_scanned`` / ``segments_skipped`` count segment bodies
+    read vs. skipped on bloom-filter evidence; both are zero when the
+    shard replica was already warm in the cache.
+    """
+
+    key: str
+    fingerprint: Fingerprint
+    sequence: int
+    segments_scanned: int = 0
+    segments_skipped: int = 0
 
 
 class ShardedFingerprintStore:
@@ -196,13 +270,16 @@ class ShardedFingerprintStore:
         self._metrics = metrics if metrics is not None else ServiceMetrics()
         self._io = storage_io if storage_io is not None else StorageIO()
         self._cache: Dict[int, LoadedShard] = {}
+        self._blooms: Dict[str, Optional[BloomFilter]] = {}
         self._quarantined: List[QuarantinedSegment] = []
+        self._tombstones: Dict[str, int] = {}
+        self._reclaimed: List[Tuple[int, int]] = []
         self._needs_recovery = False
         self._last_recovery: Optional[RecoveryReport] = None
         manifest_path = self._root / _MANIFEST_NAME
         if manifest_path.exists():
             self._apply_manifest(self._read_manifest(manifest_path))
-            if self.journal_path.exists():
+            if self.journal_path.exists() or self.compaction_journal_path.exists():
                 self.recover()
         else:
             if n_shards < 1:
@@ -240,9 +317,17 @@ class ShardedFingerprintStore:
             QuarantinedSegment.from_json(record)
             for record in payload.get("quarantined", [])
         ]
+        self._tombstones = {
+            str(entry["key"]): int(entry["sequence"])
+            for entry in payload.get("tombstones", [])
+        }
+        self._reclaimed = coalesce_runs(
+            (int(start), int(count))
+            for start, count in payload.get("reclaimed", [])
+        )
 
     def _manifest_payload(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "version": _STORE_VERSION,
             "n_shards": self._n_shards,
             "boundaries": self._boundaries,
@@ -250,6 +335,16 @@ class ShardedFingerprintStore:
             "quarantined": [entry.to_json() for entry in self._quarantined],
             "next_sequence": self._next_sequence,
         }
+        # Additive fields: absent on stores that never tombstoned or
+        # compacted, so pre-compaction manifests round-trip unchanged.
+        if self._tombstones:
+            payload["tombstones"] = [
+                {"key": key, "sequence": sequence}
+                for key, sequence in sorted(self._tombstones.items())
+            ]
+        if self._reclaimed:
+            payload["reclaimed"] = [list(run) for run in self._reclaimed]
+        return payload
 
     def _write_manifest(self) -> None:
         """Durably publish the in-memory manifest state.
@@ -281,6 +376,11 @@ class ShardedFingerprintStore:
         return self._root / _JOURNAL_NAME
 
     @property
+    def compaction_journal_path(self) -> Path:
+        """Location of the write-ahead compaction journal."""
+        return self._root / _COMPACTION_JOURNAL_NAME
+
+    @property
     def quarantine_dir(self) -> Path:
         """Directory quarantined segment files are moved into."""
         return self._root / _QUARANTINE_DIR
@@ -305,8 +405,30 @@ class ShardedFingerprintStore:
         """Segments pulled from serving by :meth:`quarantine_segment`."""
         return list(self._quarantined)
 
+    @property
+    def tombstones(self) -> Dict[str, int]:
+        """Keys marked for deletion (key -> global sequence).
+
+        A tombstoned key stops serving immediately; its bytes are
+        reclaimed by the next compaction of its segment.
+        """
+        return dict(self._tombstones)
+
+    @property
+    def reclaimed(self) -> List[Tuple[int, int]]:
+        """Sequence ``(start, count)`` runs dropped by compaction.
+
+        Together with live and quarantined segments these account for
+        the whole ``[0, next_sequence)`` space — the invariant
+        ``verify-store`` checks.
+        """
+        return list(self._reclaimed)
+
     def __len__(self) -> int:
-        return sum(segment.count for segment in self._segments)
+        return (
+            sum(segment.count for segment in self._segments)
+            - len(self._tombstones)
+        )
 
     @property
     def metrics(self) -> ServiceMetrics:
@@ -417,8 +539,7 @@ class ShardedFingerprintStore:
         keys = [key for key, _fingerprint in batch]
         if len(set(keys)) != len(keys):
             raise StoreError("duplicate keys within ingest batch")
-        existing = self._known_keys()
-        clashes = existing.intersection(keys)
+        clashes = self._find_existing(keys)
         if clashes:
             raise StoreError(
                 f"keys already stored: {sorted(clashes)[:5]}"
@@ -450,6 +571,9 @@ class ShardedFingerprintStore:
                 segment_db.add(key, fingerprint)
             buffer = io.BytesIO()
             dump_database(segment_db, buffer)
+            data = append_trailer(
+                buffer.getvalue(), build_filter(segment_db.keys())
+            )
             planned.append(
                 (
                     SegmentRecord(
@@ -458,7 +582,7 @@ class ShardedFingerprintStore:
                         count=len(rows),
                         start_sequence=rows[0][0],
                     ),
-                    buffer.getvalue(),
+                    data,
                 )
             )
 
@@ -534,10 +658,15 @@ class ShardedFingerprintStore:
         already reached the manifest is simply retired ("committed"); a
         journal whose planned segments all exist and verify is rolled
         forward (manifest rewritten to include them); anything else is
-        rolled back (planned files deleted).  Finally, segment files
-        referenced by neither the manifest nor quarantine — orphans
-        from a pre-journal crash or a torn rollback — are swept.
-        Committed fingerprints are never touched.
+        rolled back (planned files deleted).  A pending *compaction*
+        journal resolves by the same rule: output verified on disk →
+        roll the merge forward (manifest transform + source deletion),
+        otherwise roll back (output deleted, sources untouched); a
+        merge whose manifest swap already landed just finishes source
+        cleanup.  Finally, segment files referenced by neither the
+        manifest nor quarantine — orphans from a pre-journal crash or
+        a torn rollback — are swept, along with stale ``.tmp``
+        temporaries.  Committed fingerprints are never touched.
         """
         report = RecoveryReport()
         manifest_path = self._root / _MANIFEST_NAME
@@ -588,8 +717,10 @@ class ShardedFingerprintStore:
                 self._io.remove(self.journal_path)
             self._io.fsync_dir(self._root)
             self._metrics.count("store.recoveries")
-        # Sweep leftovers: a stale manifest temporary and any segment
-        # file no manifest entry references.
+        self._recover_compaction(report)
+        # Sweep leftovers: a stale manifest temporary, any segment
+        # file no manifest entry references, and segment temporaries a
+        # crashed compaction left beside its output.
         tmp = self._root / _MANIFEST_TMP_NAME
         if tmp.exists():
             self._io.remove(tmp)
@@ -599,13 +730,81 @@ class ShardedFingerprintStore:
             if relative not in referenced:
                 self._io.remove(orphan)
                 report.orphans_removed.append(relative)
+        for leftover in sorted(self._root.glob("shard-*/*.pcfp.tmp")):
+            relative = leftover.relative_to(self._root).as_posix()
+            self._io.remove(leftover)
+            report.orphans_removed.append(relative)
         self._cache.clear()
+        self._blooms.clear()
         self._needs_recovery = False
-        if report.journal_found or report.orphans_removed:
+        if (
+            report.journal_found
+            or report.compaction_journal_found
+            or report.orphans_removed
+        ):
             # Stash non-trivial outcomes so a later repair pass can
             # report a recovery that ran implicitly at open time.
             self._last_recovery = report
         return report
+
+    def _recover_compaction(self, report: RecoveryReport) -> None:
+        """Resolve a pending compaction journal into ``report``."""
+        journal = None
+        if self.compaction_journal_path.exists():
+            report.compaction_journal_found = True
+            try:
+                journal = json.loads(
+                    self._io.read_bytes(self.compaction_journal_path).decode(
+                        "utf-8"
+                    )
+                )
+            except (OSError, UnicodeDecodeError, json.JSONDecodeError):
+                journal = None  # torn journal write: nothing was planned
+        if journal is not None:
+            sources = [str(name) for name in journal["sources"]]
+            output = (
+                SegmentRecord.from_json(journal["output"])
+                if journal["output"] is not None
+                else None
+            )
+            reclaimed = [
+                (int(start), int(count))
+                for start, count in journal.get("reclaimed", [])
+            ]
+            cleared = [str(key) for key in journal.get("cleared_tombstones", [])]
+            live = {record.filename for record in self._segments}
+            if all(name in live for name in sources):
+                # Manifest swap never landed: the merge output decides.
+                if output is None or self._segment_verifies(output):
+                    self._apply_compaction(sources, output, reclaimed, cleared)
+                    self._write_manifest()
+                    for name in sources:
+                        path = self._root / name
+                        if path.exists():
+                            self._io.remove(path)
+                    report.compaction_action = "compaction_rolled_forward"
+                    self._metrics.count("store.compaction_recovered_forward")
+                else:
+                    if output is not None:
+                        path = self._root / output.filename
+                        if path.exists():
+                            self._io.remove(path)
+                    report.compaction_action = "compaction_rolled_back"
+                    self._metrics.count("store.compaction_recovered_back")
+            else:
+                # Manifest swap completed; only source cleanup remained.
+                for name in sources:
+                    path = self._root / name
+                    if path.exists():
+                        self._io.remove(path)
+                report.compaction_action = "compaction_committed"
+        elif report.compaction_journal_found:
+            report.compaction_action = "compaction_rolled_back"
+        if report.compaction_journal_found:
+            if self.compaction_journal_path.exists():
+                self._io.remove(self.compaction_journal_path)
+            self._io.fsync_dir(self._root)
+            self._metrics.count("store.recoveries")
 
     def take_recovery_report(self) -> Optional[RecoveryReport]:
         """Most recent non-trivial recovery, consumed exactly once.
@@ -627,6 +826,221 @@ class ShardedFingerprintStore:
         except (OSError, ValueError):
             return False
         return len(database) == record.count
+
+    # ------------------------------------------------------------------
+    # Point lookups and tombstones
+    # ------------------------------------------------------------------
+
+    def lookup(self, key: str) -> Optional[StoreLookup]:
+        """Point lookup of one key, or ``None`` when it is not stored.
+
+        A warm shard replica answers from memory.  On a cold shard the
+        per-segment bloom filters are consulted first and only the
+        segments whose filter says *maybe* are read — the whole point
+        of the trailer format — so a miss (or a hit in a recent
+        segment) touches a fraction of the shard's bytes.
+        """
+        self._check_serviceable()
+        self._metrics.count("store.point_lookups")
+        if key in self._tombstones:
+            return None
+        shard = self.shard_for_key(key)
+        cached = self._cache.get(shard)
+        if cached is not None:
+            self._metrics.count("store.shard_cache_hits")
+            if key not in cached.sequences:
+                return None
+            return StoreLookup(
+                key=key,
+                fingerprint=cached.database.get(key),
+                sequence=cached.sequences[key],
+            )
+        scanned = 0
+        skipped = 0
+        for segment in self._segments:
+            if segment.shard != shard:
+                continue
+            bloom = self._segment_bloom(segment)
+            if bloom is not None and key not in bloom:
+                skipped += 1
+                self._metrics.count("store.bloom_segment_skips")
+                continue
+            scanned += 1
+            self._metrics.count("store.bloom_segment_loads")
+            segment_db = self._load_segment(segment)
+            if key in segment_db:
+                for sequence, stored_key in zip(
+                    segment.sequences(), segment_db.keys()
+                ):
+                    if stored_key == key:
+                        return StoreLookup(
+                            key=key,
+                            fingerprint=segment_db.get(key),
+                            sequence=sequence,
+                            segments_scanned=scanned,
+                            segments_skipped=skipped,
+                        )
+            elif bloom is not None:
+                self._metrics.count("store.bloom_false_positives")
+        return None
+
+    def tombstone(self, keys: Iterable[str]) -> Dict[str, int]:
+        """Mark keys as deleted; returns each key's global sequence.
+
+        The tombstone set lives in the manifest (one atomic replace
+        publishes it), queries stop serving the keys immediately, and
+        the next compaction of each key's segment drops the record and
+        moves its sequence into the ``reclaimed`` ledger.  Unknown or
+        already-tombstoned keys are rejected before anything mutates.
+        """
+        self._check_serviceable()
+        requested = list(keys)
+        if len(set(requested)) != len(requested):
+            raise StoreError("duplicate keys within tombstone request")
+        located: Dict[str, int] = {}
+        for key in requested:
+            if key in self._tombstones:
+                raise StoreError(f"key {key!r} is already tombstoned")
+            found = self.lookup(key)
+            if found is None:
+                raise StoreError(f"key {key!r} is not stored")
+            located[key] = found.sequence
+        if not located:
+            return {}
+        self._tombstones.update(located)
+        try:
+            self._write_manifest()
+        except OSError:
+            self._needs_recovery = True
+            raise
+        for key in located:
+            cached = self._cache.get(self.shard_for_key(key))
+            if cached is not None and key in cached.sequences:
+                cached.database.remove(key)
+                del cached.sequences[key]
+        self._metrics.count("store.tombstones_added", len(located))
+        return located
+
+    # ------------------------------------------------------------------
+    # Compaction commit (used by repro.reliability.compaction)
+    # ------------------------------------------------------------------
+
+    def _apply_compaction(
+        self,
+        source_filenames: Sequence[str],
+        output: Optional[SegmentRecord],
+        reclaimed: Sequence[Tuple[int, int]],
+        cleared_tombstones: Sequence[str],
+    ) -> None:
+        """In-memory manifest transform of one committed merge."""
+        source_set = set(source_filenames)
+        position = next(
+            index
+            for index, record in enumerate(self._segments)
+            if record.filename in source_set
+        )
+        kept = [
+            record
+            for record in self._segments
+            if record.filename not in source_set
+        ]
+        if output is not None:
+            # Splice at the first source's manifest position (every
+            # earlier entry is a non-source) to preserve global order.
+            kept.insert(position, output)
+        self._segments = kept
+        self._reclaimed = coalesce_runs(self._reclaimed + list(reclaimed))
+        for key in cleared_tombstones:
+            self._tombstones.pop(key, None)
+
+    def commit_compaction(
+        self,
+        sources: Sequence[SegmentRecord],
+        output: Optional[SegmentRecord],
+        data: Optional[bytes],
+        reclaimed: Sequence[Tuple[int, int]] = (),
+        cleared_tombstones: Sequence[str] = (),
+    ) -> None:
+        """Durably replace ``sources`` with one merged ``output`` segment.
+
+        The write protocol mirrors ingest, with its own journal so the
+        two can crash independently: (1) compaction journal durable →
+        (2) output written to ``.tmp``, fsynced, atomically renamed
+        into place → (3) manifest swap publishes the merge → (4)
+        source files deleted → (5) journal retired.  A crash at any
+        step is resolved by :meth:`recover` into exactly the pre- or
+        post-merge store, never a hybrid.  ``output=None`` commits a
+        merge that dropped every record (a manifest-only change).
+        """
+        self._check_serviceable()
+        if not sources:
+            raise StoreError("compaction needs at least one source segment")
+        if (output is None) != (data is None):
+            raise StoreError("output record and data must be supplied together")
+        live = {record.filename: record for record in self._segments}
+        for record in sources:
+            if live.get(record.filename) != record:
+                raise StoreError(
+                    f"segment {record.filename} is not in the live manifest"
+                )
+        shards = {record.shard for record in sources}
+        if len(shards) != 1:
+            raise StoreError("compaction sources must share one shard")
+        if output is not None:
+            if output.shard != sources[0].shard:
+                raise StoreError("output segment must live in the source shard")
+            if output.filename in live:
+                raise StoreError(
+                    f"output filename {output.filename} is already live"
+                )
+        source_filenames = [record.filename for record in sources]
+        journal = {
+            "version": 1,
+            "shard": sources[0].shard,
+            "sources": source_filenames,
+            "output": output.to_json() if output is not None else None,
+            "reclaimed": [list(run) for run in reclaimed],
+            "cleared_tombstones": sorted(cleared_tombstones),
+        }
+        try:
+            journal_data = (json.dumps(journal, indent=2) + "\n").encode("utf-8")
+            self._io.write_bytes(
+                self.compaction_journal_path, journal_data, sync=True
+            )
+            self._io.fsync_dir(self._root)
+
+            if output is not None and data is not None:
+                path = self._root / output.filename
+                path.parent.mkdir(parents=True, exist_ok=True)
+                tmp = path.parent / (path.name + ".tmp")
+                self._io.write_bytes(tmp, data, sync=True)
+                self._io.replace(tmp, path)
+                self._io.fsync_dir(path.parent)
+
+            self._apply_compaction(
+                source_filenames, output, reclaimed, cleared_tombstones
+            )
+            self._write_manifest()
+
+            for record in sources:
+                source_path = self._root / record.filename
+                if source_path.exists():
+                    self._io.remove(source_path)
+            self._io.fsync_dir(self._root / f"shard-{sources[0].shard:03d}")
+
+            self._io.remove(self.compaction_journal_path)
+            self._io.fsync_dir(self._root)
+        except OSError:
+            # Disk state is at an unknown point of the protocol; block
+            # further mutation from this handle until recovery runs.
+            self._needs_recovery = True
+            raise
+
+        for name in source_filenames:
+            self._blooms.pop(name, None)
+        if output is not None:
+            self._blooms.pop(output.filename, None)
+        self._metrics.count("store.compaction_commits")
 
     # ------------------------------------------------------------------
     # Quarantine (used by repro.reliability.repair)
@@ -677,7 +1091,43 @@ class ShardedFingerprintStore:
         self._quarantined.append(QuarantinedSegment(record=record, reason=reason))
         self._write_manifest()
         self._cache.pop(record.shard, None)
+        self._blooms.pop(record.filename, None)
+        if replacement is not None:
+            self._blooms.pop(replacement[0].filename, None)
         self._metrics.count("store.segments_quarantined")
+
+    def drop_quarantined(self, entries: Sequence[QuarantinedSegment]) -> None:
+        """Remove quarantine manifest entries (retention pruning).
+
+        Each dropped entry's sequence span moves into the ``reclaimed``
+        ledger so global sequence coverage stays fully accounted for;
+        one atomic manifest replace publishes the change.  Deleting the
+        quarantined *files* is the caller's job (see
+        :func:`repro.reliability.repair.prune_quarantine`).
+        """
+        self._check_serviceable()
+        if not entries:
+            return
+        for entry in entries:
+            if entry not in self._quarantined:
+                raise StoreError(
+                    f"segment {entry.record.filename} is not quarantined"
+                )
+        spans: List[Tuple[int, int]] = []
+        for entry in entries:
+            self._quarantined.remove(entry)
+            record = entry.record
+            if record.runs:
+                spans.extend(record.runs)
+            else:
+                spans.append((record.start_sequence, record.original_count))
+        self._reclaimed = coalesce_runs(self._reclaimed + spans)
+        try:
+            self._write_manifest()
+        except OSError:
+            self._needs_recovery = True
+            raise
+        self._metrics.count("store.quarantine_pruned", len(entries))
 
     def rewrite_manifest(self) -> None:
         """Durably re-publish the current in-memory manifest state."""
@@ -692,6 +1142,30 @@ class ShardedFingerprintStore:
         data = self._io.read_bytes(self._root / record.filename)
         return load_database(io.BytesIO(data))
 
+    def read_segment(self, record: SegmentRecord) -> FingerprintDatabase:
+        """Strictly load one live segment (compaction's merge input)."""
+        return self._load_segment(record)
+
+    def segment_path(self, record: SegmentRecord) -> Path:
+        """On-disk location of a segment file."""
+        return self._root / record.filename
+
+    def next_segment_filename(self, shard: int) -> str:
+        """Store-relative filename the next segment of ``shard`` gets."""
+        if not 0 <= shard < self._n_shards:
+            raise StoreError(
+                f"shard {shard} out of range for {self._n_shards} shards"
+            )
+        return f"shard-{shard:03d}/segment-{self._next_segment_id(shard):06d}.pcfp"
+
+    def _segment_bloom(self, record: SegmentRecord) -> Optional[BloomFilter]:
+        """Cached bloom filter of a segment (``None`` when it has none)."""
+        if record.filename not in self._blooms:
+            self._blooms[record.filename] = load_segment_bloom(
+                self._io, self._root / record.filename
+            )
+        return self._blooms[record.filename]
+
     def _known_keys(self) -> set:
         known: set = set()
         for shard in range(self._n_shards):
@@ -702,7 +1176,44 @@ class ShardedFingerprintStore:
                 for segment in self._segments:
                     if segment.shard == shard:
                         known.update(self._load_segment(segment).keys())
+        known.update(self._tombstones)
         return known
+
+    def _find_existing(self, keys: Sequence[str]) -> set:
+        """Subset of ``keys`` already present in the store.
+
+        The bloom-accelerated replacement for intersecting against
+        :meth:`_known_keys`: per shard, a warm replica answers from
+        memory, and a cold shard only loads the segments whose filter
+        admits at least one of the probed keys.  Tombstoned keys count
+        as present — their sequence is still assigned, so the key
+        cannot be re-ingested until compaction reclaims it.
+        """
+        clashes = {key for key in keys if key in self._tombstones}
+        by_shard: Dict[int, List[str]] = {}
+        for key in keys:
+            by_shard.setdefault(self.shard_for_key(key), []).append(key)
+        for shard, shard_keys in by_shard.items():
+            cached = self._cache.get(shard)
+            if cached is not None:
+                clashes.update(
+                    key for key in shard_keys if key in cached.sequences
+                )
+                continue
+            for segment in self._segments:
+                if segment.shard != shard:
+                    continue
+                bloom = self._segment_bloom(segment)
+                if bloom is None:
+                    candidates = shard_keys
+                else:
+                    candidates = [key for key in shard_keys if key in bloom]
+                if not candidates:
+                    self._metrics.count("store.bloom_segment_skips")
+                    continue
+                stored = set(self._load_segment(segment).keys())
+                clashes.update(key for key in candidates if key in stored)
+        return clashes
 
     def load_shard(self, shard: int) -> LoadedShard:
         """Replica of one shard, reading its segments on first access.
@@ -742,12 +1253,15 @@ class ShardedFingerprintStore:
                         f"segment {segment.filename} holds {len(segment_db)} "
                         f"records, manifest says {segment.count}"
                     )
-                offsets = segment.offsets()
-                for offset, (key, fingerprint) in zip(
-                    offsets, segment_db.items()
+                for sequence, (key, fingerprint) in zip(
+                    segment.sequences(), segment_db.items()
                 ):
+                    if key in self._tombstones:
+                        # Deleted but not yet compacted away: the replica
+                        # must answer as if the record were gone.
+                        continue
                     database.add(key, fingerprint)
-                    sequences[key] = segment.start_sequence + offset
+                    sequences[key] = sequence
         replica = LoadedShard(database=database, sequences=sequences)
         self._cache[shard] = replica
         return replica
@@ -773,6 +1287,30 @@ class ShardedFingerprintStore:
             )
         rows.sort()
         return [key for _sequence, key in rows]
+
+
+def coalesce_runs(runs: Iterable[Tuple[int, int]]) -> List[Tuple[int, int]]:
+    """Sort ``(start, count)`` sequence runs and merge the contiguous ones.
+
+    Zero-length runs are dropped; overlapping and adjacent runs fuse,
+    so the result is the canonical minimal representation — the
+    manifest's ``reclaimed`` ledger and compacted segments' ``runs``
+    both go through here.
+    """
+    ordered = sorted(
+        (int(start), int(count)) for start, count in runs if int(count) > 0
+    )
+    merged: List[Tuple[int, int]] = []
+    for start, count in ordered:
+        if merged and start <= merged[-1][0] + merged[-1][1]:
+            last_start, last_count = merged[-1]
+            merged[-1] = (
+                last_start,
+                max(last_count, start + count - last_start),
+            )
+        else:
+            merged.append((start, count))
+    return merged
 
 
 def _balanced_boundaries(keys: Sequence[str], n_shards: int) -> List[str]:

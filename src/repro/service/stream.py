@@ -703,6 +703,7 @@ class StreamingIdentificationService:
             metrics=self._metrics,
         )
         # Mutable per-run state, (re)initialized by run().
+        self._active_queue: Optional[BoundedObservationQueue] = None
         self._clusterer: Optional[OnlineClusterer] = None
         self._results_bytes = 0
         self._quarantine_bytes = 0
@@ -740,6 +741,19 @@ class StreamingIdentificationService:
     def quarantine_path(self) -> Path:
         """Location of the append-only quarantine file."""
         return self._state_dir / QUARANTINE_NAME
+
+    def queue_load(self) -> float:
+        """Fill fraction of the live ingest queue (0.0 when idle).
+
+        Background maintenance — the store compactor's backpressure
+        check — polls this to defer merges while the stream engine is
+        busy; between runs (or before the first) there is no queue and
+        the answer is 0.0.
+        """
+        queue = self._active_queue
+        if queue is None:
+            return 0.0
+        return len(queue) / queue.depth
 
     # -- checkpoint plumbing -------------------------------------------
 
@@ -930,6 +944,7 @@ class StreamingIdentificationService:
             if offset >= start_offset
         )
         queue = BoundedObservationQueue(self._queue_depth, self._metrics)
+        self._active_queue = queue
         halt = threading.Event()
         reader_failure: List[BaseException] = []
         reader = threading.Thread(

@@ -1,0 +1,103 @@
+"""Tests for the per-segment bloom filters and their trailer format."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.reliability import StorageIO
+from repro.reliability.bloom import (
+    BloomFilter,
+    append_trailer,
+    build_filter,
+    load_segment_bloom,
+    parse_trailer,
+    trailer_read_size,
+)
+
+
+def keys(n, prefix="dev"):
+    return [f"{prefix}-{index:05d}" for index in range(n)]
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        bloom = build_filter(keys(2000))
+        for key in keys(2000):
+            assert key in bloom
+
+    def test_false_positive_rate_is_low(self):
+        bloom = build_filter(keys(2000))
+        absent = keys(10_000, prefix="ghost")
+        positives = sum(1 for key in absent if key in bloom)
+        # 10 bits/key, 7 hashes: theoretical ~0.8 %; allow slack.
+        assert positives / len(absent) < 0.05
+
+    def test_seed_changes_the_hash_family(self):
+        one = BloomFilter(1024, seed=1)
+        two = BloomFilter(1024, seed=2)
+        one.add("device")
+        two.add("device")
+        assert one.to_bytes() != two.to_bytes()
+
+    def test_roundtrip(self):
+        bloom = build_filter(keys(100))
+        clone = BloomFilter.from_bytes(bloom.to_bytes())
+        assert clone.to_bytes() == bloom.to_bytes()
+        assert all(key in clone for key in keys(100))
+
+    def test_sized_for_scales_with_keys(self):
+        small = BloomFilter.sized_for(10)
+        large = BloomFilter.sized_for(10_000)
+        assert large.m_bits > small.m_bits
+        assert small.m_bits >= 64
+
+    def test_fill_ratio_grows(self):
+        bloom = BloomFilter.sized_for(100)
+        assert bloom.fill_ratio() == 0.0
+        for key in keys(100):
+            bloom.add(key)
+        assert 0.0 < bloom.fill_ratio() < 1.0
+
+    def test_from_bytes_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            BloomFilter.from_bytes(b"not a filter payload")
+
+
+class TestTrailer:
+    def test_trailer_is_invisible_prefix_preserved(self):
+        body = b"PCFP segment body bytes"
+        data = append_trailer(body, build_filter(keys(10)))
+        assert data.startswith(body)
+        assert len(data) > len(body)
+
+    def test_parse_roundtrip(self):
+        bloom = build_filter(keys(50))
+        data = append_trailer(b"body", bloom)
+        parsed = parse_trailer(data)
+        assert parsed is not None
+        assert all(key in parsed for key in keys(50))
+
+    def test_absent_trailer_parses_to_none(self):
+        assert parse_trailer(b"just a segment, no trailer") is None
+        assert parse_trailer(b"") is None
+
+    def test_corrupt_trailer_parses_to_none(self):
+        data = bytearray(append_trailer(b"body", build_filter(keys(50))))
+        data[len(b"body") + 8] ^= 0xFF  # damage the bitmap
+        assert parse_trailer(bytes(data)) is None
+
+    def test_load_segment_bloom_from_disk(self, tmp_path):
+        bloom = build_filter(keys(30))
+        path = tmp_path / "segment.pcfp"
+        path.write_bytes(append_trailer(b"x" * 4096, bloom))
+        loaded = load_segment_bloom(StorageIO(), path)
+        assert loaded is not None
+        assert all(key in loaded for key in keys(30))
+
+    def test_load_missing_file_degrades_to_none(self, tmp_path):
+        assert load_segment_bloom(StorageIO(), tmp_path / "gone.pcfp") is None
+
+    def test_trailer_read_size_covers_the_trailer(self):
+        bloom = build_filter(keys(1 << 12))
+        data = append_trailer(b"body", bloom)
+        assert trailer_read_size(1 << 12) >= len(data) - len(b"body")

@@ -111,6 +111,37 @@ class TestFaultyIO:
             io_.write_bytes(tmp_path / "victim", b"doomed")
         assert (tmp_path / "bystander").read_bytes() == b"fine"
 
+    def test_rename_mode_lands_the_replace_then_dies(self, tmp_path):
+        """The post-rename crash point: the atomic replace reaches the
+        disk, the process dies before whatever was meant to publish it."""
+        (tmp_path / "tmp").write_bytes(b"new contents")
+        (tmp_path / "final").write_bytes(b"old contents")
+        io_ = FaultyIO(FaultPlan(fail_at=1, mode="rename"))
+        with pytest.raises(InjectedFault, match="post-rename"):
+            io_.replace(tmp_path / "tmp", tmp_path / "final")
+        assert (tmp_path / "final").read_bytes() == b"new contents"
+        assert not (tmp_path / "tmp").exists()
+        assert io_.faults_fired == 1
+
+    def test_rename_mode_on_other_ops_crashes_before_disk(self, tmp_path):
+        io_ = FaultyIO(FaultPlan(fail_at=1, mode="rename"))
+        with pytest.raises(InjectedFault):
+            io_.write_bytes(tmp_path / "never", b"data")
+        assert not (tmp_path / "never").exists()
+
+    def test_read_tail_reads_the_end(self, tmp_path):
+        (tmp_path / "f").write_bytes(b"0123456789")
+        io_ = FaultyIO()
+        assert io_.read_tail(tmp_path / "f", 4) == b"6789"
+        assert io_.read_tail(tmp_path / "f", 100) == b"0123456789"
+        assert io_.log[-1][0] == "read_tail"
+
+    def test_read_tail_faults_fire(self, tmp_path):
+        (tmp_path / "f").write_bytes(b"0123456789")
+        io_ = FaultyIO(FaultPlan(fail_at=1))
+        with pytest.raises(InjectedFault):
+            io_.read_tail(tmp_path / "f", 4)
+
     def test_wraps_an_inner_io(self, tmp_path):
         class Recording(StorageIO):
             def __init__(self):

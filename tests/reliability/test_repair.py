@@ -14,6 +14,7 @@ from repro.reliability import (
     FaultPlan,
     FaultyIO,
     StorageIO,
+    prune_quarantine,
     repair_store,
     verify_store,
 )
@@ -342,3 +343,87 @@ class TestDegradedServing:
         )
         assert service.metrics.counter("batch.shard_timeouts") >= 1
         assert not any(result.matched for result in report.results)
+
+
+class TestPruneQuarantine:
+    """Satellite: retention pruning of the quarantine directory."""
+
+    @pytest.fixture
+    def quarantined_store(self, tmp_path, rng, fault_rng):
+        """A store whose first segment was corrupted and quarantined."""
+        root = tmp_path / "pruned"
+        store = ShardedFingerprintStore(root, n_shards=2)
+        store.ingest(make_batch(60, rng))
+        victim = store.segments[0]
+        corrupt_record(root / victim.filename, 1, rng=fault_rng)
+        store.evict()
+        repair_store(store)
+        assert store.quarantined
+        return root, store, victim
+
+    def test_clean_store_prunes_nothing(self, tmp_path, rng):
+        store = ShardedFingerprintStore(tmp_path / "s", n_shards=2)
+        store.ingest(make_batch(10, rng))
+        report = prune_quarantine(store, older_than_days=0.0)
+        assert report.examined == 0
+        assert report.pruned_entries == 0 and not report.pruned_files
+
+    def test_dry_run_touches_nothing(self, quarantined_store):
+        root, store, _victim = quarantined_store
+        manifest_before = (root / "manifest.json").read_bytes()
+        report = prune_quarantine(store, older_than_days=0.0, dry_run=True)
+        assert report.dry_run
+        assert report.examined == 1 and report.pruned_entries == 1
+        assert report.pruned_files and report.bytes_freed > 0
+        for filename in report.pruned_files:
+            assert (root / filename).exists()  # still on disk
+        assert (root / "manifest.json").read_bytes() == manifest_before
+        assert store.quarantined  # entry still recorded
+
+    def test_prune_deletes_files_and_reclaims_sequences(
+        self, quarantined_store
+    ):
+        root, store, victim = quarantined_store
+        report = prune_quarantine(store, older_than_days=0.0)
+        assert not report.dry_run
+        assert report.pruned_entries == 1
+        assert report.bytes_freed > 0
+        for filename in report.pruned_files:
+            assert not (root / filename).exists()
+        assert store.quarantined == []
+        covered = {
+            sequence
+            for start, count in store.reclaimed
+            for sequence in range(start, start + count)
+        }
+        assert set(
+            range(victim.start_sequence, victim.start_sequence + victim.count)
+        ) <= covered
+        assert store.metrics.counter("store.quarantine_pruned") == 1
+        assert verify_store(root).ok
+        # Idempotent: a second prune finds nothing.
+        assert prune_quarantine(store, older_than_days=0.0).pruned_entries == 0
+
+    def test_fresh_files_are_kept(self, quarantined_store):
+        _root, store, _victim = quarantined_store
+        report = prune_quarantine(store, older_than_days=30.0)
+        assert report.pruned_entries == 0
+        assert report.kept_files
+        assert store.quarantined  # untouched
+
+    def test_aged_files_cross_the_cutoff(self, quarantined_store):
+        import os as _os
+
+        root, store, _victim = quarantined_store
+        old = time.time() - 10 * 86400.0
+        for path in (root / "quarantine").iterdir():
+            _os.utime(path, (old, old))
+        report = prune_quarantine(store, older_than_days=7.0)
+        assert report.pruned_entries == 1
+        assert store.quarantined == []
+        assert verify_store(root).ok
+
+    def test_negative_retention_rejected(self, quarantined_store):
+        _root, store, _victim = quarantined_store
+        with pytest.raises(ValueError):
+            prune_quarantine(store, older_than_days=-1.0)

@@ -153,3 +153,179 @@ class TestCorruptIngestFile:
         assert "corrupt fingerprint stream" in err
         assert "byte" in err and "record" in err
         assert "Traceback" not in err
+
+
+@pytest.fixture
+def lsm_store(tmp_path, rng):
+    """A 1-shard store grown through 5 ingests (5 small segments)."""
+    root = tmp_path / "lsm"
+    store = ShardedFingerprintStore(root, n_shards=1)
+    corpus = [
+        (
+            f"device-{index:04d}",
+            Fingerprint(bits=BitVector.random(NBITS, rng, 0.02)),
+        )
+        for index in range(50)
+    ]
+    for start in range(5):
+        store.ingest(corpus[start::5])
+    return root, store
+
+
+class TestCompactCLI:
+    def test_dry_run_prints_plan_and_changes_nothing(
+        self, lsm_store, capsys
+    ):
+        root, store = lsm_store
+        files_before = {record.filename for record in store.segments}
+        assert main(["compact", "--store", str(root), "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "size_tier" in out
+        assert "nothing executed (--dry-run)" in out
+        reopened = ShardedFingerprintStore(root)
+        assert {record.filename for record in reopened.segments} == files_before
+
+    def test_compact_merges_and_reports(self, lsm_store, capsys):
+        root, _store = lsm_store
+        assert main(["compact", "--store", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert "1 merge(s)" in out
+        assert "records dropped" in out
+        reopened = ShardedFingerprintStore(root)
+        assert len(reopened.segments) == 1
+        assert len(reopened) == 50
+        assert main(["verify-store", "--store", str(root)]) == 0
+
+    def test_json_report(self, lsm_store, capsys):
+        root, _store = lsm_store
+        assert main(["compact", "--store", str(root), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_merges"] == 1
+        assert payload["merges"][0]["records_kept"] == 50
+
+    def test_small_records_and_max_merges_flags(self, lsm_store, capsys):
+        root, _store = lsm_store
+        code = main(
+            [
+                "compact",
+                "--store",
+                str(root),
+                "--small-records",
+                "5",
+                "--json",
+            ]
+        )
+        assert code == 0
+        # 10-record segments are no longer "small": nothing to merge.
+        assert json.loads(capsys.readouterr().out)["n_merges"] == 0
+        code = main(
+            ["compact", "--store", str(root), "--max-merges", "0", "--json"]
+        )
+        assert code == 0
+        assert json.loads(capsys.readouterr().out)["n_merges"] == 0
+
+    def test_missing_store_exits_two(self, tmp_path, capsys):
+        assert main(["compact", "--store", str(tmp_path / "nope")]) == 2
+        assert "no store" in capsys.readouterr().err
+
+
+class TestRepairPruneCLI:
+    @pytest.fixture
+    def quarantined(self, populated_store):
+        """A store with one quarantined segment (repaired beforehand)."""
+        root, store = populated_store
+        corrupt_first_segment(root, store)
+        assert main(["repair", "--store", str(root)]) == 0
+        return root
+
+    def test_flag_validation(self, populated_store, capsys):
+        root, _store = populated_store
+        assert main(["repair", "--store", str(root), "--prune-quarantine"]) == 2
+        assert "--older-than" in capsys.readouterr().err
+        assert main(["repair", "--store", str(root), "--older-than", "7"]) == 2
+        assert "--prune-quarantine" in capsys.readouterr().err
+
+    def test_dry_run_previews_only(self, quarantined, capsys):
+        root = quarantined
+        capsys.readouterr()
+        code = main(
+            [
+                "repair",
+                "--store",
+                str(root),
+                "--prune-quarantine",
+                "--older-than",
+                "0",
+                "--dry-run",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "would prune" in out
+        assert "(dry run)" in out
+        assert list((root / "quarantine").iterdir())  # still on disk
+
+    def test_prune_deletes_and_reports(self, quarantined, capsys):
+        root = quarantined
+        capsys.readouterr()
+        code = main(
+            [
+                "repair",
+                "--store",
+                str(root),
+                "--prune-quarantine",
+                "--older-than",
+                "0",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pruned" in out and "bytes freed" in out
+        assert not list((root / "quarantine").iterdir())
+        assert main(["verify-store", "--store", str(root)]) == 0
+
+    def test_json_merges_prune_report(self, quarantined, capsys):
+        root = quarantined
+        capsys.readouterr()
+        code = main(
+            [
+                "repair",
+                "--store",
+                str(root),
+                "--prune-quarantine",
+                "--older-than",
+                "0",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["prune"]["pruned_entries"] == 1
+        assert payload["prune"]["bytes_freed"] > 0
+
+
+class TestVerifyRecoverableCLI:
+    def test_pending_compaction_is_flagged_recoverable(
+        self, populated_store, capsys
+    ):
+        root, store = populated_store
+        victim = store.segments[0]
+        # A crashed drop-everything merge: manifest swap never landed.
+        journal = {
+            "version": 1,
+            "shard": victim.shard,
+            "sources": [victim.filename],
+            "output": None,
+            "reclaimed": [[victim.start_sequence, victim.count]],
+            "cleared_tombstones": [],
+        }
+        (root / "compaction-journal.json").write_text(json.dumps(journal))
+        assert main(["verify-store", "--store", str(root)]) == 1
+        out = capsys.readouterr().out
+        assert "recoverable" in out
+        assert "repro repair" in out
+        assert (root / "compaction-journal.json").exists()  # read-only
+        # Repair resolves the pending merge; verify is clean again.
+        assert main(["repair", "--store", str(root)]) == 0
+        assert not (root / "compaction-journal.json").exists()
+        assert main(["verify-store", "--store", str(root)]) == 0

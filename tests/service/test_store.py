@@ -10,7 +10,11 @@ import pytest
 from repro.bits import BitVector
 from repro.core import Fingerprint
 from repro.service import ShardedFingerprintStore, StoreError
-from repro.service.store import _balanced_boundaries
+from repro.service.store import (
+    SegmentRecord,
+    _balanced_boundaries,
+    coalesce_runs,
+)
 
 NBITS = 1024
 
@@ -186,3 +190,159 @@ class TestBoundaries:
         assert _balanced_boundaries(["only"], 8) == []
         few = _balanced_boundaries(["a", "b"], 8)
         assert few == ["a"]
+
+
+class TestRunsAndCoalesce:
+    def test_coalesce_merges_adjacent_and_overlapping(self):
+        assert coalesce_runs([(0, 2), (2, 3)]) == [(0, 5)]
+        assert coalesce_runs([(5, 2), (0, 2)]) == [(0, 2), (5, 2)]
+        assert coalesce_runs([(0, 4), (2, 4)]) == [(0, 6)]
+        assert coalesce_runs([(3, 0), (1, 1)]) == [(1, 1)]
+        assert coalesce_runs([]) == []
+
+    def test_segment_record_runs_roundtrip(self):
+        record = SegmentRecord(
+            shard=0,
+            filename="shard-000/segment-000009.pcfp",
+            count=5,
+            start_sequence=2,
+            runs=((2, 3), (7, 2)),
+        )
+        assert record.sequences() == [2, 3, 4, 7, 8]
+        clone = SegmentRecord.from_json(record.to_json())
+        assert clone == record
+
+    def test_sequences_without_runs_follow_offsets(self):
+        record = SegmentRecord(
+            shard=0,
+            filename="shard-000/segment-000000.pcfp",
+            count=3,
+            start_sequence=10,
+        )
+        assert record.sequences() == [10, 11, 12]
+
+
+class TestLookupAndTombstones:
+    def test_lookup_warm_and_cold(self, store_dir, rng):
+        store = ShardedFingerprintStore(store_dir, n_shards=2)
+        batch = make_batch(20, rng)
+        store.ingest(batch)
+        key, fingerprint = batch[7]
+        cold = ShardedFingerprintStore(store_dir)
+        found = cold.lookup(key)
+        assert found is not None
+        assert found.key == key
+        assert found.sequence == 7
+        assert found.fingerprint == fingerprint
+        assert found.segments_scanned >= 1
+        # Warm the shard: the cache answers, no segment reads.
+        cold.load_shard(cold.shard_for_key(key))
+        warm = cold.lookup(key)
+        assert warm is not None and warm.sequence == 7
+        assert warm.segments_scanned == 0
+        assert cold.lookup("never-stored") is None
+
+    def test_tombstone_hides_reopen_persists(self, store_dir, rng):
+        store = ShardedFingerprintStore(store_dir, n_shards=2)
+        batch = make_batch(10, rng)
+        store.ingest(batch)
+        key = batch[3][0]
+        sequences = store.tombstone([key])
+        assert sequences == {key: 3}
+        assert store.lookup(key) is None
+        assert len(store) == 9
+        assert key not in store.all_keys()
+        # The tombstone set rides the manifest across reopen.
+        reopened = ShardedFingerprintStore(store_dir)
+        assert reopened.tombstones == {key: 3}
+        assert reopened.lookup(key) is None
+        assert len(reopened) == 9
+
+    def test_tombstone_purges_warm_cache(self, store_dir, rng):
+        store = ShardedFingerprintStore(store_dir, n_shards=1)
+        batch = make_batch(10, rng)
+        store.ingest(batch)
+        store.load_shard(0)
+        key = batch[0][0]
+        store.tombstone([key])
+        shard = store.load_shard(0)
+        assert key not in shard.sequences
+        assert key not in shard.database
+
+    def test_tombstone_rejects_bad_requests(self, store_dir, rng):
+        store = ShardedFingerprintStore(store_dir, n_shards=2)
+        batch = make_batch(10, rng)
+        store.ingest(batch)
+        key = batch[0][0]
+        with pytest.raises(StoreError, match="not stored"):
+            store.tombstone(["ghost"])
+        with pytest.raises(StoreError, match="duplicate"):
+            store.tombstone([key, key])
+        store.tombstone([key])
+        with pytest.raises(StoreError, match="already tombstoned"):
+            store.tombstone([key])
+        assert len(store) == 9  # failed requests changed nothing else
+
+    def test_tombstoned_key_cannot_be_reingested(self, store_dir, rng):
+        store = ShardedFingerprintStore(store_dir, n_shards=2)
+        batch = make_batch(10, rng)
+        store.ingest(batch)
+        store.tombstone([batch[0][0]])
+        with pytest.raises(StoreError, match="already stored"):
+            store.ingest(batch[:1])
+
+
+class TestCommitCompactionValidation:
+    @pytest.fixture
+    def small_store(self, store_dir, rng):
+        store = ShardedFingerprintStore(store_dir, n_shards=2)
+        store.ingest(make_batch(20, rng))
+        store.ingest(make_batch(20, rng, prefix="late"))
+        return store
+
+    def test_requires_sources(self, small_store):
+        with pytest.raises(StoreError, match="at least one source"):
+            small_store.commit_compaction(sources=[], output=None, data=None)
+
+    def test_output_and_data_travel_together(self, small_store):
+        source = small_store.segments[0]
+        with pytest.raises(StoreError, match="together"):
+            small_store.commit_compaction(
+                sources=[source], output=None, data=b"bytes"
+            )
+
+    def test_sources_must_be_live(self, small_store):
+        stranger = SegmentRecord(
+            shard=0,
+            filename="shard-000/segment-999999.pcfp",
+            count=1,
+            start_sequence=0,
+        )
+        with pytest.raises(StoreError, match="not in the live manifest"):
+            small_store.commit_compaction(
+                sources=[stranger], output=None, data=None
+            )
+
+    def test_sources_must_share_a_shard(self, small_store):
+        by_shard = {}
+        for record in small_store.segments:
+            by_shard.setdefault(record.shard, record)
+        sources = list(by_shard.values())[:2]
+        assert len(sources) == 2
+        with pytest.raises(StoreError, match="share one shard"):
+            small_store.commit_compaction(
+                sources=sources, output=None, data=None
+            )
+
+    def test_output_filename_must_be_fresh(self, small_store):
+        source = small_store.segments[0]
+        clash = SegmentRecord(
+            shard=source.shard,
+            filename=source.filename,  # still live: it IS the source
+            count=1,
+            start_sequence=0,
+        )
+        with pytest.raises(StoreError, match="already live"):
+            small_store.commit_compaction(
+                sources=[source], output=clash, data=b"x"
+            )
