@@ -337,8 +337,15 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     verify_parser.add_argument(
         "--store",
-        required=True,
+        default=None,
         help="sharded fingerprint store directory to inspect",
+    )
+    verify_parser.add_argument(
+        "--all-shards",
+        default=None,
+        metavar="CLUSTER_DIR",
+        help="fsck every partition replica of a cluster directory and "
+        "report per-replica divergence in one JSON report",
     )
     verify_parser.add_argument(
         "--json",
@@ -442,7 +449,178 @@ def _build_parser() -> argparse.ArgumentParser:
         "mapping-recovery attacker (see DESIGN.md §12)",
     )
     configure_addrmap_parser(addrmap_parser)
+
+    cluster_parser = subparsers.add_parser(
+        "cluster",
+        help="process-parallel replicated cluster: serve, status, "
+        "rebalance (see DESIGN.md §14)",
+    )
+    _configure_cluster_parser(cluster_parser)
     return parser
+
+
+def _configure_cluster_parser(parser: argparse.ArgumentParser) -> None:
+    """Sub-commands of ``repro cluster``."""
+    sub = parser.add_subparsers(dest="cluster_command", required=True)
+
+    serve = sub.add_parser(
+        "serve",
+        help="build and/or query a replicated worker-process cluster",
+    )
+    serve.add_argument(
+        "--cluster",
+        required=True,
+        metavar="DIR",
+        help="cluster root directory (placement map + replica stores)",
+    )
+    serve.add_argument(
+        "--ingest",
+        action="append",
+        default=[],
+        metavar="FILE.pcfp",
+        help="fingerprint database file(s) to build a new cluster from "
+        "(enrollment order defines Algorithm 2 sequence priority)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=3,
+        help="worker process count when building a new cluster (default 3)",
+    )
+    serve.add_argument(
+        "--partitions",
+        type=int,
+        default=8,
+        help="partition count when building a new cluster (default 8)",
+    )
+    serve.add_argument(
+        "--replication",
+        type=int,
+        default=2,
+        help="replicas per partition when building (default 2)",
+    )
+    serve.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="Algorithm 2 match threshold (default: paper's 0.1)",
+    )
+    serve.add_argument(
+        "--queries",
+        default=None,
+        metavar="FILE.jsonl",
+        help="JSON Lines query file to identify (batch mode)",
+    )
+    serve.add_argument(
+        "--observations",
+        default=None,
+        metavar="FILE.jsonl",
+        help="observation stream to identify (streaming mode; runs the "
+        "stream pipeline's admission/checkpoint machinery over the "
+        "cluster engine — requires --state-dir)",
+    )
+    serve.add_argument(
+        "--state-dir",
+        default=None,
+        metavar="DIR",
+        help="stream state directory (checkpoint, quarantine, results) "
+        "for --observations",
+    )
+    serve.add_argument(
+        "--resume",
+        action="store_true",
+        help="with --observations: resume from the last checkpoint",
+    )
+    serve.add_argument(
+        "--batch-size",
+        type=int,
+        default=64,
+        help="streaming micro-batch size (default 64)",
+    )
+    serve.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=500,
+        help="streaming checkpoint cadence in observations (default 500)",
+    )
+    serve.add_argument(
+        "--hedge-delay-s",
+        type=float,
+        default=0.05,
+        help="hedge a replica read after this many seconds "
+        "(negative disables hedging; default 0.05)",
+    )
+    serve.add_argument(
+        "--jitter-seed",
+        type=int,
+        default=None,
+        help="seed for the restart-backoff jitter RNG (deterministic runs)",
+    )
+    serve.add_argument(
+        "--report",
+        default=None,
+        metavar="FILE.json",
+        help="where to write the JSON report "
+        "(default <results-dir>/cluster_serve_report.json)",
+    )
+    serve.add_argument(
+        "--quiet",
+        action="store_true",
+        help="only print the summary line, not the metrics block",
+    )
+    serve.add_argument(
+        "--obs-dir",
+        default=None,
+        metavar="DIR",
+        help="write trace + metrics observability artifacts into DIR",
+    )
+
+    status = sub.add_parser(
+        "status",
+        help="print placement, worker liveness and breaker state",
+    )
+    status.add_argument(
+        "--cluster",
+        required=True,
+        metavar="DIR",
+        help="cluster root directory",
+    )
+    status.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the status as JSON on stdout",
+    )
+
+    rebalance = sub.add_parser(
+        "rebalance",
+        help="re-place partitions after removing/adding workers "
+        "(journaled, crash-safe placement commit)",
+    )
+    rebalance.add_argument(
+        "--cluster",
+        required=True,
+        metavar="DIR",
+        help="cluster root directory",
+    )
+    rebalance.add_argument(
+        "--remove",
+        action="append",
+        default=[],
+        metavar="WORKER",
+        help="worker id to remove from the placement (repeatable)",
+    )
+    rebalance.add_argument(
+        "--add",
+        action="append",
+        default=[],
+        metavar="WORKER",
+        help="worker id to add to the placement (repeatable)",
+    )
+    rebalance.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the new placement as JSON on stdout",
+    )
 
 
 def _load_queries(path: Path) -> List:
@@ -704,10 +882,66 @@ def _quarantine(args: argparse.Namespace) -> int:
     return 0
 
 
+def _verify_cluster(args: argparse.Namespace) -> int:
+    """The verify-store --all-shards body: fsck every replica dir."""
+    from repro.service.cluster import verify_cluster
+    from repro.service.placement import PLACEMENT_NAME
+
+    cluster_dir = Path(args.all_shards)
+    if not (cluster_dir / PLACEMENT_NAME).exists():
+        print(
+            f"verify-store: no cluster at {cluster_dir}", file=sys.stderr
+        )
+        return 2
+    verification = verify_cluster(cluster_dir)
+    if args.json:
+        print(json.dumps(verification.to_json(), indent=2, sort_keys=True))
+        return 0 if verification.ok else 1
+    for entry in verification.replicas:
+        state = "ok" if entry["ok"] else "INCONSISTENT"
+        print(
+            f"partition {entry['partition']:>3} @ {entry['worker']}: "
+            f"{state}"
+        )
+        for problem in entry["problems"]:
+            print(f"  problem: {problem}")
+    for entry in verification.missing_replicas:
+        print(
+            f"partition {entry['partition']:>3} @ {entry['worker']}: "
+            "MISSING replica directory"
+        )
+    if verification.divergent_partitions:
+        print(
+            "divergent partitions (replicas disagree): "
+            + ", ".join(str(p) for p in verification.divergent_partitions)
+        )
+    if verification.journal_pending:
+        print(
+            "placement journal pending: an interrupted rebalance will "
+            "roll forward on the next open"
+        )
+    status = "consistent" if verification.ok else "INCONSISTENT"
+    print(
+        f"cluster {cluster_dir}: {status} "
+        f"(placement v{verification.placement_version}, "
+        f"{len(verification.replicas)} replicas checked)"
+    )
+    return 0 if verification.ok else 1
+
+
 def _verify_store(args: argparse.Namespace) -> int:
     """The verify-store command body (read-only)."""
     from repro.reliability import verify_store
 
+    if (args.store is None) == (args.all_shards is None):
+        print(
+            "verify-store: provide exactly one of --store or "
+            "--all-shards CLUSTER_DIR",
+            file=sys.stderr,
+        )
+        return 2
+    if args.all_shards is not None:
+        return _verify_cluster(args)
     store_dir = Path(args.store)
     if not store_dir.exists():
         print(f"verify-store: no store at {store_dir}", file=sys.stderr)
@@ -868,6 +1102,255 @@ def _compact(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cluster_serve(args: argparse.Namespace) -> int:
+    """The cluster serve body: build and/or answer through the cluster."""
+    import threading
+
+    from repro.core.distance import DEFAULT_THRESHOLD
+    from repro.core.serialize import load_database
+    from repro.service import (
+        ClusterConfig,
+        ClusterService,
+        StreamingIdentificationService,
+        build_cluster,
+        install_signal_handlers,
+    )
+    from repro.service.placement import PLACEMENT_NAME
+
+    root = Path(args.cluster)
+    exists = (root / PLACEMENT_NAME).exists()
+    if args.ingest:
+        if exists:
+            print(
+                f"cluster serve: cluster at {root} already exists; "
+                "--ingest only builds new clusters",
+                file=sys.stderr,
+            )
+            return 2
+        entries: List = []
+        for ingest_path in args.ingest:
+            database = load_database(ingest_path)
+            added = list(database.items())
+            entries.extend(added)
+            print(f"enrolling {len(added)} fingerprints from {ingest_path}")
+        placement = build_cluster(
+            root,
+            entries,
+            n_workers=args.workers,
+            n_partitions=args.partitions,
+            replication=args.replication,
+        )
+        print(
+            f"cluster built: {placement.n_partitions} partitions x "
+            f"{placement.replication} replicas on "
+            f"{len(placement.workers)} workers"
+        )
+    elif not exists:
+        print(
+            f"cluster serve: no cluster at {root} "
+            "(use --ingest to build one)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.queries is None and args.observations is None:
+        return 0
+    if args.queries is not None and args.observations is not None:
+        print(
+            "cluster serve: --queries (batch) and --observations "
+            "(streaming) are mutually exclusive",
+            file=sys.stderr,
+        )
+        return 2
+    if args.observations is not None and args.state_dir is None:
+        print(
+            "cluster serve: --observations requires --state-dir",
+            file=sys.stderr,
+        )
+        return 2
+    threshold = (
+        args.threshold if args.threshold is not None else DEFAULT_THRESHOLD
+    )
+    config = ClusterConfig(
+        threshold=threshold,
+        hedge_delay_s=(
+            None if args.hedge_delay_s < 0 else args.hedge_delay_s
+        ),
+        jitter_seed=args.jitter_seed,
+    )
+    if args.observations is not None:
+        observations = Path(args.observations)
+        if not observations.exists():
+            print(
+                f"cluster serve: no observations at {observations}",
+                file=sys.stderr,
+            )
+            return 2
+    service = ClusterService(root, config)
+    try:
+        with service:
+            if args.queries is not None:
+                # Batch mode: one identify over the whole query file.
+                queries = _load_queries(Path(args.queries))
+                report = service.identify(queries)
+                report_path = (
+                    Path(args.report)
+                    if args.report is not None
+                    else results_dir() / "cluster_serve_report.json"
+                )
+                report_path.parent.mkdir(parents=True, exist_ok=True)
+                report_path.write_text(
+                    json.dumps(report.to_json(), indent=2) + "\n"
+                )
+                print(
+                    f"queries: {len(queries)}  "
+                    f"matched: {report.matched_count}  "
+                    f"unmatched: {report.unmatched_count}"
+                )
+                _print_cluster_degraded(report.degraded_shards)
+                if not args.quiet:
+                    print(service.metrics.format_stats())
+                print(f"report written to {report_path}")
+                return 1 if report.degraded else 0
+            # Streaming mode: the stream pipeline's admission /
+            # quarantine / checkpoint machinery over the cluster engine.
+            stream_service = StreamingIdentificationService(
+                None,
+                args.state_dir,
+                threshold=threshold,
+                batch_size=args.batch_size,
+                checkpoint_every=args.checkpoint_every,
+                engine=service,
+                metrics=service.metrics,
+            )
+            stop = threading.Event()
+            restore = install_signal_handlers(stop)
+            try:
+                stream_report = stream_service.run(
+                    observations, resume=args.resume, stop_event=stop
+                )
+            finally:
+                restore()
+            print(
+                f"cluster stream {stream_report.status}: "
+                f"{stream_report.observations} observations "
+                f"({stream_report.start_offset}.."
+                f"{stream_report.final_offset}), "
+                f"matched {stream_report.matched}, "
+                f"unmatched {stream_report.unmatched}, "
+                f"quarantined {stream_report.quarantined}, "
+                f"{stream_report.batches} batches, "
+                f"{stream_report.checkpoints} checkpoints"
+            )
+            _print_cluster_degraded(stream_report.degraded_shards)
+            if not args.quiet:
+                print(service.metrics.format_stats())
+            if stream_report.status == "failed":
+                return 1
+            if stream_report.status == "interrupted":
+                print(
+                    "interrupted: rerun with --resume to continue",
+                    file=sys.stderr,
+                )
+                return 3
+            return 0
+    finally:
+        if args.obs_dir is not None:
+            _write_metrics_artifacts(Path(args.obs_dir), service.metrics)
+
+
+def _print_cluster_degraded(entries: List) -> None:
+    """Echo degraded-partition tags to stderr (both serve modes)."""
+    for entry in entries:
+        print(
+            f"DEGRADED partition {entry.shard} "
+            f"({entry.attempts} attempt(s)): {entry.reason}",
+            file=sys.stderr,
+        )
+
+
+def _cluster_status(args: argparse.Namespace) -> int:
+    """The cluster status body (offline inspection)."""
+    from repro.service import ClusterService
+    from repro.service.placement import PLACEMENT_NAME
+
+    root = Path(args.cluster)
+    if not (root / PLACEMENT_NAME).exists():
+        print(f"cluster status: no cluster at {root}", file=sys.stderr)
+        return 2
+    service = ClusterService(root)
+    try:
+        status = service.status()
+    finally:
+        service.stop()
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+        return 0
+    placement = status["placement"]
+    print(
+        f"cluster {root}: placement v{placement['version']}, "
+        f"{placement['n_partitions']} partitions x "
+        f"{placement['replication']} replicas on "
+        f"{len(placement['workers'])} workers"
+    )
+    for worker_id in sorted(status["workers"]):
+        info = status["workers"][worker_id]
+        state = "alive" if info["alive"] else "down"
+        parts = ", ".join(str(p) for p in info["partitions"])
+        print(
+            f"  {worker_id}: {state} (restarts {info['restarts']}) "
+            f"partitions [{parts}]"
+        )
+    if status["journal_pending"]:
+        print("  placement journal pending (interrupted rebalance)")
+    return 0
+
+
+def _cluster_rebalance(args: argparse.Namespace) -> int:
+    """The cluster rebalance body (journaled placement change)."""
+    from repro.service import ClusterService
+    from repro.service.placement import PLACEMENT_NAME
+
+    root = Path(args.cluster)
+    if not (root / PLACEMENT_NAME).exists():
+        print(f"cluster rebalance: no cluster at {root}", file=sys.stderr)
+        return 2
+    if not args.remove and not args.add:
+        print(
+            "cluster rebalance: nothing to do (use --remove and/or --add)",
+            file=sys.stderr,
+        )
+        return 2
+    service = ClusterService(root)
+    try:
+        placement = service.rebalance(remove=args.remove, add=args.add)
+        moved = service.metrics.counters_with_prefix("cluster.").get(
+            "cluster.partitions_moved", 0
+        )
+    finally:
+        service.stop()
+    if args.json:
+        print(json.dumps(placement.to_payload(), indent=2, sort_keys=True))
+        return 0
+    print(
+        f"placement v{placement.version}: "
+        f"{placement.n_partitions} partitions x "
+        f"{placement.replication} replicas on "
+        f"{len(placement.workers)} workers "
+        f"({moved} replica(s) copied)"
+    )
+    return 0
+
+
+def _cluster(args: argparse.Namespace) -> int:
+    """The cluster command body: dispatch serve/status/rebalance."""
+    body = {
+        "serve": _cluster_serve,
+        "status": _cluster_status,
+        "rebalance": _cluster_rebalance,
+    }[args.cluster_command]
+    return body(args)
+
+
 def _run_one(experiment_id: str, quiet: bool) -> None:
     started = time.perf_counter()
     report = run_experiment(experiment_id)
@@ -916,6 +1399,7 @@ def _run_service_command(
         "repair": _repair,
         "compact": _compact,
         "addrmap": run_addrmap,
+        "cluster": _cluster,
     }[args.command]
     obs_dir = getattr(args, "obs_dir", None)
     tracer: Optional[Tracer] = None
@@ -981,6 +1465,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "repair",
         "compact",
         "addrmap",
+        "cluster",
     ):
         return _run_service_command(args, raw_argv)
     if args.command == "list":

@@ -56,6 +56,7 @@ from repro.reliability.faults import (
     FaultPlan,
     FaultyIO,
     InjectedFault,
+    ProcessKillPlan,
     StorageIO,
     WorkerCrashPlan,
     WorkerFaultInjector,
@@ -115,6 +116,7 @@ __all__ = [
     "InjectedFault",
     "MergePlan",
     "MergeReport",
+    "ProcessKillPlan",
     "STATE_CLOSED",
     "STATE_HALF_OPEN",
     "STATE_OPEN",

@@ -17,6 +17,17 @@ machine:
   through; success closes the breaker, failure re-opens it and the
   timeout starts again.
 
+Half-open admission is **exactly one probe**, enforced with an
+outstanding-probe count held under the breaker lock rather than a
+bare boolean: concurrent callers that observe half-open together get
+exactly one True, and a stale success/failure report from a request
+admitted in an earlier closed era can no longer free the probe slot
+while the real probe is still running.  Because a probe can also
+*vanish* — its worker process SIGKILLed before it ever reports — each
+probe carries a deadline (``probe_timeout_s``); once the deadline
+passes, the slot is reclaimed (counted as ``breaker.probes_reclaimed``)
+so a dead probe cannot wedge the breaker half-open forever.
+
 Time comes from an injectable monotonic clock so tests and the chaos
 benchmark can drive state transitions deterministically.  Metrics are
 duck-typed (anything with a ``count`` method, in practice
@@ -64,6 +75,11 @@ class CircuitBreaker:
     reset_timeout_s:
         Seconds the breaker stays open before letting one probe
         through.
+    probe_timeout_s:
+        Seconds an admitted half-open probe may stay outstanding
+        before its slot is reclaimed (a probe whose worker died
+        without reporting must not wedge the breaker).  Defaults to
+        ``reset_timeout_s``.
     clock:
         Monotonic time source (injectable for deterministic tests).
     metrics:
@@ -82,6 +98,7 @@ class CircuitBreaker:
         clock: Callable[[], float] = time.monotonic,
         metrics: Optional[CounterSink] = None,
         name: str = "",
+        probe_timeout_s: Optional[float] = None,
     ) -> None:
         if failure_threshold < 1:
             raise ValueError(
@@ -91,8 +108,15 @@ class CircuitBreaker:
             raise ValueError(
                 f"reset_timeout_s must be >= 0, got {reset_timeout_s}"
             )
+        if probe_timeout_s is not None and probe_timeout_s < 0.0:
+            raise ValueError(
+                f"probe_timeout_s must be >= 0, got {probe_timeout_s}"
+            )
         self._failure_threshold = failure_threshold
         self._reset_timeout_s = reset_timeout_s
+        self._probe_timeout_s = (
+            reset_timeout_s if probe_timeout_s is None else probe_timeout_s
+        )
         self._clock = clock
         self._metrics = metrics
         self.name = name
@@ -100,7 +124,8 @@ class CircuitBreaker:
         self._state = STATE_CLOSED
         self._consecutive_failures = 0
         self._opened_at: Optional[float] = None
-        self._probe_in_flight = False
+        self._probes_outstanding = 0
+        self._probe_deadline: Optional[float] = None
         self._times_opened = 0
 
     def _count(self, counter: str) -> None:
@@ -119,38 +144,78 @@ class CircuitBreaker:
         with self._lock:
             return self._times_opened
 
+    def _probe_slot_free(self, now: float) -> bool:
+        """Whether a new probe may be issued (lock held by caller).
+
+        The slot is free when no probe is outstanding, or when the
+        outstanding probe blew past its deadline without ever
+        reporting — a vanished probe (killed worker) is reclaimed so
+        the breaker cannot stay wedged half-open.
+        """
+        if self._probes_outstanding == 0:
+            return True
+        if self._probe_deadline is not None and now >= self._probe_deadline:
+            self._probes_outstanding = 0  # repro-lint: disable=REP003 -- private helper; every caller holds self._lock (documented in the docstring)
+            self._probe_deadline = None  # repro-lint: disable=REP003 -- private helper; every caller holds self._lock (documented in the docstring)
+            self._count("breaker.probes_reclaimed")
+            return True
+        return False
+
+    def _issue_probe(self, now: float) -> None:
+        """Mark one probe outstanding with a deadline (lock held)."""
+        self._probes_outstanding += 1  # repro-lint: disable=REP003 -- private helper; every caller holds self._lock (documented in the docstring)
+        self._probe_deadline = now + self._probe_timeout_s  # repro-lint: disable=REP003 -- private helper; every caller holds self._lock (documented in the docstring)
+
+    def _resolve_probe(self) -> None:
+        """Release the probe slot after an outcome report (lock held).
+
+        Floor at zero: success reports from requests admitted while
+        closed arrive constantly and must never drive the count
+        negative (which would let two later probes fly together).
+        """
+        if self._probes_outstanding > 0:
+            self._probes_outstanding -= 1  # repro-lint: disable=REP003 -- private helper; every caller holds self._lock (documented in the docstring)
+        if self._probes_outstanding == 0:
+            self._probe_deadline = None  # repro-lint: disable=REP003 -- private helper; every caller holds self._lock (documented in the docstring)
+
     def allow(self) -> bool:
         """True when the guarded operation may be attempted now.
 
         While open, returns False until the reset timeout elapses, at
         which point exactly one caller is admitted as the half-open
         probe; concurrent callers keep getting False until that probe
-        reports its outcome.
+        reports its outcome (or its deadline reclaims the slot).
         """
         with self._lock:
             if self._state == STATE_CLOSED:
                 return True
+            now = self._clock()
             if self._state == STATE_OPEN:
-                elapsed = self._clock() - self._opened_at
+                elapsed = now - self._opened_at
                 if elapsed < self._reset_timeout_s:
                     self._count("breaker.short_circuits")
                     return False
+                if not self._probe_slot_free(now):
+                    # A probe from an earlier half-open era is still
+                    # out there; do not race a second one against it.
+                    self._count("breaker.short_circuits")
+                    return False
                 self._state = STATE_HALF_OPEN
-                self._probe_in_flight = True
+                self._issue_probe(now)
                 self._count("breaker.half_open")
                 return True
-            # Half-open: only the single probe is in flight.
-            if self._probe_in_flight:
+            # Half-open: admit only while the probe slot is free.
+            if not self._probe_slot_free(now):
                 self._count("breaker.short_circuits")
                 return False
-            self._probe_in_flight = True
+            self._issue_probe(now)
             return True
 
     def record_success(self) -> None:
         """Report that the guarded operation succeeded."""
         with self._lock:
             self._consecutive_failures = 0
-            self._probe_in_flight = False
+            self._resolve_probe()
             if self._state != STATE_CLOSED:
                 self._state = STATE_CLOSED
                 self._opened_at = None
@@ -159,19 +224,20 @@ class CircuitBreaker:
     def record_failure(self) -> None:
         """Report that the guarded operation failed."""
         with self._lock:
-            self._probe_in_flight = False
             if self._state == STATE_HALF_OPEN:
                 # The probe failed: straight back to open, fresh timer.
+                self._resolve_probe()
                 self._state = STATE_OPEN
                 self._opened_at = self._clock()
                 self._times_opened += 1
                 self._count("breaker.opened")
                 return
+            if self._state == STATE_OPEN:
+                # A straggler admitted before the trip reports back;
+                # it is not the probe, so the probe slot is untouched.
+                return
             self._consecutive_failures += 1
-            if (
-                self._state == STATE_CLOSED
-                and self._consecutive_failures >= self._failure_threshold
-            ):
+            if self._consecutive_failures >= self._failure_threshold:
                 self._state = STATE_OPEN
                 self._opened_at = self._clock()
                 self._times_opened += 1
@@ -185,6 +251,7 @@ class CircuitBreaker:
                 "state": self._state,
                 "consecutive_failures": self._consecutive_failures,
                 "times_opened": self._times_opened,
+                "probes_outstanding": self._probes_outstanding,
             }
 
 
@@ -202,9 +269,11 @@ class BreakerBoard:
         reset_timeout_s: float = 1.0,
         clock: Callable[[], float] = time.monotonic,
         metrics: Optional[CounterSink] = None,
+        probe_timeout_s: Optional[float] = None,
     ) -> None:
         self._failure_threshold = failure_threshold
         self._reset_timeout_s = reset_timeout_s
+        self._probe_timeout_s = probe_timeout_s
         self._clock = clock
         self._metrics = metrics
         self._lock = threading.Lock()
@@ -221,6 +290,7 @@ class BreakerBoard:
                     clock=self._clock,
                     metrics=self._metrics,
                     name=f"shard-{shard}",
+                    probe_timeout_s=self._probe_timeout_s,
                 )
             return existing
 

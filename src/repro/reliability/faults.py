@@ -205,6 +205,53 @@ class WorkerCrashPlan:
         return cls(crash_at=indices)
 
 
+@dataclass(frozen=True)
+class ProcessKillPlan:
+    """Seeded schedule of worker-*process* SIGKILLs.
+
+    Where :class:`WorkerCrashPlan` kills worker thread invocations with
+    an exception the supervisor can catch, this plan is for the cluster
+    chaos benchmark's blunter weapon: SIGKILL of a whole worker
+    process at a planned point in the request stream.  ``kill_at``
+    holds ``(batch_index, worker_slot)`` pairs — before serving the
+    1-based ``batch_index``-th identification batch, the worker in
+    ``worker_slot`` is SIGKILLed.  The schedule is a pure function of
+    the seed (CI's ``REPRO_FAULT_SEED`` axis), so a chaos run replays
+    exactly.
+    """
+
+    kill_at: Tuple[Tuple[int, int], ...] = ()
+
+    @classmethod
+    def seeded(
+        cls, seed: int, n_workers: int, kills: int, horizon: int
+    ) -> "ProcessKillPlan":
+        """Plan ``kills`` kills across the first ``horizon`` batches,
+        each aimed at a seeded-random worker slot."""
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if kills < 0:
+            raise ValueError(f"kills must be >= 0, got {kills}")
+        rng = np.random.default_rng(seed)
+        count = min(kills, horizon)
+        batches = np.sort(
+            rng.choice(horizon, size=count, replace=False)
+        )
+        slots = rng.integers(0, n_workers, size=count)
+        return cls(
+            kill_at=tuple(
+                (int(batch) + 1, int(slot))
+                for batch, slot in zip(batches, slots)
+            )
+        )
+
+    def kills_for(self, batch_index: int) -> List[int]:
+        """Worker slots to SIGKILL before the 1-based ``batch_index``."""
+        return [
+            slot for batch, slot in self.kill_at if batch == batch_index
+        ]
+
+
 class WorkerFaultInjector:
     """Callable hook a worker runs on entry; dies on planned indices.
 

@@ -27,7 +27,13 @@ that makes them answer at that scale:
 * :mod:`repro.service.stream` — the supervised streaming pipeline:
   bounded-queue ingest with backpressure and admission control,
   validation quarantine, per-shard circuit breaking, checkpointed
-  exactly-once ``--resume`` and graceful SIGTERM drain.
+  exactly-once ``--resume`` and graceful SIGTERM drain;
+* :mod:`repro.service.placement` / :mod:`repro.service.rpc` /
+  :mod:`repro.service.cluster` — the process-parallel tier:
+  consistent-hash placement of partitions onto worker *processes*
+  with R-way replication, a journaled crash-safe placement store,
+  pipe-RPC workers that survive SIGKILL chaos, hedged replica reads,
+  health-checked failover and jittered restarts.
 
 Fault injection and offline verify/repair live in
 :mod:`repro.reliability`.  The CLI front ends are ``python -m repro
@@ -59,6 +65,7 @@ from repro.service.supervisor import SupervisorEscalation, WorkerSupervisor
 from repro.service.stream import (
     Admission,
     BoundedObservationQueue,
+    IdentificationEngine,
     ObservationError,
     QuarantineEntry,
     QuarantineRetryReport,
@@ -74,6 +81,27 @@ from repro.service.stream import (
     validate_observation,
 )
 
+# cluster imports from batch/placement/rpc/store/supervisor; after stream.
+from repro.service.cluster import (
+    ClusterConfig,
+    ClusterService,
+    ClusterVerification,
+    build_cluster,
+    verify_cluster,
+)
+from repro.service.placement import (
+    PlacementError,
+    PlacementMap,
+    PlacementStore,
+    stable_key_hash,
+)
+from repro.service.rpc import (
+    WorkerDied,
+    WorkerError,
+    WorkerHandle,
+    WorkerTimeout,
+)
+
 __all__ = [
     "SCHEMA_VERSION",
     "Admission",
@@ -81,8 +109,15 @@ __all__ = [
     "BatchReport",
     "BatchIdentificationService",
     "BoundedObservationQueue",
+    "ClusterConfig",
+    "ClusterService",
+    "ClusterVerification",
     "DegradedShard",
+    "IdentificationEngine",
     "ObservationError",
+    "PlacementError",
+    "PlacementMap",
+    "PlacementStore",
     "QueryResult",
     "IndexedFingerprintDatabase",
     "IndexParams",
@@ -101,11 +136,17 @@ __all__ = [
     "StreamSession",
     "StreamingIdentificationService",
     "SupervisorEscalation",
+    "WorkerDied",
+    "WorkerError",
+    "WorkerHandle",
     "WorkerSupervisor",
+    "WorkerTimeout",
+    "build_cluster",
     "install_signal_handlers",
     "list_quarantine",
     "merge_degraded",
     "observation_records",
     "retry_quarantine",
-    "validate_observation",
+    "stable_key_hash",
+    "verify_cluster",
 ]

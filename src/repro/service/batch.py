@@ -189,6 +189,34 @@ def merge_degraded(entries: Sequence[DegradedShard]) -> List[DegradedShard]:
     return [merged[shard] for shard in sorted(merged)]
 
 
+def merge_first_match(
+    per_source: Sequence[Sequence[Optional[Tuple[int, Identification]]]],
+    n_queries: int,
+) -> List[Identification]:
+    """Merge per-source answers into one decision per query.
+
+    Each source (a shard scan here, a partition-group reply in the
+    cluster driver) answers every query with either None or a
+    ``(global_sequence, identification)`` pair; the winner is the
+    match with the smallest global sequence — Algorithm 2's
+    first-enrolled-wins priority, preserved across any partitioning of
+    the key space.  Sources may legitimately overlap (replica fan-out,
+    hedged requests): duplicates carry the same sequence, so the merge
+    is idempotent by construction.
+    """
+    merged: List[Identification] = []
+    for position in range(n_queries):
+        best: Optional[Tuple[int, Identification]] = None
+        for answers in per_source:
+            answer = answers[position]
+            if answer is None:
+                continue
+            if best is None or answer[0] < best[0]:
+                best = answer
+        merged.append(best[1] if best is not None else Identification.failed())
+    return merged
+
+
 @dataclass(frozen=True)
 class QueryResult:
     """Outcome of one batch query.
@@ -530,16 +558,7 @@ class BatchIdentificationService:
         finally:
             pool.shutdown(wait=False, cancel_futures=True)
         # Merge: per query, the match with the smallest global sequence.
-        merged: List[Identification] = []
-        for position in range(len(error_strings)):
-            best: Optional[Tuple[int, Identification]] = None
-            for shard_answers in per_shard:
-                answer = shard_answers[position]
-                if answer is None:
-                    continue
-                if best is None or answer[0] < best[0]:
-                    best = answer
-            merged.append(best[1] if best is not None else Identification.failed())
+        merged = merge_first_match(per_shard, len(error_strings))
         return merged, merge_degraded(degraded)
 
     def _load_and_scan(

@@ -1,0 +1,419 @@
+"""Consistent-hash placement of fingerprint partitions onto workers.
+
+The cluster (`repro.service.cluster`) splits the key space into a
+fixed number of *partitions*; each partition is assigned an ordered
+list of R distinct *workers* (primary first), and every worker holds a
+full replica store of every partition assigned to it.  Two properties
+make the scheme operable at fleet scale:
+
+* **stable hashing** — a key's partition is a pure function of the key
+  (SHA-256 based, never Python's per-process-randomized ``hash()``),
+  so any front-end can route without coordination;
+* **consistent placement** — workers are placed on a token ring
+  (``tokens_per_worker`` virtual nodes each) and a partition's replica
+  list is the first R distinct workers found walking the ring from the
+  partition's point.  Removing a worker only changes the replica lists
+  that contained it; every other partition keeps byte-identical
+  assignments, which keeps rebalancing traffic proportional to the
+  lost capacity instead of the fleet size.
+
+Placement changes are durable state: :class:`PlacementStore` commits a
+new :class:`PlacementMap` through the same write-ahead protocol as
+ingest and compaction (journal durable first, then tmp-write + fsync +
+atomic rename + directory fsync, then journal retired), through the
+:class:`~repro.reliability.faults.StorageIO` seam so chaos tests can
+enumerate a crash at every single IO operation.  :meth:`PlacementStore.recover`
+is idempotent: a readable journal rolls the commit *forward* to the
+exact post-commit bytes, a torn journal rolls *back* to the exact
+pre-commit bytes — never a hybrid.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.reliability.faults import StorageIO
+
+#: Current placement payload schema.
+PLACEMENT_SCHEMA_VERSION = 1
+
+#: File names inside a cluster root directory.
+PLACEMENT_NAME = "placement.json"
+PLACEMENT_TMP_NAME = "placement.json.tmp"
+PLACEMENT_JOURNAL_NAME = "placement-journal.json"
+
+#: Virtual nodes per worker on the token ring; enough to smooth the
+#: per-worker partition counts without making ring walks expensive.
+DEFAULT_TOKENS_PER_WORKER = 64
+
+_RING_BITS = 64
+_RING_SIZE = 1 << _RING_BITS
+
+
+class PlacementError(ValueError):
+    """An invalid placement map or an impossible placement request."""
+
+
+def stable_key_hash(key: str) -> int:
+    """A 64-bit stable hash of ``key``.
+
+    SHA-256 truncated to 64 bits: identical across processes, Python
+    versions and ``PYTHONHASHSEED`` values — routing must never depend
+    on interpreter-randomized ``hash()``.
+    """
+    digest = hashlib.sha256(key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def _ring_point(label: str) -> int:
+    """Position of ``label`` on the token ring."""
+    return stable_key_hash(label) % _RING_SIZE
+
+
+@dataclass(frozen=True)
+class PlacementMap:
+    """An immutable assignment of partitions to replica worker lists.
+
+    ``assignments[p]`` is the ordered replica list for partition ``p``
+    (primary first); every list holds ``replication`` distinct worker
+    ids drawn from ``workers``.
+    """
+
+    version: int
+    n_partitions: int
+    replication: int
+    workers: Tuple[str, ...]
+    assignments: Tuple[Tuple[str, ...], ...]
+    tokens_per_worker: int = DEFAULT_TOKENS_PER_WORKER
+
+    def __post_init__(self) -> None:
+        if self.n_partitions < 1:
+            raise PlacementError(
+                f"n_partitions must be >= 1, got {self.n_partitions}"
+            )
+        if self.replication < 1:
+            raise PlacementError(
+                f"replication must be >= 1, got {self.replication}"
+            )
+        if len(set(self.workers)) != len(self.workers):
+            raise PlacementError("worker ids must be unique")
+        if self.replication > len(self.workers):
+            raise PlacementError(
+                f"replication {self.replication} exceeds "
+                f"{len(self.workers)} worker(s)"
+            )
+        if len(self.assignments) != self.n_partitions:
+            raise PlacementError(
+                f"expected {self.n_partitions} assignments, "
+                f"got {len(self.assignments)}"
+            )
+        known = set(self.workers)
+        for partition, replicas in enumerate(self.assignments):
+            if len(replicas) != self.replication:
+                raise PlacementError(
+                    f"partition {partition} has {len(replicas)} replica(s), "
+                    f"expected {self.replication}"
+                )
+            if len(set(replicas)) != len(replicas):
+                raise PlacementError(
+                    f"partition {partition} repeats a worker: {replicas}"
+                )
+            unknown = set(replicas) - known
+            if unknown:
+                raise PlacementError(
+                    f"partition {partition} names unknown worker(s) "
+                    f"{sorted(unknown)}"
+                )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        workers: Sequence[str],
+        n_partitions: int,
+        replication: int,
+        version: int = 1,
+        tokens_per_worker: int = DEFAULT_TOKENS_PER_WORKER,
+    ) -> "PlacementMap":
+        """Place ``n_partitions`` onto ``workers`` via the token ring."""
+        workers = tuple(workers)
+        if not workers:
+            raise PlacementError("at least one worker is required")
+        if replication > len(workers):
+            raise PlacementError(
+                f"replication {replication} exceeds {len(workers)} worker(s)"
+            )
+        ring: List[Tuple[int, str]] = sorted(
+            (_ring_point(f"{worker}#{token}"), worker)
+            for worker in workers
+            for token in range(tokens_per_worker)
+        )
+        points = [point for point, _ in ring]
+        assignments: List[Tuple[str, ...]] = []
+        for partition in range(n_partitions):
+            start = bisect.bisect_left(points, _ring_point(f"partition-{partition}"))
+            replicas: List[str] = []
+            for step in range(len(ring)):
+                worker = ring[(start + step) % len(ring)][1]
+                if worker not in replicas:
+                    replicas.append(worker)
+                    if len(replicas) == replication:
+                        break
+            assignments.append(tuple(replicas))
+        return cls(
+            version=version,
+            n_partitions=n_partitions,
+            replication=replication,
+            workers=workers,
+            assignments=tuple(assignments),
+            tokens_per_worker=tokens_per_worker,
+        )
+
+    def rebalanced(
+        self,
+        remove: Iterable[str] = (),
+        add: Iterable[str] = (),
+    ) -> "PlacementMap":
+        """A new placement (version + 1) without ``remove``, with ``add``.
+
+        Rebuilds the ring over the surviving worker set; the
+        consistent-hash property guarantees partitions whose replica
+        list did not involve a removed/added worker keep identical
+        assignments.
+        """
+        removed = set(remove)
+        unknown = removed - set(self.workers)
+        if unknown:
+            raise PlacementError(f"cannot remove unknown worker(s) {sorted(unknown)}")
+        survivors = [w for w in self.workers if w not in removed]
+        for worker in add:
+            if worker in survivors:
+                raise PlacementError(f"worker {worker!r} already placed")
+            survivors.append(worker)
+        return PlacementMap.build(
+            survivors,
+            n_partitions=self.n_partitions,
+            replication=self.replication,
+            version=self.version + 1,
+            tokens_per_worker=self.tokens_per_worker,
+        )
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    def partition_for_key(self, key: str) -> int:
+        """The partition owning fingerprint ``key``."""
+        return stable_key_hash(key) % self.n_partitions
+
+    def replicas(self, partition: int) -> Tuple[str, ...]:
+        """Ordered replica workers (primary first) for ``partition``."""
+        return self.assignments[partition]
+
+    def partitions_of(self, worker: str) -> List[int]:
+        """Partitions that keep a replica on ``worker``."""
+        return [
+            partition
+            for partition, replicas in enumerate(self.assignments)
+            if worker in replicas
+        ]
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def to_payload(self) -> Dict[str, object]:
+        """JSON-friendly dict (canonical field order via sort_keys)."""
+        return {
+            "schema_version": PLACEMENT_SCHEMA_VERSION,
+            "version": self.version,
+            "n_partitions": self.n_partitions,
+            "replication": self.replication,
+            "tokens_per_worker": self.tokens_per_worker,
+            "workers": list(self.workers),
+            "assignments": [list(replicas) for replicas in self.assignments],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "PlacementMap":
+        """Inverse of :meth:`to_payload` (validates via __post_init__)."""
+        schema = payload.get("schema_version")
+        if schema != PLACEMENT_SCHEMA_VERSION:
+            raise PlacementError(
+                f"unsupported placement schema_version {schema!r}"
+            )
+        return cls(
+            version=int(payload["version"]),  # type: ignore[arg-type]
+            n_partitions=int(payload["n_partitions"]),  # type: ignore[arg-type]
+            replication=int(payload["replication"]),  # type: ignore[arg-type]
+            tokens_per_worker=int(
+                payload.get("tokens_per_worker", DEFAULT_TOKENS_PER_WORKER)
+            ),  # type: ignore[arg-type]
+            workers=tuple(payload["workers"]),  # type: ignore[arg-type]
+            assignments=tuple(
+                tuple(replicas)
+                for replicas in payload["assignments"]  # type: ignore[union-attr]
+            ),
+        )
+
+
+def canonical_json_bytes(payload: Dict[str, object]) -> bytes:
+    """Deterministic JSON encoding shared by commit and recovery.
+
+    Roll-forward must reproduce the commit's *exact* bytes, so both
+    paths serialize through this one function (sorted keys, fixed
+    separators, trailing newline).
+    """
+    return (
+        json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
+    ).encode("utf-8")
+
+
+class PlacementStore:
+    """Durable, journaled storage of the cluster's placement map.
+
+    Commit protocol (every step one :class:`StorageIO` operation, so a
+    fault plan can crash between — or during — any two of them):
+
+    1. write ``placement-journal.json`` holding the full new payload,
+       fsynced — the write-ahead intent;
+    2. fsync the cluster root directory (journal durably named);
+    3. write ``placement.json.tmp`` with the same payload, fsynced;
+    4. atomically rename tmp over ``placement.json``;
+    5. fsync the root directory (rename durable);
+    6. remove the journal (commit retired);
+    7. fsync the root directory.
+
+    A crash before step 2 completes leaves either no journal or a torn
+    one → :meth:`recover` rolls back (pre-commit bytes preserved).  A
+    crash at/after step 2 leaves a readable journal → :meth:`recover`
+    replays steps 3-7 from the journal payload, producing the exact
+    post-commit bytes.  Recovery is idempotent: with no journal it
+    touches nothing.
+    """
+
+    def __init__(
+        self,
+        root: Path,
+        storage_io: Optional[StorageIO] = None,
+    ) -> None:
+        self._root = Path(root)
+        self._io = storage_io if storage_io is not None else StorageIO()
+
+    @property
+    def root(self) -> Path:
+        """The cluster root directory this store lives in."""
+        return self._root
+
+    @property
+    def placement_path(self) -> Path:
+        """Path of the committed placement map."""
+        return self._root / PLACEMENT_NAME
+
+    @property
+    def journal_path(self) -> Path:
+        """Path of the write-ahead placement journal."""
+        return self._root / PLACEMENT_JOURNAL_NAME
+
+    def exists(self) -> bool:
+        """Whether a committed placement map is on disk."""
+        return self.placement_path.exists()
+
+    def journal_pending(self) -> bool:
+        """Whether an unretired commit journal is on disk."""
+        return self.journal_path.exists()
+
+    def load(self) -> PlacementMap:
+        """Read and validate the committed placement map."""
+        raw = self._io.read_bytes(self.placement_path)
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise PlacementError(
+                f"placement map at {self.placement_path} is unreadable: {error}"
+            ) from error
+        return PlacementMap.from_payload(payload)
+
+    def initialize(self, placement: PlacementMap) -> None:
+        """First commit of a brand-new cluster (same journaled path)."""
+        self.commit(placement)
+
+    def commit(self, placement: PlacementMap) -> None:
+        """Durably replace the placement map with ``placement``."""
+        payload = placement.to_payload()
+        data = canonical_json_bytes(payload)
+        journal = canonical_json_bytes(
+            {
+                "schema_version": PLACEMENT_SCHEMA_VERSION,
+                "kind": "placement-commit",
+                "version": placement.version,
+                "placement": payload,
+            }
+        )
+        self._io.write_bytes(self.journal_path, journal, sync=True)
+        self._io.fsync_dir(self._root)
+        self._publish(data)
+        self._retire_journal()
+
+    def _publish(self, data: bytes) -> None:
+        """Steps 3-5: tmp write, atomic rename, directory fsync."""
+        tmp = self._root / PLACEMENT_TMP_NAME
+        self._io.write_bytes(tmp, data, sync=True)
+        self._io.replace(tmp, self.placement_path)
+        self._io.fsync_dir(self._root)
+
+    def _retire_journal(self) -> None:
+        """Steps 6-7: drop the journal and sync the directory."""
+        self._io.remove(self.journal_path)
+        self._io.fsync_dir(self._root)
+
+    def recover(self) -> str:
+        """Resolve an interrupted commit; returns the action taken.
+
+        ``"clean"`` — no journal, nothing to do (stray tmp swept);
+        ``"rolled_forward"`` — readable journal replayed to the exact
+        post-commit bytes; ``"rolled_back"`` — torn journal discarded,
+        pre-commit bytes untouched.  Idempotent: a second call after
+        any outcome returns ``"clean"`` and changes no bytes.
+        """
+        tmp = self._root / PLACEMENT_TMP_NAME
+        if not self.journal_path.exists():
+            if tmp.exists():
+                self._io.remove(tmp)
+                self._io.fsync_dir(self._root)
+            return "clean"
+        payload: Optional[Dict[str, object]] = None
+        try:
+            raw = self._io.read_bytes(self.journal_path)
+            decoded = json.loads(raw.decode("utf-8"))
+            if (
+                isinstance(decoded, dict)
+                and decoded.get("kind") == "placement-commit"
+                and isinstance(decoded.get("placement"), dict)
+            ):
+                # Validate before replaying: a journal that parses but
+                # does not describe a placement must roll back.
+                PlacementMap.from_payload(decoded["placement"])
+                payload = decoded["placement"]
+        except (UnicodeDecodeError, json.JSONDecodeError, PlacementError,
+                KeyError, TypeError, ValueError):
+            payload = None
+        if payload is None:
+            # Torn or foreign journal: the intent never became durable
+            # as a fact, so the commit never happened.  Pre-commit
+            # bytes stay exactly as they were.
+            if tmp.exists():
+                self._io.remove(tmp)
+            self._retire_journal()
+            return "rolled_back"
+        self._publish(canonical_json_bytes(payload))
+        self._retire_journal()
+        return "rolled_forward"

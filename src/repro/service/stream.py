@@ -78,12 +78,33 @@ from repro.service.batch import (
     SCHEMA_VERSION,
     BatchIdentificationService,
     BatchQuery,
+    BatchReport,
     DegradedShard,
     merge_degraded,
 )
 from repro.service.metrics import ServiceMetrics
 from repro.service.store import ShardedFingerprintStore
 from repro.service.supervisor import SupervisorEscalation, WorkerSupervisor
+
+try:  # pragma: no cover - Protocol exists on every supported Python
+    from typing import Protocol, Sequence
+except ImportError:  # pragma: no cover
+    Protocol = object  # type: ignore[assignment]
+    from typing import Sequence
+
+
+class IdentificationEngine(Protocol):
+    """Anything answering a batch of queries with a report.
+
+    :class:`~repro.service.batch.BatchIdentificationService` is the
+    in-process implementation; the cluster driver
+    (:class:`repro.service.cluster.ClusterService`) satisfies the same
+    contract over worker processes, so the streaming pipeline's
+    admission, supervision and checkpointing wrap either transparently.
+    """
+
+    def run(self, queries: Sequence[BatchQuery]) -> BatchReport:
+        """Answer one micro-batch."""
 
 #: State-directory file names.
 CHECKPOINT_NAME = "checkpoint.json"
@@ -637,7 +658,7 @@ class StreamingIdentificationService:
 
     def __init__(
         self,
-        store: ShardedFingerprintStore,
+        store: Optional[ShardedFingerprintStore],
         state_dir: Union[str, Path],
         threshold: float = DEFAULT_THRESHOLD,
         batch_size: int = 64,
@@ -658,6 +679,7 @@ class StreamingIdentificationService:
         max_nbits: int = DEFAULT_MAX_NBITS,
         storage_io: Optional[StorageIO] = None,
         metrics: Optional[ServiceMetrics] = None,
+        engine: Optional["IdentificationEngine"] = None,
     ) -> None:
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
@@ -665,6 +687,8 @@ class StreamingIdentificationService:
             raise ValueError(
                 f"checkpoint_every must be >= 1, got {checkpoint_every}"
             )
+        if store is None and engine is None:
+            raise ValueError("provide a store or an identification engine")
         self._store = store
         self._state_dir = Path(state_dir)
         self._threshold = threshold
@@ -674,7 +698,12 @@ class StreamingIdentificationService:
         self._cluster_residuals = cluster_residuals
         self._suspect_prefix = suspect_prefix
         self._max_nbits = max_nbits
-        self._metrics = metrics if metrics is not None else store.metrics
+        if metrics is not None:
+            self._metrics = metrics
+        elif store is not None:
+            self._metrics = store.metrics
+        else:
+            self._metrics = ServiceMetrics()
         self._io = storage_io if storage_io is not None else StorageIO()
         if breakers is None and breaker_failure_threshold > 0:
             breakers = BreakerBoard(
@@ -691,17 +720,24 @@ class StreamingIdentificationService:
             )
         )
         self._worker_fault_hook = worker_fault_hook
-        self._engine = BatchIdentificationService(
-            store,
-            threshold=threshold,
-            max_workers=max_workers,
-            cluster_residuals=False,
-            shard_retries=shard_retries,
-            retry_backoff_s=retry_backoff_s,
-            shard_timeout_s=shard_timeout_s,
-            breakers=breakers,
-            metrics=self._metrics,
-        )
+        if engine is not None:
+            # An injected engine (the cluster driver) answers batches;
+            # the stream keeps owning admission, supervision,
+            # quarantine and checkpoints around it.
+            self._engine: "IdentificationEngine" = engine
+        else:
+            assert store is not None
+            self._engine = BatchIdentificationService(
+                store,
+                threshold=threshold,
+                max_workers=max_workers,
+                cluster_residuals=False,
+                shard_retries=shard_retries,
+                retry_backoff_s=retry_backoff_s,
+                shard_timeout_s=shard_timeout_s,
+                breakers=breakers,
+                metrics=self._metrics,
+            )
         # Mutable per-run state, (re)initialized by run().
         self._active_queue: Optional[BoundedObservationQueue] = None
         self._clusterer: Optional[OnlineClusterer] = None

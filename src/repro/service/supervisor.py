@@ -10,7 +10,10 @@ worker thread and applies the classic supervision policy:
   in a brand-new thread — a dead thread cannot be revived, so restart
   means respawn;
 * restarts back off **exponentially** from ``backoff_base_s`` up to a
-  cap, so a hot crash loop does not spin the CPU;
+  cap, so a hot crash loop does not spin the CPU; with an injected
+  ``jitter_rng`` each delay is drawn uniformly from ``[0, ceiling]``
+  (*full jitter*), so a whole fleet of workers killed in the same
+  instant does not restart in lockstep and re-stampede the store;
 * after ``max_restarts`` restarts the supervisor **escalates**:
   :class:`SupervisorEscalation` carries a machine-readable fatal
   report (label, attempts, backoff schedule, last error) for the
@@ -33,6 +36,44 @@ from repro.obs.trace import span as obs_span
 from repro.service.metrics import ServiceMetrics
 
 T = TypeVar("T")
+
+try:  # pragma: no cover - Protocol exists on every supported Python
+    from typing import Protocol
+except ImportError:  # pragma: no cover
+    Protocol = object  # type: ignore[assignment]
+
+
+class UniformRng(Protocol):
+    """Anything with ``uniform(low, high)`` — ``random.Random`` and
+    ``numpy.random.Generator`` both qualify; tests inject seeded ones
+    (lint rule REP001 forbids unseeded randomness in ``src/``)."""
+
+    def uniform(self, low: float, high: float) -> float:
+        """A float drawn uniformly from ``[low, high)``."""
+
+
+def full_jitter_backoff(
+    attempt: int,
+    base_s: float,
+    cap_s: float,
+    rng: Optional[UniformRng] = None,
+) -> float:
+    """Backoff delay before restart ``attempt`` (1-based).
+
+    Without ``rng`` this is the deterministic capped exponential
+    ``min(cap, base * 2**(attempt-1))``.  With ``rng`` it applies the
+    AWS "full jitter" policy: a delay drawn uniformly from
+    ``[0, ceiling]``, which decorrelates simultaneously-crashed
+    workers (thundering herd) while keeping the same expected-ceiling
+    growth.  Shared by thread supervision here and process restarts in
+    :mod:`repro.service.cluster`.
+    """
+    if attempt < 1:
+        raise ValueError(f"attempt must be >= 1, got {attempt}")
+    ceiling = min(cap_s, base_s * (2 ** (attempt - 1)))
+    if rng is None or ceiling <= 0.0:
+        return ceiling
+    return rng.uniform(0.0, ceiling)
 
 
 class SupervisorEscalation(RuntimeError):
@@ -89,6 +130,11 @@ class WorkerSupervisor:
     sleep:
         Injectable sleep (tests pass a recorder to assert the schedule
         without waiting).
+    jitter_rng:
+        Optional seeded RNG (``uniform(low, high)``) enabling full
+        jitter: each restart delay is drawn uniformly from
+        ``[0, capped-exponential ceiling]``.  ``None`` keeps the
+        deterministic schedule.
     """
 
     def __init__(
@@ -98,6 +144,7 @@ class WorkerSupervisor:
         backoff_cap_s: float = 2.0,
         metrics: Optional[ServiceMetrics] = None,
         sleep: Callable[[float], None] = time.sleep,
+        jitter_rng: Optional[UniformRng] = None,
     ) -> None:
         if max_restarts < 0:
             raise ValueError(f"max_restarts must be >= 0, got {max_restarts}")
@@ -108,6 +155,7 @@ class WorkerSupervisor:
         self._backoff_cap_s = backoff_cap_s
         self._metrics = metrics if metrics is not None else ServiceMetrics()
         self._sleep = sleep
+        self._jitter_rng = jitter_rng
 
     @property
     def max_restarts(self) -> int:
@@ -120,7 +168,8 @@ class WorkerSupervisor:
         return self._metrics
 
     def backoff_schedule(self) -> List[float]:
-        """The capped-exponential delays a fully failing task would see."""
+        """The capped-exponential delay *ceilings* a fully failing task
+        would see (jitter, when enabled, draws below each ceiling)."""
         return [
             min(self._backoff_cap_s, self._backoff_base_s * (2 ** attempt))
             for attempt in range(self._max_restarts)
@@ -138,9 +187,11 @@ class WorkerSupervisor:
         last_error: Optional[BaseException] = None
         for attempt in range(self._max_restarts + 1):
             if attempt:
-                delay = min(
+                delay = full_jitter_backoff(
+                    attempt,
+                    self._backoff_base_s,
                     self._backoff_cap_s,
-                    self._backoff_base_s * (2 ** (attempt - 1)),
+                    rng=self._jitter_rng,
                 )
                 backoffs.append(delay)
                 self._metrics.count("supervisor.restarts")

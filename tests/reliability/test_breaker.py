@@ -159,3 +159,132 @@ class TestBreakerBoard:
         board.record_success(3)
         assert board.breaker(3).state == STATE_CLOSED
         assert board.open_shards() == []
+
+
+class TestExactlyOneProbe:
+    """Regression tests for half-open admission under concurrency.
+
+    The bug being pinned down: with a bare ``_probe_in_flight`` boolean
+    checked outside a single lock-held read-modify-write, N threads
+    racing ``allow()`` at the reset-timeout instant could *all* observe
+    open-and-elapsed and every one of them became "the" probe.
+    """
+
+    N_THREADS = 16
+
+    def test_barrier_race_admits_exactly_one_probe(self):
+        """N threads released by a barrier at the reset instant: the
+        breaker must admit exactly one, every other caller
+        short-circuits."""
+        clock = FakeClock()
+        metrics = ServiceMetrics()
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout_s=10.0,
+            clock=clock, metrics=metrics,
+        )
+        breaker.record_failure()
+        assert breaker.state == STATE_OPEN
+        clock.advance(11.0)
+
+        barrier = threading.Barrier(self.N_THREADS)
+        admitted = []
+        admitted_lock = threading.Lock()
+
+        def contend():
+            barrier.wait()
+            if breaker.allow():
+                with admitted_lock:
+                    admitted.append(threading.current_thread().name)
+
+        threads = [
+            threading.Thread(target=contend, name=f"caller-{i}")
+            for i in range(self.N_THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(admitted) == 1, f"{len(admitted)} probes admitted"
+        assert breaker.state == STATE_HALF_OPEN
+        assert breaker.snapshot()["probes_outstanding"] == 1
+        assert metrics.counter("breaker.half_open") == 1
+        assert (
+            metrics.counter("breaker.short_circuits") == self.N_THREADS - 1
+        )
+
+    def test_probe_outcome_reopens_the_slot_for_the_next_round(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout_s=10.0, clock=clock
+        )
+        breaker.record_failure()
+        clock.advance(11.0)
+        assert breaker.allow()
+        assert not breaker.allow()  # probe outstanding
+        breaker.record_failure()  # probe fails -> open, fresh timer
+        assert breaker.state == STATE_OPEN
+        assert not breaker.allow()
+        clock.advance(11.0)
+        assert breaker.allow()  # exactly one new probe next era
+        assert not breaker.allow()
+
+    def test_vanished_probe_is_reclaimed_at_its_deadline(self):
+        """A probe whose worker was SIGKILLed never reports; its slot
+        must come back at probe_timeout_s, counted as reclaimed."""
+        clock = FakeClock()
+        metrics = ServiceMetrics()
+        breaker = CircuitBreaker(
+            failure_threshold=1,
+            reset_timeout_s=10.0,
+            probe_timeout_s=5.0,
+            clock=clock,
+            metrics=metrics,
+        )
+        breaker.record_failure()
+        clock.advance(11.0)
+        assert breaker.allow()
+        assert not breaker.allow()  # wedged while the probe is out
+        clock.advance(4.9)
+        assert not breaker.allow()  # still within the probe deadline
+        clock.advance(0.1)
+        assert breaker.allow()  # reclaimed: a new probe may fly
+        assert metrics.counter("breaker.probes_reclaimed") == 1
+        assert breaker.snapshot()["probes_outstanding"] == 1
+
+    def test_stale_failure_while_open_leaves_the_probe_slot_alone(self):
+        """A straggler failure report from a request admitted before
+        the trip lands while the breaker is open: it must not touch
+        probe accounting (the old code reset it, double-admitting)."""
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout_s=10.0, clock=clock
+        )
+        breaker.record_failure()
+        assert breaker.state == STATE_OPEN
+        breaker.record_failure()  # straggler in open: ignored
+        breaker.record_failure()
+        assert breaker.times_opened == 1  # no re-trip, no timer reset
+        clock.advance(11.0)
+        assert breaker.allow()
+        breaker.record_failure()  # the probe itself fails -> reopen
+        assert breaker.times_opened == 2
+        breaker.record_failure()  # straggler again, post-reopen
+        assert breaker.times_opened == 2
+        assert breaker.snapshot()["probes_outstanding"] == 0
+
+    def test_stale_success_cannot_double_free_the_slot(self):
+        """Successes from requests admitted while closed must not
+        drive the outstanding count negative and let two later probes
+        fly together."""
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=3, reset_timeout_s=10.0, clock=clock
+        )
+        for _ in range(5):
+            breaker.record_success()  # closed-era reports, no probes
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == STATE_OPEN
+        clock.advance(11.0)
+        assert breaker.allow()
+        assert not breaker.allow()  # still exactly one probe

@@ -1,0 +1,326 @@
+"""Tests for the ``cluster`` CLI command and verify-store --all-shards."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.reporting import set_results_dir
+from repro.bits import BitVector
+from repro.cli import main
+from repro.core import Fingerprint, FingerprintDatabase
+from repro.core.serialize import dump_database
+
+NBITS = 512
+
+
+@pytest.fixture(autouse=True)
+def clean_results_override():
+    yield
+    set_results_dir(None)
+
+
+@pytest.fixture
+def fingerprint_file(tmp_path, rng):
+    """A PCFP database of 20 devices plus their bit vectors."""
+    database = FingerprintDatabase()
+    bits = {}
+    for index in range(20):
+        key = f"device-{index:03d}"
+        vector = BitVector.random(NBITS, rng, 0.02)
+        bits[key] = vector
+        database.add(key, Fingerprint(bits=vector))
+    path = tmp_path / "fingerprints.pcfp"
+    dump_database(database, path)
+    return path, bits
+
+
+def write_queries(path, bits, keys):
+    path.write_text(
+        "\n".join(
+            json.dumps(
+                {
+                    "id": f"q-{key}",
+                    "nbits": NBITS,
+                    "errors": [int(i) for i in bits[key].to_indices()],
+                }
+            )
+            for key in keys
+        )
+        + "\n"
+    )
+    return path
+
+
+def build_args(tmp_path, fingerprint_file):
+    path, _bits = fingerprint_file
+    return [
+        "--results-dir",
+        str(tmp_path / "results"),
+        "cluster",
+        "serve",
+        "--cluster",
+        str(tmp_path / "cluster"),
+        "--ingest",
+        str(path),
+        "--workers",
+        "3",
+        "--partitions",
+        "4",
+        "--jitter-seed",
+        "2015",
+        "--quiet",
+    ]
+
+
+class TestClusterServe:
+    def test_build_then_query(self, tmp_path, fingerprint_file, capsys):
+        path, bits = fingerprint_file
+        assert main(build_args(tmp_path, fingerprint_file)) == 0
+        out = capsys.readouterr().out
+        assert "cluster built" in out
+        queries = write_queries(
+            tmp_path / "q.jsonl", bits, sorted(bits)[:5]
+        )
+        assert (
+            main(
+                [
+                    "--results-dir",
+                    str(tmp_path / "results"),
+                    "cluster",
+                    "serve",
+                    "--cluster",
+                    str(tmp_path / "cluster"),
+                    "--queries",
+                    str(queries),
+                    "--quiet",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "matched: 5" in out
+        report = json.loads(
+            (tmp_path / "results" / "cluster_serve_report.json").read_text()
+        )
+        assert len(report["results"]) == 5
+        assert all(r["matched"] for r in report["results"])
+
+    def test_streaming_mode_checkpoints(
+        self, tmp_path, fingerprint_file, capsys
+    ):
+        _path, bits = fingerprint_file
+        assert main(build_args(tmp_path, fingerprint_file)) == 0
+        capsys.readouterr()
+        obs = write_queries(tmp_path / "obs.jsonl", bits, sorted(bits)[:8])
+        assert (
+            main(
+                [
+                    "--results-dir",
+                    str(tmp_path / "results"),
+                    "cluster",
+                    "serve",
+                    "--cluster",
+                    str(tmp_path / "cluster"),
+                    "--observations",
+                    str(obs),
+                    "--state-dir",
+                    str(tmp_path / "state"),
+                    "--batch-size",
+                    "4",
+                    "--quiet",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "cluster stream completed" in out
+        assert (tmp_path / "state" / "checkpoint.json").exists()
+        assert (tmp_path / "state" / "results.jsonl").exists()
+
+    def test_missing_cluster_is_a_usage_error(self, tmp_path, capsys):
+        code = main(
+            [
+                "cluster",
+                "serve",
+                "--cluster",
+                str(tmp_path / "nope"),
+            ]
+        )
+        assert code == 2
+        assert "no cluster" in capsys.readouterr().err
+
+    def test_rebuilding_an_existing_cluster_is_refused(
+        self, tmp_path, fingerprint_file, capsys
+    ):
+        assert main(build_args(tmp_path, fingerprint_file)) == 0
+        assert main(build_args(tmp_path, fingerprint_file)) == 2
+        assert "already exists" in capsys.readouterr().err
+
+    def test_observations_require_state_dir(
+        self, tmp_path, fingerprint_file, capsys
+    ):
+        assert main(build_args(tmp_path, fingerprint_file)) == 0
+        code = main(
+            [
+                "cluster",
+                "serve",
+                "--cluster",
+                str(tmp_path / "cluster"),
+                "--observations",
+                str(tmp_path / "obs.jsonl"),
+            ]
+        )
+        assert code == 2
+        assert "--state-dir" in capsys.readouterr().err
+
+    def test_run_is_recorded_in_the_ledger(
+        self, tmp_path, fingerprint_file
+    ):
+        assert main(build_args(tmp_path, fingerprint_file)) == 0
+        ledger = tmp_path / "results" / "ledger.jsonl"
+        records = [
+            json.loads(line)
+            for line in ledger.read_text().splitlines()
+            if line
+        ]
+        assert records[-1]["command"] == "cluster"
+        assert records[-1]["exit_code"] == 0
+
+
+class TestClusterStatus:
+    def test_status_json(self, tmp_path, fingerprint_file, capsys):
+        assert main(build_args(tmp_path, fingerprint_file)) == 0
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "cluster",
+                    "status",
+                    "--cluster",
+                    str(tmp_path / "cluster"),
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        status = json.loads(capsys.readouterr().out)
+        assert status["placement"]["n_partitions"] == 4
+        assert status["placement"]["replication"] == 2
+        assert len(status["workers"]) == 3
+        assert status["journal_pending"] is False
+
+
+class TestClusterRebalance:
+    def test_add_worker(self, tmp_path, fingerprint_file, capsys):
+        assert main(build_args(tmp_path, fingerprint_file)) == 0
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "cluster",
+                    "rebalance",
+                    "--cluster",
+                    str(tmp_path / "cluster"),
+                    "--add",
+                    "worker-003",
+                ]
+            )
+            == 0
+        )
+        assert "placement v2" in capsys.readouterr().out
+
+    def test_unknown_worker_is_a_usage_error(
+        self, tmp_path, fingerprint_file, capsys
+    ):
+        assert main(build_args(tmp_path, fingerprint_file)) == 0
+        code = main(
+            [
+                "cluster",
+                "rebalance",
+                "--cluster",
+                str(tmp_path / "cluster"),
+                "--remove",
+                "worker-999",
+            ]
+        )
+        assert code == 2
+
+    def test_noop_rebalance_is_refused(
+        self, tmp_path, fingerprint_file, capsys
+    ):
+        assert main(build_args(tmp_path, fingerprint_file)) == 0
+        code = main(
+            ["cluster", "rebalance", "--cluster", str(tmp_path / "cluster")]
+        )
+        assert code == 2
+
+
+class TestVerifyStoreAllShards:
+    def test_clean_cluster_verifies(self, tmp_path, fingerprint_file, capsys):
+        assert main(build_args(tmp_path, fingerprint_file)) == 0
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "verify-store",
+                    "--all-shards",
+                    str(tmp_path / "cluster"),
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is True
+        assert report["divergent_partitions"] == []
+        assert len(report["replicas"]) == 8
+
+    def test_divergence_fails_the_check(
+        self, tmp_path, fingerprint_file, capsys
+    ):
+        from repro.service.placement import PlacementStore
+        from repro.service.rpc import partition_dir
+
+        assert main(build_args(tmp_path, fingerprint_file)) == 0
+        capsys.readouterr()
+        placement = PlacementStore(tmp_path / "cluster").load()
+        worker_id = placement.replicas(2)[0]
+        sidecar = (
+            partition_dir(tmp_path / "cluster", worker_id, 2)
+            / "sequence-map.json"
+        )
+        sidecar.write_text(
+            sidecar.read_text().replace(
+                '"sequences": {', '"sequences": {"ghost": 999, ', 1
+            )
+        )
+        code = main(
+            [
+                "verify-store",
+                "--all-shards",
+                str(tmp_path / "cluster"),
+                "--json",
+            ]
+        )
+        assert code == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["divergent_partitions"] == [2]
+
+    def test_store_and_all_shards_are_exclusive(self, tmp_path, capsys):
+        assert main(["verify-store"]) == 2
+        assert (
+            main(
+                [
+                    "verify-store",
+                    "--store",
+                    str(tmp_path),
+                    "--all-shards",
+                    str(tmp_path),
+                ]
+            )
+            == 2
+        )
+        err = capsys.readouterr().err
+        assert "exactly one" in err

@@ -1,0 +1,156 @@
+"""Tests for the worker-process RPC layer.
+
+The contract: a worker process serves ping/stats/identify over its
+pipe, reports *global* enrollment sequences from the durable sidecar,
+refuses partitions it does not hold, survives being asked after a
+SIGKILL only in the sense that the parent gets :class:`WorkerDied`
+(never a hang or a stack trace), and request-id matching discards
+stragglers from timed-out calls.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bits import BitVector
+from repro.core import Fingerprint
+from repro.service import (
+    ShardedFingerprintStore,
+    WorkerDied,
+    WorkerError,
+    WorkerHandle,
+)
+from repro.service.rpc import (
+    encode_query,
+    decode_query,
+    partition_dir,
+    read_sequence_map,
+    write_sequence_map,
+)
+
+NBITS = 256
+
+
+@pytest.fixture
+def worker_root(tmp_path, rng):
+    """A one-worker layout: partitions 0 and 1, 8 devices, global
+    sequences interleaved across the partitions."""
+    bits = {}
+    sequences = {0: {}, 1: {}}
+    for index in range(8):
+        key = f"device-{index:03d}"
+        vector = BitVector.random(NBITS, rng, density=0.05)
+        bits[key] = vector
+        sequences[index % 2][key] = index
+    for partition, rows in sequences.items():
+        directory = partition_dir(tmp_path, "worker-000", partition)
+        directory.mkdir(parents=True)
+        store = ShardedFingerprintStore(directory, n_shards=1)
+        store.ingest(
+            (key, Fingerprint(bits=bits[key], support=3))
+            for key in sorted(rows, key=rows.get)
+        )
+        write_sequence_map(directory, rows)
+    return tmp_path, bits
+
+
+class TestSequenceSidecar:
+    def test_round_trips(self, tmp_path):
+        directory = tmp_path / "part"
+        directory.mkdir()
+        write_sequence_map(directory, {"b": 5, "a": 0})
+        assert read_sequence_map(directory) == {"a": 0, "b": 5}
+
+    def test_query_codec_round_trips(self):
+        vector = BitVector.from_indices(64, [3, 17, 40])
+        qid, decoded = decode_query(encode_query("q-1", vector))
+        assert qid == "q-1"
+        assert decoded.to_indices().tolist() == [3, 17, 40]
+
+
+class TestWorkerHandle:
+    def test_ping_and_stats(self, worker_root):
+        root, _bits = worker_root
+        handle = WorkerHandle("worker-000", root, [0, 1], threshold=0.1)
+        try:
+            reply = handle.ping(timeout_s=10.0)
+            assert reply["worker"] == "worker-000"
+            assert handle.alive()
+            stats = handle.stats(timeout_s=10.0)
+            assert stats["partitions_assigned"] == [0, 1]
+        finally:
+            handle.shutdown()
+        assert not handle.alive()
+
+    def test_identify_reports_global_sequences(self, worker_root):
+        root, bits = worker_root
+        handle = WorkerHandle("worker-000", root, [0, 1], threshold=0.1)
+        try:
+            wire = [
+                encode_query("q-3", bits["device-003"]),
+                encode_query("q-6", bits["device-006"]),
+                encode_query(
+                    "q-miss", BitVector.from_indices(NBITS, [0, 1, 2])
+                ),
+            ]
+            answers = handle.identify(
+                wire, partitions=[0, 1], timeout_s=10.0
+            )
+        finally:
+            handle.shutdown()
+        assert answers[0] is not None and answers[0][:2] == (3, "device-003")
+        assert answers[1] is not None and answers[1][:2] == (6, "device-006")
+        assert answers[2] is None
+
+    def test_identify_respects_partition_scope(self, worker_root):
+        """Scoped to partition 0 only, an even-sequence device (lives
+        in partition 0) matches but an odd one does not."""
+        root, bits = worker_root
+        handle = WorkerHandle("worker-000", root, [0, 1], threshold=0.1)
+        try:
+            answers = handle.identify(
+                [
+                    encode_query("q-2", bits["device-002"]),
+                    encode_query("q-3", bits["device-003"]),
+                ],
+                partitions=[0],
+                timeout_s=10.0,
+            )
+        finally:
+            handle.shutdown()
+        assert answers[0] is not None and answers[0][1] == "device-002"
+        assert answers[1] is None
+
+    def test_unassigned_partition_is_refused(self, worker_root):
+        root, _bits = worker_root
+        handle = WorkerHandle("worker-000", root, [0, 1], threshold=0.1)
+        try:
+            with pytest.raises(WorkerError, match="does not hold"):
+                handle.identify([], partitions=[7], timeout_s=10.0)
+            # The error is a reply, not a death: the worker lives on.
+            assert handle.ping(timeout_s=10.0)["ok"]
+        finally:
+            handle.shutdown()
+
+    def test_sigkill_surfaces_as_worker_died(self, worker_root):
+        root, _bits = worker_root
+        handle = WorkerHandle("worker-000", root, [0, 1], threshold=0.1)
+        try:
+            handle.ping(timeout_s=10.0)
+            handle.kill()
+            with pytest.raises(WorkerDied):
+                for _ in range(50):
+                    handle.ping(timeout_s=0.2)
+        finally:
+            handle.shutdown()
+        assert not handle.alive()
+
+    def test_request_ids_increase(self, worker_root):
+        root, _bits = worker_root
+        handle = WorkerHandle("worker-000", root, [0], threshold=0.1)
+        try:
+            first = handle.request("ping", timeout_s=10.0)
+            second = handle.request("ping", timeout_s=10.0)
+            assert second["rid"] > first["rid"]
+        finally:
+            handle.shutdown()

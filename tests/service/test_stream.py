@@ -548,3 +548,80 @@ class TestQuarantineTriage:
         assert retry.retried == 0
         assert retry.still_quarantined == 4
         assert len(list_quarantine(tmp_path / "state")) == 4
+
+
+class TestCrossSeamResume:
+    """Satellite: compose *different* fault plans on the two durable
+    seams of one run — a persistent shard outage in the fingerprint
+    store while the checkpoint directory crashes mid-stream — and
+    require the resumed run to reproduce the uninterrupted run's
+    results byte for byte, degradation included."""
+
+    SERVICE_KWARGS = dict(
+        batch_size=16,
+        checkpoint_every=32,
+        shard_retries=1,
+        retry_backoff_s=0.0,
+        breaker_failure_threshold=2,
+        breaker_reset_s=3600.0,
+    )
+
+    def faulted_store(self, tmp_path):
+        """The corpus store behind a permanent shard-001 outage: every
+        IO against that shard fails, independent of op index (so the
+        plan is deterministic under threaded shard fan-out)."""
+        io = FaultyIO(
+            FaultPlan(fail_at=1, fail_count=10**9, match="shard-001")
+        )
+        return ShardedFingerprintStore(
+            tmp_path / "store", storage_io=io
+        ), io
+
+    def test_resume_with_independent_store_and_state_plans(
+        self, tmp_path, corpus, rng
+    ):
+        _clean_store, bits = corpus
+        obs = write_observations(
+            tmp_path / "obs.jsonl",
+            observation_lines(
+                bits, n=120, poison_every=25, miss_every=30, rng=rng
+            ),
+        )
+        # Reference: the store seam degraded, the state seam clean.
+        store, _io = self.faulted_store(tmp_path)
+        state_full = tmp_path / "state-full"
+        reference = StreamingIdentificationService(
+            store, state_full, **self.SERVICE_KWARGS
+        ).run(obs)
+        assert reference.status == "completed"
+        assert reference.degraded_shards, "shard outage never degraded"
+        full_results = (state_full / "results.jsonl").read_bytes()
+        full_quarantine = (state_full / "quarantine.jsonl").read_bytes()
+
+        # Crash run: store on its outage plan, checkpoint dir on its
+        # own crash plan (past initialization and the first
+        # checkpoint window) — two seams, two independent plans.
+        store, store_io = self.faulted_store(tmp_path)
+        state = tmp_path / "state-cross"
+        state_io = FaultyIO(FaultPlan(fail_at=7, mode="crash"))
+        first = StreamingIdentificationService(
+            store, state, storage_io=state_io, **self.SERVICE_KWARGS
+        )
+        with pytest.raises(InjectedFault):
+            first.run(obs)
+        # Both seams really did fire — independently.
+        assert store_io.faults_fired >= 1
+        assert state_io.faults_fired == 1
+
+        # Resume: the store seam still faulted (fresh plan), the state
+        # seam clean. The operator protocol from the single-seam test
+        # applies unchanged: --resume iff a checkpoint exists.
+        store, store_io = self.faulted_store(tmp_path)
+        resumed = StreamingIdentificationService(
+            store, state, **self.SERVICE_KWARGS
+        ).run(obs, resume=(state / "checkpoint.json").exists())
+        assert resumed.status == "completed"
+        assert store_io.faults_fired >= 1
+        assert {entry.shard for entry in resumed.degraded_shards} == {1}
+        assert (state / "results.jsonl").read_bytes() == full_results
+        assert (state / "quarantine.jsonl").read_bytes() == full_quarantine

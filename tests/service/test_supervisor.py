@@ -4,10 +4,12 @@ from __future__ import annotations
 
 import threading
 
+import numpy as np
 import pytest
 
 from repro.reliability import InjectedFault, WorkerCrashPlan, WorkerFaultInjector
 from repro.service import ServiceMetrics, SupervisorEscalation, WorkerSupervisor
+from repro.service.supervisor import full_jitter_backoff
 
 
 def no_sleep(_seconds: float) -> None:
@@ -150,3 +152,97 @@ class TestWorkerFaultIntegration:
         with pytest.raises(SupervisorEscalation) as info:
             supervisor.run(task)
         assert isinstance(info.value.cause, InjectedFault)
+
+
+class TestFullJitterBackoff:
+    """AWS-style full jitter: each delay is uniform in [0, ceiling]."""
+
+    def test_without_rng_returns_the_ceiling(self):
+        assert full_jitter_backoff(1, 0.1, 0.5) == 0.1
+        assert full_jitter_backoff(2, 0.1, 0.5) == 0.2
+        assert full_jitter_backoff(3, 0.1, 0.5) == 0.4
+        assert full_jitter_backoff(4, 0.1, 0.5) == 0.5
+        assert full_jitter_backoff(99, 0.1, 0.5) == 0.5
+
+    def test_rejects_non_positive_attempts(self):
+        with pytest.raises(ValueError):
+            full_jitter_backoff(0, 0.1, 0.5)
+
+    def test_jittered_delays_stay_under_the_ceiling(self):
+        rng = np.random.default_rng(2015)
+        for attempt in range(1, 12):
+            ceiling = min(0.5, 0.1 * 2 ** (attempt - 1))
+            for _ in range(50):
+                delay = full_jitter_backoff(attempt, 0.1, 0.5, rng=rng)
+                assert 0.0 <= delay <= ceiling
+
+    def test_seeded_rng_reproduces_the_sequence(self):
+        first = [
+            full_jitter_backoff(
+                a, 0.1, 2.0, rng=np.random.default_rng(40504)
+            )
+            for a in range(1, 6)
+        ]
+        second = [
+            full_jitter_backoff(
+                a, 0.1, 2.0, rng=np.random.default_rng(40504)
+            )
+            for a in range(1, 6)
+        ]
+        assert first == second
+
+    def test_stdlib_random_also_works(self):
+        import random
+
+        delay = full_jitter_backoff(3, 0.1, 0.5, rng=random.Random(7))
+        assert 0.0 <= delay <= 0.4
+
+
+class TestSupervisorJitter:
+    def test_supervisor_sleeps_are_jittered_and_reproducible(self):
+        """The same jitter seed must reproduce the same sleeps, and
+        every sleep must respect the deterministic ceiling schedule."""
+
+        def run_doomed(seed):
+            slept = []
+            supervisor = WorkerSupervisor(
+                max_restarts=4,
+                backoff_base_s=0.1,
+                backoff_cap_s=0.5,
+                sleep=slept.append,
+                jitter_rng=np.random.default_rng(seed),
+            )
+
+            def doomed():
+                raise RuntimeError("still dead")
+
+            with pytest.raises(SupervisorEscalation):
+                supervisor.run(doomed)
+            return slept, supervisor.backoff_schedule()
+
+        first, schedule = run_doomed(2015)
+        second, _ = run_doomed(2015)
+        other, _ = run_doomed(271828)
+        assert first == second
+        assert first != other
+        assert len(first) == 4
+        for delay, ceiling in zip(first, schedule):
+            assert 0.0 <= delay <= ceiling
+
+    def test_unjittered_schedule_is_unchanged(self):
+        """Without a jitter RNG the ceilings themselves are slept —
+        the pre-jitter behavior, byte for byte."""
+        slept = []
+        supervisor = WorkerSupervisor(
+            max_restarts=3,
+            backoff_base_s=0.1,
+            backoff_cap_s=0.25,
+            sleep=slept.append,
+        )
+
+        def doomed():
+            raise RuntimeError("still dead")
+
+        with pytest.raises(SupervisorEscalation):
+            supervisor.run(doomed)
+        assert slept == [0.1, 0.2, 0.25]
