@@ -234,7 +234,10 @@ def dump_database(
     if version not in (VERSION_1, VERSION_2):
         raise SerializationError(f"unknown format version {version}")
     if isinstance(destination, (str, Path)):
-        with open(destination, "wb") as stream:
+        # Plain export helper: durability is the caller's business —
+        # crash-safe paths (ingest, compaction, repair) serialize into
+        # memory and commit through the StorageIO seam, which fsyncs.
+        with open(destination, "wb") as stream:  # repro-lint: disable=REP009 -- export serialization; durable callers commit via the fsyncing StorageIO seam
             dump_database(database, stream, version=version)
         return
     destination.write(_MAGIC)

@@ -9,7 +9,10 @@ machine-checkable: a single-walk AST rule engine
 (:mod:`repro.lint.rules`, ``REP001``-``REP007`` plus the ``REP000``
 parse-error channel), per-line suppressions, and a committed baseline
 (:mod:`repro.lint.baseline`) so legacy findings never block while new
-ones always do.
+ones always do.  ``--flow`` adds the whole-program pass
+(:mod:`repro.lint.flow`): call-graph construction, lock-order cycle
+detection (``REP008``), interprocedural durability (``REP009``), and
+may-block closure checking (``REP010``), exportable as SARIF 2.1.0.
 
 Run it as ``python -m repro.lint`` or ``python -m repro lint``.
 """
@@ -22,10 +25,15 @@ from repro.lint.baseline import (
 )
 from repro.lint.engine import lint_paths, lint_source, parse_suppressions
 from repro.lint.findings import PARSE_ERROR_RULE, Finding, LintRun
-from repro.lint.rules import ALL_RULES, RULES_BY_ID, Rule
+from repro.lint.flow import FLOW_RULE_IDS, FlowResult, analyze_project
+from repro.lint.rules import ALL_RULES, FLOW_RULES, RULES_BY_ID, Rule
 
 __all__ = [
     "ALL_RULES",
+    "FLOW_RULES",
+    "FLOW_RULE_IDS",
+    "FlowResult",
+    "analyze_project",
     "RULES_BY_ID",
     "Rule",
     "Finding",

@@ -4,8 +4,15 @@ The committed ``lint-baseline.json`` holds the fingerprints of
 findings that predate a rule (or were accepted with an issue link); a
 run subtracts them, so *new* violations fail CI while the legacy debt
 is visible but non-blocking.  The file maps fingerprint → a snapshot
-of the finding (for human review in diffs); matching is purely by
+of the finding (for human review in diffs); matching is primarily by
 fingerprint, which hashes line *content* rather than line numbers.
+
+Renames: the primary fingerprint includes the path, so moving a file
+would orphan its entries.  Each entry therefore also records the
+finding's path-free ``content`` fingerprint, and unmatched findings
+fall back to matching unclaimed entries by it — multiset-style, since
+identical violations in two files share a content fingerprint — so a
+pure file move leaves the baseline intact.
 
 Expiry: a baseline entry whose finding no longer occurs is *expired* —
 reported so the debt ledger shrinks — and ``--update-baseline``
@@ -54,6 +61,7 @@ def save_baseline(path: Path, findings: List[Finding]) -> None:
             "rule": finding.rule,
             "path": finding.path,
             "message": finding.message,
+            "content": finding.content_fingerprint,
         }
         for finding in findings
     }
@@ -72,9 +80,13 @@ def apply_baseline(
     """Mark baselined findings; return (findings, expired fingerprints).
 
     A finding whose fingerprint appears in the baseline is marked
-    ``baselined`` (reported, but not failing).  Baseline entries no
-    fingerprint matched are *expired*: the violation was fixed, the
-    entry should be dropped at the next ``--update-baseline``.
+    ``baselined`` (reported, but not failing).  Findings the primary
+    pass left unmatched get a second chance against *unclaimed*
+    entries via the path-free content fingerprint, so a file rename
+    does not orphan its accepted debt; each entry can absorb at most
+    one finding.  Baseline entries no finding claimed are *expired*:
+    the violation was fixed, the entry should be dropped at the next
+    ``--update-baseline``.
     """
     matched: set = set()
     resolved: List[Finding] = []
@@ -84,5 +96,19 @@ def apply_baseline(
             resolved.append(finding.as_baselined())
         else:
             resolved.append(finding)
+    # Fallback pass: match renamed files by content fingerprint.
+    unclaimed: Dict[str, List[str]] = {}
+    for key in sorted(set(baseline) - matched):
+        content = baseline[key].get("content")
+        if isinstance(content, str) and content:
+            unclaimed.setdefault(content, []).append(key)
+    if unclaimed:
+        for index, finding in enumerate(resolved):
+            if finding.baselined or not finding.content_fingerprint:
+                continue
+            pool = unclaimed.get(finding.content_fingerprint)
+            if pool:
+                matched.add(pool.pop(0))
+                resolved[index] = finding.as_baselined()
     expired = sorted(set(baseline) - matched)
     return resolved, expired

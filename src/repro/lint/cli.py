@@ -78,6 +78,24 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="print the rule catalogue and exit",
     )
+    parser.add_argument(
+        "--flow",
+        action="store_true",
+        help="also run the whole-program analyses (REP008-REP010): "
+        "call-graph, lock-order, interprocedural durability/blocking",
+    )
+    parser.add_argument(
+        "--sarif",
+        default=None,
+        metavar="FILE",
+        help="also write the findings as a SARIF 2.1.0 report to FILE",
+    )
+    parser.add_argument(
+        "--graph-dir",
+        default=None,
+        metavar="DIR",
+        help="write callgraph.dot and lockgraph.dot to DIR (implies --flow)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -132,7 +150,19 @@ def run_lint(args: argparse.Namespace) -> int:
             return 2
         paths.append(path)
 
-    run, _sources = lint_paths(paths, ALL_RULES)
+    flow = bool(args.flow or args.graph_dir)
+    run, _sources = lint_paths(paths, ALL_RULES, flow=flow)
+
+    if args.graph_dir and run.flow_result is not None:
+        graph_dir = Path(args.graph_dir)
+        graph_dir.mkdir(parents=True, exist_ok=True)
+        result = run.flow_result
+        (graph_dir / "callgraph.dot").write_text(
+            result.callgraph_dot, encoding="utf-8"  # type: ignore[attr-defined]
+        )
+        (graph_dir / "lockgraph.dot").write_text(
+            result.lockgraph_dot, encoding="utf-8"  # type: ignore[attr-defined]
+        )
 
     baseline_path: Optional[Path] = None
     if not args.no_baseline:
@@ -169,6 +199,11 @@ def run_lint(args: argparse.Namespace) -> int:
     report = json.dumps(run.to_json(), indent=2, sort_keys=True)
     if args.output:
         Path(args.output).write_text(report + "\n", encoding="utf-8")
+    if args.sarif:
+        from repro.lint.flow.sarif import to_sarif
+
+        sarif_doc = json.dumps(to_sarif(run), indent=2, sort_keys=True)
+        Path(args.sarif).write_text(sarif_doc + "\n", encoding="utf-8")
     if args.format == "json":
         print(report)
     else:

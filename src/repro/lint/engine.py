@@ -296,15 +296,24 @@ def lint_paths(
     rule_classes: Sequence[Type],
     root: Optional[Path] = None,
     respect_path_filters: bool = True,
+    flow: bool = False,
 ) -> Tuple[LintRun, Dict[str, List[str]]]:
     """Lint every Python file under ``paths``.
 
     Returns the run plus a map of path → source lines, which the
     caller feeds to :func:`~repro.lint.findings.fingerprint_findings`
     after baseline matching.
+
+    With ``flow=True`` a second, whole-program pass runs over every
+    file read in pass one (:func:`repro.lint.flow.analyze_project`):
+    its ``REP008``-``REP010`` findings honour the same per-line
+    suppression comments, join the ordinary fingerprint/baseline
+    pipeline, and the resulting graphs are exposed on
+    ``run.flow_result`` for ``--graph-dir``.
     """
     run = LintRun(rules=[rule_class.rule_id for rule_class in rule_classes])
     source_lines: Dict[str, List[str]] = {}
+    sources: Dict[str, str] = {}
     for file_path in iter_python_files(paths):
         rel = relative_path(file_path, root)
         try:
@@ -314,6 +323,7 @@ def lint_paths(
             run.files_checked += 1
             continue
         source_lines[rel] = source.splitlines()
+        sources[rel] = source
         run.findings.extend(
             lint_source(
                 source,
@@ -323,5 +333,49 @@ def lint_paths(
             )
         )
         run.files_checked += 1
+    if flow:
+        from repro.lint.flow import FLOW_RULE_IDS, analyze_project
+
+        result = analyze_project(sources)
+        run.flow_result = result
+        if result.superseded_rep002:
+            # The whole-program pass has the final word on the publish
+            # sites it analyzed: an fsync hidden in a callee clears the
+            # REP002 false positive, and a genuine violation split
+            # across functions is re-reported as REP009 with its call
+            # chain — either way the intraprocedural finding goes.
+            run.findings = [
+                finding
+                for finding in run.findings
+                if finding.rule != "REP002"
+                or (finding.path, finding.line)
+                not in result.superseded_rep002
+            ]
+        suppression_cache: Dict[str, Dict[int, Set[str]]] = {}
+
+        def suppressions_for(path: str) -> Dict[int, Set[str]]:
+            cached = suppression_cache.get(path)
+            if cached is None:
+                cached = parse_suppressions(sources.get(path, ""))
+                suppression_cache[path] = cached
+            return cached
+
+        for finding, span in result.findings:
+            if _is_suppressed(finding, span, suppressions_for(finding.path)):
+                continue
+            # An interprocedural finding is also suppressed when any
+            # frame of its trace is: silencing the *cause* site (the
+            # deliberate publish, the known-blocking helper) silences
+            # every report it would fan out into.
+            if any(
+                _is_suppressed(
+                    finding, (line, line), suppressions_for(path)
+                )
+                for path, line, _note in finding.trace
+            ):
+                continue
+            run.findings.append(finding)
+        run.rules.extend(FLOW_RULE_IDS)
+        run.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     run.findings = fingerprint_findings(run.findings, source_lines)
     return run, source_lines

@@ -4,14 +4,25 @@ A :class:`Finding` is one rule violation at one source location.  Its
 ``fingerprint`` is the identity the baseline mechanism keys on: a hash
 of the *content* of the violating line (plus path, rule, and an
 occurrence index for identical lines) rather than its line number, so
-unrelated edits above a legacy finding do not churn the baseline.
+unrelated edits above a legacy finding do not churn the baseline.  The
+``content_fingerprint`` drops the path from that hash, which is what
+lets a baseline entry survive a file rename (the fallback match in
+:func:`repro.lint.baseline.apply_baseline`).
+
+Whole-program findings (``REP008``-``REP010``) additionally carry a
+``trace``: the chain of ``(path, line, note)`` frames from the
+reporting site to the deep cause, rendered in the human output and
+exported as a SARIF ``codeFlow``.
 """
 
 from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
+
+#: One frame of an interprocedural trace: (path, line, note).
+TraceFrame = Tuple[str, int, str]
 
 #: Reserved rule id for files that fail ``ast.parse`` — a parse error
 #: is reported as a finding, never as a crash of the linter itself.
@@ -29,6 +40,8 @@ class Finding:
     message: str  #: human-readable description of the violation
     fingerprint: str = ""  #: content-addressed baseline identity
     baselined: bool = False  #: True when an accepted legacy finding
+    content_fingerprint: str = ""  #: path-free identity (rename fallback)
+    trace: Tuple[TraceFrame, ...] = ()  #: interprocedural call chain
 
     def to_json(self) -> Dict[str, object]:
         """JSON rendering (one entry of the ``findings`` array)."""
@@ -39,13 +52,24 @@ class Finding:
             "rule": self.rule,
             "message": self.message,
             "fingerprint": self.fingerprint,
+            "content_fingerprint": self.content_fingerprint,
             "baselined": self.baselined,
+            "trace": [
+                {"path": path, "line": line, "note": note}
+                for path, line, note in self.trace
+            ],
         }
 
     def render(self) -> str:
-        """Compiler-style one-liner for the human output format."""
+        """Compiler-style output; trace frames indent under the line."""
         mark = " (baselined)" if self.baselined else ""
-        return f"{self.path}:{self.line}:{self.col + 1}: {self.rule} {self.message}{mark}"
+        head = f"{self.path}:{self.line}:{self.col + 1}: {self.rule} {self.message}{mark}"
+        if not self.trace:
+            return head
+        frames = "\n".join(
+            f"    via {path}:{line}: {note}" for path, line, note in self.trace
+        )
+        return head + "\n" + frames
 
     def as_baselined(self) -> "Finding":
         """Copy of this finding marked as accepted by the baseline."""
@@ -60,7 +84,11 @@ def fingerprint_findings(
     The fingerprint hashes ``path``, ``rule``, the stripped text of the
     violating line, and an occurrence index that disambiguates several
     identical violations of the same line text in one file — stable
-    under reordering of *other* lines, unique within a run.
+    under reordering of *other* lines, unique within a run.  The
+    ``content_fingerprint`` is the same hash without the path (same
+    occurrence index), so it is identical before and after a file
+    rename; it is *not* unique across files and the baseline matcher
+    treats it as a multiset fallback, never a primary key.
     """
     seen: Dict[str, int] = {}
     stamped: List[Finding] = []
@@ -76,7 +104,16 @@ def fingerprint_findings(
         digest = hashlib.sha256(
             f"{key}\0{occurrence}".encode("utf-8")
         ).hexdigest()[:16]
-        stamped.append(replace(finding, fingerprint=digest))
+        content_digest = hashlib.sha256(
+            f"{finding.rule}\0{text}\0{occurrence}".encode("utf-8")
+        ).hexdigest()[:16]
+        stamped.append(
+            replace(
+                finding,
+                fingerprint=digest,
+                content_fingerprint=content_digest,
+            )
+        )
     return stamped
 
 
@@ -88,6 +125,9 @@ class LintRun:
     files_checked: int = 0
     rules: List[str] = field(default_factory=list)
     expired: List[str] = field(default_factory=list)
+    #: Whole-program pass output (graphs, counts) when ``--flow`` ran;
+    #: carried for the CLI, never serialized into ``to_json``.
+    flow_result: Optional[object] = field(default=None, repr=False)
 
     @property
     def new_findings(self) -> List[Finding]:

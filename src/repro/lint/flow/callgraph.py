@@ -1,0 +1,819 @@
+"""Project-wide call graph and per-function fact extraction.
+
+The :class:`ProjectIndex` is the shared substrate of every
+whole-program rule: it parses the linted file set once, indexes every
+module, class, and function, records import tables, and resolves call
+sites *conservatively*:
+
+* ``self.method(...)`` / ``cls.method(...)`` — the enclosing class,
+  then project-resolvable base classes;
+* ``name(...)`` — nested ``def``s in the enclosing function, then
+  module-level functions/classes (a class call resolves to its
+  ``__init__``), then imported project symbols;
+* ``mod.attr(...)`` / ``pkg.mod.attr(...)`` — walked through the
+  import table into project modules;
+* anything else — a *unique-name* fallback: when exactly one project
+  function bears the called method name (and the name is not a common
+  stdlib method), the call links to it.  This is what connects
+  ``handle.ping(...)`` to ``WorkerHandle.ping`` without type
+  inference; ambiguity or a known-external receiver yields no edge.
+
+Alongside the graph, :func:`scan_function` walks one function body
+with a ``with``-statement lock stack (the syntactic scope is the right
+model — ``with`` releases on every unwind) and records lock
+acquisitions, call sites, and directly-blocking operations together
+with the locks held at each.  The lock/durability/blocking analyses
+are all built from these facts.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import PurePosixPath
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.engine import attr_chain
+
+#: Lock factory callables and whether acquiring one is reentrant.
+#: ``Condition()`` defaults to wrapping an ``RLock``.
+LOCK_FACTORY_REENTRANT: Dict[str, bool] = {
+    "Lock": False,
+    "RLock": True,
+    "Condition": True,
+    "Semaphore": False,
+    "BoundedSemaphore": False,
+}
+
+#: Identifier fragments marking an attribute/name as lock-like
+#: (mirrors the engine's REP003/REP004 classifier).
+_LOCK_FRAGMENTS = ("lock", "mutex", "cond", "condition", "not_empty", "not_full")
+
+#: Method names too generic for the unique-name fallback: linking
+#: ``d.get(...)`` to some project function called ``get`` would wire
+#: the graph to noise, not signal.
+HEURISTIC_DENYLIST = frozenset(
+    {
+        "get",
+        "set",
+        "add",
+        "append",
+        "extend",
+        "pop",
+        "items",
+        "keys",
+        "values",
+        "update",
+        "copy",
+        "clear",
+        "close",
+        "join",
+        "start",
+        "run",
+        "stop",
+        "send",
+        "put",
+        "read",
+        "write",
+        "open",
+        "count",
+        "time",
+        "sleep",
+        "exists",
+        "mkdir",
+        "wait",
+        "notify",
+        "notify_all",
+        "acquire",
+        "release",
+        "submit",
+        "result",
+        "cancel",
+        "shutdown",
+        "kill",
+        "encode",
+        "decode",
+        "split",
+        "strip",
+        "format",
+        "to_json",
+        "name",
+        "main",
+        "build",
+        "load",
+        "save",
+        "index",
+        "remove",
+        "replace",
+        "rename",
+        "keys",
+        "sort",
+        "sorted",
+    }
+)
+
+#: Import-table targets for modules we know are outside the project.
+_EXTERNAL = "<external>"
+
+
+def module_name_for(rel_path: str) -> str:
+    """Dotted module name of a repo-relative path, best effort.
+
+    ``src/repro/service/store.py`` → ``repro.service.store``;
+    ``pkg/__init__.py`` → ``pkg``.  A leading ``src`` component (the
+    layout convention) is dropped; other prefixes are kept, and
+    absolute-import resolution falls back to dotted-suffix matching so
+    the exact root does not matter.
+    """
+    parts = [part for part in PurePosixPath(rel_path).parts if part not in ("/", "")]
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1].endswith(".py"):
+        parts = parts[:-1] + [parts[-1][:-3]]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+@dataclass
+class FunctionInfo:
+    """One project function or method (nested defs included)."""
+
+    qualname: str  #: ``module:Class.func`` / ``module:func`` / ``module:outer.inner``
+    module: str
+    rel_path: str
+    node: ast.AST  #: FunctionDef or AsyncFunctionDef
+    class_name: Optional[str] = None
+
+    @property
+    def name(self) -> str:
+        """Bare function name (last qualname segment)."""
+        return getattr(self.node, "name", "")
+
+    @property
+    def lineno(self) -> int:
+        """1-based line of the ``def`` statement."""
+        return getattr(self.node, "lineno", 1)
+
+
+@dataclass
+class ClassInfo:
+    """One project class: methods, bases, and lock-attr factories."""
+
+    name: str
+    module: str
+    node: ast.ClassDef
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+    base_chains: List[Tuple[str, ...]] = field(default_factory=list)
+    #: ``self.<attr>`` assigned a lock factory anywhere in the class
+    #: body → factory name (``Lock`` / ``RLock`` / ...).
+    lock_factories: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module of the linted file set."""
+
+    name: str
+    rel_path: str
+    tree: ast.Module
+    #: alias → dotted module name, ``<external>`` for known-external.
+    import_modules: Dict[str, str] = field(default_factory=dict)
+    #: alias → (module, symbol) for ``from m import s [as alias]``.
+    import_symbols: Dict[str, Tuple[str, str]] = field(default_factory=dict)
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    #: Module-level names assigned a lock factory.
+    lock_globals: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class LockSite:
+    """One lock-like acquisition inside a ``with`` statement."""
+
+    key: str  #: canonical lock identity (``module.Class.attr``, ...)
+    display: str  #: source-level spelling (``self._lock``)
+    line: int
+    col: int
+    span: Tuple[int, int]
+    reentrant: Optional[bool]  #: None when the factory is unknown
+    held: Tuple["LockSite", ...]  #: locks already held at this point
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call expression inside a function body."""
+
+    chain: Tuple[str, ...]
+    line: int
+    col: int
+    span: Tuple[int, int]
+    held: Tuple[LockSite, ...]
+    targets: Tuple[str, ...]  #: resolved callee qualnames (may be empty)
+    node: ast.Call = field(compare=False, hash=False, repr=False, default=None)  # type: ignore[assignment]
+
+
+@dataclass
+class FunctionFacts:
+    """Lock/call facts of one function, from a single body walk."""
+
+    info: FunctionInfo
+    acquisitions: List[LockSite] = field(default_factory=list)
+    calls: List[CallSite] = field(default_factory=list)
+
+
+def _is_lockish_name(name: str) -> bool:
+    lowered = name.lower()
+    return any(fragment in lowered for fragment in _LOCK_FRAGMENTS)
+
+
+def _lock_factory_of(value: ast.AST) -> Optional[str]:
+    """Factory name when ``value`` is a lock-constructor call."""
+    if not isinstance(value, ast.Call):
+        return None
+    name = attr_chain(value.func)[-1]
+    return name if name in LOCK_FACTORY_REENTRANT else None
+
+
+def _scan_class(module: str, node: ast.ClassDef, rel_path: str) -> ClassInfo:
+    info = ClassInfo(name=node.name, module=module, node=node)
+    for base in node.bases:
+        chain = attr_chain(base)
+        if chain and chain[0] != "?":
+            info.base_chains.append(chain)
+    for stmt in node.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            qualname = f"{module}:{node.name}.{stmt.name}"
+            info.methods[stmt.name] = FunctionInfo(
+                qualname=qualname,
+                module=module,
+                rel_path=rel_path,
+                node=stmt,
+                class_name=node.name,
+            )
+    for sub in ast.walk(node):
+        if not isinstance(sub, ast.Assign):
+            continue
+        factory = _lock_factory_of(sub.value)
+        if factory is None:
+            continue
+        for target in sub.targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                info.lock_factories[target.attr] = factory
+    return info
+
+
+class ProjectIndex:
+    """Parsed modules, symbol tables, and the resolved call graph."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.modules_by_path: Dict[str, ModuleInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        #: bare function/method name → sorted qualnames bearing it.
+        self.by_name: Dict[str, List[str]] = {}
+        self.facts: Dict[str, FunctionFacts] = {}
+        #: caller qualname → sorted callee qualnames (resolved calls).
+        self.edges: Dict[str, List[str]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(cls, sources: Dict[str, str]) -> "ProjectIndex":
+        """Index every parseable module of ``sources``.
+
+        ``sources`` maps repo-relative POSIX paths to file contents;
+        unparseable files are skipped (pass one already reported them
+        as ``REP000``).
+        """
+        index = cls()
+        for rel_path in sorted(sources):
+            try:
+                tree = ast.parse(sources[rel_path])
+            except (SyntaxError, ValueError):
+                continue
+            index._add_module(rel_path, tree)
+        index._resolve_all()
+        return index
+
+    def _add_module(self, rel_path: str, tree: ast.Module) -> None:
+        name = module_name_for(rel_path)
+        module = ModuleInfo(name=name, rel_path=rel_path, tree=tree)
+        self.modules[name] = module
+        self.modules_by_path[rel_path] = module
+        self._scan_imports(module)
+        for stmt in tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info = FunctionInfo(
+                    qualname=f"{name}:{stmt.name}",
+                    module=name,
+                    rel_path=rel_path,
+                    node=stmt,
+                )
+                module.functions[stmt.name] = info
+            elif isinstance(stmt, ast.ClassDef):
+                module.classes[stmt.name] = _scan_class(name, stmt, rel_path)
+            elif isinstance(stmt, ast.Assign):
+                factory = _lock_factory_of(stmt.value)
+                if factory is not None:
+                    for target in stmt.targets:
+                        if isinstance(target, ast.Name):
+                            module.lock_globals[target.id] = factory
+        # Register functions (module-level, methods, then nested defs).
+        for info in module.functions.values():
+            self._register(info)
+        for class_info in module.classes.values():
+            for info in class_info.methods.values():
+                self._register(info)
+        self._register_nested(module)
+
+    def _register(self, info: FunctionInfo) -> None:
+        self.functions[info.qualname] = info
+        self.by_name.setdefault(info.name, []).append(info.qualname)
+
+    def _register_nested(self, module: ModuleInfo) -> None:
+        """Index ``def``s nested inside functions, one level at a time."""
+        parents: List[FunctionInfo] = list(module.functions.values())
+        for class_info in module.classes.values():
+            parents.extend(class_info.methods.values())
+        while parents:
+            parent = parents.pop()
+            for stmt in getattr(parent.node, "body", []):
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    info = FunctionInfo(
+                        qualname=f"{parent.qualname}.{stmt.name}",
+                        module=parent.module,
+                        rel_path=parent.rel_path,
+                        node=stmt,
+                        class_name=parent.class_name,
+                    )
+                    self._register(info)
+                    parents.append(info)
+
+    def _scan_imports(self, module: ModuleInfo) -> None:
+        package_parts = module.name.split(".")[:-1] if module.name else []
+        # A package __init__ imports relative to itself.
+        if module.rel_path.endswith("__init__.py") and module.name:
+            package_parts = module.name.split(".")
+        for stmt in ast.walk(module.tree):
+            if isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    if alias.asname:
+                        module.import_modules[alias.asname] = alias.name
+                    else:
+                        head = alias.name.split(".")[0]
+                        module.import_modules[head] = head
+            elif isinstance(stmt, ast.ImportFrom):
+                if stmt.level:
+                    base = package_parts[: len(package_parts) - (stmt.level - 1)]
+                    target_parts = list(base)
+                    if stmt.module:
+                        target_parts.extend(stmt.module.split("."))
+                    target = ".".join(target_parts)
+                else:
+                    target = stmt.module or ""
+                for alias in stmt.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    module.import_symbols[bound] = (target, alias.name)
+
+    # ------------------------------------------------------------------
+    # Module / class resolution
+    # ------------------------------------------------------------------
+
+    def find_module(self, dotted: str) -> Optional[ModuleInfo]:
+        """Project module by dotted name, falling back to a unique
+        dotted-suffix match (so path-prefix conventions don't matter)."""
+        if not dotted:
+            return None
+        module = self.modules.get(dotted)
+        if module is not None:
+            return module
+        suffix = "." + dotted
+        matches = [
+            candidate
+            for name, candidate in self.modules.items()
+            if name.endswith(suffix)
+        ]
+        if len(matches) == 1:
+            return matches[0]
+        return None
+
+    def _find_class(
+        self, module: ModuleInfo, chain: Tuple[str, ...]
+    ) -> Optional[ClassInfo]:
+        """Resolve a class-name chain as seen from ``module``."""
+        if len(chain) == 1:
+            name = chain[0]
+            if name in module.classes:
+                return module.classes[name]
+            symbol = module.import_symbols.get(name)
+            if symbol is not None:
+                target = self.find_module(symbol[0])
+                if target is not None:
+                    return target.classes.get(symbol[1])
+            return None
+        target_module = self._module_for_prefix(module, chain[:-1])
+        if target_module is not None:
+            return target_module.classes.get(chain[-1])
+        return None
+
+    def _module_for_prefix(
+        self, module: ModuleInfo, prefix: Tuple[str, ...]
+    ) -> Optional[ModuleInfo]:
+        """Resolve an attribute-chain prefix to a project module."""
+        if not prefix:
+            return None
+        head = prefix[0]
+        dotted: Optional[str] = None
+        if head in module.import_modules:
+            dotted = module.import_modules[head]
+        elif head in module.import_symbols:
+            target, symbol = module.import_symbols[head]
+            candidate = f"{target}.{symbol}" if target else symbol
+            if self.find_module(candidate) is not None:
+                dotted = candidate
+        if dotted is None:
+            return None
+        for part in prefix[1:]:
+            dotted = f"{dotted}.{part}"
+        return self.find_module(dotted)
+
+    def _method_in_hierarchy(
+        self,
+        module: ModuleInfo,
+        class_info: ClassInfo,
+        method: str,
+        seen: Optional[Set[str]] = None,
+    ) -> Optional[FunctionInfo]:
+        if seen is None:
+            seen = set()
+        marker = f"{class_info.module}:{class_info.name}"
+        if marker in seen:
+            return None
+        seen.add(marker)
+        if method in class_info.methods:
+            return class_info.methods[method]
+        defining_module = self.modules.get(class_info.module, module)
+        for base_chain in class_info.base_chains:
+            base = self._find_class(defining_module, base_chain)
+            if base is not None:
+                found = self._method_in_hierarchy(
+                    defining_module, base, method, seen
+                )
+                if found is not None:
+                    return found
+        return None
+
+    def lock_factory(
+        self, module_name: str, class_name: Optional[str], attr: str
+    ) -> Optional[str]:
+        """Factory of ``self.<attr>`` in a class, hierarchy-aware."""
+        module = self.modules.get(module_name)
+        if module is None or class_name is None:
+            return None
+        class_info = module.classes.get(class_name)
+        seen: Set[str] = set()
+        while class_info is not None:
+            marker = f"{class_info.module}:{class_info.name}"
+            if marker in seen:
+                return None
+            seen.add(marker)
+            if attr in class_info.lock_factories:
+                return class_info.lock_factories[attr]
+            parent: Optional[ClassInfo] = None
+            defining = self.modules.get(class_info.module, module)
+            for base_chain in class_info.base_chains:
+                parent = self._find_class(defining, base_chain)
+                if parent is not None:
+                    break
+            class_info = parent
+        return None
+
+    # ------------------------------------------------------------------
+    # Call resolution
+    # ------------------------------------------------------------------
+
+    def resolve_call(
+        self,
+        caller: FunctionInfo,
+        chain: Tuple[str, ...],
+    ) -> Tuple[str, ...]:
+        """Callee qualnames for a call chain, conservatively resolved."""
+        module = self.modules.get(caller.module)
+        if module is None or not chain or chain[-1] == "?":
+            return ()
+        name = chain[-1]
+        if chain[0] in ("self", "cls") and len(chain) == 2:
+            class_info = (
+                module.classes.get(caller.class_name)
+                if caller.class_name
+                else None
+            )
+            if class_info is not None:
+                found = self._method_in_hierarchy(module, class_info, name)
+                if found is not None:
+                    return (found.qualname,)
+            return self._heuristic(name)
+        if len(chain) == 1:
+            for stmt in getattr(caller.node, "body", []):
+                if (
+                    isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and stmt.name == name
+                ):
+                    return (f"{caller.qualname}.{name}",)
+            if name in module.functions:
+                return (module.functions[name].qualname,)
+            if name in module.classes:
+                init = module.classes[name].methods.get("__init__")
+                return (init.qualname,) if init is not None else ()
+            symbol = module.import_symbols.get(name)
+            if symbol is not None:
+                return self._resolve_symbol(symbol)
+            return ()
+        # Dotted call: walk the prefix through the import table.
+        target_module = self._module_for_prefix(module, chain[:-1])
+        if target_module is not None:
+            if name in target_module.functions:
+                return (target_module.functions[name].qualname,)
+            if name in target_module.classes:
+                init = target_module.classes[name].methods.get("__init__")
+                return (init.qualname,) if init is not None else ()
+            return ()
+        head = chain[0]
+        if head in module.import_modules:
+            dotted = module.import_modules[head]
+            if self.find_module(dotted) is None and "." not in dotted:
+                # `import os`-style external receiver: no edge, and no
+                # guessing either.
+                return ()
+        if head == "?":
+            return self._heuristic(name)
+        if (
+            head in ("self", "cls")
+            or head in module.import_symbols
+            or head not in module.import_modules
+        ):
+            return self._heuristic(name)
+        return ()
+
+    def _resolve_symbol(self, symbol: Tuple[str, str]) -> Tuple[str, ...]:
+        target_module = self.find_module(symbol[0])
+        if target_module is None:
+            return ()
+        name = symbol[1]
+        if name in target_module.functions:
+            return (target_module.functions[name].qualname,)
+        if name in target_module.classes:
+            init = target_module.classes[name].methods.get("__init__")
+            return (init.qualname,) if init is not None else ()
+        return ()
+
+    def _heuristic(self, name: str) -> Tuple[str, ...]:
+        """Unique-name fallback for calls on untyped receivers."""
+        if (
+            not name
+            or name in HEURISTIC_DENYLIST
+            or (name.startswith("__") and name.endswith("__"))
+        ):
+            return ()
+        candidates = self.by_name.get(name, ())
+        if len(candidates) == 1:
+            return (candidates[0],)
+        return ()
+
+    # ------------------------------------------------------------------
+    # Fact extraction
+    # ------------------------------------------------------------------
+
+    def _resolve_all(self) -> None:
+        for qualname in sorted(self.functions):
+            info = self.functions[qualname]
+            facts = scan_function(self, info)
+            self.facts[qualname] = facts
+            targets: Set[str] = set()
+            for call in facts.calls:
+                targets.update(call.targets)
+            targets.discard(qualname)
+            self.edges[qualname] = sorted(targets)
+
+    def lock_key(
+        self, info: FunctionInfo, expr: ast.AST
+    ) -> Optional[Tuple[str, str, Optional[bool]]]:
+        """(canonical key, display, reentrant) for a lock-like expr."""
+        if isinstance(expr, ast.Attribute):
+            attr = expr.attr
+            if not _is_lockish_name(attr):
+                return None
+            if isinstance(expr.value, ast.Name) and expr.value.id in (
+                "self",
+                "cls",
+            ):
+                factory = self.lock_factory(info.module, info.class_name, attr)
+                owner = info.class_name or "?"
+                key = f"{info.module}.{owner}.{attr}"
+                reentrant = (
+                    LOCK_FACTORY_REENTRANT.get(factory)
+                    if factory is not None
+                    else None
+                )
+                return key, f"self.{attr}", reentrant
+            # Attribute on an arbitrary receiver: identity is opaque;
+            # key on the attribute name alone (project-wide bucket).
+            return f"?.{attr}", f"<expr>.{attr}", None
+        if isinstance(expr, ast.Name):
+            name = expr.id
+            if not _is_lockish_name(name):
+                return None
+            module = self.modules.get(info.module)
+            if module is not None and name in module.lock_globals:
+                factory = module.lock_globals[name]
+                return (
+                    f"{info.module}.{name}",
+                    name,
+                    LOCK_FACTORY_REENTRANT.get(factory),
+                )
+            # `from mod import SOME_LOCK`: canonicalize to the defining
+            # module so both sides of a cross-module cycle agree.
+            symbol = module.import_symbols.get(name) if module else None
+            if symbol is not None:
+                target = self.find_module(symbol[0])
+                if target is not None and symbol[1] in target.lock_globals:
+                    factory = target.lock_globals[symbol[1]]
+                    return (
+                        f"{target.name}.{symbol[1]}",
+                        name,
+                        LOCK_FACTORY_REENTRANT.get(factory),
+                    )
+            return f"{info.module}.{info.name}.{name}", name, None
+        return None
+
+    def to_dot(self) -> str:
+        """GraphViz DOT rendering of the resolved call graph."""
+        lines = ["digraph callgraph {", "  rankdir=LR;", "  node [shape=box];"]
+        for caller in sorted(self.edges):
+            for callee in self.edges[caller]:
+                lines.append(f'  "{caller}" -> "{callee}";')
+        lines.append("}")
+        return "\n".join(lines) + "\n"
+
+
+_NESTED_STMT_SCOPES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+
+
+def scan_function(index: ProjectIndex, info: FunctionInfo) -> FunctionFacts:
+    """Walk one function body recording lock and call facts."""
+    facts = FunctionFacts(info=info)
+    held: List[LockSite] = []
+
+    def span_of(node: ast.AST) -> Tuple[int, int]:
+        line = getattr(node, "lineno", info.lineno)
+        return line, getattr(node, "end_lineno", None) or line
+
+    def visit_call(node: ast.Call, stmt_span: Tuple[int, int]) -> None:
+        chain = attr_chain(node.func)
+        facts.calls.append(
+            CallSite(
+                chain=chain,
+                line=getattr(node, "lineno", info.lineno),
+                col=getattr(node, "col_offset", 0),
+                span=stmt_span,
+                held=tuple(held),
+                targets=index.resolve_call(info, chain),
+                node=node,
+            )
+        )
+
+    def visit_expr(node: ast.AST, stmt_span: Tuple[int, int]) -> None:
+        stack: List[ast.AST] = [node]
+        while stack:
+            item = stack.pop()
+            if isinstance(item, (ast.Lambda,) + _NESTED_STMT_SCOPES):
+                continue
+            if isinstance(item, ast.Call):
+                visit_call(item, stmt_span)
+            stack.extend(ast.iter_child_nodes(item))
+
+    def visit_stmts(stmts: Sequence[ast.stmt]) -> None:
+        for stmt in stmts:
+            visit_stmt(stmt)
+
+    def visit_stmt(stmt: ast.stmt) -> None:
+        stmt_span = span_of(stmt)
+        if isinstance(stmt, _NESTED_STMT_SCOPES):
+            return
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            pushed = 0
+            for item in stmt.items:
+                visit_expr(item.context_expr, stmt_span)
+                resolved = index.lock_key(info, item.context_expr)
+                if resolved is not None:
+                    key, display, reentrant = resolved
+                    site = LockSite(
+                        key=key,
+                        display=display,
+                        line=getattr(item.context_expr, "lineno", stmt.lineno),
+                        col=getattr(item.context_expr, "col_offset", 0),
+                        span=stmt_span,
+                        reentrant=reentrant,
+                        held=tuple(held),
+                    )
+                    facts.acquisitions.append(site)
+                    held.append(site)
+                    pushed += 1
+            visit_stmts(stmt.body)
+            for _ in range(pushed):
+                held.pop()
+            return
+        if isinstance(stmt, ast.If):
+            visit_expr(stmt.test, stmt_span)
+            visit_stmts(stmt.body)
+            visit_stmts(stmt.orelse)
+            return
+        if isinstance(stmt, (ast.While,)):
+            visit_expr(stmt.test, stmt_span)
+            visit_stmts(stmt.body)
+            visit_stmts(stmt.orelse)
+            return
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            visit_expr(stmt.iter, stmt_span)
+            visit_stmts(stmt.body)
+            visit_stmts(stmt.orelse)
+            return
+        if isinstance(stmt, ast.Try):
+            visit_stmts(stmt.body)
+            for handler in stmt.handlers:
+                visit_stmts(handler.body)
+            visit_stmts(stmt.orelse)
+            visit_stmts(stmt.finalbody)
+            return
+        if isinstance(stmt, ast.Match):
+            visit_expr(stmt.subject, stmt_span)
+            for case in stmt.cases:
+                visit_stmts(case.body)
+            return
+        visit_expr(stmt, stmt_span)
+
+    visit_stmts(getattr(info.node, "body", []))
+    return facts
+
+
+def strongly_connected(
+    nodes: Iterable[str], edges: Dict[str, List[str]]
+) -> List[List[str]]:
+    """Tarjan SCCs (iterative), deterministic over sorted inputs."""
+    index_counter = [0]
+    indices: Dict[str, int] = {}
+    lowlinks: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    result: List[List[str]] = []
+
+    for root in sorted(nodes):
+        if root in indices:
+            continue
+        work: List[Tuple[str, int]] = [(root, 0)]
+        while work:
+            node, child_index = work[-1]
+            if child_index == 0:
+                indices[node] = lowlinks[node] = index_counter[0]
+                index_counter[0] += 1
+                stack.append(node)
+                on_stack.add(node)
+            advanced = False
+            successors = edges.get(node, [])
+            while child_index < len(successors):
+                succ = successors[child_index]
+                child_index += 1
+                if succ not in indices:
+                    work[-1] = (node, child_index)
+                    work.append((succ, 0))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlinks[node] = min(lowlinks[node], indices[succ])
+            if advanced:
+                continue
+            work[-1] = (node, child_index)
+            if child_index >= len(successors):
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlinks[parent] = min(lowlinks[parent], lowlinks[node])
+                if lowlinks[node] == indices[node]:
+                    component: List[str] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == node:
+                            break
+                    result.append(sorted(component))
+    return result

@@ -1,0 +1,305 @@
+"""Per-function control-flow graphs for the whole-program analyses.
+
+One :class:`CFG` approximates the intra-function control flow of a
+single ``def``: basic blocks hold the function's statements (and the
+branch/loop/``with`` condition expressions, so calls inside them are
+seen) in source order, and edges follow branches, loops, ``try``
+dispatch, and early exits.  The model is deliberately small — just
+enough for the may-analyses built on top:
+
+* ``if``/``while``/``for``/``match`` branch and loop normally
+  (``break``/``continue`` edges included; loop bodies may run zero
+  times);
+* ``try`` assumes *any* statement of the body may raise into each
+  handler — the union-over-paths analyses want the superset of
+  orderings, not exception-type precision;
+* ``finally`` runs on both the fall-through path and the re-raise
+  path (an extra edge to the function exit);
+* ``with`` is transparent to control flow — lock *scoping* is handled
+  syntactically by the scanners in :mod:`repro.lint.flow.callgraph`,
+  which is exactly right because ``with`` releases on every unwind,
+  including an early ``return`` from the body;
+* ``return``/``raise`` edge to the dedicated exit block.
+
+Nested ``def``/``class``/``lambda`` bodies are *not* traversed — each
+nested function is its own analysis unit — so a statement that defines
+one contributes no events (see :func:`iter_calls`).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class Block:
+    """One basic block: statements/expressions plus successor indices."""
+
+    index: int
+    nodes: List[ast.AST] = field(default_factory=list)
+    succs: List[int] = field(default_factory=list)
+
+
+@dataclass
+class CFG:
+    """Control-flow graph of one function body."""
+
+    blocks: List[Block] = field(default_factory=list)
+    entry: int = 0
+    exit: int = 0
+
+    def successors(self, index: int) -> Sequence[int]:
+        """Successor block indices of block ``index``."""
+        return self.blocks[index].succs
+
+    def reachable(self) -> List[int]:
+        """Block indices reachable from the entry, in BFS order."""
+        seen = {self.entry}
+        order = [self.entry]
+        cursor = 0
+        while cursor < len(order):
+            for succ in self.blocks[order[cursor]].succs:
+                if succ not in seen:
+                    seen.add(succ)
+                    order.append(succ)
+            cursor += 1
+        return order
+
+
+class _LoopContext:
+    """Targets for ``break``/``continue`` inside the current loop."""
+
+    __slots__ = ("header", "after")
+
+    def __init__(self, header: Block, after: Block) -> None:
+        self.header = header
+        self.after = after
+
+
+class _Builder:
+    """Single-use CFG builder for one function node."""
+
+    def __init__(self) -> None:
+        self.cfg = CFG()
+        self._loops: List[_LoopContext] = []
+
+    def _new_block(self) -> Block:
+        block = Block(len(self.cfg.blocks))
+        self.cfg.blocks.append(block)
+        return block
+
+    def _edge(self, source: Optional[Block], target: Block) -> None:
+        if source is not None and target.index not in source.succs:
+            source.succs.append(target.index)
+
+    def build(self, func: ast.AST) -> CFG:
+        entry = self._new_block()
+        exit_block = self._new_block()
+        self._exit = exit_block
+        body = getattr(func, "body", [])
+        end = self._stmts(body, entry)
+        self._edge(end, exit_block)
+        self.cfg.entry = entry.index
+        self.cfg.exit = exit_block.index
+        return self.cfg
+
+    # ------------------------------------------------------------------
+    # Statement dispatch
+    # ------------------------------------------------------------------
+
+    def _stmts(
+        self, stmts: Sequence[ast.stmt], current: Optional[Block]
+    ) -> Optional[Block]:
+        """Walk a statement list; returns the fall-through block or
+        ``None`` when every path terminated (return/raise/break)."""
+        for stmt in stmts:
+            if current is None:
+                # Unreachable code after a terminator: park it in a
+                # fresh predecessor-less block so its events exist but
+                # never receive dataflow state.
+                current = self._new_block()
+            current = self._stmt(stmt, current)
+        return current
+
+    def _stmt(self, node: ast.stmt, current: Block) -> Optional[Block]:
+        if isinstance(node, ast.If):
+            return self._if(node, current)
+        if isinstance(node, (ast.While, ast.For, ast.AsyncFor)):
+            return self._loop(node, current)
+        if isinstance(node, ast.Try):
+            return self._try(node, current)
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            return self._with(node, current)
+        if isinstance(node, ast.Match):
+            return self._match(node, current)
+        if isinstance(node, ast.Return):
+            current.nodes.append(node)
+            self._edge(current, self._exit)
+            return None
+        if isinstance(node, ast.Raise):
+            current.nodes.append(node)
+            self._edge(current, self._exit)
+            return None
+        if isinstance(node, ast.Break):
+            if self._loops:
+                self._edge(current, self._loops[-1].after)
+            return None
+        if isinstance(node, ast.Continue):
+            if self._loops:
+                self._edge(current, self._loops[-1].header)
+            return None
+        current.nodes.append(node)
+        return current
+
+    def _if(self, node: ast.If, current: Block) -> Block:
+        current.nodes.append(node.test)
+        after = self._new_block()
+        then_block = self._new_block()
+        self._edge(current, then_block)
+        self._edge(self._stmts(node.body, then_block), after)
+        if node.orelse:
+            else_block = self._new_block()
+            self._edge(current, else_block)
+            self._edge(self._stmts(node.orelse, else_block), after)
+        else:
+            self._edge(current, after)
+        return after
+
+    def _loop(self, node: ast.stmt, current: Block) -> Block:
+        header = self._new_block()
+        self._edge(current, header)
+        if isinstance(node, ast.While):
+            header.nodes.append(node.test)
+        else:
+            header.nodes.append(node.iter)  # type: ignore[attr-defined]
+        after = self._new_block()
+        self._edge(header, after)
+        body_block = self._new_block()
+        self._edge(header, body_block)
+        self._loops.append(_LoopContext(header, after))
+        body_end = self._stmts(node.body, body_block)  # type: ignore[attr-defined]
+        self._loops.pop()
+        self._edge(body_end, header)
+        orelse = getattr(node, "orelse", [])
+        if orelse:
+            # `else` runs when the loop exhausts; approximate by
+            # inserting it between header-exit and `after`.
+            else_block = self._new_block()
+            self._edge(header, else_block)
+            self._edge(self._stmts(orelse, else_block), after)
+        return after
+
+    def _with(self, node: ast.stmt, current: Block) -> Optional[Block]:
+        for item in node.items:  # type: ignore[attr-defined]
+            current.nodes.append(item.context_expr)
+        return self._stmts(node.body, current)  # type: ignore[attr-defined]
+
+    def _match(self, node: ast.Match, current: Block) -> Block:
+        current.nodes.append(node.subject)
+        after = self._new_block()
+        self._edge(current, after)  # no case may match
+        for case in node.cases:
+            case_block = self._new_block()
+            self._edge(current, case_block)
+            self._edge(self._stmts(case.body, case_block), after)
+        return after
+
+    def _try(self, node: ast.Try, current: Block) -> Optional[Block]:
+        body_entry = self._new_block()
+        self._edge(current, body_entry)
+        first_body_index = body_entry.index
+        # Each try-body statement gets its own block: an exception can
+        # interrupt the body between any two statements, and handler
+        # edges carry a block's *out*-state — statement granularity is
+        # what lets a handler see the state before a later statement's
+        # effects (e.g. dirty bytes an fsync would have cleared).
+        cursor: Optional[Block] = body_entry
+        for stmt in node.body:
+            if cursor is None:
+                cursor = self._new_block()
+            step = self._new_block()
+            self._edge(cursor, step)
+            cursor = self._stmt(stmt, step)
+        body_end = cursor
+        last_body_index = len(self.cfg.blocks)
+        if node.orelse:
+            body_end = self._stmts(node.orelse, body_end)
+
+        handler_ends: List[Optional[Block]] = []
+        for handler in node.handlers:
+            handler_entry = self._new_block()
+            # The exception may fire before the first statement
+            # completes: the pre-try state reaches the handler too.
+            self._edge(current, handler_entry)
+            # And any try-body statement may raise into this handler.
+            for index in range(first_body_index, last_body_index):
+                self._edge(self.cfg.blocks[index], handler_entry)
+            handler_ends.append(self._stmts(handler.body, handler_entry))
+
+        exits: List[Optional[Block]] = [body_end] + handler_ends
+        if node.finalbody:
+            final_entry = self._new_block()
+            for block in exits:
+                self._edge(block, final_entry)
+            # Exceptional path: any body/handler block unwinds into
+            # the finally suite before propagating.
+            self._edge(current, final_entry)
+            for index in range(first_body_index, final_entry.index):
+                self._edge(self.cfg.blocks[index], final_entry)
+            final_end = self._stmts(node.finalbody, final_entry)
+            if final_end is None:
+                return None
+            # Re-raise path out of the finally suite.
+            self._edge(final_end, self._exit)
+            after = self._new_block()
+            self._edge(final_end, after)
+            return after
+        after = self._new_block()
+        for block in exits:
+            self._edge(block, after)
+        if not any(
+            after.index in self.cfg.blocks[i].succs
+            for i in range(len(self.cfg.blocks))
+            if i != after.index
+        ):
+            return None
+        return after
+
+
+def build_cfg(func: ast.AST) -> CFG:
+    """CFG of one ``FunctionDef`` / ``AsyncFunctionDef`` body."""
+    return _Builder().build(func)
+
+
+#: Node types whose bodies are separate analysis units.
+_NESTED_SCOPES = (
+    ast.FunctionDef,
+    ast.AsyncFunctionDef,
+    ast.Lambda,
+    ast.ClassDef,
+)
+
+
+def iter_calls(node: ast.AST) -> Iterator[ast.Call]:
+    """Every ``Call`` in ``node``, skipping nested function/class
+    bodies, in (line, column) order."""
+    calls: List[Tuple[int, int, ast.Call]] = []
+    stack: List[ast.AST] = [node]
+    while stack:
+        item = stack.pop()
+        if isinstance(item, _NESTED_SCOPES):
+            continue
+        if isinstance(item, ast.Call):
+            calls.append(
+                (
+                    getattr(item, "lineno", 0),
+                    getattr(item, "col_offset", 0),
+                    item,
+                )
+            )
+        stack.extend(ast.iter_child_nodes(item))
+    calls.sort(key=lambda entry: (entry[0], entry[1]))
+    for _line, _col, call in calls:
+        yield call

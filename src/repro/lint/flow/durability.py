@@ -1,0 +1,434 @@
+"""Interprocedural crash-safety dataflow (``REP009``).
+
+``REP002`` checks the write → fsync → replace protocol *within* one
+function; refactoring the write into ``_write_blob()`` or the publish
+into ``_commit()`` silences it without making the code durable.  This
+analysis closes that hole: a taint dataflow over each function's CFG
+tracks *unsynced bytes* (seam writes with ``sync=False``, raw
+``open(..., "w")``), a sync event (``fsync``/``fsync_dir``) clears
+them, and a seam-like ``replace``/``rename`` publishes them.  Function
+summaries make it interprocedural:
+
+* ``exit_dirty_origins`` — writes that may still be unsynced when the
+  function returns (they taint the *caller's* state);
+* ``publishes_unsynced_input`` — a path on which bytes that were
+  already dirty at entry reach a publish (the caller's dirty state
+  flows into a helper's ``os.replace``);
+* ``dirty_in_survives`` — whether dirty input can survive to return
+  (``False`` means the callee unconditionally syncs, clearing the
+  caller's state — the fsync-in-a-helper pattern REP002 cannot see).
+
+A publish reached by a taint whose write lives in a *different*
+function is ``REP009``, with the full call chain in the trace.  The
+purely local case stays REP002's, so nothing is reported twice.
+Summaries are memoized; recursion falls back to a neutral summary.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.lint.engine import attr_chain
+from repro.lint.findings import Finding, TraceFrame
+from repro.lint.flow.callgraph import CallSite, FunctionFacts, ProjectIndex
+from repro.lint.flow.cfg import CFG, build_cfg, iter_calls
+from repro.lint.rules import (
+    _SEAM_WRITES,
+    _SYNC_NAMES,
+    _keyword_is_false,
+    _open_mode,
+)
+
+RULE_ID = "REP009"
+
+#: Cap on distinct dirty origins tracked per state — keeps pathological
+#: functions linear; beyond it the analysis stays sound for the taints
+#: it kept and silently drops the rest.
+_MAX_ORIGINS = 16
+
+
+@dataclass(frozen=True)
+class Taint:
+    """One unsynced write that may still be dirty.
+
+    Identity is the origin site plus whether the taint has *crossed* a
+    resolved call; the call chain that carried it here is carried along
+    for the trace but excluded from equality, so the same origin
+    reached via two paths stays one taint.  ``crossed`` marks a taint
+    that survived a project-internal call which could have synced it
+    but does not on every path — once that happens, the eventual
+    publish is no longer a purely-local REP002 matter.
+    """
+
+    path: str
+    line: int
+    desc: str
+    crossed: bool = False
+    chain: Tuple[TraceFrame, ...] = field(default=(), compare=False)
+
+
+#: Sentinel taint modelling "bytes already dirty at function entry".
+ENTRY = Taint(path="", line=0, desc="<entry>")
+
+State = FrozenSet[Taint]
+
+
+@dataclass
+class Summary:
+    """Durability-relevant behaviour of one function."""
+
+    exit_dirty_origins: Tuple[Taint, ...] = ()
+    dirty_in_survives: bool = True
+    #: Frames from this function's entry to a publish reached by
+    #: entry-dirty bytes, or ``None`` when no such path exists.
+    publishes_unsynced_input: Optional[Tuple[TraceFrame, ...]] = None
+
+
+#: Neutral summary used for on-stack recursion and unresolved callees.
+NEUTRAL = Summary()
+
+
+def _merge(state: State, taints: Tuple[Taint, ...]) -> State:
+    if not taints:
+        return state
+    merged = set(state)
+    for taint in taints:
+        if len(merged) >= _MAX_ORIGINS:
+            break
+        merged.add(taint)
+    return frozenset(merged)
+
+
+class DurabilityAnalysis:
+    """Computes summaries and collects ``REP009`` findings."""
+
+    def __init__(self, index: ProjectIndex) -> None:
+        self.index = index
+        self._summaries: Dict[str, Summary] = {}
+        self._stack: Set[str] = set()
+        self._cfgs: Dict[str, CFG] = {}
+        self._emitted: Set[Tuple[str, int, str, int]] = set()
+        self.findings: List[Tuple[Finding, Tuple[int, int]]] = []
+        #: Every seam-like publish site the dataflow visited.
+        self.publish_sites: Set[Tuple[str, int]] = set()
+        #: Publish sites where a purely-local unsynced write arrives on
+        #: some path — REP002's verdict stands there.
+        self.rep002_sites: Set[Tuple[str, int]] = set()
+
+    @property
+    def superseded_rep002(self) -> FrozenSet[Tuple[str, int]]:
+        """Publish sites whose REP002 finding the flow pass overrides.
+
+        At these sites every dirty write either was cleared before the
+        publish (an fsync hidden in a callee — REP002's false positive)
+        or crossed a call and is reported as REP009 with its trace; in
+        both cases the intraprocedural REP002 finding is dropped.
+        """
+        return frozenset(self.publish_sites - self.rep002_sites)
+
+    def run(self) -> List[Tuple[Finding, Tuple[int, int]]]:
+        """Summarize every function and return the ``REP009`` findings."""
+        for qualname in sorted(self.index.functions):
+            self.summary(qualname)
+        self.findings.sort(
+            key=lambda pair: (pair[0].path, pair[0].line, pair[0].col)
+        )
+        return self.findings
+
+    def summary(self, qualname: str) -> Summary:
+        """Memoized durability summary; neutral while on the stack."""
+        if qualname in self._summaries:
+            return self._summaries[qualname]
+        if qualname in self._stack:
+            return NEUTRAL
+        self._stack.add(qualname)
+        try:
+            computed = self._analyze(qualname)
+        finally:
+            self._stack.discard(qualname)
+        self._summaries[qualname] = computed
+        return computed
+
+    # ------------------------------------------------------------------
+    # Per-function dataflow
+    # ------------------------------------------------------------------
+
+    def _analyze(self, qualname: str) -> Summary:
+        info = self.index.functions[qualname]
+        facts = self.index.facts[qualname]
+        cfg = self._cfgs.get(qualname)
+        if cfg is None:
+            cfg = build_cfg(info.node)
+            self._cfgs[qualname] = cfg
+        call_sites: Dict[int, CallSite] = {
+            id(site.node): site for site in facts.calls if site.node is not None
+        }
+
+        summary = Summary(dirty_in_survives=False)
+        entry_state: State = frozenset({ENTRY})
+        in_states: Dict[int, State] = {cfg.entry: entry_state}
+        order = cfg.reachable()
+        work = list(order)
+        guard = 0
+        limit = (len(cfg.blocks) + 1) * (_MAX_ORIGINS + 2) * 4
+        while work:
+            guard += 1
+            if guard > limit * 4:
+                break
+            block_index = work.pop(0)
+            state = in_states.get(block_index, frozenset())
+            out_state = self._transfer(
+                facts, call_sites, cfg.blocks[block_index].nodes, state, summary
+            )
+            for succ in cfg.successors(block_index):
+                previous = in_states.get(succ)
+                merged = (
+                    out_state if previous is None else previous | out_state
+                )
+                if len(merged) > _MAX_ORIGINS:
+                    merged = frozenset(sorted(
+                        merged, key=lambda t: (t.path, t.line, t.desc, t.crossed)
+                    )[:_MAX_ORIGINS])
+                if previous is None or merged != previous:
+                    in_states[succ] = merged
+                    if succ not in work:
+                        work.append(succ)
+
+        exit_state = in_states.get(cfg.exit, frozenset())
+        summary.dirty_in_survives = ENTRY in exit_state
+        summary.exit_dirty_origins = tuple(
+            sorted(
+                (t for t in exit_state if t is not ENTRY and t.desc != "<entry>"),
+                key=lambda t: (t.path, t.line, t.desc, t.crossed),
+            )
+        )
+        return summary
+
+    def _transfer(
+        self,
+        facts: FunctionFacts,
+        call_sites: Dict[int, CallSite],
+        nodes: List[ast.AST],
+        state: State,
+        summary: Summary,
+    ) -> State:
+        rel_path = facts.info.rel_path
+        for node in nodes:
+            for call in iter_calls(node):
+                chain = attr_chain(call.func)
+                name = chain[-1]
+                line = getattr(call, "lineno", facts.info.lineno)
+                if name == "open" and len(chain) == 1:
+                    mode = _open_mode(call)
+                    if mode is not None and any(c in mode for c in "wax"):
+                        state = _merge(
+                            state,
+                            (
+                                Taint(
+                                    path=rel_path,
+                                    line=line,
+                                    desc="open(..., mode with w/a/x)",
+                                ),
+                            ),
+                        )
+                elif name in _SEAM_WRITES:
+                    if _keyword_is_false(call, "sync"):
+                        state = _merge(
+                            state,
+                            (
+                                Taint(
+                                    path=rel_path,
+                                    line=line,
+                                    desc=f"{name}(..., sync=False)",
+                                ),
+                            ),
+                        )
+                elif name in _SYNC_NAMES:
+                    state = frozenset()
+                elif name in ("replace", "rename"):
+                    receiver = chain[-2] if len(chain) >= 2 else ""
+                    seam_like = (
+                        "io" in receiver.lower() or receiver in ("os", "inner")
+                    )
+                    if seam_like:
+                        state = self._publish(
+                            facts, call, line, state, summary
+                        )
+                site = call_sites.get(id(call))
+                if site is not None and site.targets:
+                    state = self._call(facts, site, line, state, summary)
+        return state
+
+    def _publish(
+        self,
+        facts: FunctionFacts,
+        call: ast.Call,
+        line: int,
+        state: State,
+        summary: Summary,
+    ) -> State:
+        rel_path = facts.info.rel_path
+        func_name = facts.info.qualname.split(":", 1)[-1]
+        self.publish_sites.add((rel_path, line))
+        for taint in sorted(state, key=lambda t: (t.path, t.line, t.desc, t.crossed)):
+            if taint.desc == "<entry>":
+                if summary.publishes_unsynced_input is None:
+                    summary.publishes_unsynced_input = (
+                        (
+                            rel_path,
+                            line,
+                            f"{func_name} publishes via replace/rename "
+                            "without syncing first",
+                        ),
+                    )
+                continue
+            if not taint.crossed and not taint.chain and taint.path == rel_path:
+                # Write and publish both local, no call in between that
+                # could have synced: REP002's territory.
+                self.rep002_sites.add((rel_path, line))
+                continue
+            key = (rel_path, line, taint.path, taint.line)
+            if key in self._emitted:
+                continue
+            self._emitted.add(key)
+            trace: Tuple[TraceFrame, ...] = (
+                (
+                    taint.path,
+                    taint.line,
+                    f"bytes written here via {taint.desc} are never fsynced",
+                ),
+            ) + taint.chain
+            span = (
+                getattr(call, "lineno", line),
+                getattr(call, "end_lineno", None) or line,
+            )
+            self.findings.append(
+                (
+                    Finding(
+                        path=rel_path,
+                        line=line,
+                        col=getattr(call, "col_offset", 0),
+                        rule=RULE_ID,
+                        message=(
+                            "publish via replace/rename of bytes written at "
+                            f"{taint.path}:{taint.line} that were never "
+                            "fsynced on this call path; a power cut can "
+                            "publish a torn file (DESIGN.md §15)"
+                        ),
+                        trace=trace,
+                    ),
+                    span,
+                )
+            )
+        return state
+
+    def _call(
+        self,
+        facts: FunctionFacts,
+        site: CallSite,
+        line: int,
+        state: State,
+        summary: Summary,
+    ) -> State:
+        rel_path = facts.info.rel_path
+        func_name = facts.info.qualname.split(":", 1)[-1]
+        # May-union over every possible callee: each target contributes
+        # the taints that survive the call going to *it*.
+        result: Set[Taint] = set()
+        for target in sorted(site.targets):
+            callee = self.summary(target)
+            callee_name = target.split(":", 1)[-1]
+            call_frame: TraceFrame = (
+                rel_path,
+                line,
+                f"{func_name} calls {callee_name}",
+            )
+            if callee.publishes_unsynced_input is not None and state:
+                publish_frames = callee.publishes_unsynced_input
+                for taint in sorted(
+                    state, key=lambda t: (t.path, t.line, t.desc, t.crossed)
+                ):
+                    if taint.desc == "<entry>":
+                        if summary.publishes_unsynced_input is None:
+                            summary.publishes_unsynced_input = (
+                                (call_frame,) + publish_frames
+                            )
+                        continue
+                    key = (rel_path, line, taint.path, taint.line)
+                    if key in self._emitted:
+                        continue
+                    self._emitted.add(key)
+                    trace: Tuple[TraceFrame, ...] = (
+                        (
+                            taint.path,
+                            taint.line,
+                            "bytes written here via "
+                            f"{taint.desc} are never fsynced",
+                        ),
+                    ) + taint.chain + (call_frame,) + publish_frames
+                    self.findings.append(
+                        (
+                            Finding(
+                                path=rel_path,
+                                line=line,
+                                col=site.col,
+                                rule=RULE_ID,
+                                message=(
+                                    f"call into {callee_name} publishes "
+                                    "bytes written at "
+                                    f"{taint.path}:{taint.line} that were "
+                                    "never fsynced on this call path "
+                                    "(DESIGN.md §15)"
+                                ),
+                                trace=trace,
+                            ),
+                            site.span,
+                        )
+                    )
+            if callee.dirty_in_survives:
+                # The callee can return with the caller's dirty bytes
+                # still unsynced.  A taint that rode through it has now
+                # crossed a call that *could* have synced it — the
+                # eventual publish is interprocedural (REP009), not a
+                # purely-local REP002 matter.
+                crossed_frame: TraceFrame = (
+                    rel_path,
+                    line,
+                    f"{func_name} calls {callee_name}, which can "
+                    "return without syncing",
+                )
+                for taint in state:
+                    if taint.desc == "<entry>" or taint.crossed:
+                        result.add(taint)
+                    else:
+                        result.add(
+                            Taint(
+                                path=taint.path,
+                                line=taint.line,
+                                desc=taint.desc,
+                                crossed=True,
+                                chain=taint.chain + (crossed_frame,),
+                            )
+                        )
+            # else: the callee syncs unconditionally before returning —
+            # nothing from `state` survives this target.
+            if callee.exit_dirty_origins:
+                for taint in callee.exit_dirty_origins:
+                    result.add(
+                        Taint(
+                            path=taint.path,
+                            line=taint.line,
+                            desc=taint.desc,
+                            crossed=taint.crossed,
+                            chain=(call_frame,) + taint.chain,
+                        )
+                    )
+        if len(result) > _MAX_ORIGINS:
+            return frozenset(
+                sorted(result, key=lambda t: (t.path, t.line, t.desc, t.crossed))[
+                    :_MAX_ORIGINS
+                ]
+            )
+        return frozenset(result)

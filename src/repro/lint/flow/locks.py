@@ -1,0 +1,283 @@
+"""Lock-order graph and cycle detection (``REP008``).
+
+Classic lockdep: every time lock *B* is acquired while lock *A* is
+held — directly, or transitively because a function called under *A*
+acquires *B* somewhere down the call graph — the analysis records the
+directed edge ``A → B``.  A cycle in that graph means two code paths
+take the same locks in opposite orders, which is a deadlock waiting
+for the right interleaving; each cycle (one strongly connected
+component, or a self-edge on a known non-reentrant lock) becomes one
+``REP008`` finding anchored at its smallest edge site, with every edge
+of the cycle in the interprocedural trace.
+
+Lock identity is the canonical key from
+:meth:`repro.lint.flow.callgraph.ProjectIndex.lock_key` —
+``module.Class.attr`` for ``self`` attributes, ``module.name`` for
+module-level locks.  Attributes on untyped receivers bucket by
+attribute name; a self-edge is only reported when the factory is
+*known* non-reentrant (a plain ``Lock``), so opaque buckets never
+convict on identity alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.lint.findings import Finding, TraceFrame
+from repro.lint.flow.callgraph import ProjectIndex, strongly_connected
+
+RULE_ID = "REP008"
+
+#: One transitive acquisition: (display, call chain to the acquiring
+#: site, (path, line) of the acquiring ``with``).
+_Acquire = Tuple[str, Tuple[TraceFrame, ...], Tuple[str, int]]
+
+
+@dataclass(frozen=True)
+class _EdgeSite:
+    """One witness that ``src`` was held when ``dst`` was acquired."""
+
+    src: str
+    dst: str
+    src_display: str
+    dst_display: str
+    path: str
+    line: int
+    col: int
+    span: Tuple[int, int]
+    trace: Tuple[TraceFrame, ...]
+
+
+def _transitive_acquires(
+    index: ProjectIndex,
+) -> Dict[str, Dict[str, _Acquire]]:
+    """lock keys each function may acquire, itself or via callees.
+
+    Computed as a global fixpoint (the per-key map only ever grows and
+    the key universe is finite, so iteration terminates); the recorded
+    chain is the first one discovered, which is deterministic because
+    functions and edges are visited in sorted order.
+    """
+    acquires: Dict[str, Dict[str, _Acquire]] = {
+        qualname: {} for qualname in index.functions
+    }
+    for qualname in sorted(index.facts):
+        facts = index.facts[qualname]
+        for site in facts.acquisitions:
+            if site.key not in acquires[qualname]:
+                acquires[qualname][site.key] = (
+                    site.display,
+                    (),
+                    (facts.info.rel_path, site.line),
+                )
+    changed = True
+    while changed:
+        changed = False
+        for qualname in sorted(index.edges):
+            facts = index.facts[qualname]
+            mine = acquires[qualname]
+            for call in facts.calls:
+                for target in call.targets:
+                    for key, (display, chain, site) in sorted(
+                        acquires.get(target, {}).items()
+                    ):
+                        if key in mine:
+                            continue
+                        frame: TraceFrame = (
+                            facts.info.rel_path,
+                            call.line,
+                            f"{qualname.split(':', 1)[-1]} calls "
+                            f"{target.split(':', 1)[-1]}",
+                        )
+                        mine[key] = (display, (frame,) + chain, site)
+                        changed = True
+    return acquires
+
+
+def _collect_edges(index: ProjectIndex) -> List[_EdgeSite]:
+    acquires = _transitive_acquires(index)
+    edges: List[_EdgeSite] = []
+    for qualname in sorted(index.facts):
+        facts = index.facts[qualname]
+        rel_path = facts.info.rel_path
+        for site in facts.acquisitions:
+            for held in site.held:
+                if held.key == site.key:
+                    # Re-acquisition: only a known non-reentrant lock
+                    # deadlocks on itself.
+                    if site.reentrant is False:
+                        edges.append(
+                            _EdgeSite(
+                                src=held.key,
+                                dst=site.key,
+                                src_display=held.display,
+                                dst_display=site.display,
+                                path=rel_path,
+                                line=site.line,
+                                col=site.col,
+                                span=site.span,
+                                trace=(),
+                            )
+                        )
+                    continue
+                edges.append(
+                    _EdgeSite(
+                        src=held.key,
+                        dst=site.key,
+                        src_display=held.display,
+                        dst_display=site.display,
+                        path=rel_path,
+                        line=site.line,
+                        col=site.col,
+                        span=site.span,
+                        trace=(),
+                    )
+                )
+        for call in facts.calls:
+            if not call.held:
+                continue
+            for target in call.targets:
+                for key, (display, chain, acq_site) in sorted(
+                    acquires.get(target, {}).items()
+                ):
+                    frame: TraceFrame = (
+                        rel_path,
+                        call.line,
+                        f"{qualname.split(':', 1)[-1]} calls "
+                        f"{target.split(':', 1)[-1]} while holding locks",
+                    )
+                    tail: TraceFrame = (
+                        acq_site[0],
+                        acq_site[1],
+                        f"acquires {display}",
+                    )
+                    for held in call.held:
+                        if held.key == key:
+                            # Transitive re-acquisition of a held lock.
+                            if held.reentrant is not False:
+                                continue
+                        edges.append(
+                            _EdgeSite(
+                                src=held.key,
+                                dst=key,
+                                src_display=held.display,
+                                dst_display=display,
+                                path=rel_path,
+                                line=call.line,
+                                col=call.col,
+                                span=call.span,
+                                trace=(frame,) + chain + (tail,),
+                            )
+                        )
+    return edges
+
+
+def lock_graph(index: ProjectIndex) -> Dict[str, List[str]]:
+    """Adjacency of the lock-order graph (sorted, deduplicated)."""
+    graph: Dict[str, List[str]] = {}
+    for edge in _collect_edges(index):
+        graph.setdefault(edge.src, [])
+        graph.setdefault(edge.dst, [])
+        if edge.dst not in graph[edge.src]:
+            graph[edge.src].append(edge.dst)
+    for key in graph:
+        graph[key].sort()
+    return graph
+
+
+def lock_graph_dot(index: ProjectIndex) -> str:
+    """GraphViz DOT rendering of the lock-order graph."""
+    graph = lock_graph(index)
+    lines = ["digraph lockorder {", "  rankdir=LR;", "  node [shape=oval];"]
+    for src in sorted(graph):
+        for dst in graph[src]:
+            lines.append(f'  "{src}" -> "{dst}";')
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def check_lock_order(
+    index: ProjectIndex,
+) -> List[Tuple[Finding, Tuple[int, int]]]:
+    """``REP008`` findings: one per lock-order cycle."""
+    edges = _collect_edges(index)
+    graph: Dict[str, List[str]] = {}
+    nodes = set()
+    for edge in edges:
+        nodes.add(edge.src)
+        nodes.add(edge.dst)
+        graph.setdefault(edge.src, [])
+        if edge.dst not in graph[edge.src]:
+            graph[edge.src].append(edge.dst)
+    for key in graph:
+        graph[key].sort()
+
+    cyclic_groups: List[List[str]] = []
+    for component in strongly_connected(sorted(nodes), graph):
+        if len(component) > 1:
+            cyclic_groups.append(component)
+        elif component[0] in graph.get(component[0], []):
+            cyclic_groups.append(component)
+
+    findings: List[Tuple[Finding, Tuple[int, int]]] = []
+    for component in cyclic_groups:
+        members = set(component)
+        if len(component) == 1:
+            witness = [
+                edge
+                for edge in edges
+                if edge.src == component[0] and edge.dst == component[0]
+            ]
+        else:
+            witness = [
+                edge
+                for edge in edges
+                if edge.src in members
+                and edge.dst in members
+                and edge.src != edge.dst
+            ]
+        if not witness:
+            continue
+        witness.sort(key=lambda e: (e.path, e.line, e.col, e.src, e.dst))
+        anchor = witness[0]
+        # One witness per distinct direction keeps the trace readable.
+        per_direction: Dict[Tuple[str, str], _EdgeSite] = {}
+        for edge in witness:
+            per_direction.setdefault((edge.src, edge.dst), edge)
+        ordered = [per_direction[key] for key in sorted(per_direction)]
+        if len(component) == 1:
+            description = (
+                f"non-reentrant lock '{anchor.dst_display}' "
+                f"({anchor.dst}) is re-acquired while already held"
+            )
+        else:
+            description = "lock-order cycle: " + " ; ".join(
+                f"{edge.src} -> {edge.dst} at {edge.path}:{edge.line}"
+                for edge in ordered
+            )
+        trace: List[TraceFrame] = []
+        for edge in ordered:
+            trace.append(
+                (
+                    edge.path,
+                    edge.line,
+                    f"acquires {edge.dst_display} ({edge.dst}) while "
+                    f"holding {edge.src_display} ({edge.src})",
+                )
+            )
+            trace.extend(edge.trace)
+        finding = Finding(
+            path=anchor.path,
+            line=anchor.line,
+            col=anchor.col,
+            rule=RULE_ID,
+            message=(
+                f"{description}; pick one global acquisition order "
+                "(DESIGN.md §15)"
+            ),
+            trace=tuple(trace),
+        )
+        findings.append((finding, anchor.span))
+    findings.sort(key=lambda pair: (pair[0].path, pair[0].line, pair[0].col))
+    return findings

@@ -1,0 +1,240 @@
+"""SARIF 2.1.0 export of a lint run (and a minimal validator).
+
+SARIF is the interchange format code-scanning UIs ingest; exporting it
+lets the whole-program findings (with their interprocedural traces)
+render natively in review tooling.  The document is one ``run`` of the
+``repro-lint`` driver: every rule that participated is listed under
+``tool.driver.rules``, every finding becomes a ``result`` whose
+``level`` is ``note`` for baselined debt and ``error`` otherwise, and
+a finding's trace becomes a single-threadFlow ``codeFlow`` so viewers
+show the write-to-publish or lock-to-block chain inline.
+
+:func:`validate_sarif` is a deliberately small structural checker for
+the subset this exporter emits — the schema properties CI relies on —
+so the gate needs no third-party ``jsonschema`` dependency.  Run
+``python -m repro.lint.flow.sarif <file>`` to validate a document.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List
+
+from repro.lint.findings import Finding, LintRun
+from repro.lint.rules import RULES_BY_ID
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _rule_descriptor(rule_id: str) -> Dict[str, Any]:
+    rule = RULES_BY_ID.get(rule_id)
+    descriptor: Dict[str, Any] = {"id": rule_id}
+    if rule is not None:
+        descriptor["name"] = rule.__name__
+        descriptor["shortDescription"] = {"text": rule.title}
+        descriptor["fullDescription"] = {"text": rule.invariant}
+    else:
+        descriptor["shortDescription"] = {"text": rule_id}
+    return descriptor
+
+
+def _location(path: str, line: int, col: int) -> Dict[str, Any]:
+    return {
+        "physicalLocation": {
+            "artifactLocation": {"uri": path},
+            "region": {"startLine": max(line, 1), "startColumn": col + 1},
+        }
+    }
+
+
+def _code_flow(finding: Finding) -> Dict[str, Any]:
+    locations: List[Dict[str, Any]] = []
+    for path, line, note in finding.trace:
+        frame = _location(path, line, 0)
+        frame["message"] = {"text": note}
+        locations.append({"location": frame})
+    return {"threadFlows": [{"locations": locations}]}
+
+
+def _result(finding: Finding) -> Dict[str, Any]:
+    result: Dict[str, Any] = {
+        "ruleId": finding.rule,
+        "level": "note" if finding.baselined else "error",
+        "message": {"text": finding.message},
+        "locations": [_location(finding.path, finding.line, finding.col)],
+        "fingerprints": {
+            "reproLint/v1": finding.fingerprint,
+            "reproLintContent/v1": finding.content_fingerprint,
+        },
+    }
+    if finding.trace:
+        result["codeFlows"] = [_code_flow(finding)]
+    return result
+
+
+def to_sarif(run: LintRun) -> Dict[str, Any]:
+    """SARIF 2.1.0 document for one lint run."""
+    rule_ids = sorted(set(run.rules) | {f.rule for f in run.findings})
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "https://example.invalid/repro",
+                        "rules": [_rule_descriptor(r) for r in rule_ids],
+                    }
+                },
+                "results": [_result(f) for f in run.findings],
+            }
+        ],
+    }
+
+
+def validate_sarif(doc: Any) -> List[str]:
+    """Structural errors of a SARIF 2.1.0 document (empty = valid).
+
+    Checks the properties this exporter emits and CI depends on; it is
+    not a full JSON-Schema validation (no external dependency), but it
+    rejects every malformed shape the exporter could plausibly produce.
+    """
+    errors: List[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    if doc.get("version") != SARIF_VERSION:
+        errors.append(f"version must be {SARIF_VERSION!r}")
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        errors.append("runs must be a non-empty array")
+        return errors
+    for run_index, run in enumerate(runs):
+        where = f"runs[{run_index}]"
+        if not isinstance(run, dict):
+            errors.append(f"{where} is not an object")
+            continue
+        driver = run.get("tool", {}).get("driver") if isinstance(
+            run.get("tool"), dict
+        ) else None
+        if not isinstance(driver, dict) or not isinstance(
+            driver.get("name"), str
+        ):
+            errors.append(f"{where}.tool.driver.name missing")
+        else:
+            for rule_index, rule in enumerate(driver.get("rules", [])):
+                if not isinstance(rule, dict) or not isinstance(
+                    rule.get("id"), str
+                ):
+                    errors.append(
+                        f"{where}.tool.driver.rules[{rule_index}].id missing"
+                    )
+        results = run.get("results")
+        if not isinstance(results, list):
+            errors.append(f"{where}.results must be an array")
+            continue
+        for result_index, result in enumerate(results):
+            spot = f"{where}.results[{result_index}]"
+            if not isinstance(result, dict):
+                errors.append(f"{spot} is not an object")
+                continue
+            if not isinstance(result.get("ruleId"), str):
+                errors.append(f"{spot}.ruleId missing")
+            message = result.get("message")
+            if not isinstance(message, dict) or not isinstance(
+                message.get("text"), str
+            ):
+                errors.append(f"{spot}.message.text missing")
+            if result.get("level") not in (
+                "none",
+                "note",
+                "warning",
+                "error",
+            ):
+                errors.append(f"{spot}.level invalid")
+            for loc_index, loc in enumerate(result.get("locations", [])):
+                physical = (
+                    loc.get("physicalLocation")
+                    if isinstance(loc, dict)
+                    else None
+                )
+                if not isinstance(physical, dict):
+                    errors.append(
+                        f"{spot}.locations[{loc_index}].physicalLocation "
+                        "missing"
+                    )
+                    continue
+                artifact = physical.get("artifactLocation")
+                if not isinstance(artifact, dict) or not isinstance(
+                    artifact.get("uri"), str
+                ):
+                    errors.append(
+                        f"{spot}.locations[{loc_index}]...artifactLocation"
+                        ".uri missing"
+                    )
+                region = physical.get("region")
+                if region is not None:
+                    start = (
+                        region.get("startLine")
+                        if isinstance(region, dict)
+                        else None
+                    )
+                    if not isinstance(start, int) or start < 1:
+                        errors.append(
+                            f"{spot}.locations[{loc_index}]...region"
+                            ".startLine must be a positive integer"
+                        )
+            for flow_index, flow in enumerate(result.get("codeFlows", [])):
+                threads = (
+                    flow.get("threadFlows")
+                    if isinstance(flow, dict)
+                    else None
+                )
+                if not isinstance(threads, list) or not threads:
+                    errors.append(
+                        f"{spot}.codeFlows[{flow_index}].threadFlows "
+                        "must be a non-empty array"
+                    )
+                    continue
+                for thread in threads:
+                    if not isinstance(thread, dict) or not isinstance(
+                        thread.get("locations"), list
+                    ):
+                        errors.append(
+                            f"{spot}.codeFlows[{flow_index}] threadFlow "
+                            "locations missing"
+                        )
+    return errors
+
+
+def main(argv: List[str]) -> int:
+    """Validate SARIF files given on the command line (CI smoke)."""
+    if not argv:
+        print("usage: python -m repro.lint.flow.sarif FILE [FILE...]")
+        return 2
+    status = 0
+    for name in argv:
+        try:
+            doc = json.loads(Path(name).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"{name}: unreadable: {error}")
+            status = 1
+            continue
+        errors = validate_sarif(doc)
+        if errors:
+            status = 1
+            for error_text in errors:
+                print(f"{name}: {error_text}")
+        else:
+            print(f"{name}: valid SARIF {SARIF_VERSION}")
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI smoke
+    sys.exit(main(sys.argv[1:]))

@@ -566,6 +566,49 @@ class BareCounterRule(Rule):
                 )
 
 
+# ----------------------------------------------------------------------
+# REP008-REP010 — whole-program rules (repro.lint.flow)
+# ----------------------------------------------------------------------
+#
+# These are *descriptors*, not AST visitors: the findings come from the
+# interprocedural analyses in :mod:`repro.lint.flow`, which run as a
+# second pass over the whole project (``repro lint --flow``).  They
+# subclass :class:`Rule` only so the catalogue (``--list-rules``),
+# SARIF metadata, and documentation tooling can treat every rule id
+# uniformly; their ``enter``/``leave`` are the inherited no-ops.
+
+
+class LockOrderRule(Rule):
+    """REP008: the project-wide lock-order graph (which lock-like
+    objects are acquired while others are held, including transitively
+    through calls) must stay acyclic — a cycle is a potential deadlock."""
+
+    rule_id = "REP008"
+    title = "lock-order cycle across the call graph"
+    invariant = "deadlock freedom: one global lock acquisition order"
+
+
+class InterproceduralDurabilityRule(Rule):
+    """REP009: bytes written without a sync must be fsynced before any
+    ``os.replace``/``rename`` publishes them on *every* path through
+    the call graph — helpers do not launder the ordering."""
+
+    rule_id = "REP009"
+    title = "publish of bytes never fsynced on some call path"
+    invariant = "crash safety across helpers (DESIGN.md §8/§13)"
+
+
+class BlockingClosureRule(Rule):
+    """REP010: a function that transitively reaches ``time.sleep``,
+    ``subprocess``, pipe ``recv``, or seam IO may block; calling one
+    while holding a lock stalls every other thread just like a direct
+    blocking call (REP004) would."""
+
+    rule_id = "REP010"
+    title = "may-block call closure entered while holding a lock"
+    invariant = "bounded critical sections, interprocedurally (PR 1-3)"
+
+
 #: Registry, in rule-id order; the engine runs them in one walk.
 ALL_RULES: Tuple[Type[Rule], ...] = (
     UnseededRandomRule,
@@ -577,5 +620,14 @@ ALL_RULES: Tuple[Type[Rule], ...] = (
     BareCounterRule,
 )
 
+#: Whole-program rule descriptors, reported by ``repro lint --flow``.
+FLOW_RULES: Tuple[Type[Rule], ...] = (
+    LockOrderRule,
+    InterproceduralDurabilityRule,
+    BlockingClosureRule,
+)
+
 #: rule id → class, for ``--list-rules`` and documentation tooling.
-RULES_BY_ID: Dict[str, Type[Rule]] = {rule.rule_id: rule for rule in ALL_RULES}
+RULES_BY_ID: Dict[str, Type[Rule]] = {
+    rule.rule_id: rule for rule in ALL_RULES + FLOW_RULES
+}

@@ -311,7 +311,10 @@ class WorkerHandle:
                             f"worker {self.worker_id} missed the "
                             f"{timeout_s}s deadline for {op!r}"
                         )
-                    reply = self._conn.recv()
+                    # The lock IS the request/response serializer: the
+                    # pipe carries one exchange at a time, so the recv
+                    # must happen inside the critical section.
+                    reply = self._conn.recv()  # repro-lint: disable=REP010 -- per-handle lock deliberately serializes pipe round-trips
                 except WorkerTimeout:
                     raise
                 except (EOFError, OSError) as error:

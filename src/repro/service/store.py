@@ -1083,7 +1083,12 @@ class ShardedFingerprintStore:
             self._io.write_bytes(path, data, sync=True)
         source = self._root / record.filename
         if source.exists():
-            self._io.replace(source, self._quarantine_destination(record.filename))
+            # This replace archives the *damaged* segment as evidence; it
+            # never publishes freshly written bytes (the salvage payload
+            # above is written sync=True before the manifest flips).
+            self._io.replace(  # repro-lint: disable=REP009 -- evidence move, not a durable publish
+                source, self._quarantine_destination(record.filename)
+            )
         if replacement is not None:
             self._segments[position] = replacement[0]
         else:

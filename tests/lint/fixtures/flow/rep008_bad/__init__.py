@@ -1,0 +1,1 @@
+"""Two methods take the same pair of locks in opposite orders."""

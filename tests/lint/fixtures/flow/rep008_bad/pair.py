@@ -1,0 +1,28 @@
+"""REP008 fixture: inconsistent lock order across methods.
+
+Each method is REP003/REP004-clean in isolation; only the whole-program
+lock-order graph sees that ``forward`` orders a -> b while ``backward``
+reaches a (through a helper) with b held.
+"""
+
+import threading
+
+
+class Pair:
+    def __init__(self):
+        self._lock_a = threading.Lock()
+        self._lock_b = threading.Lock()
+        self.value = 0
+
+    def forward(self):
+        with self._lock_a:
+            with self._lock_b:
+                return self.value
+
+    def backward(self):
+        with self._lock_b:
+            return self._take_a()
+
+    def _take_a(self):
+        with self._lock_a:
+            return self.value

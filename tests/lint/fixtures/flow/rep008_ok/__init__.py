@@ -1,0 +1,1 @@
+"""Both methods take the pair of locks in the same global order."""

@@ -1,0 +1,23 @@
+"""REP008-clean twin of ``rep008_bad``: one acquisition order."""
+
+import threading
+
+
+class Pair:
+    def __init__(self):
+        self._lock_a = threading.Lock()
+        self._lock_b = threading.Lock()
+        self.value = 0
+
+    def forward(self):
+        with self._lock_a:
+            with self._lock_b:
+                return self.value
+
+    def backward(self):
+        with self._lock_a:
+            return self._take_b()
+
+    def _take_b(self):
+        with self._lock_b:
+            return self.value

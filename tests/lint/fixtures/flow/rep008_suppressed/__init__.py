@@ -1,0 +1,1 @@
+"""The rep008_bad shape with the cycle's anchor site suppressed."""

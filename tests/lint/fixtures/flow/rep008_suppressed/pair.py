@@ -1,0 +1,23 @@
+"""REP008 fixture with a reasoned suppression on the anchor edge."""
+
+import threading
+
+
+class Pair:
+    def __init__(self):
+        self._lock_a = threading.Lock()
+        self._lock_b = threading.Lock()
+        self.value = 0
+
+    def forward(self):
+        with self._lock_a:
+            with self._lock_b:  # repro-lint: disable=REP008 -- documented exception: startup-only path
+                return self.value
+
+    def backward(self):
+        with self._lock_b:
+            return self._take_a()
+
+    def _take_a(self):
+        with self._lock_a:
+            return self.value

@@ -1,0 +1,1 @@
+"""Write and publish split across functions, never fsynced."""

@@ -1,0 +1,22 @@
+"""REP009 fixture: both split shapes of the broken protocol.
+
+``commit`` hides the unsynced write in a helper; ``commit_via_helper``
+hides the publish.  Each function is REP002-clean in isolation — only
+the interprocedural dataflow connects the write to the rename.
+"""
+
+from .writer import write_blob
+
+
+def commit(io, tmp, final, data):
+    write_blob(io, tmp, data)
+    io.replace(tmp, final)
+
+
+def commit_via_helper(io, tmp, final, data):
+    io.write_bytes(tmp, data, sync=False)
+    publish_blob(io, tmp, final)
+
+
+def publish_blob(io, tmp, final):
+    io.replace(tmp, final)

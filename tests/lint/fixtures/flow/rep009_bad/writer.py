@@ -1,0 +1,5 @@
+"""Helper that hides an unsynced write from REP002."""
+
+
+def write_blob(io, path, data):
+    io.write_bytes(path, data, sync=False)

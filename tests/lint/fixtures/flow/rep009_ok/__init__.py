@@ -1,0 +1,1 @@
+"""The split protocol done right: a sync always intervenes."""

@@ -1,0 +1,13 @@
+"""REP009-clean twins: durable write, or fsync inside the helper."""
+
+from .writer import sync_then_publish, write_blob_durable
+
+
+def commit(io, tmp, final, data):
+    write_blob_durable(io, tmp, data)
+    io.replace(tmp, final)
+
+
+def commit_via_helper(io, tmp, final, data):
+    io.write_bytes(tmp, data, sync=False)
+    sync_then_publish(io, tmp, final)

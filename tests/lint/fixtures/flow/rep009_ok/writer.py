@@ -1,0 +1,10 @@
+"""Helpers whose writes are durable (or synced) before return."""
+
+
+def write_blob_durable(io, path, data):
+    io.write_bytes(path, data, sync=True)
+
+
+def sync_then_publish(io, tmp, final):
+    io.fsync(tmp)
+    io.replace(tmp, final)

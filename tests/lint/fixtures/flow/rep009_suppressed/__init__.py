@@ -1,0 +1,1 @@
+"""The bad shape with the cause-site publish suppressed."""

@@ -1,0 +1,18 @@
+"""REP009 fixture: suppressing a trace frame silences the finding."""
+
+from .writer import write_blob
+
+
+def commit(io, tmp, final, data):
+    write_blob(io, tmp, data)
+    io.replace(tmp, final)  # repro-lint: disable=REP009 -- scratch file, torn publish acceptable
+
+
+def commit_via_helper(io, tmp, final, data):
+    io.write_bytes(tmp, data, sync=False)
+    publish_blob(io, tmp, final)
+
+
+def publish_blob(io, tmp, final):
+    # The cause site: suppressing here silences the caller's finding.
+    io.replace(tmp, final)  # repro-lint: disable=REP009 -- scratch file, torn publish acceptable

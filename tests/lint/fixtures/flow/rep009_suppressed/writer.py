@@ -1,0 +1,5 @@
+"""Helper that hides an unsynced write (suppressed variant)."""
+
+
+def write_blob(io, path, data):
+    io.write_bytes(path, data, sync=False)

@@ -1,0 +1,1 @@
+"""Blocking work reached through a helper while a lock is held."""

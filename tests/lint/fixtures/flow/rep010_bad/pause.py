@@ -1,0 +1,7 @@
+"""Helper whose sleep makes every transitive caller may-block."""
+
+import time
+
+
+def pause():
+    time.sleep(0.01)

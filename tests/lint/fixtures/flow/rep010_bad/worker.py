@@ -1,0 +1,30 @@
+"""REP010 fixture: the blocking call hides one frame down.
+
+REP004 sees no blocking name inside either ``with`` body; the
+may-block closure connects ``poke`` -> ``_flush`` -> ``time.sleep``
+and ``tick`` -> ``pause`` -> ``time.sleep``.
+"""
+
+import threading
+import time
+
+from .pause import pause
+
+GUARD_LOCK = threading.Lock()
+
+
+class Poker:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def _flush(self):
+        time.sleep(0.01)
+
+    def poke(self):
+        with self._lock:
+            self._flush()
+
+
+def tick():
+    with GUARD_LOCK:
+        pause()

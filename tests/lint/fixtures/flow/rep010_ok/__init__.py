@@ -1,0 +1,1 @@
+"""The same shape with the blocking work outside the lock."""

@@ -1,0 +1,21 @@
+"""REP010-clean twin: blocking helpers run outside the lock."""
+
+import threading
+import time
+
+
+class Poker:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.dirty = False
+
+    def _flush(self):
+        time.sleep(0.01)
+
+    def _note(self):
+        self.dirty = True
+
+    def poke(self):
+        with self._lock:
+            self._note()
+        self._flush()

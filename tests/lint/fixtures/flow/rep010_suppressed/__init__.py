@@ -1,0 +1,1 @@
+"""The bad shape with the call site suppressed, with a reason."""

@@ -1,0 +1,16 @@
+"""REP010 fixture with a reasoned suppression at the call site."""
+
+import threading
+import time
+
+
+class Poker:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def _flush(self):
+        time.sleep(0.01)
+
+    def poke(self):
+        with self._lock:
+            self._flush()  # repro-lint: disable=REP010 -- lock intentionally paces the flush

@@ -1,4 +1,5 @@
-"""Baseline mechanics: roundtrip, matching, expiry, malformed files."""
+"""Baseline mechanics: roundtrip, matching, expiry, malformed files,
+and rename survival via content-addressed fallback matching."""
 
 from __future__ import annotations
 
@@ -6,6 +7,7 @@ import json
 
 import pytest
 
+from repro.lint import ALL_RULES, lint_paths
 from repro.lint.baseline import (
     BASELINE_SCHEMA_VERSION,
     BaselineError,
@@ -16,7 +18,9 @@ from repro.lint.baseline import (
 from repro.lint.findings import Finding
 
 
-def make_finding(fingerprint: str, rule: str = "REP005") -> Finding:
+def make_finding(
+    fingerprint: str, rule: str = "REP005", content: str = ""
+) -> Finding:
     return Finding(
         path="src/x.py",
         line=3,
@@ -24,6 +28,7 @@ def make_finding(fingerprint: str, rule: str = "REP005") -> Finding:
         rule=rule,
         message="msg",
         fingerprint=fingerprint,
+        content_fingerprint=content,
     )
 
 
@@ -98,3 +103,89 @@ class TestApply:
         assert resolved == findings
         assert not resolved[0].baselined
         assert expired == []
+
+    def test_content_fallback_claims_renamed_entry(self):
+        # Path changed, so the primary fingerprint differs — but the
+        # stored content fingerprint still matches.
+        finding = make_finding("new-fp", content="cc")
+        resolved, expired = apply_baseline(
+            [finding], {"old-fp": {"content": "cc"}}
+        )
+        assert resolved[0].baselined
+        assert expired == []
+
+    def test_content_fallback_is_one_to_one(self):
+        # Two findings, one stored entry: only one may claim it.
+        findings = [make_finding("fp1", content="cc"),
+                    make_finding("fp2", content="cc")]
+        resolved, expired = apply_baseline(
+            findings, {"old-fp": {"content": "cc"}}
+        )
+        assert [f.baselined for f in resolved] == [True, False]
+        assert expired == []
+
+    def test_entries_without_content_never_fallback_match(self):
+        finding = make_finding("new-fp", content="cc")
+        resolved, expired = apply_baseline([finding], {"old-fp": {}})
+        assert not resolved[0].baselined
+        assert expired == ["old-fp"]
+
+
+class TestRenameSurvival:
+    """A committed baseline must keep matching after a file rename:
+    entries are claimed by content fingerprint when the path-addressed
+    one no longer lines up."""
+
+    VIOLATION = (
+        "def check(value):\n"
+        "    return value == 0.1\n"
+    )
+
+    def _lint(self, root):
+        run, _ = lint_paths([root], ALL_RULES, root=root)
+        return run
+
+    def test_baseline_survives_a_file_rename(self, tmp_path):
+        original = tmp_path / "metrics.py"
+        original.write_text(self.VIOLATION, encoding="utf-8")
+
+        first = self._lint(tmp_path)
+        assert [f.rule for f in first.findings] == ["REP005"]
+        baseline_path = tmp_path / "baseline.json"
+        save_baseline(baseline_path, first.findings)
+
+        # Rename the file; the path-addressed fingerprint changes.
+        original.rename(tmp_path / "renamed_metrics.py")
+        second = self._lint(tmp_path)
+        assert [f.rule for f in second.findings] == ["REP005"]
+        assert (
+            second.findings[0].fingerprint != first.findings[0].fingerprint
+        )
+
+        resolved, expired = apply_baseline(
+            second.findings, load_baseline(baseline_path)
+        )
+        assert resolved[0].baselined, "renamed finding must stay baselined"
+        assert expired == []
+        second.findings = resolved
+        assert second.exit_code == 0
+
+    def test_new_debt_after_a_rename_still_fails(self, tmp_path):
+        original = tmp_path / "metrics.py"
+        original.write_text(self.VIOLATION, encoding="utf-8")
+        baseline_path = tmp_path / "baseline.json"
+        save_baseline(baseline_path, self._lint(tmp_path).findings)
+
+        original.rename(tmp_path / "renamed_metrics.py")
+        (tmp_path / "fresh.py").write_text(
+            "def fresh(value):\n    return value == 0.25\n", encoding="utf-8"
+        )
+        run = self._lint(tmp_path)
+        resolved, _expired = apply_baseline(
+            run.findings, load_baseline(baseline_path)
+        )
+        by_path = {f.path: f.baselined for f in resolved}
+        assert by_path["renamed_metrics.py"] is True
+        assert by_path["fresh.py"] is False
+        run.findings = resolved
+        assert run.exit_code == 1

@@ -1,0 +1,190 @@
+"""CFG construction edge cases, checked structurally and through the
+analyses that consume the graph (the behaviour the shape exists for)."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+from typing import List
+
+from repro.lint.findings import Finding
+from repro.lint.flow import analyze_project
+from repro.lint.flow.cfg import build_cfg, iter_calls
+
+
+def _cfg_for(source: str):
+    func = ast.parse(textwrap.dedent(source)).body[0]
+    return build_cfg(func)
+
+
+def _flow_findings(**sources: str) -> List[Finding]:
+    files = {
+        f"{name}.py": textwrap.dedent(text) for name, text in sources.items()
+    }
+    return [pair[0] for pair in analyze_project(files).findings]
+
+
+class TestStructure:
+    def test_branch_rejoins_and_both_arms_exist(self):
+        cfg = _cfg_for(
+            """\
+            def f(flag):
+                if flag:
+                    a()
+                else:
+                    b()
+                c()
+            """
+        )
+        assert len(cfg.reachable()) >= 5  # entry, arms, join, exit
+
+    def test_loop_has_back_edge_and_zero_iteration_path(self):
+        cfg = _cfg_for(
+            """\
+            def f(items):
+                for item in items:
+                    use(item)
+                done()
+            """
+        )
+        reachable = set(cfg.reachable())
+        # Some reachable block has a successor that appears earlier in
+        # BFS order: the loop's back edge.
+        order = {index: pos for pos, index in enumerate(cfg.reachable())}
+        assert any(
+            order[succ] < order[index]
+            for index in reachable
+            for succ in cfg.successors(index)
+        )
+
+    def test_code_after_return_is_parked_unreachable(self):
+        cfg = _cfg_for(
+            """\
+            def f():
+                return 1
+                leak()
+            """
+        )
+        reachable = set(cfg.reachable())
+        parked = [
+            block
+            for block in cfg.blocks
+            if block.index not in reachable and block.nodes
+        ]
+        assert parked, "dead statement should exist outside reachable set"
+        calls = [call for block in parked for call in iter_calls(block.nodes[0])]
+        assert calls and calls[0].func.id == "leak"
+
+    def test_try_body_edges_into_every_handler(self):
+        cfg = _cfg_for(
+            """\
+            def f():
+                try:
+                    first()
+                    second()
+                except ValueError:
+                    handle()
+                done()
+            """
+        )
+        # Both try-body statements can raise: the handler entry has at
+        # least two predecessors inside the reachable region.
+        preds = {index: 0 for index in range(len(cfg.blocks))}
+        for block in cfg.blocks:
+            for succ in block.succs:
+                preds[succ] += 1
+        assert max(preds.values()) >= 2
+
+
+class TestTryFinallyDataflow:
+    def test_fsync_in_finally_covers_the_exception_path(self):
+        # The finally suite runs on every unwinding, so the helper's
+        # summary clears the caller's dirty bytes: no REP009.
+        findings = _flow_findings(
+            helper="""\
+            def sync_always(io, tmp):
+                try:
+                    io.read_bytes(tmp)
+                finally:
+                    io.fsync(tmp)
+            """,
+            caller="""\
+            from helper import sync_always
+
+            def commit(io, tmp, final, data):
+                io.write_bytes(tmp, data, sync=False)
+                sync_always(io, tmp)
+                io.replace(tmp, final)
+            """,
+        )
+        assert findings == []
+
+    def test_fsync_only_in_try_body_misses_the_handler_path(self):
+        # The except arm skips the fsync, so dirty bytes may survive
+        # the helper and the caller's publish is convicted.
+        findings = _flow_findings(
+            helper="""\
+            def sync_maybe(io, tmp):
+                try:
+                    io.fsync(tmp)
+                except OSError:
+                    pass
+            """,
+            caller="""\
+            from helper import sync_maybe
+
+            def commit(io, tmp, final, data):
+                io.write_bytes(tmp, data, sync=False)
+                sync_maybe(io, tmp)
+                io.replace(tmp, final)
+            """,
+        )
+        assert [f.rule for f in findings] == ["REP009"]
+
+
+class TestWithUnwinding:
+    def test_early_return_inside_with_releases_the_lock(self):
+        # The call after the `with` must not count as lock-held even
+        # though a `return` exits the body early.
+        findings = _flow_findings(
+            worker="""\
+            import threading
+            import time
+
+
+            class Poker:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def _flush(self):
+                    time.sleep(0.01)
+
+                def poke(self, flag):
+                    with self._lock:
+                        if flag:
+                            return 1
+                    self._flush()
+            """
+        )
+        assert findings == []
+
+    def test_call_inside_with_is_still_held(self):
+        findings = _flow_findings(
+            worker="""\
+            import threading
+            import time
+
+
+            class Poker:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def _flush(self):
+                    time.sleep(0.01)
+
+                def poke(self):
+                    with self._lock:
+                        self._flush()
+            """
+        )
+        assert [f.rule for f in findings] == ["REP010"]
