@@ -1,0 +1,161 @@
+"""Fleet benchmark — multi-modality identification over a device fleet.
+
+The acceptance claim of DESIGN.md §16: on a seeded fleet of 500+
+devices simulated over 4+ epochs with churn and temperature
+seasonality, score-level fusion of decay + startup + Rowhammer
+fingerprints keeps identification accuracy at or above the best single
+modality in **every** epoch, and the system degrades gracefully as
+decay fingerprints go stale — no crash, quarantined stream records
+accounted, the interrupted streaming leg resumed from its checkpoint
+each epoch.
+
+The aging knobs are deliberately harsh (``aging_sigma`` 5x the
+default) so staleness actually bites within 4 epochs: the decay
+channel collapses while startup (aging-immune) and Rowhammer
+(slow-drift) hold, which is exactly the regime fusion exists for.
+
+Artifacts in the results directory: ``bench_fleet.json`` (per-epoch
+per-modality + fused accuracy, lifecycle counts, stream outcomes,
+spoofing verdicts), ``bench_fleet_report.json`` (the full simulation
+report — the CI fleet-smoke job uploads this), and the observability
+set ``bench_fleet_metrics.prom`` / ``bench_fleet_metrics.json`` /
+``bench_fleet_trace.jsonl`` / ``bench_fleet_trace.chrome.json``
+validated by ``repro obs summary``.  The run lands in the ledger.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.analysis.reporting import results_dir
+from repro.fleet import FleetSimulation, default_scenario
+from repro.obs import (
+    LEDGER_NAME,
+    MetricsRegistry,
+    RunLedger,
+    Tracer,
+    bind_service_metrics,
+    set_tracer,
+)
+
+N_DEVICES = 500
+N_EPOCHS = 4
+SEED = int(os.environ.get("REPRO_FLEET_SEED", "2015"))
+
+#: Harsh aging so decay staleness is visible within N_EPOCHS.
+AGING_SIGMA = 0.25
+AGING_DRIFT = -0.05
+CHURN_FRACTION = 0.05
+SEASON_AMPLITUDE_C = 12.0
+
+
+def _scenario():
+    return default_scenario(
+        seed=SEED,
+        n_devices=N_DEVICES,
+        n_epochs=N_EPOCHS,
+        aging_sigma=AGING_SIGMA,
+        aging_drift=AGING_DRIFT,
+        churn_fraction=CHURN_FRACTION,
+        season_amplitude_c=SEASON_AMPLITUDE_C,
+        spoof_devices=8,
+    )
+
+
+def test_fleet_benchmark(tmp_path):
+    """Simulate the fleet, assert the fusion claim, write artifacts."""
+    scenario = _scenario()
+    registry = MetricsRegistry()
+    simulation = FleetSimulation(scenario, tmp_path / "fleet", registry)
+
+    started = time.perf_counter()
+    tracer = Tracer()
+    previous = set_tracer(tracer)
+    try:
+        report = simulation.run()
+    finally:
+        set_tracer(previous)
+    duration_s = time.perf_counter() - started
+
+    # -- the acceptance claims ----------------------------------------
+    for record in report.epochs:
+        best_single = max(record.accuracy.values())
+        assert record.fused_accuracy >= best_single - 1e-9, (
+            f"epoch {record.epoch}: fused {record.fused_accuracy} fell "
+            f"below best single modality {best_single}"
+        )
+        # Graceful degradation: every stream leg finished (after its
+        # interrupt/resume dance) and malformed records were
+        # quarantined, not fatal.
+        assert record.stream["status"] == "completed"
+        assert record.stream["quarantined"] >= 0
+    final = report.final_epoch
+    assert final.staleness["max_staleness_epochs"] >= N_EPOCHS - 1
+    assert final.accuracy["decay"] < final.accuracy["startup"], (
+        "aging should have degraded decay below the aging-immune channel"
+    )
+    assert final.fused_accuracy >= 0.9
+    total = report.spoofing_total
+    assert total["replay_accepted_guarded"] == 0
+    assert total["perturbed_accepted_fused"] == 0
+
+    # -- artifacts -----------------------------------------------------
+    report.save(results_dir() / "bench_fleet_report.json")
+    bind_service_metrics(registry, simulation.service_metrics)
+    registry.write_exposition(results_dir() / "bench_fleet_metrics.prom")
+    registry.write_snapshot(results_dir() / "bench_fleet_metrics.json")
+    trace_path = results_dir() / "bench_fleet_trace.jsonl"
+    tracer.export_jsonl(trace_path)
+    tracer.export_chrome(results_dir() / "bench_fleet_trace.chrome.json")
+
+    summary = {
+        "seed": SEED,
+        "devices": N_DEVICES,
+        "epochs": N_EPOCHS,
+        "aging_sigma": AGING_SIGMA,
+        "churn_fraction": CHURN_FRACTION,
+        "season_amplitude_c": SEASON_AMPLITUDE_C,
+        "duration_s": duration_s,
+        "per_epoch": [
+            {
+                "epoch": record.epoch,
+                "temperature_c": record.temperature_c,
+                "active_devices": record.active_devices,
+                "churned": record.churned,
+                "reenrolled": record.reenrolled,
+                "arrivals": record.arrivals,
+                "accuracy": record.accuracy,
+                "fused_accuracy": record.fused_accuracy,
+                "stream": record.stream,
+                "stream_accuracy": record.stream_accuracy,
+            }
+            for record in report.epochs
+        ],
+        "accuracy_by_modality": report.accuracy_by_modality(),
+        "spoofing_total": total,
+    }
+    path = results_dir() / "bench_fleet.json"
+    path.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+    RunLedger(results_dir() / LEDGER_NAME).record(
+        command="bench-fleet",
+        argv=["benchmarks/bench_fleet.py"],
+        config={"seed": SEED, "devices": N_DEVICES, "epochs": N_EPOCHS},
+        exit_code=0,
+        duration_s=duration_s,
+        metrics_path=results_dir() / "bench_fleet_metrics.json",
+        trace_path=trace_path,
+    )
+
+    print(
+        f"fleet: {N_DEVICES} devices x {N_EPOCHS} epochs in "
+        f"{duration_s:.1f}s; final accuracy "
+        + " ".join(
+            f"{modality}={value:.3f}"
+            for modality, value in sorted(final.accuracy.items())
+        )
+        + f" fused={final.fused_accuracy:.3f}; "
+        f"{sum(r.stream['quarantined'] for r in report.epochs)} quarantined; "
+        f"artifact {path}"
+    )

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Fleet lifecycle walkthrough: staleness, refresh, fusion, spoofing.
+
+The paper's attack assumes a static victim: enroll a decay fingerprint
+once, match probes against it forever.  Real fleets age.  This example
+runs the ``repro.fleet`` simulation on the scenario file next to it
+(``examples/fleet_scenario.json``) and narrates what the lifecycle does
+to identification accuracy:
+
+* aging drifts every chip's retention map, so the decay channel goes
+  stale epoch over epoch;
+* a budget-capped refresh policy re-enrolls the stalest devices and
+  pays a measurable cost in enrollment measurements;
+* startup-value and Rowhammer fingerprints age differently, so fusing
+  the three channels holds accuracy while decay alone collapses;
+* replayed and perturbed decay probes are rejected by the replay guard
+  and by fusion even when the single decay channel accepts them.
+
+Run:  python examples/fleet_walkthrough.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.fleet import FleetScenario, FleetSimulation
+
+SCENARIO = Path(__file__).with_name("fleet_scenario.json")
+
+
+def main() -> None:
+    scenario = FleetScenario.load(SCENARIO)
+    print(
+        f"scenario: {scenario.n_devices} devices, {scenario.n_epochs} "
+        f"epochs, modalities {','.join(scenario.modalities)}, refresh "
+        f"after {scenario.refresh.max_staleness_epochs} stale epoch(s) "
+        f"(budget {scenario.refresh.budget_per_epoch}/epoch)"
+    )
+
+    with tempfile.TemporaryDirectory() as scratch:
+        report = FleetSimulation(scenario, Path(scratch) / "fleet").run()
+
+    header = (
+        f"{'epoch':>5} {'temp':>6} {'active':>6} {'churn':>5} "
+        f"{'refresh':>7} {'stale(max)':>10}"
+    )
+    for modality in scenario.modalities:
+        header += f" {modality:>9}"
+    header += f" {'fused':>9} {'stream':>11}"
+    print(header)
+    for record in report.epochs:
+        line = (
+            f"{record.epoch:>5} {record.temperature_c:>5.1f}C "
+            f"{record.active_devices:>6} {record.churned:>5} "
+            f"{record.refreshed:>7} "
+            f"{record.staleness['max_staleness_epochs']:>10}"
+        )
+        for modality in scenario.modalities:
+            line += f" {record.accuracy[modality]:>9.3f}"
+        line += f" {record.fused_accuracy:>9.3f}"
+        line += (
+            f" {record.stream['status']:>9}"
+            f"+{record.stream['quarantined']}q"
+        )
+        print(line)
+
+    final = report.final_epoch
+    print(
+        f"\nrefresh cost so far: "
+        f"{final.staleness['refresh_cost_measurements']} enrollment "
+        f"measurements across {final.staleness['refreshes_total']} refreshes"
+    )
+    total = report.spoofing_total
+    print(
+        "spoofing (decay channel leaked to the attacker):\n"
+        f"  replay    — decay-only accepts {total['replay_accepted_single']}"
+        f"/{total['attempts']}, replay guard accepts "
+        f"{total['replay_accepted_guarded']}, fusion accepts "
+        f"{total['replay_accepted_fused']}\n"
+        f"  perturbed — decay-only accepts "
+        f"{total['perturbed_accepted_single']}/{total['attempts']}, replay "
+        f"guard accepts {total['perturbed_accepted_guarded']}, fusion "
+        f"accepts {total['perturbed_accepted_fused']}"
+    )
+    fused_floor = min(r.fused_accuracy for r in report.epochs)
+    decay_final = final.accuracy["decay"]
+    print(
+        f"\ntakeaway: decay-only accuracy ended at {decay_final:.3f}; "
+        f"fused accuracy never dropped below {fused_floor:.3f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -10,6 +10,7 @@ from repro.attacks.eavesdropper import (
 )
 from repro.attacks.mapping_recovery import MappingRecoveryAttacker
 from repro.attacks.pipeline import Attribution, ProbableCause
+from repro.attacks.spoofing import perturbed_probe, replay_probe
 from repro.attacks.supply_chain import InterceptionRecord, SupplyChainAttacker
 
 __all__ = [
@@ -24,4 +25,6 @@ __all__ = [
     "ProbableCause",
     "InterceptionRecord",
     "SupplyChainAttacker",
+    "perturbed_probe",
+    "replay_probe",
 ]

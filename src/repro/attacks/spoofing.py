@@ -1,0 +1,66 @@
+"""Fingerprint spoofing: impersonating an enrolled device.
+
+The fleet threat model (DESIGN.md §16) adds an adversary who wants to
+*be identified as* someone else's device — the inverse of the paper's
+deanonymization attacker.  The spoofer has obtained a victim's
+published fingerprint for one modality (decay fingerprints leak
+through any approximate output; the other channels require physical
+access the spoofer lacks) and fabricates observations from it:
+
+* :func:`replay_probe` — submit the fingerprint verbatim as the error
+  string.  Maximally accurate — the Algorithm 3 distance is exactly
+  0.0 — and that perfection is its tell: genuine probes always carry
+  per-trial noise, so a zero distance (or a byte-identical repeat of a
+  previous observation) is the replay-guard defense's trigger.
+* :func:`perturbed_probe` — drop a seeded fraction of the
+  fingerprint's bits and sprinkle extra errors before submitting.
+  Dropped bits cost distance (missing promised errors); added bits are
+  free under the modified Jaccard metric.  A small drop fraction
+  evades the too-perfect floor while staying under the acceptance
+  threshold — the spoof that single-modality verification cannot
+  catch, and the reason the fleet evaluates fused verification.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bits import BitVector
+from repro.core.fingerprint import Fingerprint
+
+
+def replay_probe(fingerprint: Fingerprint) -> BitVector:
+    """The victim's fingerprint replayed verbatim as an observation."""
+    return fingerprint.bits.copy()
+
+
+def perturbed_probe(
+    fingerprint: Fingerprint,
+    rng: np.random.Generator,
+    drop_fraction: float = 0.05,
+    add_fraction: float = 0.01,
+) -> BitVector:
+    """A noise-dressed forgery of the victim's fingerprint.
+
+    ``drop_fraction`` of the fingerprint's set bits are cleared (this
+    is what moves the Algorithm 3 distance off zero — each dropped bit
+    is a promised error that did not appear) and ``add_fraction`` of
+    the region's bits are set as chaff (free under the metric, included
+    because a real probe has extra errors too and their absence would
+    be another tell).
+    """
+    if not 0.0 <= drop_fraction <= 1.0:
+        raise ValueError("drop_fraction must be in [0, 1]")
+    if not 0.0 <= add_fraction <= 1.0:
+        raise ValueError("add_fraction must be in [0, 1]")
+    probe = fingerprint.bits.copy()
+    set_bits = probe.to_indices()
+    n_drop = int(round(drop_fraction * set_bits.size))
+    if n_drop:
+        dropped = rng.choice(set_bits.size, size=n_drop, replace=False)
+        for index in set_bits[dropped]:
+            probe.set(int(index), False)
+    if add_fraction > 0.0:
+        chaff = BitVector.random(probe.nbits, rng, density=add_fraction)
+        probe = probe | chaff
+    return probe

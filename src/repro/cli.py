@@ -27,6 +27,10 @@ Usage::
     python -m repro obs export --trace obs/trace.jsonl \\
         --format chrome --output trace.json   # open in Perfetto
     python -m repro obs ledger ls             # list recorded runs
+    python -m repro fleet init scenario.json --devices 200 --epochs 6
+    python -m repro fleet simulate --scenario scenario.json \\
+        --out runs/fleet --obs-dir obs        # fleet-lifecycle simulation
+    python -m repro fleet report --out runs/fleet   # accuracy trajectory
 
 Reports are written to ``benchmarks/results/`` (override with the
 ``REPRO_RESULTS_DIR`` environment variable, or with higher precedence
@@ -82,6 +86,8 @@ from repro.analysis.reporting import (
 from repro.addrmap.cli import configure_parser as configure_addrmap_parser
 from repro.addrmap.cli import run_addrmap
 from repro.experiments import experiment_ids, run_experiment
+from repro.fleet.cli import configure_parser as configure_fleet_parser
+from repro.fleet.cli import run_fleet
 from repro.lint.cli import configure_parser as configure_lint_parser
 from repro.lint.cli import run_lint
 from repro.obs.cli import configure_parser as configure_obs_parser
@@ -456,6 +462,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "rebalance (see DESIGN.md §14)",
     )
     _configure_cluster_parser(cluster_parser)
+
+    fleet_parser = subparsers.add_parser(
+        "fleet",
+        help="fleet-lifecycle simulation: scenario init, simulate, "
+        "report (see DESIGN.md §16)",
+    )
+    configure_fleet_parser(fleet_parser)
     return parser
 
 
@@ -1400,6 +1413,7 @@ def _run_service_command(
         "compact": _compact,
         "addrmap": run_addrmap,
         "cluster": _cluster,
+        "fleet": run_fleet,
     }[args.command]
     obs_dir = getattr(args, "obs_dir", None)
     tracer: Optional[Tracer] = None
@@ -1466,6 +1480,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "compact",
         "addrmap",
         "cluster",
+        "fleet",
     ):
         return _run_service_command(args, raw_argv)
     if args.command == "list":

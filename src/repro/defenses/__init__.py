@@ -16,6 +16,12 @@ from repro.defenses.noise import (
     NoiseDefenseConfig,
     sweep_noise_levels,
 )
+from repro.defenses.replay import (
+    REASON_DIGEST_REPEAT,
+    REASON_TOO_PERFECT,
+    ReplayGuard,
+    ReplayVerdict,
+)
 from repro.defenses.segregation import (
     SegregatedMemory,
     SegregatedStoreResult,
@@ -34,6 +40,10 @@ __all__ = [
     "NoiseDefense",
     "NoiseDefenseConfig",
     "sweep_noise_levels",
+    "REASON_DIGEST_REPEAT",
+    "REASON_TOO_PERFECT",
+    "ReplayGuard",
+    "ReplayVerdict",
     "SegregatedMemory",
     "SegregatedStoreResult",
     "SegregationPolicy",

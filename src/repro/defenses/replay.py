@@ -1,0 +1,89 @@
+"""Replay guard: rejecting too-perfect and repeated observations.
+
+Counterpart of :mod:`repro.attacks.spoofing`.  Genuine probes carry
+per-trial noise, so their Algorithm 3 distance to the enrolled
+fingerprint sits in a band strictly above zero (Figure 7 puts
+within-class decay distances around 1e-3 of the fingerprint weight for
+healthy enrollments — but never *exactly* zero across the fleet's
+probe sizes).  The guard exploits that and the obvious second tell:
+
+* **too-perfect floor** — an observation whose distance to its claimed
+  fingerprint falls below ``min_distance`` is flagged; the only way to
+  be that close is to have started from the fingerprint itself.
+* **digest history** — a byte-identical repeat of any previously
+  accepted observation is flagged regardless of distance; real probes
+  re-roll their noise every measurement.
+
+Both checks are cheap (one distance already computed by the matcher,
+one set lookup) and neither touches the chip, so the guard composes
+with any modality.  What it cannot catch is a perturbed forgery that
+re-rolls its noise per submission — that one is handled upstream by
+multi-modality verification (DESIGN.md §16), because the forger only
+holds the one leaked channel.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Optional, Set
+
+from repro.bits import BitVector
+
+
+@dataclass(frozen=True)
+class ReplayVerdict:
+    """Outcome of one replay-guard check."""
+
+    accepted: bool
+    reason: Optional[str] = None
+
+
+#: Stable machine-readable rejection reasons.
+REASON_TOO_PERFECT = "too-perfect"
+REASON_DIGEST_REPEAT = "digest-repeat"
+
+
+class ReplayGuard:
+    """Stateful filter over accepted observations of one fleet.
+
+    ``min_distance`` is the too-perfect floor.  The default (0.005)
+    sits well below genuine within-class distances at fleet probe
+    sizes (a few set bits of slack on a ~100-bit fingerprint) while
+    catching exact and near-exact replays.
+    """
+
+    def __init__(self, min_distance: float = 0.005) -> None:
+        if min_distance < 0.0:
+            raise ValueError("min_distance must be >= 0")
+        self._min_distance = min_distance
+        self._digests: Set[bytes] = set()
+
+    @property
+    def min_distance(self) -> float:
+        """The too-perfect distance floor."""
+        return self._min_distance
+
+    @property
+    def observations_seen(self) -> int:
+        """Distinct observations recorded in the digest history."""
+        return len(self._digests)
+
+    @staticmethod
+    def _digest(probe: BitVector) -> bytes:
+        return hashlib.sha256(probe.to_bytes()).digest()
+
+    def check(self, probe: BitVector, distance: float) -> ReplayVerdict:
+        """Judge one observation that matched at ``distance``.
+
+        Accepted observations enter the digest history; rejected ones
+        do not (a rejected replay must not poison the history against
+        the genuine observation it copied).
+        """
+        digest = self._digest(probe)
+        if digest in self._digests:
+            return ReplayVerdict(accepted=False, reason=REASON_DIGEST_REPEAT)
+        if distance < self._min_distance:
+            return ReplayVerdict(accepted=False, reason=REASON_TOO_PERFECT)
+        self._digests.add(digest)
+        return ReplayVerdict(accepted=True)

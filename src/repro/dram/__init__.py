@@ -63,6 +63,22 @@ from repro.dram.retention import (
     VoltageModel,
     decayed_mask,
 )
+from repro.dram.rowhammer import (
+    DEFAULT_ROWHAMMER_MODEL,
+    RowhammerModel,
+    default_aggressor_rows,
+    hammer_susceptibility,
+    hammer_trial,
+    victim_rows,
+)
+from repro.dram.startup import (
+    DEFAULT_STARTUP_MODEL,
+    OriginStatistics,
+    StartupModel,
+    origin_statistics,
+    startup_read,
+    startup_structure,
+)
 from repro.dram.timeline import (
     ReadCommand,
     ReadRecord,
@@ -121,6 +137,18 @@ __all__ = [
     "decayed_mask",
     "JEDEC_REFRESH_S",
     "REFERENCE_TEMPERATURE_C",
+    "DEFAULT_ROWHAMMER_MODEL",
+    "RowhammerModel",
+    "default_aggressor_rows",
+    "hammer_susceptibility",
+    "hammer_trial",
+    "victim_rows",
+    "DEFAULT_STARTUP_MODEL",
+    "OriginStatistics",
+    "StartupModel",
+    "origin_statistics",
+    "startup_read",
+    "startup_structure",
     "VariationProfile",
     "VRTModel",
     "VRTState",

@@ -160,6 +160,36 @@ class DRAMChip:
         ) * self._spec.voltage.retention_scale(self._supply_v)
 
     # ------------------------------------------------------------------
+    # Aging
+    # ------------------------------------------------------------------
+
+    def age_retention(self, log_shift) -> None:
+        """Permanently shift per-cell log-retention (wear-out aging).
+
+        Real DRAM retention drifts over a device's lifetime: leakage
+        rises as gate oxides wear, and individual cells walk up or down
+        as trapped charge accumulates.  The fleet-lifecycle simulation
+        models one epoch of that drift as an additive shift in log
+        domain — ``retention *= exp(log_shift)`` — either a scalar
+        (uniform wear) or one value per cell (random walk).  The shift
+        is applied to the manufacturing baseline, so it persists across
+        writes, reads and VRT window advances; it is *not* an
+        environment knob like temperature and cannot be undone.
+        """
+        shift = np.asarray(log_shift, dtype=float)
+        n_cells = self._retention_ref_s.size
+        if shift.shape not in ((), (n_cells,)):
+            raise ValueError(
+                f"log_shift must be a scalar or one value per cell "
+                f"({n_cells}), got shape {shift.shape}"
+            )
+        self._retention_ref_s = self._retention_ref_s * np.exp(shift)
+        if self._vrt is not None:
+            self._retention_active = self._vrt.apply(self._retention_ref_s)
+        else:
+            self._retention_active = self._retention_ref_s
+
+    # ------------------------------------------------------------------
     # Memory operations
     # ------------------------------------------------------------------
 

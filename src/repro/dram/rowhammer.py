@@ -1,0 +1,173 @@
+"""Rowhammer bit-flip-location model — the disturbance side channel.
+
+FP-Rowhammer / Centauri (arXiv:2307.00143) fingerprint DRAM by
+*which* cells flip under Rowhammer: repeatedly activating aggressor
+rows disturbs physically adjacent victim rows, and the set of cells
+weak enough to flip is chip-unique, highly repeatable, and largely
+stable over time — usable as a device identifier even across systems
+with identical populations of modules.
+
+The model here reproduces the parts that matter to the fleet
+simulation:
+
+* Hammering aggressor rows can only flip *charged* cells in the two
+  physically adjacent victim rows (row granularity matches the refresh
+  and decay model of :class:`~repro.dram.chip.DRAMChip`).
+* Per-cell flip susceptibility has two components: a part correlated
+  with retention weakness (a leaky cell is also easier to disturb) and
+  an independent chip-unique part, mixed by ``retention_weight``.
+  Because susceptibility reads the chip's *current* retention, aging
+  moves the correlated part — the Rowhammer fingerprint drifts slower
+  than the decay fingerprint but is not immune.
+* Only the most susceptible ``flip_fraction`` of cells flip, plus
+  per-trial measurement noise near the threshold, so repeated hammer
+  trials mostly — not exactly — agree, exactly the property that makes
+  intersection-based characterization (Algorithm 1) applicable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+import numpy as np
+
+from repro.bits import BitVector
+from repro.dram.chip import DRAMChip
+from repro.dram.geometry import ChipGeometry
+
+#: Seed-spawn key separating disturbance randomness from retention and
+#: startup draws on the same chip.
+_HAMMER_KEY = 0x524F57  # "ROW"
+
+
+@dataclass(frozen=True)
+class RowhammerModel:
+    """Parameters of the disturbance-susceptibility population.
+
+    Parameters
+    ----------
+    flip_fraction:
+        Fraction of victim cells susceptible enough to flip in a
+        noise-free hammer trial.
+    retention_weight:
+        Correlation between disturbance susceptibility and retention
+        weakness, in [0, 1).  0 makes Rowhammer fully independent of
+        decay (and of aging); 1 would make it the same channel.
+    noise_sigma:
+        Per-trial jitter added to susceptibility before thresholding —
+        the source of trial-to-trial disagreement near the threshold.
+    """
+
+    flip_fraction: float = 0.02
+    retention_weight: float = 0.35
+    noise_sigma: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.flip_fraction < 1.0:
+            raise ValueError("flip_fraction must be in (0, 1)")
+        if not 0.0 <= self.retention_weight < 1.0:
+            raise ValueError("retention_weight must be in [0, 1)")
+        if self.noise_sigma < 0.0:
+            raise ValueError("noise_sigma must be non-negative")
+
+
+#: Default model shared by every simulated family unless overridden.
+DEFAULT_ROWHAMMER_MODEL = RowhammerModel()
+
+
+def hammer_susceptibility(
+    chip: DRAMChip, model: RowhammerModel = DEFAULT_ROWHAMMER_MODEL
+) -> np.ndarray:
+    """Per-cell disturbance susceptibility (higher = flips sooner).
+
+    The retention-correlated component is the standardized *negative*
+    log retention of the chip's current cells — weak-retention cells
+    are also disturbance-weak — so :meth:`DRAMChip.age_retention`
+    shifts it.  The independent component is manufacturing-locked by
+    the chip seeds and never drifts.
+    """
+    log_ret = np.log(chip.retention_reference_s)
+    spread = float(log_ret.std())
+    if spread <= 0.0:
+        retention_part = np.zeros_like(log_ret)
+    else:
+        retention_part = -(log_ret - float(log_ret.mean())) / spread
+    unique_rng = np.random.default_rng(
+        np.random.SeedSequence(
+            entropy=chip.chip_seed ^ (chip.mask_seed << 16),
+            spawn_key=(_HAMMER_KEY,),
+        )
+    )
+    unique_part = unique_rng.standard_normal(log_ret.size)
+    alpha = model.retention_weight
+    return alpha * retention_part + float(np.sqrt(1.0 - alpha * alpha)) * (
+        unique_part
+    )
+
+
+def victim_rows(geometry: ChipGeometry, aggressor_rows: Iterable[int]) -> List[int]:
+    """Rows physically adjacent to the aggressors (excluding aggressors).
+
+    Double-sided hammering of row ``r`` disturbs rows ``r-1`` and
+    ``r+1``; rows that are themselves aggressors are being activated
+    (and therefore implicitly refreshed), so they cannot flip.
+    """
+    aggressors = set()
+    for row in aggressor_rows:
+        if not 0 <= row < geometry.rows:
+            raise IndexError(
+                f"row {row} out of range for {geometry.rows} rows"
+            )
+        aggressors.add(int(row))
+    victims = set()
+    for row in aggressors:
+        for neighbour in (row - 1, row + 1):
+            if 0 <= neighbour < geometry.rows and neighbour not in aggressors:
+                victims.add(neighbour)
+    return sorted(victims)
+
+
+def default_aggressor_rows(
+    geometry: ChipGeometry, stride: int = 4
+) -> List[int]:
+    """Evenly spaced aggressor rows covering the array.
+
+    A stride of 4 leaves every aggressor's neighbours free to act as
+    victims while sweeping the whole array — the access pattern the
+    fleet fingerprinter uses unless the scenario overrides it.
+    """
+    if stride < 2:
+        raise ValueError("stride must be at least 2")
+    return list(range(1, geometry.rows, stride))
+
+
+def hammer_trial(
+    chip: DRAMChip,
+    aggressor_rows: Iterable[int],
+    rng: np.random.Generator,
+    model: RowhammerModel = DEFAULT_ROWHAMMER_MODEL,
+) -> BitVector:
+    """One hammer campaign; returns the bit-flip locations.
+
+    The victim rows are assumed freshly written with the worst-case
+    (all-charged) pattern, as in FP-Rowhammer's measurement procedure;
+    a cell flips when its susceptibility plus per-trial noise clears
+    the population's ``1 - flip_fraction`` quantile.
+    """
+    geometry = chip.geometry
+    susceptibility = hammer_susceptibility(chip, model)
+    threshold = float(
+        np.quantile(susceptibility, 1.0 - model.flip_fraction)
+    )
+    noisy = susceptibility
+    if model.noise_sigma > 0.0:
+        noisy = susceptibility + rng.normal(
+            0.0, model.noise_sigma, susceptibility.size
+        )
+    victim_mask = np.zeros(geometry.total_bits, dtype=bool)
+    for row in victim_rows(geometry, aggressor_rows):
+        start = row * geometry.bits_per_row
+        victim_mask[start : start + geometry.bits_per_row] = True
+    flips = victim_mask & (noisy > threshold)
+    return BitVector.from_bool_array(flips)

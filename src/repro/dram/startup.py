@@ -1,0 +1,175 @@
+"""Power-up (startup) value model — the counterfeit-origin side channel.
+
+Talukder et al. ("Towards the Avoidance of Counterfeit Memory:
+Identifying the DRAM Origin", arXiv:1911.03395) show that the values a
+DRAM array holds right after power-on — before any write — carry two
+signals at once: a *chip-unique* pattern usable as an identifier, and
+*family-level statistics* (the fraction of cells that power up against
+their default) that distinguish manufacturers and process generations,
+which is what makes counterfeit parts detectable.
+
+The physics behind both: at power-on each cell settles to a value set
+by the mismatch between its capacitor and the sense amplifier.  Most
+cells are strongly biased and power up the same way every time; a small
+*weak* population sits near the metastable point and settles randomly
+per power cycle.
+
+The model here mirrors that structure on the simulated substrate:
+
+* **Biased cells** hold a chip-unique preferred value drawn once from
+  the chip's manufacturing seeds (mask + chip, like retention).  A
+  fraction ``invert_fraction`` of them prefers the *opposite* of the
+  cell's default — that fraction is the family-level statistic the
+  counterfeit check monitors.
+* **Weak cells** (fraction ``weak_fraction``, membership chip-unique)
+  settle uniformly at random on every power-up.
+
+Startup values are independent of retention, so this side channel does
+**not** drift with retention aging — the property the fleet simulation
+exploits when decay fingerprints go stale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bits import BitVector
+from repro.dram.chip import DRAMChip
+
+#: Seed-spawn keys separating startup randomness from retention draws.
+_STARTUP_BIAS_KEY = 0x535550  # "SUP"
+_STARTUP_WEAK_KEY = 0x57454B  # "WEK"
+
+
+@dataclass(frozen=True)
+class StartupModel:
+    """Statistical description of a family's power-up behaviour.
+
+    Parameters
+    ----------
+    weak_fraction:
+        Fraction of cells whose power-up value is random per cycle.
+    invert_fraction:
+        Fraction of *biased* cells preferring the opposite of their
+        default value — the family-level origin statistic.
+    """
+
+    weak_fraction: float = 0.05
+    invert_fraction: float = 0.30
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.weak_fraction < 1.0:
+            raise ValueError("weak_fraction must be in [0, 1)")
+        if not 0.0 < self.invert_fraction < 1.0:
+            raise ValueError("invert_fraction must be in (0, 1)")
+
+
+#: Default model shared by every simulated family unless overridden.
+DEFAULT_STARTUP_MODEL = StartupModel()
+
+
+def _chip_rng(chip: DRAMChip, spawn_key: int) -> np.random.Generator:
+    """Manufacturing-locked RNG for one chip's startup structure."""
+    return np.random.default_rng(
+        np.random.SeedSequence(
+            entropy=chip.chip_seed ^ (chip.mask_seed << 16),
+            spawn_key=(spawn_key,),
+        )
+    )
+
+
+def startup_structure(
+    chip: DRAMChip, model: StartupModel = DEFAULT_STARTUP_MODEL
+):
+    """The chip's locked power-up structure: (preferred, weak_mask).
+
+    ``preferred`` is the boolean value each cell settles to when it is
+    biased; ``weak_mask`` marks the cells that instead settle randomly
+    per power cycle.  Both are pure functions of the chip's
+    manufacturing seeds, so two :class:`DRAMChip` objects with the same
+    identity power up the same way — the property the counterfeit and
+    identification checks rest on.
+    """
+    n_cells = chip.geometry.total_bits
+    defaults = chip.geometry.default_array()
+    bias_rng = _chip_rng(chip, _STARTUP_BIAS_KEY)
+    inverted = bias_rng.random(n_cells) < model.invert_fraction
+    preferred = np.where(inverted, ~defaults, defaults)
+    weak_rng = _chip_rng(chip, _STARTUP_WEAK_KEY)
+    weak_mask = weak_rng.random(n_cells) < model.weak_fraction
+    return preferred, weak_mask
+
+
+def startup_read(
+    chip: DRAMChip,
+    rng: np.random.Generator,
+    model: StartupModel = DEFAULT_STARTUP_MODEL,
+) -> BitVector:
+    """One simulated power cycle: the array's contents at power-on.
+
+    Biased cells return their preferred value; weak cells flip a coin
+    from ``rng`` (per-trial noise, *not* manufacturing state — pass a
+    fresh seeded generator per measurement campaign).
+    """
+    preferred, weak_mask = startup_structure(chip, model)
+    values = preferred.copy()
+    n_weak = int(weak_mask.sum())
+    if n_weak:
+        values[weak_mask] = rng.random(n_weak) < 0.5
+    return BitVector.from_bool_array(values)
+
+
+@dataclass(frozen=True)
+class OriginStatistics:
+    """Family-level startup statistics of one measured device.
+
+    ``against_default_fraction`` is Talukder et al.'s headline origin
+    signature: the fraction of cells powering up against their default.
+    ``flaky_fraction`` estimates the weak-cell population from
+    disagreement across reads.
+    """
+
+    against_default_fraction: float
+    flaky_fraction: float
+
+    def z_score(self, model: StartupModel) -> float:
+        """Standardized deviation of the measured origin signature.
+
+        Under ``model`` the expected against-default fraction is
+        ``invert_fraction`` adjusted for the weak half-coin; a large
+        absolute z-score marks a device whose startup statistics do not
+        match the family it claims to be — the counterfeit signal.
+        """
+        expected = (
+            model.invert_fraction * (1.0 - model.weak_fraction)
+            + 0.5 * model.weak_fraction
+        )
+        variance = expected * (1.0 - expected)
+        if variance <= 0.0:
+            return 0.0
+        return (self.against_default_fraction - expected) / float(
+            np.sqrt(variance)
+        )
+
+
+def origin_statistics(
+    chip: DRAMChip,
+    rng: np.random.Generator,
+    reads: int = 3,
+    model: StartupModel = DEFAULT_STARTUP_MODEL,
+) -> OriginStatistics:
+    """Measure a device's origin statistics from ``reads`` power cycles."""
+    if reads < 1:
+        raise ValueError("need at least one startup read")
+    defaults = chip.geometry.default_array()
+    images = [
+        startup_read(chip, rng, model).to_bool_array() for _ in range(reads)
+    ]
+    stacked = np.stack(images)
+    against = float((stacked[0] != defaults).mean())
+    flaky = float((stacked.max(axis=0) != stacked.min(axis=0)).mean())
+    return OriginStatistics(
+        against_default_fraction=against, flaky_fraction=flaky
+    )

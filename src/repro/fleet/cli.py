@@ -1,0 +1,292 @@
+"""``repro fleet`` — scenario-driven fleet-lifecycle simulation.
+
+Three subcommands (DESIGN.md §16):
+
+``repro fleet init scenario.json --devices 200 --epochs 6``
+    Write a scenario file.  Any scenario, lifecycle, or refresh-policy
+    field is available as a flag; unset flags keep the documented
+    defaults, so the file is a complete, reproducible record.
+
+``repro fleet simulate --scenario scenario.json --out runs/fleet``
+    Run the simulation: enrollment, aging, seasonality, churn,
+    refresh, per-modality + fused identification, the per-epoch
+    streaming leg (with interrupt/resume) and the spoofing round.
+    Writes ``report.json`` into the output directory; ``--obs-dir``
+    additionally exports ``repro_fleet_*`` and service metrics
+    (``metrics.prom`` / ``metrics.json``) and, via the shared service
+    command wrapper, the run's trace; the run lands in the ledger.
+
+``repro fleet report --out runs/fleet``
+    Summarize a saved report: per-epoch accuracy trajectory by
+    modality, fused accuracy, stream and spoofing outcomes.
+
+Exit codes: 0 success, 1 a stream leg ended ``failed`` or the report
+is missing, 2 usage errors (unknown device/modality, bad scenario
+file — raised as :class:`ValueError`/:class:`OSError` and rendered by
+the dispatch wrapper).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import Dict
+
+from repro.fleet.engine import FleetReport, FleetSimulation
+from repro.fleet.scenario import FleetScenario, default_scenario
+from repro.obs.metrics import MetricsRegistry, bind_service_metrics
+
+#: Flags exposed for scenario fields: (flag, dest, type, help).
+_SCENARIO_FLAGS = (
+    ("--seed", "seed", int, "scenario seed (default 2015)"),
+    ("--devices", "n_devices", int, "fleet size at epoch 0"),
+    ("--epochs", "n_epochs", int, "epochs to simulate"),
+    ("--device", "device", str, "device family name (default test-1kb)"),
+    ("--probes-per-epoch", "probes_per_epoch", int,
+     "identification probes per device per epoch"),
+    ("--malformed-fraction", "malformed_fraction", float,
+     "malformed-record injection rate in the stream feed"),
+    ("--spoof-devices", "spoof_devices", int,
+     "victims per epoch in the spoofing round"),
+    ("--stream-batch-size", "stream_batch_size", int,
+     "stream micro-batch size"),
+    ("--checkpoint-every", "checkpoint_every", int,
+     "stream checkpoint cadence in observations"),
+    ("--interrupt-after-batches", "interrupt_after_batches", int,
+     "interrupt the stream after N batches then resume (0 disables)"),
+    ("--aging-sigma", "aging_sigma", float,
+     "per-cell log-retention drift sigma per epoch"),
+    ("--aging-drift", "aging_drift", float,
+     "global log-retention drift per epoch (negative = wear-out)"),
+    ("--season-amplitude", "season_amplitude_c", float,
+     "seasonal temperature amplitude, degrees C"),
+    ("--season-period", "season_period_epochs", int,
+     "seasonal period in epochs"),
+    ("--base-temperature", "base_temperature_c", float,
+     "base ambient temperature, degrees C"),
+    ("--churn-fraction", "churn_fraction", float,
+     "fraction of active devices decommissioned per epoch"),
+    ("--reenroll-fraction", "reenroll_fraction", float,
+     "per-epoch probability a parked device returns"),
+    ("--arrival-fraction", "arrival_fraction", float,
+     "new arrivals per epoch as a fraction of fleet size"),
+    ("--max-staleness", "max_staleness_epochs", int,
+     "refresh fingerprints older than this many epochs (0 disables)"),
+    ("--refresh-budget", "budget_per_epoch", int,
+     "cap on refreshes per epoch (default unlimited)"),
+)
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    """Attach the fleet subcommands to an argparse parser."""
+    sub = parser.add_subparsers(dest="fleet_command", required=True)
+
+    init = sub.add_parser(
+        "init", help="write a scenario file with the given overrides"
+    )
+    init.add_argument("scenario", help="path of the scenario file to write")
+    _add_scenario_flags(init)
+    init.add_argument(
+        "--modalities",
+        default=None,
+        help="comma-separated modality list (default decay,startup,rowhammer)",
+    )
+    init.add_argument(
+        "--force",
+        action="store_true",
+        help="overwrite an existing scenario file",
+    )
+
+    simulate = sub.add_parser(
+        "simulate", help="run a fleet simulation from a scenario"
+    )
+    simulate.add_argument(
+        "--scenario",
+        default=None,
+        help="scenario file (default: the documented starter scenario)",
+    )
+    simulate.add_argument(
+        "--out",
+        required=True,
+        metavar="DIR",
+        help="output directory (store, stream state, report.json)",
+    )
+    simulate.add_argument(
+        "--obs-dir",
+        default=None,
+        metavar="DIR",
+        help="write metrics.prom / metrics.json (and the run trace) "
+        "observability artifacts into DIR",
+    )
+    simulate.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full report as JSON on stdout",
+    )
+    simulate.add_argument(
+        "--quiet", action="store_true", help="only print the verdict line"
+    )
+
+    report = sub.add_parser(
+        "report", help="summarize a saved fleet report"
+    )
+    report.add_argument(
+        "--out",
+        required=True,
+        metavar="DIR",
+        help="output directory of a previous simulate run "
+        "(or a report.json path)",
+    )
+    report.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the report document as JSON on stdout",
+    )
+
+
+def _add_scenario_flags(parser: argparse.ArgumentParser) -> None:
+    for flag, dest, value_type, help_text in _SCENARIO_FLAGS:
+        parser.add_argument(
+            flag, dest=dest, type=value_type, default=None, help=help_text
+        )
+
+
+def _overrides_from_args(args: argparse.Namespace) -> Dict[str, object]:
+    overrides: Dict[str, object] = {}
+    for _, dest, _, _ in _SCENARIO_FLAGS:
+        value = getattr(args, dest, None)
+        if value is not None:
+            overrides[dest] = value
+    modalities = getattr(args, "modalities", None)
+    if modalities is not None:
+        overrides["modalities"] = [
+            name.strip() for name in modalities.split(",") if name.strip()
+        ]
+    return overrides
+
+
+def _init(args: argparse.Namespace) -> int:
+    path = Path(args.scenario)
+    if path.exists() and not args.force:
+        raise ValueError(
+            f"{path} already exists (pass --force to overwrite)"
+        )
+    scenario = default_scenario(**_overrides_from_args(args))
+    path.parent.mkdir(parents=True, exist_ok=True)
+    scenario.save(path)
+    print(
+        f"scenario written to {path}: {scenario.n_devices} devices, "
+        f"{scenario.n_epochs} epochs, "
+        f"modalities {','.join(scenario.modalities)}"
+    )
+    return 0
+
+
+def _simulate(args: argparse.Namespace) -> int:
+    if args.scenario is not None:
+        scenario = FleetScenario.load(args.scenario)
+    else:
+        scenario = default_scenario()
+    out_dir = Path(args.out)
+    registry = MetricsRegistry()
+    simulation = FleetSimulation(scenario, out_dir, registry=registry)
+    report = simulation.run()
+    report.save(out_dir / "report.json")
+    bind_service_metrics(registry, simulation.service_metrics)
+    if args.obs_dir is not None:
+        obs_path = Path(args.obs_dir)
+        obs_path.mkdir(parents=True, exist_ok=True)
+        registry.write_exposition(obs_path / "metrics.prom")
+        registry.write_snapshot(obs_path / "metrics.json")
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    failed_streams = sum(
+        1
+        for record in report.epochs
+        if record.stream.get("status") == "failed"
+    )
+    final = report.final_epoch
+    print(
+        f"fleet simulated: {scenario.n_epochs} epochs, "
+        f"{final.active_devices} active devices at the end; "
+        f"fused accuracy {final.fused_accuracy:.3f} "
+        f"(best single "
+        f"{max(final.accuracy.values()):.3f}); "
+        f"{failed_streams} failed stream legs; "
+        f"report written to {out_dir / 'report.json'}"
+    )
+    if not args.quiet:
+        _print_epochs(report.to_json())
+    return 0 if failed_streams == 0 else 1
+
+
+def _report_path(out: str) -> Path:
+    path = Path(out)
+    if path.is_dir():
+        path = path / "report.json"
+    if not path.exists():
+        raise ValueError(f"no fleet report at {path}")
+    return path
+
+
+def _report(args: argparse.Namespace) -> int:
+    document = FleetReport.load(_report_path(args.out))
+    if args.json:
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 0
+    _print_epochs(document)
+    spoofing = document.get("spoofing_total", {})
+    if isinstance(spoofing, dict) and spoofing:
+        print(
+            "spoofing: "
+            f"{spoofing.get('attempts', 0)} victims/epoch-rounds; "
+            f"replay accepted (single/guarded/fused) "
+            f"{spoofing.get('replay_accepted_single', 0)}/"
+            f"{spoofing.get('replay_accepted_guarded', 0)}/"
+            f"{spoofing.get('replay_accepted_fused', 0)}; "
+            f"perturbed accepted "
+            f"{spoofing.get('perturbed_accepted_single', 0)}/"
+            f"{spoofing.get('perturbed_accepted_guarded', 0)}/"
+            f"{spoofing.get('perturbed_accepted_fused', 0)}"
+        )
+    return 0
+
+
+def _print_epochs(document: Dict[str, object]) -> None:
+    epochs = document.get("epochs", [])
+    if not isinstance(epochs, list):
+        return
+    for record in epochs:
+        if not isinstance(record, dict):
+            continue
+        accuracy = record.get("accuracy", {})
+        accuracy_text = " ".join(
+            f"{modality}={value:.3f}"
+            for modality, value in sorted(accuracy.items())
+        )
+        stream = record.get("stream", {})
+        print(
+            f"  epoch {record.get('epoch')}: "
+            f"T={record.get('temperature_c', 0.0):.1f}C "
+            f"active={record.get('active_devices')} "
+            f"churn={record.get('churned')} "
+            f"reenroll={record.get('reenrolled')} "
+            f"arrive={record.get('arrivals')} "
+            f"refresh={record.get('refreshed')} | "
+            f"{accuracy_text} fused={record.get('fused_accuracy', 0.0):.3f} | "
+            f"stream={stream.get('status')} "
+            f"quarantined={stream.get('quarantined')}"
+        )
+
+
+def run_fleet(args: argparse.Namespace) -> int:
+    """The fleet command body (dispatched by the repro CLI)."""
+    if args.fleet_command == "init":
+        return _init(args)
+    if args.fleet_command == "simulate":
+        return _simulate(args)
+    return _report(args)
+
+
+__all__ = ["configure_parser", "run_fleet"]

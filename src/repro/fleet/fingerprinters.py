@@ -1,0 +1,285 @@
+"""The ``Fingerprinter`` protocol and its three modality implementations.
+
+The paper's pipeline is decay-specific: platform trials feed
+Algorithm 1 (:func:`repro.core.characterize.characterize_trials`), and
+Algorithm 2/3 match error strings against the resulting fingerprints.
+The fleet simulation needs the same enroll/probe/match shape for other
+DRAM side channels, so this module names the contract as a
+:class:`Fingerprinter` protocol and adapts three modalities to it:
+
+* :class:`DecayFingerprinter` — the paper's own path, **unchanged**: it
+  calls ``ExperimentPlatform.run_trials`` and ``characterize_trials``
+  exactly as the flat experiments do, so a fingerprint enrolled through
+  the protocol is byte-identical to one produced without it (the
+  regression test serializes both and compares bytes).
+* :class:`StartupFingerprinter` — power-up values
+  (:mod:`repro.dram.startup`, Talukder et al. arXiv:1911.03395).  The
+  "error string" is the cells powering up *against their default*;
+  startup structure ignores retention, so this channel does not age.
+* :class:`RowhammerFingerprinter` — bit-flip locations under hammering
+  (:mod:`repro.dram.rowhammer`, FP-Rowhammer/Centauri
+  arXiv:2307.00143).  Susceptibility is partially retention-correlated,
+  so this channel ages slower than decay but faster than startup.
+
+All three share Algorithm 3 (:func:`probable_cause_distance`) as the
+match metric; each carries its own acceptance threshold because the
+within/between-class distance gap differs per channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.bits import BitVector
+from repro.core.characterize import characterize_trials
+from repro.core.distance import DEFAULT_THRESHOLD, probable_cause_distance
+from repro.core.fingerprint import Fingerprint
+from repro.dram.chip import DRAMChip
+from repro.dram.platform import ExperimentPlatform, TrialConditions
+from repro.dram.rowhammer import (
+    DEFAULT_ROWHAMMER_MODEL,
+    RowhammerModel,
+    default_aggressor_rows,
+    hammer_trial,
+)
+from repro.dram.startup import (
+    DEFAULT_STARTUP_MODEL,
+    StartupModel,
+    startup_read,
+)
+
+
+@runtime_checkable
+class Fingerprinter(Protocol):
+    """One identification side channel: how to enroll, probe, and match.
+
+    ``enroll`` runs the modality's characterization campaign and
+    returns a :class:`Fingerprint`; ``probe`` runs one measurement and
+    returns the observation's error string (the bit vector Algorithm 2
+    consumes); ``distance`` scores a probe against a fingerprint; a
+    probe matches when ``distance < threshold``.  ``rng`` carries the
+    per-measurement noise stream (chip-locked structure stays inside
+    the chip), and ``temperature_c`` is the ambient at measurement
+    time — modalities that are temperature-insensitive ignore it.
+    """
+
+    modality: str
+    threshold: float
+    enroll_cost: int
+
+    def enroll(
+        self,
+        chip: DRAMChip,
+        rng: np.random.Generator,
+        temperature_c: Optional[float] = None,
+    ) -> Fingerprint:
+        """Characterize ``chip`` into a fingerprint."""
+        ...
+
+    def probe(
+        self,
+        chip: DRAMChip,
+        rng: np.random.Generator,
+        temperature_c: Optional[float] = None,
+    ) -> BitVector:
+        """One measurement; returns the observation error string."""
+        ...
+
+    def distance(self, probe: BitVector, fingerprint: Fingerprint) -> float:
+        """Score a probe against an enrolled fingerprint."""
+        ...
+
+
+@dataclass(frozen=True)
+class DecayFingerprinter:
+    """The paper's decay path behind the protocol — same code, new name.
+
+    ``enroll`` is ``run_trials`` + ``characterize_trials`` verbatim and
+    ``probe`` is one trial's error string, so nothing about Algorithm 1
+    or the operating point changes; only the calling convention does.
+    """
+
+    modality: str = "decay"
+    accuracy: float = 0.99
+    trials: int = 3
+    threshold: float = DEFAULT_THRESHOLD
+
+    @property
+    def enroll_cost(self) -> int:
+        """Measurements consumed by one enrollment (refresh-cost unit)."""
+        return self.trials
+
+    def _conditions(
+        self, chip: DRAMChip, temperature_c: Optional[float]
+    ) -> TrialConditions:
+        ambient = (
+            temperature_c
+            if temperature_c is not None
+            else chip.temperature_c
+        )
+        return TrialConditions(
+            accuracy=self.accuracy, temperature_c=ambient
+        )
+
+    def enroll(
+        self,
+        chip: DRAMChip,
+        rng: np.random.Generator,
+        temperature_c: Optional[float] = None,
+    ) -> Fingerprint:
+        """Algorithm 1 over ``trials`` platform trials."""
+        platform = ExperimentPlatform(chip)
+        point = self._conditions(chip, temperature_c)
+        results = platform.run_trials([point] * self.trials)
+        return characterize_trials(results)
+
+    def probe(
+        self,
+        chip: DRAMChip,
+        rng: np.random.Generator,
+        temperature_c: Optional[float] = None,
+    ) -> BitVector:
+        """One decay trial's error string."""
+        platform = ExperimentPlatform(chip)
+        result = platform.run_trial(self._conditions(chip, temperature_c))
+        return result.error_string
+
+    def distance(self, probe: BitVector, fingerprint: Fingerprint) -> float:
+        """Algorithm 3 (modified Jaccard)."""
+        return probable_cause_distance(probe, fingerprint)
+
+
+@dataclass(frozen=True)
+class StartupFingerprinter:
+    """Counterfeit-origin modality: cells powering up against default.
+
+    The enrollment intersects the against-default sets of ``reads``
+    power cycles, pruning the weak cells that happened to land
+    against-default in one read but not another; the probe is a single
+    power cycle.  Startup structure is a pure function of the chip
+    seeds, so this fingerprint is immune to retention aging.
+    """
+
+    modality: str = "startup"
+    reads: int = 3
+    threshold: float = DEFAULT_THRESHOLD
+    model: StartupModel = DEFAULT_STARTUP_MODEL
+
+    @property
+    def enroll_cost(self) -> int:
+        """Measurements consumed by one enrollment (refresh-cost unit)."""
+        return self.reads
+
+    def _against_default(
+        self, chip: DRAMChip, rng: np.random.Generator
+    ) -> BitVector:
+        image = startup_read(chip, rng, self.model)
+        return image ^ chip.geometry.default_pattern()
+
+    def enroll(
+        self,
+        chip: DRAMChip,
+        rng: np.random.Generator,
+        temperature_c: Optional[float] = None,
+    ) -> Fingerprint:
+        """Intersect the against-default sets of ``reads`` power cycles."""
+        fingerprint = Fingerprint(
+            bits=self._against_default(chip, rng),
+            support=1,
+            source=chip.label,
+        )
+        for _ in range(self.reads - 1):
+            fingerprint = fingerprint.intersect(
+                self._against_default(chip, rng)
+            )
+        return fingerprint
+
+    def probe(
+        self,
+        chip: DRAMChip,
+        rng: np.random.Generator,
+        temperature_c: Optional[float] = None,
+    ) -> BitVector:
+        """One power cycle's against-default set."""
+        return self._against_default(chip, rng)
+
+    def distance(self, probe: BitVector, fingerprint: Fingerprint) -> float:
+        """Algorithm 3 (modified Jaccard)."""
+        return probable_cause_distance(probe, fingerprint)
+
+
+@dataclass(frozen=True)
+class RowhammerFingerprinter:
+    """Disturbance modality: which cells flip under hammering.
+
+    Enrollment intersects the flip sets of ``trials`` hammer campaigns
+    over an evenly striped aggressor pattern; the probe is one
+    campaign.  The threshold is looser than decay's because per-trial
+    noise near the susceptibility threshold makes within-class
+    distances a few percent rather than a few tenths of a percent.
+    """
+
+    modality: str = "rowhammer"
+    trials: int = 3
+    stride: int = 4
+    threshold: float = 0.25
+    model: RowhammerModel = DEFAULT_ROWHAMMER_MODEL
+
+    @property
+    def enroll_cost(self) -> int:
+        """Measurements consumed by one enrollment (refresh-cost unit)."""
+        return self.trials
+
+    def _flips(self, chip: DRAMChip, rng: np.random.Generator) -> BitVector:
+        rows = default_aggressor_rows(chip.geometry, self.stride)
+        return hammer_trial(chip, rows, rng, self.model)
+
+    def enroll(
+        self,
+        chip: DRAMChip,
+        rng: np.random.Generator,
+        temperature_c: Optional[float] = None,
+    ) -> Fingerprint:
+        """Intersect the flip locations of ``trials`` hammer campaigns."""
+        fingerprint = Fingerprint(
+            bits=self._flips(chip, rng), support=1, source=chip.label
+        )
+        for _ in range(self.trials - 1):
+            fingerprint = fingerprint.intersect(self._flips(chip, rng))
+        return fingerprint
+
+    def probe(
+        self,
+        chip: DRAMChip,
+        rng: np.random.Generator,
+        temperature_c: Optional[float] = None,
+    ) -> BitVector:
+        """One hammer campaign's flip locations."""
+        return self._flips(chip, rng)
+
+    def distance(self, probe: BitVector, fingerprint: Fingerprint) -> float:
+        """Algorithm 3 (modified Jaccard)."""
+        return probable_cause_distance(probe, fingerprint)
+
+
+#: Modality name -> zero-config constructor, the scenario loader's menu.
+_FINGERPRINTERS = {
+    "decay": DecayFingerprinter,
+    "startup": StartupFingerprinter,
+    "rowhammer": RowhammerFingerprinter,
+}
+
+
+def make_fingerprinter(modality: str) -> Fingerprinter:
+    """Instantiate a fingerprinter by modality name (scenario configs)."""
+    try:
+        factory = _FINGERPRINTERS[modality]
+    except KeyError:
+        known = ", ".join(sorted(_FINGERPRINTERS))
+        raise ValueError(
+            f"unknown modality {modality!r} (known: {known})"
+        ) from None
+    return factory()

@@ -1,0 +1,234 @@
+"""Vectorized matching and score-level modality fusion.
+
+Identifying one probe against N enrolled fingerprints with the scalar
+:func:`~repro.core.distance.probable_cause_distance` is N Python calls;
+at fleet scale (hundreds of devices × several modalities × several
+epochs) that constant factor dominates.  :class:`PackedFingerprints`
+stacks one modality's enrolled fingerprints into an ``(N, W)`` uint64
+matrix so a probe's distance to *every* fingerprint is one vectorized
+pass: with the paper's fingerprint normalization and footnote-2 swap
+rule, Algorithm 3 reduces to ``(min(w_fp, w_probe) - |fp & probe|) /
+min(w_fp, w_probe)`` — intersection counts are the only bit work.
+
+Fusion is score-level, the standard late-fusion recipe: each
+modality's distance is normalized by that modality's acceptance
+threshold (so 1.0 always means "at the rejection line"), and the fused
+score is the weighted mean of normalized scores.  A fused score below
+1.0 accepts.  Because the normalized scores are comparable across
+channels, a stale decay distance drifting past its threshold is
+outvoted by startup/rowhammer scores that stayed small — the mechanism
+behind the fused-accuracy floor the benchmark demonstrates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bits import BitVector
+from repro.core.fingerprint import Fingerprint
+
+#: Byte-wise popcount table (numpy < 2 fallback, mirrors repro.bits).
+_POPCOUNT8 = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint8)
+
+
+def _popcount_rows(words: np.ndarray) -> np.ndarray:
+    """Per-row popcount of a (..., W) uint64 array."""
+    if hasattr(np, "bitwise_count"):  # numpy >= 2.0
+        return np.bitwise_count(words).sum(axis=-1, dtype=np.int64)
+    as_bytes = words.view(np.uint8).reshape(*words.shape[:-1], -1)
+    return _POPCOUNT8[as_bytes].sum(axis=-1, dtype=np.int64)
+
+
+def _packed_words(bits: BitVector, n_words: int) -> np.ndarray:
+    """The vector's uint64 words, zero-padded to ``n_words``."""
+    raw = bits.to_bytes().ljust(n_words * 8, b"\x00")
+    return np.frombuffer(raw, dtype=np.uint64).copy()
+
+
+class PackedFingerprints:
+    """One modality's enrolled fingerprints as a bit matrix.
+
+    Rows are keyed (enrollment keys double as Algorithm 2 priority:
+    earlier row wins distance ties), and :meth:`distances` scores one
+    probe against every row in a single vectorized pass.
+    """
+
+    def __init__(
+        self, entries: Sequence[Tuple[str, Fingerprint]], nbits: int
+    ) -> None:
+        if nbits < 1:
+            raise ValueError("nbits must be positive")
+        self._nbits = nbits
+        self._keys: List[str] = []
+        n_words = (nbits + 63) // 64
+        rows = []
+        weights = []
+        for key, fingerprint in entries:
+            if fingerprint.nbits != nbits:
+                raise ValueError(
+                    f"fingerprint {key!r} covers {fingerprint.nbits} bits, "
+                    f"matrix holds {nbits}"
+                )
+            self._keys.append(key)
+            rows.append(_packed_words(fingerprint.bits, n_words))
+            weights.append(fingerprint.weight)
+        if rows:
+            self._matrix = np.stack(rows)
+        else:
+            self._matrix = np.zeros((0, n_words), dtype=np.uint64)
+        self._weights = np.asarray(weights, dtype=np.int64)
+
+    @property
+    def keys(self) -> List[str]:
+        """Enrollment keys, in row order."""
+        return list(self._keys)
+
+    @property
+    def nbits(self) -> int:
+        """Region size every row covers."""
+        return self._nbits
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def distances(self, probe: BitVector) -> np.ndarray:
+        """Algorithm 3 distance from ``probe`` to every row at once.
+
+        Equivalent to calling :func:`probable_cause_distance` with the
+        default fingerprint normalization per row: the smaller-weight
+        side plays the fingerprint role, so the distance is
+        ``(min_w - intersection) / min_w`` (0.0 when ``min_w`` is 0).
+        """
+        if probe.nbits != self._nbits:
+            raise ValueError(
+                f"probe covers {probe.nbits} bits, matrix holds {self._nbits}"
+            )
+        if not self._keys:
+            return np.zeros(0, dtype=float)
+        probe_words = _packed_words(probe, self._matrix.shape[1])
+        intersections = _popcount_rows(self._matrix & probe_words)
+        min_weight = np.minimum(self._weights, probe.popcount())
+        distances = np.zeros(len(self._keys), dtype=float)
+        nonzero = min_weight > 0
+        distances[nonzero] = (
+            min_weight[nonzero] - intersections[nonzero]
+        ) / min_weight[nonzero]
+        return distances
+
+
+@dataclass(frozen=True)
+class FusedMatch:
+    """Outcome of fused identification of one probe set."""
+
+    key: Optional[str]
+    score: float
+    per_modality: Dict[str, float]
+
+    @property
+    def matched(self) -> bool:
+        """True when the fused score cleared the acceptance line."""
+        return self.key is not None
+
+
+#: Saturation ceiling for one channel's normalized score.  A stale or
+#: adversarial channel can report distances many multiples of its
+#: threshold; without a cap that single channel vetoes the fused
+#: decision no matter how confidently the others match.  The cap is
+#: bounded on both sides.  Below: a spoofer who leaked one modality
+#: presents that channel at score ~0 while the other channels saturate,
+#: so with three equal weights rejection needs ``2*cap/3 >= 1``, i.e.
+#: ``cap >= 1.5`` — any lower and a single leaked channel defeats
+#: fusion outright.  Above: a genuine device whose decay channel went
+#: fully stale (saturated) is accepted only while its two healthy
+#: channels sum below ``3 - cap``, so every increment of the cap eats
+#: directly into the drift budget of the channels that still work.
+#: 1.6 keeps the replay veto with margin while leaving the healthy
+#: channels a 1.4 budget — enough that multi-epoch rowhammer drift
+#: does not push genuine tail devices over the line.
+SCORE_CAP = 1.6
+
+
+def fused_scores(
+    distance_rows: Mapping[str, np.ndarray],
+    thresholds: Mapping[str, float],
+    weights: Optional[Mapping[str, float]] = None,
+    cap: float = SCORE_CAP,
+) -> np.ndarray:
+    """Weighted mean of threshold-normalized, saturated distances.
+
+    ``distance_rows`` maps modality -> distance vector over a shared
+    candidate order.  Each vector is divided by its modality's
+    threshold (so every channel contributes on the same "1.0 = the
+    rejection line" scale regardless of its raw distance range), then
+    clipped at ``cap`` before averaging — see :data:`SCORE_CAP` for
+    why saturation is what makes fusion degrade gracefully as one
+    modality goes stale.  Missing weights default to equal weighting.
+    """
+    if not distance_rows:
+        raise ValueError("need at least one modality")
+    if cap <= 1.0:
+        raise ValueError("cap must exceed 1.0 (the rejection line)")
+    total_weight = 0.0
+    fused: Optional[np.ndarray] = None
+    for modality, distances in distance_rows.items():
+        threshold = thresholds[modality]
+        if threshold <= 0.0:
+            raise ValueError(
+                f"threshold for {modality!r} must be positive"
+            )
+        weight = 1.0 if weights is None else float(weights[modality])
+        if weight < 0.0:
+            raise ValueError(f"weight for {modality!r} must be >= 0")
+        normalized = np.minimum(
+            np.asarray(distances, dtype=float) / threshold, cap
+        )
+        contribution = weight * normalized
+        fused = contribution if fused is None else fused + contribution
+        total_weight += weight
+    assert fused is not None
+    if total_weight <= 0.0:
+        raise ValueError("at least one modality weight must be positive")
+    return fused / total_weight
+
+
+def identify_fused(
+    probes: Mapping[str, BitVector],
+    packs: Mapping[str, PackedFingerprints],
+    thresholds: Mapping[str, float],
+    weights: Optional[Mapping[str, float]] = None,
+) -> FusedMatch:
+    """Identify one device from per-modality probes via score fusion.
+
+    All packs must share one candidate key order (the engine rebuilds
+    them together).  Returns the best candidate and its fused score;
+    ``key`` is None when even the best fused score is >= 1.0 (every
+    modality consensus says reject).  Ties go to the earlier row,
+    matching Algorithm 2's enrollment-order priority.
+    """
+    modalities = [m for m in packs if m in probes]
+    if not modalities:
+        raise ValueError("no modality present in both probes and packs")
+    reference_keys = packs[modalities[0]].keys
+    for modality in modalities[1:]:
+        if packs[modality].keys != reference_keys:
+            raise ValueError("packs disagree on candidate key order")
+    if not reference_keys:
+        return FusedMatch(key=None, score=float("inf"), per_modality={})
+    rows = {
+        modality: packs[modality].distances(probes[modality])
+        for modality in modalities
+    }
+    fused = fused_scores(rows, thresholds, weights)
+    best = int(np.argmin(fused))
+    score = float(fused[best])
+    per_modality = {
+        modality: float(rows[modality][best]) for modality in modalities
+    }
+    return FusedMatch(
+        key=reference_keys[best] if score < 1.0 else None,
+        score=score,
+        per_modality=per_modality,
+    )

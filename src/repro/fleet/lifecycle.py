@@ -1,0 +1,221 @@
+"""Fleet lifecycle: simulated time, aging, seasonality, churn.
+
+Everything here runs on **simulated** time.  :class:`FleetClock` is an
+epoch counter with a fixed epoch duration; no wall clock is consulted
+anywhere in the package (REP006 — ``obs/clock.py`` owns the only
+sanctioned wall-clock seam, and the engine uses it solely to time its
+own execution for metrics, never to drive the simulation).
+
+The lifecycle model owns three physical processes:
+
+* **Aging** — each epoch every active chip's per-cell log retention
+  takes one step of a random walk with drift
+  (:meth:`~repro.dram.chip.DRAMChip.age_retention`).  Negative drift
+  models global wear-out; the per-cell component reorders the
+  retention tail, which is what makes decay fingerprints go stale even
+  though the oracle controller recalibrates the decay interval.
+* **Seasonality** — ambient temperature follows a sinusoid around the
+  base.  The adaptive/oracle controllers recalibrate per probe, so
+  seasonality mostly cancels for decay accuracy; it is kept because it
+  exercises exactly that recalibration under a drifting environment.
+* **Churn** — each epoch a seeded fraction of active devices is
+  decommissioned, a fraction of previously decommissioned devices
+  returns (re-enrollment), and a fraction of fleet size arrives as
+  brand-new devices.  Decommissioned devices keep their chips: a
+  returning device is the *same physical chip*, aged in the meantime,
+  which is what makes first-enrolled-wins identity meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.dram.chip import DRAMChip
+from repro.dram.devices import DeviceSpec
+
+
+class FleetClock:
+    """Simulated time as an epoch counter with fixed epoch length."""
+
+    def __init__(self, epoch_duration_s: float) -> None:
+        if epoch_duration_s <= 0.0:
+            raise ValueError("epoch_duration_s must be positive")
+        self._epoch_duration_s = float(epoch_duration_s)
+        self._epoch = 0
+
+    @property
+    def epoch(self) -> int:
+        """Current epoch index (starts at 0)."""
+        return self._epoch
+
+    @property
+    def now_s(self) -> float:
+        """Simulated seconds since the fleet came up."""
+        return self._epoch * self._epoch_duration_s
+
+    @property
+    def epoch_duration_s(self) -> float:
+        """Length of one epoch in simulated seconds."""
+        return self._epoch_duration_s
+
+    def advance(self) -> int:
+        """Step to the next epoch; returns the new epoch index."""
+        self._epoch += 1
+        return self._epoch
+
+
+@dataclass
+class FleetDevice:
+    """One device's identity and lifecycle state.
+
+    ``device_id`` is the *identity* — it never changes, not across
+    refreshes, decommissions or re-enrollments (first-enrolled-wins).
+    ``generation`` counts enrollments of that identity (0 for the
+    original), which versions the storage keys; ``chip`` is the
+    physical substrate and survives decommissioning.
+    """
+
+    device_id: str
+    chip: DRAMChip
+    enrolled_epoch: int
+    generation: int = 0
+    active: bool = True
+    decommissioned_epoch: Optional[int] = None
+
+    @property
+    def storage_key(self) -> str:
+        """Versioned store key for the device's current enrollment.
+
+        Generation 0 uses the bare identity so the flat decay path and
+        the fleet path produce identical stores for a churn-free fleet;
+        later generations append ``#rN`` because the sharded store
+        rejects re-ingesting a live key — identity stays the base key.
+        """
+        if self.generation == 0:
+            return self.device_id
+        return f"{self.device_id}#r{self.generation}"
+
+
+def base_key(storage_key: str) -> str:
+    """Strip the re-enrollment version suffix off a storage key."""
+    return storage_key.split("#", 1)[0]
+
+
+@dataclass(frozen=True)
+class LifecycleParams:
+    """Knobs of the aging / seasonality / churn processes."""
+
+    aging_sigma: float = 0.05
+    aging_drift: float = -0.01
+    season_amplitude_c: float = 10.0
+    season_period_epochs: int = 4
+    base_temperature_c: float = 20.0
+    churn_fraction: float = 0.05
+    reenroll_fraction: float = 0.5
+    arrival_fraction: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.aging_sigma < 0.0:
+            raise ValueError("aging_sigma must be >= 0")
+        if self.season_period_epochs < 1:
+            raise ValueError("season_period_epochs must be >= 1")
+        for name in ("churn_fraction", "reenroll_fraction", "arrival_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+
+
+class LifecycleModel:
+    """Applies the lifecycle processes to a fleet, one epoch at a time.
+
+    All randomness flows through the generator handed to each method —
+    the engine derives it from the scenario seed, so two runs with the
+    same seed make identical lifecycle decisions.
+    """
+
+    def __init__(self, params: LifecycleParams, spec: DeviceSpec) -> None:
+        self._params = params
+        self._spec = spec
+        self._next_device = 0
+
+    @property
+    def params(self) -> LifecycleParams:
+        """The lifecycle knobs this model runs with."""
+        return self._params
+
+    # -- device manufacturing ------------------------------------------
+
+    def new_device(
+        self, epoch: int, rng: np.random.Generator
+    ) -> FleetDevice:
+        """Manufacture and enroll-register one brand-new device."""
+        index = self._next_device
+        self._next_device += 1
+        chip_seed = int(rng.integers(1, 2**31 - 1))
+        device_id = f"dev-{index:05d}"
+        chip = DRAMChip(
+            self._spec,
+            chip_seed=chip_seed,
+            label=device_id,
+        )
+        return FleetDevice(
+            device_id=device_id, chip=chip, enrolled_epoch=epoch
+        )
+
+    def build_fleet(
+        self, n_devices: int, rng: np.random.Generator
+    ) -> List[FleetDevice]:
+        """Manufacture the initial population at epoch 0."""
+        return [self.new_device(0, rng) for _ in range(n_devices)]
+
+    # -- per-epoch physics ---------------------------------------------
+
+    def temperature_at(self, epoch: int) -> float:
+        """Ambient temperature for ``epoch`` (seasonal sinusoid)."""
+        phase = 2.0 * np.pi * epoch / self._params.season_period_epochs
+        return float(
+            self._params.base_temperature_c
+            + self._params.season_amplitude_c * np.sin(phase)
+        )
+
+    def age_device(
+        self, device: FleetDevice, rng: np.random.Generator
+    ) -> None:
+        """One epoch of retention drift on the device's chip."""
+        n_cells = device.chip.geometry.total_bits
+        shift = rng.normal(
+            self._params.aging_drift, self._params.aging_sigma, n_cells
+        )
+        device.chip.age_retention(shift)
+
+    # -- churn decisions -----------------------------------------------
+
+    def select_churned(
+        self, active: List[FleetDevice], rng: np.random.Generator
+    ) -> List[FleetDevice]:
+        """Devices decommissioned this epoch (seeded sample)."""
+        count = int(round(self._params.churn_fraction * len(active)))
+        if count == 0 or not active:
+            return []
+        chosen = rng.choice(len(active), size=min(count, len(active)), replace=False)
+        return [active[int(i)] for i in sorted(chosen)]
+
+    def select_returning(
+        self, inactive: List[FleetDevice], rng: np.random.Generator
+    ) -> List[FleetDevice]:
+        """Previously decommissioned devices that re-enroll this epoch."""
+        if not inactive:
+            return []
+        mask = rng.random(len(inactive)) < self._params.reenroll_fraction
+        return [device for device, hit in zip(inactive, mask) if hit]
+
+    def arrival_count(
+        self, fleet_size: int, rng: np.random.Generator
+    ) -> int:
+        """Number of brand-new devices arriving this epoch."""
+        expected = self._params.arrival_fraction * fleet_size
+        base = int(expected)
+        return base + (1 if rng.random() < expected - base else 0)

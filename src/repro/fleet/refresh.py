@@ -1,0 +1,154 @@
+"""Fingerprint staleness accounting and the refresh policy.
+
+A fingerprint enrolled at epoch E and probed at epoch E+k has aged k
+epochs of retention drift; its within-class distance grows with k until
+it crosses the acceptance threshold and the device becomes
+unidentifiable by that modality.  Refreshing — re-running enrollment at
+the device's current state — resets staleness to zero at a measurable
+cost (each modality's ``enroll_cost`` counts the measurements its
+characterization campaign consumes).  The policy trades those off:
+refresh everything every epoch and accuracy stays at day-one levels
+while cost explodes; never refresh and decay accuracy decays with the
+fleet.  The benchmark sweeps this knob.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.fleet.lifecycle import FleetDevice
+
+
+@dataclass(frozen=True)
+class RefreshPolicy:
+    """When to re-enroll a device's fingerprints.
+
+    Parameters
+    ----------
+    max_staleness_epochs:
+        Refresh a device once its fingerprints are at least this many
+        epochs old.  0 disables refreshing entirely (the policy never
+        selects anything), letting scenarios measure raw staleness.
+    budget_per_epoch:
+        Optional cap on refreshes per epoch; the stalest devices win.
+    """
+
+    max_staleness_epochs: int = 0
+    budget_per_epoch: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_staleness_epochs < 0:
+            raise ValueError("max_staleness_epochs must be >= 0")
+        if self.budget_per_epoch is not None and self.budget_per_epoch < 0:
+            raise ValueError("budget_per_epoch must be >= 0")
+
+    @property
+    def enabled(self) -> bool:
+        """True when the policy can ever select a device."""
+        return self.max_staleness_epochs > 0
+
+
+class StalenessTracker:
+    """Per-device fingerprint ages plus the refresh cost ledger.
+
+    The tracker never touches chips or stores; it answers "how old is
+    this device's enrollment" and records what refreshing has cost so
+    the report can state the accuracy-vs-cost tradeoff in one place.
+    """
+
+    def __init__(self) -> None:
+        self._enrolled_epoch: Dict[str, int] = {}
+        self._refreshes = 0
+        self._cost_measurements = 0
+
+    # -- bookkeeping ---------------------------------------------------
+
+    def record_enrollment(self, device_id: str, epoch: int) -> None:
+        """Device (re-)enrolled at ``epoch``: staleness restarts."""
+        self._enrolled_epoch[device_id] = epoch
+
+    def record_refresh(
+        self, device_id: str, epoch: int, cost_measurements: int
+    ) -> None:
+        """Device refreshed at ``epoch`` for ``cost_measurements``."""
+        if device_id not in self._enrolled_epoch:
+            raise KeyError(f"device {device_id!r} was never enrolled")
+        self._enrolled_epoch[device_id] = epoch
+        self._refreshes += 1
+        self._cost_measurements += cost_measurements
+
+    def forget(self, device_id: str) -> None:
+        """Drop a decommissioned device from staleness accounting."""
+        self._enrolled_epoch.pop(device_id, None)
+
+    # -- queries -------------------------------------------------------
+
+    def staleness(self, device_id: str, epoch: int) -> int:
+        """Epochs since the device's last enrollment or refresh."""
+        enrolled = self._enrolled_epoch[device_id]
+        return max(0, epoch - enrolled)
+
+    def tracked(self) -> List[str]:
+        """Device ids currently under staleness accounting."""
+        return sorted(self._enrolled_epoch)
+
+    @property
+    def refreshes(self) -> int:
+        """Total refreshes performed."""
+        return self._refreshes
+
+    @property
+    def cost_measurements(self) -> int:
+        """Total measurements spent on refreshes."""
+        return self._cost_measurements
+
+    def select_for_refresh(
+        self,
+        policy: RefreshPolicy,
+        devices: List[FleetDevice],
+        epoch: int,
+    ) -> List[FleetDevice]:
+        """Devices the policy refreshes this epoch, stalest first.
+
+        Ties in staleness break by device id so the selection is
+        deterministic regardless of input order.
+        """
+        if not policy.enabled:
+            return []
+        due = [
+            device
+            for device in devices
+            if device.active
+            and self.staleness(device.device_id, epoch)
+            >= policy.max_staleness_epochs
+        ]
+        due.sort(
+            key=lambda device: (
+                -self.staleness(device.device_id, epoch),
+                device.device_id,
+            )
+        )
+        if policy.budget_per_epoch is not None:
+            due = due[: policy.budget_per_epoch]
+        return due
+
+    def summary(self, epoch: int) -> Dict[str, object]:
+        """Staleness distribution and cost totals for the report."""
+        ages = sorted(
+            self.staleness(device_id, epoch)
+            for device_id in self._enrolled_epoch
+        )
+        if ages:
+            mean_age = sum(ages) / len(ages)
+            max_age = ages[-1]
+        else:
+            mean_age = 0.0
+            max_age = 0
+        return {
+            "tracked_devices": len(ages),
+            "mean_staleness_epochs": mean_age,
+            "max_staleness_epochs": max_age,
+            "refreshes_total": self._refreshes,
+            "refresh_cost_measurements": self._cost_measurements,
+        }

@@ -1,0 +1,153 @@
+"""Fleet scenario configuration: one JSON document drives a whole run.
+
+A scenario is everything :class:`~repro.fleet.engine.FleetSimulation`
+needs to be byte-reproducible: one seed, the fleet shape, the modality
+mix, the lifecycle knobs, the refresh policy, and the streaming
+parameters.  ``repro fleet init`` writes one of these; ``repro fleet
+simulate`` loads it; the hypothesis determinism test round-trips it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.dram.devices import get_device
+from repro.fleet.fingerprinters import make_fingerprinter
+from repro.fleet.lifecycle import LifecycleParams
+from repro.fleet.refresh import RefreshPolicy
+
+#: Version stamped into scenario files and reports.
+SCENARIO_SCHEMA_VERSION = 1
+
+#: Modalities a scenario runs when it does not specify its own list.
+DEFAULT_MODALITIES = ("decay", "startup", "rowhammer")
+
+
+@dataclass(frozen=True)
+class FleetScenario:
+    """Complete, serializable description of one fleet simulation."""
+
+    seed: int = 2015
+    n_devices: int = 40
+    n_epochs: int = 4
+    epoch_duration_s: float = 86400.0 * 30.0
+    device: str = "test-1kb"
+    modalities: List[str] = field(
+        default_factory=lambda: list(DEFAULT_MODALITIES)
+    )
+    fusion_weights: Optional[Dict[str, float]] = None
+    probes_per_epoch: int = 1
+    malformed_fraction: float = 0.02
+    spoof_devices: int = 4
+    lifecycle: LifecycleParams = field(default_factory=LifecycleParams)
+    refresh: RefreshPolicy = field(default_factory=RefreshPolicy)
+    stream_batch_size: int = 32
+    checkpoint_every: int = 64
+    interrupt_after_batches: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_devices < 1:
+            raise ValueError("n_devices must be >= 1")
+        if self.n_epochs < 1:
+            raise ValueError("n_epochs must be >= 1")
+        if self.epoch_duration_s <= 0.0:
+            raise ValueError("epoch_duration_s must be positive")
+        if not self.modalities:
+            raise ValueError("need at least one modality")
+        if len(set(self.modalities)) != len(self.modalities):
+            raise ValueError("modalities must be unique")
+        for modality in self.modalities:
+            make_fingerprinter(modality)  # raises on unknown names
+        if self.fusion_weights is not None:
+            unknown = set(self.fusion_weights) - set(self.modalities)
+            if unknown:
+                raise ValueError(
+                    f"fusion weights name unknown modalities: {sorted(unknown)}"
+                )
+        if self.probes_per_epoch < 1:
+            raise ValueError("probes_per_epoch must be >= 1")
+        if not 0.0 <= self.malformed_fraction < 1.0:
+            raise ValueError("malformed_fraction must be in [0, 1)")
+        if self.spoof_devices < 0:
+            raise ValueError("spoof_devices must be >= 0")
+        if self.stream_batch_size < 1:
+            raise ValueError("stream_batch_size must be >= 1")
+        if self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        if self.interrupt_after_batches < 0:
+            raise ValueError("interrupt_after_batches must be >= 0")
+        try:
+            get_device(self.device)
+        except KeyError as error:
+            # KeyError -> ValueError so the CLI renders it as a usage
+            # error instead of a crash.
+            raise ValueError(error.args[0]) from None
+
+    # -- serialization -------------------------------------------------
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON document (schema-versioned, fully plain types)."""
+        payload = asdict(self)
+        payload["schema_version"] = SCENARIO_SCHEMA_VERSION
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, object]) -> "FleetScenario":
+        """Inverse of :meth:`to_json`; tolerant of a missing version."""
+        data = dict(payload)
+        version = data.pop("schema_version", SCENARIO_SCHEMA_VERSION)
+        if version != SCENARIO_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported scenario schema_version {version!r}"
+            )
+        lifecycle = data.pop("lifecycle", None)
+        refresh = data.pop("refresh", None)
+        if lifecycle is not None:
+            data["lifecycle"] = LifecycleParams(**lifecycle)
+        if refresh is not None:
+            data["refresh"] = RefreshPolicy(**refresh)
+        return cls(**data)
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the scenario as pretty, key-sorted JSON."""
+        Path(path).write_text(
+            json.dumps(self.to_json(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "FleetScenario":
+        """Read a scenario written by :meth:`save`."""
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        if not isinstance(payload, dict):
+            raise ValueError(f"{path}: scenario must be a JSON object")
+        return cls.from_json(payload)
+
+
+def default_scenario(**overrides: object) -> FleetScenario:
+    """The documented starter scenario, with keyword overrides.
+
+    Nested lifecycle/refresh fields accept flat overrides too
+    (``churn_fraction=...``, ``max_staleness_epochs=...``) so the CLI
+    can expose them as plain flags.
+    """
+    lifecycle_fields = set(LifecycleParams.__dataclass_fields__)
+    refresh_fields = set(RefreshPolicy.__dataclass_fields__)
+    lifecycle_kwargs = {}
+    refresh_kwargs = {}
+    scenario_kwargs = {}
+    for key, value in overrides.items():
+        if key in lifecycle_fields:
+            lifecycle_kwargs[key] = value
+        elif key in refresh_fields:
+            refresh_kwargs[key] = value
+        else:
+            scenario_kwargs[key] = value
+    if lifecycle_kwargs:
+        scenario_kwargs["lifecycle"] = LifecycleParams(**lifecycle_kwargs)
+    if refresh_kwargs:
+        scenario_kwargs["refresh"] = RefreshPolicy(**refresh_kwargs)
+    return FleetScenario(**scenario_kwargs)  # type: ignore[arg-type]

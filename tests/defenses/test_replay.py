@@ -1,0 +1,80 @@
+"""Replay guard and the spoofing attacker primitives it counters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks import perturbed_probe, replay_probe
+from repro.bits import BitVector
+from repro.core import Fingerprint, probable_cause_distance
+from repro.defenses import (
+    REASON_DIGEST_REPEAT,
+    REASON_TOO_PERFECT,
+    ReplayGuard,
+)
+
+NBITS = 2048
+
+
+def _fingerprint(rng: np.random.Generator) -> Fingerprint:
+    return Fingerprint(bits=BitVector.random(NBITS, rng, density=0.05))
+
+
+class TestAttackPrimitives:
+    def test_replay_is_exact(self, rng: np.random.Generator) -> None:
+        fingerprint = _fingerprint(rng)
+        probe = replay_probe(fingerprint)
+        assert probe.to_bytes() == fingerprint.bits.to_bytes()
+        assert probable_cause_distance(probe, fingerprint) == pytest.approx(
+            0.0
+        )
+        # The replay is a copy, not an alias of the enrolled bits.
+        probe.set(0, not bool(probe.to_bool_array()[0]))
+        assert probe.to_bytes() != fingerprint.bits.to_bytes()
+
+    def test_perturbed_stays_in_genuine_band(
+        self, rng: np.random.Generator
+    ) -> None:
+        fingerprint = _fingerprint(rng)
+        probe = perturbed_probe(fingerprint, rng, drop_fraction=0.05)
+        distance = probable_cause_distance(probe, fingerprint)
+        assert 0.0 < distance < 0.1
+
+
+class TestReplayGuard:
+    def test_too_perfect_floor(self, rng: np.random.Generator) -> None:
+        guard = ReplayGuard(min_distance=0.005)
+        fingerprint = _fingerprint(rng)
+        verdict = guard.check(replay_probe(fingerprint), distance=0.0)
+        assert not verdict.accepted
+        assert verdict.reason == REASON_TOO_PERFECT
+
+    def test_digest_repeat(self, rng: np.random.Generator) -> None:
+        guard = ReplayGuard()
+        probe = BitVector.random(NBITS, rng, density=0.05)
+        assert guard.check(probe, distance=0.02).accepted
+        verdict = guard.check(probe, distance=0.02)
+        assert not verdict.accepted
+        assert verdict.reason == REASON_DIGEST_REPEAT
+        assert guard.observations_seen == 1
+
+    def test_rejected_probe_does_not_poison_history(
+        self, rng: np.random.Generator
+    ) -> None:
+        guard = ReplayGuard(min_distance=0.005)
+        probe = BitVector.random(NBITS, rng, density=0.05)
+        # A replayed copy is rejected on distance; the genuine probe
+        # with the same bytes must still be admissible afterwards.
+        assert not guard.check(probe.copy(), distance=0.0).accepted
+        assert guard.check(probe, distance=0.01).accepted
+
+    def test_genuine_band_accepted(self, rng: np.random.Generator) -> None:
+        guard = ReplayGuard()
+        for _ in range(5):
+            probe = BitVector.random(NBITS, rng, density=0.05)
+            assert guard.check(probe, distance=0.02).accepted
+
+    def test_validation(self) -> None:
+        with pytest.raises(ValueError):
+            ReplayGuard(min_distance=-1.0)

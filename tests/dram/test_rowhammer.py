@@ -1,0 +1,124 @@
+"""Rowhammer bit-flip-location modality: repeatable, chip-unique, slow-drift."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dram import DRAMChip, TEST_DEVICE
+from repro.dram.rowhammer import (
+    RowhammerModel,
+    default_aggressor_rows,
+    hammer_susceptibility,
+    hammer_trial,
+    victim_rows,
+)
+
+
+def _chip(seed: int = 7) -> DRAMChip:
+    return DRAMChip(TEST_DEVICE, chip_seed=seed)
+
+
+def _flips(chip: DRAMChip, rng: np.random.Generator) -> set:
+    aggressors = default_aggressor_rows(chip.geometry)
+    return set(hammer_trial(chip, aggressors, rng).to_indices().tolist())
+
+
+class TestVictimRows:
+    def test_adjacency(self) -> None:
+        geometry = TEST_DEVICE.geometry
+        assert victim_rows(geometry, [5]) == [4, 6]
+
+    def test_aggressors_excluded(self) -> None:
+        geometry = TEST_DEVICE.geometry
+        assert victim_rows(geometry, [5, 6]) == [4, 7]
+
+    def test_edges_clipped(self) -> None:
+        geometry = TEST_DEVICE.geometry
+        assert victim_rows(geometry, [0]) == [1]
+        assert victim_rows(geometry, [geometry.rows - 1]) == [
+            geometry.rows - 2
+        ]
+
+    def test_out_of_range_rejected(self) -> None:
+        with pytest.raises(IndexError):
+            victim_rows(TEST_DEVICE.geometry, [TEST_DEVICE.geometry.rows])
+
+    def test_default_aggressors_valid(self) -> None:
+        geometry = TEST_DEVICE.geometry
+        rows = default_aggressor_rows(geometry)
+        assert rows and all(0 <= r < geometry.rows for r in rows)
+        with pytest.raises(ValueError):
+            default_aggressor_rows(geometry, stride=1)
+
+
+class TestSusceptibility:
+    def test_deterministic_per_chip(self) -> None:
+        assert np.array_equal(
+            hammer_susceptibility(_chip()), hammer_susceptibility(_chip())
+        )
+
+    def test_chip_unique(self) -> None:
+        a = hammer_susceptibility(_chip(1))
+        b = hammer_susceptibility(_chip(2))
+        assert abs(float(np.corrcoef(a, b)[0, 1])) < 0.2
+
+    def test_aging_shifts_correlated_part(
+        self, rng: np.random.Generator
+    ) -> None:
+        chip = _chip()
+        before = hammer_susceptibility(chip)
+        chip.age_retention(rng.normal(0.0, 0.3, chip.geometry.total_bits))
+        after = hammer_susceptibility(chip)
+        assert not np.array_equal(before, after)
+        # The chip-unique component dominates, so aging perturbs but
+        # does not decorrelate — the slow-drift property.
+        assert float(np.corrcoef(before, after)[0, 1]) > 0.9
+
+    def test_model_validation(self) -> None:
+        with pytest.raises(ValueError):
+            RowhammerModel(flip_fraction=0.0)
+        with pytest.raises(ValueError):
+            RowhammerModel(retention_weight=1.0)
+        with pytest.raises(ValueError):
+            RowhammerModel(noise_sigma=-0.1)
+
+
+class TestHammerTrial:
+    def test_flips_only_in_victim_rows(
+        self, rng: np.random.Generator
+    ) -> None:
+        chip = _chip()
+        geometry = chip.geometry
+        aggressors = default_aggressor_rows(geometry)
+        victims = set(victim_rows(geometry, aggressors))
+        flips = hammer_trial(chip, aggressors, rng)
+        rows = {geometry.row_of_bit(int(i)) for i in flips.to_indices()}
+        assert flips.popcount() > 0
+        assert rows <= victims
+
+    def test_repeatable_within_chip(self) -> None:
+        chip = _chip()
+        a = _flips(chip, np.random.default_rng(1))
+        b = _flips(chip, np.random.default_rng(2))
+        overlap = len(a & b) / max(1, min(len(a), len(b)))
+        assert overlap > 0.8
+
+    def test_distinct_across_chips(self) -> None:
+        rng = np.random.default_rng(3)
+        a = _flips(_chip(1), rng)
+        b = _flips(_chip(2), rng)
+        overlap = len(a & b) / max(1, min(len(a), len(b)))
+        assert overlap < 0.2
+
+    def test_drifts_slower_than_decay(self) -> None:
+        chip = _chip()
+        before = _flips(chip, np.random.default_rng(4))
+        chip.age_retention(
+            np.random.default_rng(5).normal(
+                0.0, 0.3, chip.geometry.total_bits
+            )
+        )
+        after = _flips(chip, np.random.default_rng(6))
+        overlap = len(before & after) / max(1, min(len(before), len(after)))
+        assert overlap > 0.7

@@ -1,0 +1,94 @@
+"""Startup-value modality: chip-unique, manufacturing-locked, aging-immune."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dram import DRAMChip, TEST_DEVICE
+from repro.dram.startup import (
+    DEFAULT_STARTUP_MODEL,
+    StartupModel,
+    origin_statistics,
+    startup_read,
+    startup_structure,
+)
+
+
+def _chip(seed: int = 7) -> DRAMChip:
+    return DRAMChip(TEST_DEVICE, chip_seed=seed)
+
+
+class TestStartupStructure:
+    def test_deterministic_per_chip(self) -> None:
+        preferred_a, weak_a = startup_structure(_chip())
+        preferred_b, weak_b = startup_structure(_chip())
+        assert np.array_equal(preferred_a, preferred_b)
+        assert np.array_equal(weak_a, weak_b)
+
+    def test_chip_unique(self) -> None:
+        preferred_a, _ = startup_structure(_chip(1))
+        preferred_b, _ = startup_structure(_chip(2))
+        disagreement = np.mean(preferred_a != preferred_b)
+        # Each chip inverts ~30% of its biased cells independently, so
+        # two chips disagree on a large, stable fraction of cells.
+        assert disagreement > 0.2
+
+    def test_weak_fraction(self) -> None:
+        _, weak = startup_structure(_chip())
+        fraction = weak.mean()
+        assert 0.02 < fraction < 0.09
+
+    def test_model_validation(self) -> None:
+        with pytest.raises(ValueError):
+            StartupModel(weak_fraction=1.5)
+        with pytest.raises(ValueError):
+            StartupModel(invert_fraction=-0.1)
+
+
+class TestStartupRead:
+    def test_stable_cells_match_structure(
+        self, rng: np.random.Generator
+    ) -> None:
+        chip = _chip()
+        preferred, weak = startup_structure(chip)
+        read = startup_read(chip, rng).to_bool_array()
+        stable = ~weak
+        assert np.array_equal(read[stable], preferred[stable])
+
+    def test_weak_cells_reroll(self, rng: np.random.Generator) -> None:
+        chip = _chip()
+        _, weak = startup_structure(chip)
+        reads = np.stack(
+            [startup_read(chip, rng).to_bool_array() for _ in range(8)]
+        )
+        varies = np.any(reads != reads[0], axis=0)
+        # Only weak cells may vary, and most weak cells do across 8 reads.
+        assert not np.any(varies & ~weak)
+        assert varies[weak].mean() > 0.9
+
+    def test_aging_immune(self, rng: np.random.Generator) -> None:
+        chip = _chip()
+        preferred, weak = startup_structure(chip)
+        chip.age_retention(rng.normal(-0.5, 0.3, chip.geometry.total_bits))
+        read = startup_read(chip, rng).to_bool_array()
+        # Retention aging must not move startup values: they are set by
+        # manufacturing-time transistor mismatch, not by leakage.
+        assert np.array_equal(read[~weak], preferred[~weak])
+
+
+class TestOriginStatistics:
+    def test_matches_family_model(self, rng: np.random.Generator) -> None:
+        stats = origin_statistics(_chip(), rng, reads=4)
+        assert abs(stats.z_score(DEFAULT_STARTUP_MODEL)) < 0.1
+
+    def test_flags_foreign_model(self, rng: np.random.Generator) -> None:
+        stats = origin_statistics(_chip(), rng, reads=4)
+        counterfeit = StartupModel(weak_fraction=0.05, invert_fraction=0.6)
+        assert abs(stats.z_score(counterfeit)) > 0.3
+
+    def test_flaky_fraction_tracks_weak_cells(
+        self, rng: np.random.Generator
+    ) -> None:
+        stats = origin_statistics(_chip(), rng, reads=6)
+        assert 0.01 < stats.flaky_fraction < 0.09

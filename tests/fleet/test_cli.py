@@ -1,0 +1,115 @@
+"""``repro fleet`` CLI: init / simulate / report, artifacts, exit codes."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+from repro.fleet import FleetScenario
+
+
+def _init_args(path, **extra):
+    args = ["fleet", "init", str(path), "--devices", "6", "--epochs", "2"]
+    for flag, value in extra.items():
+        args.extend([flag, str(value)])
+    return args
+
+
+class TestInit:
+    def test_writes_scenario(self, tmp_path, capsys) -> None:
+        path = tmp_path / "scenario.json"
+        assert main(_init_args(path, **{"--seed": 99})) == 0
+        scenario = FleetScenario.load(path)
+        assert scenario.seed == 99
+        assert scenario.n_devices == 6
+        assert "scenario written" in capsys.readouterr().out
+
+    def test_refuses_overwrite_without_force(
+        self, tmp_path, capsys
+    ) -> None:
+        path = tmp_path / "scenario.json"
+        assert main(_init_args(path)) == 0
+        assert main(_init_args(path)) == 2
+        assert "already exists" in capsys.readouterr().err
+        assert main(_init_args(path) + ["--force"]) == 0
+
+    def test_unknown_device_is_usage_error(self, tmp_path, capsys) -> None:
+        path = tmp_path / "scenario.json"
+        assert main(_init_args(path, **{"--device": "bogus"})) == 2
+
+    def test_modalities_flag(self, tmp_path) -> None:
+        path = tmp_path / "scenario.json"
+        assert (
+            main(_init_args(path) + ["--modalities", "decay,startup"]) == 0
+        )
+        assert FleetScenario.load(path).modalities == ["decay", "startup"]
+
+
+class TestSimulateAndReport:
+    def test_end_to_end(self, tmp_path, capsys) -> None:
+        scenario_path = tmp_path / "scenario.json"
+        out_dir = tmp_path / "run"
+        obs_dir = tmp_path / "obs"
+        assert main(_init_args(scenario_path, **{"--spoof-devices": "2"})) == 0
+        code = main(
+            [
+                "fleet",
+                "simulate",
+                "--scenario",
+                str(scenario_path),
+                "--out",
+                str(out_dir),
+                "--obs-dir",
+                str(obs_dir),
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "fleet simulated" in output
+
+        # Artifacts: report, durable store, stream state, observability.
+        report_path = out_dir / "report.json"
+        assert report_path.exists()
+        document = json.loads(report_path.read_text())
+        assert document["schema_version"] == 1
+        assert len(document["epochs"]) == 2
+        assert (out_dir / "store").is_dir()
+        assert (out_dir / "stream" / "epoch-000" / "results.jsonl").exists()
+        metrics_text = (obs_dir / "metrics.prom").read_text()
+        assert "repro_fleet_epochs_total" in metrics_text
+        assert "repro_fleet_accuracy_fused" in metrics_text
+        assert (obs_dir / "trace.jsonl").exists()
+
+        assert main(["fleet", "report", "--out", str(out_dir)]) == 0
+        summary = capsys.readouterr().out
+        assert "epoch 0" in summary and "spoofing:" in summary
+
+    def test_report_json_mode(self, tmp_path, capsys) -> None:
+        scenario_path = tmp_path / "scenario.json"
+        out_dir = tmp_path / "run"
+        assert main(_init_args(scenario_path, **{"--epochs": "1"})) == 0
+        assert (
+            main(
+                [
+                    "fleet",
+                    "simulate",
+                    "--scenario",
+                    str(scenario_path),
+                    "--out",
+                    str(out_dir),
+                    "--quiet",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert (
+            main(["fleet", "report", "--out", str(out_dir), "--json"]) == 0
+        )
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema_version"] == 1
+
+    def test_report_missing_is_usage_error(self, tmp_path, capsys) -> None:
+        assert main(["fleet", "report", "--out", str(tmp_path)]) == 2
+        assert "no fleet report" in capsys.readouterr().err

@@ -1,0 +1,200 @@
+"""FleetSimulation end-to-end properties: determinism, identity, fusion."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.fleet import FleetSimulation, default_scenario
+from repro.fleet.lifecycle import base_key
+from repro.obs import MetricsRegistry
+
+
+def _run(scenario, tmp_path, name: str):
+    simulation = FleetSimulation(
+        scenario, tmp_path / name, registry=MetricsRegistry()
+    )
+    return simulation, simulation.run()
+
+
+class TestDeterminism:
+    @settings(
+        max_examples=3,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    def test_same_seed_same_report(self, seed: int, tmp_path) -> None:
+        """S2: two same-seed runs must produce byte-identical reports."""
+        scenario = default_scenario(
+            seed=seed,
+            n_devices=6,
+            n_epochs=2,
+            spoof_devices=2,
+            churn_fraction=0.2,
+            max_staleness_epochs=1,
+        )
+        _, report_a = _run(scenario, tmp_path, f"a{seed}")
+        _, report_b = _run(scenario, tmp_path, f"b{seed}")
+        bytes_a = json.dumps(report_a.to_json(), sort_keys=True)
+        bytes_b = json.dumps(report_b.to_json(), sort_keys=True)
+        assert bytes_a == bytes_b
+
+    def test_different_seeds_differ(self, tmp_path) -> None:
+        scenario_a = default_scenario(seed=1, n_devices=6, n_epochs=1)
+        scenario_b = default_scenario(seed=2, n_devices=6, n_epochs=1)
+        _, report_a = _run(scenario_a, tmp_path, "a")
+        _, report_b = _run(scenario_b, tmp_path, "b")
+        assert json.dumps(report_a.to_json(), sort_keys=True) != json.dumps(
+            report_b.to_json(), sort_keys=True
+        )
+
+
+class TestIdentity:
+    def test_reenrollment_is_first_enrolled_wins(self, tmp_path) -> None:
+        """S3: churn + return never duplicates or loses an identity."""
+        scenario = default_scenario(
+            seed=11,
+            n_devices=10,
+            n_epochs=4,
+            churn_fraction=0.3,
+            reenroll_fraction=1.0,
+            arrival_fraction=0.0,
+            spoof_devices=0,
+        )
+        simulation, report = _run(scenario, tmp_path, "identity")
+        assert sum(record.reenrolled for record in report.epochs) > 0
+
+        devices = simulation.devices
+        keys = simulation.enrolled_keys
+        # Exactly one live enrollment per active identity, none for
+        # parked devices, and every key resolves to its first identity.
+        bases = [base_key(key) for key in keys]
+        assert len(bases) == len(set(bases))
+        active_ids = {
+            device_id
+            for device_id, device in devices.items()
+            if device.active
+        }
+        assert set(bases) == active_ids
+        for key in keys:
+            device = devices[base_key(key)]
+            assert key == device.storage_key
+        # No arrivals: the identity space never grew.
+        assert len(devices) == scenario.n_devices
+
+    def test_refresh_versions_storage_keys(self, tmp_path) -> None:
+        scenario = default_scenario(
+            seed=12,
+            n_devices=5,
+            n_epochs=3,
+            churn_fraction=0.0,
+            arrival_fraction=0.0,
+            max_staleness_epochs=1,
+            spoof_devices=0,
+        )
+        simulation, report = _run(scenario, tmp_path, "refresh")
+        refreshed = sum(record.refreshed for record in report.epochs)
+        assert refreshed > 0
+        assert sum(
+            record.refresh_cost_measurements for record in report.epochs
+        ) == pytest.approx(9 * refreshed)  # 3 modalities x 3 measurements
+        # Every device was refreshed at least once -> versioned keys.
+        assert all("#r" in key for key in simulation.enrolled_keys)
+        final = report.final_epoch.staleness
+        assert final["refreshes_total"] == refreshed
+
+    def test_staleness_grows_without_refresh(self, tmp_path) -> None:
+        scenario = default_scenario(
+            seed=13,
+            n_devices=4,
+            n_epochs=3,
+            churn_fraction=0.0,
+            arrival_fraction=0.0,
+            spoof_devices=0,
+        )
+        _, report = _run(scenario, tmp_path, "stale")
+        staleness = [
+            record.staleness["max_staleness_epochs"]
+            for record in report.epochs
+        ]
+        assert staleness == [0, 1, 2]
+
+
+class TestFusionAccuracy:
+    def test_fused_beats_stale_decay_on_200_device_fleet(
+        self, tmp_path
+    ) -> None:
+        """S3 acceptance: fused accuracy >= every single modality, and the
+        fleet degrades gracefully (no crash, quarantine accounted) as
+        decay goes stale on a seeded 200-device fleet."""
+        scenario = default_scenario(
+            seed=2015,
+            n_devices=200,
+            n_epochs=2,
+            aging_sigma=0.25,
+            aging_drift=-0.05,
+            churn_fraction=0.05,
+            spoof_devices=4,
+        )
+        _, report = _run(scenario, tmp_path, "fleet200")
+        for record in report.epochs:
+            assert record.fused_accuracy >= max(record.accuracy.values()) - 1e-9
+            assert record.stream["status"] == "completed"
+        final = report.final_epoch
+        # Decay went stale; fusion held the line.
+        assert final.accuracy["decay"] < 0.5
+        assert final.fused_accuracy > 0.9
+        # The interrupted stream leg resumed: two runs, checkpoints taken.
+        assert final.stream["runs"] == 2
+        assert final.stream["checkpoints"] >= 2
+        assert final.stream["observations"] >= final.active_devices
+
+    def test_spoofing_defenses_hold(self, tmp_path) -> None:
+        scenario = default_scenario(
+            seed=21, n_devices=8, n_epochs=2, spoof_devices=3
+        )
+        _, report = _run(scenario, tmp_path, "spoof")
+        total = report.spoofing_total
+        assert total["attempts"] > 0
+        # Replay always fools single-modality matching but never the
+        # guard; perturbed forgeries evade the guard but never fused
+        # multi-modality verification.
+        assert total["replay_accepted_single"] == total["attempts"]
+        assert total["replay_accepted_guarded"] == 0
+        assert total["replay_accepted_fused"] == 0
+        assert total["perturbed_accepted_fused"] == 0
+
+
+class TestObservability:
+    def test_fleet_metrics_registered_and_updated(self, tmp_path) -> None:
+        registry = MetricsRegistry()
+        scenario = default_scenario(
+            seed=31, n_devices=5, n_epochs=2, spoof_devices=2
+        )
+        FleetSimulation(scenario, tmp_path / "obs", registry=registry).run()
+        snapshot = {
+            family.name: family
+            for family in registry.collect()
+        }
+        assert "repro_fleet_epochs_total" in snapshot
+        assert "repro_fleet_devices" in snapshot
+        assert "repro_fleet_accuracy_fused" in snapshot
+        assert "repro_fleet_accuracy_decay" in snapshot
+        epochs = snapshot["repro_fleet_epochs_total"].samples[0].value
+        assert epochs == pytest.approx(2.0)
+
+    def test_report_round_trip(self, tmp_path) -> None:
+        from repro.fleet.engine import FleetReport
+
+        scenario = default_scenario(seed=41, n_devices=4, n_epochs=1)
+        _, report = _run(scenario, tmp_path, "rt")
+        path = tmp_path / "report.json"
+        report.save(path)
+        document = FleetReport.load(path)
+        assert document["schema_version"] == 1
+        assert len(document["epochs"]) == 1
+        trajectories = report.accuracy_by_modality()
+        assert set(trajectories) == set(scenario.modalities)

@@ -1,0 +1,101 @@
+"""Fingerprinter protocol conformance and the decay byte-identity regression."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import characterize_trials, dumps_fingerprint
+from repro.dram import (
+    DRAMChip,
+    ExperimentPlatform,
+    TEST_DEVICE,
+    TrialConditions,
+)
+from repro.fleet import (
+    DecayFingerprinter,
+    Fingerprinter,
+    RowhammerFingerprinter,
+    StartupFingerprinter,
+    make_fingerprinter,
+)
+
+ALL = (DecayFingerprinter(), StartupFingerprinter(), RowhammerFingerprinter())
+
+
+def _chip(seed: int = 7) -> DRAMChip:
+    return DRAMChip(TEST_DEVICE, chip_seed=seed, label="chip")
+
+
+class TestProtocol:
+    @pytest.mark.parametrize("fp", ALL, ids=lambda f: f.modality)
+    def test_satisfies_protocol(self, fp) -> None:
+        assert isinstance(fp, Fingerprinter)
+        assert fp.threshold > 0.0
+        assert fp.enroll_cost >= 1
+
+    def test_make_fingerprinter(self) -> None:
+        assert make_fingerprinter("decay").modality == "decay"
+        assert make_fingerprinter("startup").modality == "startup"
+        assert make_fingerprinter("rowhammer").modality == "rowhammer"
+        with pytest.raises(ValueError, match="unknown modality"):
+            make_fingerprinter("dreams")
+
+    @pytest.mark.parametrize("fp", ALL, ids=lambda f: f.modality)
+    def test_genuine_probe_matches(self, fp) -> None:
+        chip = _chip()
+        fingerprint = fp.enroll(chip, np.random.default_rng(1))
+        probe = fp.probe(chip, np.random.default_rng(2))
+        assert fp.distance(probe, fingerprint) < fp.threshold
+
+    @pytest.mark.parametrize("fp", ALL, ids=lambda f: f.modality)
+    def test_foreign_probe_rejected(self, fp) -> None:
+        fingerprint = fp.enroll(_chip(1), np.random.default_rng(1))
+        probe = fp.probe(_chip(2), np.random.default_rng(2))
+        assert fp.distance(probe, fingerprint) >= fp.threshold
+
+
+class TestDecayByteIdentity:
+    def test_enroll_is_byte_identical_to_flat_path(self) -> None:
+        """S1 regression: the protocol wrapper must not change Algorithm 1.
+
+        Two identically manufactured chips, one enrolled through
+        ``DecayFingerprinter``, the other through the flat
+        ``run_trials`` + ``characterize_trials`` path: the serialized
+        fingerprints must agree byte for byte.
+        """
+        fp = DecayFingerprinter()
+        via_protocol = fp.enroll(
+            _chip(), np.random.default_rng(0), temperature_c=20.0
+        )
+
+        flat_chip = _chip()
+        platform = ExperimentPlatform(flat_chip)
+        conditions = TrialConditions(accuracy=fp.accuracy, temperature_c=20.0)
+        via_flat = characterize_trials(
+            platform.run_trials([conditions] * fp.trials)
+        )
+
+        assert dumps_fingerprint(via_protocol) == dumps_fingerprint(via_flat)
+
+    def test_probe_is_one_trial_error_string(self) -> None:
+        fp = DecayFingerprinter()
+        probe_chip = _chip()
+        probe = fp.probe(
+            probe_chip, np.random.default_rng(0), temperature_c=20.0
+        )
+
+        flat_chip = _chip()
+        result = ExperimentPlatform(flat_chip).run_trial(
+            TrialConditions(accuracy=fp.accuracy, temperature_c=20.0)
+        )
+        assert probe.to_bytes() == result.error_string.to_bytes()
+
+    def test_startup_enroll_prunes_weak_cells(self) -> None:
+        fp = StartupFingerprinter(reads=4)
+        chip = _chip()
+        fingerprint = fp.enroll(chip, np.random.default_rng(3))
+        single = fp.probe(chip, np.random.default_rng(4))
+        # Intersection across reads can only shrink the set.
+        assert fingerprint.weight <= single.popcount()
+        assert fingerprint.support == fp.reads

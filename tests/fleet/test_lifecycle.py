@@ -1,0 +1,203 @@
+"""Lifecycle model, staleness tracking, refresh policy, scenario config."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dram import TEST_DEVICE
+from repro.fleet import (
+    FleetClock,
+    FleetScenario,
+    LifecycleModel,
+    LifecycleParams,
+    RefreshPolicy,
+    StalenessTracker,
+    default_scenario,
+)
+from repro.fleet.lifecycle import base_key
+
+
+class TestFleetClock:
+    def test_advance(self) -> None:
+        clock = FleetClock(epoch_duration_s=100.0)
+        assert clock.epoch == 0 and clock.now_s == pytest.approx(0.0)
+        assert clock.advance() == 1
+        assert clock.now_s == pytest.approx(100.0)
+
+    def test_validation(self) -> None:
+        with pytest.raises(ValueError):
+            FleetClock(epoch_duration_s=0.0)
+
+
+class TestStorageKeys:
+    def test_generation_versioning(self) -> None:
+        model = LifecycleModel(LifecycleParams(), TEST_DEVICE)
+        device = model.new_device(0, np.random.default_rng(0))
+        assert device.storage_key == device.device_id
+        device.generation = 2
+        assert device.storage_key == f"{device.device_id}#r2"
+        assert base_key(device.storage_key) == device.device_id
+
+    def test_base_key_passthrough(self) -> None:
+        assert base_key("dev-00042") == "dev-00042"
+
+
+class TestLifecycleModel:
+    def _model(self, **overrides) -> LifecycleModel:
+        return LifecycleModel(LifecycleParams(**overrides), TEST_DEVICE)
+
+    def test_build_fleet_unique_ids(self) -> None:
+        fleet = self._model().build_fleet(10, np.random.default_rng(0))
+        ids = [device.device_id for device in fleet]
+        assert len(set(ids)) == 10
+        labels = {device.chip.label for device in fleet}
+        assert labels == set(ids)
+
+    def test_seasonality_period(self) -> None:
+        model = self._model(
+            season_amplitude_c=10.0,
+            season_period_epochs=4,
+            base_temperature_c=20.0,
+        )
+        assert model.temperature_at(0) == pytest.approx(20.0)
+        assert model.temperature_at(1) == pytest.approx(30.0)
+        assert model.temperature_at(3) == pytest.approx(10.0)
+        assert model.temperature_at(4) == pytest.approx(20.0)
+
+    def test_aging_moves_retention(self) -> None:
+        model = self._model(aging_sigma=0.2, aging_drift=-0.1)
+        device = model.new_device(0, np.random.default_rng(1))
+        before = device.chip.retention_reference_s.copy()
+        model.age_device(device, np.random.default_rng(2))
+        after = device.chip.retention_reference_s
+        assert not np.array_equal(before, after)
+        # Negative drift shortens retention on average (wear-out).
+        assert float(np.median(after)) < float(np.median(before))
+
+    def test_churn_is_seeded(self) -> None:
+        model = self._model(churn_fraction=0.3)
+        fleet = model.build_fleet(10, np.random.default_rng(3))
+        picked_a = model.select_churned(fleet, np.random.default_rng(4))
+        picked_b = model.select_churned(fleet, np.random.default_rng(4))
+        assert [d.device_id for d in picked_a] == [
+            d.device_id for d in picked_b
+        ]
+        assert len(picked_a) == 3
+
+    def test_returning_and_arrivals(self) -> None:
+        model = self._model(reenroll_fraction=1.0, arrival_fraction=0.5)
+        fleet = model.build_fleet(4, np.random.default_rng(5))
+        assert model.select_returning(fleet, np.random.default_rng(6)) == fleet
+        assert model.select_returning([], np.random.default_rng(6)) == []
+        assert model.arrival_count(4, np.random.default_rng(7)) in (2, 3)
+
+    def test_params_validation(self) -> None:
+        with pytest.raises(ValueError):
+            LifecycleParams(churn_fraction=1.5)
+        with pytest.raises(ValueError):
+            LifecycleParams(aging_sigma=-0.1)
+        with pytest.raises(ValueError):
+            LifecycleParams(season_period_epochs=0)
+
+
+class TestStalenessTracker:
+    def test_staleness_accounting(self) -> None:
+        tracker = StalenessTracker()
+        tracker.record_enrollment("dev-a", epoch=0)
+        tracker.record_enrollment("dev-b", epoch=2)
+        assert tracker.staleness("dev-a", epoch=5) == 5
+        assert tracker.staleness("dev-b", epoch=5) == 3
+        tracker.record_refresh("dev-a", epoch=5, cost_measurements=9)
+        assert tracker.staleness("dev-a", epoch=5) == 0
+        assert tracker.refreshes == 1
+        assert tracker.cost_measurements == 9
+
+    def test_refresh_requires_enrollment(self) -> None:
+        tracker = StalenessTracker()
+        with pytest.raises(KeyError):
+            tracker.record_refresh("ghost", epoch=1, cost_measurements=3)
+
+    def test_forget(self) -> None:
+        tracker = StalenessTracker()
+        tracker.record_enrollment("dev-a", epoch=0)
+        tracker.forget("dev-a")
+        assert "dev-a" not in tracker.tracked()
+
+    def test_select_for_refresh_orders_and_caps(self) -> None:
+        model = LifecycleModel(LifecycleParams(), TEST_DEVICE)
+        rng = np.random.default_rng(8)
+        devices = [model.new_device(0, rng) for _ in range(3)]
+        tracker = StalenessTracker()
+        tracker.record_enrollment(devices[0].device_id, epoch=0)
+        tracker.record_enrollment(devices[1].device_id, epoch=3)
+        tracker.record_enrollment(devices[2].device_id, epoch=1)
+        policy = RefreshPolicy(max_staleness_epochs=2)
+        due = tracker.select_for_refresh(policy, devices, epoch=4)
+        # Stalest first: enrolled at 0 (staleness 4), then 1 (staleness 3).
+        assert [d.device_id for d in due] == [
+            devices[0].device_id,
+            devices[2].device_id,
+        ]
+        capped = tracker.select_for_refresh(
+            RefreshPolicy(max_staleness_epochs=2, budget_per_epoch=1),
+            devices,
+            epoch=4,
+        )
+        assert [d.device_id for d in capped] == [devices[0].device_id]
+
+    def test_disabled_policy_selects_nothing(self) -> None:
+        model = LifecycleModel(LifecycleParams(), TEST_DEVICE)
+        device = model.new_device(0, np.random.default_rng(9))
+        tracker = StalenessTracker()
+        tracker.record_enrollment(device.device_id, epoch=0)
+        policy = RefreshPolicy()
+        assert not policy.enabled
+        assert tracker.select_for_refresh(policy, [device], epoch=9) == []
+
+    def test_summary(self) -> None:
+        tracker = StalenessTracker()
+        tracker.record_enrollment("dev-a", epoch=0)
+        tracker.record_enrollment("dev-b", epoch=2)
+        summary = tracker.summary(epoch=4)
+        assert summary["tracked_devices"] == 2
+        assert summary["max_staleness_epochs"] == 4
+        assert summary["mean_staleness_epochs"] == pytest.approx(3.0)
+
+
+class TestScenario:
+    def test_round_trip(self, tmp_path) -> None:
+        scenario = default_scenario(
+            seed=7,
+            n_devices=9,
+            churn_fraction=0.2,
+            max_staleness_epochs=3,
+        )
+        path = tmp_path / "scenario.json"
+        scenario.save(path)
+        loaded = FleetScenario.load(path)
+        assert loaded == scenario
+
+    def test_validation(self) -> None:
+        with pytest.raises(ValueError, match="unknown modality"):
+            default_scenario(modalities=["decay", "tea-leaves"])
+        with pytest.raises(ValueError, match="unknown device"):
+            default_scenario(device="not-a-device")
+        with pytest.raises(ValueError, match="unique"):
+            default_scenario(modalities=["decay", "decay"])
+        with pytest.raises(ValueError, match="fusion weights"):
+            default_scenario(
+                modalities=["decay"], fusion_weights={"startup": 1.0}
+            )
+
+    def test_flat_override_routing(self) -> None:
+        scenario = default_scenario(
+            churn_fraction=0.25, max_staleness_epochs=2, n_epochs=7
+        )
+        assert scenario.lifecycle.churn_fraction == pytest.approx(0.25)
+        assert scenario.refresh.max_staleness_epochs == 2
+        assert scenario.n_epochs == 7
+
+    def test_schema_version_enforced(self, tmp_path) -> None:
+        with pytest.raises(ValueError, match="schema_version"):
+            FleetScenario.from_json({"schema_version": 99})

@@ -1,0 +1,36 @@
+"""S2: the fleet subsystem passes the repo's own determinism lints.
+
+REP001 (no unseeded RNG) and REP006 (no wall clock for simulated time)
+are the rules the fleet package was explicitly designed against:
+every draw flows from the scenario seed, and simulated time comes from
+``FleetClock`` / ``obs.clock``.  This test keeps that true.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint import ALL_RULES, lint_paths
+
+_SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+#: Everything this PR added or rides on for determinism.
+_FLEET_PATHS = [
+    _SRC / "fleet",
+    _SRC / "dram" / "startup.py",
+    _SRC / "dram" / "rowhammer.py",
+    _SRC / "attacks" / "spoofing.py",
+    _SRC / "defenses" / "replay.py",
+]
+
+
+def test_fleet_package_is_lint_clean() -> None:
+    run, _ = lint_paths(_FLEET_PATHS, ALL_RULES, root=_SRC.parent.parent)
+    violations = [
+        finding
+        for finding in run.findings
+        if finding.rule in ("REP001", "REP006")
+    ]
+    assert violations == [], [
+        f"{f.path}:{f.line} {f.rule} {f.message}" for f in violations
+    ]
